@@ -1,0 +1,130 @@
+//! Per-figure regeneration benchmarks: every table and figure of the
+//! evaluation, exercised end-to-end at quick scale.
+//!
+//! The expensive shared stages (trace collection, model training) run
+//! once as fixtures; each bench then measures the figure's own
+//! analysis, so `cargo bench` both regenerates and times the whole
+//! evaluation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ppep_experiments::common::{Context, CvMachinery, Scale, TraceStore, DEFAULT_SEED};
+use ppep_experiments::*;
+use ppep_types::VfStateId;
+use std::hint::black_box;
+use std::sync::OnceLock;
+
+fn ctx() -> Context {
+    Context::fx8320(Scale::Quick, DEFAULT_SEED)
+}
+
+fn shared_store() -> &'static TraceStore {
+    static STORE: OnceLock<TraceStore> = OnceLock::new();
+    STORE.get_or_init(|| {
+        let ctx = ctx();
+        let table = ctx.rig.config().topology.vf_table().clone();
+        let vfs: Vec<VfStateId> = table.states().collect();
+        TraceStore::collect(&ctx.rig, &ctx.scale.roster(ctx.seed), &vfs, &ctx.scale.budget())
+    })
+}
+
+fn shared_engine() -> &'static ppep_core::Ppep {
+    static ENGINE: OnceLock<ppep_core::Ppep> = OnceLock::new();
+    ENGINE.get_or_init(|| {
+        ppep_core::Ppep::new(ctx().train_models().expect("training succeeds"))
+    })
+}
+
+fn bench_fig1(c: &mut Criterion) {
+    let ctx = ctx();
+    c.bench_function("fig01_idle_trace", |b| {
+        b.iter(|| black_box(fig01_idle_trace::run(&ctx).expect("fig1")))
+    });
+}
+
+fn bench_fig2_fig3(c: &mut Criterion) {
+    let ctx = ctx();
+    let store = shared_store();
+    let mut group = c.benchmark_group("model_validation");
+    group.sample_size(10);
+    group.bench_function("fig02_same_state_cv", |b| {
+        b.iter(|| black_box(fig02_model_error::run_with_store(&ctx, store).expect("fig2")))
+    });
+    group.bench_function("fig03_cross_vf_cv", |b| {
+        b.iter(|| black_box(fig03_cross_vf::run_with_store(&ctx, store).expect("fig3")))
+    });
+    group.bench_function("cv_fold_dynamic_fit", |b| {
+        let budget = ctx.scale.budget();
+        let cv = CvMachinery::build(&ctx.rig, store, &budget, 4).expect("cv");
+        b.iter(|| black_box(cv.fit_fold(0, &ctx.rig, store).expect("fold fit")))
+    });
+    group.finish();
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    let ctx = ctx();
+    let mut group = c.benchmark_group("pg_sweep");
+    group.sample_size(10);
+    group.bench_function("fig04_pg_sweep", |b| {
+        b.iter(|| black_box(fig04_pg_sweep::run(&ctx).expect("fig4")))
+    });
+    group.finish();
+}
+
+fn bench_fig6_fig7(c: &mut Criterion) {
+    let ctx = ctx();
+    let mut group = c.benchmark_group("policies");
+    group.sample_size(10);
+    group.bench_function("fig06_energy_prediction", |b| {
+        b.iter(|| black_box(fig06_energy::run(&ctx).expect("fig6")))
+    });
+    group.bench_function("fig07_power_capping", |b| {
+        b.iter(|| black_box(fig07_capping::run(&ctx).expect("fig7")))
+    });
+    group.finish();
+}
+
+fn bench_section_v(c: &mut Criterion) {
+    let ctx = ctx();
+    let engine = shared_engine();
+    let mut group = c.benchmark_group("dvfs_space_exploration");
+    group.sample_size(10);
+    group.bench_function("fig08_09_background_sweep", |b| {
+        b.iter(|| {
+            black_box(fig08_09_background::run_with_engine(&ctx, engine).expect("fig8/9"))
+        })
+    });
+    group.bench_function("fig10_nb_share", |b| {
+        b.iter(|| black_box(fig10_nb_share::run_with_engine(&ctx, engine).expect("fig10")))
+    });
+    group.bench_function("fig11_nb_dvfs", |b| {
+        b.iter(|| black_box(fig11_nb_dvfs::run_with_engine(&ctx, engine).expect("fig11")))
+    });
+    group.finish();
+}
+
+fn bench_side_studies(c: &mut Criterion) {
+    let ctx = ctx();
+    let mut group = c.benchmark_group("side_studies");
+    group.sample_size(10);
+    group.bench_function("cpi_predictor_accuracy", |b| {
+        b.iter(|| black_box(cpi_accuracy::run(&ctx).expect("cpi")))
+    });
+    group.bench_function("idle_model_accuracy", |b| {
+        b.iter(|| black_box(idle_accuracy::run(&ctx).expect("idle")))
+    });
+    group.bench_function("observations_study", |b| {
+        b.iter(|| black_box(observations::run(&ctx).expect("obs")))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    figures,
+    bench_fig1,
+    bench_fig2_fig3,
+    bench_fig4,
+    bench_fig6_fig7,
+    bench_section_v,
+    bench_side_studies
+);
+criterion_main!(figures);

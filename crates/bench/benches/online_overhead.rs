@@ -1,0 +1,79 @@
+//! Online-overhead benchmarks: the §IV-E claim.
+//!
+//! PPEP runs as a user-level daemon with "negligible overhead at the
+//! 200 ms sampling rate". These benches measure one pipeline pass and
+//! its pieces; the full projection must come in far below the 200 ms
+//! budget (it lands in microseconds).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ppep_bench::{sample_record, shared_engine, shared_models};
+use ppep_models::event_pred::HwEventPredictor;
+use std::hint::black_box;
+
+fn bench_full_projection(c: &mut Criterion) {
+    let ppep = shared_engine();
+    let record = sample_record();
+    c.bench_function("ppep_project_all_vf_states", |b| {
+        b.iter(|| ppep.project(black_box(&record)).expect("projection"))
+    });
+}
+
+fn bench_pipeline_pieces(c: &mut Criterion) {
+    let models = shared_models();
+    let record = sample_record();
+    let table = models.vf_table().clone();
+    let vf5 = table.highest();
+    let vf1 = table.lowest();
+
+    c.bench_function("chip_power_estimate", |b| {
+        b.iter(|| {
+            models.chip_power().estimate_chip(
+                black_box(&record.samples),
+                vf5,
+                &table,
+                record.temperature,
+            )
+        })
+    });
+    c.bench_function("chip_power_predict_cross_vf", |b| {
+        b.iter(|| {
+            models
+                .chip_power()
+                .predict_chip(black_box(&record.samples), vf5, vf1, &table, record.temperature)
+                .expect("prediction")
+        })
+    });
+    c.bench_function("hw_event_predictor_one_core", |b| {
+        let predictor = HwEventPredictor::new();
+        let from = table.point(vf5);
+        let to = table.point(vf1);
+        b.iter(|| predictor.predict(black_box(&record.samples[0]), from, to).expect("predict"))
+    });
+    c.bench_function("idle_model_estimate", |b| {
+        let v = table.point(vf5).voltage;
+        b.iter(|| models.idle_model().estimate(black_box(v), record.temperature))
+    });
+    c.bench_function("energy_prediction_next_interval", |b| {
+        let predictor = ppep_core::energy::EnergyPredictor::new(models.clone());
+        b.iter(|| predictor.predict_next_energy(black_box(&record)).expect("energy"))
+    });
+}
+
+fn bench_capping_decision(c: &mut Criterion) {
+    let ppep = shared_engine();
+    let record = sample_record();
+    let projection = ppep.project(&record).expect("projection");
+    let controller =
+        ppep_dvfs::capping::OneStepCapping::new(ppep.clone(), ppep_types::Watts::new(60.0));
+    c.bench_function("one_step_capping_decision", |b| {
+        b.iter(|| controller.choose(black_box(&projection)).expect("decision"))
+    });
+}
+
+criterion_group!(
+    online,
+    bench_full_projection,
+    bench_pipeline_pieces,
+    bench_capping_decision
+);
+criterion_main!(online);

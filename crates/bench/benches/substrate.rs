@@ -1,0 +1,68 @@
+//! Substrate benchmarks: simulator stepping, PMU multiplexing, and the
+//! numerical kernels the models are built on.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use ppep_bench::loaded_simulator;
+use ppep_pmc::{EventCounts, Pmu};
+use ppep_regress::matrix::Matrix;
+use ppep_regress::solve::least_squares_qr;
+use ppep_regress::LinearRegression;
+use ppep_types::Seconds;
+use std::hint::black_box;
+
+fn bench_simulator(c: &mut Criterion) {
+    c.bench_function("chip_step_interval_8_cores", |b| {
+        b.iter_batched_ref(
+            loaded_simulator,
+            |sim| black_box(sim.step_interval()),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_pmu(c: &mut Criterion) {
+    let mut counts = EventCounts::zero();
+    for e in ppep_pmc::events::ALL_EVENTS {
+        counts.set(e, 1.0e6);
+    }
+    c.bench_function("pmu_tick_and_drain_interval", |b| {
+        b.iter_batched_ref(
+            Pmu::new,
+            |pmu| {
+                for _ in 0..10 {
+                    pmu.tick(black_box(&counts), Seconds::new(0.02)).expect("tick");
+                }
+                pmu.drain_interval().expect("drain")
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_regression(c: &mut Criterion) {
+    // A power-model-shaped problem: 1000 samples × 9 regressors.
+    let xs: Vec<Vec<f64>> = (0..1000)
+        .map(|i| {
+            (0..9)
+                .map(|j| ((i * 7 + j * 13) % 100) as f64 / 10.0 + j as f64)
+                .collect()
+        })
+        .collect();
+    let ys: Vec<f64> = xs.iter().map(|r| r.iter().sum::<f64>() * 1.5 + 3.0).collect();
+    c.bench_function("linreg_fit_1000x9", |b| {
+        b.iter(|| LinearRegression::fit(black_box(&xs), black_box(&ys), true).expect("fit"))
+    });
+    c.bench_function("nonnegative_fit_1000x9", |b| {
+        b.iter(|| {
+            LinearRegression::fit_nonnegative(black_box(&xs), black_box(&ys), true, 1e-4)
+                .expect("fit")
+        })
+    });
+    let a = Matrix::from_rows(&xs).unwrap();
+    c.bench_function("qr_least_squares_1000x10", |b| {
+        b.iter(|| least_squares_qr(black_box(&a), black_box(&ys)).expect("solve"))
+    });
+}
+
+criterion_group!(substrate, bench_simulator, bench_pmu, bench_regression);
+criterion_main!(substrate);

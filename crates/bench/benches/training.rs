@@ -1,0 +1,52 @@
+//! Training-pipeline benchmarks: the one-time offline cost of §IV.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ppep_models::idle::IdlePowerModel;
+use ppep_models::trainer::{TrainingBudget, TrainingRig};
+use ppep_models::DynamicPowerModel;
+use ppep_types::Volts;
+use std::hint::black_box;
+
+fn bench_idle_fit(c: &mut Criterion) {
+    let rig = TrainingRig::fx8320(42);
+    let samples = rig.collect_idle_traces(&TrainingBudget::quick());
+    c.bench_function("idle_model_fit", |b| {
+        b.iter(|| IdlePowerModel::fit(black_box(&samples)).expect("fit"))
+    });
+}
+
+fn bench_dynamic_fit(c: &mut Criterion) {
+    let rig = TrainingRig::fx8320(42);
+    let budget = TrainingBudget::quick();
+    let idle = IdlePowerModel::fit(&rig.collect_idle_traces(&budget)).expect("idle fit");
+    let table = rig.config().topology.vf_table().clone();
+    let vf5 = table.highest();
+    let mut samples = Vec::new();
+    for spec in ppep_workloads::combos::spec_combos(42).iter().take(10) {
+        let trace = rig.collect_run(spec, vf5, &budget);
+        for r in &trace.records {
+            samples.push(TrainingRig::dyn_sample_from(r, &idle, &table));
+        }
+    }
+    c.bench_function("dynamic_model_fit", |b| {
+        b.iter(|| {
+            DynamicPowerModel::fit(black_box(&samples), 2.0, Volts::new(1.32), 1e-4)
+                .expect("fit")
+        })
+    });
+}
+
+fn bench_trace_collection(c: &mut Criterion) {
+    let rig = TrainingRig::fx8320(42);
+    let mut budget = TrainingBudget::quick();
+    budget.warmup_intervals = 2;
+    budget.record_intervals = 3;
+    let spec = ppep_workloads::combos::instances("403.gcc", 4, 42);
+    let vf5 = rig.config().topology.vf_table().highest();
+    c.bench_function("collect_run_5_intervals", |b| {
+        b.iter(|| black_box(rig.collect_run(&spec, vf5, &budget)))
+    });
+}
+
+criterion_group!(training, bench_idle_fit, bench_dynamic_fit, bench_trace_collection);
+criterion_main!(training);

@@ -1,0 +1,45 @@
+//! Shared fixtures for the Criterion benchmarks.
+//!
+//! The benches measure two distinct things:
+//!
+//! * **online overhead** — how long one PPEP pipeline pass takes
+//!   (§IV-E claims negligible overhead at a 200 ms sampling rate);
+//! * **regeneration cost** — how long each figure's analysis takes on
+//!   pre-collected traces, so `cargo bench` exercises every table and
+//!   figure of the evaluation.
+
+#![warn(missing_docs)]
+
+use ppep_core::Ppep;
+use ppep_models::trainer::{TrainedModels, TrainingRig};
+use ppep_sim::chip::{ChipSimulator, IntervalRecord, SimConfig};
+use ppep_workloads::combos::instances;
+use std::sync::OnceLock;
+
+/// A quick-trained model bundle, built once per bench process.
+pub fn shared_models() -> &'static TrainedModels {
+    static MODELS: OnceLock<TrainedModels> = OnceLock::new();
+    MODELS.get_or_init(|| {
+        TrainingRig::fx8320(42).train_quick().expect("training succeeds")
+    })
+}
+
+/// A PPEP engine over the shared models.
+pub fn shared_engine() -> Ppep {
+    Ppep::new(shared_models().clone())
+}
+
+/// One warmed-up interval record of a mixed workload, for projection
+/// benchmarks.
+pub fn sample_record() -> IntervalRecord {
+    let mut sim = ChipSimulator::new(SimConfig::fx8320_pg(42));
+    sim.load_workload(&instances("433.milc", 4, 42));
+    sim.run_intervals(8).pop().expect("ran 8 intervals")
+}
+
+/// A ready-to-step simulator under full load.
+pub fn loaded_simulator() -> ChipSimulator {
+    let mut sim = ChipSimulator::new(SimConfig::fx8320(42));
+    sim.load_workload(&instances("458.sjeng", 8, 42));
+    sim
+}

@@ -1,0 +1,160 @@
+//! The PPEP daemon loop: measure → project → decide → apply.
+//!
+//! The paper runs PPEP as a user-level daemon with negligible overhead
+//! at the 200 ms sampling rate (§IV-E). Here the daemon couples the
+//! prediction engine with the simulated chip and a pluggable decision
+//! algorithm (step 5 of Fig. 5) — `ppep-dvfs` provides the policies.
+
+use crate::framework::Ppep;
+use crate::ppe::PpeProjection;
+use ppep_sim::chip::{ChipSimulator, IntervalRecord};
+use ppep_types::{Result, VfStateId};
+
+/// A DVFS decision algorithm: consumes a projection, returns the
+/// per-CU VF assignment to apply for the next interval.
+pub trait DvfsController {
+    /// Decides the next per-CU VF assignment.
+    ///
+    /// # Errors
+    ///
+    /// Controllers may fail on malformed projections.
+    fn decide(&mut self, projection: &PpeProjection) -> Result<Vec<VfStateId>>;
+}
+
+/// A controller that pins every CU to one state (the paper's "static
+/// VF policy" baseline for energy optimisation).
+#[derive(Debug, Clone, Copy)]
+pub struct StaticController {
+    /// The pinned state.
+    pub vf: VfStateId,
+}
+
+impl DvfsController for StaticController {
+    fn decide(&mut self, projection: &PpeProjection) -> Result<Vec<VfStateId>> {
+        Ok(vec![self.vf; projection.source_vf.len()])
+    }
+}
+
+/// One daemon step's outcome.
+#[derive(Debug, Clone)]
+pub struct DaemonStep {
+    /// The measured interval that drove the decision.
+    pub record: IntervalRecord,
+    /// The projection computed from it.
+    pub projection: PpeProjection,
+    /// The VF assignment chosen for the next interval.
+    pub decision: Vec<VfStateId>,
+}
+
+/// The daemon: owns the chip and the engine, steps one interval at a
+/// time.
+pub struct PpepDaemon<C: DvfsController> {
+    ppep: Ppep,
+    sim: ChipSimulator,
+    controller: C,
+}
+
+impl<C: DvfsController> PpepDaemon<C> {
+    /// Couples an engine, a chip, and a controller.
+    pub fn new(ppep: Ppep, sim: ChipSimulator, controller: C) -> Self {
+        Self { ppep, sim, controller }
+    }
+
+    /// The prediction engine.
+    pub fn ppep(&self) -> &Ppep {
+        &self.ppep
+    }
+
+    /// The simulated chip (e.g. to load workloads).
+    pub fn sim_mut(&mut self) -> &mut ChipSimulator {
+        &mut self.sim
+    }
+
+    /// The controller.
+    pub fn controller_mut(&mut self) -> &mut C {
+        &mut self.controller
+    }
+
+    /// Runs one measure → project → decide → apply cycle.
+    ///
+    /// # Errors
+    ///
+    /// Propagates projection and controller errors.
+    pub fn step(&mut self) -> Result<DaemonStep> {
+        let record = self.sim.step_interval();
+        let projection = self.ppep.project(&record)?;
+        let decision = self.controller.decide(&projection)?;
+        for (cu, &vf) in decision.iter().enumerate() {
+            self.sim.set_cu_vf(ppep_types::CuId(cu), vf)?;
+        }
+        Ok(DaemonStep { record, projection, decision })
+    }
+
+    /// Runs `n` cycles and collects the outcomes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failing step.
+    pub fn run(&mut self, n: usize) -> Result<Vec<DaemonStep>> {
+        (0..n).map(|_| self.step()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppep_models::trainer::TrainingRig;
+    use ppep_sim::chip::SimConfig;
+    use ppep_workloads::combos::instances;
+    use std::sync::OnceLock;
+
+    fn engine() -> Ppep {
+        static MODELS: OnceLock<ppep_models::trainer::TrainedModels> = OnceLock::new();
+        Ppep::new(
+            MODELS
+                .get_or_init(|| {
+                    TrainingRig::fx8320(42).train_quick().expect("training succeeds")
+                })
+                .clone(),
+        )
+    }
+
+    #[test]
+    fn static_controller_pins_states() {
+        let ppep = engine();
+        let table = ppep.models().vf_table().clone();
+        let mut sim = ChipSimulator::new(SimConfig::fx8320(42));
+        sim.load_workload(&instances("403.gcc", 2, 42));
+        let mut daemon =
+            PpepDaemon::new(ppep, sim, StaticController { vf: table.lowest() });
+        let steps = daemon.run(3).unwrap();
+        // First interval still ran at the boot state (highest); from
+        // the second on, the pinned state is in force.
+        assert_eq!(steps[0].record.cu_vf[0], table.highest());
+        assert_eq!(steps[1].record.cu_vf[0], table.lowest());
+        assert_eq!(steps[2].record.cu_vf[0], table.lowest());
+        assert!(
+            steps[2].record.measured_power < steps[0].record.measured_power,
+            "pinning to VF1 must cut power"
+        );
+    }
+
+    #[test]
+    fn greedy_energy_controller_converges_to_lowest_state() {
+        struct EnergyOptimal;
+        impl DvfsController for EnergyOptimal {
+            fn decide(&mut self, p: &PpeProjection) -> Result<Vec<VfStateId>> {
+                Ok(vec![p.best_energy_vf(); p.source_vf.len()])
+            }
+        }
+        let ppep = engine();
+        let table = ppep.models().vf_table().clone();
+        let mut sim = ChipSimulator::new(SimConfig::fx8320(42));
+        sim.load_workload(&instances("433.milc", 4, 42));
+        let mut daemon = PpepDaemon::new(ppep, sim, EnergyOptimal);
+        let steps = daemon.run(4).unwrap();
+        // §V-C: the lowest VF state is energy-optimal.
+        assert_eq!(steps.last().unwrap().decision, vec![table.lowest(); 4]);
+        assert_eq!(steps.last().unwrap().record.cu_vf, vec![table.lowest(); 4]);
+    }
+}

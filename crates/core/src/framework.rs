@@ -1,0 +1,389 @@
+//! The Fig. 5 pipeline: interval record in, PPE projection out.
+
+use crate::ppe::{ChipPpe, CoreAtVf, CoreProjection, PpeProjection};
+use ppep_models::event_pred::HwEventPredictor;
+use ppep_models::trainer::TrainedModels;
+use ppep_pmc::EventId;
+use ppep_sim::chip::IntervalRecord;
+use ppep_types::vf::NbVfState;
+use ppep_types::{CoreId, Joules, Result, Seconds, VfStateId, Watts};
+
+/// The §V-C2 NB-DVFS study assumptions for the low NB point.
+mod nb_low {
+    /// Leading-load (memory) cycles grow 50%.
+    pub const MEMORY_FACTOR: f64 = 1.5;
+    /// NB idle power drops 40%.
+    pub const IDLE_SCALE: f64 = 0.60;
+    /// NB dynamic power drops 36%.
+    pub const DYN_SCALE: f64 = 0.64;
+}
+
+/// The PPEP prediction engine: wraps the trained models and turns
+/// interval records into all-VF projections.
+#[derive(Debug, Clone)]
+pub struct Ppep {
+    models: TrainedModels,
+    predictor: HwEventPredictor,
+}
+
+impl Ppep {
+    /// Builds the engine from trained models.
+    pub fn new(models: TrainedModels) -> Self {
+        Self { models, predictor: HwEventPredictor::new() }
+    }
+
+    /// The wrapped models.
+    pub fn models(&self) -> &TrainedModels {
+        &self.models
+    }
+
+    /// Runs steps 1–4 of the pipeline on one interval record.
+    ///
+    /// Chip-level projections assume a uniform VF assignment and use
+    /// the Eq. 2 idle model when no PG model is attached, or the PG
+    /// decomposition (with the interval's busy/gated CU pattern) when
+    /// one is. A bundle with a PG model therefore assumes the chip
+    /// *has gating enabled* — project records from a PG-enabled
+    /// simulator (or detach the PG model for PG-off studies), or idle
+    /// power will be under-counted.
+    ///
+    /// # Errors
+    ///
+    /// Propagates event-predictor and model errors.
+    pub fn project(&self, record: &IntervalRecord) -> Result<PpeProjection> {
+        self.project_nb(record, NbVfState::High)
+    }
+
+    /// Like [`Ppep::project`], but projecting to a hypothetical NB
+    /// operating point (the §V-C2 study): at [`NbVfState::Low`] the
+    /// memory cycles grow 50%, NB idle power drops 40%, and NB dynamic
+    /// power drops 36% — the paper's stated assumptions.
+    ///
+    /// The source record must have been measured at the stock NB
+    /// point (all of the paper's measurements are).
+    ///
+    /// # Errors
+    ///
+    /// Propagates event-predictor and model errors.
+    pub fn project_nb(
+        &self,
+        record: &IntervalRecord,
+        nb_target: NbVfState,
+    ) -> Result<PpeProjection> {
+        let table = self.models.vf_table().clone();
+        let topo = self.models.topology().clone();
+        let cores_per_cu = topo.cores_per_cu();
+        let dynamic = self.models.dynamic_model();
+        let (memory_factor, nb_idle_scale, nb_dyn_scale) = match nb_target {
+            NbVfState::High => (1.0, 1.0, 1.0),
+            NbVfState::Low => (nb_low::MEMORY_FACTOR, nb_low::IDLE_SCALE, nb_low::DYN_SCALE),
+        };
+
+        let mut cores = Vec::with_capacity(record.samples.len());
+        let mut nb_dynamic_by_vf = vec![0.0; table.len()];
+        for (i, sample) in record.samples.iter().enumerate() {
+            let cu = i / cores_per_cu;
+            let from = table.point(record.cu_vf[cu]);
+            let busy = sample.counts.get(EventId::RetiredInstructions) > 0.0;
+            let mut per_vf = Vec::with_capacity(table.len());
+            for vf in table.states() {
+                let to = table.point(vf);
+                let predicted =
+                    self.predictor.predict_scaled(sample, from, to, memory_factor)?;
+                let (core_dyn, nb_dyn) =
+                    dynamic.estimate_core_split(&predicted.power_rates(), to.voltage);
+                let nb_dyn = nb_dyn * nb_dyn_scale;
+                nb_dynamic_by_vf[vf.index()] += nb_dyn.as_watts();
+                per_vf.push(CoreAtVf {
+                    vf,
+                    dynamic_power: core_dyn + nb_dyn,
+                    ips: predicted.ips,
+                    cpi: predicted.cpi,
+                });
+            }
+            cores.push(CoreProjection { core: CoreId(i), busy, per_vf });
+        }
+
+        let work_instructions: f64 = record
+            .samples
+            .iter()
+            .map(|s| s.counts.get(EventId::RetiredInstructions))
+            .sum();
+
+        // CU activity pattern for the PG idle path.
+        let cu_active: Vec<bool> = (0..topo.cu_count())
+            .map(|cu| (0..cores_per_cu).any(|j| cores[cu * cores_per_cu + j].busy))
+            .collect();
+        let any_active = cu_active.iter().any(|b| *b);
+
+        let mut chip = Vec::with_capacity(table.len());
+        for vf in table.states() {
+            let dynamic_total: Watts =
+                cores.iter().map(|c| c.at(vf).dynamic_power).sum();
+            // NB idle share, separable only with the PG decomposition.
+            let nb_idle = match self.models.chip_power().pg_model() {
+                Some(pg) if any_active => pg.pidle_nb(vf) * nb_idle_scale,
+                _ => Watts::ZERO,
+            };
+            let idle_total = match self.models.chip_power().pg_model() {
+                Some(pg) => {
+                    let stock =
+                        pg.chip_idle_pg_enabled(&cu_active, &vec![vf; topo.cu_count()])?;
+                    // Replace the stock NB idle contribution with the
+                    // scaled one.
+                    if any_active {
+                        stock - pg.pidle_nb(vf) + nb_idle
+                    } else {
+                        stock
+                    }
+                }
+                None => self
+                    .models
+                    .idle_model()
+                    .estimate(table.point(vf).voltage, record.temperature),
+            };
+            let power = idle_total + dynamic_total;
+            let nb_power = nb_idle + Watts::new(nb_dynamic_by_vf[vf.index()]);
+            let ips: f64 = cores.iter().map(|c| c.at(vf).ips).sum();
+            let (time_for_work, energy, edp) = if ips > 0.0 && work_instructions > 0.0 {
+                let t = work_instructions / ips;
+                let e = power.as_watts() * t;
+                (Seconds::new(t), Joules::new(e), e * t)
+            } else {
+                // Idle chip: report the decision interval as the work
+                // unit so power comparisons still make sense.
+                let t = record.duration.as_secs();
+                let e = power.as_watts() * t;
+                (Seconds::new(t), Joules::new(e), e * t)
+            };
+            chip.push(ChipPpe { vf, power, nb_power, ips, time_for_work, energy, edp });
+        }
+
+        Ok(PpeProjection {
+            interval: record.index,
+            temperature: record.temperature,
+            source_vf: record.cu_vf.clone(),
+            cores,
+            chip,
+            work_instructions,
+        })
+    }
+
+    /// Predicted chip power for an arbitrary per-CU VF assignment —
+    /// the primitive the Fig. 7 capping controller searches over.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model errors; requires a PG model when any CU is
+    /// idle and gating is enabled on the chip.
+    pub fn chip_power_with_assignment(
+        &self,
+        projection: &PpeProjection,
+        cu_vf: &[VfStateId],
+    ) -> Result<Watts> {
+        let topo = self.models.topology();
+        let cores_per_cu = topo.cores_per_cu();
+        if cu_vf.len() != topo.cu_count() {
+            return Err(ppep_types::Error::InvalidInput(format!(
+                "{} CU assignments for {} CUs",
+                cu_vf.len(),
+                topo.cu_count()
+            )));
+        }
+        let mut dynamic = Watts::ZERO;
+        for (i, core) in projection.cores.iter().enumerate() {
+            let vf = cu_vf[i / cores_per_cu];
+            dynamic += core.at(vf).dynamic_power;
+        }
+        let cu_active: Vec<bool> = (0..topo.cu_count())
+            .map(|cu| {
+                (0..cores_per_cu).any(|j| projection.cores[cu * cores_per_cu + j].busy)
+            })
+            .collect();
+        let idle = match self.models.chip_power().pg_model() {
+            Some(pg) => pg.chip_idle_pg_enabled(&cu_active, cu_vf)?,
+            None => {
+                // Without per-CU rails the Eq. 2 model needs one
+                // voltage; use the highest assigned state, as the
+                // shared rail must satisfy the fastest CU.
+                let max_vf = *cu_vf.iter().max().expect("non-empty");
+                self.models
+                    .idle_model()
+                    .estimate(self.models.vf_table().point(max_vf).voltage, projection.temperature)
+            }
+        };
+        Ok(idle + dynamic)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppep_models::trainer::TrainingRig;
+    use ppep_sim::chip::{ChipSimulator, SimConfig};
+    use ppep_workloads::combos::instances;
+    use std::sync::OnceLock;
+
+    fn shared_ppep() -> &'static Ppep {
+        static PPEP: OnceLock<Ppep> = OnceLock::new();
+        PPEP.get_or_init(|| {
+            let mut rig = TrainingRig::fx8320(42);
+            Ppep::new(rig.train_quick().expect("training succeeds"))
+        })
+    }
+
+    fn record_for(workload: &str, n: usize) -> ppep_sim::chip::IntervalRecord {
+        let mut sim = ChipSimulator::new(SimConfig::fx8320(42));
+        sim.load_workload(&instances(workload, n, 42));
+        sim.run_intervals(8).pop().unwrap()
+    }
+
+    #[test]
+    fn projection_covers_all_states_and_cores() {
+        let ppep = shared_ppep();
+        let record = record_for("433.milc", 2);
+        let p = ppep.project(&record).unwrap();
+        assert_eq!(p.cores.len(), 8);
+        assert_eq!(p.chip.len(), 5);
+        assert_eq!(p.busy_core_count(), 2);
+        assert!(p.work_instructions > 0.0);
+        for c in &p.cores {
+            assert_eq!(c.per_vf.len(), 5);
+        }
+    }
+
+    #[test]
+    fn same_state_projection_matches_measured_power() {
+        let ppep = shared_ppep();
+        let record = record_for("458.sjeng", 4);
+        let p = ppep.project(&record).unwrap();
+        let vf5 = ppep.models().vf_table().highest();
+        let projected = p.chip_at(vf5).power.as_watts();
+        let measured = record.measured_power.as_watts();
+        let rel = (projected - measured).abs() / measured;
+        assert!(rel < 0.15, "same-state projection error {rel}");
+    }
+
+    #[test]
+    fn power_is_monotone_in_vf_for_busy_chip() {
+        let ppep = shared_ppep();
+        let record = record_for("458.sjeng", 8);
+        let p = ppep.project(&record).unwrap();
+        for w in p.chip.windows(2) {
+            assert!(
+                w[1].power > w[0].power,
+                "chip power must grow with VF: {:?} vs {:?}",
+                w[0].power,
+                w[1].power
+            );
+        }
+    }
+
+    #[test]
+    fn lowest_state_minimises_energy() {
+        // §V-C observation 1: the lowest VF state gives least energy.
+        let ppep = shared_ppep();
+        for (wl, n) in [("433.milc", 2), ("458.sjeng", 4)] {
+            let record = record_for(wl, n);
+            let p = ppep.project(&record).unwrap();
+            assert_eq!(
+                p.best_energy_vf(),
+                ppep.models().vf_table().lowest(),
+                "{wl} x{n}"
+            );
+        }
+    }
+
+    #[test]
+    fn memory_bound_work_keeps_throughput_at_low_vf() {
+        let ppep = shared_ppep();
+        let milc = ppep.project(&record_for("433.milc", 1)).unwrap();
+        let sjeng = ppep.project(&record_for("458.sjeng", 1)).unwrap();
+        let table = ppep.models().vf_table().clone();
+        let ratio = |p: &PpeProjection| {
+            p.chip_at(table.lowest()).ips / p.chip_at(table.highest()).ips
+        };
+        let milc_keep = ratio(&milc);
+        let sjeng_keep = ratio(&sjeng);
+        assert!(
+            milc_keep > sjeng_keep + 0.1,
+            "memory-bound retains throughput: milc {milc_keep} vs sjeng {sjeng_keep}"
+        );
+    }
+
+    #[test]
+    fn assignment_power_matches_uniform_projection() {
+        let ppep = shared_ppep();
+        let record = record_for("433.milc", 4);
+        let p = ppep.project(&record).unwrap();
+        let table = ppep.models().vf_table().clone();
+        for vf in table.states() {
+            let uniform = p.chip_at(vf).power.as_watts();
+            let assigned = ppep
+                .chip_power_with_assignment(&p, &[vf; 4])
+                .unwrap()
+                .as_watts();
+            assert!(
+                (uniform - assigned).abs() < 1e-9,
+                "uniform {uniform} vs assignment {assigned}"
+            );
+        }
+        // Mixed assignments interpolate between the extremes.
+        let lo = p.chip_at(table.lowest()).power.as_watts();
+        let hi = p.chip_at(table.highest()).power.as_watts();
+        let mixed = ppep
+            .chip_power_with_assignment(
+                &p,
+                &[table.highest(), table.lowest(), table.lowest(), table.lowest()],
+            )
+            .unwrap()
+            .as_watts();
+        assert!(mixed > lo && mixed < hi, "{lo} < {mixed} < {hi}");
+        assert!(ppep.chip_power_with_assignment(&p, &[table.lowest()]).is_err());
+    }
+
+    #[test]
+    fn nb_low_projection_trades_speed_for_nb_power() {
+        use ppep_types::vf::NbVfState;
+        let ppep = shared_ppep();
+        let record = record_for("433.milc", 2);
+        let hi = ppep.project_nb(&record, NbVfState::High).unwrap();
+        let lo = ppep.project_nb(&record, NbVfState::Low).unwrap();
+        let table = ppep.models().vf_table().clone();
+        let top = table.highest();
+        // Memory-bound work slows down at the low NB point...
+        assert!(lo.chip_at(top).ips < hi.chip_at(top).ips);
+        // ...but NB dynamic power shrinks (no PG model in the quick
+        // bundle, so nb_power is dynamic-only here).
+        assert!(lo.chip_at(top).nb_power < hi.chip_at(top).nb_power);
+        // And total power shrinks too.
+        assert!(lo.chip_at(top).power < hi.chip_at(top).power);
+    }
+
+    #[test]
+    fn nb_split_is_larger_for_memory_bound_work() {
+        let ppep = shared_ppep();
+        let milc = ppep.project(&record_for("433.milc", 2)).unwrap();
+        let sjeng = ppep.project(&record_for("458.sjeng", 2)).unwrap();
+        let top = ppep.models().vf_table().highest();
+        assert!(
+            milc.chip_at(top).nb_ratio() > sjeng.chip_at(top).nb_ratio(),
+            "milc NB ratio {} vs sjeng {}",
+            milc.chip_at(top).nb_ratio(),
+            sjeng.chip_at(top).nb_ratio()
+        );
+    }
+
+    #[test]
+    fn idle_chip_projection_is_flat_in_throughput() {
+        let ppep = shared_ppep();
+        let mut sim = ChipSimulator::new(SimConfig::fx8320(42));
+        let record = sim.run_intervals(3).pop().unwrap();
+        let p = ppep.project(&record).unwrap();
+        assert_eq!(p.busy_core_count(), 0);
+        for c in &p.chip {
+            assert_eq!(c.ips, 0.0);
+            assert!(c.power.as_watts() > 0.0, "idle power still predicted");
+        }
+    }
+}

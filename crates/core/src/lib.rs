@@ -1,0 +1,63 @@
+//! The PPEP framework: online performance, power, and energy
+//! prediction across all VF states (Fig. 5 of the paper).
+//!
+//! PPEP runs as a daemon alongside applications. Every 200 ms it
+//! reads the per-core performance counters, the current VF state, and
+//! the temperature diode, and produces per-core and chip-level
+//! **PPE projections** for *every* VF state:
+//!
+//! 1. the performance predictor estimates CPI at all VF states;
+//! 2. the hardware-event predictor materialises the event counts the
+//!    cores would generate at each state;
+//! 3. the dynamic power model prices those events;
+//! 4. the (PG-aware) idle power model adds the rest;
+//! 5. a decision algorithm consumes the projections;
+//! 6. the chosen VF states are applied.
+//!
+//! This crate implements steps 1–4 ([`framework::Ppep`]), the
+//! projection data model ([`ppe`]), next-interval energy prediction
+//! ([`energy`], Fig. 6), optional counter [`smoothing`] against
+//! rapid-phase noise, and a [`daemon`] loop that closes the circle
+//! against the simulated chip with a pluggable decision algorithm
+//! (implemented by `ppep-dvfs`).
+//!
+//! # Example
+//!
+//! ```no_run
+//! use ppep_core::prelude::*;
+//!
+//! let mut rig = TrainingRig::fx8320(42);
+//! let models = rig.train_quick().expect("training succeeds");
+//! let ppep = Ppep::new(models);
+//!
+//! let mut sim = ppep_sim::ChipSimulator::new(ppep_sim::chip::SimConfig::fx8320(42));
+//! sim.load_workload(&ppep_workloads::combos::instances("433.milc", 2, 42));
+//! let record = sim.step_interval();
+//! let projection = ppep.project(&record).expect("projection succeeds");
+//! let best = projection.best_energy_vf();
+//! println!("energy-optimal state: {best}");
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod daemon;
+pub mod energy;
+pub mod framework;
+pub mod ppe;
+pub mod smoothing;
+pub mod stats;
+
+pub use framework::Ppep;
+pub use ppe::{ChipPpe, CoreProjection, PpeProjection};
+
+/// Convenient re-exports for downstream users and examples.
+pub mod prelude {
+    pub use crate::daemon::{DvfsController, PpepDaemon, StaticController};
+    pub use crate::energy::EnergyPredictor;
+    pub use crate::framework::Ppep;
+    pub use crate::ppe::{ChipPpe, CoreProjection, PpeProjection};
+    pub use crate::smoothing::SampleSmoother;
+    pub use crate::stats::RunStats;
+    pub use ppep_models::trainer::{TrainedModels, TrainingBudget, TrainingRig};
+    pub use ppep_types::{VfStateId, VfTable, Watts};
+}

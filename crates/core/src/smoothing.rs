@@ -1,0 +1,179 @@
+//! Interval-sample smoothing.
+//!
+//! §V-A notes that next-interval energy predictions suffer from two
+//! error sources: model fitting error and *phase changes between
+//! neighbouring intervals*. A rapid-phase workload (the paper's
+//! dedup/IS/DC outliers) makes the second dominant — each interval's
+//! counters are a poor predictor of the next interval's.
+//!
+//! [`SampleSmoother`] applies an exponential moving average over the
+//! per-core counter samples before they reach the models, trading a
+//! little responsiveness for a lot of phase-noise damping. The paper's
+//! daemon design ("it simply follows the application's behavior with
+//! high sensitivity") corresponds to `alpha = 1.0` (no smoothing);
+//! lower values suit capping controllers that must not chase noise.
+
+use ppep_pmc::sampler::IntervalSample;
+use ppep_sim::chip::IntervalRecord;
+use ppep_types::{Error, Result};
+
+/// Exponential moving average over interval records.
+#[derive(Debug, Clone)]
+pub struct SampleSmoother {
+    alpha: f64,
+    state: Option<Vec<IntervalSample>>,
+}
+
+impl SampleSmoother {
+    /// Creates a smoother; `alpha` is the weight of the newest sample
+    /// (1.0 = no smoothing, smaller = heavier smoothing).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidInput`] unless `0 < alpha <= 1`.
+    pub fn new(alpha: f64) -> Result<Self> {
+        if !(alpha > 0.0 && alpha <= 1.0) {
+            return Err(Error::InvalidInput(format!(
+                "smoothing alpha must be in (0, 1], got {alpha}"
+            )));
+        }
+        Ok(Self { alpha, state: None })
+    }
+
+    /// The newest-sample weight.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Clears the history (e.g. after a workload change, where old
+    /// counters describe a program that no longer exists).
+    pub fn reset(&mut self) {
+        self.state = None;
+    }
+
+    /// Folds a record into the average and returns a copy of it whose
+    /// per-core samples are the smoothed counters.
+    ///
+    /// The first record passes through unchanged (it *is* the
+    /// average). A change in core count — a different chip — resets
+    /// the history.
+    pub fn apply(&mut self, record: &IntervalRecord) -> IntervalRecord {
+        if self
+            .state
+            .as_ref()
+            .is_some_and(|s| s.len() != record.samples.len())
+        {
+            self.state = None;
+        }
+        let smoothed = match self.state.take() {
+            None => record.samples.clone(),
+            Some(prev) => prev
+                .iter()
+                .zip(&record.samples)
+                .map(|(old, new)| IntervalSample {
+                    counts: old.counts * (1.0 - self.alpha) + new.counts * self.alpha,
+                    duration: new.duration,
+                })
+                .collect(),
+        };
+        self.state = Some(smoothed.clone());
+        let mut out = record.clone();
+        out.samples = smoothed;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppep_pmc::EventId;
+    use ppep_sim::chip::{ChipSimulator, SimConfig};
+    use ppep_workloads::combos::instances;
+
+    fn records(workload: &str, n: usize) -> Vec<IntervalRecord> {
+        let mut sim = ChipSimulator::new(SimConfig::fx8320(42));
+        sim.load_workload(&instances(workload, 1, 42));
+        sim.run_intervals(n)
+    }
+
+    #[test]
+    fn alpha_validation() {
+        assert!(SampleSmoother::new(0.0).is_err());
+        assert!(SampleSmoother::new(1.1).is_err());
+        assert!(SampleSmoother::new(f64::NAN).is_err());
+        assert_eq!(SampleSmoother::new(0.3).unwrap().alpha(), 0.3);
+    }
+
+    #[test]
+    fn first_record_passes_through() {
+        let recs = records("403.gcc", 1);
+        let mut s = SampleSmoother::new(0.25).unwrap();
+        let out = s.apply(&recs[0]);
+        assert_eq!(out.samples[0].counts, recs[0].samples[0].counts);
+    }
+
+    #[test]
+    fn alpha_one_is_identity() {
+        let recs = records("403.gcc", 4);
+        let mut s = SampleSmoother::new(1.0).unwrap();
+        for r in &recs {
+            let out = s.apply(r);
+            assert_eq!(out.samples[2].counts, r.samples[2].counts);
+        }
+    }
+
+    #[test]
+    fn smoothing_reduces_counter_variance_on_rapid_phases() {
+        // dedup flips phases between intervals; the smoothed series
+        // must be strictly calmer.
+        let recs = records("dedup", 30);
+        let series = |samples: &[IntervalRecord]| -> Vec<f64> {
+            samples
+                .iter()
+                .map(|r| r.samples[0].counts.get(EventId::RetiredUops))
+                .collect()
+        };
+        let raw = series(&recs);
+        let mut s = SampleSmoother::new(0.3).unwrap();
+        let smoothed: Vec<IntervalRecord> = recs.iter().map(|r| s.apply(r)).collect();
+        let smooth = series(&smoothed);
+        let var = |v: &[f64]| {
+            let m = v.iter().sum::<f64>() / v.len() as f64;
+            v.iter().map(|x| (x - m).powi(2)).sum::<f64>() / v.len() as f64
+        };
+        assert!(
+            var(&smooth) < 0.6 * var(&raw),
+            "smoothing must damp variance: {} vs {}",
+            var(&smooth),
+            var(&raw)
+        );
+        // And it converges to the same mean (unbiased).
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        let rel = (mean(&smooth) - mean(&raw)).abs() / mean(&raw);
+        assert!(rel < 0.15, "smoothing bias {rel}");
+    }
+
+    #[test]
+    fn reset_forgets_history() {
+        let recs = records("dedup", 3);
+        let mut s = SampleSmoother::new(0.2).unwrap();
+        let _ = s.apply(&recs[0]);
+        s.reset();
+        let out = s.apply(&recs[1]);
+        assert_eq!(out.samples[0].counts, recs[1].samples[0].counts);
+    }
+
+    #[test]
+    fn chip_change_resets_automatically() {
+        let fx = records("403.gcc", 1);
+        let mut phenom_sim = ChipSimulator::new(SimConfig::phenom_ii_x6(42));
+        phenom_sim.load_workload(&instances("CG", 1, 42));
+        let ph = phenom_sim.step_interval();
+        let mut s = SampleSmoother::new(0.2).unwrap();
+        let _ = s.apply(&fx[0]);
+        // 6-core record after an 8-core record: passes through.
+        let out = s.apply(&ph);
+        assert_eq!(out.samples.len(), 6);
+        assert_eq!(out.samples[0].counts, ph.samples[0].counts);
+    }
+}

@@ -1,0 +1,24 @@
+use ppep_experiments::common::{Context, Scale, DEFAULT_SEED};
+use ppep_models::trainer::TrainingRig;
+use ppep_sim::chip::SimConfig;
+
+fn main() {
+    let ctx = Context::fx8320(Scale::Quick, DEFAULT_SEED);
+    let budget = ctx.scale.budget();
+    let roster = ctx.scale.roster(ctx.seed);
+    let (train, _) = roster.split_at(roster.len() * 3 / 4);
+    for (label, ideal_pmu, ideal_sensor) in
+        [("realistic", false, false), ("ideal_pmu", true, false), ("both", true, true)]
+    {
+        let mut cfg = SimConfig::fx8320(ctx.seed);
+        cfg.ideal_pmu = ideal_pmu;
+        cfg.ideal_sensor = ideal_sensor;
+        let rig = TrainingRig::with_config(cfg, ctx.seed);
+        let m = rig.train(train, &budget).unwrap();
+        print!("{label:>12}: alpha {:.2} weights(nJ):", m.alpha());
+        for w in m.dynamic_model().weights() {
+            print!(" {:.2}", w * 1e9);
+        }
+        println!();
+    }
+}

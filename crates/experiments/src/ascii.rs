@@ -1,0 +1,107 @@
+//! Minimal ASCII charts for trace-style figures (Figs. 1 and 7).
+//!
+//! The experiment binary is a terminal program; a coarse chart beside
+//! the numeric table makes the heat/cool transient and the capping
+//! square-wave legible at a glance. CSV export (`--out`) remains the
+//! path for real plots.
+
+/// Renders a single-row sparkline using the eight block glyphs.
+///
+/// Values are min-max normalised; an empty slice renders empty, and a
+/// constant series renders mid-height.
+pub fn sparkline(values: &[f64]) -> String {
+    const GLYPHS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if values.is_empty() {
+        return String::new();
+    }
+    let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let span = max - min;
+    values
+        .iter()
+        .map(|v| {
+            let t = if span > 0.0 { (v - min) / span } else { 0.5 };
+            GLYPHS[((t * 7.0).round() as usize).min(7)]
+        })
+        .collect()
+}
+
+/// Downsamples a series to at most `width` points by averaging each
+/// bucket — so long traces fit one terminal row without aliasing away
+/// level shifts.
+pub fn downsample(values: &[f64], width: usize) -> Vec<f64> {
+    assert!(width > 0, "chart width must be positive");
+    if values.len() <= width {
+        return values.to_vec();
+    }
+    let mut out = Vec::with_capacity(width);
+    for b in 0..width {
+        let start = b * values.len() / width;
+        let end = (((b + 1) * values.len()) / width).max(start + 1);
+        let bucket = &values[start..end.min(values.len())];
+        out.push(bucket.iter().sum::<f64>() / bucket.len() as f64);
+    }
+    out
+}
+
+/// A labelled sparkline with its min/max range, ready to print.
+pub fn chart_row(label: &str, values: &[f64], width: usize) -> String {
+    let ds = downsample(values, width);
+    let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    if values.is_empty() {
+        return format!("{label:<12} (empty)");
+    }
+    format!("{label:<12} {} [{min:.1} … {max:.1}]", sparkline(&ds))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparkline_shape() {
+        let s = sparkline(&[0.0, 0.5, 1.0]);
+        let chars: Vec<char> = s.chars().collect();
+        assert_eq!(chars.len(), 3);
+        assert_eq!(chars[0], '▁');
+        assert_eq!(chars[2], '█');
+        assert!(chars[1] > chars[0] && chars[1] < chars[2]);
+    }
+
+    #[test]
+    fn sparkline_edge_cases() {
+        assert_eq!(sparkline(&[]), "");
+        // Constant series: mid-height everywhere.
+        let s = sparkline(&[3.0, 3.0, 3.0]);
+        assert!(s.chars().all(|c| c == '▅' || c == '▄'));
+    }
+
+    #[test]
+    fn downsample_preserves_level_shift() {
+        // 100 low values then 100 high ones -> first half of buckets
+        // low, second half high.
+        let mut v = vec![1.0; 100];
+        v.extend(vec![9.0; 100]);
+        let ds = downsample(&v, 10);
+        assert_eq!(ds.len(), 10);
+        assert!(ds[..5].iter().all(|x| *x < 2.0));
+        assert!(ds[5..].iter().all(|x| *x > 8.0));
+        // Short series pass through untouched.
+        assert_eq!(downsample(&[1.0, 2.0], 10), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be positive")]
+    fn zero_width_rejected() {
+        let _ = downsample(&[1.0], 0);
+    }
+
+    #[test]
+    fn chart_row_includes_range() {
+        let row = chart_row("power", &[10.0, 20.0, 30.0], 40);
+        assert!(row.starts_with("power"));
+        assert!(row.contains("[10.0 … 30.0]"));
+        assert_eq!(chart_row("x", &[], 10), "x            (empty)");
+    }
+}

@@ -1,0 +1,124 @@
+//! Fig. 1 — idle power and temperature at VF5 as the workload changes.
+//!
+//! The chip is heated with a heavy workload, then left idle (active,
+//! not power gated) while it cools. The plot shows normalised chip
+//! power and temperature per 200 ms step; its purpose in the paper is
+//! to motivate the near-linear idle-power/temperature relationship the
+//! Eq. 2 model exploits.
+
+use crate::common::Context;
+use ppep_types::Result;
+
+/// One plotted step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TracePoint {
+    /// Step index (200 ms each).
+    pub step: usize,
+    /// Chip power normalised to the run's peak.
+    pub normalized_power: f64,
+    /// Diode temperature in kelvin.
+    pub temperature_k: f64,
+}
+
+/// The experiment's result.
+#[derive(Debug, Clone)]
+pub struct Fig01Result {
+    /// The full power/temperature series.
+    pub series: Vec<TracePoint>,
+    /// Step at which the workload was removed (heating → cooling).
+    pub cooling_start: usize,
+    /// Peak chip power (the normalisation base), watts.
+    pub peak_power_w: f64,
+    /// Temperature span of the cooling portion, kelvin.
+    pub cooling_span_k: f64,
+    /// R² of a straight-line fit of idle power against temperature
+    /// over the cooling portion — the linearity Eq. 2 relies on.
+    pub linearity_r2: f64,
+}
+
+/// Runs the Fig. 1 experiment.
+///
+/// # Errors
+///
+/// Propagates regression errors from the linearity check.
+pub fn run(ctx: &Context) -> Result<Fig01Result> {
+    let budget = ctx.scale.budget();
+    let vf5 = ctx.rig.config().topology.vf_table().highest();
+    let (idle_samples, records) = ctx.rig.collect_idle_trace_at(vf5, &budget);
+
+    let peak_power_w = records
+        .iter()
+        .map(|r| r.measured_power.as_watts())
+        .fold(0.0, f64::max);
+    let series: Vec<TracePoint> = records
+        .iter()
+        .enumerate()
+        .map(|(step, r)| TracePoint {
+            step,
+            normalized_power: r.measured_power.as_watts() / peak_power_w,
+            temperature_k: r.temperature.as_kelvin(),
+        })
+        .collect();
+    let cooling_start = records.len() - idle_samples.len();
+
+    let temps: Vec<f64> = idle_samples.iter().map(|s| s.temperature.as_kelvin()).collect();
+    let span = temps.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+        - temps.iter().cloned().fold(f64::INFINITY, f64::min);
+
+    let xs: Vec<Vec<f64>> = temps.iter().map(|t| vec![*t]).collect();
+    let ys: Vec<f64> = idle_samples.iter().map(|s| s.power.as_watts()).collect();
+    let line = ppep_regress::LinearRegression::fit(&xs, &ys, true)?;
+    let linearity_r2 = line.r_squared(&xs, &ys);
+
+    Ok(Fig01Result {
+        series,
+        cooling_start,
+        peak_power_w,
+        cooling_span_k: span,
+        linearity_r2,
+    })
+}
+
+/// Prints the Fig. 1 summary and a coarse series.
+pub fn print(result: &Fig01Result) {
+    println!("== Fig. 1: idle power & temperature at VF5 (heat → cool) ==");
+    println!("peak power           : {:.1} W", result.peak_power_w);
+    println!("cooling starts at    : step {}", result.cooling_start);
+    println!("cooling temp span    : {:.1} K", result.cooling_span_k);
+    println!("idle P(T) linearity  : R² = {:.4}", result.linearity_r2);
+    let power: Vec<f64> = result.series.iter().map(|p| p.normalized_power).collect();
+    let temp: Vec<f64> = result.series.iter().map(|p| p.temperature_k).collect();
+    println!("{}", crate::ascii::chart_row("power", &power, 60));
+    println!("{}", crate::ascii::chart_row("temperature", &temp, 60));
+    println!("step  norm.power  temperature");
+    for p in result.series.iter().step_by(result.series.len().max(20) / 20) {
+        println!("{:>4}  {:>10.3}  {:>9.1} K", p.step, p.normalized_power, p.temperature_k);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::{Scale, DEFAULT_SEED};
+
+    #[test]
+    fn fig1_shape_matches_paper() {
+        let ctx = Context::fx8320(Scale::Quick, DEFAULT_SEED);
+        let r = run(&ctx).unwrap();
+        // Power drops sharply when the load is removed.
+        let heating_p = r.series[r.cooling_start - 2].normalized_power;
+        let cooling_p = r.series[r.cooling_start + 1].normalized_power;
+        assert!(cooling_p < 0.6 * heating_p, "{heating_p} -> {cooling_p}");
+        // Temperature keeps falling during cooling.
+        let t_begin = r.series[r.cooling_start].temperature_k;
+        let t_end = r.series.last().unwrap().temperature_k;
+        assert!(t_end < t_begin - 2.0, "{t_begin} -> {t_end}");
+        // Idle power vs temperature is near-linear (Eq. 2's premise);
+        // sensor noise keeps R² well below 1 at quick scale.
+        assert!(r.linearity_r2 > 0.5, "R² {}", r.linearity_r2);
+        // Temperatures stay within Fig. 1's plausible 300-345 K band.
+        for p in &r.series {
+            assert!((295.0..350.0).contains(&p.temperature_k));
+        }
+    }
+}

@@ -1,0 +1,251 @@
+//! Fig. 2 — validation error of the dynamic (a) and chip (b) power
+//! models, per suite and VF state, under 4-fold cross-validation.
+//!
+//! Paper numbers: dynamic model 10.6% average AAE (per-VF 8.9 / 8.4 /
+//! 9.5 / 12.0 / 14.4% from VF5 to VF1, average SD 5.8%, outliers to
+//! 49% on DC/IS/dedup); chip model 4.6% average AAE, SD 2.8%.
+
+use crate::common::{Context, CvMachinery, SuiteErrors, TraceStore};
+use ppep_models::trainer::TrainingRig;
+use ppep_types::{Result, VfStateId};
+use ppep_workloads::Suite;
+
+/// Per-combo AAE at one VF state.
+#[derive(Debug, Clone)]
+pub struct ComboError {
+    /// Combination name.
+    pub name: String,
+    /// Owning suite.
+    pub suite: Suite,
+    /// The VF state validated at.
+    pub vf: VfStateId,
+    /// AAE of the dynamic power estimate across intervals.
+    pub dynamic_aae: f64,
+    /// AAE of the chip power estimate across intervals.
+    pub chip_aae: f64,
+}
+
+/// One aggregated cell of the figure.
+#[derive(Debug, Clone, Copy)]
+pub struct Cell {
+    /// VF state.
+    pub vf: VfStateId,
+    /// Suite (`None` = the figure's ALL column).
+    pub suite: Option<Suite>,
+    /// Aggregated dynamic-model errors.
+    pub dynamic: SuiteErrors,
+    /// Aggregated chip-model errors.
+    pub chip: SuiteErrors,
+}
+
+/// The experiment's result.
+#[derive(Debug, Clone)]
+pub struct Fig02Result {
+    /// All per-combo errors.
+    pub combos: Vec<ComboError>,
+    /// The figure's cells (per VF × suite plus ALL).
+    pub cells: Vec<Cell>,
+    /// Overall dynamic-model average AAE (paper: 10.6%).
+    pub dynamic_overall: f64,
+    /// Overall chip-model average AAE (paper: 4.6%).
+    pub chip_overall: f64,
+    /// Worst single-combo dynamic AAE (paper: up to 49%).
+    pub dynamic_worst: f64,
+    /// The five worst combinations by dynamic AAE — the paper names
+    /// DC and IS (NPB) and dedup (PARSEC) as its outliers.
+    pub worst_combos: Vec<(String, f64)>,
+}
+
+/// Runs the Fig. 2 study. The heavy lifting (trace collection) can be
+/// shared with Fig. 3 by passing the same `store`.
+///
+/// # Errors
+///
+/// Propagates model-fitting errors.
+pub fn run_with_store(ctx: &Context, store: &TraceStore) -> Result<Fig02Result> {
+    let budget = ctx.scale.budget();
+    let table = ctx.rig.config().topology.vf_table().clone();
+    let cv = CvMachinery::build(&ctx.rig, store, &budget, ctx.scale.folds())?;
+
+    // One dynamic model per fold.
+    let mut fold_models = Vec::with_capacity(cv.folds.k());
+    for fold in 0..cv.folds.k() {
+        fold_models.push(cv.fit_fold(fold, &ctx.rig, store)?);
+    }
+
+    let mut combos = Vec::new();
+    for (index, name) in cv.names.iter().enumerate() {
+        let fold = cv.fold_of(index);
+        let dynamic = &fold_models[fold];
+        let suite = store.suite_of(name).expect("combo exists in store");
+        for vf in table.states() {
+            let Some(trace) = store.get(name, vf) else { continue };
+            let voltage = table.point(vf).voltage;
+            let mut dyn_errs = Vec::new();
+            let mut chip_errs = Vec::new();
+            for record in &trace.records {
+                let idle_w =
+                    cv.idle.estimate(voltage, record.temperature).as_watts();
+                let measured = record.measured_power.as_watts();
+                let measured_dyn = measured - idle_w;
+                let sample = TrainingRig::dyn_sample_from(record, &cv.idle, &table);
+                let est_dyn = dynamic.estimate_core(&sample.rates, voltage).as_watts();
+                if measured_dyn > 0.5 {
+                    dyn_errs.push((est_dyn - measured_dyn).abs() / measured_dyn);
+                }
+                chip_errs.push((idle_w + est_dyn - measured).abs() / measured);
+            }
+            if chip_errs.is_empty() {
+                continue;
+            }
+            combos.push(ComboError {
+                name: name.clone(),
+                suite,
+                vf,
+                dynamic_aae: if dyn_errs.is_empty() {
+                    0.0
+                } else {
+                    ppep_regress::stats::mean(&dyn_errs)
+                },
+                chip_aae: ppep_regress::stats::mean(&chip_errs),
+            });
+        }
+    }
+
+    // Aggregate into the figure's cells.
+    let suites = [
+        Some(Suite::SpecCpu2006),
+        Some(Suite::Parsec),
+        Some(Suite::Npb),
+        None,
+    ];
+    let mut cells = Vec::new();
+    for vf in table.states() {
+        for suite in suites {
+            let select = |c: &&ComboError| {
+                c.vf == vf && suite.is_none_or(|s| c.suite == s)
+            };
+            let dyn_errs: Vec<f64> =
+                combos.iter().filter(select).map(|c| c.dynamic_aae).collect();
+            let chip_errs: Vec<f64> =
+                combos.iter().filter(select).map(|c| c.chip_aae).collect();
+            if let (Some(dynamic), Some(chip)) =
+                (SuiteErrors::of(&dyn_errs), SuiteErrors::of(&chip_errs))
+            {
+                cells.push(Cell { vf, suite, dynamic, chip });
+            }
+        }
+    }
+
+    let all_dyn: Vec<f64> = combos.iter().map(|c| c.dynamic_aae).collect();
+    let all_chip: Vec<f64> = combos.iter().map(|c| c.chip_aae).collect();
+    // Worst distinct combinations across all VF states.
+    let mut by_combo: std::collections::BTreeMap<String, f64> = std::collections::BTreeMap::new();
+    for c in &combos {
+        let slot = by_combo.entry(c.name.clone()).or_insert(0.0);
+        *slot = slot.max(c.dynamic_aae);
+    }
+    let mut worst_combos: Vec<(String, f64)> = by_combo.into_iter().collect();
+    worst_combos.sort_by(|a, b| b.1.total_cmp(&a.1));
+    worst_combos.truncate(5);
+    Ok(Fig02Result {
+        dynamic_overall: ppep_regress::stats::mean(&all_dyn),
+        chip_overall: ppep_regress::stats::mean(&all_chip),
+        dynamic_worst: all_dyn.iter().cloned().fold(0.0, f64::max),
+        worst_combos,
+        combos,
+        cells,
+    })
+}
+
+/// Collects traces and runs the study.
+///
+/// # Errors
+///
+/// Propagates model-fitting errors.
+pub fn run(ctx: &Context) -> Result<Fig02Result> {
+    let table = ctx.rig.config().topology.vf_table().clone();
+    let vfs: Vec<VfStateId> = table.states().collect();
+    let store = TraceStore::collect(
+        &ctx.rig,
+        &ctx.scale.roster(ctx.seed),
+        &vfs,
+        &ctx.scale.budget(),
+    );
+    run_with_store(ctx, &store)
+}
+
+/// Prints both panels of Fig. 2.
+pub fn print(result: &Fig02Result) {
+    println!("== Fig. 2a: dynamic power model validation error (paper avg 10.6%) ==");
+    print_panel(result, |c| c.dynamic);
+    println!();
+    println!("== Fig. 2b: chip power model validation error (paper avg 4.6%, SD 2.8%) ==");
+    print_panel(result, |c| c.chip);
+    println!();
+    println!(
+        "overall: dynamic {:.1}%  chip {:.1}%  worst dynamic combo {:.1}%",
+        result.dynamic_overall * 100.0,
+        result.chip_overall * 100.0,
+        result.dynamic_worst * 100.0
+    );
+    println!("worst combinations (paper: DC, IS, dedup):");
+    for (name, aae) in &result.worst_combos {
+        println!("  {name}: {:.1}%", aae * 100.0);
+    }
+}
+
+fn print_panel(result: &Fig02Result, pick: impl Fn(&Cell) -> SuiteErrors) {
+    let rows: Vec<Vec<String>> = result
+        .cells
+        .iter()
+        .map(|c| {
+            let e = pick(c);
+            vec![
+                c.vf.to_string(),
+                c.suite.map_or("ALL".to_string(), |s| s.abbrev().to_string()),
+                format!("{:.1}%", e.mean * 100.0),
+                format!("{:.1}%", e.std_dev * 100.0),
+                e.count.to_string(),
+            ]
+        })
+        .collect();
+    crate::common::print_table(&["VF", "suite", "avg AAE", "SD", "n"], &rows);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::{Scale, DEFAULT_SEED};
+
+    #[test]
+    fn fig2_shape_matches_paper() {
+        let ctx = Context::fx8320(Scale::Quick, DEFAULT_SEED);
+        let r = run(&ctx).unwrap();
+        assert!(!r.combos.is_empty());
+        // Chip error must be well below dynamic error (idle power is
+        // modelled accurately and dominates).
+        assert!(
+            r.chip_overall < r.dynamic_overall,
+            "chip {} !< dynamic {}",
+            r.chip_overall,
+            r.dynamic_overall
+        );
+        // Both stay in the paper's regime (generous quick-scale bands).
+        assert!(r.chip_overall < 0.12, "chip AAE {}", r.chip_overall);
+        assert!(r.dynamic_overall < 0.35, "dynamic AAE {}", r.dynamic_overall);
+        // Cells cover all five VF states with an ALL aggregate.
+        let all_cells: Vec<_> = r.cells.iter().filter(|c| c.suite.is_none()).collect();
+        assert_eq!(all_cells.len(), 5);
+        // Outlier bookkeeping: a sorted, non-empty top list whose head
+        // matches the reported maximum. (At full scale the rapid-phase
+        // benchmarks — dedup/IS/DC — appear in this list, matching the
+        // paper's named outliers; the quick roster is too small to
+        // guarantee that.)
+        assert!(!r.worst_combos.is_empty() && r.worst_combos.len() <= 5);
+        assert!((r.worst_combos[0].1 - r.dynamic_worst).abs() < 1e-12);
+        for w in r.worst_combos.windows(2) {
+            assert!(w[0].1 >= w[1].1, "worst list must be sorted");
+        }
+    }
+}

@@ -1,0 +1,196 @@
+//! Fig. 3 — power prediction **across** VF states.
+//!
+//! For every ordered pair `(VFi, VFj)` of the five states, power at
+//! `VFj` is predicted from counters gathered at `VFi` (via the
+//! hardware-event predictor) and compared against the average measured
+//! power of the same combination actually running at `VFj`.
+//!
+//! Paper numbers: dynamic prediction 5.5–13.7% per pair, 8.3% overall
+//! (SD 6.9%); chip prediction 2.7–6.3% per pair, 4.2% overall
+//! (SD 3.6%). Errors grow with VF distance and toward VF1.
+
+use crate::common::{Context, CvMachinery, SuiteErrors, TraceStore};
+use ppep_models::chip_power::ChipPowerModel;
+use ppep_types::{Result, VfStateId};
+
+/// Aggregated errors of one `(from, to)` pair.
+#[derive(Debug, Clone, Copy)]
+pub struct PairErrors {
+    /// Source state (counters gathered here).
+    pub from: VfStateId,
+    /// Target state (power predicted here).
+    pub to: VfStateId,
+    /// Dynamic-power prediction errors over all combos.
+    pub dynamic: SuiteErrors,
+    /// Chip-power prediction errors over all combos.
+    pub chip: SuiteErrors,
+}
+
+/// The experiment's result.
+#[derive(Debug, Clone)]
+pub struct Fig03Result {
+    /// One entry per ordered pair, in the paper's ordering (fastest
+    /// source first).
+    pub pairs: Vec<PairErrors>,
+    /// Overall dynamic average (paper: 8.3%).
+    pub dynamic_overall: f64,
+    /// Overall chip average (paper: 4.2%).
+    pub chip_overall: f64,
+}
+
+/// Runs the Fig. 3 study against an existing trace store.
+///
+/// # Errors
+///
+/// Propagates model errors.
+pub fn run_with_store(ctx: &Context, store: &TraceStore) -> Result<Fig03Result> {
+    let budget = ctx.scale.budget();
+    let table = ctx.rig.config().topology.vf_table().clone();
+    let cv = CvMachinery::build(&ctx.rig, store, &budget, ctx.scale.folds())?;
+
+    let mut fold_models = Vec::with_capacity(cv.folds.k());
+    for fold in 0..cv.folds.k() {
+        let dynamic = cv.fit_fold(fold, &ctx.rig, store)?;
+        fold_models.push(ChipPowerModel::new(cv.idle.clone(), dynamic));
+    }
+
+    let pair_list = table.state_pairs();
+    let mut dyn_errors: Vec<Vec<f64>> = vec![Vec::new(); pair_list.len()];
+    let mut chip_errors: Vec<Vec<f64>> = vec![Vec::new(); pair_list.len()];
+
+    for (index, name) in cv.names.iter().enumerate() {
+        let model = &fold_models[cv.fold_of(index)];
+        for (p, &(from, to)) in pair_list.iter().enumerate() {
+            let (Some(src), Some(dst)) = (store.get(name, from), store.get(name, to)) else {
+                continue;
+            };
+            // Mean predicted power at `to`, from every `from` interval.
+            let mut pred_chip = 0.0;
+            let mut pred_dyn = 0.0;
+            for record in &src.records {
+                pred_chip += model
+                    .predict_chip(&record.samples, from, to, &table, record.temperature)?
+                    .as_watts();
+                pred_dyn += model
+                    .predict_dynamic(&record.samples, from, to, &table)?
+                    .as_watts();
+            }
+            pred_chip /= src.records.len() as f64;
+            pred_dyn /= src.records.len() as f64;
+
+            // Mean measured power (and measured dynamic) at `to`.
+            let v_to = table.point(to).voltage;
+            let mut meas_chip = 0.0;
+            let mut meas_dyn = 0.0;
+            for record in &dst.records {
+                let idle = cv.idle.estimate(v_to, record.temperature).as_watts();
+                meas_chip += record.measured_power.as_watts();
+                meas_dyn += record.measured_power.as_watts() - idle;
+            }
+            meas_chip /= dst.records.len() as f64;
+            meas_dyn /= dst.records.len() as f64;
+
+            if meas_dyn > 0.5 {
+                dyn_errors[p].push((pred_dyn - meas_dyn).abs() / meas_dyn);
+            }
+            chip_errors[p].push((pred_chip - meas_chip).abs() / meas_chip);
+        }
+    }
+
+    let mut pairs = Vec::with_capacity(pair_list.len());
+    for (p, &(from, to)) in pair_list.iter().enumerate() {
+        if let (Some(dynamic), Some(chip)) =
+            (SuiteErrors::of(&dyn_errors[p]), SuiteErrors::of(&chip_errors[p]))
+        {
+            pairs.push(PairErrors { from, to, dynamic, chip });
+        }
+    }
+    let dynamic_overall = ppep_regress::stats::mean(
+        &pairs.iter().map(|p| p.dynamic.mean).collect::<Vec<_>>(),
+    );
+    let chip_overall =
+        ppep_regress::stats::mean(&pairs.iter().map(|p| p.chip.mean).collect::<Vec<_>>());
+    Ok(Fig03Result { pairs, dynamic_overall, chip_overall })
+}
+
+/// Collects traces and runs the study.
+///
+/// # Errors
+///
+/// Propagates model errors.
+pub fn run(ctx: &Context) -> Result<Fig03Result> {
+    let table = ctx.rig.config().topology.vf_table().clone();
+    let vfs: Vec<VfStateId> = table.states().collect();
+    let store = TraceStore::collect(
+        &ctx.rig,
+        &ctx.scale.roster(ctx.seed),
+        &vfs,
+        &ctx.scale.budget(),
+    );
+    run_with_store(ctx, &store)
+}
+
+/// Prints both panels of Fig. 3.
+pub fn print(result: &Fig03Result) {
+    println!("== Fig. 3: power prediction across VF states ==");
+    let rows: Vec<Vec<String>> = result
+        .pairs
+        .iter()
+        .map(|p| {
+            vec![
+                format!("{}->{}", p.from, p.to),
+                format!("{:.1}%", p.dynamic.mean * 100.0),
+                format!("{:.1}%", p.dynamic.std_dev * 100.0),
+                format!("{:.1}%", p.chip.mean * 100.0),
+                format!("{:.1}%", p.chip.std_dev * 100.0),
+            ]
+        })
+        .collect();
+    crate::common::print_table(
+        &["pair", "dyn AAE", "dyn SD", "chip AAE", "chip SD"],
+        &rows,
+    );
+    println!(
+        "overall: dynamic {:.1}% (paper 8.3%)  chip {:.1}% (paper 4.2%)",
+        result.dynamic_overall * 100.0,
+        result.chip_overall * 100.0
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::{Scale, DEFAULT_SEED};
+
+    #[test]
+    fn fig3_shape_matches_paper() {
+        let ctx = Context::fx8320(Scale::Quick, DEFAULT_SEED);
+        let r = run(&ctx).unwrap();
+        assert_eq!(r.pairs.len(), 25, "all ordered VF pairs");
+        // Chip prediction beats dynamic prediction.
+        assert!(r.chip_overall < r.dynamic_overall);
+        assert!(r.chip_overall < 0.12, "chip overall {}", r.chip_overall);
+        // The paper's trend: errors grow as the source state moves
+        // away from the training state (VF5). Compare the mean error
+        // across targets for VF5 sources versus VF1 sources.
+        let source_mean = |fi: usize, pick: fn(&PairErrors) -> f64| {
+            let v: Vec<f64> = r
+                .pairs
+                .iter()
+                .filter(|p| p.from.index() == fi)
+                .map(pick)
+                .collect();
+            ppep_regress::stats::mean(&v)
+        };
+        assert!(
+            source_mean(0, |p| p.chip.mean) > source_mean(4, |p| p.chip.mean),
+            "VF1-source chip error must exceed VF5-source: {} vs {}",
+            source_mean(0, |p| p.chip.mean),
+            source_mean(4, |p| p.chip.mean)
+        );
+        assert!(
+            source_mean(0, |p| p.dynamic.mean) > source_mean(4, |p| p.dynamic.mean),
+            "VF1-source dynamic error must exceed VF5-source"
+        );
+    }
+}

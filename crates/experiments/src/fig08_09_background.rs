@@ -1,0 +1,230 @@
+//! Figs. 8 and 9 — how background workloads impact per-thread energy
+//! and EDP (§V-C1).
+//!
+//! 433.milc (memory-bound) and 458.sjeng (CPU-bound) run with 1–4
+//! concurrent instances at VF5 (power gating enabled); PPEP projects
+//! per-thread energy and EDP at every VF state. The paper's three
+//! observations:
+//!
+//! 1. the lowest VF state minimises energy regardless of background
+//!    load (so static policies suffice for energy — dynamic policies
+//!    gain < 2%);
+//! 2. at high VF states a lone memory-bound instance uses *less*
+//!    per-thread energy than a multi-programmed run (NB contention
+//!    stretches execution);
+//! 3. a lone CPU-bound instance uses *more* per-thread energy than a
+//!    multi-programmed run (no one to share the chip's static power).
+//!
+//! Fig. 9's extra observation: the best-EDP state shifts down from
+//! VF5 as instances are added.
+
+use crate::common::Context;
+use ppep_core::Ppep;
+use ppep_dvfs::optimal::{best_edp_state, per_thread_ppe, PerThreadPpe};
+use ppep_sim::chip::ChipSimulator;
+use ppep_types::{Result, VfStateId};
+use ppep_workloads::combos::instances;
+
+/// One workload × instance-count sweep entry.
+#[derive(Debug, Clone)]
+pub struct SweepEntry {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Number of concurrent instances.
+    pub instances: usize,
+    /// Per-thread PPE at each VF state, slowest first.
+    pub per_thread: Vec<PerThreadPpe>,
+    /// The state with the lowest per-thread energy.
+    pub best_energy: VfStateId,
+    /// The state with the lowest per-thread EDP.
+    pub best_edp: VfStateId,
+}
+
+/// The experiment's result (Figs. 8 and 9 share the sweep).
+#[derive(Debug, Clone)]
+pub struct Fig0809Result {
+    /// All sweep entries (two benchmarks × four instance counts).
+    pub entries: Vec<SweepEntry>,
+    /// Relative energy gain of an oracle dynamic policy over the best
+    /// static policy across the sweep (paper: < 2%).
+    pub dynamic_policy_gain: f64,
+}
+
+/// Projects one workload's sweep entry.
+fn project_entry(ctx: &Context, ppep: &Ppep, benchmark: &str, n: usize) -> Result<SweepEntry> {
+    let mut sim = ChipSimulator::new(ppep_sim::chip::SimConfig::fx8320_pg(ctx.seed));
+    sim.load_workload(&instances(benchmark, n, ctx.seed));
+    let warmup = match ctx.scale {
+        crate::common::Scale::Full => 20,
+        crate::common::Scale::Quick => 8,
+    };
+    let record = sim.run_intervals(warmup).pop().expect("warmup > 0");
+    let projection = ppep.project(&record)?;
+    let per_thread = per_thread_ppe(&projection, n)?;
+    let best_energy = per_thread
+        .iter()
+        .min_by(|a, b| a.energy.total_cmp(&b.energy))
+        .expect("non-empty ladder")
+        .vf;
+    Ok(SweepEntry {
+        benchmark: benchmark.to_string(),
+        instances: n,
+        best_edp: best_edp_state(&per_thread),
+        per_thread,
+        best_energy,
+    })
+}
+
+/// Runs the Figs. 8/9 sweep.
+///
+/// # Errors
+///
+/// Propagates training and projection errors.
+pub fn run(ctx: &Context) -> Result<Fig0809Result> {
+    let models = ctx.train_models()?;
+    let ppep = Ppep::new(models);
+    run_with_engine(ctx, &ppep)
+}
+
+/// Runs the sweep with an already-trained engine (shared with the
+/// Fig. 10/11 studies).
+///
+/// # Errors
+///
+/// Propagates projection errors.
+pub fn run_with_engine(ctx: &Context, ppep: &Ppep) -> Result<Fig0809Result> {
+    let mut entries = Vec::new();
+    for benchmark in ["433.milc", "458.sjeng"] {
+        for n in 1..=4 {
+            entries.push(project_entry(ctx, ppep, benchmark, n)?);
+        }
+    }
+    // Oracle dynamic policy vs best static: since every entry's
+    // energy-vs-VF curve has one minimiser, the gain of switching
+    // states per phase is bounded by the spread between the best
+    // static state's energy and the per-entry minima.
+    let mut static_total = [0.0; 8];
+    let mut oracle_total = 0.0;
+    for (i, e) in entries.iter().enumerate() {
+        let _ = i;
+        for (s, slot) in static_total.iter_mut().enumerate().take(e.per_thread.len()) {
+            *slot += e.per_thread[s].energy;
+        }
+        oracle_total += e
+            .per_thread
+            .iter()
+            .map(|p| p.energy)
+            .fold(f64::INFINITY, f64::min);
+    }
+    let best_static = static_total
+        .iter()
+        .take(entries[0].per_thread.len())
+        .fold(f64::INFINITY, |a, &b| a.min(b));
+    let dynamic_policy_gain = (best_static - oracle_total) / best_static;
+
+    Ok(Fig0809Result { entries, dynamic_policy_gain })
+}
+
+/// Prints the Figs. 8/9 tables (normalised per benchmark to its
+/// maximum, matching the paper's normalised plots).
+pub fn print(result: &Fig0809Result) {
+    println!("== Fig. 8: per-thread energy (normalised) ==");
+    print_metric(result, |p| p.energy);
+    println!();
+    println!("== Fig. 9: per-thread EDP (normalised) ==");
+    print_metric(result, |p| p.edp);
+    println!();
+    for e in &result.entries {
+        println!(
+            "{} x{}: best energy at {}, best EDP at {}",
+            e.benchmark, e.instances, e.best_energy, e.best_edp
+        );
+    }
+    println!(
+        "oracle dynamic policy gain over best static: {} (paper: < 2%)",
+        crate::common::pct(result.dynamic_policy_gain)
+    );
+}
+
+fn print_metric(result: &Fig0809Result, pick: impl Fn(&PerThreadPpe) -> f64) {
+    let mut rows = Vec::new();
+    for e in &result.entries {
+        let max = e.per_thread.iter().map(&pick).fold(0.0, f64::max);
+        let mut row = vec![format!("{} x{}", e.benchmark, e.instances)];
+        for p in e.per_thread.iter().rev() {
+            row.push(format!("{:.2}", pick(p) / max));
+        }
+        rows.push(row);
+    }
+    crate::common::print_table(&["workload", "VF5", "VF4", "VF3", "VF2", "VF1"], &rows);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::{Scale, DEFAULT_SEED};
+
+    #[test]
+    fn fig8_9_observations_hold() {
+        let ctx = Context::fx8320(Scale::Quick, DEFAULT_SEED);
+        let r = run(&ctx).unwrap();
+        assert_eq!(r.entries.len(), 8);
+        let table = ppep_types::VfTable::fx8320();
+        // Observation 1: lowest VF minimises per-thread energy.
+        for e in &r.entries {
+            assert_eq!(
+                e.best_energy,
+                table.lowest(),
+                "{} x{} energy-optimal at {}",
+                e.benchmark,
+                e.instances,
+                e.best_energy
+            );
+        }
+        let vf5 = table.highest().index();
+        let energy_at = |bench: &str, n: usize, vf: usize| {
+            r.entries
+                .iter()
+                .find(|e| e.benchmark == bench && e.instances == n)
+                .unwrap()
+                .per_thread[vf]
+                .energy
+        };
+        // Observation 2: at VF5, milc x1 per-thread energy < milc x4.
+        assert!(
+            energy_at("433.milc", 1, vf5) < energy_at("433.milc", 4, vf5),
+            "NB contention must penalise multi-instance memory-bound work"
+        );
+        // Observation 3: at VF5, sjeng x1 per-thread energy > sjeng x4.
+        assert!(
+            energy_at("458.sjeng", 1, vf5) > energy_at("458.sjeng", 4, vf5),
+            "CPU-bound instances share static power"
+        );
+        // Static policies are near-optimal for energy.
+        assert!(
+            r.dynamic_policy_gain < 0.05,
+            "dynamic policy gain {} (paper < 2%)",
+            r.dynamic_policy_gain
+        );
+    }
+
+    #[test]
+    fn fig9_best_edp_shifts_down_with_instances() {
+        let ctx = Context::fx8320(Scale::Quick, DEFAULT_SEED);
+        let r = run(&ctx).unwrap();
+        let best = |bench: &str, n: usize| {
+            r.entries
+                .iter()
+                .find(|e| e.benchmark == bench && e.instances == n)
+                .unwrap()
+                .best_edp
+        };
+        // With more background instances the best-EDP state must not
+        // move up, and for milc it must strictly drop below VF5.
+        for bench in ["433.milc", "458.sjeng"] {
+            assert!(best(bench, 4) <= best(bench, 1), "{bench}");
+        }
+        let table = ppep_types::VfTable::fx8320();
+        assert!(best("433.milc", 4) < table.highest());
+    }
+}

@@ -1,0 +1,190 @@
+//! Fig. 11 — what a DVFS-capable north bridge would buy (§V-C2).
+//!
+//! The study adds a hypothetical low NB point (0.940 V, 1.1 GHz; idle
+//! −40%, dynamic −36%, leading-load cycles +50%) and re-evaluates the
+//! PPE of every (core VF × NB VF) combination:
+//!
+//! * **energy saving** (Fig. 11a): how much lower the minimum energy
+//!   over the extended space is, versus the NB-high-only space —
+//!   paper: 26/23/21/20% for milc ×1–4, 25/19/16/14% for sjeng,
+//!   20.4% average;
+//! * **speedup** (Fig. 11b): with (core-VF1, NB-high) as the energy
+//!   baseline, the fastest configuration with similar-or-less energy —
+//!   paper: 1.54/1.30/1.27/1.25× for milc, 1.99/1.19/1.19/1.20× for
+//!   sjeng, 1.37× average.
+
+use crate::common::Context;
+use ppep_core::Ppep;
+use ppep_sim::chip::ChipSimulator;
+use ppep_types::vf::NbVfState;
+use ppep_types::Result;
+use ppep_workloads::combos::instances;
+
+/// One workload's Fig. 11 outcome.
+#[derive(Debug, Clone)]
+pub struct NbDvfsEntry {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Concurrent instances.
+    pub instances: usize,
+    /// Fractional energy saving from NB scaling.
+    pub energy_saving: f64,
+    /// Speedup at similar energy versus (core-VF1, NB-high).
+    pub speedup: f64,
+}
+
+/// The experiment's result.
+#[derive(Debug, Clone)]
+pub struct Fig11Result {
+    /// One entry per workload (milc/sjeng × 1–4).
+    pub entries: Vec<NbDvfsEntry>,
+    /// Average energy saving (paper: 20.4%).
+    pub average_saving: f64,
+    /// Average speedup (paper: 1.37×).
+    pub average_speedup: f64,
+}
+
+/// Runs the Fig. 11 study.
+///
+/// # Errors
+///
+/// Propagates training and projection errors.
+pub fn run(ctx: &Context) -> Result<Fig11Result> {
+    let models = ctx.train_models()?;
+    let ppep = Ppep::new(models);
+    run_with_engine(ctx, &ppep)
+}
+
+/// Runs with an already-trained engine.
+///
+/// # Errors
+///
+/// Propagates projection errors.
+pub fn run_with_engine(ctx: &Context, ppep: &Ppep) -> Result<Fig11Result> {
+    let warmup = match ctx.scale {
+        crate::common::Scale::Full => 20,
+        crate::common::Scale::Quick => 8,
+    };
+    let mut entries = Vec::new();
+    for benchmark in ["433.milc", "458.sjeng"] {
+        for n in 1..=4 {
+            let mut sim = ChipSimulator::new(ppep_sim::chip::SimConfig::fx8320_pg(ctx.seed));
+            sim.load_workload(&instances(benchmark, n, ctx.seed));
+            let record = sim.run_intervals(warmup).pop().expect("warmup > 0");
+
+            let hi = ppep.project_nb(&record, NbVfState::High)?;
+            let lo = ppep.project_nb(&record, NbVfState::Low)?;
+
+            // Energy saving: minimum over the extended space vs the
+            // NB-high-only space.
+            let min_hi = hi
+                .chip
+                .iter()
+                .map(|c| c.energy.as_joules())
+                .fold(f64::INFINITY, f64::min);
+            let min_all = lo
+                .chip
+                .iter()
+                .map(|c| c.energy.as_joules())
+                .fold(min_hi, f64::min);
+            let energy_saving = (min_hi - min_all) / min_hi;
+
+            // Speedup at similar energy: baseline is (core-VF1, NB-hi).
+            let table = ppep.models().vf_table();
+            let baseline = hi.chip_at(table.lowest());
+            let baseline_energy = baseline.energy.as_joules();
+            let baseline_time = baseline.time_for_work.as_secs();
+            let best_time = hi
+                .chip
+                .iter()
+                .chain(lo.chip.iter())
+                .filter(|c| c.energy.as_joules() <= baseline_energy * 1.02)
+                .map(|c| c.time_for_work.as_secs())
+                .fold(baseline_time, f64::min);
+            let speedup = baseline_time / best_time;
+
+            entries.push(NbDvfsEntry {
+                benchmark: benchmark.to_string(),
+                instances: n,
+                energy_saving,
+                speedup,
+            });
+        }
+    }
+    let average_saving = ppep_regress::stats::mean(
+        &entries.iter().map(|e| e.energy_saving).collect::<Vec<_>>(),
+    );
+    let average_speedup =
+        ppep_regress::stats::mean(&entries.iter().map(|e| e.speedup).collect::<Vec<_>>());
+    Ok(Fig11Result { entries, average_saving, average_speedup })
+}
+
+/// Prints the Fig. 11 rows.
+pub fn print(result: &Fig11Result) {
+    println!("== Fig. 11: scalable-NB energy savings and speedup ==");
+    let rows: Vec<Vec<String>> = result
+        .entries
+        .iter()
+        .map(|e| {
+            vec![
+                format!("{} x{}", e.benchmark, e.instances),
+                crate::common::pct(e.energy_saving),
+                format!("{:.2}x", e.speedup),
+            ]
+        })
+        .collect();
+    crate::common::print_table(&["workload", "energy saving", "speedup"], &rows);
+    println!(
+        "averages: saving {} (paper 20.4%)  speedup {:.2}x (paper 1.37x)",
+        crate::common::pct(result.average_saving),
+        result.average_speedup
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::{Scale, DEFAULT_SEED};
+
+    #[test]
+    fn nb_dvfs_offers_savings_and_speedup() {
+        let ctx = Context::fx8320(Scale::Quick, DEFAULT_SEED);
+        let r = run(&ctx).unwrap();
+        assert_eq!(r.entries.len(), 8);
+        // Every workload saves energy from NB scaling.
+        for e in &r.entries {
+            assert!(
+                e.energy_saving > 0.02,
+                "{} x{}: saving {}",
+                e.benchmark,
+                e.instances,
+                e.energy_saving
+            );
+            assert!(e.speedup >= 1.0);
+        }
+        // Averages in the paper's regime (±big-simulation slack).
+        assert!(
+            (0.05..0.45).contains(&r.average_saving),
+            "average saving {}",
+            r.average_saving
+        );
+        assert!(r.average_speedup > 1.05, "average speedup {}", r.average_speedup);
+        // Memory-bound workloads gain more from NB scaling, on
+        // average, than CPU-bound ones — the Fig. 11a ordering.
+        let avg = |bench: &str| {
+            let v: Vec<f64> = r
+                .entries
+                .iter()
+                .filter(|e| e.benchmark == bench)
+                .map(|e| e.energy_saving)
+                .collect();
+            ppep_regress::stats::mean(&v)
+        };
+        assert!(
+            avg("433.milc") > avg("458.sjeng"),
+            "milc {} vs sjeng {}",
+            avg("433.milc"),
+            avg("458.sjeng")
+        );
+    }
+}

@@ -1,0 +1,186 @@
+//! §IV-B2 / §IV-C2 — validation on the AMD Phenom™ II X6 1090T.
+//!
+//! The paper re-validates its models on a second platform using
+//! PARSEC and NPB: dynamic-model AAE 8.2/7.3/7.1% at VF4–VF2, chip
+//! model 3.6/3.1/2.6%; cross-VF prediction between VF4/VF3/VF2
+//! averages 5.6% (dynamic) and 3.1% (chip).
+
+use crate::common::{Context, CvMachinery, Scale, TraceStore};
+use ppep_models::chip_power::ChipPowerModel;
+use ppep_models::trainer::TrainingRig;
+use ppep_types::{Result, VfStateId};
+use ppep_workloads::combos::{npb_runs, parsec_runs};
+use ppep_workloads::WorkloadSpec;
+
+/// The experiment's result.
+#[derive(Debug, Clone)]
+pub struct PhenomResult {
+    /// `(vf, dynamic AAE, chip AAE)` per validated VF state, slowest
+    /// first.
+    pub per_vf: Vec<(VfStateId, f64, f64)>,
+    /// Overall cross-VF dynamic prediction error.
+    pub cross_dynamic: f64,
+    /// Overall cross-VF chip prediction error.
+    pub cross_chip: f64,
+}
+
+fn phenom_roster(ctx: &Context) -> Vec<WorkloadSpec> {
+    // PARSEC + NPB only (§IV-B2), capped to the 6-core chip.
+    let mut roster: Vec<WorkloadSpec> = parsec_runs(ctx.seed)
+        .into_iter()
+        .chain(npb_runs(ctx.seed))
+        .filter(|w| w.thread_count() <= 6)
+        .collect();
+    if ctx.scale == Scale::Quick {
+        roster = roster.into_iter().step_by(6).take(10).collect();
+    }
+    roster
+}
+
+/// Runs the Phenom II validation.
+///
+/// # Errors
+///
+/// Propagates fitting and prediction errors.
+pub fn run(ctx_fx: &Context) -> Result<PhenomResult> {
+    // Build a Phenom context at the same scale/seed.
+    let ctx = Context::phenom_ii_x6(ctx_fx.scale, ctx_fx.seed);
+    let table = ctx.rig.config().topology.vf_table().clone();
+    let budget = ctx.scale.budget();
+    let roster = phenom_roster(&ctx);
+    let vfs: Vec<VfStateId> = table.states().collect();
+    let store = TraceStore::collect(&ctx.rig, &roster, &vfs, &budget);
+    let cv = CvMachinery::build(&ctx.rig, &store, &budget, ctx.scale.folds())?;
+
+    let mut fold_models = Vec::with_capacity(cv.folds.k());
+    for fold in 0..cv.folds.k() {
+        let dynamic = cv.fit_fold(fold, &ctx.rig, &store)?;
+        fold_models.push(ChipPowerModel::new(cv.idle.clone(), dynamic));
+    }
+
+    // Same-state validation per VF.
+    let mut per_vf = Vec::new();
+    for vf in table.states() {
+        let voltage = table.point(vf).voltage;
+        let mut dyn_errs = Vec::new();
+        let mut chip_errs = Vec::new();
+        for (index, name) in cv.names.iter().enumerate() {
+            let model = &fold_models[cv.fold_of(index)];
+            let Some(trace) = store.get(name, vf) else { continue };
+            for record in &trace.records {
+                let idle_w = cv.idle.estimate(voltage, record.temperature).as_watts();
+                let measured = record.measured_power.as_watts();
+                let sample = TrainingRig::dyn_sample_from(record, &cv.idle, &table);
+                let est = model
+                    .dynamic_model()
+                    .estimate_core(&sample.rates, voltage)
+                    .as_watts();
+                let measured_dyn = measured - idle_w;
+                if measured_dyn > 0.5 {
+                    dyn_errs.push((est - measured_dyn).abs() / measured_dyn);
+                }
+                chip_errs.push((idle_w + est - measured).abs() / measured);
+            }
+        }
+        per_vf.push((
+            vf,
+            ppep_regress::stats::mean(&dyn_errs),
+            ppep_regress::stats::mean(&chip_errs),
+        ));
+    }
+
+    // Cross-VF between the middle states (paper: VF4/VF3/VF2).
+    let cross_states: Vec<VfStateId> = table.states().skip(1).collect();
+    let mut cross_dyn = Vec::new();
+    let mut cross_chip = Vec::new();
+    for &from in &cross_states {
+        for &to in &cross_states {
+            for (index, name) in cv.names.iter().enumerate() {
+                let model = &fold_models[cv.fold_of(index)];
+                let (Some(src), Some(dst)) = (store.get(name, from), store.get(name, to))
+                else {
+                    continue;
+                };
+                let mut pred = 0.0;
+                for r in &src.records {
+                    pred += model
+                        .predict_chip(&r.samples, from, to, &table, r.temperature)?
+                        .as_watts();
+                }
+                pred /= src.records.len() as f64;
+                let meas = dst
+                    .records
+                    .iter()
+                    .map(|r| r.measured_power.as_watts())
+                    .sum::<f64>()
+                    / dst.records.len() as f64;
+                cross_chip.push((pred - meas).abs() / meas);
+                // Dynamic-only comparison.
+                let v_to = table.point(to).voltage;
+                let mut pred_dyn = 0.0;
+                for r in &src.records {
+                    pred_dyn += model
+                        .predict_dynamic(&r.samples, from, to, &table)?
+                        .as_watts();
+                }
+                pred_dyn /= src.records.len() as f64;
+                let meas_dyn = dst
+                    .records
+                    .iter()
+                    .map(|r| {
+                        r.measured_power.as_watts()
+                            - cv.idle.estimate(v_to, r.temperature).as_watts()
+                    })
+                    .sum::<f64>()
+                    / dst.records.len() as f64;
+                if meas_dyn > 0.5 {
+                    cross_dyn.push((pred_dyn - meas_dyn).abs() / meas_dyn);
+                }
+            }
+        }
+    }
+
+    Ok(PhenomResult {
+        per_vf,
+        cross_dynamic: ppep_regress::stats::mean(&cross_dyn),
+        cross_chip: ppep_regress::stats::mean(&cross_chip),
+    })
+}
+
+/// Prints the Phenom II validation summary.
+pub fn print(result: &PhenomResult) {
+    println!("== §IV-B2/C2: AMD Phenom II X6 1090T validation ==");
+    let rows: Vec<Vec<String>> = result
+        .per_vf
+        .iter()
+        .rev()
+        .map(|(vf, d, c)| {
+            vec![vf.to_string(), crate::common::pct(*d), crate::common::pct(*c)]
+        })
+        .collect();
+    crate::common::print_table(&["VF", "dynamic AAE", "chip AAE"], &rows);
+    println!(
+        "cross-VF (upper three states): dynamic {} (paper 5.6%)  chip {} (paper 3.1%)",
+        crate::common::pct(result.cross_dynamic),
+        crate::common::pct(result.cross_chip)
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::DEFAULT_SEED;
+
+    #[test]
+    fn models_generalise_to_the_second_platform() {
+        let ctx = Context::fx8320(Scale::Quick, DEFAULT_SEED);
+        let r = run(&ctx).unwrap();
+        assert_eq!(r.per_vf.len(), 4, "Phenom has four VF states");
+        for (vf, dyn_aae, chip_aae) in &r.per_vf {
+            assert!(*chip_aae < *dyn_aae, "{vf}: chip must beat dynamic");
+            assert!(*chip_aae < 0.12, "{vf} chip AAE {chip_aae}");
+        }
+        assert!(r.cross_chip < 0.12, "cross chip {}", r.cross_chip);
+        assert!(r.cross_chip < r.cross_dynamic);
+    }
+}

@@ -1,0 +1,345 @@
+//! The hardware-event predictor (§IV-C1).
+//!
+//! Predicting power at *other* VF states requires the event counts the
+//! chip *would* produce there. Two measured invariances make that
+//! possible:
+//!
+//! * **Observation 1** — per-instruction counts of the core-private
+//!   events (E1–E8) do not depend on the VF state: they are the
+//!   "fingerprint" of the (application, microarchitecture) pair.
+//! * **Observation 2** — `CPI − DispatchStalls/inst` does not depend
+//!   on the VF state, because it equals
+//!   `1/IssueWidth + MisBranchPen · mispredicts/inst` (Eq. 6), none of
+//!   whose terms are frequency-dependent.
+//!
+//! So: project CPI to the target frequency with the LL-MAB model
+//! (Eq. 1), derive the target instruction throughput, carry E1–E8 over
+//! per instruction, and recover E9 from the invariant gap.
+
+use crate::cpi::CpiObservation;
+use ppep_pmc::events::EventId;
+use ppep_pmc::sampler::IntervalSample;
+use ppep_pmc::EventCounts;
+use ppep_types::{Error, Result, Seconds, VfPoint};
+
+/// Predicted per-core state at a target VF point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PredictedCoreState {
+    /// Per-second event rates of all twelve events at the target.
+    pub rates: EventCounts,
+    /// Predicted CPI at the target.
+    pub cpi: f64,
+    /// Predicted instructions per second at the target.
+    pub ips: f64,
+}
+
+impl PredictedCoreState {
+    /// The E1–E9 rate vector for the dynamic power model.
+    pub fn power_rates(&self) -> [f64; 9] {
+        self.rates.power_model_vector()
+    }
+
+    /// Converts rates to expected counts over an interval.
+    pub fn expected_counts(&self, dt: Seconds) -> EventCounts {
+        self.rates.to_counts(dt)
+    }
+}
+
+/// The stateless event predictor of Fig. 5 (step 2).
+///
+/// ```
+/// use ppep_models::HwEventPredictor;
+/// use ppep_pmc::sampler::IntervalSample;
+/// use ppep_pmc::{EventCounts, EventId};
+/// use ppep_types::{Seconds, VfTable};
+///
+/// # fn main() -> ppep_types::Result<()> {
+/// // A fully-busy core at VF5: CPI 2.0, 1.2 of it memory time.
+/// let table = VfTable::fx8320();
+/// let dt = Seconds::new(0.2);
+/// let cycles = 3.5e9 * dt.as_secs();
+/// let inst = cycles / 2.0;
+/// let mut counts = EventCounts::zero();
+/// counts.set(EventId::CpuClocksNotHalted, cycles);
+/// counts.set(EventId::RetiredInstructions, inst);
+/// counts.set(EventId::MabWaitCycles, 1.2 * inst);
+/// counts.set(EventId::RetiredUops, 1.3 * inst);
+/// let sample = IntervalSample { counts, duration: dt };
+///
+/// let predicted = HwEventPredictor::new().predict(
+///     &sample,
+///     table.point(table.highest()),
+///     table.point(table.lowest()),
+/// )?;
+/// // Memory cycles shrink with frequency, so CPI improves at VF1…
+/// assert!(predicted.cpi < 2.0);
+/// // …while the per-instruction µop fingerprint is untouched.
+/// let uops_per_inst = predicted.rates.get(EventId::RetiredUops) / predicted.ips;
+/// assert!((uops_per_inst - 1.3).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HwEventPredictor;
+
+impl HwEventPredictor {
+    /// Creates the predictor.
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Predicts a core's per-second event rates at `to`, from a sample
+    /// measured at `from`.
+    ///
+    /// An idle sample (no retired instructions) predicts an idle core:
+    /// all-zero rates with zero CPI/IPS.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidInput`] when the sample's counts are
+    /// non-finite or the VF points are non-positive.
+    pub fn predict(
+        &self,
+        sample: &IntervalSample,
+        from: VfPoint,
+        to: VfPoint,
+    ) -> Result<PredictedCoreState> {
+        self.predict_scaled(sample, from, to, 1.0)
+    }
+
+    /// Like [`HwEventPredictor::predict`], but with a memory-latency
+    /// factor applied to the projected memory cycles — the §V-C2 NB
+    /// study's "+50% leading-load cycles at NB-VF_lo" is
+    /// `memory_factor = 1.5`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`HwEventPredictor::predict`], plus a non-positive
+    /// `memory_factor`.
+    pub fn predict_scaled(
+        &self,
+        sample: &IntervalSample,
+        from: VfPoint,
+        to: VfPoint,
+        memory_factor: f64,
+    ) -> Result<PredictedCoreState> {
+        if memory_factor <= 0.0 || !memory_factor.is_finite() {
+            return Err(Error::InvalidInput("memory factor must be positive".into()));
+        }
+        if !sample.counts.is_finite() {
+            return Err(Error::InvalidInput("sample counts must be finite".into()));
+        }
+        if from.frequency.as_ghz() <= 0.0 || to.frequency.as_ghz() <= 0.0 {
+            return Err(Error::InvalidInput("frequencies must be positive".into()));
+        }
+        let inst = sample.counts.get(EventId::RetiredInstructions);
+        if inst <= 0.0 {
+            return Ok(PredictedCoreState { rates: EventCounts::zero(), cpi: 0.0, ips: 0.0 });
+        }
+        let obs = CpiObservation::from_sample(sample, from.frequency)?;
+        let cpi_target = obs.predict_cpi_scaled(to.frequency, memory_factor);
+        let mcpi_target = obs.predict_mcpi(to.frequency) * memory_factor;
+        // A core that was only partially unhalted during the source
+        // interval (e.g. its thread finished mid-interval) is assumed
+        // to stay proportionally utilised at the target.
+        let unhalted_rate = sample.counts.get(EventId::CpuClocksNotHalted)
+            / sample.duration.as_secs();
+        let utilization = (unhalted_rate / from.frequency.as_hz()).min(1.0);
+        let ips = utilization * to.frequency.as_hz() / cpi_target;
+
+        let per_inst = sample
+            .counts
+            .per_instruction()
+            .expect("inst > 0 checked above");
+
+        let mut rates = EventCounts::zero();
+        // Observation 1: E1-E8 carry over per instruction.
+        for e in [
+            EventId::RetiredUops,
+            EventId::FpuPipeAssignment,
+            EventId::InstructionCacheFetches,
+            EventId::DataCacheAccesses,
+            EventId::RequestsToL2,
+            EventId::RetiredBranches,
+            EventId::RetiredMispredictedBranches,
+            EventId::L2CacheMisses,
+        ] {
+            rates.set(e, per_inst.get(e) * ips);
+        }
+        // Observation 2: the (CPI - DSPI) gap is VF-invariant.
+        let dspi_source = sample.counts.dispatch_stalls_per_inst().unwrap_or(0.0);
+        let gap = obs.cpi() - dspi_source;
+        let dspi_target = (cpi_target - gap).max(0.0);
+        rates.set(EventId::DispatchStalls, dspi_target * ips);
+        // Performance events follow directly from the CPI projection.
+        rates.set(EventId::CpuClocksNotHalted, cpi_target * ips);
+        rates.set(EventId::RetiredInstructions, ips);
+        rates.set(EventId::MabWaitCycles, mcpi_target * ips);
+
+        Ok(PredictedCoreState { rates, cpi: cpi_target, ips })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppep_types::{Gigahertz, Volts};
+
+    fn point(v: f64, f: f64) -> VfPoint {
+        VfPoint::new(Volts::new(v), Gigahertz::new(f))
+    }
+
+    /// Builds a consistent sample: CPI 2.0 (1.2 memory) at 3.5 GHz
+    /// over 200 ms.
+    fn sample_at_vf5() -> IntervalSample {
+        let dt = Seconds::new(0.2);
+        let cpi = 2.0;
+        let mcpi = 1.2;
+        let cycles = 3.5e9 * dt.as_secs();
+        let inst = cycles / cpi;
+        let mut c = EventCounts::zero();
+        c.set(EventId::RetiredInstructions, inst);
+        c.set(EventId::CpuClocksNotHalted, cycles);
+        c.set(EventId::MabWaitCycles, mcpi * inst);
+        c.set(EventId::RetiredUops, 1.3 * inst);
+        c.set(EventId::FpuPipeAssignment, 0.4 * inst);
+        c.set(EventId::InstructionCacheFetches, 0.2 * inst);
+        c.set(EventId::DataCacheAccesses, 0.5 * inst);
+        c.set(EventId::RequestsToL2, 0.05 * inst);
+        c.set(EventId::RetiredBranches, 0.1 * inst);
+        c.set(EventId::RetiredMispredictedBranches, 0.004 * inst);
+        c.set(EventId::L2CacheMisses, 0.02 * inst);
+        c.set(EventId::DispatchStalls, (0.3 + 0.95 * mcpi) * inst);
+        IntervalSample { counts: c, duration: dt }
+    }
+
+    #[test]
+    fn same_state_prediction_is_identity() {
+        let s = sample_at_vf5();
+        let vf5 = point(1.320, 3.5);
+        let pred = HwEventPredictor::new().predict(&s, vf5, vf5).unwrap();
+        let measured_rates = s.rates();
+        for (e, v) in pred.rates.iter() {
+            assert!(
+                (v - measured_rates.get(e)).abs() / measured_rates.get(e).max(1.0) < 1e-9,
+                "{e}: {v} vs {}",
+                measured_rates.get(e)
+            );
+        }
+        assert!((pred.cpi - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_instruction_rates_are_preserved() {
+        let s = sample_at_vf5();
+        let pred = HwEventPredictor::new()
+            .predict(&s, point(1.320, 3.5), point(0.888, 1.4))
+            .unwrap();
+        let src_pi = s.counts.per_instruction().unwrap();
+        // E1-E8 per instruction must be identical at the target.
+        for e in [
+            EventId::RetiredUops,
+            EventId::DataCacheAccesses,
+            EventId::L2CacheMisses,
+        ] {
+            let tgt_pi = pred.rates.get(e) / pred.ips;
+            assert!((tgt_pi - src_pi.get(e)).abs() < 1e-12, "{e} fingerprint broken");
+        }
+    }
+
+    #[test]
+    fn observation_2_gap_is_carried_over() {
+        let s = sample_at_vf5();
+        let pred = HwEventPredictor::new()
+            .predict(&s, point(1.320, 3.5), point(1.008, 1.7))
+            .unwrap();
+        let src_gap = s.cpi().unwrap() - s.counts.dispatch_stalls_per_inst().unwrap();
+        let tgt_dspi = pred.rates.get(EventId::DispatchStalls) / pred.ips;
+        let tgt_gap = pred.cpi - tgt_dspi;
+        assert!((src_gap - tgt_gap).abs() < 1e-12, "{src_gap} vs {tgt_gap}");
+    }
+
+    #[test]
+    fn memory_cycles_scale_with_frequency() {
+        let s = sample_at_vf5();
+        let pred = HwEventPredictor::new()
+            .predict(&s, point(1.320, 3.5), point(1.008, 1.7))
+            .unwrap();
+        let mcpi_target = pred.rates.get(EventId::MabWaitCycles) / pred.ips;
+        assert!((mcpi_target - 1.2 * 1.7 / 3.5).abs() < 1e-12);
+        // CPI improves at the lower frequency for memory-bound work.
+        assert!(pred.cpi < 2.0);
+    }
+
+    #[test]
+    fn round_trip_through_a_state_is_identity() {
+        let s = sample_at_vf5();
+        let vf5 = point(1.320, 3.5);
+        let vf2 = point(1.008, 1.7);
+        let p = HwEventPredictor::new();
+        let down = p.predict(&s, vf5, vf2).unwrap();
+        // Re-materialise an interval sample at VF2 and predict back.
+        let down_sample = IntervalSample {
+            counts: down.expected_counts(Seconds::new(0.2)),
+            duration: Seconds::new(0.2),
+        };
+        let back = p.predict(&down_sample, vf2, vf5).unwrap();
+        let orig = s.rates();
+        for (e, v) in back.rates.iter() {
+            let o = orig.get(e);
+            assert!((v - o).abs() / o.max(1.0) < 1e-9, "{e}: {v} vs {o}");
+        }
+    }
+
+    #[test]
+    fn idle_core_predicts_idle() {
+        let s = IntervalSample { counts: EventCounts::zero(), duration: Seconds::new(0.2) };
+        let pred = HwEventPredictor::new()
+            .predict(&s, point(1.320, 3.5), point(0.888, 1.4))
+            .unwrap();
+        assert_eq!(pred.ips, 0.0);
+        assert_eq!(pred.rates, EventCounts::zero());
+    }
+
+    #[test]
+    fn input_validation() {
+        let mut s = sample_at_vf5();
+        s.counts.set(EventId::RetiredUops, f64::NAN);
+        assert!(HwEventPredictor::new()
+            .predict(&s, point(1.32, 3.5), point(0.888, 1.4))
+            .is_err());
+        let ok = sample_at_vf5();
+        assert!(HwEventPredictor::new()
+            .predict(&ok, point(1.32, 0.0), point(0.888, 1.4))
+            .is_err());
+    }
+
+    #[test]
+    fn memory_factor_slows_memory_bound_prediction() {
+        let s = sample_at_vf5();
+        let p = HwEventPredictor::new();
+        let vf5 = point(1.320, 3.5);
+        let stock = p.predict_scaled(&s, vf5, vf5, 1.0).unwrap();
+        let slow_nb = p.predict_scaled(&s, vf5, vf5, 1.5).unwrap();
+        // CPI grows by 0.5·MCPI = 0.6, throughput drops accordingly.
+        assert!((slow_nb.cpi - (stock.cpi + 0.6)).abs() < 1e-9);
+        assert!(slow_nb.ips < stock.ips);
+        // Per-instruction fingerprint is untouched.
+        let fp_stock = stock.rates.get(EventId::RetiredUops) / stock.ips;
+        let fp_slow = slow_nb.rates.get(EventId::RetiredUops) / slow_nb.ips;
+        assert!((fp_stock - fp_slow).abs() < 1e-12);
+        assert!(p.predict_scaled(&s, vf5, vf5, 0.0).is_err());
+        assert!(p.predict_scaled(&s, vf5, vf5, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn power_rates_expose_e1_to_e9() {
+        let s = sample_at_vf5();
+        let pred = HwEventPredictor::new()
+            .predict(&s, point(1.320, 3.5), point(1.128, 2.3))
+            .unwrap();
+        let v = pred.power_rates();
+        assert_eq!(v[0], pred.rates.get(EventId::RetiredUops));
+        assert_eq!(v[8], pred.rates.get(EventId::DispatchStalls));
+    }
+}

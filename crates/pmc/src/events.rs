@@ -1,0 +1,255 @@
+//! The twelve hardware events of Table I.
+//!
+//! | No. | Code     | Name                                      | Used by |
+//! |-----|----------|-------------------------------------------|---------|
+//! | E1  | PMCx0c1  | Retired UOP                               | power   |
+//! | E2  | PMCx000  | FPU Pipe Assignment                       | power   |
+//! | E3  | PMCx080  | Instruction Cache Fetches                 | power   |
+//! | E4  | PMCx040  | Data Cache Accesses                       | power   |
+//! | E5  | PMCx07d  | Request To L2 Cache                       | power   |
+//! | E6  | PMCx0c2  | Retired Branch Instructions               | power   |
+//! | E7  | PMCx0c3  | Retired Mispredicted Branch Instructions  | power   |
+//! | E8  | PMCx07e  | L2 Cache Misses                           | power (NB proxy) |
+//! | E9  | PMCx0d1  | Dispatch Stalls                           | power (NB proxy) |
+//! | E10 | PMCx076  | CPU Clocks not Halted                     | performance |
+//! | E11 | PMCx0c0  | Retired Instructions                      | performance |
+//! | E12 | PMCx069  | MAB Wait Cycles                           | performance |
+//!
+//! E1–E7 are *core-private* activity events whose per-instruction rates
+//! are VF-invariant (Observation 1 extends to E8 as well); E8–E9 proxy
+//! north-bridge activity; E10–E12 feed the LL-MAB CPI predictor.
+
+use std::fmt;
+
+/// One of the twelve selected hardware events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(usize)]
+pub enum EventId {
+    /// E1 — PMCx0c1, retired micro-ops.
+    RetiredUops = 0,
+    /// E2 — PMCx000, FPU pipe assignments.
+    FpuPipeAssignment = 1,
+    /// E3 — PMCx080, instruction-cache fetches.
+    InstructionCacheFetches = 2,
+    /// E4 — PMCx040, data-cache accesses.
+    DataCacheAccesses = 3,
+    /// E5 — PMCx07d, requests to the L2 cache.
+    RequestsToL2 = 4,
+    /// E6 — PMCx0c2, retired branch instructions.
+    RetiredBranches = 5,
+    /// E7 — PMCx0c3, retired mispredicted branch instructions.
+    RetiredMispredictedBranches = 6,
+    /// E8 — PMCx07e, L2 cache misses (proxies L3/NB accesses).
+    L2CacheMisses = 7,
+    /// E9 — PMCx0d1, dispatch stalls (proxies NB latency exposure).
+    DispatchStalls = 8,
+    /// E10 — PMCx076, CPU clocks not halted.
+    CpuClocksNotHalted = 9,
+    /// E11 — PMCx0c0, retired instructions.
+    RetiredInstructions = 10,
+    /// E12 — PMCx069, MAB (miss address buffer) wait cycles.
+    MabWaitCycles = 11,
+}
+
+/// Total number of tracked events.
+pub const EVENT_COUNT: usize = 12;
+
+/// All events in Table I order (E1 first).
+pub const ALL_EVENTS: [EventId; EVENT_COUNT] = [
+    EventId::RetiredUops,
+    EventId::FpuPipeAssignment,
+    EventId::InstructionCacheFetches,
+    EventId::DataCacheAccesses,
+    EventId::RequestsToL2,
+    EventId::RetiredBranches,
+    EventId::RetiredMispredictedBranches,
+    EventId::L2CacheMisses,
+    EventId::DispatchStalls,
+    EventId::CpuClocksNotHalted,
+    EventId::RetiredInstructions,
+    EventId::MabWaitCycles,
+];
+
+/// The nine events of the dynamic power model (E1–E9 in Eq. 3).
+pub const POWER_MODEL_EVENTS: [EventId; 9] = [
+    EventId::RetiredUops,
+    EventId::FpuPipeAssignment,
+    EventId::InstructionCacheFetches,
+    EventId::DataCacheAccesses,
+    EventId::RequestsToL2,
+    EventId::RetiredBranches,
+    EventId::RetiredMispredictedBranches,
+    EventId::L2CacheMisses,
+    EventId::DispatchStalls,
+];
+
+/// The three events of the CPI performance model (E10–E12).
+pub const PERF_MODEL_EVENTS: [EventId; 3] = [
+    EventId::CpuClocksNotHalted,
+    EventId::RetiredInstructions,
+    EventId::MabWaitCycles,
+];
+
+impl EventId {
+    /// The 0-based dense index of this event.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// The paper's 1-based event number (`E1`..`E12`).
+    #[inline]
+    pub const fn paper_id(self) -> usize {
+        self as usize + 1
+    }
+
+    /// The AMD PMC event-select code from Table I.
+    pub const fn code(self) -> u16 {
+        match self {
+            EventId::RetiredUops => 0x0c1,
+            EventId::FpuPipeAssignment => 0x000,
+            EventId::InstructionCacheFetches => 0x080,
+            EventId::DataCacheAccesses => 0x040,
+            EventId::RequestsToL2 => 0x07d,
+            EventId::RetiredBranches => 0x0c2,
+            EventId::RetiredMispredictedBranches => 0x0c3,
+            EventId::L2CacheMisses => 0x07e,
+            EventId::DispatchStalls => 0x0d1,
+            EventId::CpuClocksNotHalted => 0x076,
+            EventId::RetiredInstructions => 0x0c0,
+            EventId::MabWaitCycles => 0x069,
+        }
+    }
+
+    /// The event's name as printed in Table I.
+    pub const fn name(self) -> &'static str {
+        match self {
+            EventId::RetiredUops => "Retired UOP",
+            EventId::FpuPipeAssignment => "FPU Pipe Assignment",
+            EventId::InstructionCacheFetches => "Instruction Cache Fetches",
+            EventId::DataCacheAccesses => "Data Cache Accesses",
+            EventId::RequestsToL2 => "Request To L2 Cache",
+            EventId::RetiredBranches => "Retired Branch Instructions",
+            EventId::RetiredMispredictedBranches => "Retired Mispredicted Branch Instructions",
+            EventId::L2CacheMisses => "L2 Cache Misses",
+            EventId::DispatchStalls => "Dispatch Stalls",
+            EventId::CpuClocksNotHalted => "CPU Clocks not Halted",
+            EventId::RetiredInstructions => "Retired Instructions",
+            EventId::MabWaitCycles => "MAB Wait Cycles",
+        }
+    }
+
+    /// Looks an event up by its PMC code.
+    pub fn from_code(code: u16) -> Option<Self> {
+        ALL_EVENTS.iter().copied().find(|e| e.code() == code)
+    }
+
+    /// Looks an event up by dense index.
+    pub fn from_index(index: usize) -> Option<Self> {
+        ALL_EVENTS.get(index).copied()
+    }
+
+    /// True for core-private activity events (E1–E7), whose
+    /// per-instruction counts are VF-invariant per Observation 1 and
+    /// whose dynamic-power weights are voltage-scaled in Eq. 3.
+    pub const fn is_core_private(self) -> bool {
+        (self as usize) < 7
+    }
+
+    /// True for the NB-activity proxy events (E8, E9), whose Eq. 3
+    /// weights are *not* voltage-scaled because the NB rail is fixed.
+    pub const fn is_nb_proxy(self) -> bool {
+        matches!(self, EventId::L2CacheMisses | EventId::DispatchStalls)
+    }
+
+    /// True for the performance-model events (E10–E12).
+    pub const fn is_perf_event(self) -> bool {
+        matches!(
+            self,
+            EventId::CpuClocksNotHalted | EventId::RetiredInstructions | EventId::MabWaitCycles
+        )
+    }
+}
+
+impl fmt::Display for EventId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "E{} PMCx{:03x} ({})", self.paper_id(), self.code(), self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn table_i_codes_match_paper() {
+        assert_eq!(EventId::RetiredUops.code(), 0x0c1);
+        assert_eq!(EventId::FpuPipeAssignment.code(), 0x000);
+        assert_eq!(EventId::InstructionCacheFetches.code(), 0x080);
+        assert_eq!(EventId::DataCacheAccesses.code(), 0x040);
+        assert_eq!(EventId::RequestsToL2.code(), 0x07d);
+        assert_eq!(EventId::RetiredBranches.code(), 0x0c2);
+        assert_eq!(EventId::RetiredMispredictedBranches.code(), 0x0c3);
+        assert_eq!(EventId::L2CacheMisses.code(), 0x07e);
+        assert_eq!(EventId::DispatchStalls.code(), 0x0d1);
+        assert_eq!(EventId::CpuClocksNotHalted.code(), 0x076);
+        assert_eq!(EventId::RetiredInstructions.code(), 0x0c0);
+        assert_eq!(EventId::MabWaitCycles.code(), 0x069);
+    }
+
+    #[test]
+    fn indices_are_dense_and_ordered() {
+        for (i, e) in ALL_EVENTS.iter().enumerate() {
+            assert_eq!(e.index(), i);
+            assert_eq!(e.paper_id(), i + 1);
+            assert_eq!(EventId::from_index(i), Some(*e));
+        }
+        assert_eq!(EventId::from_index(12), None);
+    }
+
+    #[test]
+    fn code_round_trip() {
+        for e in ALL_EVENTS {
+            assert_eq!(EventId::from_code(e.code()), Some(e));
+        }
+        assert_eq!(EventId::from_code(0xfff), None);
+    }
+
+    #[test]
+    fn event_partitions() {
+        let core: Vec<_> = ALL_EVENTS.iter().filter(|e| e.is_core_private()).collect();
+        assert_eq!(core.len(), 7);
+        let nb: Vec<_> = ALL_EVENTS.iter().filter(|e| e.is_nb_proxy()).collect();
+        assert_eq!(nb.len(), 2);
+        let perf: Vec<_> = ALL_EVENTS.iter().filter(|e| e.is_perf_event()).collect();
+        assert_eq!(perf.len(), 3);
+        // The three groups partition the twelve events.
+        let mut seen = BTreeSet::new();
+        for e in ALL_EVENTS {
+            let kinds = [e.is_core_private(), e.is_nb_proxy(), e.is_perf_event()];
+            assert_eq!(kinds.iter().filter(|k| **k).count(), 1, "{e} in multiple groups");
+            seen.insert(e);
+        }
+        assert_eq!(seen.len(), EVENT_COUNT);
+    }
+
+    #[test]
+    fn model_event_lists_match_paper() {
+        assert_eq!(POWER_MODEL_EVENTS.len(), 9);
+        assert_eq!(POWER_MODEL_EVENTS[8], EventId::DispatchStalls);
+        assert_eq!(PERF_MODEL_EVENTS, [
+            EventId::CpuClocksNotHalted,
+            EventId::RetiredInstructions,
+            EventId::MabWaitCycles
+        ]);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = EventId::MabWaitCycles.to_string();
+        assert!(s.contains("E12"));
+        assert!(s.contains("069"));
+        assert!(s.contains("MAB"));
+    }
+}

@@ -1,0 +1,40 @@
+//! Performance-monitoring-counter (PMC) substrate.
+//!
+//! The paper gathers twelve hardware events per core (Table I) through
+//! the six performance counters of an AMD FX-8320, time-multiplexing
+//! the counters and reading them via `msr-tools` (§II, §IV-B1). This
+//! crate reproduces that stack in software:
+//!
+//! * [`events`] — the twelve Table I events with their PMC codes;
+//! * [`counts`] — dense per-event count/rate vectors;
+//! * [`counter`] — 48-bit wrapping hardware counters;
+//! * [`msr`] — a virtual MSR device exposing the AMD `PERF_CTL`/
+//!   `PERF_CTR` register pairs;
+//! * [`pmu`] — a six-slot per-core PMU that time-multiplexes the
+//!   twelve events in two groups and extrapolates counts, reproducing
+//!   the multiplexing error the paper names as an error source;
+//! * [`sampler`] — turns sub-tick PMU readings into per-interval
+//!   [`sampler::IntervalSample`]s for the models.
+//!
+//! # Example
+//!
+//! ```
+//! use ppep_pmc::events::EventId;
+//!
+//! assert_eq!(EventId::RetiredInstructions.code(), 0x0c0);
+//! assert_eq!(EventId::MabWaitCycles.paper_id(), 12);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod counter;
+pub mod counts;
+pub mod events;
+pub mod msr;
+pub mod pmu;
+pub mod sampler;
+
+pub use counts::EventCounts;
+pub use events::EventId;
+pub use pmu::Pmu;
+pub use sampler::IntervalSample;

@@ -1,0 +1,104 @@
+//! Property tests for the PMC substrate.
+
+use ppep_pmc::counter::{HwCounter, COUNTER_MASK};
+use ppep_pmc::events::{EventId, ALL_EVENTS};
+use ppep_pmc::msr::{decode_ctl, encode_ctl};
+use ppep_pmc::{EventCounts, Pmu};
+use ppep_types::Seconds;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Counter deltas are exact for any starting point and any step
+    /// that fits in 48 bits, including across wraparound.
+    #[test]
+    fn counter_delta_survives_wraparound(start in 0u64.., step in 0u64..COUNTER_MASK) {
+        let mut c = HwCounter::with_value(start);
+        let before = c.read();
+        c.advance(step);
+        prop_assert_eq!(c.delta_since(before), step);
+    }
+
+    /// CTL encode/decode round-trips every 12-bit event select.
+    #[test]
+    fn ctl_round_trip(code in 0u16..0x1000, enabled in any::<bool>()) {
+        let (decoded, en) = decode_ctl(encode_ctl(code, enabled));
+        prop_assert_eq!(decoded, code);
+        prop_assert_eq!(en, enabled);
+    }
+
+    /// For steady per-tick rates, the two-group multiplexed PMU
+    /// reconstructs the exact totals over any even number of ticks.
+    #[test]
+    fn steady_multiplexing_is_exact(
+        per_tick in 1u32..1_000_000,
+        tick_pairs in 1usize..12,
+    ) {
+        let mut counts = EventCounts::zero();
+        for e in ALL_EVENTS {
+            counts.set(e, per_tick as f64);
+        }
+        let mut pmu = Pmu::new();
+        let ticks = tick_pairs * 2;
+        for _ in 0..ticks {
+            pmu.tick(&counts, Seconds::new(0.02)).unwrap();
+        }
+        let est = pmu.drain_interval().unwrap();
+        let expected = per_tick as f64 * ticks as f64;
+        for e in ALL_EVENTS {
+            prop_assert!(
+                (est.get(e) - expected).abs() < 1e-6,
+                "{e}: {} vs {expected}",
+                est.get(e)
+            );
+        }
+    }
+
+    /// The ideal PMU is exact for any (integer) rate pattern.
+    #[test]
+    fn ideal_pmu_is_exact_for_any_pattern(
+        pattern in prop::collection::vec(0u32..100_000, 4..20),
+    ) {
+        let mut pmu = Pmu::new_ideal();
+        let mut expected = 0.0;
+        for v in &pattern {
+            let mut counts = EventCounts::zero();
+            counts.set(EventId::RetiredUops, *v as f64);
+            pmu.tick(&counts, Seconds::new(0.02)).unwrap();
+            expected += *v as f64;
+        }
+        let est = pmu.drain_interval().unwrap();
+        prop_assert!((est.get(EventId::RetiredUops) - expected).abs() < 1e-6);
+    }
+
+    /// Multiplexed estimates are never negative and preserve zero:
+    /// events that never fire report exactly zero.
+    #[test]
+    fn multiplexing_preserves_zero(
+        active_rate in 1u32..1_000_000,
+        ticks in 2usize..20,
+    ) {
+        let mut pmu = Pmu::new();
+        let mut counts = EventCounts::zero();
+        counts.set(EventId::RetiredUops, active_rate as f64);
+        // MabWaitCycles stays zero throughout.
+        for _ in 0..ticks {
+            pmu.tick(&counts, Seconds::new(0.02)).unwrap();
+        }
+        let est = pmu.drain_interval().unwrap();
+        prop_assert_eq!(est.get(EventId::MabWaitCycles), 0.0);
+        prop_assert!(est.get(EventId::RetiredUops) >= 0.0);
+    }
+
+    /// Count/rate conversion round-trips for any positive interval.
+    #[test]
+    fn rate_count_round_trip(value in 0.0f64..1e12, dt in 0.001f64..10.0) {
+        let mut c = EventCounts::zero();
+        c.set(EventId::DataCacheAccesses, value);
+        let dt = Seconds::new(dt);
+        let back = c.to_rates(dt).to_counts(dt);
+        let got = back.get(EventId::DataCacheAccesses);
+        prop_assert!((got - value).abs() <= value * 1e-12 + 1e-9);
+    }
+}

@@ -1,0 +1,200 @@
+//! K-fold cross-validation index splitting.
+//!
+//! The paper splits its 152 benchmark combinations into four equal
+//! groups and trains on every choice of three, testing on the held-out
+//! fourth (§IV-B2). [`KFold`] produces exactly those index partitions,
+//! deterministically (an optional seeded shuffle decorrelates adjacent
+//! benchmarks).
+
+use ppep_types::{Error, Result};
+
+/// Deterministic k-fold splitter over `0..n` sample indices.
+#[derive(Debug, Clone)]
+pub struct KFold {
+    folds: Vec<Vec<usize>>,
+}
+
+impl KFold {
+    /// Splits `n` samples into `k` contiguous folds whose sizes differ
+    /// by at most one.
+    ///
+    /// ```
+    /// use ppep_regress::KFold;
+    ///
+    /// # fn main() -> ppep_types::Result<()> {
+    /// // The paper's setup: 152 combinations, 4 folds of 38.
+    /// let kf = KFold::new(152, 4)?;
+    /// assert_eq!(kf.test_indices(0).len(), 38);
+    /// assert_eq!(kf.train_indices(0).len(), 114);
+    /// # Ok(())
+    /// # }
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidInput`] when `k < 2` or `n < k`.
+    pub fn new(n: usize, k: usize) -> Result<Self> {
+        if k < 2 {
+            return Err(Error::InvalidInput("k-fold needs k >= 2".into()));
+        }
+        if n < k {
+            return Err(Error::InvalidInput(format!(
+                "cannot split {n} samples into {k} folds"
+            )));
+        }
+        let indices: Vec<usize> = (0..n).collect();
+        Ok(Self::from_order(&indices, k))
+    }
+
+    /// Like [`KFold::new`] but shuffles indices first with a small
+    /// deterministic LCG keyed by `seed`, so fold membership does not
+    /// follow input order.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`KFold::new`].
+    pub fn new_shuffled(n: usize, k: usize, seed: u64) -> Result<Self> {
+        if k < 2 {
+            return Err(Error::InvalidInput("k-fold needs k >= 2".into()));
+        }
+        if n < k {
+            return Err(Error::InvalidInput(format!(
+                "cannot split {n} samples into {k} folds"
+            )));
+        }
+        let mut indices: Vec<usize> = (0..n).collect();
+        // Minimal xorshift64* shuffle: deterministic, dependency-free.
+        let mut state = seed | 1;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state.wrapping_mul(0x2545F4914F6CDD1D)
+        };
+        for i in (1..indices.len()).rev() {
+            let j = (next() % (i as u64 + 1)) as usize;
+            indices.swap(i, j);
+        }
+        Ok(Self::from_order(&indices, k))
+    }
+
+    fn from_order(indices: &[usize], k: usize) -> Self {
+        let n = indices.len();
+        let base = n / k;
+        let extra = n % k;
+        let mut folds = Vec::with_capacity(k);
+        let mut cursor = 0;
+        for f in 0..k {
+            let size = base + usize::from(f < extra);
+            folds.push(indices[cursor..cursor + size].to_vec());
+            cursor += size;
+        }
+        Self { folds }
+    }
+
+    /// Number of folds.
+    pub fn k(&self) -> usize {
+        self.folds.len()
+    }
+
+    /// The held-out indices of fold `fold`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `fold >= k`.
+    pub fn test_indices(&self, fold: usize) -> &[usize] {
+        &self.folds[fold]
+    }
+
+    /// The training indices (all folds except `fold`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `fold >= k`.
+    pub fn train_indices(&self, fold: usize) -> Vec<usize> {
+        assert!(fold < self.folds.len(), "fold index out of range");
+        self.folds
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != fold)
+            .flat_map(|(_, f)| f.iter().copied())
+            .collect()
+    }
+
+    /// Iterates `(train, test)` index pairs for every fold.
+    pub fn splits(&self) -> impl Iterator<Item = (Vec<usize>, &[usize])> + '_ {
+        (0..self.k()).map(|f| (self.train_indices(f), self.test_indices(f)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn paper_configuration_152_into_4() {
+        let kf = KFold::new(152, 4).unwrap();
+        assert_eq!(kf.k(), 4);
+        for f in 0..4 {
+            assert_eq!(kf.test_indices(f).len(), 38);
+            assert_eq!(kf.train_indices(f).len(), 114);
+        }
+    }
+
+    #[test]
+    fn folds_partition_the_index_space() {
+        let kf = KFold::new(10, 3).unwrap();
+        let mut all = BTreeSet::new();
+        for f in 0..3 {
+            for &i in kf.test_indices(f) {
+                assert!(all.insert(i), "index {i} appears in two folds");
+            }
+        }
+        assert_eq!(all.len(), 10);
+        // Sizes differ by at most one.
+        let sizes: Vec<usize> = (0..3).map(|f| kf.test_indices(f).len()).collect();
+        assert_eq!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap(), 1);
+    }
+
+    #[test]
+    fn train_and_test_are_disjoint_and_complete() {
+        let kf = KFold::new(17, 4).unwrap();
+        for (train, test) in kf.splits() {
+            let train: BTreeSet<_> = train.into_iter().collect();
+            let test: BTreeSet<_> = test.iter().copied().collect();
+            assert!(train.is_disjoint(&test));
+            assert_eq!(train.len() + test.len(), 17);
+        }
+    }
+
+    #[test]
+    fn shuffled_is_deterministic_per_seed_and_still_a_partition() {
+        let a = KFold::new_shuffled(30, 4, 99).unwrap();
+        let b = KFold::new_shuffled(30, 4, 99).unwrap();
+        for f in 0..4 {
+            assert_eq!(a.test_indices(f), b.test_indices(f));
+        }
+        let c = KFold::new_shuffled(30, 4, 100).unwrap();
+        let differs = (0..4).any(|f| a.test_indices(f) != c.test_indices(f));
+        assert!(differs, "different seeds should shuffle differently");
+        let mut all: Vec<usize> = (0..4).flat_map(|f| c.test_indices(f).to_vec()).collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..30).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn validation() {
+        assert!(KFold::new(10, 1).is_err());
+        assert!(KFold::new(3, 4).is_err());
+        assert!(KFold::new_shuffled(3, 4, 1).is_err());
+        assert!(KFold::new_shuffled(10, 0, 1).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "fold index out of range")]
+    fn out_of_range_fold_panics() {
+        let kf = KFold::new(10, 2).unwrap();
+        let _ = kf.train_indices(2);
+    }
+}

@@ -1,0 +1,379 @@
+//! Ordinary and ridge-regularised linear regression.
+//!
+//! The paper's dynamic-power model (Eq. 3) is a linear regression of
+//! measured dynamic power on nine per-second event rates; the idle
+//! model (Eq. 2) regresses idle power on temperature. Both are fit
+//! offline once and evaluated online, so fitting cost is irrelevant
+//! and prediction must be branch-free and fast.
+
+use crate::matrix::Matrix;
+use crate::solve::{least_squares_qr, solve_cholesky};
+use ppep_types::{Error, Result};
+
+/// A fitted linear model `y ≈ intercept + Σ coef[i]·x[i]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearRegression {
+    coefficients: Vec<f64>,
+    intercept: f64,
+    has_intercept: bool,
+}
+
+impl LinearRegression {
+    /// Fits by QR least squares.
+    ///
+    /// `xs` holds one sample per entry (each of equal length);
+    /// `with_intercept` adds a constant column.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidInput`] on empty/ragged/non-finite input
+    /// and [`Error::Numerical`] on rank deficiency.
+    pub fn fit(xs: &[Vec<f64>], ys: &[f64], with_intercept: bool) -> Result<Self> {
+        let design = Self::design_matrix(xs, ys, with_intercept)?;
+        let solution = least_squares_qr(&design, ys)?;
+        Ok(Self::from_solution(solution, with_intercept))
+    }
+
+    /// Fits with ridge regularisation strength `lambda ≥ 0` via the
+    /// normal equations (`(AᵀA + λI) w = Aᵀy`, intercept unpenalised).
+    ///
+    /// Ridge keeps the nine-event power model stable even when event
+    /// rates are strongly collinear (e.g. retired µops vs. retired
+    /// instructions), which mirrors standard practice for
+    /// counter-based power models.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`LinearRegression::fit`], plus
+    /// [`Error::InvalidInput`] for negative `lambda`.
+    pub fn fit_ridge(
+        xs: &[Vec<f64>],
+        ys: &[f64],
+        with_intercept: bool,
+        lambda: f64,
+    ) -> Result<Self> {
+        if lambda < 0.0 || !lambda.is_finite() {
+            return Err(Error::InvalidInput("ridge lambda must be finite and >= 0".into()));
+        }
+        let design = Self::design_matrix(xs, ys, with_intercept)?;
+        let mut gram = design.gram();
+        let p = gram.rows();
+        for j in 0..p {
+            // Do not penalise the intercept column (the last one).
+            if with_intercept && j == p - 1 {
+                continue;
+            }
+            gram[(j, j)] += lambda;
+        }
+        let aty = design.t_vec(ys)?;
+        let solution = solve_cholesky(&gram, &aty)?;
+        Ok(Self::from_solution(solution, with_intercept))
+    }
+
+    /// Fits with a non-negativity constraint on the slope coefficients,
+    /// implemented as iterated fitting with active-set clamping.
+    ///
+    /// The paper's dynamic-power weights represent per-event switched
+    /// capacitance and are physically non-negative; clamping prevents
+    /// collinearity from producing negative energy-per-event weights.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`LinearRegression::fit_ridge`].
+    pub fn fit_nonnegative(
+        xs: &[Vec<f64>],
+        ys: &[f64],
+        with_intercept: bool,
+        lambda: f64,
+    ) -> Result<Self> {
+        if xs.is_empty() {
+            return Err(Error::InvalidInput("regression needs at least one sample".into()));
+        }
+        let width = xs[0].len();
+        let mut active: Vec<bool> = vec![true; width];
+        // At most `width` rounds: each round permanently clamps >= 1 column.
+        for _ in 0..=width {
+            let reduced: Vec<Vec<f64>> = xs
+                .iter()
+                .map(|row| {
+                    row.iter()
+                        .zip(&active)
+                        .filter_map(|(v, keep)| keep.then_some(*v))
+                        .collect()
+                })
+                .collect();
+            let n_active = active.iter().filter(|a| **a).count();
+            if n_active == 0 {
+                // Everything clamped: intercept-only model.
+                let mean = if with_intercept {
+                    ys.iter().sum::<f64>() / ys.len() as f64
+                } else {
+                    0.0
+                };
+                return Ok(Self {
+                    coefficients: vec![0.0; width],
+                    intercept: mean,
+                    has_intercept: with_intercept,
+                });
+            }
+            let fit = Self::fit_ridge(&reduced, ys, with_intercept, lambda)?;
+            // Scatter reduced coefficients back to full width.
+            let mut full = vec![0.0; width];
+            let mut it = fit.coefficients.iter();
+            for (slot, keep) in full.iter_mut().zip(&active) {
+                if *keep {
+                    *slot = *it.next().expect("coefficient count matches active count");
+                }
+            }
+            let negatives: Vec<usize> = full
+                .iter()
+                .enumerate()
+                .filter_map(|(i, c)| (*c < 0.0).then_some(i))
+                .collect();
+            if negatives.is_empty() {
+                return Ok(Self {
+                    coefficients: full,
+                    intercept: fit.intercept,
+                    has_intercept: with_intercept,
+                });
+            }
+            for i in negatives {
+                active[i] = false;
+            }
+        }
+        unreachable!("active-set loop terminates within width+1 rounds");
+    }
+
+    fn design_matrix(xs: &[Vec<f64>], ys: &[f64], with_intercept: bool) -> Result<Matrix> {
+        if xs.is_empty() {
+            return Err(Error::InvalidInput("regression needs at least one sample".into()));
+        }
+        if xs.len() != ys.len() {
+            return Err(Error::InvalidInput(format!(
+                "got {} samples but {} targets",
+                xs.len(),
+                ys.len()
+            )));
+        }
+        let width = xs[0].len();
+        if width == 0 && !with_intercept {
+            return Err(Error::InvalidInput("no regressors and no intercept".into()));
+        }
+        let mut rows = Vec::with_capacity(xs.len());
+        for (i, row) in xs.iter().enumerate() {
+            if row.len() != width {
+                return Err(Error::InvalidInput(format!(
+                    "sample {i} has {} features, expected {width}",
+                    row.len()
+                )));
+            }
+            if row.iter().any(|v| !v.is_finite()) || !ys[i].is_finite() {
+                return Err(Error::InvalidInput(format!("non-finite value in sample {i}")));
+            }
+            let mut r = row.clone();
+            if with_intercept {
+                r.push(1.0);
+            }
+            rows.push(r);
+        }
+        Matrix::from_rows(&rows)
+    }
+
+    fn from_solution(mut solution: Vec<f64>, with_intercept: bool) -> Self {
+        let intercept = if with_intercept {
+            solution.pop().expect("intercept column present")
+        } else {
+            0.0
+        };
+        Self { coefficients: solution, intercept, has_intercept: with_intercept }
+    }
+
+    /// Builds a model directly from known weights (used when loading
+    /// pre-trained coefficients).
+    pub fn from_parts(coefficients: Vec<f64>, intercept: f64) -> Self {
+        Self { coefficients, intercept, has_intercept: true }
+    }
+
+    /// The fitted slope coefficients.
+    pub fn coefficients(&self) -> &[f64] {
+        &self.coefficients
+    }
+
+    /// The fitted intercept (0 when fit without one).
+    pub fn intercept(&self) -> f64 {
+        self.intercept
+    }
+
+    /// Predicts the target for one feature vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds when `x.len()` mismatches the fit width.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        debug_assert_eq!(x.len(), self.coefficients.len(), "feature width mismatch");
+        self.intercept
+            + self
+                .coefficients
+                .iter()
+                .zip(x)
+                .map(|(c, v)| c * v)
+                .sum::<f64>()
+    }
+
+    /// Predicts for many samples.
+    pub fn predict_many(&self, xs: &[Vec<f64>]) -> Vec<f64> {
+        xs.iter().map(|x| self.predict(x)).collect()
+    }
+
+    /// Coefficient of determination R² against a validation set.
+    pub fn r_squared(&self, xs: &[Vec<f64>], ys: &[f64]) -> f64 {
+        let n = ys.len() as f64;
+        if ys.is_empty() {
+            return f64::NAN;
+        }
+        let mean = ys.iter().sum::<f64>() / n;
+        let ss_tot: f64 = ys.iter().map(|y| (y - mean).powi(2)).sum();
+        let ss_res: f64 = xs
+            .iter()
+            .zip(ys)
+            .map(|(x, y)| (y - self.predict(x)).powi(2))
+            .sum();
+        if ss_tot == 0.0 {
+            if ss_res == 0.0 {
+                1.0
+            } else {
+                f64::NEG_INFINITY
+            }
+        } else {
+            1.0 - ss_res / ss_tot
+        }
+    }
+
+    /// Whether this model was fit with an intercept term.
+    pub fn has_intercept(&self) -> bool {
+        self.has_intercept
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plane_data() -> (Vec<Vec<f64>>, Vec<f64>) {
+        // y = 1 + 2a + 3b over a small grid.
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for a in 0..5 {
+            for b in 0..5 {
+                let (a, b) = (a as f64, b as f64);
+                xs.push(vec![a, b]);
+                ys.push(1.0 + 2.0 * a + 3.0 * b);
+            }
+        }
+        (xs, ys)
+    }
+
+    #[test]
+    fn exact_plane_recovered() {
+        let (xs, ys) = plane_data();
+        let fit = LinearRegression::fit(&xs, &ys, true).unwrap();
+        assert!((fit.intercept() - 1.0).abs() < 1e-9);
+        assert!((fit.coefficients()[0] - 2.0).abs() < 1e-9);
+        assert!((fit.coefficients()[1] - 3.0).abs() < 1e-9);
+        assert!(fit.has_intercept());
+        assert!((fit.r_squared(&xs, &ys) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn without_intercept_goes_through_origin() {
+        let xs: Vec<Vec<f64>> = (1..6).map(|i| vec![i as f64]).collect();
+        let ys: Vec<f64> = (1..6).map(|i| 4.0 * i as f64).collect();
+        let fit = LinearRegression::fit(&xs, &ys, false).unwrap();
+        assert_eq!(fit.intercept(), 0.0);
+        assert!(!fit.has_intercept());
+        assert!((fit.coefficients()[0] - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ridge_shrinks_towards_zero() {
+        let (xs, ys) = plane_data();
+        let plain = LinearRegression::fit_ridge(&xs, &ys, true, 0.0).unwrap();
+        let heavy = LinearRegression::fit_ridge(&xs, &ys, true, 1e6).unwrap();
+        assert!((plain.coefficients()[0] - 2.0).abs() < 1e-6);
+        assert!(heavy.coefficients()[0].abs() < 0.1);
+        // With huge lambda the intercept must absorb the mean.
+        let mean = ys.iter().sum::<f64>() / ys.len() as f64;
+        assert!((heavy.intercept() - mean).abs() < 0.5);
+    }
+
+    #[test]
+    fn ridge_rejects_negative_lambda() {
+        let (xs, ys) = plane_data();
+        assert!(LinearRegression::fit_ridge(&xs, &ys, true, -1.0).is_err());
+    }
+
+    #[test]
+    fn nonnegative_clamps_negative_weights() {
+        // y = 5 - 2a: true slope is negative, constrained fit clamps to 0.
+        let xs: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let ys: Vec<f64> = (0..10).map(|i| 5.0 - 2.0 * i as f64).collect();
+        let fit = LinearRegression::fit_nonnegative(&xs, &ys, true, 1e-9).unwrap();
+        assert_eq!(fit.coefficients()[0], 0.0);
+        let mean = ys.iter().sum::<f64>() / 10.0;
+        assert!((fit.intercept() - mean).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nonnegative_keeps_positive_weights_untouched() {
+        let (xs, ys) = plane_data();
+        let fit = LinearRegression::fit_nonnegative(&xs, &ys, true, 1e-9).unwrap();
+        assert!((fit.coefficients()[0] - 2.0).abs() < 1e-6);
+        assert!((fit.coefficients()[1] - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn nonnegative_mixed_signs() {
+        // y = 1 + 2a - 3b: b's weight clamps, a's stays positive.
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for a in 0..6 {
+            for b in 0..6 {
+                xs.push(vec![a as f64, b as f64]);
+                ys.push(1.0 + 2.0 * a as f64 - 3.0 * b as f64);
+            }
+        }
+        let fit = LinearRegression::fit_nonnegative(&xs, &ys, true, 1e-9).unwrap();
+        assert_eq!(fit.coefficients()[1], 0.0);
+        assert!(fit.coefficients()[0] > 1.0);
+    }
+
+    #[test]
+    fn input_validation() {
+        assert!(LinearRegression::fit(&[], &[], true).is_err());
+        assert!(LinearRegression::fit(&[vec![1.0]], &[1.0, 2.0], true).is_err());
+        assert!(LinearRegression::fit(&[vec![1.0], vec![1.0, 2.0]], &[1.0, 2.0], true).is_err());
+        assert!(LinearRegression::fit(&[vec![f64::NAN]], &[1.0], true).is_err());
+        assert!(LinearRegression::fit(&[vec![1.0]], &[f64::INFINITY], true).is_err());
+    }
+
+    #[test]
+    fn from_parts_predicts() {
+        let model = LinearRegression::from_parts(vec![2.0, -1.0], 0.5);
+        assert!((model.predict(&[3.0, 1.0]) - 5.5).abs() < 1e-12);
+        let preds = model.predict_many(&[vec![0.0, 0.0], vec![1.0, 1.0]]);
+        assert_eq!(preds, vec![0.5, 1.5]);
+    }
+
+    #[test]
+    fn r_squared_edge_cases() {
+        let model = LinearRegression::from_parts(vec![1.0], 0.0);
+        // Constant targets, perfect prediction.
+        assert_eq!(model.r_squared(&[vec![2.0], vec![2.0]], &[2.0, 2.0]), 1.0);
+        // Constant targets, imperfect prediction.
+        assert_eq!(
+            model.r_squared(&[vec![1.0], vec![3.0]], &[2.0, 2.0]),
+            f64::NEG_INFINITY
+        );
+        assert!(model.r_squared(&[], &[]).is_nan());
+    }
+}

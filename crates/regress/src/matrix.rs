@@ -1,0 +1,387 @@
+//! A small dense row-major matrix.
+//!
+//! Dimensions in PPEP are tiny (at most a few thousand samples by nine
+//! regressors), so a straightforward `Vec<f64>`-backed implementation
+//! is both sufficient and easy to audit.
+
+use ppep_types::{Error, Result};
+use std::fmt;
+use std::ops::{Add, Index, IndexMut, Mul, Sub};
+
+/// Dense row-major matrix of `f64`.
+///
+/// ```
+/// use ppep_regress::matrix::Matrix;
+///
+/// # fn main() -> ppep_types::Result<()> {
+/// let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]])?;
+/// assert_eq!(a.transpose()[(0, 1)], 3.0);
+/// assert_eq!(a.matvec(&[1.0, 1.0])?, vec![3.0, 7.0]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a `rows × cols` matrix of zeros.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds a matrix from row slices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidInput`] when `rows` is empty or ragged.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Result<Self> {
+        let nrows = rows.len();
+        if nrows == 0 {
+            return Err(Error::InvalidInput("matrix needs at least one row".into()));
+        }
+        let ncols = rows[0].len();
+        if ncols == 0 {
+            return Err(Error::InvalidInput("matrix needs at least one column".into()));
+        }
+        let mut data = Vec::with_capacity(nrows * ncols);
+        for (i, r) in rows.iter().enumerate() {
+            if r.len() != ncols {
+                return Err(Error::InvalidInput(format!(
+                    "row {i} has {} columns, expected {ncols}",
+                    r.len()
+                )));
+            }
+            data.extend_from_slice(r);
+        }
+        Ok(Self { rows: nrows, cols: ncols, data })
+    }
+
+    /// Builds a column vector from a slice.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidInput`] when `values` is empty.
+    pub fn column(values: &[f64]) -> Result<Self> {
+        if values.is_empty() {
+            return Err(Error::InvalidInput("column vector must be non-empty".into()));
+        }
+        Ok(Self { rows: values.len(), cols: 1, data: values.to_vec() })
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Returns row `r` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f64] {
+        assert!(r < self.rows, "row {r} out of range");
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// The transpose of this matrix.
+    #[must_use]
+    pub fn transpose(&self) -> Self {
+        let mut t = Self::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t[(j, i)] = self[(i, j)];
+            }
+        }
+        t
+    }
+
+    /// Matrix product `self * rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Numerical`] on a dimension mismatch.
+    pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix> {
+        if self.cols != rhs.rows {
+            return Err(Error::Numerical(format!(
+                "cannot multiply {}x{} by {}x{}",
+                self.rows, self.cols, rhs.rows, rhs.cols
+            )));
+        }
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                // No zero-skip: 0 × inf must stay NaN so upstream
+                // numerical corruption surfaces instead of vanishing.
+                let a = self[(i, k)];
+                for j in 0..rhs.cols {
+                    out[(i, j)] += a * rhs[(k, j)];
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix-vector product `self * v`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Numerical`] when `v.len() != self.cols()`.
+    pub fn matvec(&self, v: &[f64]) -> Result<Vec<f64>> {
+        if v.len() != self.cols {
+            return Err(Error::Numerical(format!(
+                "cannot multiply {}x{} by vector of {}",
+                self.rows,
+                self.cols,
+                v.len()
+            )));
+        }
+        Ok((0..self.rows)
+            .map(|i| self.row(i).iter().zip(v).map(|(a, b)| a * b).sum())
+            .collect())
+    }
+
+    /// Gram matrix `Aᵀ A` (used by the normal-equation solvers).
+    #[must_use]
+    pub fn gram(&self) -> Matrix {
+        let mut g = Matrix::zeros(self.cols, self.cols);
+        for i in 0..self.cols {
+            for j in i..self.cols {
+                let mut s = 0.0;
+                for r in 0..self.rows {
+                    s += self[(r, i)] * self[(r, j)];
+                }
+                g[(i, j)] = s;
+                g[(j, i)] = s;
+            }
+        }
+        g
+    }
+
+    /// `Aᵀ y` for a right-hand-side vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Numerical`] when `y.len() != self.rows()`.
+    pub fn t_vec(&self, y: &[f64]) -> Result<Vec<f64>> {
+        if y.len() != self.rows {
+            return Err(Error::Numerical(format!(
+                "Aᵀy needs y of length {}, got {}",
+                self.rows,
+                y.len()
+            )));
+        }
+        Ok((0..self.cols)
+            .map(|j| (0..self.rows).map(|i| self[(i, j)] * y[i]).sum())
+            .collect())
+    }
+
+    /// Max-absolute-value norm of the matrix entries.
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0_f64, |m, v| m.max(v.abs()))
+    }
+
+    /// True when every entry is finite.
+    pub fn is_finite(&self) -> bool {
+        self.data.iter().all(|v| v.is_finite())
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl Add for &Matrix {
+    type Output = Matrix;
+    fn add(self, rhs: &Matrix) -> Matrix {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "shape mismatch in add");
+        let mut out = self.clone();
+        for (a, b) in out.data.iter_mut().zip(&rhs.data) {
+            *a += b;
+        }
+        out
+    }
+}
+
+impl Sub for &Matrix {
+    type Output = Matrix;
+    fn sub(self, rhs: &Matrix) -> Matrix {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "shape mismatch in sub");
+        let mut out = self.clone();
+        for (a, b) in out.data.iter_mut().zip(&rhs.data) {
+            *a -= b;
+        }
+        out
+    }
+}
+
+impl Mul<f64> for &Matrix {
+    type Output = Matrix;
+    fn mul(self, rhs: f64) -> Matrix {
+        let mut out = self.clone();
+        for a in out.data.iter_mut() {
+            *a *= rhs;
+        }
+        out
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                if j > 0 {
+                    write!(f, " ")?;
+                }
+                write!(f, "{:>12.6}", self[(i, j)])?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Matrix {
+        Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]).unwrap()
+    }
+
+    #[test]
+    fn construction_and_indexing() {
+        let m = sample();
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.cols(), 2);
+        assert_eq!(m[(0, 0)], 1.0);
+        assert_eq!(m[(2, 1)], 6.0);
+        assert_eq!(m.row(1), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn ragged_rows_rejected() {
+        assert!(Matrix::from_rows(&[vec![1.0], vec![1.0, 2.0]]).is_err());
+        assert!(Matrix::from_rows(&[]).is_err());
+        assert!(Matrix::column(&[]).is_err());
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let m = sample();
+        let t = m.transpose();
+        assert_eq!(t.rows(), 2);
+        assert_eq!(t.cols(), 3);
+        assert_eq!(t[(1, 2)], 6.0);
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn matmul_against_hand_computed() {
+        let a = sample(); // 3x2
+        let b = Matrix::from_rows(&[vec![7.0, 8.0, 9.0], vec![10.0, 11.0, 12.0]]).unwrap(); // 2x3
+        let c = a.matmul(&b).unwrap(); // 3x3
+        assert_eq!(c[(0, 0)], 1.0 * 7.0 + 2.0 * 10.0);
+        assert_eq!(c[(2, 2)], 5.0 * 9.0 + 6.0 * 12.0);
+        assert!(b.matmul(&b).is_err());
+    }
+
+    #[test]
+    fn identity_is_multiplicative_unit() {
+        let a = sample();
+        let i2 = Matrix::identity(2);
+        assert_eq!(a.matmul(&i2).unwrap(), a);
+        let i3 = Matrix::identity(3);
+        assert_eq!(i3.matmul(&a).unwrap(), a);
+    }
+
+    #[test]
+    fn matvec_and_t_vec() {
+        let a = sample();
+        let y = a.matvec(&[1.0, 1.0]).unwrap();
+        assert_eq!(y, vec![3.0, 7.0, 11.0]);
+        assert!(a.matvec(&[1.0]).is_err());
+        let aty = a.t_vec(&[1.0, 1.0, 1.0]).unwrap();
+        assert_eq!(aty, vec![9.0, 12.0]);
+        assert!(a.t_vec(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn gram_is_symmetric_and_matches_matmul() {
+        let a = sample();
+        let g = a.gram();
+        let g2 = a.transpose().matmul(&a).unwrap();
+        assert_eq!(g, g2);
+        for i in 0..2 {
+            for j in 0..2 {
+                assert_eq!(g[(i, j)], g[(j, i)]);
+            }
+        }
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = sample();
+        let b = &a + &a;
+        assert_eq!(b[(1, 0)], 6.0);
+        let c = &b - &a;
+        assert_eq!(c, a);
+        let d = &a * 2.0;
+        assert_eq!(d[(0, 1)], 4.0);
+    }
+
+    #[test]
+    fn norms_and_finiteness() {
+        let a = sample();
+        assert_eq!(a.max_abs(), 6.0);
+        assert!(a.is_finite());
+        let mut b = a.clone();
+        b[(0, 0)] = f64::NAN;
+        assert!(!b.is_finite());
+    }
+
+    #[test]
+    fn display_renders_all_entries() {
+        let s = format!("{}", Matrix::identity(2));
+        assert!(s.contains("1.000000"));
+        assert_eq!(s.lines().count(), 2);
+    }
+}

@@ -1,0 +1,359 @@
+//! Direct linear solvers: Gaussian elimination, Cholesky, and
+//! Householder-QR least squares.
+//!
+//! The regression problems PPEP solves are small and dense; QR with
+//! column-pivot-free Householder reflections is numerically adequate
+//! and simple. Cholesky serves the ridge-regularised normal equations,
+//! whose matrix is symmetric positive definite by construction.
+
+use crate::matrix::Matrix;
+use ppep_types::{Error, Result};
+
+/// Solves `A x = b` by Gaussian elimination with partial pivoting.
+///
+/// ```
+/// use ppep_regress::matrix::Matrix;
+/// use ppep_regress::solve::solve_gaussian;
+///
+/// # fn main() -> ppep_types::Result<()> {
+/// let a = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 3.0]])?;
+/// let x = solve_gaussian(&a, &[5.0, 10.0])?;
+/// assert!((x[0] - 1.0).abs() < 1e-12 && (x[1] - 3.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+///
+/// # Errors
+///
+/// Returns [`Error::Numerical`] when `A` is not square, dimensions
+/// mismatch, or the matrix is singular to working precision.
+pub fn solve_gaussian(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+    let n = a.rows();
+    if a.cols() != n {
+        return Err(Error::Numerical("gaussian solve needs a square matrix".into()));
+    }
+    if b.len() != n {
+        return Err(Error::Numerical(format!(
+            "rhs length {} does not match matrix order {n}",
+            b.len()
+        )));
+    }
+    // Augmented working copy.
+    let mut m = a.clone();
+    let mut rhs = b.to_vec();
+    let scale = m.max_abs().max(1.0);
+
+    for col in 0..n {
+        // Partial pivot: find the largest remaining entry in this column.
+        let mut pivot_row = col;
+        let mut pivot_val = m[(col, col)].abs();
+        for r in (col + 1)..n {
+            let v = m[(r, col)].abs();
+            if v > pivot_val {
+                pivot_val = v;
+                pivot_row = r;
+            }
+        }
+        if pivot_val < 1e-12 * scale {
+            return Err(Error::Numerical(format!(
+                "matrix is singular to working precision at column {col}"
+            )));
+        }
+        if pivot_row != col {
+            for c in 0..n {
+                let tmp = m[(col, c)];
+                m[(col, c)] = m[(pivot_row, c)];
+                m[(pivot_row, c)] = tmp;
+            }
+            rhs.swap(col, pivot_row);
+        }
+        // Eliminate below.
+        for r in (col + 1)..n {
+            let factor = m[(r, col)] / m[(col, col)];
+            if factor == 0.0 {
+                continue;
+            }
+            for c in col..n {
+                m[(r, c)] -= factor * m[(col, c)];
+            }
+            rhs[r] -= factor * rhs[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut s = rhs[row];
+        for c in (row + 1)..n {
+            s -= m[(row, c)] * x[c];
+        }
+        x[row] = s / m[(row, row)];
+    }
+    Ok(x)
+}
+
+/// Solves `A x = b` for a symmetric positive-definite `A` by Cholesky
+/// factorisation (`A = L Lᵀ`).
+///
+/// # Errors
+///
+/// Returns [`Error::Numerical`] when the matrix is not square, the rhs
+/// mismatches, or a non-positive pivot reveals the matrix is not
+/// positive definite.
+pub fn solve_cholesky(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+    let n = a.rows();
+    if a.cols() != n {
+        return Err(Error::Numerical("cholesky needs a square matrix".into()));
+    }
+    if b.len() != n {
+        return Err(Error::Numerical(format!(
+            "rhs length {} does not match matrix order {n}",
+            b.len()
+        )));
+    }
+    let mut l = Matrix::zeros(n, n);
+    for j in 0..n {
+        let mut d = a[(j, j)];
+        for k in 0..j {
+            d -= l[(j, k)] * l[(j, k)];
+        }
+        if d <= 0.0 || !d.is_finite() {
+            return Err(Error::Numerical(format!(
+                "matrix is not positive definite (pivot {d:.3e} at {j})"
+            )));
+        }
+        let diag = d.sqrt();
+        l[(j, j)] = diag;
+        for i in (j + 1)..n {
+            let mut s = a[(i, j)];
+            for k in 0..j {
+                s -= l[(i, k)] * l[(j, k)];
+            }
+            l[(i, j)] = s / diag;
+        }
+    }
+    // Forward solve L y = b.
+    let mut y = vec![0.0; n];
+    for i in 0..n {
+        let mut s = b[i];
+        for k in 0..i {
+            s -= l[(i, k)] * y[k];
+        }
+        y[i] = s / l[(i, i)];
+    }
+    // Back solve Lᵀ x = y.
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut s = y[i];
+        for k in (i + 1)..n {
+            s -= l[(k, i)] * x[k];
+        }
+        x[i] = s / l[(i, i)];
+    }
+    Ok(x)
+}
+
+/// Solves the least-squares problem `min ‖A x − b‖₂` with Householder QR.
+///
+/// Requires `A.rows() >= A.cols()` (at least as many samples as
+/// regressors) and full column rank.
+///
+/// # Errors
+///
+/// Returns [`Error::Numerical`] on dimension problems or rank
+/// deficiency.
+pub fn least_squares_qr(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+    let m = a.rows();
+    let n = a.cols();
+    if m < n {
+        return Err(Error::Numerical(format!(
+            "least squares needs rows >= cols, got {m} < {n}"
+        )));
+    }
+    if b.len() != m {
+        return Err(Error::Numerical(format!(
+            "rhs length {} does not match row count {m}",
+            b.len()
+        )));
+    }
+    let mut r = a.clone();
+    let mut qtb = b.to_vec();
+    let scale = r.max_abs().max(1.0);
+
+    for k in 0..n {
+        // Householder vector for column k, rows k..m.
+        let mut norm = 0.0;
+        for i in k..m {
+            norm += r[(i, k)] * r[(i, k)];
+        }
+        let norm = norm.sqrt();
+        if norm < 1e-12 * scale {
+            return Err(Error::Numerical(format!(
+                "matrix is rank deficient at column {k}"
+            )));
+        }
+        let alpha = if r[(k, k)] >= 0.0 { -norm } else { norm };
+        // v = x - alpha e1, stored in a scratch vector.
+        let mut v = vec![0.0; m - k];
+        v[0] = r[(k, k)] - alpha;
+        for i in (k + 1)..m {
+            v[i - k] = r[(i, k)];
+        }
+        let vtv: f64 = v.iter().map(|x| x * x).sum();
+        if vtv < 1e-300 {
+            // Column already triangular; nothing to reflect.
+            continue;
+        }
+        // Apply H = I - 2 v vᵀ / (vᵀv) to the remaining columns of R.
+        for j in k..n {
+            let mut dot = 0.0;
+            for i in k..m {
+                dot += v[i - k] * r[(i, j)];
+            }
+            let f = 2.0 * dot / vtv;
+            for i in k..m {
+                r[(i, j)] -= f * v[i - k];
+            }
+        }
+        // And to the rhs.
+        let mut dot = 0.0;
+        for i in k..m {
+            dot += v[i - k] * qtb[i];
+        }
+        let f = 2.0 * dot / vtv;
+        for i in k..m {
+            qtb[i] -= f * v[i - k];
+        }
+    }
+    // Back substitution on the upper-triangular n×n block.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut s = qtb[row];
+        for c in (row + 1)..n {
+            s -= r[(row, c)] * x[c];
+        }
+        let d = r[(row, row)];
+        if d.abs() < 1e-12 * scale {
+            return Err(Error::Numerical(format!(
+                "zero diagonal in R at row {row}: rank deficient"
+            )));
+        }
+        x[row] = s / d;
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gaussian_solves_known_system() {
+        // 2x + y = 5, x + 3y = 10  ->  x = 1, y = 3.
+        let a = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 3.0]]).unwrap();
+        let x = solve_gaussian(&a, &[5.0, 10.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gaussian_needs_pivoting() {
+        // Zero on the leading diagonal forces a row swap.
+        let a = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap();
+        let x = solve_gaussian(&a, &[2.0, 3.0]).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gaussian_rejects_singular() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]).unwrap();
+        assert!(solve_gaussian(&a, &[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn gaussian_rejects_bad_shapes() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0]]).unwrap();
+        assert!(solve_gaussian(&a, &[1.0]).is_err());
+        let sq = Matrix::identity(2);
+        assert!(solve_gaussian(&sq, &[1.0]).is_err());
+    }
+
+    #[test]
+    fn cholesky_matches_gaussian_on_spd() {
+        let a = Matrix::from_rows(&[
+            vec![4.0, 2.0, 0.6],
+            vec![2.0, 3.0, 0.4],
+            vec![0.6, 0.4, 2.0],
+        ])
+        .unwrap();
+        let b = [1.0, 2.0, 3.0];
+        let x1 = solve_cholesky(&a, &b).unwrap();
+        let x2 = solve_gaussian(&a, &b).unwrap();
+        for (u, v) in x1.iter().zip(&x2) {
+            assert!((u - v).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 1.0]]).unwrap();
+        assert!(solve_cholesky(&a, &[1.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn qr_recovers_exact_solution_when_consistent() {
+        let a = Matrix::from_rows(&[
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 1.0],
+        ])
+        .unwrap();
+        // b generated by x = (2, -1): [2, -1, 1].
+        let x = least_squares_qr(&a, &[2.0, -1.0, 1.0]).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-10);
+        assert!((x[1] + 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn qr_minimises_residual_on_inconsistent_system() {
+        // Overdetermined: fit y = c on observations 1, 2, 3 -> c = 2.
+        let a = Matrix::from_rows(&[vec![1.0], vec![1.0], vec![1.0]]).unwrap();
+        let x = least_squares_qr(&a, &[1.0, 2.0, 3.0]).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn qr_matches_normal_equations() {
+        // Random-ish well-conditioned 6x3 system.
+        let a = Matrix::from_rows(&[
+            vec![1.0, 2.0, 0.5],
+            vec![2.0, 0.1, 1.5],
+            vec![0.3, 1.0, 2.0],
+            vec![1.1, 0.9, 0.2],
+            vec![0.7, 1.8, 1.1],
+            vec![1.9, 0.4, 0.8],
+        ])
+        .unwrap();
+        let b = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let x_qr = least_squares_qr(&a, &b).unwrap();
+        let g = a.gram();
+        let aty = a.t_vec(&b).unwrap();
+        let x_ne = solve_cholesky(&g, &aty).unwrap();
+        for (u, v) in x_qr.iter().zip(&x_ne) {
+            assert!((u - v).abs() < 1e-8, "{u} vs {v}");
+        }
+    }
+
+    #[test]
+    fn qr_rejects_underdetermined_and_rank_deficient() {
+        let wide = Matrix::from_rows(&[vec![1.0, 2.0, 3.0]]).unwrap();
+        assert!(least_squares_qr(&wide, &[1.0]).is_err());
+        let dup = Matrix::from_rows(&[
+            vec![1.0, 1.0],
+            vec![2.0, 2.0],
+            vec![3.0, 3.0],
+        ])
+        .unwrap();
+        assert!(least_squares_qr(&dup, &[1.0, 2.0, 3.0]).is_err());
+    }
+}

@@ -1,0 +1,205 @@
+//! Error statistics used throughout the paper's evaluation.
+//!
+//! The paper reports *average absolute error* (AAE) per benchmark and
+//! then the mean and standard deviation of those AAEs per suite and VF
+//! state (Figs. 2, 3, 6). This module implements exactly those
+//! aggregations.
+
+use ppep_types::{Error, Result};
+
+/// Mean of a slice; `NaN` when empty.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return f64::NAN;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Population standard deviation; `NaN` when empty.
+pub fn std_dev(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return f64::NAN;
+    }
+    let m = mean(values);
+    (values.iter().map(|v| (v - m).powi(2)).sum::<f64>() / values.len() as f64).sqrt()
+}
+
+/// Relative absolute error `|predicted − measured| / |measured|`.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidInput`] when `measured` is zero or either
+/// input is non-finite, since a relative error is then undefined.
+pub fn relative_abs_error(predicted: f64, measured: f64) -> Result<f64> {
+    if !predicted.is_finite() || !measured.is_finite() {
+        return Err(Error::InvalidInput("non-finite value in relative error".into()));
+    }
+    if measured == 0.0 {
+        return Err(Error::InvalidInput("relative error undefined for zero reference".into()));
+    }
+    Ok((predicted - measured).abs() / measured.abs())
+}
+
+/// Average absolute (relative) error over paired samples — the paper's
+/// AAE metric.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidInput`] when the slices mismatch, are
+/// empty, or any reference value is zero/non-finite.
+pub fn average_absolute_error(predicted: &[f64], measured: &[f64]) -> Result<f64> {
+    if predicted.len() != measured.len() {
+        return Err(Error::InvalidInput(format!(
+            "{} predictions but {} measurements",
+            predicted.len(),
+            measured.len()
+        )));
+    }
+    if predicted.is_empty() {
+        return Err(Error::InvalidInput("AAE over zero samples is undefined".into()));
+    }
+    let mut total = 0.0;
+    for (&p, &m) in predicted.iter().zip(measured) {
+        total += relative_abs_error(p, m)?;
+    }
+    Ok(total / predicted.len() as f64)
+}
+
+/// `p`-th percentile (0–100) by linear interpolation; `NaN` when empty.
+///
+/// # Panics
+///
+/// Panics when `p` is outside `[0, 100]`.
+pub fn percentile(values: &[f64], p: f64) -> f64 {
+    assert!((0.0..=100.0).contains(&p), "percentile must be within [0, 100]");
+    if values.is_empty() {
+        return f64::NAN;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in percentile input"));
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+/// Aggregate summary of a set of error values: the "bar" (average) and
+/// "cross" (standard deviation) of the paper's figures, plus extremes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of values aggregated.
+    pub count: usize,
+    /// Mean value.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+    /// Minimum value.
+    pub min: f64,
+    /// Maximum value.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarises a non-empty slice.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidInput`] when `values` is empty or
+    /// contains non-finite entries.
+    pub fn of(values: &[f64]) -> Result<Self> {
+        if values.is_empty() {
+            return Err(Error::InvalidInput("cannot summarise zero values".into()));
+        }
+        if values.iter().any(|v| !v.is_finite()) {
+            return Err(Error::InvalidInput("summary input contains non-finite values".into()));
+        }
+        Ok(Self {
+            count: values.len(),
+            mean: mean(values),
+            std_dev: std_dev(values),
+            min: values.iter().copied().fold(f64::INFINITY, f64::min),
+            max: values.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        })
+    }
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.4} sd={:.4} min={:.4} max={:.4}",
+            self.count, self.mean, self.std_dev, self.min, self.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std() {
+        let v = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&v) - 5.0).abs() < 1e-12);
+        assert!((std_dev(&v) - 2.0).abs() < 1e-12);
+        assert!(mean(&[]).is_nan());
+        assert!(std_dev(&[]).is_nan());
+    }
+
+    #[test]
+    fn aae_matches_hand_computation() {
+        // Errors: |9-10|/10 = 0.1, |22-20|/20 = 0.1 -> AAE 0.1.
+        let aae = average_absolute_error(&[9.0, 22.0], &[10.0, 20.0]).unwrap();
+        assert!((aae - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aae_validation() {
+        assert!(average_absolute_error(&[1.0], &[1.0, 2.0]).is_err());
+        assert!(average_absolute_error(&[], &[]).is_err());
+        assert!(average_absolute_error(&[1.0], &[0.0]).is_err());
+        assert!(relative_abs_error(f64::NAN, 1.0).is_err());
+    }
+
+    #[test]
+    fn relative_error_is_symmetric_in_sign() {
+        let e1 = relative_abs_error(11.0, 10.0).unwrap();
+        let e2 = relative_abs_error(9.0, 10.0).unwrap();
+        assert!((e1 - e2).abs() < 1e-12);
+        // Negative reference uses |measured|.
+        let e3 = relative_abs_error(-9.0, -10.0).unwrap();
+        assert!((e3 - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 100.0), 4.0);
+        assert!((percentile(&v, 50.0) - 2.5).abs() < 1e-12);
+        assert!(percentile(&[], 50.0).is_nan());
+        assert_eq!(percentile(&[7.0], 30.0), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile must be within")]
+    fn percentile_range_checked() {
+        percentile(&[1.0], 101.0);
+    }
+
+    #[test]
+    fn summary_aggregates() {
+        let s = Summary::of(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(s.count, 3);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        assert!(Summary::of(&[]).is_err());
+        assert!(Summary::of(&[f64::INFINITY]).is_err());
+        assert!(s.to_string().contains("n=3"));
+    }
+}

@@ -1,0 +1,114 @@
+//! Property tests for the numerical substrate.
+
+use ppep_regress::matrix::Matrix;
+use ppep_regress::polyfit::Polynomial;
+use ppep_regress::stats::{average_absolute_error, percentile};
+use proptest::prelude::*;
+
+fn small(lo: f64, hi: f64) -> impl Strategy<Value = f64> {
+    prop::num::f64::NORMAL.prop_map(move |v| lo + v.abs().fract().min(0.999_999) * (hi - lo))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// (Aᵀ)ᵀ = A for any shape.
+    #[test]
+    fn transpose_is_an_involution(
+        rows in 1usize..6,
+        cols in 1usize..6,
+        seed in small(-9.0, 9.0),
+    ) {
+        let data: Vec<Vec<f64>> = (0..rows)
+            .map(|i| (0..cols).map(|j| seed + (i * cols + j) as f64).collect())
+            .collect();
+        let a = Matrix::from_rows(&data).unwrap();
+        prop_assert_eq!(a.transpose().transpose(), a);
+    }
+
+    /// The Gram matrix is symmetric and positive semi-definite
+    /// (xᵀ(AᵀA)x = ‖Ax‖² ≥ 0).
+    #[test]
+    fn gram_is_symmetric_psd(
+        data in prop::collection::vec(prop::collection::vec(small(-4.0, 4.0), 3), 5),
+        probe in prop::collection::vec(small(-2.0, 2.0), 3),
+    ) {
+        let a = Matrix::from_rows(&data).unwrap();
+        let g = a.gram();
+        for i in 0..3 {
+            for j in 0..3 {
+                prop_assert!((g[(i, j)] - g[(j, i)]).abs() < 1e-12);
+            }
+        }
+        let gx = g.matvec(&probe).unwrap();
+        let quad: f64 = probe.iter().zip(&gx).map(|(x, y)| x * y).sum();
+        prop_assert!(quad >= -1e-9, "xᵀGx = {quad}");
+    }
+
+    /// Matrix multiplication distributes over addition.
+    #[test]
+    fn matmul_distributes(
+        a in prop::collection::vec(prop::collection::vec(small(-3.0, 3.0), 3), 2),
+        b in prop::collection::vec(prop::collection::vec(small(-3.0, 3.0), 2), 3),
+        c in prop::collection::vec(prop::collection::vec(small(-3.0, 3.0), 2), 3),
+    ) {
+        let a = Matrix::from_rows(&a).unwrap();
+        let b = Matrix::from_rows(&b).unwrap();
+        let c = Matrix::from_rows(&c).unwrap();
+        let lhs = a.matmul(&(&b + &c)).unwrap();
+        let rhs = &a.matmul(&b).unwrap() + &a.matmul(&c).unwrap();
+        for i in 0..lhs.rows() {
+            for j in 0..lhs.cols() {
+                prop_assert!((lhs[(i, j)] - rhs[(i, j)]).abs() < 1e-9);
+            }
+        }
+    }
+
+    /// Exact polynomial data is recovered for any degree ≤ 3.
+    #[test]
+    fn polyfit_recovers_polynomials(
+        coeffs in prop::collection::vec(small(-4.0, 4.0), 1..=4),
+    ) {
+        let truth = Polynomial::new(coeffs.clone()).unwrap();
+        let degree = coeffs.len() - 1;
+        let xs: Vec<f64> = (0..(degree + 4)).map(|i| 0.5 + 0.37 * i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| truth.eval(x)).collect();
+        let fit = Polynomial::fit(&xs, &ys, degree).unwrap();
+        for x in [0.7, 1.3, 2.9] {
+            prop_assert!((fit.eval(x) - truth.eval(x)).abs() < 1e-6);
+        }
+    }
+
+    /// Percentiles are monotone in p and bounded by the extremes.
+    #[test]
+    fn percentile_monotone_and_bounded(
+        values in prop::collection::vec(small(-100.0, 100.0), 1..40),
+        p1 in 0.0f64..100.0,
+        p2 in 0.0f64..100.0,
+    ) {
+        let (lo, hi) = (p1.min(p2), p1.max(p2));
+        let a = percentile(&values, lo);
+        let b = percentile(&values, hi);
+        prop_assert!(a <= b + 1e-12);
+        let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(a >= min - 1e-12 && b <= max + 1e-12);
+    }
+
+    /// AAE is zero exactly on perfect predictions and scale-invariant.
+    #[test]
+    fn aae_properties(
+        measured in prop::collection::vec(small(1.0, 100.0), 1..20),
+        scale in small(0.5, 2.0),
+    ) {
+        let perfect = average_absolute_error(&measured, &measured).unwrap();
+        prop_assert!(perfect.abs() < 1e-12);
+        // Scaling both predictions and measurements leaves AAE fixed.
+        let predicted: Vec<f64> = measured.iter().map(|v| v * 1.1).collect();
+        let base = average_absolute_error(&predicted, &measured).unwrap();
+        let scaled_p: Vec<f64> = predicted.iter().map(|v| v * scale).collect();
+        let scaled_m: Vec<f64> = measured.iter().map(|v| v * scale).collect();
+        let scaled = average_absolute_error(&scaled_p, &scaled_m).unwrap();
+        prop_assert!((base - scaled).abs() < 1e-9);
+    }
+}

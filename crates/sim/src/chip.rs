@@ -1,0 +1,760 @@
+//! The full-chip simulator.
+//!
+//! [`ChipSimulator`] ties the substrate together: thread programs run
+//! on cores grouped into CUs, each CU at its own VF state; the shared
+//! NB applies memory contention; the generative power model and the RC
+//! thermal node produce the physical state; the noisy sensor and the
+//! multiplexed per-core PMUs produce the *observables*. One call to
+//! [`ChipSimulator::step_interval`] advances ten 20 ms sub-ticks and
+//! returns the [`IntervalRecord`] a PPEP daemon would see for that
+//! 200 ms decision interval — plus the hidden ground truth that the
+//! experiments use for validation.
+
+use crate::engine::{event_counts, plan_subtick, ExecutionContext};
+use crate::nb::NorthBridge;
+use crate::physics::PowerPhysics;
+use crate::sensor::PowerSensor;
+use crate::thermal::ThermalModel;
+use ppep_pmc::sampler::{IntervalSample, IntervalSampler};
+use ppep_pmc::{EventCounts, EventId, Pmu};
+use ppep_types::time::{IntervalIndex, POWER_SAMPLE_PERIOD, SAMPLES_PER_INTERVAL};
+use ppep_types::vf::NbVfState;
+use ppep_types::{CoreId, CuId, Kelvin, Result, Seconds, Topology, VfStateId, Watts};
+use ppep_workloads::program::{ThreadCursor, ThreadProgram};
+use ppep_workloads::WorkloadSpec;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Configuration for a [`ChipSimulator`].
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Chip structure and VF ladder.
+    pub topology: Topology,
+    /// The generative power model.
+    pub physics: PowerPhysics,
+    /// The thermal model.
+    pub thermal: ThermalModel,
+    /// The north bridge.
+    pub nb: NorthBridge,
+    /// Whether CU-level power gating is enabled (BIOS switch, §IV-D).
+    pub power_gating: bool,
+    /// Global seed for all stochastic elements.
+    pub seed: u64,
+    /// Per-event multiplicative count jitter (σ, fraction).
+    pub jitter_sigma: f64,
+    /// Use an ideal (non-multiplexed) PMU — ablation only.
+    pub ideal_pmu: bool,
+    /// Use an ideal (noise-free) power sensor — ablation only.
+    pub ideal_sensor: bool,
+}
+
+impl SimConfig {
+    /// The paper's main platform with power gating disabled (the
+    /// §IV-A through §IV-C configuration).
+    pub fn fx8320(seed: u64) -> Self {
+        Self {
+            topology: Topology::fx8320(),
+            physics: PowerPhysics::fx8320(),
+            thermal: ThermalModel::fx8320(),
+            nb: NorthBridge::fx8320(),
+            power_gating: false,
+            seed,
+            jitter_sigma: 0.008,
+            ideal_pmu: false,
+            ideal_sensor: false,
+        }
+    }
+
+    /// FX-8320 with power gating enabled (§IV-D and all §V studies).
+    pub fn fx8320_pg(seed: u64) -> Self {
+        Self { power_gating: true, ..Self::fx8320(seed) }
+    }
+
+    /// FX-8320 with the hardware boost states exposed and power gating
+    /// enabled — the substrate for the §IV-E firmware-boost extension.
+    pub fn fx8320_boost(seed: u64) -> Self {
+        Self {
+            topology: Topology::fx8320_with_boost(),
+            power_gating: true,
+            ..Self::fx8320(seed)
+        }
+    }
+
+    /// The secondary validation platform (no power gating available).
+    pub fn phenom_ii_x6(seed: u64) -> Self {
+        Self {
+            topology: Topology::phenom_ii_x6(),
+            physics: PowerPhysics::phenom_ii_x6(),
+            thermal: ThermalModel::new(0.30, 140.0, Kelvin::new(300.0)),
+            nb: NorthBridge::fx8320(),
+            power_gating: false,
+            seed,
+            jitter_sigma: 0.008,
+            ideal_pmu: false,
+            ideal_sensor: false,
+        }
+    }
+}
+
+/// The hidden ground-truth power decomposition of one interval
+/// (averaged over its sub-ticks).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerBreakdown {
+    /// Dynamic power attributable to each core's activity.
+    pub core_dynamic: Vec<Watts>,
+    /// NB dynamic power from memory traffic.
+    pub nb_dynamic: Watts,
+    /// Idle (leakage + housekeeping) power of each CU after gating.
+    pub cu_idle: Vec<Watts>,
+    /// NB idle power after gating.
+    pub nb_idle: Watts,
+    /// Always-on base power.
+    pub base: Watts,
+}
+
+impl PowerBreakdown {
+    /// Total chip power.
+    pub fn total(&self) -> Watts {
+        self.dynamic_total() + self.idle_total()
+    }
+
+    /// All dynamic power (cores + NB).
+    pub fn dynamic_total(&self) -> Watts {
+        self.core_dynamic.iter().copied().sum::<Watts>() + self.nb_dynamic
+    }
+
+    /// All idle power (CUs + NB + base).
+    pub fn idle_total(&self) -> Watts {
+        self.cu_idle.iter().copied().sum::<Watts>() + self.nb_idle + self.base
+    }
+
+    /// NB-attributable power (idle + dynamic) — the Fig. 10 quantity.
+    pub fn nb_total(&self) -> Watts {
+        self.nb_dynamic + self.nb_idle
+    }
+}
+
+/// Everything observable (and the hidden truth) for one 200 ms
+/// decision interval.
+#[derive(Debug, Clone)]
+pub struct IntervalRecord {
+    /// Which interval this is.
+    pub index: IntervalIndex,
+    /// Interval length (200 ms).
+    pub duration: Seconds,
+    /// Per-core PMU samples (multiplexed + extrapolated — what PPEP
+    /// sees).
+    pub samples: Vec<IntervalSample>,
+    /// Per-core exact event counts (hidden truth, for ablations).
+    pub true_counts: Vec<EventCounts>,
+    /// Average of the ten 20 ms sensor readings (what PPEP sees).
+    pub measured_power: Watts,
+    /// The hidden true power decomposition.
+    pub true_power: PowerBreakdown,
+    /// Thermal-diode reading at interval end (what PPEP sees).
+    pub temperature: Kelvin,
+    /// Each CU's VF state during the interval.
+    pub cu_vf: Vec<VfStateId>,
+    /// The NB state during the interval.
+    pub nb_state: NbVfState,
+    /// Whether each core retired any instructions this interval.
+    pub core_busy: Vec<bool>,
+}
+
+impl IntervalRecord {
+    /// Number of busy compute units this interval.
+    pub fn busy_cu_count(&self, topology: &Topology) -> usize {
+        topology
+            .cus()
+            .filter(|cu| {
+                topology
+                    .cores_of(*cu)
+                    .expect("cu id from topology")
+                    .iter()
+                    .any(|c| self.core_busy[c.0])
+            })
+            .count()
+    }
+
+    /// Measured energy of the interval (sensor power × duration).
+    pub fn measured_energy(&self) -> ppep_types::Joules {
+        self.measured_power * self.duration
+    }
+}
+
+struct CoreSlot {
+    program: ThreadProgram,
+    cursor: ThreadCursor,
+}
+
+/// The simulated chip.
+pub struct ChipSimulator {
+    config: SimConfig,
+    slots: Vec<Option<CoreSlot>>,
+    samplers: Vec<IntervalSampler>,
+    cu_vf: Vec<VfStateId>,
+    sensor: PowerSensor,
+    rng: StdRng,
+    thermal: ThermalModel,
+    nb: NorthBridge,
+    interval: IntervalIndex,
+}
+
+impl ChipSimulator {
+    /// Builds a chip in the given configuration, idle, at ambient
+    /// temperature, at the highest VF state.
+    pub fn new(config: SimConfig) -> Self {
+        let cores = config.topology.core_count();
+        let make_sampler = |i: usize| {
+            let pmu = if config.ideal_pmu { Pmu::new_ideal() } else { Pmu::new() };
+            let _ = i;
+            IntervalSampler::new(pmu)
+        };
+        let sensor = if config.ideal_sensor {
+            PowerSensor::ideal(config.seed ^ 0x5e4)
+        } else {
+            PowerSensor::new(config.seed ^ 0x5e4)
+        };
+        let highest = config.topology.vf_table().highest();
+        Self {
+            slots: (0..cores).map(|_| None).collect(),
+            samplers: (0..cores).map(make_sampler).collect(),
+            cu_vf: vec![highest; config.topology.cu_count()],
+            sensor,
+            rng: StdRng::seed_from_u64(config.seed ^ 0x11f),
+            thermal: config.thermal,
+            nb: config.nb,
+            interval: IntervalIndex(0),
+            config,
+        }
+    }
+
+    /// The chip's topology.
+    pub fn topology(&self) -> &Topology {
+        &self.config.topology
+    }
+
+    /// Places a workload's threads on cores, spreading across CUs
+    /// first (cores 0, 2, 4, 6, then 1, 3, 5, 7 on the FX-8320) the
+    /// way the paper affinitises instances to distinct CUs.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the workload has more threads than the chip has
+    /// cores.
+    pub fn load_workload(&mut self, workload: &WorkloadSpec) {
+        let cores = self.config.topology.core_count();
+        assert!(
+            workload.thread_count() <= cores,
+            "{} threads > {cores} cores",
+            workload.thread_count()
+        );
+        self.clear_workload();
+        let order = self.placement_order();
+        for (thread, &core) in workload.threads().iter().zip(order.iter()) {
+            let cursor = thread.start();
+            self.slots[core] = Some(CoreSlot { program: thread.clone(), cursor });
+        }
+    }
+
+    fn placement_order(&self) -> Vec<usize> {
+        let t = &self.config.topology;
+        let mut order = Vec::with_capacity(t.core_count());
+        for within in 0..t.cores_per_cu() {
+            for cu in 0..t.cu_count() {
+                order.push(cu * t.cores_per_cu() + within);
+            }
+        }
+        order
+    }
+
+    /// Removes all threads; the chip idles.
+    pub fn clear_workload(&mut self) {
+        for s in self.slots.iter_mut() {
+            *s = None;
+        }
+        self.nb.reset();
+    }
+
+    /// Sets every CU to the same VF state.
+    pub fn set_all_vf(&mut self, vf: VfStateId) {
+        for slot in self.cu_vf.iter_mut() {
+            *slot = vf;
+        }
+    }
+
+    /// Sets one CU's VF state (the per-CU DVFS the Fig. 7 study
+    /// assumes).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an out-of-range CU.
+    pub fn set_cu_vf(&mut self, cu: CuId, vf: VfStateId) -> Result<()> {
+        if cu.0 >= self.cu_vf.len() {
+            return Err(ppep_types::Error::UnknownCu { cu: cu.0, count: self.cu_vf.len() });
+        }
+        self.cu_vf[cu.0] = vf;
+        Ok(())
+    }
+
+    /// The VF state of a CU.
+    ///
+    /// # Panics
+    ///
+    /// Panics for an out-of-range CU.
+    pub fn cu_vf(&self, cu: CuId) -> VfStateId {
+        self.cu_vf[cu.0]
+    }
+
+    /// Sets the NB operating point.
+    pub fn set_nb_state(&mut self, state: NbVfState) {
+        self.nb.set_state(state);
+    }
+
+    /// The NB operating point.
+    pub fn nb_state(&self) -> NbVfState {
+        self.nb.state()
+    }
+
+    /// Enables/disables CU power gating (the BIOS switch).
+    pub fn set_power_gating(&mut self, enabled: bool) {
+        self.config.power_gating = enabled;
+    }
+
+    /// Whether power gating is enabled.
+    pub fn power_gating(&self) -> bool {
+        self.config.power_gating
+    }
+
+    /// Current diode temperature.
+    pub fn temperature(&self) -> Kelvin {
+        self.thermal.temperature()
+    }
+
+    /// Forces the chip temperature (e.g. pre-heating for Fig. 1).
+    pub fn set_temperature(&mut self, t: Kelvin) {
+        self.thermal.set_temperature(t);
+    }
+
+    /// True when every loaded thread has finished (vacuously true for
+    /// an idle chip; always false while a looping thread is loaded).
+    pub fn all_finished(&self) -> bool {
+        self.slots
+            .iter()
+            .flatten()
+            .all(|s| s.cursor.is_finished())
+    }
+
+    /// Read-only access to a core's PMU (for the [`crate::devices`]
+    /// MSR facade).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ppep_types::Error::UnknownCore`] for out-of-range ids.
+    pub fn core_pmu(&self, core: CoreId) -> Result<&ppep_pmc::Pmu> {
+        self.samplers
+            .get(core.0)
+            .map(|s| s.pmu())
+            .ok_or(ppep_types::Error::UnknownCore {
+                core: core.0,
+                count: self.samplers.len(),
+            })
+    }
+
+    /// Instructions retired so far by a core's thread (0 for empty
+    /// cores).
+    pub fn retired_instructions(&self, core: CoreId) -> f64 {
+        self.slots[core.0]
+            .as_ref()
+            .map_or(0.0, |s| s.cursor.retired_instructions())
+    }
+
+    fn core_busy(&self, core: usize) -> bool {
+        self.slots[core]
+            .as_ref()
+            .is_some_and(|s| !s.cursor.is_finished())
+    }
+
+    fn cu_has_busy_core(&self, cu: usize) -> bool {
+        let per = self.config.topology.cores_per_cu();
+        (0..per).any(|i| self.core_busy(cu * per + i))
+    }
+
+    /// Advances the chip by one 200 ms decision interval.
+    pub fn step_interval(&mut self) -> IntervalRecord {
+        let topo = self.config.topology.clone();
+        let cores = topo.core_count();
+        let cus = topo.cu_count();
+        let vf_table = topo.vf_table().clone();
+        let dt = POWER_SAMPLE_PERIOD;
+
+        let mut true_totals = vec![EventCounts::zero(); cores];
+        let mut busy_any = vec![false; cores];
+        let mut sensor_readings = Vec::with_capacity(SAMPLES_PER_INTERVAL);
+        let mut samples: Vec<Option<IntervalSample>> = vec![None; cores];
+        let mut acc_core_dyn = vec![0.0_f64; cores];
+        let mut acc_cu_idle = vec![0.0_f64; cus];
+        let mut acc_nb_dyn = 0.0_f64;
+        let mut acc_nb_idle = 0.0_f64;
+
+        for _sub in 0..SAMPLES_PER_INTERVAL {
+            let temperature = self.thermal.temperature();
+            let contention = self.nb.contention_multiplier();
+            let nb_latency = self.nb.latency_factor();
+            let mut subtick_counts = vec![EventCounts::zero(); cores];
+            let mut switching = vec![1.0_f64; cores];
+            let mut total_misses = 0.0;
+
+            for core in 0..cores {
+                let cu = core / topo.cores_per_cu();
+                let ctx = ExecutionContext {
+                    vf: vf_table.point(self.cu_vf[cu]),
+                    issue_width: topo.issue_width(),
+                    mispredict_penalty: topo.mispredict_penalty_cycles(),
+                    contention,
+                    nb_latency_factor: nb_latency,
+                };
+                let counts = if let Some(slot) = self.slots[core].as_mut() {
+                    if slot.cursor.is_finished() {
+                        EventCounts::zero()
+                    } else {
+                        let fp = *slot.cursor.fingerprint(&slot.program);
+                        switching[core] = fp.switching_factor;
+                        let plan = plan_subtick(&fp, &ctx, dt);
+                        let executed = slot.cursor.advance(&slot.program, plan.instructions);
+                        if executed > 0.0 {
+                            busy_any[core] = true;
+                            event_counts(
+                                &fp,
+                                &ctx,
+                                executed,
+                                self.config.jitter_sigma,
+                                &mut self.rng,
+                            )
+                        } else {
+                            EventCounts::zero()
+                        }
+                    }
+                } else {
+                    EventCounts::zero()
+                };
+                total_misses += counts.get(EventId::L2CacheMisses);
+                true_totals[core] += counts;
+                subtick_counts[core] = counts;
+            }
+
+            self.nb.observe_traffic(total_misses, dt);
+
+            // True power for this sub-tick.
+            let mut subtick_power = self.config.physics.base_power;
+            #[allow(clippy::needless_range_loop)] // cu indexes three arrays
+            for cu in 0..cus {
+                let vf = vf_table.point(self.cu_vf[cu]);
+                let idle = self.config.physics.cu_idle(vf, temperature).as_watts();
+                let gated = self.config.power_gating && !self.cu_has_busy_core(cu);
+                let w = if gated { idle * self.config.physics.pg_residual } else { idle };
+                acc_cu_idle[cu] += w;
+                subtick_power += w;
+            }
+            let nb_gated = self.config.power_gating && (0..cus).all(|cu| !self.cu_has_busy_core(cu));
+            let nb_idle_w = {
+                let idle = self.config.physics.nb_idle(self.nb.state(), temperature).as_watts();
+                if nb_gated {
+                    idle * self.config.physics.pg_residual
+                } else {
+                    idle
+                }
+            };
+            acc_nb_idle += nb_idle_w;
+            subtick_power += nb_idle_w;
+
+            for core in 0..cores {
+                let cu = core / topo.cores_per_cu();
+                let v = vf_table.point(self.cu_vf[cu]).voltage;
+                // Data-dependent switching intensity is invisible to
+                // any counter-based model; it only scales true power.
+                let w = switching[core]
+                    * self
+                        .config
+                        .physics
+                        .core_dynamic(&subtick_counts[core], v, temperature, dt)
+                        .as_watts();
+                acc_core_dyn[core] += w;
+                subtick_power += w;
+            }
+            let nb_dyn =
+                self.config.physics.nb_dynamic(total_misses, self.nb.state(), dt).as_watts();
+            acc_nb_dyn += nb_dyn;
+            subtick_power += nb_dyn;
+
+            sensor_readings.push(self.sensor.sample(Watts::new(subtick_power)).as_watts());
+            self.thermal.step(Watts::new(subtick_power), dt);
+
+            // PMU sees the sub-tick.
+            for core in 0..cores {
+                if let Some(sample) = self.samplers[core]
+                    .tick(&subtick_counts[core])
+                    .expect("engine counts are valid")
+                {
+                    samples[core] = Some(sample);
+                }
+            }
+        }
+
+        let n = SAMPLES_PER_INTERVAL as f64;
+        let record = IntervalRecord {
+            index: self.interval,
+            duration: ppep_types::time::DECISION_INTERVAL,
+            samples: samples
+                .into_iter()
+                .map(|s| s.expect("10 sub-ticks complete one interval"))
+                .collect(),
+            true_counts: true_totals,
+            measured_power: Watts::new(sensor_readings.iter().sum::<f64>() / n),
+            true_power: PowerBreakdown {
+                core_dynamic: acc_core_dyn.into_iter().map(|w| Watts::new(w / n)).collect(),
+                nb_dynamic: Watts::new(acc_nb_dyn / n),
+                cu_idle: acc_cu_idle.into_iter().map(|w| Watts::new(w / n)).collect(),
+                nb_idle: Watts::new(acc_nb_idle / n),
+                base: Watts::new(self.config.physics.base_power),
+            },
+            temperature: self.thermal.temperature(),
+            cu_vf: self.cu_vf.clone(),
+            nb_state: self.nb.state(),
+            core_busy: busy_any,
+        };
+        self.interval = self.interval.next();
+        record
+    }
+
+    /// Runs `n` intervals and collects the records.
+    pub fn run_intervals(&mut self, n: usize) -> Vec<IntervalRecord> {
+        (0..n).map(|_| self.step_interval()).collect()
+    }
+
+    /// Runs intervals until every loaded thread finishes, up to `max`
+    /// intervals. Returns the records (possibly `max` of them if work
+    /// remains).
+    pub fn run_to_completion(&mut self, max: usize) -> Vec<IntervalRecord> {
+        let mut out = Vec::new();
+        for _ in 0..max {
+            out.push(self.step_interval());
+            if self.all_finished() {
+                break;
+            }
+        }
+        out
+    }
+}
+
+impl std::fmt::Debug for ChipSimulator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChipSimulator")
+            .field("topology", &self.config.topology.name())
+            .field("interval", &self.interval)
+            .field("temperature", &self.thermal.temperature())
+            .field("power_gating", &self.config.power_gating)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppep_workloads::combos::instances;
+    use ppep_workloads::suites;
+
+    fn idle_chip() -> ChipSimulator {
+        ChipSimulator::new(SimConfig::fx8320(42))
+    }
+
+    #[test]
+    fn idle_chip_power_is_plausible_and_quiet() {
+        let mut sim = idle_chip();
+        let rec = sim.step_interval();
+        let p = rec.measured_power.as_watts();
+        assert!((20.0..=50.0).contains(&p), "idle FX-8320 ≈ 35 W, got {p}");
+        assert!(rec.core_busy.iter().all(|b| !b));
+        for s in &rec.samples {
+            assert_eq!(s.counts.get(EventId::RetiredInstructions), 0.0);
+        }
+    }
+
+    #[test]
+    fn busy_chip_draws_much_more_power() {
+        let mut sim = idle_chip();
+        sim.load_workload(&instances("458.sjeng", 8, 42));
+        // Let temperature and contention settle a little.
+        let records = sim.run_intervals(20);
+        let p = records.last().unwrap().measured_power.as_watts();
+        assert!((90.0..=170.0).contains(&p), "8 busy cores ≈ 150 W, got {p}");
+        assert_eq!(records[0].core_busy.iter().filter(|b| **b).count(), 8);
+    }
+
+    #[test]
+    fn placement_spreads_across_cus_first() {
+        let mut sim = idle_chip();
+        sim.load_workload(&instances("458.sjeng", 4, 42));
+        let rec = sim.step_interval();
+        assert_eq!(rec.busy_cu_count(sim.topology()), 4, "4 instances on 4 distinct CUs");
+        // Cores 0, 2, 4, 6 busy; 1, 3, 5, 7 idle.
+        assert_eq!(
+            rec.core_busy,
+            vec![true, false, true, false, true, false, true, false]
+        );
+    }
+
+    #[test]
+    fn lower_vf_uses_less_power_and_retires_fewer_instructions() {
+        let mut hi = ChipSimulator::new(SimConfig::fx8320(42));
+        hi.load_workload(&instances("458.sjeng", 4, 42));
+        let hi_rec = hi.run_intervals(10).pop().unwrap();
+
+        let mut lo = ChipSimulator::new(SimConfig::fx8320(42));
+        lo.load_workload(&instances("458.sjeng", 4, 42));
+        lo.set_all_vf(lo.topology().vf_table().lowest());
+        let lo_rec = lo.run_intervals(10).pop().unwrap();
+
+        assert!(lo_rec.measured_power < hi_rec.measured_power);
+        let hi_inst = hi_rec.true_counts[0].get(EventId::RetiredInstructions);
+        let lo_inst = lo_rec.true_counts[0].get(EventId::RetiredInstructions);
+        // sjeng is CPU-bound but not memory-free: near-linear scaling,
+        // slightly below the 3.5/1.4 = 2.5 frequency ratio.
+        let ratio = hi_inst / lo_inst;
+        assert!(
+            (2.0..=2.5).contains(&ratio),
+            "CPU-bound IPC scales ~with f: ratio {ratio}"
+        );
+    }
+
+    #[test]
+    fn power_gating_cuts_idle_power() {
+        let mut off = ChipSimulator::new(SimConfig::fx8320(42));
+        let p_off = off.run_intervals(5).pop().unwrap().measured_power.as_watts();
+        let mut on = ChipSimulator::new(SimConfig::fx8320_pg(42));
+        let p_on = on.run_intervals(5).pop().unwrap().measured_power.as_watts();
+        assert!(
+            p_on < 0.5 * p_off,
+            "gated idle {p_on} W must be far below ungated {p_off} W"
+        );
+    }
+
+    #[test]
+    fn power_gating_only_affects_idle_cus() {
+        let mut sim = ChipSimulator::new(SimConfig::fx8320_pg(42));
+        sim.load_workload(&instances("458.sjeng", 8, 42));
+        let gated = sim.run_intervals(5).pop().unwrap();
+        let mut sim2 = ChipSimulator::new(SimConfig::fx8320(42));
+        sim2.load_workload(&instances("458.sjeng", 8, 42));
+        let ungated = sim2.run_intervals(5).pop().unwrap();
+        // All CUs busy: gating changes nothing (Fig. 4, 4CUs case).
+        let rel = (gated.true_power.total().as_watts() - ungated.true_power.total().as_watts())
+            .abs()
+            / ungated.true_power.total().as_watts();
+        assert!(rel < 0.02, "fully-busy chip insensitive to PG, Δ={rel}");
+    }
+
+    #[test]
+    fn temperature_rises_under_load() {
+        let mut sim = idle_chip();
+        sim.load_workload(&instances("458.sjeng", 8, 42));
+        let t0 = sim.temperature().as_kelvin();
+        sim.run_intervals(100); // 20 s
+        let t1 = sim.temperature().as_kelvin();
+        assert!(t1 > t0 + 10.0, "20 s of load heats the chip: {t0} -> {t1}");
+    }
+
+    #[test]
+    fn contention_appears_with_many_memory_bound_threads() {
+        let mut single = ChipSimulator::new(SimConfig::fx8320(42));
+        single.load_workload(&instances("433.milc", 1, 42));
+        let one = single.run_intervals(10).pop().unwrap();
+        let mut multi = ChipSimulator::new(SimConfig::fx8320(42));
+        multi.load_workload(&instances("433.milc", 4, 42));
+        let four = multi.run_intervals(10).pop().unwrap();
+        let ipc_one = one.true_counts[0].get(EventId::RetiredInstructions);
+        let ipc_four = four.true_counts[0].get(EventId::RetiredInstructions);
+        assert!(
+            ipc_four < 0.97 * ipc_one,
+            "NB contention must slow each instance: {ipc_four} vs {ipc_one}"
+        );
+    }
+
+    #[test]
+    fn finite_workloads_finish() {
+        let mut sim = idle_chip();
+        // dedup is a short-run benchmark (finite instruction budget).
+        let w = instances("dedup", 1, 42);
+        sim.load_workload(&w);
+        assert!(!sim.all_finished());
+        let records = sim.run_to_completion(100_000);
+        assert!(sim.all_finished(), "dedup must complete");
+        assert!(records.len() < 100_000);
+        let core0 = CoreId(0);
+        assert!(sim.retired_instructions(core0) > 0.0);
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let run = || {
+            let mut sim = ChipSimulator::new(SimConfig::fx8320(7));
+            sim.load_workload(&instances("403.gcc", 2, 7));
+            let rec = sim.run_intervals(3).pop().unwrap();
+            (rec.measured_power, rec.temperature, rec.true_counts[0])
+        };
+        let (p1, t1, c1) = run();
+        let (p2, t2, c2) = run();
+        assert_eq!(p1, p2);
+        assert_eq!(t1, t2);
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn per_cu_vf_control() {
+        let mut sim = idle_chip();
+        let table = sim.topology().vf_table().clone();
+        sim.set_cu_vf(CuId(1), table.lowest()).unwrap();
+        assert_eq!(sim.cu_vf(CuId(1)), table.lowest());
+        assert_eq!(sim.cu_vf(CuId(0)), table.highest());
+        assert!(sim.set_cu_vf(CuId(9), table.lowest()).is_err());
+        let rec = sim.step_interval();
+        assert_eq!(rec.cu_vf[1], table.lowest());
+    }
+
+    #[test]
+    fn bench_a_generates_no_nb_traffic() {
+        let mut sim = idle_chip();
+        let w = WorkloadSpec::new(
+            "bench_a x2",
+            ppep_workloads::Suite::Micro,
+            vec![suites::bench_a(), suites::bench_a()],
+        );
+        sim.load_workload(&w);
+        let rec = sim.run_intervals(3).pop().unwrap();
+        for counts in &rec.true_counts {
+            assert_eq!(counts.get(EventId::L2CacheMisses), 0.0);
+            assert_eq!(counts.get(EventId::MabWaitCycles), 0.0);
+        }
+        assert_eq!(rec.true_power.nb_dynamic.as_watts(), 0.0);
+    }
+
+    #[test]
+    fn breakdown_totals_are_consistent_with_sensor() {
+        let mut sim = ChipSimulator::new(SimConfig::fx8320(42));
+        sim.load_workload(&instances("433.milc", 4, 42));
+        let rec = sim.run_intervals(5).pop().unwrap();
+        let truth = rec.true_power.total().as_watts();
+        let measured = rec.measured_power.as_watts();
+        let rel = (truth - measured).abs() / truth;
+        assert!(rel < 0.05, "sensor within noise of truth: {rel}");
+    }
+
+    #[test]
+    fn phenom_platform_runs() {
+        let mut sim = ChipSimulator::new(SimConfig::phenom_ii_x6(42));
+        sim.load_workload(&instances("458.sjeng", 6, 42));
+        let rec = sim.run_intervals(5).pop().unwrap();
+        assert_eq!(rec.samples.len(), 6);
+        assert!(rec.measured_power.as_watts() > 30.0);
+    }
+}

@@ -1,0 +1,157 @@
+//! OS-facing device facades: `hwmon` and `/dev/cpu/N/msr`.
+//!
+//! The paper's userspace daemon reads temperature "through the hwmon
+//! tree in sysfs" and counters via `msr-tools` (§II). These facades
+//! reproduce those interfaces over the simulator, so code written
+//! against the OS surface (string-typed sysfs attributes, per-core MSR
+//! device nodes) ports across.
+
+use crate::chip::ChipSimulator;
+use ppep_types::{CoreId, Error, Result};
+
+/// A sysfs-hwmon-style view of the socket thermal diode.
+///
+/// Linux hwmon exposes temperatures in *millidegrees Celsius* as
+/// decimal strings; `temp1_input` is the conventional first sensor.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Hwmon;
+
+impl Hwmon {
+    /// Reads a named attribute, as `cat /sys/class/hwmon/.../<name>`
+    /// would.
+    ///
+    /// Supported attributes: `temp1_input` (millidegrees C),
+    /// `temp1_label`, `name`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Device`] for unknown attribute names.
+    pub fn read(self, sim: &ChipSimulator, attribute: &str) -> Result<String> {
+        match attribute {
+            "temp1_input" => {
+                let milli = sim.temperature().to_celsius().as_celsius() * 1000.0;
+                Ok(format!("{}", milli.round() as i64))
+            }
+            "temp1_label" => Ok("CPU Temperature".to_string()),
+            "name" => Ok("ppep_socket".to_string()),
+            other => Err(Error::Device(format!("hwmon: no attribute {other:?}"))),
+        }
+    }
+
+    /// Convenience: the diode temperature in degrees Celsius, parsed
+    /// back from the sysfs string (exactly the round trip a userspace
+    /// daemon performs).
+    ///
+    /// # Errors
+    ///
+    /// Propagates attribute errors.
+    pub fn temperature_celsius(self, sim: &ChipSimulator) -> Result<f64> {
+        let milli: f64 = self
+            .read(sim, "temp1_input")?
+            .parse()
+            .map_err(|_| Error::Device("hwmon: unparsable temp1_input".into()))?;
+        Ok(milli / 1000.0)
+    }
+}
+
+/// A `/dev/cpu/N/msr`-style read path into each core's performance
+/// counter registers.
+///
+/// Only reads are exposed: the simulator's PMU owns counter
+/// programming (as the kernel's perf subsystem would), and a stray
+/// external `wrmsr` would corrupt its multiplexing bookkeeping.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MsrBus;
+
+impl MsrBus {
+    /// Reads an MSR on a specific core, as
+    /// `rdmsr -p <core> <address>` would.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownCore`] for out-of-range cores and
+    /// [`Error::Device`] for addresses outside the PMC block.
+    pub fn rdmsr(self, sim: &ChipSimulator, core: CoreId, address: u32) -> Result<u64> {
+        let pmu = sim.core_pmu(core)?;
+        pmu.msr().rdmsr(address)
+    }
+
+    /// Dumps the six `(PERF_CTL, PERF_CTR)` pairs of one core — the
+    /// `rdmsr`-loop a diagnostic script would run.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownCore`] for out-of-range cores.
+    pub fn dump_pmc_block(
+        self,
+        sim: &ChipSimulator,
+        core: CoreId,
+    ) -> Result<Vec<(u32, u64, u64)>> {
+        use ppep_pmc::msr::{PERF_CTL_BASE, SLOT_COUNT};
+        let mut out = Vec::with_capacity(SLOT_COUNT);
+        for slot in 0..SLOT_COUNT as u32 {
+            let ctl_addr = PERF_CTL_BASE + 2 * slot;
+            let ctl = self.rdmsr(sim, core, ctl_addr)?;
+            let ctr = self.rdmsr(sim, core, ctl_addr + 1)?;
+            out.push((ctl_addr, ctl, ctr));
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chip::SimConfig;
+    use ppep_pmc::msr::PERF_CTL_BASE;
+    use ppep_types::Kelvin;
+    use ppep_workloads::combos::instances;
+
+    fn sim() -> ChipSimulator {
+        let mut sim = ChipSimulator::new(SimConfig::fx8320(42));
+        sim.load_workload(&instances("458.sjeng", 2, 42));
+        sim
+    }
+
+    #[test]
+    fn hwmon_reports_millidegrees() {
+        let mut sim = sim();
+        sim.set_temperature(Kelvin::new(320.65)); // 47.5 °C
+        let raw = Hwmon.read(&sim, "temp1_input").unwrap();
+        assert_eq!(raw, "47500");
+        let c = Hwmon.temperature_celsius(&sim).unwrap();
+        assert!((c - 47.5).abs() < 1e-9);
+        assert_eq!(Hwmon.read(&sim, "name").unwrap(), "ppep_socket");
+        assert!(Hwmon.read(&sim, "temp9_input").is_err());
+    }
+
+    #[test]
+    fn msr_bus_reads_live_counters() {
+        let mut sim = sim();
+        let core = CoreId(0);
+        let before = MsrBus.dump_pmc_block(&sim, core).unwrap();
+        assert_eq!(before.len(), 6);
+        // Every CTL has its enable bit set (the PMU programmed them).
+        for (_, ctl, _) in &before {
+            assert!(ctl & ppep_pmc::msr::CTL_ENABLE_BIT != 0);
+        }
+        // Counters move as the core executes.
+        let _ = sim.run_intervals(2);
+        let after = MsrBus.dump_pmc_block(&sim, core).unwrap();
+        let moved = before
+            .iter()
+            .zip(&after)
+            .any(|((_, _, b), (_, _, a))| a != b);
+        assert!(moved, "running two intervals must advance some counter");
+        // Idle cores' counters stay parked at zero.
+        let idle = MsrBus.dump_pmc_block(&sim, CoreId(7)).unwrap();
+        assert!(idle.iter().all(|(_, _, ctr)| *ctr == 0));
+    }
+
+    #[test]
+    fn msr_bus_error_paths() {
+        let sim = sim();
+        assert!(MsrBus.rdmsr(&sim, CoreId(99), PERF_CTL_BASE).is_err());
+        assert!(MsrBus.rdmsr(&sim, CoreId(0), 0xC000_0000).is_err());
+    }
+}

@@ -1,0 +1,355 @@
+//! The generative ("ground truth") power model.
+//!
+//! PPEP *fits* a linear-in-temperature idle model with cubic-in-voltage
+//! coefficients (Eq. 2) and a single-α voltage-scaled linear dynamic
+//! model (Eq. 3). For validation errors to arise the way they do on
+//! silicon, the generator must be a *superset* of those forms:
+//!
+//! * leakage is exponential in both voltage and temperature (the paper
+//!   notes the linear-in-T fit is an approximation that works over the
+//!   normal operating range);
+//! * each event class carries its own voltage exponent `β_i` spread
+//!   around 2, while the fitted model assumes one shared `α`;
+//! * dynamic power has a small temperature coefficient the fitted
+//!   model omits entirely.
+//!
+//! All constants are calibrated so chip-level magnitudes resemble the
+//! FX-8320: ~35 W idle (PG off, VF5), ~95–115 W fully loaded.
+
+use ppep_pmc::EventCounts;
+use ppep_types::vf::NbVfState;
+use ppep_types::{Kelvin, Seconds, VfPoint, Volts, Watts};
+
+/// Reference voltage at which per-event energies are specified (the
+/// FX-8320's VF5 voltage).
+pub const REFERENCE_VOLTAGE: Volts = Volts::new(1.320);
+
+/// Reference temperature for the leakage and dynamic temperature terms.
+pub const REFERENCE_TEMPERATURE: Kelvin = Kelvin::new(320.0);
+
+/// Per-event dynamic energy parameters: energy per event at the
+/// reference voltage, and the voltage exponent.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EventEnergy {
+    /// Energy per event at [`REFERENCE_VOLTAGE`], in nanojoules.
+    pub nanojoules: f64,
+    /// Voltage exponent `β`: energy scales as `(V / Vref)^β`.
+    pub beta: f64,
+}
+
+impl EventEnergy {
+    /// Energy in joules for `count` events at voltage `v`.
+    pub fn energy(&self, count: f64, v: Volts) -> f64 {
+        self.nanojoules * 1e-9 * count * (v / REFERENCE_VOLTAGE).powf(self.beta)
+    }
+}
+
+/// The complete generative power model for one chip.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerPhysics {
+    /// Per-core dynamic energy for the eight core-private event
+    /// classes (E1–E8 order) plus dispatch stalls (E9).
+    pub event_energy: [EventEnergy; 9],
+    /// NB energy per L2 miss (L3/DRAM traffic) at the stock NB point,
+    /// in nanojoules.
+    pub nb_miss_nanojoules: f64,
+    /// CU leakage at reference voltage/temperature, watts per CU.
+    pub cu_leak_ref: f64,
+    /// Leakage voltage sensitivity: `exp(leak_volt_coeff · (V − Vref))`.
+    pub leak_volt_coeff: f64,
+    /// Leakage temperature sensitivity: `exp(leak_temp_coeff · (T − Tref))`.
+    pub leak_temp_coeff: f64,
+    /// CU active-idle coefficient: watts per (V² · GHz) of housekeeping
+    /// clocking while idle but not gated.
+    pub cu_active_idle_coeff: f64,
+    /// NB leakage at the stock NB voltage and reference temperature.
+    pub nb_leak_ref: f64,
+    /// NB active-idle power at the stock NB point, watts.
+    pub nb_active_idle: f64,
+    /// Always-on base power (I/O, PLLs) that never gates, watts.
+    pub base_power: f64,
+    /// Temperature coefficient of dynamic power (fractional per kelvin).
+    pub dyn_temp_coeff: f64,
+    /// Residual fraction of CU idle power that survives power gating.
+    pub pg_residual: f64,
+    /// Fractional drop of NB idle power at [`NbVfState::Low`]
+    /// (the Fig. 11 study assumes 40%).
+    pub nb_low_idle_drop: f64,
+    /// Fractional drop of NB dynamic energy at [`NbVfState::Low`]
+    /// (the Fig. 11 study assumes 36%).
+    pub nb_low_dyn_drop: f64,
+}
+
+impl PowerPhysics {
+    /// Calibrated FX-8320-class constants (see module docs).
+    pub fn fx8320() -> Self {
+        Self {
+            event_energy: [
+                EventEnergy { nanojoules: 2.30, beta: 2.00 }, // E1 retired µops
+                EventEnergy { nanojoules: 2.60, beta: 2.30 }, // E2 FPU ops
+                EventEnergy { nanojoules: 0.75, beta: 1.80 }, // E3 I-cache fetches
+                EventEnergy { nanojoules: 1.60, beta: 2.00 }, // E4 D-cache accesses
+                EventEnergy { nanojoules: 3.30, beta: 2.20 }, // E5 L2 requests
+                EventEnergy { nanojoules: 0.50, beta: 1.95 }, // E6 branches
+                EventEnergy { nanojoules: 12.0, beta: 2.15 }, // E7 mispredicts
+                EventEnergy { nanojoules: 8.00, beta: 2.00 }, // E8 L2 misses (core side)
+                EventEnergy { nanojoules: 0.12, beta: 2.00 }, // E9 stall cycles (clock/idle logic)
+            ],
+            nb_miss_nanojoules: 260.0,
+            cu_leak_ref: 3.6,
+            leak_volt_coeff: 3.2,
+            leak_temp_coeff: 0.013,
+            cu_active_idle_coeff: 0.50,
+            nb_leak_ref: 2.5,
+            nb_active_idle: 1.4,
+            base_power: 1.2,
+            dyn_temp_coeff: 0.0022,
+            pg_residual: 0.03,
+            nb_low_idle_drop: 0.40,
+            nb_low_dyn_drop: 0.36,
+        }
+    }
+
+    /// Constants for the six-core Phenom™ II X6 1090T (125 W TDP,
+    /// older 45 nm process: higher leakage temperature sensitivity,
+    /// larger per-event energies, no power gating).
+    pub fn phenom_ii_x6() -> Self {
+        Self {
+            event_energy: [
+                EventEnergy { nanojoules: 1.30, beta: 2.00 },
+                EventEnergy { nanojoules: 2.10, beta: 2.10 },
+                EventEnergy { nanojoules: 0.70, beta: 1.90 },
+                EventEnergy { nanojoules: 1.05, beta: 2.00 },
+                EventEnergy { nanojoules: 3.00, beta: 2.05 },
+                EventEnergy { nanojoules: 0.45, beta: 1.95 },
+                EventEnergy { nanojoules: 11.0, beta: 2.05 },
+                EventEnergy { nanojoules: 7.00, beta: 2.00 },
+                EventEnergy { nanojoules: 0.10, beta: 2.00 },
+            ],
+            nb_miss_nanojoules: 260.0,
+            cu_leak_ref: 3.2, // per single-core "CU"
+            leak_volt_coeff: 2.8,
+            leak_temp_coeff: 0.015,
+            cu_active_idle_coeff: 0.55,
+            nb_leak_ref: 1.5,
+            nb_active_idle: 1.0,
+            base_power: 2.0,
+            dyn_temp_coeff: 0.0010,
+            pg_residual: 1.0, // no gating: residual never applies
+            nb_low_idle_drop: 0.40,
+            nb_low_dyn_drop: 0.36,
+        }
+    }
+
+    /// CU leakage power at core voltage `v` and chip temperature `t`
+    /// (not gated).
+    pub fn cu_leakage(&self, v: Volts, t: Kelvin) -> Watts {
+        let vf = (self.leak_volt_coeff * (v.as_volts() - REFERENCE_VOLTAGE.as_volts())).exp();
+        let tf = (self.leak_temp_coeff * (t.as_kelvin() - REFERENCE_TEMPERATURE.as_kelvin())).exp();
+        Watts::new(self.cu_leak_ref * vf * tf)
+    }
+
+    /// CU active-idle power (housekeeping clocking) at operating point
+    /// `vf` while idle but not gated.
+    pub fn cu_active_idle(&self, vf: VfPoint) -> Watts {
+        Watts::new(
+            self.cu_active_idle_coeff * vf.voltage.as_volts().powi(2) * vf.frequency.as_ghz(),
+        )
+    }
+
+    /// Total idle power of one CU (leakage + active idle), not gated.
+    pub fn cu_idle(&self, vf: VfPoint, t: Kelvin) -> Watts {
+        self.cu_leakage(vf.voltage, t) + self.cu_active_idle(vf)
+    }
+
+    /// NB idle power (leakage + active idle) at NB state `nb` and
+    /// temperature `t`, not gated.
+    pub fn nb_idle(&self, nb: NbVfState, t: Kelvin) -> Watts {
+        let tf = (self.leak_temp_coeff * (t.as_kelvin() - REFERENCE_TEMPERATURE.as_kelvin())).exp();
+        let stock = self.nb_leak_ref * tf + self.nb_active_idle;
+        let scale = match nb {
+            NbVfState::High => 1.0,
+            NbVfState::Low => 1.0 - self.nb_low_idle_drop,
+        };
+        Watts::new(stock * scale)
+    }
+
+    /// Dynamic power of one core over `dt` given its event counts,
+    /// core voltage, and chip temperature.
+    ///
+    /// Counts are the nine E1–E9 totals for the period; the result is
+    /// average power over the period.
+    pub fn core_dynamic(
+        &self,
+        counts: &EventCounts,
+        v: Volts,
+        t: Kelvin,
+        dt: Seconds,
+    ) -> Watts {
+        let vector = counts.power_model_vector();
+        let mut joules = 0.0;
+        for (energy, count) in self.event_energy.iter().zip(vector) {
+            joules += energy.energy(count, v);
+        }
+        let temp_factor =
+            1.0 + self.dyn_temp_coeff * (t.as_kelvin() - REFERENCE_TEMPERATURE.as_kelvin());
+        Watts::new(joules * temp_factor / dt.as_secs())
+    }
+
+    /// NB dynamic power over `dt` from the chip-wide L2 miss count.
+    pub fn nb_dynamic(&self, total_l2_misses: f64, nb: NbVfState, dt: Seconds) -> Watts {
+        let scale = match nb {
+            NbVfState::High => 1.0,
+            NbVfState::Low => 1.0 - self.nb_low_dyn_drop,
+        };
+        Watts::new(self.nb_miss_nanojoules * 1e-9 * total_l2_misses * scale / dt.as_secs())
+    }
+}
+
+impl Default for PowerPhysics {
+    fn default() -> Self {
+        Self::fx8320()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppep_pmc::events::EventId;
+    use ppep_types::{Gigahertz, VfTable};
+
+    fn vf5() -> VfPoint {
+        VfTable::fx8320().point(VfTable::fx8320().highest())
+    }
+
+    fn vf1() -> VfPoint {
+        VfTable::fx8320().point(VfTable::fx8320().lowest())
+    }
+
+    #[test]
+    fn chip_idle_magnitude_is_fx8320_like() {
+        let p = PowerPhysics::fx8320();
+        let t = Kelvin::new(315.0);
+        let idle = 4.0 * p.cu_idle(vf5(), t).as_watts()
+            + p.nb_idle(NbVfState::High, t).as_watts()
+            + p.base_power;
+        assert!((25.0..=45.0).contains(&idle), "chip idle at VF5 = {idle} W");
+    }
+
+    #[test]
+    fn leakage_monotonic_in_voltage_and_temperature() {
+        let p = PowerPhysics::fx8320();
+        let t = Kelvin::new(320.0);
+        assert!(p.cu_leakage(Volts::new(1.32), t) > p.cu_leakage(Volts::new(0.888), t));
+        let v = Volts::new(1.1);
+        assert!(p.cu_leakage(v, Kelvin::new(340.0)) > p.cu_leakage(v, Kelvin::new(305.0)));
+    }
+
+    #[test]
+    fn leakage_near_linear_over_operating_range() {
+        // The paper's Eq. 2 fits a line in T; verify the generator is
+        // close to linear over 300-340 K (within a few percent of a
+        // secant-line interpolation).
+        let p = PowerPhysics::fx8320();
+        let v = Volts::new(1.32);
+        let lo = p.cu_leakage(v, Kelvin::new(300.0)).as_watts();
+        let hi = p.cu_leakage(v, Kelvin::new(340.0)).as_watts();
+        let mid_true = p.cu_leakage(v, Kelvin::new(320.0)).as_watts();
+        let mid_linear = (lo + hi) / 2.0;
+        let deviation = (mid_true - mid_linear).abs() / mid_true;
+        assert!(deviation < 0.05, "leakage deviates {deviation} from linear");
+        assert!(deviation > 0.0005, "generator must not be exactly linear");
+    }
+
+    #[test]
+    fn vf1_idle_is_much_cheaper_than_vf5() {
+        let p = PowerPhysics::fx8320();
+        let t = Kelvin::new(310.0);
+        let hi = p.cu_idle(vf5(), t).as_watts();
+        let lo = p.cu_idle(vf1(), t).as_watts();
+        assert!(lo < 0.5 * hi, "VF1 CU idle {lo} vs VF5 {hi}");
+    }
+
+    #[test]
+    fn core_dynamic_magnitude_for_busy_core() {
+        // A CPU-bound core at VF5: ~3.5e9 inst/s with typical rates.
+        let p = PowerPhysics::fx8320();
+        let dt = Seconds::new(0.2);
+        let inst = 3.5e9 * 0.2;
+        let mut c = EventCounts::zero();
+        c.set(EventId::RetiredUops, 1.2 * inst);
+        c.set(EventId::FpuPipeAssignment, 0.3 * inst);
+        c.set(EventId::InstructionCacheFetches, 0.2 * inst);
+        c.set(EventId::DataCacheAccesses, 0.45 * inst);
+        c.set(EventId::RequestsToL2, 0.03 * inst);
+        c.set(EventId::RetiredBranches, 0.15 * inst);
+        c.set(EventId::RetiredMispredictedBranches, 0.005 * inst);
+        c.set(EventId::L2CacheMisses, 0.001 * inst);
+        c.set(EventId::DispatchStalls, 0.3 * inst);
+        let w = p.core_dynamic(&c, Volts::new(1.32), Kelvin::new(325.0), dt);
+        assert!(
+            (8.0..=20.0).contains(&w.as_watts()),
+            "busy core dynamic = {} W",
+            w.as_watts()
+        );
+    }
+
+    #[test]
+    fn dynamic_scales_roughly_quadratically_with_voltage() {
+        let p = PowerPhysics::fx8320();
+        let dt = Seconds::new(0.2);
+        let mut c = EventCounts::zero();
+        c.set(EventId::RetiredUops, 1e9);
+        let hi = p.core_dynamic(&c, Volts::new(1.32), REFERENCE_TEMPERATURE, dt);
+        let lo = p.core_dynamic(&c, Volts::new(0.888), REFERENCE_TEMPERATURE, dt);
+        let ratio = hi / lo;
+        let v_ratio: f64 = 1.32 / 0.888;
+        assert!((ratio - v_ratio.powf(2.0)).abs() / ratio < 0.05);
+    }
+
+    #[test]
+    fn dynamic_has_small_temperature_dependence() {
+        let p = PowerPhysics::fx8320();
+        let dt = Seconds::new(0.2);
+        let mut c = EventCounts::zero();
+        c.set(EventId::RetiredUops, 1e9);
+        let cold = p.core_dynamic(&c, Volts::new(1.32), Kelvin::new(305.0), dt);
+        let hot = p.core_dynamic(&c, Volts::new(1.32), Kelvin::new(340.0), dt);
+        let rel = (hot - cold) / cold;
+        assert!(rel > 0.0 && rel < 0.08, "temperature effect {rel}");
+    }
+
+    #[test]
+    fn nb_low_state_saves_what_the_study_assumes() {
+        let p = PowerPhysics::fx8320();
+        let t = Kelvin::new(320.0);
+        let idle_hi = p.nb_idle(NbVfState::High, t).as_watts();
+        let idle_lo = p.nb_idle(NbVfState::Low, t).as_watts();
+        assert!((idle_lo / idle_hi - 0.6).abs() < 1e-9, "idle drops 40%");
+        let dt = Seconds::new(0.2);
+        let dyn_hi = p.nb_dynamic(1e7, NbVfState::High, dt).as_watts();
+        let dyn_lo = p.nb_dynamic(1e7, NbVfState::Low, dt).as_watts();
+        assert!((dyn_lo / dyn_hi - 0.64).abs() < 1e-9, "dynamic drops 36%");
+    }
+
+    #[test]
+    fn active_idle_scales_with_v_squared_f() {
+        let p = PowerPhysics::fx8320();
+        let a = p.cu_active_idle(VfPoint::new(Volts::new(1.0), Gigahertz::new(2.0)));
+        let b = p.cu_active_idle(VfPoint::new(Volts::new(2.0), Gigahertz::new(2.0)));
+        assert!((b / a - 4.0).abs() < 1e-9);
+        let c = p.cu_active_idle(VfPoint::new(Volts::new(1.0), Gigahertz::new(4.0)));
+        assert!((c / a - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn phenom_preset_differs_but_is_plausible() {
+        let p = PowerPhysics::phenom_ii_x6();
+        let t = Kelvin::new(315.0);
+        let table = VfTable::phenom_ii_x6();
+        let top = table.point(table.highest());
+        let idle =
+            6.0 * p.cu_idle(top, t).as_watts() + p.nb_idle(NbVfState::High, t).as_watts() + p.base_power;
+        assert!((25.0..=60.0).contains(&idle), "Phenom idle = {idle} W");
+    }
+}

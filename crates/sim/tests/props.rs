@@ -1,0 +1,107 @@
+//! Property tests over the chip simulator's physical invariants.
+
+use ppep_pmc::EventId;
+use ppep_sim::chip::{ChipSimulator, SimConfig};
+use ppep_workloads::combos::instances;
+use proptest::prelude::*;
+
+const BENCH_POOL: [&str; 6] =
+    ["458.sjeng", "433.milc", "403.gcc", "canneal", "EP", "CG"];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Ground-truth power decomposition always sums to its total, the
+    /// sensor stays within noise of it, and counters are physical
+    /// (finite, non-negative) — for any workload mix, VF state, and
+    /// gating setting.
+    #[test]
+    fn physical_invariants_hold(
+        bench_idx in 0usize..BENCH_POOL.len(),
+        threads in 1usize..=8,
+        vf_idx in 0usize..5,
+        pg in any::<bool>(),
+        seed in 0u64..200,
+    ) {
+        let config = if pg { SimConfig::fx8320_pg(seed) } else { SimConfig::fx8320(seed) };
+        let mut sim = ChipSimulator::new(config);
+        sim.load_workload(&instances(BENCH_POOL[bench_idx], threads, seed));
+        let table = sim.topology().vf_table().clone();
+        sim.set_all_vf(table.state(vf_idx).unwrap());
+        for record in sim.run_intervals(4) {
+            // Decomposition identity.
+            let total = record.true_power.total().as_watts();
+            let parts = record.true_power.dynamic_total().as_watts()
+                + record.true_power.idle_total().as_watts();
+            prop_assert!((total - parts).abs() < 1e-9);
+            prop_assert!(total > 0.0 && total < 300.0, "total {total}");
+            // Sensor within ~6 sigma of truth.
+            let rel =
+                (record.measured_power.as_watts() - total).abs() / total.max(1.0);
+            prop_assert!(rel < 0.10, "sensor off by {rel}");
+            // Counters physical.
+            for counts in &record.true_counts {
+                prop_assert!(counts.is_finite());
+                prop_assert!(counts.is_non_negative());
+                // Memory cycles can never exceed unhalted cycles.
+                prop_assert!(
+                    counts.get(EventId::MabWaitCycles)
+                        <= counts.get(EventId::CpuClocksNotHalted) + 1e-6
+                );
+            }
+            // Busy-core flags match the retired counts.
+            for (busy, counts) in record.core_busy.iter().zip(&record.true_counts) {
+                prop_assert_eq!(
+                    *busy,
+                    counts.get(EventId::RetiredInstructions) > 0.0
+                );
+            }
+            prop_assert!(record.busy_cu_count(sim.topology()) <= 4);
+        }
+    }
+
+    /// The same seed reproduces the same run bit-exactly, and a
+    /// different seed changes the measurements — for any configuration.
+    #[test]
+    fn determinism_in_the_seed(
+        bench_idx in 0usize..BENCH_POOL.len(),
+        threads in 1usize..=4,
+        seed in 0u64..100,
+    ) {
+        let run = |s: u64| {
+            let mut sim = ChipSimulator::new(SimConfig::fx8320(s));
+            sim.load_workload(&instances(BENCH_POOL[bench_idx], threads, s));
+            let r = sim.run_intervals(2).pop().unwrap();
+            (r.measured_power, r.true_counts[0])
+        };
+        let (p1, c1) = run(seed);
+        let (p2, c2) = run(seed);
+        prop_assert_eq!(p1, p2);
+        prop_assert_eq!(c1, c2);
+        let (p3, _) = run(seed + 1);
+        prop_assert_ne!(p1, p3, "different seeds must perturb the run");
+    }
+
+    /// Lower VF states never increase true chip power for the same
+    /// workload (monotone ladder).
+    #[test]
+    fn power_is_monotone_in_vf(
+        bench_idx in 0usize..BENCH_POOL.len(),
+        threads in 1usize..=8,
+    ) {
+        let mut last = f64::INFINITY;
+        let table = ppep_types::VfTable::fx8320();
+        for vf in table.states().rev() {
+            let mut sim = ChipSimulator::new(SimConfig::fx8320(42));
+            sim.load_workload(&instances(BENCH_POOL[bench_idx], threads, 42));
+            sim.set_all_vf(vf);
+            let record = sim.run_intervals(3).pop().unwrap();
+            let p = record.true_power.total().as_watts();
+            prop_assert!(
+                p <= last * 1.02,
+                "power must fall down the ladder: {p} after {last} at {vf}"
+            );
+            last = p;
+        }
+    }
+}

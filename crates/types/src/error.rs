@@ -1,0 +1,91 @@
+//! The shared error type for the PPEP workspace.
+
+use std::fmt;
+
+/// Convenience alias used across the `ppep-*` crates.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced by the PPEP reproduction crates.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A VF table failed validation.
+    InvalidVfTable(String),
+    /// A VF state index was out of range for its table.
+    UnknownVfState {
+        /// Requested 0-based index.
+        index: usize,
+        /// Table length.
+        len: usize,
+    },
+    /// A topology description failed validation.
+    InvalidTopology(String),
+    /// A core id was out of range.
+    UnknownCore {
+        /// Requested core index.
+        core: usize,
+        /// Number of cores on the chip.
+        count: usize,
+    },
+    /// A CU id was out of range.
+    UnknownCu {
+        /// Requested CU index.
+        cu: usize,
+        /// Number of CUs on the chip.
+        count: usize,
+    },
+    /// A numerical routine failed (singular matrix, bad dimensions…).
+    Numerical(String),
+    /// A model was used before being trained / fitted.
+    NotTrained(String),
+    /// Input data failed validation (wrong length, non-finite values…).
+    InvalidInput(String),
+    /// A simulated device (virtual MSR, sensor…) rejected an operation.
+    Device(String),
+    /// A workload or experiment configuration is inconsistent.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidVfTable(msg) => write!(f, "invalid VF table: {msg}"),
+            Error::UnknownVfState { index, len } => {
+                write!(f, "VF state index {index} out of range for table of {len}")
+            }
+            Error::InvalidTopology(msg) => write!(f, "invalid topology: {msg}"),
+            Error::UnknownCore { core, count } => {
+                write!(f, "core {core} out of range for chip with {count} cores")
+            }
+            Error::UnknownCu { cu, count } => {
+                write!(f, "CU {cu} out of range for chip with {count} CUs")
+            }
+            Error::Numerical(msg) => write!(f, "numerical error: {msg}"),
+            Error::NotTrained(msg) => write!(f, "model not trained: {msg}"),
+            Error::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
+            Error::Device(msg) => write!(f, "device error: {msg}"),
+            Error::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_meaningfully() {
+        let e = Error::UnknownVfState { index: 7, len: 5 };
+        assert_eq!(e.to_string(), "VF state index 7 out of range for table of 5");
+        let e = Error::Numerical("singular matrix".into());
+        assert!(e.to_string().contains("singular"));
+    }
+
+    #[test]
+    fn error_is_send_sync_static() {
+        fn assert_bounds<T: Send + Sync + 'static + std::error::Error>() {}
+        assert_bounds::<Error>();
+    }
+}

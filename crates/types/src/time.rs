@@ -1,0 +1,60 @@
+//! Sampling-time constants and interval bookkeeping.
+//!
+//! The paper samples chip power every **20 ms** through the Hall-effect
+//! sensor and makes a DVFS decision every **200 ms**, i.e. it averages
+//! 10 power readings per decision interval (§II).
+
+use crate::units::Seconds;
+
+/// Period of one raw power-sensor sample (20 ms).
+pub const POWER_SAMPLE_PERIOD: Seconds = Seconds::new(0.020);
+
+/// Period of one DVFS decision interval (200 ms).
+pub const DECISION_INTERVAL: Seconds = Seconds::new(0.200);
+
+/// Number of power-sensor samples per decision interval (10).
+pub const SAMPLES_PER_INTERVAL: usize = 10;
+
+/// A monotonically increasing decision-interval index.
+///
+/// Interval `k` covers simulated wall-clock time
+/// `[k * 200 ms, (k + 1) * 200 ms)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct IntervalIndex(pub u64);
+
+impl IntervalIndex {
+    /// The start time of this interval.
+    pub fn start_time(self) -> Seconds {
+        DECISION_INTERVAL * self.0 as f64
+    }
+
+    /// The next interval.
+    #[must_use]
+    pub fn next(self) -> Self {
+        Self(self.0 + 1)
+    }
+}
+
+impl std::fmt::Display for IntervalIndex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "interval {}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ten_samples_per_interval() {
+        let per = DECISION_INTERVAL / POWER_SAMPLE_PERIOD;
+        assert!((per - SAMPLES_PER_INTERVAL as f64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interval_start_times() {
+        assert_eq!(IntervalIndex(0).start_time().as_secs(), 0.0);
+        assert!((IntervalIndex(5).start_time().as_secs() - 1.0).abs() < 1e-12);
+        assert_eq!(IntervalIndex(3).next(), IntervalIndex(4));
+    }
+}

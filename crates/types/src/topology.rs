@@ -1,0 +1,303 @@
+//! Chip topology: compute units, cores, and the shared north bridge.
+//!
+//! The AMD FX-8320 has four compute units (CUs), each with two cores
+//! and a shared 2 MB L2; all CUs share a north bridge (NB) containing
+//! the memory controller and 8 MB of L3 (§II). Power gating, when
+//! enabled, operates at CU granularity (§IV-D). The Phenom™ II X6
+//! 1090T has six cores without CU pairing and no power gating.
+
+use crate::error::{Error, Result};
+use crate::vf::VfTable;
+use std::fmt;
+
+/// Identifier of a core within a chip (0-based, chip-wide).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CoreId(pub usize);
+
+impl fmt::Display for CoreId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "core{}", self.0)
+    }
+}
+
+/// Identifier of a compute unit within a chip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CuId(pub usize);
+
+impl fmt::Display for CuId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cu{}", self.0)
+    }
+}
+
+/// Static description of a chip's structure and VF capabilities.
+///
+/// ```
+/// use ppep_types::{CoreId, CuId, Topology};
+///
+/// # fn main() -> ppep_types::Result<()> {
+/// let chip = Topology::fx8320();
+/// assert_eq!(chip.core_count(), 8);
+/// assert_eq!(chip.cu_of(CoreId(5))?, CuId(2));
+/// assert_eq!(chip.cores_of(CuId(2))?, vec![CoreId(4), CoreId(5)]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Topology {
+    name: String,
+    cu_count: usize,
+    cores_per_cu: usize,
+    vf_table: VfTable,
+    supports_power_gating: bool,
+    issue_width: f64,
+    mispredict_penalty_cycles: f64,
+}
+
+impl Topology {
+    /// Builds a custom topology.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidTopology`] when counts are zero or the
+    /// microarchitectural constants are non-positive.
+    pub fn new(
+        name: impl Into<String>,
+        cu_count: usize,
+        cores_per_cu: usize,
+        vf_table: VfTable,
+        supports_power_gating: bool,
+        issue_width: f64,
+        mispredict_penalty_cycles: f64,
+    ) -> Result<Self> {
+        if cu_count == 0 || cores_per_cu == 0 {
+            return Err(Error::InvalidTopology(
+                "cu_count and cores_per_cu must be positive".into(),
+            ));
+        }
+        if issue_width <= 0.0 || mispredict_penalty_cycles <= 0.0 {
+            return Err(Error::InvalidTopology(
+                "issue width and mispredict penalty must be positive".into(),
+            ));
+        }
+        Ok(Self {
+            name: name.into(),
+            cu_count,
+            cores_per_cu,
+            vf_table,
+            supports_power_gating,
+            issue_width,
+            mispredict_penalty_cycles,
+        })
+    }
+
+    /// The AMD FX-8320 platform of the paper: 4 CUs × 2 cores, 5 VF
+    /// states, CU-level power gating, 4-wide dispatch.
+    pub fn fx8320() -> Self {
+        Self::new("AMD FX-8320", 4, 2, VfTable::fx8320(), true, 4.0, 20.0)
+            .expect("static FX-8320 topology is valid")
+    }
+
+    /// The FX-8320 with its two hardware boost states exposed
+    /// (the §IV-E firmware-PPEP extension; see
+    /// [`VfTable::fx8320_with_boost`]).
+    pub fn fx8320_with_boost() -> Self {
+        Self::new(
+            "AMD FX-8320 (boost exposed)",
+            4,
+            2,
+            VfTable::fx8320_with_boost(),
+            true,
+            4.0,
+            20.0,
+        )
+        .expect("static boosted FX-8320 topology is valid")
+    }
+
+    /// A hypothetical future FX-class chip with **per-core voltage
+    /// rails**: eight single-core power domains instead of four
+    /// two-core CUs. §IV-A notes PPEP's "methodology can be extended
+    /// to future processors with per-core voltage rails"; this preset
+    /// exercises that path (every per-CU API now operates per core).
+    pub fn fx8320_per_core_rails() -> Self {
+        Self::new(
+            "FX-class, per-core rails",
+            8,
+            1,
+            VfTable::fx8320(),
+            true,
+            4.0,
+            20.0,
+        )
+        .expect("static per-core-rail topology is valid")
+    }
+
+    /// The AMD Phenom™ II X6 1090T platform: 6 single-core "CUs",
+    /// 4 VF states, no power gating, 3-wide dispatch.
+    pub fn phenom_ii_x6() -> Self {
+        Self::new(
+            "AMD Phenom II X6 1090T",
+            6,
+            1,
+            VfTable::phenom_ii_x6(),
+            false,
+            3.0,
+            18.0,
+        )
+        .expect("static Phenom II topology is valid")
+    }
+
+    /// Human-readable platform name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of compute units.
+    #[inline]
+    pub fn cu_count(&self) -> usize {
+        self.cu_count
+    }
+
+    /// Cores per compute unit.
+    #[inline]
+    pub fn cores_per_cu(&self) -> usize {
+        self.cores_per_cu
+    }
+
+    /// Total core count.
+    #[inline]
+    pub fn core_count(&self) -> usize {
+        self.cu_count * self.cores_per_cu
+    }
+
+    /// The VF ladder of this chip.
+    #[inline]
+    pub fn vf_table(&self) -> &VfTable {
+        &self.vf_table
+    }
+
+    /// Whether the chip can power-gate idle CUs (and the NB when all
+    /// CUs are gated).
+    #[inline]
+    pub fn supports_power_gating(&self) -> bool {
+        self.supports_power_gating
+    }
+
+    /// Dispatch/issue width used in the Eq. 5/6 retire-cycle estimate.
+    #[inline]
+    pub fn issue_width(&self) -> f64 {
+        self.issue_width
+    }
+
+    /// Branch-misprediction penalty in cycles (`MisBranchPen` in Eq. 5).
+    #[inline]
+    pub fn mispredict_penalty_cycles(&self) -> f64 {
+        self.mispredict_penalty_cycles
+    }
+
+    /// The compute unit that owns a core.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownCore`] for out-of-range ids.
+    pub fn cu_of(&self, core: CoreId) -> Result<CuId> {
+        if core.0 < self.core_count() {
+            Ok(CuId(core.0 / self.cores_per_cu))
+        } else {
+            Err(Error::UnknownCore { core: core.0, count: self.core_count() })
+        }
+    }
+
+    /// The cores belonging to a compute unit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownCu`] for out-of-range ids.
+    pub fn cores_of(&self, cu: CuId) -> Result<Vec<CoreId>> {
+        if cu.0 < self.cu_count {
+            Ok((0..self.cores_per_cu)
+                .map(|i| CoreId(cu.0 * self.cores_per_cu + i))
+                .collect())
+        } else {
+            Err(Error::UnknownCu { cu: cu.0, count: self.cu_count })
+        }
+    }
+
+    /// Iterates over all core ids.
+    pub fn cores(&self) -> impl ExactSizeIterator<Item = CoreId> {
+        (0..self.core_count()).map(CoreId)
+    }
+
+    /// Iterates over all CU ids.
+    pub fn cus(&self) -> impl ExactSizeIterator<Item = CuId> {
+        (0..self.cu_count).map(CuId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fx8320_structure() {
+        let t = Topology::fx8320();
+        assert_eq!(t.cu_count(), 4);
+        assert_eq!(t.cores_per_cu(), 2);
+        assert_eq!(t.core_count(), 8);
+        assert!(t.supports_power_gating());
+        assert_eq!(t.vf_table().len(), 5);
+        assert_eq!(t.name(), "AMD FX-8320");
+    }
+
+    #[test]
+    fn phenom_structure() {
+        let t = Topology::phenom_ii_x6();
+        assert_eq!(t.core_count(), 6);
+        assert!(!t.supports_power_gating());
+        assert_eq!(t.vf_table().len(), 4);
+    }
+
+    #[test]
+    fn core_to_cu_mapping() {
+        let t = Topology::fx8320();
+        assert_eq!(t.cu_of(CoreId(0)).unwrap(), CuId(0));
+        assert_eq!(t.cu_of(CoreId(1)).unwrap(), CuId(0));
+        assert_eq!(t.cu_of(CoreId(2)).unwrap(), CuId(1));
+        assert_eq!(t.cu_of(CoreId(7)).unwrap(), CuId(3));
+        assert!(t.cu_of(CoreId(8)).is_err());
+    }
+
+    #[test]
+    fn cu_to_cores_mapping() {
+        let t = Topology::fx8320();
+        assert_eq!(t.cores_of(CuId(0)).unwrap(), vec![CoreId(0), CoreId(1)]);
+        assert_eq!(t.cores_of(CuId(3)).unwrap(), vec![CoreId(6), CoreId(7)]);
+        assert!(t.cores_of(CuId(4)).is_err());
+    }
+
+    #[test]
+    fn mapping_round_trips() {
+        let t = Topology::fx8320();
+        for cu in t.cus() {
+            for core in t.cores_of(cu).unwrap() {
+                assert_eq!(t.cu_of(core).unwrap(), cu);
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_topology_rejected() {
+        assert!(Topology::new("x", 0, 2, VfTable::fx8320(), true, 4.0, 20.0).is_err());
+        assert!(Topology::new("x", 4, 0, VfTable::fx8320(), true, 4.0, 20.0).is_err());
+        assert!(Topology::new("x", 4, 2, VfTable::fx8320(), true, 0.0, 20.0).is_err());
+        assert!(Topology::new("x", 4, 2, VfTable::fx8320(), true, 4.0, -1.0).is_err());
+    }
+
+    #[test]
+    fn iterators_cover_everything() {
+        let t = Topology::fx8320();
+        assert_eq!(t.cores().count(), 8);
+        assert_eq!(t.cus().count(), 4);
+        assert_eq!(t.cores().last(), Some(CoreId(7)));
+    }
+}

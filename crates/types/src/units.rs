@@ -1,0 +1,401 @@
+//! Newtype wrappers for the physical quantities PPEP manipulates.
+//!
+//! Every unit is a thin wrapper over `f64` implementing the arithmetic
+//! that is physically meaningful (e.g. `Watts * Seconds = Joules`).
+//! Construction is explicit (`Watts::new(95.0)`, `Gigahertz::new(3.5)`)
+//! so that raw floats never silently cross an API boundary with the
+//! wrong interpretation.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// Writes an already-rendered unit string honouring the formatter's
+/// width and alignment (but not its precision, which the caller has
+/// already applied to the numeric part).
+fn pad_unit(f: &mut fmt::Formatter<'_>, rendered: &str) -> fmt::Result {
+    match f.width() {
+        None => f.write_str(rendered),
+        Some(width) => match f.align() {
+            Some(fmt::Alignment::Left) => write!(f, "{rendered:<width$}"),
+            Some(fmt::Alignment::Center) => write!(f, "{rendered:^width$}"),
+            // Right alignment is the natural default for quantities.
+            _ => write!(f, "{rendered:>width$}"),
+        },
+    }
+}
+
+
+macro_rules! unit {
+    ($(#[$meta:meta])* $name:ident, $suffix:expr, $as_fn:ident) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+        pub struct $name(f64);
+
+        impl $name {
+            /// Wraps a raw value in this unit.
+            #[inline]
+            pub const fn new(value: f64) -> Self {
+                Self(value)
+            }
+
+            /// The zero value of this unit.
+            pub const ZERO: Self = Self(0.0);
+
+            /// Returns the underlying raw value.
+            #[inline]
+            pub const fn $as_fn(self) -> f64 {
+                self.0
+            }
+
+            /// Returns the larger of `self` and `other`.
+            #[inline]
+            pub fn max(self, other: Self) -> Self {
+                Self(self.0.max(other.0))
+            }
+
+            /// Returns the smaller of `self` and `other`.
+            #[inline]
+            pub fn min(self, other: Self) -> Self {
+                Self(self.0.min(other.0))
+            }
+
+            /// Clamps the value into `[lo, hi]`.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `lo > hi`.
+            #[inline]
+            pub fn clamp(self, lo: Self, hi: Self) -> Self {
+                assert!(lo.0 <= hi.0, "clamp bounds inverted");
+                Self(self.0.clamp(lo.0, hi.0))
+            }
+
+            /// Absolute value.
+            #[inline]
+            pub fn abs(self) -> Self {
+                Self(self.0.abs())
+            }
+
+            /// True when the wrapped value is finite (not NaN/inf).
+            #[inline]
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                let rendered = if let Some(prec) = f.precision() {
+                    format!("{:.*} {}", prec, self.0, $suffix)
+                } else {
+                    format!("{} {}", self.0, $suffix)
+                };
+                pad_unit(f, &rendered)
+            }
+        }
+
+        impl Add for $name {
+            type Output = Self;
+            #[inline]
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            #[inline]
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl Sub for $name {
+            type Output = Self;
+            #[inline]
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl SubAssign for $name {
+            #[inline]
+            fn sub_assign(&mut self, rhs: Self) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl Neg for $name {
+            type Output = Self;
+            #[inline]
+            fn neg(self) -> Self {
+                Self(-self.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn mul(self, rhs: f64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+
+        impl Mul<$name> for f64 {
+            type Output = $name;
+            #[inline]
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn div(self, rhs: f64) -> Self {
+                Self(self.0 / rhs)
+            }
+        }
+
+        impl Div<$name> for $name {
+            type Output = f64;
+            #[inline]
+            fn div(self, rhs: $name) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                Self(iter.map(|v| v.0).sum())
+            }
+        }
+    };
+}
+
+unit!(
+    /// Electrical potential in volts.
+    Volts,
+    "V",
+    as_volts
+);
+unit!(
+    /// Clock frequency in gigahertz.
+    Gigahertz,
+    "GHz",
+    as_ghz
+);
+unit!(
+    /// Power in watts.
+    Watts,
+    "W",
+    as_watts
+);
+unit!(
+    /// Absolute temperature in kelvin.
+    Kelvin,
+    "K",
+    as_kelvin
+);
+unit!(
+    /// Energy in joules.
+    Joules,
+    "J",
+    as_joules
+);
+unit!(
+    /// Time duration in seconds.
+    Seconds,
+    "s",
+    as_secs
+);
+
+/// Temperature in degrees Celsius, convertible to [`Kelvin`].
+///
+/// The paper reads the socket thermal diode which reports Celsius; the
+/// idle-power model (Eq. 2) uses kelvin. Keeping both as distinct types
+/// removes a classic off-by-273 bug.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Celsius(f64);
+
+impl Celsius {
+    /// Wraps a raw Celsius reading.
+    #[inline]
+    pub const fn new(value: f64) -> Self {
+        Self(value)
+    }
+
+    /// Returns the underlying raw value.
+    #[inline]
+    pub const fn as_celsius(self) -> f64 {
+        self.0
+    }
+
+    /// Converts to absolute temperature.
+    #[inline]
+    pub fn to_kelvin(self) -> Kelvin {
+        Kelvin::new(self.0 + 273.15)
+    }
+}
+
+impl Kelvin {
+    /// Converts to degrees Celsius.
+    #[inline]
+    pub fn to_celsius(self) -> Celsius {
+        Celsius::new(self.as_kelvin() - 273.15)
+    }
+}
+
+impl fmt::Display for Celsius {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let rendered = if let Some(prec) = f.precision() {
+            format!("{:.*} °C", prec, self.0)
+        } else {
+            format!("{} °C", self.0)
+        };
+        pad_unit(f, &rendered)
+    }
+}
+
+impl Mul<Seconds> for Watts {
+    type Output = Joules;
+    #[inline]
+    fn mul(self, rhs: Seconds) -> Joules {
+        Joules::new(self.as_watts() * rhs.as_secs())
+    }
+}
+
+impl Mul<Watts> for Seconds {
+    type Output = Joules;
+    #[inline]
+    fn mul(self, rhs: Watts) -> Joules {
+        rhs * self
+    }
+}
+
+impl Div<Seconds> for Joules {
+    type Output = Watts;
+    #[inline]
+    fn div(self, rhs: Seconds) -> Watts {
+        Watts::new(self.as_joules() / rhs.as_secs())
+    }
+}
+
+impl Div<Watts> for Joules {
+    type Output = Seconds;
+    #[inline]
+    fn div(self, rhs: Watts) -> Seconds {
+        Seconds::new(self.as_joules() / rhs.as_watts())
+    }
+}
+
+impl Gigahertz {
+    /// Clock cycles elapsed over `dt` at this frequency.
+    #[inline]
+    pub fn cycles_in(self, dt: Seconds) -> f64 {
+        self.as_ghz() * 1.0e9 * dt.as_secs()
+    }
+
+    /// Frequency expressed in hertz.
+    #[inline]
+    pub fn as_hz(self) -> f64 {
+        self.as_ghz() * 1.0e9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn watts_times_seconds_is_joules() {
+        let e = Watts::new(95.0) * Seconds::new(0.2);
+        assert!((e.as_joules() - 19.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn joules_over_seconds_is_watts() {
+        let p = Joules::new(19.0) / Seconds::new(0.2);
+        assert!((p.as_watts() - 95.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn joules_over_watts_is_seconds() {
+        let t = Joules::new(19.0) / Watts::new(95.0);
+        assert!((t.as_secs() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn celsius_kelvin_round_trip() {
+        let c = Celsius::new(61.85);
+        let k = c.to_kelvin();
+        assert!((k.as_kelvin() - 335.0).abs() < 1e-9);
+        assert!((k.to_celsius().as_celsius() - 61.85).abs() < 1e-9);
+    }
+
+    #[test]
+    fn frequency_cycle_count() {
+        // 3.5 GHz over a 200 ms interval = 7e8 cycles.
+        let cycles = Gigahertz::new(3.5).cycles_in(Seconds::new(0.2));
+        assert!((cycles - 7.0e8).abs() < 1.0);
+    }
+
+    #[test]
+    fn ratio_of_same_unit_is_dimensionless() {
+        let ratio = Gigahertz::new(3.5) / Gigahertz::new(1.4);
+        assert!((ratio - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unit_arithmetic_and_ordering() {
+        let a = Watts::new(10.0);
+        let b = Watts::new(4.0);
+        assert_eq!((a - b).as_watts(), 6.0);
+        assert_eq!((a + b).as_watts(), 14.0);
+        assert_eq!((a * 2.0).as_watts(), 20.0);
+        assert_eq!((a / 2.0).as_watts(), 5.0);
+        assert!(b < a);
+        assert_eq!(a.max(b), a);
+        assert_eq!(a.min(b), b);
+        assert_eq!((-a).abs(), a);
+    }
+
+    #[test]
+    fn clamp_behaves() {
+        let v = Volts::new(1.5);
+        assert_eq!(
+            v.clamp(Volts::new(0.888), Volts::new(1.320)),
+            Volts::new(1.320)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "clamp bounds inverted")]
+    fn clamp_panics_on_inverted_bounds() {
+        let _ = Volts::new(1.0).clamp(Volts::new(2.0), Volts::new(1.0));
+    }
+
+    #[test]
+    fn sum_of_units() {
+        let total: Watts = [Watts::new(1.0), Watts::new(2.5), Watts::new(3.5)]
+            .into_iter()
+            .sum();
+        assert_eq!(total.as_watts(), 7.0);
+    }
+
+    #[test]
+    fn display_includes_suffix_and_precision() {
+        assert_eq!(format!("{:.2}", Watts::new(4.567)), "4.57 W");
+        assert_eq!(format!("{}", Gigahertz::new(3.5)), "3.5 GHz");
+        assert_eq!(format!("{:.1}", Celsius::new(61.85)), "61.9 °C");
+    }
+
+    #[test]
+    fn display_honours_width_and_alignment() {
+        // Quantities right-align by default (tabular output).
+        assert_eq!(format!("{:8.1}", Watts::new(4.5)), "   4.5 W");
+        assert_eq!(format!("{:<8.1}", Watts::new(4.5)), "4.5 W   ");
+        assert_eq!(format!("{:^9.1}", Watts::new(4.5)), "  4.5 W  ");
+        assert_eq!(format!("{:>10.1}", Celsius::new(61.85)), "   61.9 °C");
+    }
+}

@@ -1,0 +1,323 @@
+//! Workload specifications and benchmark metadata.
+//!
+//! A [`WorkloadSpec`] names a benchmark combination and lists the
+//! thread programs to place on cores — one entry per software thread.
+//! The [`BenchInfo`] table records the curated characteristics of
+//! every benchmark name the paper uses (memory class, phase
+//! volatility, run length), from which the suite generators synthesise
+//! fingerprints.
+
+use crate::program::ThreadProgram;
+use std::fmt;
+
+/// The benchmark suite a workload belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Suite {
+    /// SPEC CPU2006 (multi-programmed in the paper).
+    SpecCpu2006,
+    /// PARSEC v2.1 (multi-threaded).
+    Parsec,
+    /// NAS Parallel Benchmarks v3.3.1 (multi-threaded).
+    Npb,
+    /// Microbenchmarks built for this study (e.g. `bench_a`).
+    Micro,
+}
+
+impl Suite {
+    /// The abbreviation used in the paper's figures.
+    pub const fn abbrev(self) -> &'static str {
+        match self {
+            Suite::SpecCpu2006 => "SPE",
+            Suite::Parsec => "PAR",
+            Suite::Npb => "NPB",
+            Suite::Micro => "MIC",
+        }
+    }
+}
+
+impl fmt::Display for Suite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Suite::SpecCpu2006 => write!(f, "SPEC CPU2006"),
+            Suite::Parsec => write!(f, "PARSEC"),
+            Suite::Npb => write!(f, "NPB"),
+            Suite::Micro => write!(f, "microbenchmark"),
+        }
+    }
+}
+
+/// Coarse memory-boundedness class of a benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum MemoryClass {
+    /// Negligible off-core traffic (e.g. 458.sjeng, EP, swaptions).
+    CpuBound,
+    /// Moderate off-core traffic.
+    Mixed,
+    /// Dominated by memory time (e.g. 433.milc, 429.mcf, CG).
+    MemoryBound,
+}
+
+impl MemoryClass {
+    /// Representative `mcpi_ref` range (min, max) at 3.5 GHz for this
+    /// class, from which generators draw.
+    pub const fn mcpi_range(self) -> (f64, f64) {
+        match self {
+            MemoryClass::CpuBound => (0.01, 0.08),
+            MemoryClass::Mixed => (0.15, 0.65),
+            MemoryClass::MemoryBound => (1.0, 2.4),
+        }
+    }
+
+    /// Representative L2-miss-per-instruction range for this class.
+    pub const fn l2miss_range(self) -> (f64, f64) {
+        match self {
+            MemoryClass::CpuBound => (0.0001, 0.001),
+            MemoryClass::Mixed => (0.002, 0.008),
+            MemoryClass::MemoryBound => (0.012, 0.030),
+        }
+    }
+
+    /// Representative core-stall-CPI range. Memory-bound codes spend
+    /// their stall time in MAB-wait cycles (counted separately as
+    /// MCPI), so their *core-side* stalls are small; CPU-bound codes
+    /// stall on pipeline resources instead.
+    pub const fn core_stall_range(self) -> (f64, f64) {
+        match self {
+            MemoryClass::CpuBound => (0.20, 0.55),
+            MemoryClass::Mixed => (0.15, 0.40),
+            MemoryClass::MemoryBound => (0.05, 0.18),
+        }
+    }
+}
+
+/// Curated static characteristics of one named benchmark.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BenchInfo {
+    /// Canonical benchmark name (e.g. `"433.milc"`).
+    pub name: &'static str,
+    /// Owning suite.
+    pub suite: Suite,
+    /// Memory-boundedness class.
+    pub class: MemoryClass,
+    /// Whether the benchmark is floating-point heavy.
+    pub fp_heavy: bool,
+    /// Whether the benchmark flips phases fast enough to defeat
+    /// counter multiplexing (the paper's outliers: dedup, IS, DC).
+    pub rapid_phases: bool,
+    /// Whether the benchmark is much shorter than its peers (dedup,
+    /// IS), making it under-represented in training data.
+    pub short_run: bool,
+}
+
+/// A named combination of thread programs — one training/validation
+/// unit of the paper's 152.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadSpec {
+    name: String,
+    suite: Suite,
+    threads: Vec<ThreadProgram>,
+}
+
+impl WorkloadSpec {
+    /// Bundles thread programs under a name.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `threads` is empty; a workload must run something.
+    pub fn new(name: impl Into<String>, suite: Suite, threads: Vec<ThreadProgram>) -> Self {
+        assert!(!threads.is_empty(), "workload needs at least one thread");
+        Self { name: name.into(), suite, threads }
+    }
+
+    /// The combination's display name (e.g. `"433+434"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The owning suite.
+    pub fn suite(&self) -> Suite {
+        self.suite
+    }
+
+    /// The thread programs, in core-placement order.
+    pub fn threads(&self) -> &[ThreadProgram] {
+        &self.threads
+    }
+
+    /// Number of software threads.
+    pub fn thread_count(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// Instruction-weighted mean `mcpi_ref` across threads — a quick
+    /// memory-boundedness score for the whole combination.
+    pub fn mean_mcpi_ref(&self) -> f64 {
+        self.threads.iter().map(|t| t.mean_mcpi_ref()).sum::<f64>() / self.threads.len() as f64
+    }
+}
+
+impl fmt::Display for WorkloadSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{}, {} threads]", self.name, self.suite.abbrev(), self.threads.len())
+    }
+}
+
+/// The full curated benchmark table: 29 SPEC CPU2006, 13 PARSEC, and
+/// 10 NPB entries.
+pub const BENCH_TABLE: &[BenchInfo] = &[
+    // --- SPEC CPU2006 (the paper's 29, per the Fig. 6 axis) ---
+    BenchInfo { name: "400.perlbench", suite: Suite::SpecCpu2006, class: MemoryClass::CpuBound, fp_heavy: false, rapid_phases: false, short_run: false },
+    BenchInfo { name: "401.bzip2", suite: Suite::SpecCpu2006, class: MemoryClass::Mixed, fp_heavy: false, rapid_phases: false, short_run: false },
+    BenchInfo { name: "403.gcc", suite: Suite::SpecCpu2006, class: MemoryClass::Mixed, fp_heavy: false, rapid_phases: false, short_run: false },
+    BenchInfo { name: "410.bwaves", suite: Suite::SpecCpu2006, class: MemoryClass::MemoryBound, fp_heavy: true, rapid_phases: false, short_run: false },
+    BenchInfo { name: "416.gamess", suite: Suite::SpecCpu2006, class: MemoryClass::CpuBound, fp_heavy: true, rapid_phases: false, short_run: false },
+    BenchInfo { name: "429.mcf", suite: Suite::SpecCpu2006, class: MemoryClass::MemoryBound, fp_heavy: false, rapid_phases: false, short_run: false },
+    BenchInfo { name: "433.milc", suite: Suite::SpecCpu2006, class: MemoryClass::MemoryBound, fp_heavy: true, rapid_phases: false, short_run: false },
+    BenchInfo { name: "434.zeusmp", suite: Suite::SpecCpu2006, class: MemoryClass::Mixed, fp_heavy: true, rapid_phases: false, short_run: false },
+    BenchInfo { name: "435.gromacs", suite: Suite::SpecCpu2006, class: MemoryClass::CpuBound, fp_heavy: true, rapid_phases: false, short_run: false },
+    BenchInfo { name: "436.cactusADM", suite: Suite::SpecCpu2006, class: MemoryClass::Mixed, fp_heavy: true, rapid_phases: false, short_run: false },
+    BenchInfo { name: "437.leslie3d", suite: Suite::SpecCpu2006, class: MemoryClass::MemoryBound, fp_heavy: true, rapid_phases: false, short_run: false },
+    BenchInfo { name: "444.namd", suite: Suite::SpecCpu2006, class: MemoryClass::CpuBound, fp_heavy: true, rapid_phases: false, short_run: false },
+    BenchInfo { name: "445.gobmk", suite: Suite::SpecCpu2006, class: MemoryClass::CpuBound, fp_heavy: false, rapid_phases: false, short_run: false },
+    BenchInfo { name: "447.dealII", suite: Suite::SpecCpu2006, class: MemoryClass::Mixed, fp_heavy: true, rapid_phases: false, short_run: false },
+    BenchInfo { name: "450.soplex", suite: Suite::SpecCpu2006, class: MemoryClass::MemoryBound, fp_heavy: true, rapid_phases: false, short_run: false },
+    BenchInfo { name: "453.povray", suite: Suite::SpecCpu2006, class: MemoryClass::CpuBound, fp_heavy: true, rapid_phases: false, short_run: false },
+    BenchInfo { name: "454.calculix", suite: Suite::SpecCpu2006, class: MemoryClass::CpuBound, fp_heavy: true, rapid_phases: false, short_run: false },
+    BenchInfo { name: "456.hmmer", suite: Suite::SpecCpu2006, class: MemoryClass::CpuBound, fp_heavy: false, rapid_phases: false, short_run: false },
+    BenchInfo { name: "458.sjeng", suite: Suite::SpecCpu2006, class: MemoryClass::CpuBound, fp_heavy: false, rapid_phases: false, short_run: false },
+    BenchInfo { name: "459.GemsFDTD", suite: Suite::SpecCpu2006, class: MemoryClass::MemoryBound, fp_heavy: true, rapid_phases: false, short_run: false },
+    BenchInfo { name: "462.libquantum", suite: Suite::SpecCpu2006, class: MemoryClass::MemoryBound, fp_heavy: false, rapid_phases: false, short_run: false },
+    BenchInfo { name: "464.h264ref", suite: Suite::SpecCpu2006, class: MemoryClass::CpuBound, fp_heavy: false, rapid_phases: false, short_run: false },
+    BenchInfo { name: "465.tonto", suite: Suite::SpecCpu2006, class: MemoryClass::CpuBound, fp_heavy: true, rapid_phases: false, short_run: false },
+    BenchInfo { name: "470.lbm", suite: Suite::SpecCpu2006, class: MemoryClass::MemoryBound, fp_heavy: true, rapid_phases: false, short_run: false },
+    BenchInfo { name: "471.omnetpp", suite: Suite::SpecCpu2006, class: MemoryClass::MemoryBound, fp_heavy: false, rapid_phases: false, short_run: false },
+    BenchInfo { name: "473.astar", suite: Suite::SpecCpu2006, class: MemoryClass::Mixed, fp_heavy: false, rapid_phases: false, short_run: false },
+    BenchInfo { name: "481.wrf", suite: Suite::SpecCpu2006, class: MemoryClass::Mixed, fp_heavy: true, rapid_phases: false, short_run: false },
+    BenchInfo { name: "482.sphinx3", suite: Suite::SpecCpu2006, class: MemoryClass::Mixed, fp_heavy: true, rapid_phases: false, short_run: false },
+    BenchInfo { name: "483.xalancbmk", suite: Suite::SpecCpu2006, class: MemoryClass::Mixed, fp_heavy: false, rapid_phases: false, short_run: false },
+    // --- PARSEC v2.1 (13 applications) ---
+    BenchInfo { name: "blackscholes", suite: Suite::Parsec, class: MemoryClass::CpuBound, fp_heavy: true, rapid_phases: false, short_run: false },
+    BenchInfo { name: "bodytrack", suite: Suite::Parsec, class: MemoryClass::Mixed, fp_heavy: true, rapid_phases: false, short_run: false },
+    BenchInfo { name: "canneal", suite: Suite::Parsec, class: MemoryClass::MemoryBound, fp_heavy: false, rapid_phases: false, short_run: false },
+    BenchInfo { name: "dedup", suite: Suite::Parsec, class: MemoryClass::Mixed, fp_heavy: false, rapid_phases: true, short_run: true },
+    BenchInfo { name: "facesim", suite: Suite::Parsec, class: MemoryClass::Mixed, fp_heavy: true, rapid_phases: false, short_run: false },
+    BenchInfo { name: "ferret", suite: Suite::Parsec, class: MemoryClass::Mixed, fp_heavy: false, rapid_phases: false, short_run: false },
+    BenchInfo { name: "fluidanimate", suite: Suite::Parsec, class: MemoryClass::Mixed, fp_heavy: true, rapid_phases: false, short_run: false },
+    BenchInfo { name: "freqmine", suite: Suite::Parsec, class: MemoryClass::Mixed, fp_heavy: false, rapid_phases: false, short_run: false },
+    BenchInfo { name: "raytrace", suite: Suite::Parsec, class: MemoryClass::CpuBound, fp_heavy: true, rapid_phases: false, short_run: false },
+    BenchInfo { name: "streamcluster", suite: Suite::Parsec, class: MemoryClass::MemoryBound, fp_heavy: true, rapid_phases: false, short_run: false },
+    BenchInfo { name: "swaptions", suite: Suite::Parsec, class: MemoryClass::CpuBound, fp_heavy: true, rapid_phases: false, short_run: false },
+    BenchInfo { name: "vips", suite: Suite::Parsec, class: MemoryClass::Mixed, fp_heavy: false, rapid_phases: false, short_run: false },
+    BenchInfo { name: "x264", suite: Suite::Parsec, class: MemoryClass::CpuBound, fp_heavy: false, rapid_phases: false, short_run: false },
+    // --- NPB v3.3.1 (10 benchmarks) ---
+    BenchInfo { name: "BT", suite: Suite::Npb, class: MemoryClass::Mixed, fp_heavy: true, rapid_phases: false, short_run: false },
+    BenchInfo { name: "CG", suite: Suite::Npb, class: MemoryClass::MemoryBound, fp_heavy: true, rapid_phases: false, short_run: false },
+    BenchInfo { name: "DC", suite: Suite::Npb, class: MemoryClass::MemoryBound, fp_heavy: false, rapid_phases: true, short_run: false },
+    BenchInfo { name: "EP", suite: Suite::Npb, class: MemoryClass::CpuBound, fp_heavy: true, rapid_phases: false, short_run: false },
+    BenchInfo { name: "FT", suite: Suite::Npb, class: MemoryClass::Mixed, fp_heavy: true, rapid_phases: false, short_run: false },
+    BenchInfo { name: "IS", suite: Suite::Npb, class: MemoryClass::MemoryBound, fp_heavy: false, rapid_phases: true, short_run: true },
+    BenchInfo { name: "LU", suite: Suite::Npb, class: MemoryClass::Mixed, fp_heavy: true, rapid_phases: false, short_run: false },
+    BenchInfo { name: "MG", suite: Suite::Npb, class: MemoryClass::MemoryBound, fp_heavy: true, rapid_phases: false, short_run: false },
+    BenchInfo { name: "SP", suite: Suite::Npb, class: MemoryClass::Mixed, fp_heavy: true, rapid_phases: false, short_run: false },
+    BenchInfo { name: "UA", suite: Suite::Npb, class: MemoryClass::Mixed, fp_heavy: true, rapid_phases: false, short_run: false },
+];
+
+/// Looks up a benchmark's curated info by exact name.
+pub fn bench_info(name: &str) -> Option<&'static BenchInfo> {
+    BENCH_TABLE.iter().find(|b| b.name == name)
+}
+
+/// Looks a SPEC benchmark up by its 3-digit number (e.g. `433`).
+pub fn spec_by_number(number: u32) -> Option<&'static BenchInfo> {
+    BENCH_TABLE
+        .iter()
+        .filter(|b| b.suite == Suite::SpecCpu2006)
+        .find(|b| b.name.starts_with(&format!("{number}.")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phase::PhaseFingerprint;
+    use crate::program::Phase;
+
+    #[test]
+    fn table_counts_match_paper() {
+        let spec = BENCH_TABLE.iter().filter(|b| b.suite == Suite::SpecCpu2006).count();
+        let parsec = BENCH_TABLE.iter().filter(|b| b.suite == Suite::Parsec).count();
+        let npb = BENCH_TABLE.iter().filter(|b| b.suite == Suite::Npb).count();
+        assert_eq!(spec, 29, "paper runs 29 single SPEC benchmarks");
+        assert_eq!(parsec, 13, "PARSEC v2.1 has 13 applications");
+        assert_eq!(npb, 10, "NPB has 10 benchmarks");
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<_> = BENCH_TABLE.iter().map(|b| b.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), BENCH_TABLE.len());
+    }
+
+    #[test]
+    fn paper_outliers_are_flagged() {
+        // §IV-B2: outliers are DC and IS from NPB, dedup from PARSEC.
+        for outlier in ["dedup", "IS", "DC"] {
+            assert!(bench_info(outlier).unwrap().rapid_phases, "{outlier} must be rapid-phase");
+        }
+        // §IV-B2: dedup and IS have much shorter execution times.
+        for short in ["dedup", "IS"] {
+            assert!(bench_info(short).unwrap().short_run, "{short} must be short-running");
+        }
+    }
+
+    #[test]
+    fn headline_benchmarks_classified_as_in_paper() {
+        // §V-C: 433.milc memory-bound, 458.sjeng CPU-bound.
+        assert_eq!(bench_info("433.milc").unwrap().class, MemoryClass::MemoryBound);
+        assert_eq!(bench_info("458.sjeng").unwrap().class, MemoryClass::CpuBound);
+        assert_eq!(bench_info("429.mcf").unwrap().class, MemoryClass::MemoryBound);
+    }
+
+    #[test]
+    fn spec_number_lookup() {
+        assert_eq!(spec_by_number(433).unwrap().name, "433.milc");
+        assert_eq!(spec_by_number(482).unwrap().name, "482.sphinx3");
+        assert!(spec_by_number(999).is_none());
+        assert!(bench_info("no-such-benchmark").is_none());
+    }
+
+    #[test]
+    fn class_ranges_are_ordered() {
+        let classes = [MemoryClass::CpuBound, MemoryClass::Mixed, MemoryClass::MemoryBound];
+        for c in classes {
+            let (lo, hi) = c.mcpi_range();
+            assert!(lo < hi);
+            let (l2lo, l2hi) = c.l2miss_range();
+            assert!(l2lo < l2hi);
+        }
+        // Memory-bound dominates CPU-bound on both axes.
+        assert!(MemoryClass::MemoryBound.mcpi_range().0 > MemoryClass::CpuBound.mcpi_range().1);
+        assert!(
+            MemoryClass::MemoryBound.l2miss_range().0 > MemoryClass::CpuBound.l2miss_range().1
+        );
+    }
+
+    #[test]
+    fn workload_spec_basics() {
+        let phase = Phase { fingerprint: PhaseFingerprint::default(), instructions: 100.0 };
+        let prog = crate::program::ThreadProgram::looping(vec![phase]).unwrap();
+        let spec = WorkloadSpec::new("433+458", Suite::SpecCpu2006, vec![prog.clone(), prog]);
+        assert_eq!(spec.name(), "433+458");
+        assert_eq!(spec.thread_count(), 2);
+        assert_eq!(spec.suite(), Suite::SpecCpu2006);
+        assert!(spec.to_string().contains("SPE"));
+        assert!((spec.mean_mcpi_ref() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn empty_workload_rejected() {
+        let _ = WorkloadSpec::new("empty", Suite::Micro, vec![]);
+    }
+}

@@ -1,0 +1,288 @@
+//! Deterministic fingerprint generators for the three suites.
+//!
+//! Every benchmark name maps to a seeded RNG stream (global seed ⊕
+//! name hash), so a given `(seed, name)` pair always produces the same
+//! phase profile — the training and validation pipelines can be re-run
+//! bit-identically, which is what makes the cross-validation numbers
+//! reproducible.
+
+use crate::phase::PhaseFingerprint;
+use crate::program::{Phase, ThreadProgram};
+use crate::spec::{bench_info, BenchInfo};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Instructions per "long" phase (order 10⁹ — a second-plus of work at
+/// FX-8320 speeds, so phases span many 200 ms intervals).
+const LONG_PHASE_RANGE: (f64, f64) = (0.8e9, 3.0e9);
+
+/// Instructions per "rapid" phase: short enough to flip between 20 ms
+/// PMU sub-ticks at 3.5 GHz (7·10⁷ cycles per sub-tick), defeating the
+/// ×2 multiplexing extrapolation exactly as the paper describes for
+/// dedup/IS/DC.
+const RAPID_PHASE_RANGE: (f64, f64) = (2.0e7, 6.0e7);
+
+/// Total instruction budget for short-running benchmarks (dedup, IS):
+/// roughly 10 s of work at full speed, versus effectively unbounded
+/// (looping) programs for everything else.
+const SHORT_RUN_TOTAL: f64 = 2.0e10;
+
+fn rng_for(name: &str, seed: u64) -> StdRng {
+    // FNV-1a over the name, mixed with the global seed.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    StdRng::seed_from_u64(h ^ seed.rotate_left(17))
+}
+
+fn uniform(rng: &mut StdRng, (lo, hi): (f64, f64)) -> f64 {
+    rng.gen_range(lo..hi)
+}
+
+/// Draws a base fingerprint for a benchmark according to its curated
+/// characteristics.
+fn base_fingerprint(info: &BenchInfo, rng: &mut StdRng) -> PhaseFingerprint {
+    let mcpi_ref = uniform(rng, info.class.mcpi_range());
+    let l2miss = uniform(rng, info.class.l2miss_range());
+    let fpu = if info.fp_heavy {
+        uniform(rng, (0.35, 0.85))
+    } else {
+        uniform(rng, (0.0, 0.12))
+    };
+    // Integer codes branch more and mispredict more than FP codes.
+    let branches = if info.fp_heavy {
+        uniform(rng, (0.04, 0.12))
+    } else {
+        uniform(rng, (0.14, 0.26))
+    };
+    let mispredict_rate = if info.fp_heavy {
+        uniform(rng, (0.005, 0.03))
+    } else {
+        uniform(rng, (0.02, 0.09))
+    };
+    let l2req = (l2miss * uniform(rng, (2.0, 6.0))).max(uniform(rng, (0.01, 0.06)));
+    PhaseFingerprint {
+        uops_per_inst: uniform(rng, (1.05, 1.6)),
+        fpu_per_inst: fpu,
+        icache_per_inst: uniform(rng, (0.16, 0.30)),
+        dcache_per_inst: uniform(rng, (0.30, 0.60)),
+        l2req_per_inst: l2req,
+        branches_per_inst: branches,
+        mispred_per_inst: branches * mispredict_rate,
+        l2miss_per_inst: l2miss.min(l2req),
+        core_stall_cpi: uniform(rng, info.class.core_stall_range()),
+        retire_utilization: uniform(rng, (0.80, 1.0)),
+        mcpi_ref,
+        switching_factor: uniform(rng, (0.86, 1.14)),
+    }
+}
+
+/// Perturbs a base fingerprint into a phase variant. `strength` in
+/// [0, 1] controls how far phases wander from the base.
+fn perturb(base: &PhaseFingerprint, rng: &mut StdRng, strength: f64) -> PhaseFingerprint {
+    let mut f = |v: f64, lo: f64| -> f64 {
+        let factor = 1.0 + strength * rng.gen_range(-0.5..0.5);
+        (v * factor).max(lo)
+    };
+    let branches = f(base.branches_per_inst, 0.01);
+    let l2req = f(base.l2req_per_inst, 1e-4);
+    let fp = PhaseFingerprint {
+        uops_per_inst: f(base.uops_per_inst, 1.0),
+        fpu_per_inst: f(base.fpu_per_inst, 0.0),
+        icache_per_inst: f(base.icache_per_inst, 0.05),
+        dcache_per_inst: f(base.dcache_per_inst, 0.1),
+        l2req_per_inst: l2req,
+        branches_per_inst: branches,
+        mispred_per_inst: f(base.mispred_per_inst, 0.0).min(branches),
+        l2miss_per_inst: f(base.l2miss_per_inst, 0.0).min(l2req),
+        core_stall_cpi: f(base.core_stall_cpi, 0.02),
+        retire_utilization: f(base.retire_utilization, 0.5).min(1.0),
+        mcpi_ref: f(base.mcpi_ref, 0.0),
+        switching_factor: (base.switching_factor
+            * (1.0 + 0.1 * strength * rng.gen_range(-0.5..0.5)))
+        .clamp(0.6, 1.4),
+    };
+    debug_assert!(fp.validate().is_ok());
+    fp
+}
+
+/// Generates the thread program for a named benchmark.
+///
+/// ```
+/// use ppep_workloads::suites::generate_program;
+///
+/// let milc = generate_program("433.milc", 42);
+/// assert!(milc.mean_mcpi_ref() > 0.8, "milc is memory-bound");
+/// // Identical inputs give identical programs.
+/// assert_eq!(milc, generate_program("433.milc", 42));
+/// ```
+///
+/// # Panics
+///
+/// Panics when `name` is not in the curated [`crate::spec::BENCH_TABLE`].
+pub fn generate_program(name: &str, seed: u64) -> ThreadProgram {
+    let info = bench_info(name)
+        .unwrap_or_else(|| panic!("unknown benchmark {name:?}; see spec::BENCH_TABLE"));
+    generate_program_for(info, seed)
+}
+
+/// Generates the thread program for a curated benchmark entry.
+pub fn generate_program_for(info: &BenchInfo, seed: u64) -> ThreadProgram {
+    let mut rng = rng_for(info.name, seed);
+    let base = base_fingerprint(info, &mut rng);
+
+    let (phase_count, length_range, strength) = if info.rapid_phases {
+        (rng.gen_range(2..=3), RAPID_PHASE_RANGE, 0.9)
+    } else {
+        (rng.gen_range(3..=6), LONG_PHASE_RANGE, 0.35)
+    };
+
+    let phases: Vec<Phase> = (0..phase_count)
+        .map(|i| {
+            let fingerprint = if i == 0 && !info.rapid_phases {
+                // Keep the base itself as the dominant first phase.
+                base
+            } else {
+                perturb(&base, &mut rng, strength)
+            };
+            Phase { fingerprint, instructions: uniform(&mut rng, length_range) }
+        })
+        .collect();
+
+    if info.short_run {
+        ThreadProgram::finite(phases, SHORT_RUN_TOTAL).expect("generated phases are valid")
+    } else {
+        ThreadProgram::looping(phases).expect("generated phases are valid")
+    }
+}
+
+/// The `bench_a` microbenchmark of §IV-D: an L1-resident, steady,
+/// NB-silent kernel used to decompose idle power under power gating.
+pub fn bench_a() -> ThreadProgram {
+    let fingerprint = PhaseFingerprint {
+        uops_per_inst: 1.3,
+        fpu_per_inst: 0.25,
+        icache_per_inst: 0.18,
+        dcache_per_inst: 0.5,
+        l2req_per_inst: 0.001,
+        branches_per_inst: 0.08,
+        mispred_per_inst: 0.0005,
+        l2miss_per_inst: 0.0, // no dynamic NB accesses
+        core_stall_cpi: 0.15,
+        retire_utilization: 0.97,
+        mcpi_ref: 0.0,          // no memory time
+        switching_factor: 1.0, // the calibration reference point
+    };
+    ThreadProgram::looping(vec![Phase { fingerprint, instructions: 1.0e9 }])
+        .expect("bench_a profile is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{MemoryClass, Suite, BENCH_TABLE};
+
+    #[test]
+    fn generation_is_deterministic_per_seed_and_name() {
+        let a = generate_program("433.milc", 42);
+        let b = generate_program("433.milc", 42);
+        assert_eq!(a, b);
+        let c = generate_program("433.milc", 43);
+        assert_ne!(a, c, "different seeds must differ");
+        let d = generate_program("458.sjeng", 42);
+        assert_ne!(a, d, "different names must differ");
+    }
+
+    #[test]
+    fn all_curated_benchmarks_generate_valid_programs() {
+        for info in BENCH_TABLE {
+            let prog = generate_program_for(info, 7);
+            assert!(!prog.phases().is_empty());
+            for p in prog.phases() {
+                p.fingerprint.validate().unwrap_or_else(|e| {
+                    panic!("{}: invalid fingerprint: {e}", info.name);
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn memory_classes_are_respected() {
+        let milc = generate_program("433.milc", 42);
+        let sjeng = generate_program("458.sjeng", 42);
+        assert!(
+            milc.mean_mcpi_ref() > 0.8,
+            "milc must be memory-bound, got {}",
+            milc.mean_mcpi_ref()
+        );
+        assert!(
+            sjeng.mean_mcpi_ref() < 0.15,
+            "sjeng must be CPU-bound, got {}",
+            sjeng.mean_mcpi_ref()
+        );
+    }
+
+    #[test]
+    fn rapid_phase_benchmarks_have_subtick_scale_phases() {
+        let dedup = generate_program("dedup", 42);
+        for p in dedup.phases() {
+            assert!(
+                p.instructions < 1.0e8,
+                "rapid phases must be sub-tick scale, got {}",
+                p.instructions
+            );
+        }
+        let gcc = generate_program("403.gcc", 42);
+        for p in gcc.phases() {
+            assert!(p.instructions > 1.0e8, "normal phases are long");
+        }
+    }
+
+    #[test]
+    fn short_runs_are_finite_others_loop() {
+        assert!(generate_program("dedup", 42).total_instructions().is_some());
+        assert!(generate_program("IS", 42).total_instructions().is_some());
+        assert!(generate_program("433.milc", 42).total_instructions().is_none());
+        assert!(generate_program("CG", 42).total_instructions().is_none());
+    }
+
+    #[test]
+    fn bench_a_is_nb_silent_and_steady() {
+        let prog = bench_a();
+        assert_eq!(prog.phases().len(), 1, "bench_a has a steady program phase");
+        let fp = &prog.phases()[0].fingerprint;
+        assert_eq!(fp.l2miss_per_inst, 0.0);
+        assert_eq!(fp.mcpi_ref, 0.0);
+        fp.validate().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown benchmark")]
+    fn unknown_name_panics() {
+        let _ = generate_program("999.nonexistent", 42);
+    }
+
+    #[test]
+    fn fp_heavy_benchmarks_use_the_fpu() {
+        let fp_bench = generate_program("410.bwaves", 42); // fp_heavy
+        let int_bench = generate_program("401.bzip2", 42); // integer
+        let fp_rate = fp_bench.phases()[0].fingerprint.fpu_per_inst;
+        let int_rate = int_bench.phases()[0].fingerprint.fpu_per_inst;
+        assert!(fp_rate > 0.3, "FP benchmark FPU rate {fp_rate}");
+        assert!(int_rate < 0.15, "integer benchmark FPU rate {int_rate}");
+    }
+
+    #[test]
+    fn class_table_consistency_sample() {
+        // Every memory-bound benchmark generates more L2 misses than
+        // every CPU-bound one (ranges are disjoint).
+        let mem = BENCH_TABLE.iter().find(|b| b.class == MemoryClass::MemoryBound).unwrap();
+        let cpu = BENCH_TABLE.iter().find(|b| b.class == MemoryClass::CpuBound).unwrap();
+        let m = generate_program_for(mem, 11).phases()[0].fingerprint.l2miss_per_inst;
+        let c = generate_program_for(cpu, 11).phases()[0].fingerprint.l2miss_per_inst;
+        assert!(m > c, "memory-bound {m} vs CPU-bound {c}");
+        assert_eq!(mem.suite, Suite::SpecCpu2006);
+    }
+}

@@ -1,0 +1,104 @@
+//! Property tests for the workload substrate.
+
+use ppep_workloads::program::{Phase, ThreadProgram};
+use ppep_workloads::spec::BENCH_TABLE;
+use ppep_workloads::suites::generate_program_for;
+use ppep_workloads::PhaseFingerprint;
+use proptest::prelude::*;
+
+fn program(phase_lens: &[u32]) -> ThreadProgram {
+    let phases: Vec<Phase> = phase_lens
+        .iter()
+        .map(|&n| Phase {
+            fingerprint: PhaseFingerprint::default(),
+            instructions: n as f64 + 1.0,
+        })
+        .collect();
+    ThreadProgram::looping(phases).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Advancing in many small steps retires exactly the same total as
+    /// one big step, and lands on the same phase.
+    #[test]
+    fn cursor_advance_is_additive(
+        phase_lens in prop::collection::vec(1u32..10_000, 1..6),
+        steps in prop::collection::vec(1u32..5_000, 1..20),
+    ) {
+        let prog = program(&phase_lens);
+        let mut stepped = prog.start();
+        let mut total = 0.0;
+        for s in &steps {
+            total += stepped.advance(&prog, *s as f64);
+        }
+        let mut jumped = prog.start();
+        let jumped_total = jumped.advance(&prog, total);
+        prop_assert!((jumped_total - total).abs() < 1e-9);
+        prop_assert_eq!(stepped.phase_index(), jumped.phase_index());
+        prop_assert!((stepped.retired_instructions() - jumped.retired_instructions()).abs() < 1e-9);
+    }
+
+    /// A finite program never retires more than its budget, from any
+    /// step pattern, and finishes exactly when the budget is spent.
+    #[test]
+    fn finite_programs_respect_their_budget(
+        budget in 100u32..50_000,
+        steps in prop::collection::vec(1u32..10_000, 1..30),
+    ) {
+        let phases = vec![Phase {
+            fingerprint: PhaseFingerprint::default(),
+            instructions: 997.0,
+        }];
+        let prog = ThreadProgram::finite(phases, budget as f64).unwrap();
+        let mut cursor = prog.start();
+        let mut retired = 0.0;
+        for s in &steps {
+            retired += cursor.advance(&prog, *s as f64);
+        }
+        prop_assert!(retired <= budget as f64 + 1e-9);
+        prop_assert!((cursor.retired_instructions() - retired).abs() < 1e-9);
+        let requested: f64 = steps.iter().map(|s| *s as f64).sum();
+        if requested >= budget as f64 {
+            prop_assert!(cursor.is_finished());
+        }
+    }
+
+    /// Looping over exactly one loop length returns to phase zero.
+    #[test]
+    fn full_loops_return_to_start(
+        phase_lens in prop::collection::vec(1u32..5_000, 1..6),
+        loops in 1u32..5,
+    ) {
+        let prog = program(&phase_lens);
+        let mut cursor = prog.start();
+        cursor.advance(&prog, prog.loop_length() * loops as f64);
+        prop_assert_eq!(cursor.phase_index(), 0);
+    }
+
+    /// Fingerprint interpolation preserves validity between any two
+    /// valid generated fingerprints.
+    #[test]
+    fn lerp_preserves_validity(bench_a in 0usize..52, bench_b in 0usize..52, t in 0.0f64..=1.0) {
+        let fa = generate_program_for(&BENCH_TABLE[bench_a], 7).phases()[0].fingerprint;
+        let fb = generate_program_for(&BENCH_TABLE[bench_b], 7).phases()[0].fingerprint;
+        let mixed = fa.lerp(&fb, t);
+        // Linear interpolation can break only the coupled constraints;
+        // both endpoints satisfy them, so the blend must too for the
+        // linear ones (mispred ≤ branches, l2miss ≤ l2req hold because
+        // both sides interpolate with the same t).
+        prop_assert!(mixed.validate().is_ok(), "t={t}: {mixed:?}");
+    }
+
+    /// Generated programs are identical across calls (pure functions
+    /// of name and seed) and differ across seeds.
+    #[test]
+    fn generation_determinism(bench in 0usize..52, seed in 0u64..500) {
+        let a = generate_program_for(&BENCH_TABLE[bench], seed);
+        let b = generate_program_for(&BENCH_TABLE[bench], seed);
+        prop_assert_eq!(&a, &b);
+        let c = generate_program_for(&BENCH_TABLE[bench], seed.wrapping_add(1));
+        prop_assert_ne!(&a, &c);
+    }
+}

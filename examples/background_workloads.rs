@@ -1,0 +1,58 @@
+//! How background workloads change the PPE picture (Figs. 8–9).
+//!
+//! Sweeps a memory-bound (433.milc) and a CPU-bound (458.sjeng)
+//! benchmark from 1 to 4 concurrent instances and projects per-thread
+//! energy and EDP at every VF state, reproducing the paper's three
+//! §V-C1 observations:
+//!
+//! 1. the lowest VF state minimises energy regardless of load;
+//! 2. a lone memory-bound instance is cheaper per thread than a
+//!    contended multi-instance run (at high VF);
+//! 3. a lone CPU-bound instance is *more expensive* per thread (no one
+//!    shares the chip's fixed power).
+//!
+//! ```text
+//! cargo run --release --example background_workloads
+//! ```
+
+use ppep_core::prelude::*;
+use ppep_dvfs::optimal::per_thread_ppe;
+use ppep_sim::chip::{ChipSimulator, SimConfig};
+use ppep_workloads::combos::instances;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("training PPEP…");
+    let mut rig = TrainingRig::fx8320(42);
+    let ppep = Ppep::new(rig.train_quick()?);
+    let table = ppep.models().vf_table().clone();
+
+    for benchmark in ["433.milc", "458.sjeng"] {
+        println!("\n=== {benchmark} — per-thread energy (J per 10⁹ instructions) ===");
+        print!("  n  ");
+        for vf in table.states().rev() {
+            print!("{:>8}", vf.to_string());
+        }
+        println!("   best");
+        for n in 1..=4 {
+            let mut sim = ChipSimulator::new(SimConfig::fx8320_pg(42));
+            sim.load_workload(&instances(benchmark, n, 42));
+            let record = sim.run_intervals(10).pop().expect("warmed up");
+            let per_thread = per_thread_ppe(&ppep.project(&record)?, n)?;
+            print!("  {n}  ");
+            for p in per_thread.iter().rev() {
+                print!("{:>8.2}", p.energy);
+            }
+            let best = per_thread
+                .iter()
+                .min_by(|a, b| a.energy.total_cmp(&b.energy))
+                .expect("ladder non-empty");
+            println!("   {}", best.vf);
+        }
+    }
+    println!(
+        "\nNote how the x1 row is the cheapest column-wise for the memory-bound\n\
+         benchmark (no NB contention) but the most expensive for the CPU-bound\n\
+         one (nobody to share fixed power with) — the paper's observations 2–3."
+    );
+    Ok(())
+}

@@ -1,0 +1,56 @@
+//! Predictive boost control — the §IV-E firmware-PPEP extension.
+//!
+//! The paper had to disable the FX-8320's boost states because the
+//! stock controller is opaque to software; it notes a firmware PPEP
+//! could drive them instead. This example trains on the boost-exposed
+//! seven-state ladder and shows the controller granting boost to a
+//! lone thread with thermal/power headroom, then withdrawing it as
+//! load and temperature climb.
+//!
+//! ```text
+//! cargo run --release --example boost_control
+//! ```
+
+use ppep_core::daemon::PpepDaemon;
+use ppep_core::prelude::*;
+use ppep_dvfs::boost::BoostController;
+use ppep_sim::chip::{ChipSimulator, SimConfig};
+use ppep_types::Kelvin;
+use ppep_workloads::combos::instances;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("training PPEP on the boost-exposed seven-state ladder…");
+    let mut rig = TrainingRig::with_config(SimConfig::fx8320_boost(42), 42);
+    let models = rig.train_quick()?;
+    let ppep = Ppep::new(models);
+
+    for (threads, label) in [(1, "one busy core"), (8, "all cores busy")] {
+        let controller = BoostController::new(
+            ppep.clone(),
+            VfTable::FX8320_SOFTWARE_STATES,
+            Watts::new(140.0),
+            Kelvin::new(335.0),
+        )?;
+        let mut sim = ChipSimulator::new(SimConfig::fx8320_boost(42));
+        sim.load_workload(&instances("458.sjeng", threads, 42));
+        sim.set_all_vf(controller.nominal_top());
+        let mut daemon = PpepDaemon::new(ppep.clone(), sim, controller);
+
+        println!("\n--- {label} (TDP 140 W, thermal limit 335 K) ---");
+        println!("step  power     temp      per-CU states");
+        for step in 0..8 {
+            let s = daemon.step()?;
+            let states: Vec<String> =
+                s.decision.iter().map(|vf| vf.to_string()).collect();
+            println!(
+                "{:>4}  {:>7.1}  {:>7.1}  {:?}",
+                step, s.record.measured_power, s.record.temperature, states
+            );
+        }
+    }
+    println!(
+        "\nBoost bins are indices 6-7 (VF6/VF7): granted when the projection\n\
+         proves they fit the envelope, withdrawn as headroom disappears."
+    );
+    Ok(())
+}

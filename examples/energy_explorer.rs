@@ -1,0 +1,56 @@
+//! Energy/EDP space exploration (the §V-C1 scenario).
+//!
+//! Runs a workload at the highest VF state, then uses PPEP to price
+//! every VF state for the observed work — energy, delay, and EDP —
+//! without ever switching the chip there. This is the "explore the
+//! DVFS space in one step" capability the paper's title refers to.
+//!
+//! ```text
+//! cargo run --release --example energy_explorer [benchmark] [instances]
+//! ```
+
+use ppep_core::prelude::*;
+use ppep_dvfs::optimal::{best_edp_state, per_thread_ppe};
+use ppep_sim::chip::{ChipSimulator, SimConfig};
+use ppep_workloads::combos::instances;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let benchmark = args.next().unwrap_or_else(|| "433.milc".to_string());
+    let n: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(2);
+
+    println!("training PPEP…");
+    let mut rig = TrainingRig::fx8320(42);
+    let ppep = Ppep::new(rig.train_quick()?);
+
+    let mut sim = ChipSimulator::new(SimConfig::fx8320_pg(42));
+    sim.load_workload(&instances(&benchmark, n, 42));
+    let record = sim.run_intervals(10).pop().expect("warmed up");
+    let projection = ppep.project(&record)?;
+    let per_thread = per_thread_ppe(&projection, n)?;
+
+    println!("\n{benchmark} × {n} — per-thread PPE for a 10⁹-instruction quantum:");
+    println!("  VF    energy      time        EDP");
+    for p in per_thread.iter().rev() {
+        println!(
+            "  {}  {:>7.2} J  {:>7.3} s  {:>8.3} J·s",
+            p.vf, p.energy, p.time, p.edp
+        );
+    }
+    let best_energy = per_thread
+        .iter()
+        .min_by(|a, b| a.energy.total_cmp(&b.energy))
+        .expect("non-empty ladder");
+    println!(
+        "\nenergy-optimal: {} ({:.2} J)   EDP-optimal: {}",
+        best_energy.vf,
+        best_energy.energy,
+        best_edp_state(&per_thread)
+    );
+    println!(
+        "NB share of chip power at {}: {:.0}%",
+        projection.source_vf[0],
+        projection.chip_at(projection.source_vf[0]).nb_ratio() * 100.0
+    );
+    Ok(())
+}

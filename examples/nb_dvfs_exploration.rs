@@ -1,0 +1,57 @@
+//! North-bridge DVFS exploration (the Fig. 11 study).
+//!
+//! The FX-8320's NB (memory controller + L3) runs at one fixed
+//! operating point. The paper uses PPEP to ask: what if it had a
+//! second, lower point (0.940 V, 1.1 GHz — idle −40%, dynamic −36%,
+//! leading-load cycles +50%)? This example prices the full
+//! (core VF × NB VF) grid for a workload and reports the energy
+//! saving and iso-energy speedup an NB-DVFS design would offer.
+//!
+//! ```text
+//! cargo run --release --example nb_dvfs_exploration [benchmark] [instances]
+//! ```
+
+use ppep_core::prelude::*;
+use ppep_sim::chip::{ChipSimulator, SimConfig};
+use ppep_types::vf::NbVfState;
+use ppep_workloads::combos::instances;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let benchmark = args.next().unwrap_or_else(|| "433.milc".to_string());
+    let n: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(1);
+
+    println!("training PPEP…");
+    let mut rig = TrainingRig::fx8320(42);
+    let ppep = Ppep::new(rig.train_quick()?);
+
+    let mut sim = ChipSimulator::new(SimConfig::fx8320_pg(42));
+    sim.load_workload(&instances(&benchmark, n, 42));
+    let record = sim.run_intervals(10).pop().expect("warmed up");
+
+    println!("\n{benchmark} × {n} — the (core VF × NB VF) grid:");
+    println!("  core   NB      power     time       energy");
+    let mut min_hi = f64::INFINITY;
+    let mut min_all = f64::INFINITY;
+    for nb in [NbVfState::High, NbVfState::Low] {
+        let projection = ppep.project_nb(&record, nb)?;
+        for chip in projection.chip.iter().rev() {
+            let e = chip.energy.as_joules();
+            if nb == NbVfState::High {
+                min_hi = min_hi.min(e);
+            }
+            min_all = min_all.min(e);
+            println!(
+                "  {}  {}  {:>7.1}  {:>7.3} s  {:>7.2} J",
+                chip.vf, nb, chip.power, chip.time_for_work.as_secs(), e
+            );
+        }
+    }
+    println!(
+        "\nbest energy, stock NB only : {min_hi:.2} J\n\
+         best energy, NB DVFS       : {min_all:.2} J\n\
+         energy saving from NB DVFS : {:.1}%",
+        (min_hi - min_all) / min_hi * 100.0
+    );
+    Ok(())
+}

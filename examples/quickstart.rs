@@ -1,0 +1,61 @@
+//! Quickstart: train PPEP on the simulated FX-8320 and project PPE
+//! across every VF state for a running workload.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use ppep_core::prelude::*;
+use ppep_sim::chip::{ChipSimulator, SimConfig};
+use ppep_workloads::combos::instances;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Train the models once, offline — idle model (Eq. 2), voltage
+    //    exponent α, dynamic power model (Eq. 3), Green Governors
+    //    baseline. `train_quick` uses a reduced training roster; see
+    //    `ppep-experiments` for the paper-sized pipeline.
+    println!("training PPEP models on the simulated AMD FX-8320…");
+    let mut rig = TrainingRig::fx8320(42);
+    let models = rig.train_quick()?;
+    println!(
+        "  α = {:.2}, {} dynamic-model weights fitted",
+        models.alpha(),
+        models.dynamic_model().coefficient_count()
+    );
+
+    // 2. Run a workload: two instances of the memory-bound 433.milc.
+    let mut sim = ChipSimulator::new(SimConfig::fx8320(42));
+    sim.load_workload(&instances("433.milc", 2, 42));
+    let record = sim.run_intervals(10).pop().expect("ran 10 intervals");
+    println!(
+        "\nmeasured at {}: {:.1} (diode {:.1})",
+        record.cu_vf[0], record.measured_power, record.temperature
+    );
+
+    // 3. One PPEP pipeline pass: CPI → events → power → PPE, at every
+    //    VF state, from that single interval's counters.
+    let ppep = Ppep::new(models);
+    let projection = ppep.project(&record)?;
+
+    println!("\n  VF    power      throughput   energy/work   EDP");
+    for chip in projection.chip.iter().rev() {
+        println!(
+            "  {}  {:>7.1}  {:>10.2e} ips  {:>8.2}  {:>8.3}",
+            chip.vf,
+            chip.power,
+            chip.ips,
+            chip.energy,
+            chip.edp,
+        );
+    }
+    println!(
+        "\nenergy-optimal: {}   EDP-optimal: {}",
+        projection.best_energy_vf(),
+        projection.best_edp_vf()
+    );
+    println!(
+        "fastest state under a 40 W cap: {:?}",
+        projection.fastest_under_cap(Watts::new(40.0)).map(|v| v.to_string())
+    );
+    Ok(())
+}

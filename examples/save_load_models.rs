@@ -1,0 +1,49 @@
+//! Train once, save the calibration, reload it, and keep predicting —
+//! the paper's "one-time, offline effort" workflow (§IV-B1).
+//!
+//! ```text
+//! cargo run --release --example save_load_models
+//! ```
+
+use ppep_core::prelude::*;
+use ppep_models::persist;
+use ppep_sim::chip::{ChipSimulator, SimConfig};
+use ppep_workloads::combos::instances;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("training PPEP (the one-time offline effort)…");
+    let mut rig = TrainingRig::fx8320(42);
+    let models = rig.train_quick()?;
+
+    // Save the calibration to a diffable text file.
+    let path = std::env::temp_dir().join("fx8320.ppep");
+    let text = persist::to_string(&models);
+    std::fs::write(&path, &text)?;
+    println!(
+        "saved {} ({} lines). First lines:",
+        path.display(),
+        text.lines().count()
+    );
+    for line in text.lines().take(6) {
+        println!("  {line}");
+    }
+
+    // A "different process" reloads it and predicts without any
+    // retraining, sensors, or simulator access to the training runs.
+    let restored = persist::from_string(&std::fs::read_to_string(&path)?)?;
+    let ppep = Ppep::new(restored);
+    // Power gating on, matching the PG-aware idle decomposition the
+    // reloaded bundle carries.
+    let mut sim = ChipSimulator::new(SimConfig::fx8320_pg(42));
+    sim.load_workload(&instances("462.libquantum", 2, 42));
+    let record = sim.run_intervals(8).pop().expect("warmed up");
+    let projection = ppep.project(&record)?;
+    println!(
+        "\nreloaded model agrees with the chip: measured {:.1}, projected {:.1} at {}",
+        record.measured_power,
+        projection.chip_at(record.cu_vf[0]).power,
+        record.cu_vf[0]
+    );
+    println!("energy-optimal state: {}", projection.best_energy_vf());
+    Ok(())
+}

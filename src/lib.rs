@@ -1,0 +1,28 @@
+//! Umbrella crate for the PPEP reproduction workspace.
+//!
+//! This crate exists to host the repository-level examples
+//! (`examples/`) and cross-crate integration tests (`tests/`). The
+//! actual functionality lives in the `ppep-*` crates under `crates/`;
+//! the most convenient entry point for downstream users is
+//! [`ppep_core`], which re-exports the full public API.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use ppep_core::prelude::*;
+//!
+//! // Build a simulated AMD FX-8320-like chip and train PPEP on it.
+//! let mut rig = TrainingRig::fx8320(42);
+//! let trained = rig.train_quick().expect("training succeeds");
+//! assert!(trained.dynamic_model().coefficient_count() > 0);
+//! ```
+
+pub use ppep_core as core;
+pub use ppep_dvfs as dvfs;
+pub use ppep_experiments as experiments;
+pub use ppep_models as models;
+pub use ppep_pmc as pmc;
+pub use ppep_regress as regress;
+pub use ppep_sim as sim;
+pub use ppep_types as types;
+pub use ppep_workloads as workloads;

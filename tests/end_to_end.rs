@@ -1,0 +1,239 @@
+//! End-to-end integration tests spanning every crate: simulator →
+//! PMU → training → PPEP engine → DVFS policies.
+//!
+//! These deliberately run the *whole* pipeline the way a downstream
+//! user would, with a shared quick-trained model bundle.
+
+use ppep_core::daemon::{DvfsController, PpepDaemon, StaticController};
+use ppep_core::energy::EnergyPredictor;
+use ppep_core::Ppep;
+use ppep_dvfs::capping::OneStepCapping;
+use ppep_dvfs::governor::OndemandGovernor;
+use ppep_dvfs::optimal::per_thread_ppe;
+use ppep_dvfs::EnergyOptimalController;
+use ppep_models::trainer::{TrainedModels, TrainingRig};
+use ppep_sim::chip::{ChipSimulator, SimConfig};
+use ppep_types::{VfTable, Watts};
+use ppep_workloads::combos::{fig7_workload, instances};
+use std::sync::OnceLock;
+
+fn models() -> &'static TrainedModels {
+    static MODELS: OnceLock<TrainedModels> = OnceLock::new();
+    MODELS.get_or_init(|| {
+        TrainingRig::fx8320(42).train_quick().expect("training succeeds")
+    })
+}
+
+#[test]
+fn trained_bundle_is_complete() {
+    let m = models();
+    assert!(m.alpha() > 1.5 && m.alpha() < 2.6, "alpha {}", m.alpha());
+    assert!(m.chip_power().pg_model().is_some(), "PG decomposition attached");
+    assert_eq!(m.vf_table().len(), 5);
+    assert!(m.green_governors().weight() > 0.0);
+}
+
+#[test]
+fn whole_pipeline_estimates_unseen_workloads() {
+    // A workload absent from the quick training set, at an untrained
+    // VF state, with a phase mix the model never saw.
+    let ppep = Ppep::new(models().clone());
+    let table = ppep.models().vf_table().clone();
+    let mut sim = ChipSimulator::new(SimConfig::fx8320(42));
+    sim.load_workload(&instances("470.lbm", 3, 42));
+    sim.set_all_vf(table.state(2).unwrap());
+    let records = sim.run_intervals(12);
+    let mut errors = Vec::new();
+    for r in &records[4..] {
+        let est = ppep
+            .models()
+            .chip_power()
+            .estimate_chip(&r.samples, r.cu_vf[0], &table, r.temperature);
+        errors.push(
+            (est.as_watts() - r.measured_power.as_watts()).abs()
+                / r.measured_power.as_watts(),
+        );
+    }
+    let mean = errors.iter().sum::<f64>() / errors.len() as f64;
+    assert!(mean < 0.15, "chip estimation AAE on unseen workload: {mean}");
+}
+
+#[test]
+fn daemon_with_energy_policy_saves_energy_vs_static_top() {
+    let run = |energy_policy: bool| -> f64 {
+        let ppep = Ppep::new(models().clone());
+        let table = ppep.models().vf_table().clone();
+        let mut sim = ChipSimulator::new(SimConfig::fx8320_pg(42));
+        sim.load_workload(&instances("433.milc", 4, 42));
+        let steps = if energy_policy {
+            let mut daemon = PpepDaemon::new(ppep, sim, EnergyOptimalController);
+            daemon.run(20).expect("daemon runs")
+        } else {
+            let mut daemon = PpepDaemon::new(
+                ppep,
+                sim,
+                StaticController { vf: table.highest() },
+            );
+            daemon.run(20).expect("daemon runs")
+        };
+        // Energy per retired instruction over the run (nJ).
+        let energy: f64 = steps
+            .iter()
+            .map(|s| s.record.measured_energy().as_joules())
+            .sum();
+        let work: f64 = steps.iter().map(|s| s.projection.work_instructions).sum();
+        energy / work * 1e9
+    };
+    let optimal = run(true);
+    let static_top = run(false);
+    assert!(
+        optimal < static_top * 0.8,
+        "energy policy {optimal:.2} nJ/inst vs static-top {static_top:.2}"
+    );
+}
+
+#[test]
+fn capping_daemon_respects_cap_end_to_end() {
+    let ppep = Ppep::new(models().clone());
+    let cap = Watts::new(55.0);
+    let mut sim = ChipSimulator::new(SimConfig::fx8320_pg(42));
+    sim.load_workload(&fig7_workload(42));
+    let controller = OneStepCapping::new(ppep.clone(), cap);
+    let mut daemon = PpepDaemon::new(ppep, sim, controller);
+    let steps = daemon.run(10).expect("daemon runs");
+    for s in &steps[1..] {
+        assert!(
+            s.record.measured_power <= cap * 1.06,
+            "{} exceeded the cap at {:?}",
+            s.record.measured_power,
+            s.record.index
+        );
+    }
+    // And it must not be trivially parked at VF1: some CU should run
+    // above the bottom state under a 55 W budget.
+    let last = steps.last().unwrap();
+    assert!(
+        last.decision.iter().any(|vf| vf.index() > 0),
+        "controller sandbagging: {:?}",
+        last.decision
+    );
+}
+
+#[test]
+fn ondemand_governor_tracks_load() {
+    let ppep = Ppep::new(models().clone());
+    let table = ppep.models().vf_table().clone();
+    let sim = ChipSimulator::new(SimConfig::fx8320_pg(42));
+    let mut daemon =
+        PpepDaemon::new(ppep, sim, OndemandGovernor::new(table.clone()));
+    // Idle chip: governor decays to the lowest state.
+    let steps = daemon.run(6).expect("daemon runs");
+    assert_eq!(steps.last().unwrap().decision[0], table.lowest());
+    // Load appears: governor jumps to the top.
+    daemon.sim_mut().load_workload(&instances("458.sjeng", 2, 42));
+    let steps = daemon.run(2).expect("daemon runs");
+    assert_eq!(steps.last().unwrap().decision[0], table.highest());
+}
+
+#[test]
+fn energy_predictor_consistency_across_interfaces() {
+    let predictor = EnergyPredictor::new(models().clone());
+    let mut sim = ChipSimulator::new(SimConfig::fx8320(42));
+    sim.load_workload(&instances("403.gcc", 2, 42));
+    let records = sim.run_intervals(6);
+    let (ppep_errs, gg_errs) = predictor.trace_errors(&records).expect("trace errors");
+    assert_eq!(ppep_errs.len(), records.len() - 1);
+    assert_eq!(gg_errs.len(), records.len() - 1);
+    for e in ppep_errs.iter().chain(&gg_errs) {
+        assert!(e.is_finite() && *e >= 0.0);
+    }
+}
+
+#[test]
+fn per_thread_metrics_match_projection_chip_power() {
+    let ppep = Ppep::new(models().clone());
+    let mut sim = ChipSimulator::new(SimConfig::fx8320_pg(42));
+    sim.load_workload(&instances("458.sjeng", 4, 42));
+    let record = sim.run_intervals(8).pop().unwrap();
+    let projection = ppep.project(&record).expect("projection");
+    let per_thread = per_thread_ppe(&projection, 4).expect("per-thread PPE");
+    for (chip, thread) in projection.chip.iter().zip(&per_thread) {
+        // energy-per-quantum × throughput = chip power.
+        let implied_power = thread.energy * chip.ips / 1.0e9;
+        assert!(
+            (implied_power - chip.power.as_watts()).abs() < 1e-6,
+            "{} vs {}",
+            implied_power,
+            chip.power.as_watts()
+        );
+    }
+}
+
+#[test]
+fn cross_platform_training_works_on_phenom() {
+    let mut rig = TrainingRig::phenom_ii_x6(42);
+    let m = rig.train_quick().expect("Phenom training succeeds");
+    assert_eq!(m.vf_table().len(), 4);
+    assert!(m.chip_power().pg_model().is_none(), "Phenom cannot power-gate");
+    // The engine still projects across its 4-state ladder.
+    let ppep = Ppep::new(m);
+    let mut sim = ChipSimulator::new(SimConfig::phenom_ii_x6(42));
+    sim.load_workload(&instances("CG", 4, 42));
+    let record = sim.run_intervals(8).pop().unwrap();
+    let projection = ppep.project(&record).expect("projection");
+    assert_eq!(projection.chip.len(), 4);
+    assert_eq!(projection.best_energy_vf(), VfTable::phenom_ii_x6().lowest());
+}
+
+#[test]
+fn per_core_rails_platform_supports_heterogeneous_assignments() {
+    // §IV-A extension: a chip with per-core voltage rails. Every
+    // "CU" is one core, so the per-CU DVFS path becomes per-core.
+    let mut config = SimConfig::fx8320(42);
+    config.topology = ppep_types::Topology::fx8320_per_core_rails();
+    let rig = TrainingRig::with_config(config.clone(), 42);
+    let mut sim = rig.new_sim();
+    // CPU-bound work, so throughput tracks the core clock directly.
+    sim.load_workload(&instances("458.sjeng", 2, 42));
+    let table = sim.topology().vf_table().clone();
+    // Give each busy core its own state: one fast, one slow.
+    sim.set_all_vf(table.lowest());
+    sim.set_cu_vf(ppep_types::CuId(0), table.highest()).unwrap();
+    let rec = sim.run_intervals(6).pop().unwrap();
+    assert_eq!(rec.cu_vf.len(), 8, "one rail per core");
+    // The fast core retires more than the slow one (placement puts
+    // thread 0 on core 0 and thread 1 on core 1 when every CU has a
+    // single core).
+    let fast = rec.true_counts[0].get(ppep_pmc::EventId::RetiredInstructions);
+    let slow = rec.true_counts[1].get(ppep_pmc::EventId::RetiredInstructions);
+    assert!(
+        fast > 1.5 * slow,
+        "per-core rails must decouple the cores: {fast} vs {slow}"
+    );
+    // And the power breakdown reflects eight independent domains.
+    assert_eq!(rec.true_power.cu_idle.len(), 8);
+}
+
+#[test]
+fn custom_controller_trait_object_compatible() {
+    // DvfsController must be usable as a trait object (step 5 of
+    // Fig. 5 is a pluggable decision algorithm).
+    struct Pin(ppep_types::VfStateId);
+    impl DvfsController for Pin {
+        fn decide(
+            &mut self,
+            p: &ppep_core::ppe::PpeProjection,
+        ) -> ppep_types::Result<Vec<ppep_types::VfStateId>> {
+            Ok(vec![self.0; p.source_vf.len()])
+        }
+    }
+    let table = VfTable::fx8320();
+    let mut boxed: Box<dyn DvfsController> = Box::new(Pin(table.lowest()));
+    let ppep = Ppep::new(models().clone());
+    let mut sim = ChipSimulator::new(SimConfig::fx8320(42));
+    sim.load_workload(&instances("401.bzip2", 1, 42));
+    let record = sim.step_interval();
+    let projection = ppep.project(&record).expect("projection");
+    let decision = boxed.decide(&projection).expect("decision");
+    assert_eq!(decision, vec![table.lowest(); 4]);
+}
