@@ -8,7 +8,7 @@
 use crate::framework::Ppep;
 use crate::ppe::PpeProjection;
 use ppep_sim::chip::{ChipSimulator, IntervalRecord};
-use ppep_types::{Result, VfStateId};
+use ppep_types::{Error, Result, VfStateId};
 
 /// A DVFS decision algorithm: consumes a projection, returns the
 /// per-CU VF assignment to apply for the next interval.
@@ -46,6 +46,68 @@ pub struct DaemonStep {
     pub decision: Vec<VfStateId>,
 }
 
+/// The outcome of a multi-interval run: every completed step, plus
+/// the error that cut the run short, if any.
+///
+/// An unprotected daemon aborts on the first fault; this type keeps
+/// the partial trace available (the old `Result<Vec<DaemonStep>>`
+/// discarded it), which is exactly what resilience experiments need
+/// to quantify how much work was lost.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// The steps completed before the run ended.
+    pub steps: Vec<DaemonStep>,
+    /// The error that stopped the run early, or `None` when all
+    /// requested intervals completed.
+    pub error: Option<Error>,
+}
+
+impl RunOutcome {
+    /// Whether all requested intervals completed.
+    pub fn is_complete(&self) -> bool {
+        self.error.is_none()
+    }
+
+    /// The completed steps, panicking if the run was cut short.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the stored error when the run did not complete.
+    pub fn unwrap(self) -> Vec<DaemonStep> {
+        match self.error {
+            None => self.steps,
+            Some(e) => panic!("daemon run failed after {} steps: {e}", self.steps.len()),
+        }
+    }
+
+    /// The completed steps, panicking with `msg` if the run was cut
+    /// short.
+    ///
+    /// # Panics
+    ///
+    /// Panics with `msg` and the stored error when the run did not
+    /// complete.
+    pub fn expect(self, msg: &str) -> Vec<DaemonStep> {
+        match self.error {
+            None => self.steps,
+            Some(e) => panic!("{msg}: failed after {} steps: {e}", self.steps.len()),
+        }
+    }
+
+    /// Converts back to a `Result`, dropping the partial trace on
+    /// error.
+    ///
+    /// # Errors
+    ///
+    /// Returns the stored error when the run was cut short.
+    pub fn into_result(self) -> Result<Vec<DaemonStep>> {
+        match self.error {
+            None => Ok(self.steps),
+            Some(e) => Err(e),
+        }
+    }
+}
+
 /// The daemon: owns the chip and the engine, steps one interval at a
 /// time.
 pub struct PpepDaemon<C: DvfsController> {
@@ -57,7 +119,11 @@ pub struct PpepDaemon<C: DvfsController> {
 impl<C: DvfsController> PpepDaemon<C> {
     /// Couples an engine, a chip, and a controller.
     pub fn new(ppep: Ppep, sim: ChipSimulator, controller: C) -> Self {
-        Self { ppep, sim, controller }
+        Self {
+            ppep,
+            sim,
+            controller,
+        }
     }
 
     /// The prediction engine.
@@ -65,7 +131,12 @@ impl<C: DvfsController> PpepDaemon<C> {
         &self.ppep
     }
 
-    /// The simulated chip (e.g. to load workloads).
+    /// The simulated chip.
+    pub fn sim(&self) -> &ChipSimulator {
+        &self.sim
+    }
+
+    /// The simulated chip, mutably (e.g. to load workloads).
     pub fn sim_mut(&mut self) -> &mut ChipSimulator {
         &mut self.sim
     }
@@ -79,24 +150,68 @@ impl<C: DvfsController> PpepDaemon<C> {
     ///
     /// # Errors
     ///
-    /// Propagates projection and controller errors.
+    /// Propagates measurement faults (from an installed
+    /// [`ppep_sim::fault::FaultPlan`]), projection errors, and
+    /// controller errors. Measurement faults are transient
+    /// ([`Error::is_transient`]); the simulator stays consistent, so
+    /// the next `step` proceeds normally — but *this* daemon makes no
+    /// decision for the lost interval.
     pub fn step(&mut self) -> Result<DaemonStep> {
-        let record = self.sim.step_interval();
-        let projection = self.ppep.project(&record)?;
-        let decision = self.controller.decide(&projection)?;
-        for (cu, &vf) in decision.iter().enumerate() {
-            self.sim.set_cu_vf(ppep_types::CuId(cu), vf)?;
-        }
-        Ok(DaemonStep { record, projection, decision })
+        let record = self.sim.step_interval_checked()?;
+        self.react(record)
     }
 
-    /// Runs `n` cycles and collects the outcomes.
+    /// The reaction half of a cycle: project → decide → apply, from a
+    /// record measured elsewhere. [`step`](Self::step) is
+    /// measure-then-`react`; supervisors that intercept measurement
+    /// call `react` directly so their healthy path is *the same code*
+    /// as the unsupervised daemon's.
     ///
     /// # Errors
     ///
-    /// Propagates the first failing step.
-    pub fn run(&mut self, n: usize) -> Result<Vec<DaemonStep>> {
-        (0..n).map(|_| self.step()).collect()
+    /// Propagates projection and controller errors.
+    pub fn react(&mut self, record: IntervalRecord) -> Result<DaemonStep> {
+        let projection = self.ppep.project(&record)?;
+        let decision = self.controller.decide(&projection)?;
+        self.apply(&decision)?;
+        Ok(DaemonStep {
+            record,
+            projection,
+            decision,
+        })
+    }
+
+    /// Applies a per-CU VF assignment to the chip.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an out-of-range CU.
+    pub fn apply(&mut self, decision: &[VfStateId]) -> Result<()> {
+        for (cu, &vf) in decision.iter().enumerate() {
+            self.sim.set_cu_vf(ppep_types::CuId(cu), vf)?;
+        }
+        Ok(())
+    }
+
+    /// Runs up to `n` cycles, stopping at the first failing step.
+    ///
+    /// Returns a [`RunOutcome`] carrying the completed steps and the
+    /// terminating error, if any; `outcome.unwrap()` restores the old
+    /// all-or-nothing behaviour.
+    pub fn run(&mut self, n: usize) -> RunOutcome {
+        let mut steps = Vec::with_capacity(n);
+        for _ in 0..n {
+            match self.step() {
+                Ok(step) => steps.push(step),
+                Err(e) => {
+                    return RunOutcome {
+                        steps,
+                        error: Some(e),
+                    }
+                }
+            }
+        }
+        RunOutcome { steps, error: None }
     }
 }
 
@@ -113,7 +228,9 @@ mod tests {
         Ppep::new(
             MODELS
                 .get_or_init(|| {
-                    TrainingRig::fx8320(42).train_quick().expect("training succeeds")
+                    TrainingRig::fx8320(42)
+                        .train_quick()
+                        .expect("training succeeds")
                 })
                 .clone(),
         )
@@ -125,8 +242,7 @@ mod tests {
         let table = ppep.models().vf_table().clone();
         let mut sim = ChipSimulator::new(SimConfig::fx8320(42));
         sim.load_workload(&instances("403.gcc", 2, 42));
-        let mut daemon =
-            PpepDaemon::new(ppep, sim, StaticController { vf: table.lowest() });
+        let mut daemon = PpepDaemon::new(ppep, sim, StaticController { vf: table.lowest() });
         let steps = daemon.run(3).unwrap();
         // First interval still ran at the boot state (highest); from
         // the second on, the pinned state is in force.
@@ -156,5 +272,36 @@ mod tests {
         // §V-C: the lowest VF state is energy-optimal.
         assert_eq!(steps.last().unwrap().decision, vec![table.lowest(); 4]);
         assert_eq!(steps.last().unwrap().record.cu_vf, vec![table.lowest(); 4]);
+    }
+
+    #[test]
+    fn faulted_run_aborts_but_keeps_partial_trace() {
+        use ppep_sim::fault::{FaultKind, FaultPlan};
+        let ppep = engine();
+        let table = ppep.models().vf_table().clone();
+        let mut sim = ChipSimulator::new(SimConfig::fx8320(42));
+        sim.load_workload(&instances("403.gcc", 2, 42));
+        sim.set_fault_plan(FaultPlan::none().with(2, FaultKind::SensorDropout));
+        let mut daemon = PpepDaemon::new(ppep, sim, StaticController { vf: table.lowest() });
+        let outcome = daemon.run(5);
+        // Intervals 0 and 1 complete; the dropout kills interval 2.
+        assert_eq!(outcome.steps.len(), 2);
+        assert!(!outcome.is_complete());
+        let err = outcome.error.clone().expect("run was cut short");
+        assert!(err.is_transient(), "sensor dropout is transient: {err}");
+        assert!(outcome.into_result().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "failed after 2 steps")]
+    fn unwrap_panics_on_truncated_run() {
+        use ppep_sim::fault::{FaultKind, FaultPlan};
+        let ppep = engine();
+        let table = ppep.models().vf_table().clone();
+        let mut sim = ChipSimulator::new(SimConfig::fx8320(42));
+        sim.load_workload(&instances("403.gcc", 2, 42));
+        sim.set_fault_plan(FaultPlan::none().with(2, FaultKind::SensorDropout));
+        let mut daemon = PpepDaemon::new(ppep, sim, StaticController { vf: table.lowest() });
+        let _ = daemon.run(5).unwrap();
     }
 }

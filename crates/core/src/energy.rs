@@ -43,12 +43,10 @@ impl EnergyPredictor {
     pub fn predict_next_energy(&self, record: &IntervalRecord) -> Result<Joules> {
         let table = self.models.vf_table();
         let vf = *record.cu_vf.iter().max().expect("chip has CUs");
-        let power = self.models.chip_power().estimate_chip(
-            &record.samples,
-            vf,
-            table,
-            record.temperature,
-        );
+        let power =
+            self.models
+                .chip_power()
+                .estimate_chip(&record.samples, vf, table, record.temperature);
         Ok(power * record.duration)
     }
 

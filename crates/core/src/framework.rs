@@ -29,7 +29,10 @@ pub struct Ppep {
 impl Ppep {
     /// Builds the engine from trained models.
     pub fn new(models: TrainedModels) -> Self {
-        Self { models, predictor: HwEventPredictor::new() }
+        Self {
+            models,
+            predictor: HwEventPredictor::new(),
+        }
     }
 
     /// The wrapped models.
@@ -88,8 +91,9 @@ impl Ppep {
             let mut per_vf = Vec::with_capacity(table.len());
             for vf in table.states() {
                 let to = table.point(vf);
-                let predicted =
-                    self.predictor.predict_scaled(sample, from, to, memory_factor)?;
+                let predicted = self
+                    .predictor
+                    .predict_scaled(sample, from, to, memory_factor)?;
                 let (core_dyn, nb_dyn) =
                     dynamic.estimate_core_split(&predicted.power_rates(), to.voltage);
                 let nb_dyn = nb_dyn * nb_dyn_scale;
@@ -101,7 +105,11 @@ impl Ppep {
                     cpi: predicted.cpi,
                 });
             }
-            cores.push(CoreProjection { core: CoreId(i), busy, per_vf });
+            cores.push(CoreProjection {
+                core: CoreId(i),
+                busy,
+                per_vf,
+            });
         }
 
         let work_instructions: f64 = record
@@ -118,8 +126,7 @@ impl Ppep {
 
         let mut chip = Vec::with_capacity(table.len());
         for vf in table.states() {
-            let dynamic_total: Watts =
-                cores.iter().map(|c| c.at(vf).dynamic_power).sum();
+            let dynamic_total: Watts = cores.iter().map(|c| c.at(vf).dynamic_power).sum();
             // NB idle share, separable only with the PG decomposition.
             let nb_idle = match self.models.chip_power().pg_model() {
                 Some(pg) if any_active => pg.pidle_nb(vf) * nb_idle_scale,
@@ -127,8 +134,7 @@ impl Ppep {
             };
             let idle_total = match self.models.chip_power().pg_model() {
                 Some(pg) => {
-                    let stock =
-                        pg.chip_idle_pg_enabled(&cu_active, &vec![vf; topo.cu_count()])?;
+                    let stock = pg.chip_idle_pg_enabled(&cu_active, &vec![vf; topo.cu_count()])?;
                     // Replace the stock NB idle contribution with the
                     // scaled one.
                     if any_active {
@@ -156,7 +162,15 @@ impl Ppep {
                 let e = power.as_watts() * t;
                 (Seconds::new(t), Joules::new(e), e * t)
             };
-            chip.push(ChipPpe { vf, power, nb_power, ips, time_for_work, energy, edp });
+            chip.push(ChipPpe {
+                vf,
+                power,
+                nb_power,
+                ips,
+                time_for_work,
+                energy,
+                edp,
+            });
         }
 
         Ok(PpeProjection {
@@ -196,9 +210,7 @@ impl Ppep {
             dynamic += core.at(vf).dynamic_power;
         }
         let cu_active: Vec<bool> = (0..topo.cu_count())
-            .map(|cu| {
-                (0..cores_per_cu).any(|j| projection.cores[cu * cores_per_cu + j].busy)
-            })
+            .map(|cu| (0..cores_per_cu).any(|j| projection.cores[cu * cores_per_cu + j].busy))
             .collect();
         let idle = match self.models.chip_power().pg_model() {
             Some(pg) => pg.chip_idle_pg_enabled(&cu_active, cu_vf)?,
@@ -207,9 +219,10 @@ impl Ppep {
                 // voltage; use the highest assigned state, as the
                 // shared rail must satisfy the fastest CU.
                 let max_vf = *cu_vf.iter().max().expect("non-empty");
-                self.models
-                    .idle_model()
-                    .estimate(self.models.vf_table().point(max_vf).voltage, projection.temperature)
+                self.models.idle_model().estimate(
+                    self.models.vf_table().point(max_vf).voltage,
+                    projection.temperature,
+                )
             }
         };
         Ok(idle + dynamic)
@@ -300,9 +313,8 @@ mod tests {
         let milc = ppep.project(&record_for("433.milc", 1)).unwrap();
         let sjeng = ppep.project(&record_for("458.sjeng", 1)).unwrap();
         let table = ppep.models().vf_table().clone();
-        let ratio = |p: &PpeProjection| {
-            p.chip_at(table.lowest()).ips / p.chip_at(table.highest()).ips
-        };
+        let ratio =
+            |p: &PpeProjection| p.chip_at(table.lowest()).ips / p.chip_at(table.highest()).ips;
         let milc_keep = ratio(&milc);
         let sjeng_keep = ratio(&sjeng);
         assert!(
@@ -334,12 +346,19 @@ mod tests {
         let mixed = ppep
             .chip_power_with_assignment(
                 &p,
-                &[table.highest(), table.lowest(), table.lowest(), table.lowest()],
+                &[
+                    table.highest(),
+                    table.lowest(),
+                    table.lowest(),
+                    table.lowest(),
+                ],
             )
             .unwrap()
             .as_watts();
         assert!(mixed > lo && mixed < hi, "{lo} < {mixed} < {hi}");
-        assert!(ppep.chip_power_with_assignment(&p, &[table.lowest()]).is_err());
+        assert!(ppep
+            .chip_power_with_assignment(&p, &[table.lowest()])
+            .is_err());
     }
 
     #[test]

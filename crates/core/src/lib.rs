@@ -44,18 +44,21 @@ pub mod daemon;
 pub mod energy;
 pub mod framework;
 pub mod ppe;
+pub mod resilient;
 pub mod smoothing;
 pub mod stats;
 
 pub use framework::Ppep;
 pub use ppe::{ChipPpe, CoreProjection, PpeProjection};
+pub use resilient::ResilientDaemon;
 
 /// Convenient re-exports for downstream users and examples.
 pub mod prelude {
-    pub use crate::daemon::{DvfsController, PpepDaemon, StaticController};
+    pub use crate::daemon::{DvfsController, PpepDaemon, RunOutcome, StaticController};
     pub use crate::energy::EnergyPredictor;
     pub use crate::framework::Ppep;
     pub use crate::ppe::{ChipPpe, CoreProjection, PpeProjection};
+    pub use crate::resilient::{HealthReport, HealthState, ResilientDaemon, SupervisorConfig};
     pub use crate::smoothing::SampleSmoother;
     pub use crate::stats::RunStats;
     pub use ppep_models::trainer::{TrainedModels, TrainingBudget, TrainingRig};

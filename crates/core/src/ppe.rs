@@ -198,7 +198,10 @@ mod tests {
         let p = fake_projection();
         let table = VfTable::fx8320();
         // Powers: 20, 38, 56, 74, 92.
-        assert_eq!(p.fastest_under_cap(Watts::new(100.0)), Some(table.highest()));
+        assert_eq!(
+            p.fastest_under_cap(Watts::new(100.0)),
+            Some(table.highest())
+        );
         assert_eq!(
             p.fastest_under_cap(Watts::new(60.0)).map(|v| v.index()),
             Some(2)

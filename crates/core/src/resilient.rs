@@ -1,0 +1,644 @@
+//! Graceful degradation for the PPEP daemon.
+//!
+//! The paper's daemon assumes its plumbing never lies: every 200 ms
+//! the Hall sensor, the thermal diode, and the virtual MSRs deliver a
+//! clean [`IntervalRecord`]. On real machines they do not (see
+//! `ppep_sim::fault`), and a naive daemon either aborts on the first
+//! read error or — worse — feeds a NaN diode reading straight into
+//! its temperature-dependent power model and emits garbage VF
+//! decisions. [`ResilientDaemon`] wraps [`PpepDaemon`] with a
+//! three-state supervisor:
+//!
+//! * **Healthy** — measurements validate, decisions are fresh. The
+//!   healthy path performs *exactly* the unsupervised daemon's
+//!   project → decide → apply sequence, so with no faults injected a
+//!   supervised run is bit-identical to an unsupervised one.
+//! * **Degraded** — a measurement was lost (transient error) or
+//!   quarantined (implausible observables). The supervisor holds the
+//!   last good projection and lets the controller re-decide on it, so
+//!   DVFS stays live through the glitch. [`SupervisorConfig::recovery_streak`]
+//!   consecutive good intervals restore Healthy.
+//! * **Failsafe** — faults persisted past
+//!   [`SupervisorConfig::max_consecutive_faults`] (or struck before
+//!   any good measurement existed). The chip is pinned to a
+//!   configured safe VF state until measurements return.
+//!
+//! Every interval is logged in a [`HealthReport`];
+//! [`HealthReport::decision_availability`] is the headline resilience
+//! metric: the fraction of intervals for which the daemon still made
+//! an informed (fresh or held) DVFS decision.
+
+use crate::daemon::{DaemonStep, DvfsController, PpepDaemon};
+use crate::ppe::PpeProjection;
+use ppep_sim::chip::IntervalRecord;
+use ppep_types::{Error, Kelvin, Result, VfStateId};
+
+/// Tunables of the degradation supervisor.
+#[derive(Debug, Clone, Copy)]
+pub struct SupervisorConfig {
+    /// Consecutive faulted intervals tolerated (holding the last good
+    /// projection) before entering Failsafe.
+    pub max_consecutive_faults: u32,
+    /// Consecutive good intervals required to return from Degraded to
+    /// Healthy.
+    pub recovery_streak: u32,
+    /// The safe VF state pinned while in Failsafe (typically the
+    /// lowest: thermally and electrically safest).
+    pub failsafe_vf: VfStateId,
+    /// A measured power more than this factor away (either direction)
+    /// from the last good interval's is quarantined as implausible.
+    pub power_outlier_factor: f64,
+    /// Diode readings below this are quarantined.
+    pub min_plausible_temperature: Kelvin,
+    /// Diode readings above this are quarantined.
+    pub max_plausible_temperature: Kelvin,
+}
+
+impl SupervisorConfig {
+    /// Defaults for an FX-8320-class chip: three strikes to Failsafe,
+    /// two clean intervals to recover, 4× power outlier gate, diode
+    /// plausible within 250–450 K.
+    pub fn new(failsafe_vf: VfStateId) -> Self {
+        Self {
+            max_consecutive_faults: 3,
+            recovery_streak: 2,
+            failsafe_vf,
+            power_outlier_factor: 4.0,
+            min_plausible_temperature: Kelvin::new(250.0),
+            max_plausible_temperature: Kelvin::new(450.0),
+        }
+    }
+}
+
+/// The supervisor's state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HealthState {
+    /// Measurements validate; decisions are fresh.
+    Healthy,
+    /// Recent faults; decisions held from the last good projection.
+    Degraded,
+    /// Persistent faults; the chip is pinned to the safe VF state.
+    Failsafe,
+}
+
+impl std::fmt::Display for HealthState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HealthState::Healthy => write!(f, "healthy"),
+            HealthState::Degraded => write!(f, "degraded"),
+            HealthState::Failsafe => write!(f, "failsafe"),
+        }
+    }
+}
+
+/// What the supervisor did for one interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// Fresh decision from a validated measurement.
+    Fresh,
+    /// Controller re-decided on the held last-good projection.
+    Held,
+    /// The safe VF state was pinned.
+    Failsafe,
+}
+
+/// One supervised interval's outcome.
+#[derive(Debug, Clone)]
+pub struct SupervisedStep {
+    /// Zero-based index of this supervised interval.
+    pub interval: u64,
+    /// What the supervisor did.
+    pub action: Action,
+    /// Supervisor state *after* handling this interval.
+    pub state: HealthState,
+    /// The measurement, when one was produced. Present for fresh
+    /// decisions and for quarantined (corrupt but delivered) records;
+    /// absent when the interval errored out.
+    pub record: Option<IntervalRecord>,
+    /// The projection a fresh decision was computed from.
+    pub projection: Option<PpeProjection>,
+    /// The per-CU VF assignment applied for the next interval.
+    pub decision: Vec<VfStateId>,
+    /// The fault that forced degraded handling, if any.
+    pub fault: Option<Error>,
+    /// Whether a delivered record was rejected by validation.
+    pub quarantined: bool,
+}
+
+/// Cumulative health bookkeeping over a supervised run.
+#[derive(Debug, Clone, Default)]
+pub struct HealthReport {
+    /// Intervals supervised.
+    pub intervals: u64,
+    /// Intervals with a fresh decision.
+    pub fresh_decisions: u64,
+    /// Intervals with a held (last-good) decision.
+    pub held_decisions: u64,
+    /// Intervals spent pinning the failsafe VF.
+    pub failsafe_intervals: u64,
+    /// Delivered records rejected by validation.
+    pub quarantined: u64,
+    /// Transient measurement errors absorbed.
+    pub transient_errors: u64,
+    /// State transitions as (interval, new state) pairs.
+    pub transitions: Vec<(u64, HealthState)>,
+    /// The most recent fault absorbed or surfaced.
+    pub last_error: Option<Error>,
+}
+
+impl HealthReport {
+    /// Fraction of intervals with an informed (fresh or held) DVFS
+    /// decision — the headline resilience metric. 1.0 for an empty
+    /// run.
+    pub fn decision_availability(&self) -> f64 {
+        if self.intervals == 0 {
+            return 1.0;
+        }
+        (self.fresh_decisions + self.held_decisions) as f64 / self.intervals as f64
+    }
+}
+
+/// A [`PpepDaemon`] wrapped in the degradation supervisor.
+///
+/// ```no_run
+/// use ppep_core::prelude::*;
+/// use ppep_core::resilient::{ResilientDaemon, SupervisorConfig};
+/// use ppep_sim::fault::FaultPlan;
+///
+/// let models = TrainingRig::fx8320(42).train_quick().expect("training succeeds");
+/// let table = models.vf_table().clone();
+/// let mut sim = ppep_sim::ChipSimulator::new(ppep_sim::chip::SimConfig::fx8320(42));
+/// sim.load_workload(&ppep_workloads::combos::instances("433.milc", 4, 42));
+/// sim.set_fault_plan(FaultPlan::storm(7, 50, 0.2, 8));
+/// let daemon = PpepDaemon::new(Ppep::new(models), sim, StaticController { vf: table.lowest() });
+/// let mut supervised =
+///     ResilientDaemon::new(daemon, SupervisorConfig::new(table.lowest()));
+/// let steps = supervised.run(50).expect("no fatal faults");
+/// assert_eq!(steps.len(), 50);
+/// println!("availability: {:.2}", supervised.report().decision_availability());
+/// ```
+pub struct ResilientDaemon<C: DvfsController> {
+    inner: PpepDaemon<C>,
+    config: SupervisorConfig,
+    state: HealthState,
+    consecutive_faults: u32,
+    good_streak: u32,
+    last_good: Option<DaemonStep>,
+    report: HealthReport,
+}
+
+impl<C: DvfsController> ResilientDaemon<C> {
+    /// Wraps a daemon in the supervisor.
+    pub fn new(inner: PpepDaemon<C>, config: SupervisorConfig) -> Self {
+        Self {
+            inner,
+            config,
+            state: HealthState::Healthy,
+            consecutive_faults: 0,
+            good_streak: 0,
+            last_good: None,
+            report: HealthReport::default(),
+        }
+    }
+
+    /// The wrapped daemon.
+    pub fn inner(&self) -> &PpepDaemon<C> {
+        &self.inner
+    }
+
+    /// The wrapped daemon, mutably (e.g. to load workloads or install
+    /// a fault plan on its chip).
+    pub fn inner_mut(&mut self) -> &mut PpepDaemon<C> {
+        &mut self.inner
+    }
+
+    /// Unwraps the supervisor.
+    pub fn into_inner(self) -> PpepDaemon<C> {
+        self.inner
+    }
+
+    /// The current supervisor state.
+    pub fn health_state(&self) -> HealthState {
+        self.state
+    }
+
+    /// The cumulative health report.
+    pub fn report(&self) -> &HealthReport {
+        &self.report
+    }
+
+    /// The last good step (validated record + finite projection), if
+    /// any.
+    pub fn last_good(&self) -> Option<&DaemonStep> {
+        self.last_good.as_ref()
+    }
+
+    fn enter(&mut self, state: HealthState) {
+        if self.state != state {
+            self.state = state;
+            self.report.transitions.push((self.report.intervals, state));
+        }
+    }
+
+    /// Why a delivered record cannot be trusted, if anything.
+    fn validation_fault(&self, record: &IntervalRecord) -> Option<Error> {
+        let p = record.measured_power.as_watts();
+        if !p.is_finite() || p < 0.0 {
+            return Some(Error::SensorImplausible {
+                sensor: "hall-sensor",
+                value: p,
+            });
+        }
+        let t = record.temperature.as_kelvin();
+        if !t.is_finite()
+            || t < self.config.min_plausible_temperature.as_kelvin()
+            || t > self.config.max_plausible_temperature.as_kelvin()
+        {
+            return Some(Error::SensorImplausible {
+                sensor: "thermal-diode",
+                value: t,
+            });
+        }
+        if let Some(good) = &self.last_good {
+            let base = good.record.measured_power.as_watts();
+            let f = self.config.power_outlier_factor;
+            if base > 0.0 && (p > base * f || p < base / f) {
+                return Some(Error::SensorImplausible {
+                    sensor: "hall-sensor",
+                    value: p,
+                });
+            }
+        }
+        None
+    }
+
+    /// Runs one supervised interval.
+    ///
+    /// Transient measurement faults and quarantined records are
+    /// absorbed into degraded handling and never surface as errors.
+    ///
+    /// # Errors
+    ///
+    /// Non-transient errors (controller bugs, lost devices) pin the
+    /// failsafe VF and propagate.
+    pub fn step(&mut self) -> Result<SupervisedStep> {
+        let interval = self.report.intervals;
+        self.report.intervals += 1;
+        match self.inner.sim_mut().step_interval_checked() {
+            Ok(record) => match self.validation_fault(&record) {
+                None => self.fresh(interval, record),
+                Some(fault) => {
+                    self.report.quarantined += 1;
+                    self.degraded(interval, Some(record), fault, true)
+                }
+            },
+            Err(e) if e.is_transient() => {
+                self.report.transient_errors += 1;
+                self.degraded(interval, None, e, false)
+            }
+            Err(e) => {
+                // Fatal: pin the safe state before surfacing.
+                self.inner.sim_mut().set_all_vf(self.config.failsafe_vf);
+                self.enter(HealthState::Failsafe);
+                self.report.last_error = Some(e.clone());
+                Err(e)
+            }
+        }
+    }
+
+    /// The healthy path: the unsupervised daemon's project → decide →
+    /// apply sequence, verbatim, plus recovery bookkeeping.
+    fn fresh(&mut self, interval: u64, record: IntervalRecord) -> Result<SupervisedStep> {
+        let projection = self.inner.ppep().project(&record)?;
+        if !projection_is_finite(&projection) {
+            // A validated record still produced a non-finite
+            // projection: never act on it, never emit it.
+            self.report.quarantined += 1;
+            let fault = Error::SensorImplausible {
+                sensor: "projection",
+                value: f64::NAN,
+            };
+            return self.degraded(interval, Some(record), fault, true);
+        }
+        let decision = self.inner.controller_mut().decide(&projection)?;
+        self.inner.apply(&decision)?;
+
+        self.consecutive_faults = 0;
+        self.good_streak += 1;
+        match self.state {
+            HealthState::Healthy => {}
+            HealthState::Failsafe => {
+                // One good measurement is hope, not health.
+                self.good_streak = 1;
+                self.enter(HealthState::Degraded);
+            }
+            HealthState::Degraded => {
+                if self.good_streak >= self.config.recovery_streak {
+                    self.enter(HealthState::Healthy);
+                }
+            }
+        }
+        self.report.fresh_decisions += 1;
+        let step = DaemonStep {
+            record: record.clone(),
+            projection: projection.clone(),
+            decision: decision.clone(),
+        };
+        self.last_good = Some(step);
+        Ok(SupervisedStep {
+            interval,
+            action: Action::Fresh,
+            state: self.state,
+            record: Some(record),
+            projection: Some(projection),
+            decision,
+            fault: None,
+            quarantined: false,
+        })
+    }
+
+    /// The degraded path: hold the last good projection if we can,
+    /// pin the failsafe VF if we cannot (no history, or too many
+    /// consecutive faults).
+    fn degraded(
+        &mut self,
+        interval: u64,
+        record: Option<IntervalRecord>,
+        fault: Error,
+        quarantined: bool,
+    ) -> Result<SupervisedStep> {
+        self.consecutive_faults += 1;
+        self.good_streak = 0;
+        self.report.last_error = Some(fault.clone());
+
+        let exhausted = self.consecutive_faults >= self.config.max_consecutive_faults;
+        let (action, decision) =
+            if exhausted || self.state == HealthState::Failsafe || self.last_good.is_none() {
+                let cu_count = self.inner.sim().topology().cu_count();
+                self.inner.sim_mut().set_all_vf(self.config.failsafe_vf);
+                self.enter(if exhausted || self.state == HealthState::Failsafe {
+                    HealthState::Failsafe
+                } else {
+                    HealthState::Degraded
+                });
+                self.report.failsafe_intervals += 1;
+                (Action::Failsafe, vec![self.config.failsafe_vf; cu_count])
+            } else {
+                let held = self
+                    .last_good
+                    .as_ref()
+                    .expect("checked above")
+                    .projection
+                    .clone();
+                let decision = self.inner.controller_mut().decide(&held)?;
+                self.inner.apply(&decision)?;
+                self.enter(HealthState::Degraded);
+                self.report.held_decisions += 1;
+                (Action::Held, decision)
+            };
+        Ok(SupervisedStep {
+            interval,
+            action,
+            state: self.state,
+            record,
+            projection: None,
+            decision,
+            fault: Some(fault),
+            quarantined,
+        })
+    }
+
+    /// Runs `n` supervised intervals.
+    ///
+    /// # Errors
+    ///
+    /// Stops at the first non-transient error (transient faults are
+    /// absorbed, so with the fault kinds in `ppep_sim::fault` a run
+    /// always completes).
+    pub fn run(&mut self, n: usize) -> Result<Vec<SupervisedStep>> {
+        (0..n).map(|_| self.step()).collect()
+    }
+}
+
+/// Whether every emitted number in a projection is finite.
+fn projection_is_finite(p: &PpeProjection) -> bool {
+    p.temperature.as_kelvin().is_finite()
+        && p.work_instructions.is_finite()
+        && p.chip.iter().all(|c| {
+            c.power.as_watts().is_finite()
+                && c.nb_power.as_watts().is_finite()
+                && c.ips.is_finite()
+                && c.time_for_work.as_secs().is_finite()
+                && c.energy.as_joules().is_finite()
+                && c.edp.is_finite()
+        })
+        && p.cores.iter().all(|core| {
+            core.per_vf.iter().all(|v| {
+                v.dynamic_power.as_watts().is_finite() && v.ips.is_finite() && v.cpi.is_finite()
+            })
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::daemon::StaticController;
+    use crate::framework::Ppep;
+    use ppep_models::trainer::TrainingRig;
+    use ppep_sim::chip::{ChipSimulator, SimConfig};
+    use ppep_sim::fault::{FaultKind, FaultPlan};
+    use ppep_types::VfTable;
+    use ppep_workloads::combos::instances;
+    use std::sync::OnceLock;
+
+    fn engine() -> Ppep {
+        static MODELS: OnceLock<ppep_models::trainer::TrainedModels> = OnceLock::new();
+        Ppep::new(
+            MODELS
+                .get_or_init(|| {
+                    TrainingRig::fx8320(42)
+                        .train_quick()
+                        .expect("training succeeds")
+                })
+                .clone(),
+        )
+    }
+
+    fn daemon(seed: u64, plan: FaultPlan) -> ResilientDaemon<StaticController> {
+        let ppep = engine();
+        let table = ppep.models().vf_table().clone();
+        let mut sim = ChipSimulator::new(SimConfig::fx8320(seed));
+        sim.load_workload(&instances("433.milc", 4, seed));
+        sim.set_fault_plan(plan);
+        let inner = PpepDaemon::new(ppep, sim, StaticController { vf: table.lowest() });
+        ResilientDaemon::new(inner, SupervisorConfig::new(table.lowest()))
+    }
+
+    #[test]
+    fn healthy_run_is_bit_identical_to_unsupervised() {
+        let ppep = engine();
+        let table = ppep.models().vf_table().clone();
+        let mut sim = ChipSimulator::new(SimConfig::fx8320(42));
+        sim.load_workload(&instances("433.milc", 4, 42));
+        let mut plain = PpepDaemon::new(ppep.clone(), sim, StaticController { vf: table.lowest() });
+        let plain_steps = plain.run(8).unwrap();
+
+        let mut supervised = daemon(42, FaultPlan::none());
+        let steps = supervised.run(8).expect("no faults, no errors");
+
+        assert_eq!(supervised.health_state(), HealthState::Healthy);
+        assert_eq!(supervised.report().fresh_decisions, 8);
+        assert_eq!(supervised.report().quarantined, 0);
+        for (s, p) in steps.iter().zip(&plain_steps) {
+            assert_eq!(s.action, Action::Fresh);
+            let r = s.record.as_ref().expect("fresh steps carry records");
+            assert_eq!(
+                r.measured_power, p.record.measured_power,
+                "interval {}",
+                s.interval
+            );
+            assert_eq!(r.temperature, p.record.temperature);
+            assert_eq!(r.cu_vf, p.record.cu_vf);
+            assert_eq!(s.decision, p.decision);
+            assert_eq!(
+                s.projection.as_ref().expect("fresh projection"),
+                &p.projection
+            );
+        }
+    }
+
+    #[test]
+    fn transient_fault_holds_last_good_and_recovers() {
+        let plan = FaultPlan::none().with(3, FaultKind::SensorDropout);
+        let mut d = daemon(42, plan);
+        let steps = d.run(7).expect("dropout is absorbed");
+        assert_eq!(steps[3].action, Action::Held);
+        assert_eq!(steps[3].state, HealthState::Degraded);
+        assert!(
+            steps[3].record.is_none(),
+            "the dropped interval has no record"
+        );
+        assert!(steps[3].fault.as_ref().unwrap().is_transient());
+        // The held decision still pins the controller's choice.
+        assert_eq!(steps[3].decision, steps[2].decision);
+        // Two clean intervals later the daemon is healthy again.
+        assert_eq!(steps[4].state, HealthState::Degraded);
+        assert_eq!(steps[5].state, HealthState::Healthy);
+        assert_eq!(d.report().held_decisions, 1);
+        assert_eq!(d.report().transient_errors, 1);
+        assert!((d.report().decision_availability() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nan_diode_reading_is_quarantined_not_projected() {
+        let plan = FaultPlan::none().with(2, FaultKind::ThermalNan);
+        let mut d = daemon(42, plan);
+        let steps = d.run(5).expect("corruption is absorbed");
+        let s = &steps[2];
+        assert!(s.quarantined);
+        assert_eq!(s.action, Action::Held);
+        assert!(
+            s.record.as_ref().unwrap().temperature.as_kelvin().is_nan(),
+            "the corrupt record is preserved for inspection"
+        );
+        assert!(
+            s.projection.is_none(),
+            "no projection is computed from a NaN diode"
+        );
+        assert_eq!(d.report().quarantined, 1);
+    }
+
+    #[test]
+    fn persistent_faults_escalate_to_failsafe_then_recover() {
+        let mut plan = FaultPlan::none();
+        for i in 2..7 {
+            plan = plan.with(i, FaultKind::SensorDropout);
+        }
+        let mut d = daemon(42, plan);
+        let steps = d.run(10).expect("all faults transient");
+        // Faults at 2,3 hold; the third consecutive fault (4) trips
+        // failsafe; 5 and 6 re-pin.
+        assert_eq!(steps[2].action, Action::Held);
+        assert_eq!(steps[3].action, Action::Held);
+        assert_eq!(steps[4].action, Action::Failsafe);
+        assert_eq!(steps[4].state, HealthState::Failsafe);
+        assert_eq!(steps[5].action, Action::Failsafe);
+        assert_eq!(steps[6].state, HealthState::Failsafe);
+        // Failsafe pinned the safe VF on the chip.
+        let table = VfTable::fx8320();
+        assert_eq!(
+            steps[7].record.as_ref().unwrap().cu_vf,
+            vec![table.lowest(); 4]
+        );
+        // First good interval: hope (Degraded); second: Healthy.
+        assert_eq!(steps[7].state, HealthState::Degraded);
+        assert_eq!(steps[8].state, HealthState::Healthy);
+        assert_eq!(d.report().failsafe_intervals, 3);
+        let transitions: Vec<HealthState> =
+            d.report().transitions.iter().map(|(_, s)| *s).collect();
+        assert_eq!(
+            transitions,
+            vec![
+                HealthState::Degraded,
+                HealthState::Failsafe,
+                HealthState::Degraded,
+                HealthState::Healthy
+            ]
+        );
+    }
+
+    #[test]
+    fn fault_before_any_history_pins_failsafe_vf() {
+        let plan = FaultPlan::none().with(0, FaultKind::SensorDropout);
+        let mut d = daemon(42, plan);
+        let steps = d.run(3).expect("absorbed");
+        // With no last-good projection there is nothing to hold:
+        // the safe VF is pinned even though only one fault struck.
+        assert_eq!(steps[0].action, Action::Failsafe);
+        assert_eq!(steps[0].state, HealthState::Degraded);
+        let table = VfTable::fx8320();
+        assert_eq!(
+            steps[1].record.as_ref().unwrap().cu_vf,
+            vec![table.lowest(); 4]
+        );
+    }
+
+    #[test]
+    fn storm_keeps_decisions_available() {
+        let plan = FaultPlan::storm(9, 40, 0.25, 8);
+        assert!(!plan.is_empty());
+        let mut d = daemon(42, plan);
+        let steps = d.run(40).expect("storm is survivable");
+        assert_eq!(steps.len(), 40, "the supervised daemon never aborts");
+        let report = d.report();
+        assert!(
+            report.transient_errors + report.quarantined > 0,
+            "the storm must bite"
+        );
+        assert!(
+            report.decision_availability() >= 0.9,
+            "availability {:.3} under storm",
+            report.decision_availability()
+        );
+        // Every emitted projection is finite.
+        for s in &steps {
+            if let Some(p) = &s.projection {
+                assert!(super::projection_is_finite(p));
+            }
+        }
+    }
+
+    #[test]
+    fn supervised_runs_are_deterministic() {
+        let plan = FaultPlan::storm(5, 20, 0.3, 8);
+        let run = |plan: FaultPlan| {
+            let mut d = daemon(7, plan);
+            d.run(20)
+                .expect("survivable")
+                .iter()
+                .map(|s| (s.action, s.state, s.decision.clone()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(plan.clone()), run(plan));
+    }
+}

@@ -158,7 +158,10 @@ mod tests {
         let stats = RunStats::new();
         assert_eq!(stats.intervals(), 0);
         assert_eq!(stats.mean_power(), Watts::ZERO);
-        assert_eq!(stats.residency(0, ppep_types::VfTable::fx8320().lowest()), 0.0);
+        assert_eq!(
+            stats.residency(0, ppep_types::VfTable::fx8320().lowest()),
+            0.0
+        );
         assert!(stats.nj_per_instruction().is_nan());
     }
 }

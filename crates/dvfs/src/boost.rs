@@ -54,7 +54,13 @@ impl BoostController {
             )));
         }
         let nominal_top = table.state(software_states - 1)?;
-        Ok(Self { ppep, tdp, thermal_limit, guard_band: 0.05, nominal_top })
+        Ok(Self {
+            ppep,
+            tdp,
+            thermal_limit,
+            guard_band: 0.05,
+            nominal_top,
+        })
     }
 
     /// The nominal (non-boost) top state.
@@ -81,16 +87,24 @@ impl BoostController {
         let budget = self.tdp * (1.0 - self.guard_band);
         // Nominal must fit; otherwise this is a capping problem, not a
         // boosting one — stay nominal and let a capping policy demote.
-        if self.ppep.chip_power_with_assignment(projection, &assignment)? > budget {
+        if self
+            .ppep
+            .chip_power_with_assignment(projection, &assignment)?
+            > budget
+        {
             return Ok(assignment);
         }
         loop {
             let mut best: Option<(usize, VfStateId, f64)> = None;
             for cu in 0..cu_count {
-                let Some(up) = table.step_up(assignment[cu]) else { continue };
+                let Some(up) = table.step_up(assignment[cu]) else {
+                    continue;
+                };
                 let mut candidate = assignment.clone();
                 candidate[cu] = up;
-                let power = self.ppep.chip_power_with_assignment(projection, &candidate)?;
+                let power = self
+                    .ppep
+                    .chip_power_with_assignment(projection, &candidate)?;
                 if power > budget {
                     continue;
                 }
@@ -174,9 +188,12 @@ mod tests {
 
     #[test]
     fn fully_loaded_chip_boosts_less_and_respects_tdp() {
-        // 8 busy sjeng cores draw ~150 W at nominal; a 165 W TDP
-        // leaves room to boost at most a CU or so.
-        let tdp = 165.0;
+        // 8 busy sjeng cores draw ~150 W at nominal; a 152 W TDP
+        // leaves no headroom to boost (a lone thread under the same
+        // TDP has plenty). A looser TDP makes this assertion
+        // knife-edge: the full chip can squeeze out the same 2 boost
+        // bins the lone thread's single busy CU is limited to.
+        let tdp = 152.0;
         let mut full = daemon(tdp, "458.sjeng", 8);
         let full_steps = full.run(6).expect("daemon runs");
         for s in &full_steps[1..] {
@@ -240,20 +257,20 @@ mod tests {
         let steps = d.run(2).expect("daemon runs");
         // Boosting is off; the controller leaves capping to a capper.
         for s in &steps {
-            assert!(s.decision.iter().all(|vf| vf.index() <= 4), "{:?}", s.decision);
+            assert!(
+                s.decision.iter().all(|vf| vf.index() <= 4),
+                "{:?}",
+                s.decision
+            );
         }
     }
 
     #[test]
     fn constructor_validation() {
         let ppep = Ppep::new(boosted_models().clone());
-        assert!(BoostController::new(
-            ppep.clone(),
-            0,
-            Watts::new(125.0),
-            Kelvin::new(335.0)
-        )
-        .is_err());
+        assert!(
+            BoostController::new(ppep.clone(), 0, Watts::new(125.0), Kelvin::new(335.0)).is_err()
+        );
         assert!(BoostController::new(ppep, 7, Watts::new(125.0), Kelvin::new(335.0)).is_err());
     }
 }

@@ -32,7 +32,11 @@ pub struct OneStepCapping {
 impl OneStepCapping {
     /// Builds a controller enforcing `cap` with a 5% guard band.
     pub fn new(ppep: Ppep, cap: Watts) -> Self {
-        Self { ppep, cap, guard_band: 0.05 }
+        Self {
+            ppep,
+            cap,
+            guard_band: 0.05,
+        }
     }
 
     /// Changes the enforced cap (e.g. on a battery/wall transition).
@@ -67,13 +71,19 @@ impl OneStepCapping {
         // Greedy refinement: repeatedly raise the CU whose step-up
         // still fits and adds the most predicted throughput.
         loop {
-            let current_power = self.ppep.chip_power_with_assignment(projection, &assignment)?;
+            let current_power = self
+                .ppep
+                .chip_power_with_assignment(projection, &assignment)?;
             let mut best: Option<(usize, VfStateId, f64)> = None;
             for cu in 0..cu_count {
-                let Some(up) = table.step_up(assignment[cu]) else { continue };
+                let Some(up) = table.step_up(assignment[cu]) else {
+                    continue;
+                };
                 let mut candidate = assignment.clone();
                 candidate[cu] = up;
-                let power = self.ppep.chip_power_with_assignment(projection, &candidate)?;
+                let power = self
+                    .ppep
+                    .chip_power_with_assignment(projection, &candidate)?;
                 if power > target {
                     continue;
                 }
@@ -231,7 +241,11 @@ pub struct SteepestDrop {
 impl SteepestDrop {
     /// Builds the policy.
     pub fn new(ppep: Ppep, cap: Watts) -> Self {
-        Self { ppep, cap, guard_band: 0.05 }
+        Self {
+            ppep,
+            cap,
+            guard_band: 0.05,
+        }
     }
 
     /// Changes the enforced cap.
@@ -253,19 +267,33 @@ impl SteepestDrop {
 
         let cu_ips = |assignment: &[VfStateId], cu: usize| -> f64 {
             (0..cores_per_cu)
-                .map(|j| projection.cores[cu * cores_per_cu + j].at(assignment[cu]).ips)
+                .map(|j| {
+                    projection.cores[cu * cores_per_cu + j]
+                        .at(assignment[cu])
+                        .ips
+                })
                 .sum()
         };
 
         // Descend: drop the CU with the steepest watts-per-lost-ips.
-        while self.ppep.chip_power_with_assignment(projection, &assignment)? > target {
-            let current = self.ppep.chip_power_with_assignment(projection, &assignment)?;
+        while self
+            .ppep
+            .chip_power_with_assignment(projection, &assignment)?
+            > target
+        {
+            let current = self
+                .ppep
+                .chip_power_with_assignment(projection, &assignment)?;
             let mut best: Option<(usize, VfStateId, f64)> = None;
             for cu in 0..cu_count {
-                let Some(down) = table.step_down(assignment[cu]) else { continue };
+                let Some(down) = table.step_down(assignment[cu]) else {
+                    continue;
+                };
                 let mut candidate = assignment.clone();
                 candidate[cu] = down;
-                let power = self.ppep.chip_power_with_assignment(projection, &candidate)?;
+                let power = self
+                    .ppep
+                    .chip_power_with_assignment(projection, &candidate)?;
                 let saved = (current - power).as_watts();
                 let lost = (cu_ips(&assignment, cu) - cu_ips(&candidate, cu)).max(1.0);
                 let steepness = saved / lost;
@@ -282,10 +310,14 @@ impl SteepestDrop {
         loop {
             let mut best: Option<(usize, VfStateId, f64)> = None;
             for cu in 0..cu_count {
-                let Some(up) = table.step_up(assignment[cu]) else { continue };
+                let Some(up) = table.step_up(assignment[cu]) else {
+                    continue;
+                };
                 let mut candidate = assignment.clone();
                 candidate[cu] = up;
-                let power = self.ppep.chip_power_with_assignment(projection, &candidate)?;
+                let power = self
+                    .ppep
+                    .chip_power_with_assignment(projection, &candidate)?;
                 if power > target {
                     continue;
                 }
@@ -326,10 +358,7 @@ pub struct CapAdherence {
 pub fn cap_adherence(trace: &[Watts], cap: Watts) -> CapAdherence {
     let n = trace.len().max(1);
     let under = trace.iter().filter(|p| **p <= cap).count();
-    let settle = trace
-        .iter()
-        .position(|p| *p <= cap)
-        .unwrap_or(trace.len());
+    let settle = trace.iter().position(|p| *p <= cap).unwrap_or(trace.len());
     CapAdherence {
         under_cap_fraction: under as f64 / n as f64,
         settle_intervals: settle,
@@ -351,7 +380,9 @@ mod tests {
         Ppep::new(
             MODELS
                 .get_or_init(|| {
-                    TrainingRig::fx8320(42).train_quick().expect("training succeeds")
+                    TrainingRig::fx8320(42)
+                        .train_quick()
+                        .expect("training succeeds")
                 })
                 .clone(),
         )
@@ -544,7 +575,10 @@ mod tests {
         let predicted = ppep
             .chip_power_with_assignment(&projection, &decision)
             .unwrap();
-        assert!(predicted <= Watts::new(50.0), "predicted {predicted} over cap");
+        assert!(
+            predicted <= Watts::new(50.0),
+            "predicted {predicted} over cap"
+        );
         assert!(decision.iter().any(|vf| *vf < projection.source_vf[0]));
         // Generous cap: must not descend at all (and may climb).
         let loose = SteepestDrop::new(ppep.clone(), Watts::new(500.0));
@@ -570,11 +604,16 @@ mod tests {
         let projection = ppep.project(&record).unwrap();
         let cap = Watts::new(60.0);
         for decision in [
-            OneStepCapping::new(ppep.clone(), cap).choose(&projection).unwrap(),
-            SteepestDrop::new(ppep.clone(), cap).choose(&projection).unwrap(),
+            OneStepCapping::new(ppep.clone(), cap)
+                .choose(&projection)
+                .unwrap(),
+            SteepestDrop::new(ppep.clone(), cap)
+                .choose(&projection)
+                .unwrap(),
         ] {
-            let predicted =
-                ppep.chip_power_with_assignment(&projection, &decision).unwrap();
+            let predicted = ppep
+                .chip_power_with_assignment(&projection, &decision)
+                .unwrap();
             assert!(predicted <= cap, "{predicted} over {cap}");
         }
     }

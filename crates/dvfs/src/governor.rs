@@ -76,7 +76,11 @@ mod tests {
             })
             .collect();
         let cores = (0..8)
-            .map(|i| CoreProjection { core: CoreId(i), busy: i < busy, per_vf: vec![] })
+            .map(|i| CoreProjection {
+                core: CoreId(i),
+                busy: i < busy,
+                per_vf: vec![],
+            })
             .collect();
         PpeProjection {
             interval: IntervalIndex(0),
@@ -93,7 +97,10 @@ mod tests {
         let table = VfTable::fx8320();
         let mut g = PinnedGovernor { vf: table.lowest() };
         for busy in [0, 4, 8] {
-            assert_eq!(g.decide(&projection(busy)).unwrap(), vec![table.lowest(); 4]);
+            assert_eq!(
+                g.decide(&projection(busy)).unwrap(),
+                vec![table.lowest(); 4]
+            );
         }
     }
 

@@ -16,7 +16,10 @@ pub struct EnergyOptimalController;
 
 impl DvfsController for EnergyOptimalController {
     fn decide(&mut self, projection: &PpeProjection) -> Result<Vec<VfStateId>> {
-        Ok(vec![projection.best_energy_vf(); projection.source_vf.len()])
+        Ok(vec![
+            projection.best_energy_vf();
+            projection.source_vf.len()
+        ])
     }
 }
 
@@ -38,7 +41,10 @@ impl DvfsController for EdpOptimalController {
 ///
 /// Panics for a negative or non-finite `beta`.
 pub fn ed_beta(energy_j: f64, delay_s: f64, beta: f64) -> f64 {
-    assert!(beta >= 0.0 && beta.is_finite(), "beta must be finite and >= 0");
+    assert!(
+        beta >= 0.0 && beta.is_finite(),
+        "beta must be finite and >= 0"
+    );
     energy_j * delay_s.powf(beta)
 }
 
@@ -52,9 +58,11 @@ pub fn best_ed_beta_vf(projection: &PpeProjection, beta: f64) -> VfStateId {
         .chip
         .iter()
         .min_by(|a, b| {
-            ed_beta(a.energy.as_joules(), a.time_for_work.as_secs(), beta).total_cmp(
-                &ed_beta(b.energy.as_joules(), b.time_for_work.as_secs(), beta),
-            )
+            ed_beta(a.energy.as_joules(), a.time_for_work.as_secs(), beta).total_cmp(&ed_beta(
+                b.energy.as_joules(),
+                b.time_for_work.as_secs(),
+                beta,
+            ))
         })
         .expect("ladder is non-empty")
         .vf
@@ -69,7 +77,10 @@ pub struct EdBetaOptimalController {
 
 impl DvfsController for EdBetaOptimalController {
     fn decide(&mut self, projection: &PpeProjection) -> Result<Vec<VfStateId>> {
-        Ok(vec![best_ed_beta_vf(projection, self.beta); projection.source_vf.len()])
+        Ok(vec![
+            best_ed_beta_vf(projection, self.beta);
+            projection.source_vf.len()
+        ])
     }
 }
 
@@ -105,12 +116,11 @@ pub struct PerThreadPpe {
 ///
 /// Returns an error when `instances` is zero or the projection has no
 /// throughput (idle chip).
-pub fn per_thread_ppe(
-    projection: &PpeProjection,
-    instances: usize,
-) -> Result<Vec<PerThreadPpe>> {
+pub fn per_thread_ppe(projection: &PpeProjection, instances: usize) -> Result<Vec<PerThreadPpe>> {
     if instances == 0 {
-        return Err(ppep_types::Error::InvalidInput("instances must be positive".into()));
+        return Err(ppep_types::Error::InvalidInput(
+            "instances must be positive".into(),
+        ));
     }
     projection
         .chip
@@ -123,7 +133,12 @@ pub fn per_thread_ppe(
             }
             let time = instances as f64 * THREAD_WORK_INSTRUCTIONS / c.ips;
             let energy = c.power.as_watts() * THREAD_WORK_INSTRUCTIONS / c.ips;
-            Ok(PerThreadPpe { vf: c.vf, energy, time, edp: energy * time })
+            Ok(PerThreadPpe {
+                vf: c.vf,
+                energy,
+                time,
+                edp: energy * time,
+            })
         })
         .collect()
 }

@@ -18,7 +18,7 @@
 
 use crate::common::{Context, Scale};
 use ppep_models::idle::IdlePowerModel;
-use ppep_models::trainer::{TrainingRig, TrainedModels};
+use ppep_models::trainer::{TrainedModels, TrainingRig};
 use ppep_sim::chip::SimConfig;
 use ppep_types::Result;
 use ppep_workloads::WorkloadSpec;
@@ -117,7 +117,11 @@ pub fn run(ctx: &Context) -> Result<AblationResult> {
         let models = rig.train(&train, &budget)?;
         let idle = models.idle_model().clone();
         let (chip_aae, dynamic_aae) = validate(&rig, &models, &idle, &train, &budget);
-        points.push(AblationPoint { label, chip_aae, dynamic_aae });
+        points.push(AblationPoint {
+            label,
+            chip_aae,
+            dynamic_aae,
+        });
     }
     Ok(AblationResult { points })
 }
@@ -182,7 +186,11 @@ mod tests {
             both.chip_aae
         );
         for p in &r.points {
-            assert!(p.chip_aae < p.dynamic_aae, "{}: chip must beat dynamic", p.label);
+            assert!(
+                p.chip_aae < p.dynamic_aae,
+                "{}: chip must beat dynamic",
+                p.label
+            );
         }
     }
 }

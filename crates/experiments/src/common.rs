@@ -6,7 +6,7 @@ use ppep_models::trainer::{ComboTrace, TrainingBudget, TrainingRig};
 use ppep_models::DynamicPowerModel;
 use ppep_regress::KFold;
 use ppep_types::{Result, VfStateId, Watts};
-use ppep_workloads::combos::{full_roster, parsec_runs, npb_runs, spec_combos};
+use ppep_workloads::combos::{full_roster, npb_runs, parsec_runs, spec_combos};
 use ppep_workloads::{Suite, WorkloadSpec};
 
 /// The default seed all experiments run under (reported in
@@ -75,12 +75,20 @@ pub struct Context {
 impl Context {
     /// An FX-8320 context.
     pub fn fx8320(scale: Scale, seed: u64) -> Self {
-        Self { rig: TrainingRig::fx8320(seed), scale, seed }
+        Self {
+            rig: TrainingRig::fx8320(seed),
+            scale,
+            seed,
+        }
     }
 
     /// A Phenom II context.
     pub fn phenom_ii_x6(scale: Scale, seed: u64) -> Self {
-        Self { rig: TrainingRig::phenom_ii_x6(seed), scale, seed }
+        Self {
+            rig: TrainingRig::phenom_ii_x6(seed),
+            scale,
+            seed,
+        }
     }
 
     /// Trains the full model bundle (idle + α + dynamic + GG) on this
@@ -94,10 +102,7 @@ impl Context {
         let budget = self.scale.budget();
         let models = self.rig.train(&roster, &budget)?;
         let sweep = self.rig.collect_pg_sweep(&budget);
-        let pg = ppep_models::pg::PgIdleModel::fit(
-            &sweep,
-            self.rig.config().topology.cu_count(),
-        )?;
+        let pg = ppep_models::pg::PgIdleModel::fit(&sweep, self.rig.config().topology.cu_count())?;
         Ok(models.with_pg(pg))
     }
 }
@@ -184,7 +189,12 @@ impl CvMachinery {
         let alpha = rig.calibrate_alpha(&idle, budget)?;
         let names = store.combo_names();
         let folds = KFold::new_shuffled(names.len(), k, rig.seed())?;
-        Ok(Self { idle, alpha, folds, names })
+        Ok(Self {
+            idle,
+            alpha,
+            folds,
+            names,
+        })
     }
 
     /// Fits the dynamic model for one fold (training on every combo
@@ -246,7 +256,11 @@ impl SuiteErrors {
         }
         let mean = ppep_regress::stats::mean(errors);
         let std_dev = ppep_regress::stats::std_dev(errors);
-        Some(Self { mean, std_dev, count: errors.len() })
+        Some(Self {
+            mean,
+            std_dev,
+            count: errors.len(),
+        })
     }
 }
 
@@ -292,8 +306,7 @@ mod tests {
     fn quick_roster_is_a_cross_section() {
         let roster = Scale::Quick.roster(DEFAULT_SEED);
         assert_eq!(roster.len(), 16);
-        let suites: std::collections::BTreeSet<_> =
-            roster.iter().map(|w| w.suite()).collect();
+        let suites: std::collections::BTreeSet<_> = roster.iter().map(|w| w.suite()).collect();
         assert!(suites.contains(&Suite::SpecCpu2006));
         assert!(suites.contains(&Suite::Parsec));
         assert!(suites.contains(&Suite::Npb));

@@ -35,10 +35,7 @@ pub struct CpiAccuracyResult {
     pub up: (f64, f64),
 }
 
-fn trace_tuples(
-    trace: &ComboTrace,
-    frequency: Gigahertz,
-) -> Vec<(f64, CpiObservation)> {
+fn trace_tuples(trace: &ComboTrace, frequency: Gigahertz) -> Vec<(f64, CpiObservation)> {
     trace
         .records
         .iter()
@@ -48,7 +45,9 @@ fn trace_tuples(
             if inst <= 0.0 {
                 return None;
             }
-            CpiObservation::from_sample(s, frequency).ok().map(|obs| (inst, obs))
+            CpiObservation::from_sample(s, frequency)
+                .ok()
+                .map(|obs| (inst, obs))
         })
         .collect()
 }
@@ -100,8 +99,14 @@ pub fn run_between(ctx: &Context, hi: VfStateId, lo: VfStateId) -> Result<CpiAcc
     let downs: Vec<f64> = benchmarks.iter().map(|b| b.down_error).collect();
     let ups: Vec<f64> = benchmarks.iter().map(|b| b.up_error).collect();
     Ok(CpiAccuracyResult {
-        down: (ppep_regress::stats::mean(&downs), ppep_regress::stats::std_dev(&downs)),
-        up: (ppep_regress::stats::mean(&ups), ppep_regress::stats::std_dev(&ups)),
+        down: (
+            ppep_regress::stats::mean(&downs),
+            ppep_regress::stats::std_dev(&downs),
+        ),
+        up: (
+            ppep_regress::stats::mean(&ups),
+            ppep_regress::stats::std_dev(&ups),
+        ),
         benchmarks,
     })
 }

@@ -61,7 +61,10 @@ pub fn run(ctx: &Context) -> Result<Fig01Result> {
         .collect();
     let cooling_start = records.len() - idle_samples.len();
 
-    let temps: Vec<f64> = idle_samples.iter().map(|s| s.temperature.as_kelvin()).collect();
+    let temps: Vec<f64> = idle_samples
+        .iter()
+        .map(|s| s.temperature.as_kelvin())
+        .collect();
     let span = temps.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
         - temps.iter().cloned().fold(f64::INFINITY, f64::min);
 
@@ -91,8 +94,15 @@ pub fn print(result: &Fig01Result) {
     println!("{}", crate::ascii::chart_row("power", &power, 60));
     println!("{}", crate::ascii::chart_row("temperature", &temp, 60));
     println!("step  norm.power  temperature");
-    for p in result.series.iter().step_by(result.series.len().max(20) / 20) {
-        println!("{:>4}  {:>10.3}  {:>9.1} K", p.step, p.normalized_power, p.temperature_k);
+    for p in result
+        .series
+        .iter()
+        .step_by(result.series.len().max(20) / 20)
+    {
+        println!(
+            "{:>4}  {:>10.3}  {:>9.1} K",
+            p.step, p.normalized_power, p.temperature_k
+        );
     }
 }
 

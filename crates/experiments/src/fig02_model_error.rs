@@ -79,13 +79,14 @@ pub fn run_with_store(ctx: &Context, store: &TraceStore) -> Result<Fig02Result> 
         let dynamic = &fold_models[fold];
         let suite = store.suite_of(name).expect("combo exists in store");
         for vf in table.states() {
-            let Some(trace) = store.get(name, vf) else { continue };
+            let Some(trace) = store.get(name, vf) else {
+                continue;
+            };
             let voltage = table.point(vf).voltage;
             let mut dyn_errs = Vec::new();
             let mut chip_errs = Vec::new();
             for record in &trace.records {
-                let idle_w =
-                    cv.idle.estimate(voltage, record.temperature).as_watts();
+                let idle_w = cv.idle.estimate(voltage, record.temperature).as_watts();
                 let measured = record.measured_power.as_watts();
                 let measured_dyn = measured - idle_w;
                 let sample = TrainingRig::dyn_sample_from(record, &cv.idle, &table);
@@ -122,17 +123,22 @@ pub fn run_with_store(ctx: &Context, store: &TraceStore) -> Result<Fig02Result> 
     let mut cells = Vec::new();
     for vf in table.states() {
         for suite in suites {
-            let select = |c: &&ComboError| {
-                c.vf == vf && suite.is_none_or(|s| c.suite == s)
-            };
-            let dyn_errs: Vec<f64> =
-                combos.iter().filter(select).map(|c| c.dynamic_aae).collect();
-            let chip_errs: Vec<f64> =
-                combos.iter().filter(select).map(|c| c.chip_aae).collect();
+            let select = |c: &&ComboError| c.vf == vf && suite.is_none_or(|s| c.suite == s);
+            let dyn_errs: Vec<f64> = combos
+                .iter()
+                .filter(select)
+                .map(|c| c.dynamic_aae)
+                .collect();
+            let chip_errs: Vec<f64> = combos.iter().filter(select).map(|c| c.chip_aae).collect();
             if let (Some(dynamic), Some(chip)) =
                 (SuiteErrors::of(&dyn_errs), SuiteErrors::of(&chip_errs))
             {
-                cells.push(Cell { vf, suite, dynamic, chip });
+                cells.push(Cell {
+                    vf,
+                    suite,
+                    dynamic,
+                    chip,
+                });
             }
         }
     }
@@ -203,7 +209,8 @@ fn print_panel(result: &Fig02Result, pick: impl Fn(&Cell) -> SuiteErrors) {
             let e = pick(c);
             vec![
                 c.vf.to_string(),
-                c.suite.map_or("ALL".to_string(), |s| s.abbrev().to_string()),
+                c.suite
+                    .map_or("ALL".to_string(), |s| s.abbrev().to_string()),
                 format!("{:.1}%", e.mean * 100.0),
                 format!("{:.1}%", e.std_dev * 100.0),
                 e.count.to_string(),
@@ -233,7 +240,11 @@ mod tests {
         );
         // Both stay in the paper's regime (generous quick-scale bands).
         assert!(r.chip_overall < 0.12, "chip AAE {}", r.chip_overall);
-        assert!(r.dynamic_overall < 0.35, "dynamic AAE {}", r.dynamic_overall);
+        assert!(
+            r.dynamic_overall < 0.35,
+            "dynamic AAE {}",
+            r.dynamic_overall
+        );
         // Cells cover all five VF states with an ALL aggregate.
         let all_cells: Vec<_> = r.cells.iter().filter(|c| c.suite.is_none()).collect();
         assert_eq!(all_cells.len(), 5);

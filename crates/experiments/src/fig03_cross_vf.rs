@@ -99,18 +99,27 @@ pub fn run_with_store(ctx: &Context, store: &TraceStore) -> Result<Fig03Result> 
 
     let mut pairs = Vec::with_capacity(pair_list.len());
     for (p, &(from, to)) in pair_list.iter().enumerate() {
-        if let (Some(dynamic), Some(chip)) =
-            (SuiteErrors::of(&dyn_errors[p]), SuiteErrors::of(&chip_errors[p]))
-        {
-            pairs.push(PairErrors { from, to, dynamic, chip });
+        if let (Some(dynamic), Some(chip)) = (
+            SuiteErrors::of(&dyn_errors[p]),
+            SuiteErrors::of(&chip_errors[p]),
+        ) {
+            pairs.push(PairErrors {
+                from,
+                to,
+                dynamic,
+                chip,
+            });
         }
     }
-    let dynamic_overall = ppep_regress::stats::mean(
-        &pairs.iter().map(|p| p.dynamic.mean).collect::<Vec<_>>(),
-    );
+    let dynamic_overall =
+        ppep_regress::stats::mean(&pairs.iter().map(|p| p.dynamic.mean).collect::<Vec<_>>());
     let chip_overall =
         ppep_regress::stats::mean(&pairs.iter().map(|p| p.chip.mean).collect::<Vec<_>>());
-    Ok(Fig03Result { pairs, dynamic_overall, chip_overall })
+    Ok(Fig03Result {
+        pairs,
+        dynamic_overall,
+        chip_overall,
+    })
 }
 
 /// Collects traces and runs the study.
@@ -146,10 +155,7 @@ pub fn print(result: &Fig03Result) {
             ]
         })
         .collect();
-    crate::common::print_table(
-        &["pair", "dyn AAE", "dyn SD", "chip AAE", "chip SD"],
-        &rows,
-    );
+    crate::common::print_table(&["pair", "dyn AAE", "dyn SD", "chip AAE", "chip SD"], &rows);
     println!(
         "overall: dynamic {:.1}% (paper 8.3%)  chip {:.1}% (paper 4.2%)",
         result.dynamic_overall * 100.0,

@@ -29,7 +29,11 @@ pub fn run(ctx: &Context) -> Result<Fig04Result> {
     let sweep = ctx.rig.collect_pg_sweep(&budget);
     let model = PgIdleModel::fit(&sweep, ctx.rig.config().topology.cu_count())?;
     let peak_w = sweep.iter().map(|p| p.power.as_watts()).fold(0.0, f64::max);
-    Ok(Fig04Result { sweep, model, peak_w })
+    Ok(Fig04Result {
+        sweep,
+        model,
+        peak_w,
+    })
 }
 
 /// Per-VF decomposition row for printing.
@@ -55,7 +59,11 @@ pub fn print(result: &Fig04Result, table: &ppep_types::VfTable) {
             vec![
                 p.vf.to_string(),
                 p.busy_cus.to_string(),
-                if p.pg_enabled { "on".into() } else { "off".into() },
+                if p.pg_enabled {
+                    "on".into()
+                } else {
+                    "off".into()
+                },
                 format!("{:.3}", p.power.as_watts() / result.peak_w),
                 crate::common::w(p.power),
             ]
@@ -63,9 +71,15 @@ pub fn print(result: &Fig04Result, table: &ppep_types::VfTable) {
         .collect();
     crate::common::print_table(&["VF", "busy CUs", "PG", "norm", "power"], &rows);
     println!();
-    println!("fitted decomposition (Pidle(Base) = {}):", crate::common::w(result.model.pidle_base()));
+    println!(
+        "fitted decomposition (Pidle(Base) = {}):",
+        crate::common::w(result.model.pidle_base())
+    );
     let vfs: Vec<VfStateId> = table.states().collect();
-    crate::common::print_table(&["VF", "Pidle(CU)", "Pidle(NB)"], &decomposition_rows(result, &vfs));
+    crate::common::print_table(
+        &["VF", "Pidle(CU)", "Pidle(NB)"],
+        &decomposition_rows(result, &vfs),
+    );
 }
 
 #[cfg(test)]

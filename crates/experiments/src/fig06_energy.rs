@@ -50,9 +50,11 @@ pub fn run(ctx: &Context) -> Result<Fig06Result> {
     };
     let roster = match ctx.scale {
         crate::common::Scale::Full => spec_combos(ctx.seed),
-        crate::common::Scale::Quick => {
-            spec_combos(ctx.seed).into_iter().step_by(7).take(8).collect()
-        }
+        crate::common::Scale::Quick => spec_combos(ctx.seed)
+            .into_iter()
+            .step_by(7)
+            .take(8)
+            .collect(),
     };
 
     // VF5 per-combo comparison.
@@ -67,11 +69,9 @@ pub fn run(ctx: &Context) -> Result<Fig06Result> {
             green_governors: ppep_regress::stats::mean(&gg_errs),
         });
     }
-    let ppep_avg =
-        ppep_regress::stats::mean(&combos.iter().map(|c| c.ppep).collect::<Vec<_>>());
-    let gg_avg = ppep_regress::stats::mean(
-        &combos.iter().map(|c| c.green_governors).collect::<Vec<_>>(),
-    );
+    let ppep_avg = ppep_regress::stats::mean(&combos.iter().map(|c| c.ppep).collect::<Vec<_>>());
+    let gg_avg =
+        ppep_regress::stats::mean(&combos.iter().map(|c| c.green_governors).collect::<Vec<_>>());
 
     // PPEP per-VF averages on a reduced roster (the paper reports one
     // number per state).
@@ -87,7 +87,12 @@ pub fn run(ctx: &Context) -> Result<Fig06Result> {
         ppep_per_vf.push((vf, ppep_regress::stats::mean(&errs)));
     }
 
-    Ok(Fig06Result { combos, ppep_avg, gg_avg, ppep_per_vf })
+    Ok(Fig06Result {
+        combos,
+        ppep_avg,
+        gg_avg,
+        ppep_per_vf,
+    })
 }
 
 /// Prints the Fig. 6 rows.

@@ -137,9 +137,13 @@ pub fn run(ctx: &Context) -> Result<Fig07Result> {
     };
     let one = run_policy(ctx, &ppep, true, intervals)?;
     let iter = run_policy(ctx, &ppep, false, intervals)?;
-    let speedup = iter.worst_settle_intervals.max(1) as f64
-        / one.worst_settle_intervals.max(1) as f64;
-    Ok(Fig07Result { ppep: one, iterative: iter, speedup })
+    let speedup =
+        iter.worst_settle_intervals.max(1) as f64 / one.worst_settle_intervals.max(1) as f64;
+    Ok(Fig07Result {
+        ppep: one,
+        iterative: iter,
+        speedup,
+    })
 }
 
 /// Prints the Fig. 7 summary.
@@ -162,9 +166,18 @@ pub fn print(result: &Fig07Result) {
         result.speedup
     );
     let to_w = |v: &[ppep_types::Watts]| v.iter().map(|w| w.as_watts()).collect::<Vec<_>>();
-    println!("{}", crate::ascii::chart_row("cap", &to_w(&result.ppep.cap), 60));
-    println!("{}", crate::ascii::chart_row("PPEP", &to_w(&result.ppep.power), 60));
-    println!("{}", crate::ascii::chart_row("iterative", &to_w(&result.iterative.power), 60));
+    println!(
+        "{}",
+        crate::ascii::chart_row("cap", &to_w(&result.ppep.cap), 60)
+    );
+    println!(
+        "{}",
+        crate::ascii::chart_row("PPEP", &to_w(&result.ppep.power), 60)
+    );
+    println!(
+        "{}",
+        crate::ascii::chart_row("iterative", &to_w(&result.iterative.power), 60)
+    );
     println!("step  cap      PPEP      iterative");
     let n = result.ppep.power.len();
     for i in (0..n).step_by((n / 30).max(1)) {

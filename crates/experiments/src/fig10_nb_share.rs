@@ -146,7 +146,12 @@ mod tests {
                 .unwrap()
                 .nb_ratio
         };
-        assert!(share(0) > share(4), "VF1 share {} vs VF5 {}", share(0), share(4));
+        assert!(
+            share(0) > share(4),
+            "VF1 share {} vs VF5 {}",
+            share(0),
+            share(4)
+        );
         // And shrinks with more busy cores to share the NB (at VF5).
         let share_n = |n: usize| {
             r.cells

@@ -45,9 +45,7 @@ pub fn run(ctx: &Context) -> Result<IdleAccuracyResult> {
         }
         per_vf.push((vf, ppep_regress::stats::mean(&errors)));
     }
-    let mean = ppep_regress::stats::mean(
-        &per_vf.iter().map(|(_, e)| *e).collect::<Vec<_>>(),
-    );
+    let mean = ppep_regress::stats::mean(&per_vf.iter().map(|(_, e)| *e).collect::<Vec<_>>());
     Ok(IdleAccuracyResult { per_vf, mean })
 }
 

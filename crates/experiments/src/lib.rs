@@ -23,6 +23,7 @@
 //! | [`fig11_nb_dvfs`] | Fig. 11 — NB DVFS energy saving & speedup |
 //! | [`phenom`] | §IV-B2/§IV-C2 — Phenom II validation |
 //! | [`ablations`] | error attribution (beyond the paper: ideal PMU/sensor) |
+//! | [`resilience`] | Fig. 7 capping under a fault storm (beyond the paper) |
 
 #![warn(missing_docs)]
 
@@ -43,6 +44,7 @@ pub mod idle_accuracy;
 pub mod observations;
 pub mod phenom;
 pub mod report;
+pub mod resilience;
 pub mod summary;
 
 pub use common::{Context, Scale};

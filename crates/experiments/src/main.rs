@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! ppep-experiments [--quick] [--seed N] [--out DIR] \
-//!     <fig1|cpi|idle|obs|fig2|fig3|fig4|fig6|fig7|fig8|fig9|fig10|fig11|phenom|ablations|summary|all>
+//!     <fig1|cpi|idle|obs|fig2|fig3|fig4|fig6|fig7|fig8|fig9|fig10|fig11|phenom|ablations|resilience|summary|all>
 //! ```
 //!
 //! With `--out DIR`, figure commands additionally write their data as
@@ -19,7 +19,8 @@ use std::process::ExitCode;
 fn usage() -> ExitCode {
     eprintln!(
         "usage: ppep-experiments [--quick] [--seed N] [--out DIR] \
-         <fig1|cpi|idle|obs|fig2|fig3|fig4|fig6|fig7|fig8|fig9|fig10|fig11|phenom|ablations|summary|all>"
+         <fig1|cpi|idle|obs|fig2|fig3|fig4|fig6|fig7|fig8|fig9|fig10|fig11|phenom|ablations|\
+         resilience|summary|all>"
     );
     ExitCode::FAILURE
 }
@@ -50,7 +51,9 @@ fn main() -> ExitCode {
                 seed = v;
             }
             "--out" => {
-                let Some(dir) = args.next() else { return usage() };
+                let Some(dir) = args.next() else {
+                    return usage();
+                };
                 out_dir = Some(std::path::PathBuf::from(dir));
             }
             cmd if !cmd.starts_with('-') && command.is_none() => {
@@ -59,7 +62,9 @@ fn main() -> ExitCode {
             _ => return usage(),
         }
     }
-    let Some(command) = command else { return usage() };
+    let Some(command) = command else {
+        return usage();
+    };
     let ctx = Context::fx8320(scale, seed);
 
     let result = dispatch(&ctx, &command, out_dir.as_deref());
@@ -138,6 +143,7 @@ fn dispatch(
             save(out, "fig11.csv", report::fig11_csv(&r));
         }
         "phenom" => phenom::print(&phenom::run(ctx)?),
+        "resilience" => resilience::print(&resilience::run(ctx)?),
         "summary" => summary::print(&summary::run(ctx)?),
         "ablations" => {
             let r = ablations::run(ctx)?;
@@ -202,6 +208,8 @@ fn dispatch(
             let ra = ablations::run(ctx)?;
             ablations::print(&ra);
             save(out, "ablations.csv", report::ablations_csv(&ra));
+            println!();
+            resilience::print(&resilience::run(ctx)?);
         }
         _ => return Ok(false),
     }

@@ -66,7 +66,9 @@ pub fn run(ctx_fx: &Context) -> Result<PhenomResult> {
         let mut chip_errs = Vec::new();
         for (index, name) in cv.names.iter().enumerate() {
             let model = &fold_models[cv.fold_of(index)];
-            let Some(trace) = store.get(name, vf) else { continue };
+            let Some(trace) = store.get(name, vf) else {
+                continue;
+            };
             for record in &trace.records {
                 let idle_w = cv.idle.estimate(voltage, record.temperature).as_watts();
                 let measured = record.measured_power.as_watts();
@@ -97,8 +99,7 @@ pub fn run(ctx_fx: &Context) -> Result<PhenomResult> {
         for &to in &cross_states {
             for (index, name) in cv.names.iter().enumerate() {
                 let model = &fold_models[cv.fold_of(index)];
-                let (Some(src), Some(dst)) = (store.get(name, from), store.get(name, to))
-                else {
+                let (Some(src), Some(dst)) = (store.get(name, from), store.get(name, to)) else {
                     continue;
                 };
                 let mut pred = 0.0;
@@ -155,7 +156,11 @@ pub fn print(result: &PhenomResult) {
         .iter()
         .rev()
         .map(|(vf, d, c)| {
-            vec![vf.to_string(), crate::common::pct(*d), crate::common::pct(*c)]
+            vec![
+                vf.to_string(),
+                crate::common::pct(*d),
+                crate::common::pct(*c),
+            ]
         })
         .collect();
     crate::common::print_table(&["VF", "dynamic AAE", "chip AAE"], &rows);

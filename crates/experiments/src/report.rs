@@ -6,8 +6,8 @@
 //! script can regenerate each chart directly.
 
 use crate::{
-    ablations, cpi_accuracy, fig01_idle_trace, fig02_model_error, fig03_cross_vf,
-    fig06_energy, fig07_capping, fig08_09_background, fig10_nb_share, fig11_nb_dvfs,
+    ablations, cpi_accuracy, fig01_idle_trace, fig02_model_error, fig03_cross_vf, fig06_energy,
+    fig07_capping, fig08_09_background, fig10_nb_share, fig11_nb_dvfs,
 };
 use std::fmt::Write as _;
 
@@ -23,7 +23,13 @@ fn cell(s: &str) -> String {
 /// Renders rows of cells into CSV text.
 pub fn to_csv(headers: &[&str], rows: &[Vec<String>]) -> String {
     let mut out = String::new();
-    out.push_str(&headers.iter().map(|h| cell(h)).collect::<Vec<_>>().join(","));
+    out.push_str(
+        &headers
+            .iter()
+            .map(|h| cell(h))
+            .collect::<Vec<_>>()
+            .join(","),
+    );
     out.push('\n');
     for row in rows {
         out.push_str(&row.iter().map(|c| cell(c)).collect::<Vec<_>>().join(","));
@@ -82,7 +88,15 @@ pub fn fig02_csv(r: &fig02_model_error::Fig02Result) -> String {
         })
         .collect();
     to_csv(
-        &["vf", "suite", "dyn_mean", "dyn_sd", "chip_mean", "chip_sd", "n"],
+        &[
+            "vf",
+            "suite",
+            "dyn_mean",
+            "dyn_sd",
+            "chip_mean",
+            "chip_sd",
+            "n",
+        ],
         &rows,
     )
 }
@@ -103,7 +117,10 @@ pub fn fig03_csv(r: &fig03_cross_vf::Fig03Result) -> String {
             ]
         })
         .collect();
-    to_csv(&["from", "to", "dyn_mean", "dyn_sd", "chip_mean", "chip_sd"], &rows)
+    to_csv(
+        &["from", "to", "dyn_mean", "dyn_sd", "chip_mean", "chip_sd"],
+        &rows,
+    )
 }
 
 /// Fig. 6 per-combination energy-prediction errors.
@@ -153,7 +170,14 @@ pub fn fig08_09_csv(r: &fig08_09_background::Fig0809Result) -> String {
         }
     }
     to_csv(
-        &["benchmark", "instances", "vf", "energy_j", "time_s", "edp_js"],
+        &[
+            "benchmark",
+            "instances",
+            "vf",
+            "energy_j",
+            "time_s",
+            "edp_js",
+        ],
         &rows,
     )
 }
@@ -174,7 +198,13 @@ pub fn fig10_csv(r: &fig10_nb_share::Fig10Result) -> String {
         })
         .collect();
     to_csv(
-        &["benchmark", "instances", "vf", "normalized_energy", "nb_ratio"],
+        &[
+            "benchmark",
+            "instances",
+            "vf",
+            "normalized_energy",
+            "nb_ratio",
+        ],
         &rows,
     )
 }
@@ -193,7 +223,10 @@ pub fn fig11_csv(r: &fig11_nb_dvfs::Fig11Result) -> String {
             ]
         })
         .collect();
-    to_csv(&["benchmark", "instances", "energy_saving", "speedup"], &rows)
+    to_csv(
+        &["benchmark", "instances", "energy_saving", "speedup"],
+        &rows,
+    )
 }
 
 /// Ablation points.
@@ -228,7 +261,11 @@ mod tests {
 
     #[test]
     fn csv_escaping() {
-        let rows = vec![vec!["a,b".to_string(), "plain".to_string(), "q\"q".to_string()]];
+        let rows = vec![vec![
+            "a,b".to_string(),
+            "plain".to_string(),
+            "q\"q".to_string(),
+        ]];
         let csv = to_csv(&["x", "y", "z"], &rows);
         assert_eq!(csv, "x,y,z\n\"a,b\",plain,\"q\"\"q\"\n");
     }
@@ -247,7 +284,10 @@ mod tests {
         };
         let csv = fig11_csv(&r);
         let mut lines = csv.lines();
-        assert_eq!(lines.next(), Some("benchmark,instances,energy_saving,speedup"));
+        assert_eq!(
+            lines.next(),
+            Some("benchmark,instances,energy_saving,speedup")
+        );
         assert_eq!(lines.next(), Some("433.milc,2,0.123456,1.250000"));
         assert_eq!(lines.next(), None);
     }

@@ -74,8 +74,12 @@ pub fn run(ctx: &Context) -> Result<SummaryResult> {
     // Figs. 2-3 share traces.
     let table = ctx.rig.config().topology.vf_table().clone();
     let vfs: Vec<VfStateId> = table.states().collect();
-    let store =
-        TraceStore::collect(&ctx.rig, &ctx.scale.roster(ctx.seed), &vfs, &ctx.scale.budget());
+    let store = TraceStore::collect(
+        &ctx.rig,
+        &ctx.scale.roster(ctx.seed),
+        &vfs,
+        &ctx.scale.budget(),
+    );
     let f2 = fig02_model_error::run_with_store(ctx, &store)?;
     push(
         "dynamic power model AAE (Fig. 2a)",
@@ -130,14 +134,15 @@ pub fn run(ctx: &Context) -> Result<SummaryResult> {
     // §V studies share one engine.
     let engine = ppep_core::Ppep::new(ctx.train_models()?);
     let f89 = fig08_09_background::run_with_engine(ctx, &engine)?;
-    let all_vf1 = f89
-        .entries
-        .iter()
-        .all(|e| e.best_energy == table.lowest());
+    let all_vf1 = f89.entries.iter().all(|e| e.best_energy == table.lowest());
     push(
         "energy-optimal VF state (Fig. 8)",
         "VF1 always",
-        if all_vf1 { "VF1 always".into() } else { "mixed".into() },
+        if all_vf1 {
+            "VF1 always".into()
+        } else {
+            "mixed".into()
+        },
         all_vf1,
     );
     push(
@@ -181,7 +186,11 @@ pub fn print(result: &SummaryResult) {
                 r.metric.clone(),
                 r.paper.clone(),
                 r.measured.clone(),
-                if r.shape_holds { "ok".into() } else { "DIVERGES".into() },
+                if r.shape_holds {
+                    "ok".into()
+                } else {
+                    "DIVERGES".into()
+                },
             ]
         })
         .collect();
@@ -203,8 +212,7 @@ mod tests {
         let ctx = Context::fx8320(Scale::Quick, DEFAULT_SEED);
         let r = run(&ctx).unwrap();
         assert!(r.rows.len() >= 12);
-        let failing: Vec<&SummaryRow> =
-            r.rows.iter().filter(|row| !row.shape_holds).collect();
+        let failing: Vec<&SummaryRow> = r.rows.iter().filter(|row| !row.shape_holds).collect();
         assert!(
             failing.is_empty(),
             "diverging rows: {:?}",

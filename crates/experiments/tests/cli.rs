@@ -14,7 +14,10 @@ fn no_arguments_prints_usage_and_fails() {
     assert!(!out.status.success());
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("usage:"), "stderr: {stderr}");
-    assert!(stderr.contains("summary"), "usage must list every subcommand");
+    assert!(
+        stderr.contains("summary"),
+        "usage must list every subcommand"
+    );
 }
 
 #[test]
@@ -28,14 +31,24 @@ fn unknown_subcommand_fails_cleanly() {
 fn dangling_seed_flag_fails() {
     let out = bin().args(["--seed"]).output().expect("binary runs");
     assert!(!out.status.success());
-    let out = bin().args(["--seed", "not-a-number", "fig4"]).output().expect("binary runs");
+    let out = bin()
+        .args(["--seed", "not-a-number", "fig4"])
+        .output()
+        .expect("binary runs");
     assert!(!out.status.success());
 }
 
 #[test]
 fn quick_fig4_succeeds_with_table_output() {
-    let out = bin().args(["--quick", "fig4"]).output().expect("binary runs");
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let out = bin()
+        .args(["--quick", "fig4"])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("Fig. 4"));
     assert!(stdout.contains("Pidle(CU)"));
@@ -71,7 +84,11 @@ fn out_dir_writes_csv() {
     assert!(out.status.success());
     let csv = std::fs::read_to_string(dir.join("fig11.csv")).expect("CSV written");
     assert!(csv.starts_with("benchmark,instances,energy_saving,speedup"));
-    assert!(csv.lines().count() == 9, "8 sweep rows + header: {}", csv.lines().count());
+    assert!(
+        csv.lines().count() == 9,
+        "8 sweep rows + header: {}",
+        csv.lines().count()
+    );
     let _ = std::fs::remove_dir_all(&dir);
 }
 

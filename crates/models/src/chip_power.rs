@@ -28,7 +28,11 @@ pub struct ChipPowerModel {
 impl ChipPowerModel {
     /// Composes a model for a PG-disabled chip.
     pub fn new(idle: IdlePowerModel, dynamic: DynamicPowerModel) -> Self {
-        Self { idle, dynamic, pg: None }
+        Self {
+            idle,
+            dynamic,
+            pg: None,
+        }
     }
 
     /// Adds the PG decomposition (enables the §V per-core paths).
@@ -103,7 +107,9 @@ impl ChipPowerModel {
         let mut total = Watts::ZERO;
         for s in samples {
             let predicted = predictor.predict(s, from_point, to_point)?;
-            total += self.dynamic.estimate_core(&predicted.power_rates(), to_point.voltage);
+            total += self
+                .dynamic
+                .estimate_core(&predicted.power_rates(), to_point.voltage);
         }
         Ok(total)
     }
@@ -161,7 +167,9 @@ impl ChipPowerModel {
         for (i, s) in samples.iter().enumerate() {
             let cu = i / cores_per_cu;
             let v = table.point(cu_vf[cu]).voltage;
-            dynamic += self.dynamic.estimate_core(&s.rates().power_model_vector(), v);
+            dynamic += self
+                .dynamic
+                .estimate_core(&s.rates().power_model_vector(), v);
         }
         Ok(idle + dynamic)
     }
@@ -204,7 +212,9 @@ impl ChipPowerModel {
                 .count();
             let idle_share = pg.per_core_idle_pg_enabled(cu_vf[cu], busy_in_cu, busy_total)?;
             let v = table.point(cu_vf[cu]).voltage;
-            let dynamic = self.dynamic.estimate_core(&s.rates().power_model_vector(), v);
+            let dynamic = self
+                .dynamic
+                .estimate_core(&s.rates().power_model_vector(), v);
             out.push(idle_share + dynamic);
         }
         Ok(out)
@@ -251,7 +261,10 @@ mod tests {
         c.set(EventId::MabWaitCycles, 0.2 * inst);
         c.set(EventId::DispatchStalls, 0.45 * inst);
         c.set(EventId::RetiredUops, uops_per_sec * dt.as_secs());
-        IntervalSample { counts: c, duration: dt }
+        IntervalSample {
+            counts: c,
+            duration: dt,
+        }
     }
 
     #[test]
@@ -278,7 +291,10 @@ mod tests {
         let t = Kelvin::new(320.0);
         // CPU-bound-ish sample: CPI 1.4, MCPI 0.2 at 3.5 GHz.
         let samples = vec![busy_sample(1.2e9)];
-        let predicted = model.predict_chip(&samples, vf5, vf1, &table, t).unwrap().as_watts();
+        let predicted = model
+            .predict_chip(&samples, vf5, vf1, &table, t)
+            .unwrap()
+            .as_watts();
         // Predicted idle at VF1's voltage.
         let idle = 0.1 * 320.0 + 10.0 * 0.888;
         // CPI(1.4GHz) = 1.2 + 0.2·1.4/3.5 = 1.28. The sample's core was
@@ -302,7 +318,10 @@ mod tests {
         let t = Kelvin::new(325.0);
         let samples = vec![busy_sample(1.5e9), busy_sample(0.5e9)];
         let est = model.estimate_chip(&samples, vf5, &table, t).as_watts();
-        let pred = model.predict_chip(&samples, vf5, vf5, &table, t).unwrap().as_watts();
+        let pred = model
+            .predict_chip(&samples, vf5, vf5, &table, t)
+            .unwrap()
+            .as_watts();
         assert!((est - pred).abs() < 1e-6, "{est} vs {pred}");
     }
 
@@ -350,13 +369,7 @@ mod tests {
             idle_sample,
         ];
         let p = model
-            .estimate_chip_pg(
-                &samples,
-                &[true, false, false, false],
-                &[vf5; 4],
-                &table,
-                2,
-            )
+            .estimate_chip_pg(&samples, &[true, false, false, false], &[vf5; 4], &table, 2)
             .unwrap()
             .as_watts();
         // idle = CU(vf5)=6 + NB 9 + base 5 = 20; dynamic = 2 W.
@@ -398,13 +411,7 @@ mod tests {
         // Sum equals the chip estimate for the same configuration.
         let total: f64 = per_core.iter().map(|w| w.as_watts()).sum();
         let chip = model
-            .estimate_chip_pg(
-                &samples,
-                &[true, true, false, false],
-                &[vf5; 4],
-                &table,
-                2,
-            )
+            .estimate_chip_pg(&samples, &[true, true, false, false], &[vf5; 4], &table, 2)
             .unwrap()
             .as_watts();
         assert!((total - chip).abs() < 0.05, "{total} vs {chip}");

@@ -40,10 +40,14 @@ impl CpiObservation {
     /// non-positive (CPI), negative (MCPI), or `mcpi > cpi`.
     pub fn new(cpi: f64, mcpi: f64, frequency: Gigahertz) -> Result<Self> {
         if !cpi.is_finite() || cpi <= 0.0 {
-            return Err(Error::InvalidInput(format!("CPI must be positive, got {cpi}")));
+            return Err(Error::InvalidInput(format!(
+                "CPI must be positive, got {cpi}"
+            )));
         }
         if !mcpi.is_finite() || mcpi < 0.0 {
-            return Err(Error::InvalidInput(format!("MCPI must be >= 0, got {mcpi}")));
+            return Err(Error::InvalidInput(format!(
+                "MCPI must be >= 0, got {mcpi}"
+            )));
         }
         if mcpi > cpi {
             return Err(Error::InvalidInput(format!(
@@ -53,7 +57,11 @@ impl CpiObservation {
         if frequency.as_ghz() <= 0.0 {
             return Err(Error::InvalidInput("frequency must be positive".into()));
         }
-        Ok(Self { cpi, mcpi, frequency })
+        Ok(Self {
+            cpi,
+            mcpi,
+            frequency,
+        })
     }
 
     /// Extracts an observation from a PMU interval sample.
@@ -156,7 +164,9 @@ pub fn segment_aligned_errors(
         return Err(Error::InvalidInput("need non-empty traces".into()));
     }
     if segment_instructions <= 0.0 {
-        return Err(Error::InvalidInput("segment length must be positive".into()));
+        return Err(Error::InvalidInput(
+            "segment length must be positive".into(),
+        ));
     }
     // Build cumulative (instructions -> cycles) curves for both the
     // prediction (source trace projected to the target frequency) and
@@ -164,7 +174,11 @@ pub fn segment_aligned_errors(
     let predicted = cumulative_cycles(source, |obs| obs.predict_cpi(target_frequency));
     let actual = cumulative_cycles(target, |obs| obs.cpi());
 
-    let total_inst = predicted.last().expect("non-empty").0.min(actual.last().expect("non-empty").0);
+    let total_inst = predicted
+        .last()
+        .expect("non-empty")
+        .0
+        .min(actual.last().expect("non-empty").0);
     let mut errors = Vec::new();
     let mut boundary = segment_instructions;
     let mut prev_pred = 0.0;
@@ -283,12 +297,18 @@ mod tests {
     fn from_sample_requires_instructions() {
         use ppep_pmc::{EventCounts, EventId};
         let mut counts = EventCounts::zero();
-        let empty = IntervalSample { counts, duration: ppep_types::Seconds::new(0.2) };
+        let empty = IntervalSample {
+            counts,
+            duration: ppep_types::Seconds::new(0.2),
+        };
         assert!(CpiObservation::from_sample(&empty, ghz(3.5)).is_err());
         counts.set(EventId::RetiredInstructions, 1000.0);
         counts.set(EventId::CpuClocksNotHalted, 1500.0);
         counts.set(EventId::MabWaitCycles, 2000.0); // overshoot -> clamped
-        let s = IntervalSample { counts, duration: ppep_types::Seconds::new(0.2) };
+        let s = IntervalSample {
+            counts,
+            duration: ppep_types::Seconds::new(0.2),
+        };
         let obs = CpiObservation::from_sample(&s, ghz(3.5)).unwrap();
         assert_eq!(obs.mcpi(), obs.cpi(), "MCPI clamped to CPI");
     }
@@ -302,8 +322,7 @@ mod tests {
         let lo_obs = hi_obs.rebase(ghz(1.4));
         let hi_trace = vec![(1.0e6, hi_obs); 4];
         let lo_trace = vec![(1.0e6, lo_obs); 4];
-        let errors =
-            segment_aligned_errors(&hi_trace, &lo_trace, ghz(1.4), 5.0e5).unwrap();
+        let errors = segment_aligned_errors(&hi_trace, &lo_trace, ghz(1.4), 5.0e5).unwrap();
         assert!(!errors.is_empty());
         for e in errors {
             assert!(e < 1e-9, "exact traces predict exactly, err {e}");
@@ -316,13 +335,9 @@ mod tests {
         // (e.g. bandwidth saturation): errors must be visible.
         let hi_obs = CpiObservation::new(2.0, 1.2, ghz(3.5)).unwrap();
         let wrong = CpiObservation::new(2.4, 0.48, ghz(1.4)).unwrap(); // actual CPI higher than predicted
-        let errors = segment_aligned_errors(
-            &[(1.0e6, hi_obs); 4],
-            &[(1.0e6, wrong); 4],
-            ghz(1.4),
-            5.0e5,
-        )
-        .unwrap();
+        let errors =
+            segment_aligned_errors(&[(1.0e6, hi_obs); 4], &[(1.0e6, wrong); 4], ghz(1.4), 5.0e5)
+                .unwrap();
         let predicted_cpi = hi_obs.predict_cpi(ghz(1.4));
         let expected_err = (predicted_cpi - 2.4_f64).abs() / 2.4;
         for e in errors {

@@ -76,10 +76,14 @@ impl DynamicPowerModel {
         ridge_lambda: f64,
     ) -> Result<Self> {
         if samples.is_empty() {
-            return Err(Error::InvalidInput("dynamic model needs training samples".into()));
+            return Err(Error::InvalidInput(
+                "dynamic model needs training samples".into(),
+            ));
         }
         if !(alpha > 0.0 && alpha.is_finite()) {
-            return Err(Error::InvalidInput(format!("alpha must be positive, got {alpha}")));
+            return Err(Error::InvalidInput(format!(
+                "alpha must be positive, got {alpha}"
+            )));
         }
         // Standardise each regressor by its mean magnitude so the
         // ridge penalty is expressed in "contribution to power" units
@@ -108,7 +112,11 @@ impl DynamicPowerModel {
         for ((w, c), sc) in weights.iter_mut().zip(fit.coefficients()).zip(&scale) {
             *w = c / sc; // undo the standardisation: watts per event/s
         }
-        Ok(Self { weights, alpha, reference_voltage })
+        Ok(Self {
+            weights,
+            alpha,
+            reference_voltage,
+        })
     }
 
     /// Builds a model from known weights.
@@ -117,7 +125,11 @@ impl DynamicPowerModel {
         alpha: f64,
         reference_voltage: Volts,
     ) -> Self {
-        Self { weights, alpha, reference_voltage }
+        Self {
+            weights,
+            alpha,
+            reference_voltage,
+        }
     }
 
     /// Eq. 3 inner sum: dynamic power of one core whose E1–E9
@@ -142,11 +154,7 @@ impl DynamicPowerModel {
     /// (voltage-scaled E1–E7 terms) and its NB-attributed part
     /// (the unscaled E8–E9 terms) — the separation §V-C2 relies on to
     /// explore NB DVFS.
-    pub fn estimate_core_split(
-        &self,
-        rates: &[f64; DYN_EVENT_COUNT],
-        v: Volts,
-    ) -> (Watts, Watts) {
+    pub fn estimate_core_split(&self, rates: &[f64; DYN_EVENT_COUNT], v: Volts) -> (Watts, Watts) {
         let scale = (v / self.reference_voltage).powf(self.alpha);
         let mut core = 0.0;
         let mut nb = 0.0;
@@ -220,7 +228,9 @@ impl DynamicPowerModel {
 /// non-positive measurements.
 pub fn estimate_alpha(points: &[(Volts, Gigahertz, Watts)]) -> Result<f64> {
     if points.len() < 2 {
-        return Err(Error::InvalidInput("alpha needs >= 2 calibration points".into()));
+        return Err(Error::InvalidInput(
+            "alpha needs >= 2 calibration points".into(),
+        ));
     }
     let mut xs = Vec::with_capacity(points.len());
     let mut ys = Vec::with_capacity(points.len());
@@ -269,7 +279,10 @@ mod tests {
                 1.0e7 + 8.0e5 * ((x * 0.9).sin() + 1.0) * 1.0e1,
                 2.0e8 + 6.0e6 * x,
             ];
-            out.push(DynSample { rates, power: Watts::new(truth_power(&rates)) });
+            out.push(DynSample {
+                rates,
+                power: Watts::new(truth_power(&rates)),
+            });
         }
         out
     }
@@ -283,7 +296,10 @@ mod tests {
             assert!(rel < 0.02, "estimate off by {rel}");
         }
         assert_eq!(model.coefficient_count(), 9);
-        assert!(model.weights().iter().all(|w| *w >= 0.0), "weights non-negative");
+        assert!(
+            model.weights().iter().all(|w| *w >= 0.0),
+            "weights non-negative"
+        );
     }
 
     #[test]

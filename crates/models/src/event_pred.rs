@@ -134,7 +134,11 @@ impl HwEventPredictor {
         }
         let inst = sample.counts.get(EventId::RetiredInstructions);
         if inst <= 0.0 {
-            return Ok(PredictedCoreState { rates: EventCounts::zero(), cpi: 0.0, ips: 0.0 });
+            return Ok(PredictedCoreState {
+                rates: EventCounts::zero(),
+                cpi: 0.0,
+                ips: 0.0,
+            });
         }
         let obs = CpiObservation::from_sample(sample, from.frequency)?;
         let cpi_target = obs.predict_cpi_scaled(to.frequency, memory_factor);
@@ -142,8 +146,8 @@ impl HwEventPredictor {
         // A core that was only partially unhalted during the source
         // interval (e.g. its thread finished mid-interval) is assumed
         // to stay proportionally utilised at the target.
-        let unhalted_rate = sample.counts.get(EventId::CpuClocksNotHalted)
-            / sample.duration.as_secs();
+        let unhalted_rate =
+            sample.counts.get(EventId::CpuClocksNotHalted) / sample.duration.as_secs();
         let utilization = (unhalted_rate / from.frequency.as_hz()).min(1.0);
         let ips = utilization * to.frequency.as_hz() / cpi_target;
 
@@ -176,7 +180,11 @@ impl HwEventPredictor {
         rates.set(EventId::RetiredInstructions, ips);
         rates.set(EventId::MabWaitCycles, mcpi_target * ips);
 
-        Ok(PredictedCoreState { rates, cpi: cpi_target, ips })
+        Ok(PredictedCoreState {
+            rates,
+            cpi: cpi_target,
+            ips,
+        })
     }
 }
 
@@ -210,7 +218,10 @@ mod tests {
         c.set(EventId::RetiredMispredictedBranches, 0.004 * inst);
         c.set(EventId::L2CacheMisses, 0.02 * inst);
         c.set(EventId::DispatchStalls, (0.3 + 0.95 * mcpi) * inst);
-        IntervalSample { counts: c, duration: dt }
+        IntervalSample {
+            counts: c,
+            duration: dt,
+        }
     }
 
     #[test]
@@ -243,7 +254,10 @@ mod tests {
             EventId::L2CacheMisses,
         ] {
             let tgt_pi = pred.rates.get(e) / pred.ips;
-            assert!((tgt_pi - src_pi.get(e)).abs() < 1e-12, "{e} fingerprint broken");
+            assert!(
+                (tgt_pi - src_pi.get(e)).abs() < 1e-12,
+                "{e} fingerprint broken"
+            );
         }
     }
 
@@ -293,7 +307,10 @@ mod tests {
 
     #[test]
     fn idle_core_predicts_idle() {
-        let s = IntervalSample { counts: EventCounts::zero(), duration: Seconds::new(0.2) };
+        let s = IntervalSample {
+            counts: EventCounts::zero(),
+            duration: Seconds::new(0.2),
+        };
         let pred = HwEventPredictor::new()
             .predict(&s, point(1.320, 3.5), point(0.888, 1.4))
             .unwrap();

@@ -70,7 +70,9 @@ impl GreenGovernors {
         let mut ys = Vec::with_capacity(samples.len());
         for (i, s) in samples.iter().enumerate() {
             if s.vf.index() >= static_table.len() {
-                return Err(Error::InvalidInput(format!("sample {i} has unknown VF state")));
+                return Err(Error::InvalidInput(format!(
+                    "sample {i} has unknown VF state"
+                )));
             }
             let dyn_w = s.power.as_watts() - static_table[s.vf.index()].as_watts();
             if !dyn_w.is_finite() || !s.ips.is_finite() {
@@ -80,12 +82,18 @@ impl GreenGovernors {
             ys.push(dyn_w);
         }
         let fit = LinearRegression::fit_nonnegative(&xs, &ys, false, 1e-9)?;
-        Ok(Self { static_table, weight: fit.coefficients()[0] })
+        Ok(Self {
+            static_table,
+            weight: fit.coefficients()[0],
+        })
     }
 
     /// Builds a baseline from known parts.
     pub fn from_parts(static_table: Vec<Watts>, weight: f64) -> Self {
-        Self { static_table, weight }
+        Self {
+            static_table,
+            weight,
+        }
     }
 
     /// Estimated chip power at a VF state given chip-wide instruction
@@ -180,7 +188,9 @@ mod tests {
     fn cross_vf_assumes_linear_throughput_scaling() {
         let gg = GreenGovernors::fit(static_watts(), &samples(), &table()).unwrap();
         let t = table();
-        let p = gg.predict_power_across(3.5e9, t.highest(), t.lowest(), &t).as_watts();
+        let p = gg
+            .predict_power_across(3.5e9, t.highest(), t.lowest(), &t)
+            .as_watts();
         // GG scales IPS by the f-ratio: 3.5e9 · (1.4/3.5) = 1.4e9.
         let expect = 20.0 + 2.0 * (1.4 * 0.888_f64.powi(2) * 1.4);
         assert!((p - expect).abs() < 1e-6, "{p} vs {expect}");

@@ -106,8 +106,10 @@ impl IdlePowerModel {
                     list.len()
                 )));
             }
-            let xs: Vec<Vec<f64>> =
-                list.iter().map(|s| vec![s.temperature.as_kelvin()]).collect();
+            let xs: Vec<Vec<f64>> = list
+                .iter()
+                .map(|s| vec![s.temperature.as_kelvin()])
+                .collect();
             let ys: Vec<f64> = list.iter().map(|s| s.power.as_watts()).collect();
             let line = LinearRegression::fit(&xs, &ys, true)?;
             volts.push(*v);
@@ -174,10 +176,7 @@ mod tests {
             for &t in &[300.0, 320.0, 340.0] {
                 let est = model.estimate(Volts::new(v), Kelvin::new(t)).as_watts();
                 let truth = linear_truth(v, t);
-                assert!(
-                    (est - truth).abs() < 1e-6,
-                    "V={v} T={t}: {est} vs {truth}"
-                );
+                assert!((est - truth).abs() < 1e-6, "V={v} T={t}: {est} vs {truth}");
             }
         }
     }
@@ -187,7 +186,9 @@ mod tests {
         let model = IdlePowerModel::fit(&training_set()).unwrap();
         // 1.06 V was never trained; cubic interpolation should land
         // close to the (cubic) ground truth.
-        let est = model.estimate(Volts::new(1.06), Kelvin::new(315.0)).as_watts();
+        let est = model
+            .estimate(Volts::new(1.06), Kelvin::new(315.0))
+            .as_watts();
         let truth = linear_truth(1.06, 315.0);
         assert!((est - truth).abs() / truth < 0.01, "{est} vs {truth}");
     }
@@ -200,7 +201,9 @@ mod tests {
             .filter(|s| s.voltage.as_volts() > 0.9)
             .collect();
         let model = IdlePowerModel::fit(&samples).unwrap();
-        let est = model.estimate(Volts::new(1.242), Kelvin::new(320.0)).as_watts();
+        let est = model
+            .estimate(Volts::new(1.242), Kelvin::new(320.0))
+            .as_watts();
         assert!((est - linear_truth(1.242, 320.0)).abs() < 1e-6);
     }
 
@@ -216,7 +219,9 @@ mod tests {
         let model = IdlePowerModel::fit(&samples).unwrap();
         assert_eq!(model.w1().degree(), 1);
         // Exact at the trained voltages even with a linear V model.
-        let est = model.estimate(Volts::new(1.320), Kelvin::new(330.0)).as_watts();
+        let est = model
+            .estimate(Volts::new(1.320), Kelvin::new(330.0))
+            .as_watts();
         assert!((est - linear_truth(1.320, 330.0)).abs() < 1e-6);
     }
 
@@ -266,8 +271,7 @@ mod tests {
     #[test]
     fn from_polynomials_round_trip() {
         let model = IdlePowerModel::fit(&training_set()).unwrap();
-        let rebuilt =
-            IdlePowerModel::from_polynomials(model.w1().clone(), model.w0().clone());
+        let rebuilt = IdlePowerModel::from_polynomials(model.w1().clone(), model.w0().clone());
         assert_eq!(model, rebuilt);
     }
 }

@@ -47,7 +47,11 @@ pub fn to_string(models: &TrainedModels) -> String {
     let _ = writeln!(out, "platform = {}", models.topology().name());
     let _ = writeln!(out, "cu_count = {}", models.topology().cu_count());
     let _ = writeln!(out, "cores_per_cu = {}", models.topology().cores_per_cu());
-    let _ = writeln!(out, "power_gating = {}", models.topology().supports_power_gating());
+    let _ = writeln!(
+        out,
+        "power_gating = {}",
+        models.topology().supports_power_gating()
+    );
     let _ = writeln!(out, "issue_width = {}", models.topology().issue_width());
     let _ = writeln!(
         out,
@@ -73,19 +77,36 @@ pub fn to_string(models: &TrainedModels) -> String {
         "reference_voltage = {}",
         models.dynamic_model().reference_voltage().as_volts()
     );
-    let weights: Vec<String> =
-        models.dynamic_model().weights().iter().map(|w| format!("{w:e}")).collect();
+    let weights: Vec<String> = models
+        .dynamic_model()
+        .weights()
+        .iter()
+        .map(|w| format!("{w:e}"))
+        .collect();
     let _ = writeln!(out, "dyn_weights = {}", weights.join(" "));
 
     let idle = models.idle_model();
-    let w1: Vec<String> = idle.w1().coefficients().iter().map(|c| format!("{c:e}")).collect();
-    let w0: Vec<String> = idle.w0().coefficients().iter().map(|c| format!("{c:e}")).collect();
+    let w1: Vec<String> = idle
+        .w1()
+        .coefficients()
+        .iter()
+        .map(|c| format!("{c:e}"))
+        .collect();
+    let w0: Vec<String> = idle
+        .w0()
+        .coefficients()
+        .iter()
+        .map(|c| format!("{c:e}"))
+        .collect();
     let _ = writeln!(out, "idle_w1 = {}", w1.join(" "));
     let _ = writeln!(out, "idle_w0 = {}", w0.join(" "));
 
     let gg = models.green_governors();
-    let st: Vec<String> =
-        gg.static_table().iter().map(|w| format!("{}", w.as_watts())).collect();
+    let st: Vec<String> = gg
+        .static_table()
+        .iter()
+        .map(|w| format!("{}", w.as_watts()))
+        .collect();
     let _ = writeln!(out, "gg_static = {}", st.join(" "));
     let _ = writeln!(out, "gg_weight = {:e}", gg.weight());
 
@@ -166,7 +187,9 @@ pub fn from_string(text: &str) -> Result<TrainedModels> {
     let volts = parse_vec(req(&map, "vf_voltages")?, "vf_voltages")?;
     let freqs = parse_vec(req(&map, "vf_frequencies")?, "vf_frequencies")?;
     if volts.len() != freqs.len() {
-        return Err(Error::InvalidInput("vf_voltages/vf_frequencies length mismatch".into()));
+        return Err(Error::InvalidInput(
+            "vf_voltages/vf_frequencies length mismatch".into(),
+        ));
     }
     let points: Vec<VfPoint> = volts
         .iter()
@@ -215,7 +238,9 @@ pub fn from_string(text: &str) -> Result<TrainedModels> {
         .map(Watts::new)
         .collect();
     if gg_static.len() != table.len() {
-        return Err(Error::InvalidInput("gg_static length must match the VF ladder".into()));
+        return Err(Error::InvalidInput(
+            "gg_static length must match the VF ladder".into(),
+        ));
     }
     let green_governors =
         GreenGovernors::from_parts(gg_static, parse_f64(req(&map, "gg_weight")?, "gg_weight")?);
@@ -225,12 +250,17 @@ pub fn from_string(text: &str) -> Result<TrainedModels> {
         let cu = parse_vec(req(&map, "pg_cu")?, "pg_cu")?;
         let nb = parse_vec(req(&map, "pg_nb")?, "pg_nb")?;
         if cu.len() != table.len() || nb.len() != table.len() {
-            return Err(Error::InvalidInput("pg_cu/pg_nb length must match the VF ladder".into()));
+            return Err(Error::InvalidInput(
+                "pg_cu/pg_nb length must match the VF ladder".into(),
+            ));
         }
         let entries: Vec<PgIdleEntry> = cu
             .into_iter()
             .zip(nb)
-            .map(|(c, n)| PgIdleEntry { pidle_cu: Watts::new(c), pidle_nb: Watts::new(n) })
+            .map(|(c, n)| PgIdleEntry {
+                pidle_cu: Watts::new(c),
+                pidle_nb: Watts::new(n),
+            })
             .collect();
         let base = Watts::new(parse_f64(req(&map, "pg_base")?, "pg_base")?);
         let cu_count: usize = req(&map, "pg_cu_count")?
@@ -239,7 +269,13 @@ pub fn from_string(text: &str) -> Result<TrainedModels> {
         chip_power = chip_power.with_pg(PgIdleModel::from_parts(entries, base, cu_count));
     }
 
-    Ok(TrainedModels::from_parts(chip_power, green_governors, alpha, table, topology))
+    Ok(TrainedModels::from_parts(
+        chip_power,
+        green_governors,
+        alpha,
+        table,
+        topology,
+    ))
 }
 
 #[cfg(test)]
@@ -251,7 +287,11 @@ mod tests {
 
     fn bundle() -> &'static TrainedModels {
         static M: OnceLock<TrainedModels> = OnceLock::new();
-        M.get_or_init(|| TrainingRig::fx8320(42).train_quick().expect("training succeeds"))
+        M.get_or_init(|| {
+            TrainingRig::fx8320(42)
+                .train_quick()
+                .expect("training succeeds")
+        })
     }
 
     #[test]
@@ -275,8 +315,12 @@ mod tests {
         // Same GG estimates and alpha.
         let table = original.vf_table().clone();
         assert_eq!(
-            original.green_governors().estimate_power(2e9, table.highest(), &table),
-            restored.green_governors().estimate_power(2e9, table.highest(), &table)
+            original
+                .green_governors()
+                .estimate_power(2e9, table.highest(), &table),
+            restored
+                .green_governors()
+                .estimate_power(2e9, table.highest(), &table)
         );
         assert_eq!(original.alpha(), restored.alpha());
         // PG decomposition survives too.

@@ -147,7 +147,11 @@ impl PgIdleModel {
 
     /// Builds a model from known parts.
     pub fn from_parts(entries: Vec<PgIdleEntry>, pidle_base: Watts, cu_count: usize) -> Self {
-        Self { entries: entries.into_iter().map(Some).collect(), pidle_base, cu_count }
+        Self {
+            entries: entries.into_iter().map(Some).collect(),
+            pidle_base,
+            cu_count,
+        }
     }
 
     /// `Pidle(CU)` at a VF state.
@@ -224,7 +228,9 @@ impl PgIdleModel {
     /// Returns [`Error::InvalidInput`] when `n` is zero.
     pub fn per_core_idle_pg_disabled(&self, vf: VfStateId, busy_in_chip: usize) -> Result<Watts> {
         if busy_in_chip == 0 {
-            return Err(Error::InvalidInput("no busy cores to attribute power to".into()));
+            return Err(Error::InvalidInput(
+                "no busy cores to attribute power to".into(),
+            ));
         }
         Ok(Watts::new(
             self.chip_idle_pg_disabled(vf).as_watts() / busy_in_chip as f64,
@@ -247,13 +253,11 @@ impl PgIdleModel {
     /// # Errors
     ///
     /// Returns [`Error::InvalidInput`] when the slices mismatch.
-    pub fn chip_idle_pg_enabled(
-        &self,
-        cu_active: &[bool],
-        cu_vf: &[VfStateId],
-    ) -> Result<Watts> {
+    pub fn chip_idle_pg_enabled(&self, cu_active: &[bool], cu_vf: &[VfStateId]) -> Result<Watts> {
         if cu_active.len() != cu_vf.len() {
-            return Err(Error::InvalidInput("cu_active/cu_vf length mismatch".into()));
+            return Err(Error::InvalidInput(
+                "cu_active/cu_vf length mismatch".into(),
+            ));
         }
         let mut w = self.pidle_base.as_watts();
         let mut any_active = false;
@@ -293,8 +297,18 @@ mod tests {
             } else {
                 k as f64 * CU + NB + BASE + dynamic
             };
-            out.push(PgSweepPoint { vf, busy_cus: k, pg_enabled: false, power: Watts::new(disabled) });
-            out.push(PgSweepPoint { vf, busy_cus: k, pg_enabled: true, power: Watts::new(enabled) });
+            out.push(PgSweepPoint {
+                vf,
+                busy_cus: k,
+                pg_enabled: false,
+                power: Watts::new(disabled),
+            });
+            out.push(PgSweepPoint {
+                vf,
+                busy_cus: k,
+                pg_enabled: true,
+                power: Watts::new(enabled),
+            });
         }
         out
     }
@@ -302,7 +316,9 @@ mod tests {
     // VfStateId's field is crate-private in ppep-types; build through
     // the public table API instead.
     fn unsafe_vf(index: usize) -> VfStateId {
-        ppep_types::VfTable::fx8320().state(index).expect("index < 5")
+        ppep_types::VfTable::fx8320()
+            .state(index)
+            .expect("index < 5")
     }
 
     #[test]
@@ -321,7 +337,10 @@ mod tests {
     #[test]
     fn eq7_attribution() {
         let model = PgIdleModel::from_parts(
-            vec![PgIdleEntry { pidle_cu: Watts::new(CU), pidle_nb: Watts::new(NB) }],
+            vec![PgIdleEntry {
+                pidle_cu: Watts::new(CU),
+                pidle_nb: Watts::new(NB),
+            }],
             Watts::new(BASE),
             4,
         );
@@ -339,7 +358,10 @@ mod tests {
     #[test]
     fn eq8_attribution() {
         let model = PgIdleModel::from_parts(
-            vec![PgIdleEntry { pidle_cu: Watts::new(CU), pidle_nb: Watts::new(NB) }],
+            vec![PgIdleEntry {
+                pidle_cu: Watts::new(CU),
+                pidle_nb: Watts::new(NB),
+            }],
             Watts::new(BASE),
             4,
         );
@@ -354,8 +376,14 @@ mod tests {
     #[test]
     fn chip_idle_pg_enabled_counts_active_cus() {
         let entries = vec![
-            PgIdleEntry { pidle_cu: Watts::new(2.0), pidle_nb: Watts::new(8.0) },
-            PgIdleEntry { pidle_cu: Watts::new(CU), pidle_nb: Watts::new(NB) },
+            PgIdleEntry {
+                pidle_cu: Watts::new(2.0),
+                pidle_nb: Watts::new(8.0),
+            },
+            PgIdleEntry {
+                pidle_cu: Watts::new(CU),
+                pidle_nb: Watts::new(NB),
+            },
         ];
         let model = PgIdleModel::from_parts(entries, Watts::new(BASE), 4);
         let hi = unsafe_vf(1);

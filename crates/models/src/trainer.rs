@@ -143,7 +143,13 @@ impl TrainedModels {
         vf_table: VfTable,
         topology: Topology,
     ) -> Self {
-        Self { chip_power, green_governors, alpha, vf_table, topology }
+        Self {
+            chip_power,
+            green_governors,
+            alpha,
+            vf_table,
+            topology,
+        }
     }
 }
 
@@ -157,12 +163,18 @@ pub struct TrainingRig {
 impl TrainingRig {
     /// A rig for the FX-8320 platform (PG disabled, as in §IV-A..C).
     pub fn fx8320(seed: u64) -> Self {
-        Self { config: SimConfig::fx8320(seed), seed }
+        Self {
+            config: SimConfig::fx8320(seed),
+            seed,
+        }
     }
 
     /// A rig for the Phenom™ II X6 validation platform.
     pub fn phenom_ii_x6(seed: u64) -> Self {
-        Self { config: SimConfig::phenom_ii_x6(seed), seed }
+        Self {
+            config: SimConfig::phenom_ii_x6(seed),
+            seed,
+        }
     }
 
     /// A rig with a custom simulator configuration.
@@ -271,7 +283,11 @@ impl TrainingRig {
                 })
                 .sum::<f64>()
                 / records.len() as f64;
-            points.push((point.voltage, point.frequency, Watts::new(mean_dyn.max(0.1))));
+            points.push((
+                point.voltage,
+                point.frequency,
+                Watts::new(mean_dyn.max(0.1)),
+            ));
         }
         estimate_alpha(&points)
     }
@@ -290,7 +306,12 @@ impl TrainingRig {
         sim.load_workload(spec);
         let _ = sim.run_intervals(budget.warmup_intervals);
         let records = sim.run_intervals(budget.record_intervals);
-        ComboTrace { name: spec.name().to_string(), suite: spec.suite(), vf, records }
+        ComboTrace {
+            name: spec.name().to_string(),
+            suite: spec.suite(),
+            vf,
+            records,
+        }
     }
 
     /// Converts one recorded interval into a dynamic-model training
@@ -461,7 +482,9 @@ mod tests {
     use super::*;
 
     fn quick_models() -> TrainedModels {
-        TrainingRig::fx8320(42).train_quick().expect("training succeeds")
+        TrainingRig::fx8320(42)
+            .train_quick()
+            .expect("training succeeds")
     }
 
     #[test]
@@ -474,7 +497,12 @@ mod tests {
             models.alpha()
         );
         // At least some dynamic weights must be positive.
-        let positive = models.dynamic_model().weights().iter().filter(|w| **w > 0.0).count();
+        let positive = models
+            .dynamic_model()
+            .weights()
+            .iter()
+            .filter(|w| **w > 0.0)
+            .count();
         assert!(positive >= 3, "only {positive} positive weights");
         assert_eq!(models.vf_table().len(), 5);
         assert_eq!(models.topology().core_count(), 8);
@@ -545,7 +573,10 @@ mod tests {
         // The peak sits inside the heating phase (the heat-to-steady
         // jump happens after a 5-interval probe) and well before the
         // end of the cooling phase.
-        assert!(peak_idx >= 4, "temperature must rise first (peak at {peak_idx})");
+        assert!(
+            peak_idx >= 4,
+            "temperature must rise first (peak at {peak_idx})"
+        );
         assert!(peak_idx < records.len() - 5, "and fall afterwards");
     }
 

@@ -25,7 +25,9 @@ impl HwCounter {
 
     /// A counter starting at an arbitrary raw value (masked to 48 bits).
     pub const fn with_value(raw: u64) -> Self {
-        Self { raw: raw & COUNTER_MASK }
+        Self {
+            raw: raw & COUNTER_MASK,
+        }
     }
 
     /// Current raw value (always < 2⁴⁸).

@@ -27,7 +27,9 @@ pub struct EventCounts {
 impl EventCounts {
     /// All-zero counts.
     pub const fn zero() -> Self {
-        Self { values: [0.0; EVENT_COUNT] }
+        Self {
+            values: [0.0; EVENT_COUNT],
+        }
     }
 
     /// Builds from a full per-event array in Table I order.
@@ -114,8 +116,15 @@ impl EventCounts {
     /// The nine-element power-model vector (E1–E9 in order).
     pub fn power_model_vector(&self) -> [f64; 9] {
         [
-            self.values[0], self.values[1], self.values[2], self.values[3], self.values[4],
-            self.values[5], self.values[6], self.values[7], self.values[8],
+            self.values[0],
+            self.values[1],
+            self.values[2],
+            self.values[3],
+            self.values[4],
+            self.values[5],
+            self.values[6],
+            self.values[7],
+            self.values[8],
         ]
     }
 

@@ -173,7 +173,13 @@ impl EventId {
 
 impl fmt::Display for EventId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "E{} PMCx{:03x} ({})", self.paper_id(), self.code(), self.name())
+        write!(
+            f,
+            "E{} PMCx{:03x} ({})",
+            self.paper_id(),
+            self.code(),
+            self.name()
+        )
     }
 }
 
@@ -228,7 +234,11 @@ mod tests {
         let mut seen = BTreeSet::new();
         for e in ALL_EVENTS {
             let kinds = [e.is_core_private(), e.is_nb_proxy(), e.is_perf_event()];
-            assert_eq!(kinds.iter().filter(|k| **k).count(), 1, "{e} in multiple groups");
+            assert_eq!(
+                kinds.iter().filter(|k| **k).count(),
+                1,
+                "{e} in multiple groups"
+            );
             seen.insert(e);
         }
         assert_eq!(seen.len(), EVENT_COUNT);
@@ -238,11 +248,14 @@ mod tests {
     fn model_event_lists_match_paper() {
         assert_eq!(POWER_MODEL_EVENTS.len(), 9);
         assert_eq!(POWER_MODEL_EVENTS[8], EventId::DispatchStalls);
-        assert_eq!(PERF_MODEL_EVENTS, [
-            EventId::CpuClocksNotHalted,
-            EventId::RetiredInstructions,
-            EventId::MabWaitCycles
-        ]);
+        assert_eq!(
+            PERF_MODEL_EVENTS,
+            [
+                EventId::CpuClocksNotHalted,
+                EventId::RetiredInstructions,
+                EventId::MabWaitCycles
+            ]
+        );
     }
 
     #[test]

@@ -11,6 +11,7 @@
 
 use crate::counter::HwCounter;
 use ppep_types::{Error, Result};
+use std::cell::Cell;
 
 /// Number of performance counter slots per core on family 15h.
 pub const SLOT_COUNT: usize = 6;
@@ -67,6 +68,10 @@ pub fn decode_ctl_masked(value: u64) -> (u16, u8, bool) {
 pub struct MsrDevice {
     ctl: [u64; SLOT_COUNT],
     ctr: [HwCounter; SLOT_COUNT],
+    /// Armed read failures (fault injection): while non-zero, counter
+    /// reads fail with [`Error::MsrReadFailed`] and decrement this.
+    /// A `Cell` so `rdmsr`/`read_slot` keep their `&self` signatures.
+    fail_reads: Cell<u32>,
 }
 
 impl MsrDevice {
@@ -83,8 +88,35 @@ impl MsrDevice {
     pub fn rdmsr(&self, address: u32) -> Result<u64> {
         match Self::classify(address)? {
             Register::Ctl(slot) => Ok(self.ctl[slot]),
-            Register::Ctr(slot) => Ok(self.ctr[slot].read()),
+            Register::Ctr(slot) => {
+                self.check_read_fault(address)?;
+                Ok(self.ctr[slot].read())
+            }
         }
+    }
+
+    /// Arms the device to fail its next `n` counter reads with
+    /// [`Error::MsrReadFailed`] — the fault-injection hook for the
+    /// "virtual MSR read failed" scenario. Control-register reads and
+    /// writes are unaffected, matching the observed failure mode of
+    /// `msr-tools` under contention (reads time out; programming does
+    /// not).
+    pub fn inject_read_failures(&mut self, n: u32) {
+        self.fail_reads.set(self.fail_reads.get().saturating_add(n));
+    }
+
+    /// Number of armed counter-read failures remaining.
+    pub fn pending_read_failures(&self) -> u32 {
+        self.fail_reads.get()
+    }
+
+    fn check_read_fault(&self, address: u32) -> Result<()> {
+        let armed = self.fail_reads.get();
+        if armed > 0 {
+            self.fail_reads.set(armed - 1);
+            return Err(Error::MsrReadFailed { msr: address });
+        }
+        Ok(())
     }
 
     /// Writes an MSR by address, like `wrmsr`.
@@ -151,12 +183,31 @@ impl MsrDevice {
         if slot >= SLOT_COUNT {
             return Err(Error::Device(format!("no PMC slot {slot}")));
         }
+        self.check_read_fault(PERF_CTR_BASE + 2 * slot as u32)?;
+        Ok(self.ctr[slot].read())
+    }
+
+    /// The raw counter value of a slot, bypassing fault injection.
+    ///
+    /// This is the simulator's backstage view — used to re-sync
+    /// sampling baselines after reprogramming — not a modelled
+    /// `msr-tools` read, so injected read failures do not apply.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Device`] for out-of-range slots.
+    pub fn peek_slot(&self, slot: usize) -> Result<u64> {
+        if slot >= SLOT_COUNT {
+            return Err(Error::Device(format!("no PMC slot {slot}")));
+        }
         Ok(self.ctr[slot].read())
     }
 
     fn classify(address: u32) -> Result<Register> {
         if address < PERF_CTL_BASE || address >= PERF_CTL_BASE + 2 * SLOT_COUNT as u32 {
-            return Err(Error::Device(format!("MSR {address:#x} is not a PMC register")));
+            return Err(Error::Device(format!(
+                "MSR {address:#x} is not a PMC register"
+            )));
         }
         let offset = (address - PERF_CTL_BASE) as usize;
         let slot = offset / 2;
@@ -229,12 +280,38 @@ mod tests {
     #[test]
     fn disabled_slots_do_not_count() {
         let mut dev = MsrDevice::new();
-        dev.program_slot(2, EventId::RetiredInstructions.code(), false).unwrap();
+        dev.program_slot(2, EventId::RetiredInstructions.code(), false)
+            .unwrap();
         dev.count_events(2, 1000).unwrap();
         assert_eq!(dev.read_slot(2).unwrap(), 0);
-        dev.program_slot(2, EventId::RetiredInstructions.code(), true).unwrap();
+        dev.program_slot(2, EventId::RetiredInstructions.code(), true)
+            .unwrap();
         dev.count_events(2, 1000).unwrap();
         assert_eq!(dev.read_slot(2).unwrap(), 1000);
+    }
+
+    #[test]
+    fn injected_read_failures_are_transient_and_bounded() {
+        let mut dev = MsrDevice::new();
+        dev.program_slot(0, EventId::RetiredInstructions.code(), true)
+            .unwrap();
+        dev.count_events(0, 42).unwrap();
+        dev.inject_read_failures(2);
+        assert_eq!(dev.pending_read_failures(), 2);
+        // The next two counter reads fail with the transient MSR error…
+        let e = dev.read_slot(0).unwrap_err();
+        assert!(matches!(e, Error::MsrReadFailed { msr: PERF_CTR_BASE }));
+        assert!(e.is_transient());
+        assert!(dev.rdmsr(PERF_CTR_BASE).is_err());
+        // …then the device recovers, and the counter never lost events.
+        assert_eq!(dev.pending_read_failures(), 0);
+        assert_eq!(dev.read_slot(0).unwrap(), 42);
+        // Control reads, writes, and backstage peeks are unaffected.
+        dev.inject_read_failures(1);
+        assert!(dev.rdmsr(PERF_CTL_BASE).is_ok());
+        assert!(dev.wrmsr(PERF_CTR_BASE, 7).is_ok());
+        assert_eq!(dev.peek_slot(0).unwrap(), 7);
+        assert_eq!(dev.pending_read_failures(), 1);
     }
 
     #[test]

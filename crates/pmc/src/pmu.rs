@@ -14,9 +14,10 @@
 //! is seen by each group only half the time, and the extrapolation
 //! assumes the unseen half looked the same.
 
+use crate::counter::COUNTER_MASK;
 use crate::counts::EventCounts;
 use crate::events::{EventId, ALL_EVENTS, EVENT_COUNT};
-use crate::msr::{MsrDevice, SLOT_COUNT};
+use crate::msr::{MsrDevice, PERF_CTR_BASE, SLOT_COUNT};
 use ppep_types::{Error, Result, Seconds};
 
 /// Multiplexing group membership: which events share counter slots.
@@ -143,14 +144,51 @@ impl Pmu {
         &self.device
     }
 
+    /// Mutable access to the underlying MSR device, e.g. to arm fault
+    /// injection ([`MsrDevice::inject_read_failures`]) or preload
+    /// counter values.
+    pub fn msr_mut(&mut self) -> &mut MsrDevice {
+        &mut self.device
+    }
+
+    /// Writes `raw` (masked to 48 bits) into every hardware counter
+    /// and re-syncs the sampling baselines, so subsequent deltas start
+    /// from the preloaded value. Fault injection uses this to place
+    /// counters just below the 48-bit wrap point.
+    pub fn preload_counters(&mut self, raw: u64) {
+        for slot in 0..SLOT_COUNT {
+            self.device
+                .wrmsr(PERF_CTR_BASE + 2 * slot as u32, raw)
+                .expect("slot index within SLOT_COUNT");
+            self.slot_baseline[slot] = self
+                .device
+                .peek_slot(slot)
+                .expect("slot index within SLOT_COUNT");
+        }
+    }
+
+    /// Discards any partially accumulated interval and re-syncs the
+    /// counter baselines. After a mid-interval fault (failed read,
+    /// missed deadline) the accumulators cover an unknown span; a
+    /// supervisor calls this before resuming sampling.
+    pub fn reset_interval(&mut self) {
+        self.accumulated = [0; EVENT_COUNT];
+        self.active_time = [0.0; EVENT_COUNT];
+        self.total_time = 0.0;
+        self.program_active_group();
+    }
+
     fn program_active_group(&mut self) {
         for (slot, event) in self.active_group.events().into_iter().enumerate() {
             self.device
                 .program_slot(slot, event.code(), true)
                 .expect("slot index within SLOT_COUNT");
+            // Backstage peek: baseline re-sync is simulator bookkeeping,
+            // not a modelled msr-tools read, so injected read failures
+            // must not corrupt it.
             self.slot_baseline[slot] = self
                 .device
-                .read_slot(slot)
+                .peek_slot(slot)
                 .expect("slot index within SLOT_COUNT");
         }
     }
@@ -185,7 +223,11 @@ impl Pmu {
                 self.device.count_events(slot, n)?;
                 // Read back through the MSR interface, as msr-tools would.
                 let now = self.device.read_slot(slot)?;
-                let delta = now.wrapping_sub(self.slot_baseline[slot]);
+                // Counters are 48 bits wide: a mid-interval wrap makes
+                // `now < baseline`, and the delta must be taken modulo
+                // 2⁴⁸ (a plain u64 subtraction would inflate it by
+                // 2⁶⁴ − 2⁴⁸).
+                let delta = now.wrapping_sub(self.slot_baseline[slot]) & COUNTER_MASK;
                 self.slot_baseline[slot] = now;
                 self.accumulated[event.index()] += delta;
                 self.active_time[event.index()] += dt.as_secs();
@@ -215,7 +257,9 @@ impl Pmu {
     /// last drain.
     pub fn drain_interval(&mut self) -> Result<EventCounts> {
         if self.total_time <= 0.0 {
-            return Err(Error::Device("drain_interval called with no elapsed time".into()));
+            return Err(Error::Device(
+                "drain_interval called with no elapsed time".into(),
+            ));
         }
         let mut out = EventCounts::zero();
         for event in ALL_EVENTS {
@@ -311,7 +355,11 @@ mod tests {
         assert!(!pmu.is_multiplexing());
         let dt = Seconds::new(0.020);
         for i in 0..10 {
-            let c = if i % 2 == 0 { steady_counts(2000.0) } else { steady_counts(0.0) };
+            let c = if i % 2 == 0 {
+                steady_counts(2000.0)
+            } else {
+                steady_counts(0.0)
+            };
             pmu.tick(&c, dt).unwrap();
         }
         let est = pmu.drain_interval().unwrap();
@@ -345,6 +393,66 @@ mod tests {
         let mut neg = steady_counts(1.0);
         neg.set(EventId::RetiredUops, -5.0);
         assert!(pmu.tick(&neg, Seconds::new(0.02)).is_err());
+    }
+
+    #[test]
+    fn counter_wrap_mid_interval_extrapolates_correctly() {
+        // Preload every counter 300 events below the 48-bit wrap
+        // point: the first sub-ticks wrap the counters, and the
+        // masked delta logic must still reconstruct the steady rate.
+        let mut pmu = Pmu::new();
+        pmu.preload_counters(COUNTER_MASK - 300);
+        let dt = Seconds::new(0.020);
+        let counts = steady_counts(1000.0);
+        for _ in 0..10 {
+            pmu.tick(&counts, dt).unwrap();
+        }
+        let est = pmu.drain_interval().unwrap();
+        for e in ALL_EVENTS {
+            assert!(
+                (est.get(e) - 10_000.0).abs() < 1e-9,
+                "{e} must survive the 48-bit wrap: {}",
+                est.get(e)
+            );
+        }
+    }
+
+    #[test]
+    fn counter_wrap_on_ideal_pmu_is_a_no_op() {
+        // The ideal PMU bypasses the MSR path entirely; preloading
+        // must not disturb it.
+        let mut pmu = Pmu::new_ideal();
+        pmu.preload_counters(COUNTER_MASK - 5);
+        let dt = Seconds::new(0.020);
+        for _ in 0..10 {
+            pmu.tick(&steady_counts(1000.0), dt).unwrap();
+        }
+        let est = pmu.drain_interval().unwrap();
+        assert!((est.get(EventId::RetiredUops) - 10_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn injected_read_failure_surfaces_and_reset_recovers() {
+        let mut pmu = Pmu::new();
+        let dt = Seconds::new(0.020);
+        pmu.tick(&steady_counts(1000.0), dt).unwrap();
+        pmu.msr_mut().inject_read_failures(1);
+        let err = pmu.tick(&steady_counts(1000.0), dt).unwrap_err();
+        assert!(matches!(err, Error::MsrReadFailed { .. }));
+        assert!(err.is_transient());
+        // The partial interval is poisoned; reset and run a clean one.
+        pmu.reset_interval();
+        for _ in 0..10 {
+            pmu.tick(&steady_counts(500.0), dt).unwrap();
+        }
+        let est = pmu.drain_interval().unwrap();
+        for e in ALL_EVENTS {
+            assert!(
+                (est.get(e) - 5_000.0).abs() < 1e-9,
+                "{e} after recovery: {}",
+                est.get(e)
+            );
+        }
     }
 
     #[test]

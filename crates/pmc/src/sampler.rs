@@ -53,7 +53,11 @@ pub struct IntervalSampler {
 impl IntervalSampler {
     /// A sampler matching the paper's 10 × 20 ms = 200 ms schedule.
     pub fn new(pmu: Pmu) -> Self {
-        Self::with_schedule(pmu, SAMPLES_PER_INTERVAL, ppep_types::time::POWER_SAMPLE_PERIOD)
+        Self::with_schedule(
+            pmu,
+            SAMPLES_PER_INTERVAL,
+            ppep_types::time::POWER_SAMPLE_PERIOD,
+        )
     }
 
     /// A sampler with a custom schedule (`ticks_per_interval` sub-ticks
@@ -64,14 +68,44 @@ impl IntervalSampler {
     /// Panics when `ticks_per_interval` is zero or the period is not
     /// positive.
     pub fn with_schedule(pmu: Pmu, ticks_per_interval: usize, tick_period: Seconds) -> Self {
-        assert!(ticks_per_interval > 0, "need at least one tick per interval");
+        assert!(
+            ticks_per_interval > 0,
+            "need at least one tick per interval"
+        );
         assert!(tick_period.as_secs() > 0.0, "tick period must be positive");
-        Self { pmu, ticks_in_interval: ticks_per_interval, ticks_seen: 0, tick_period }
+        Self {
+            pmu,
+            ticks_in_interval: ticks_per_interval,
+            ticks_seen: 0,
+            tick_period,
+        }
     }
 
     /// The wrapped PMU.
     pub fn pmu(&self) -> &Pmu {
         &self.pmu
+    }
+
+    /// Mutable access to the wrapped PMU (fault injection, preloads).
+    pub fn pmu_mut(&mut self) -> &mut Pmu {
+        &mut self.pmu
+    }
+
+    /// Sub-ticks accumulated towards the current interval.
+    pub fn ticks_seen(&self) -> usize {
+        self.ticks_seen
+    }
+
+    /// Abandons the current partial interval: discards accumulated
+    /// sub-ticks and re-syncs the PMU baselines. The next [`tick`]
+    /// starts a fresh interval. Supervisors call this after a
+    /// mid-interval fault so a corrupted partial sample can never leak
+    /// into the next interval's extrapolation.
+    ///
+    /// [`tick`]: IntervalSampler::tick
+    pub fn reset(&mut self) {
+        self.ticks_seen = 0;
+        self.pmu.reset_interval();
     }
 
     /// Feeds one sub-tick of true counts. Returns a completed interval
@@ -111,9 +145,15 @@ mod tests {
         let mut s = IntervalSampler::new(Pmu::new_ideal());
         let c = steady(1000.0);
         for i in 0..9 {
-            assert!(s.tick(&c).unwrap().is_none(), "tick {i} should not complete");
+            assert!(
+                s.tick(&c).unwrap().is_none(),
+                "tick {i} should not complete"
+            );
         }
-        let sample = s.tick(&c).unwrap().expect("tenth tick completes the interval");
+        let sample = s
+            .tick(&c)
+            .unwrap()
+            .expect("tenth tick completes the interval");
         assert!((sample.duration.as_secs() - 0.2).abs() < 1e-12);
         assert!((sample.counts.get(EventId::RetiredUops) - 10_000.0).abs() < 1e-9);
         // Next interval starts fresh.
@@ -126,7 +166,10 @@ mod tests {
         counts.set(EventId::CpuClocksNotHalted, 70_000.0);
         counts.set(EventId::RetiredInstructions, 50_000.0);
         counts.set(EventId::MabWaitCycles, 20_000.0);
-        let sample = IntervalSample { counts, duration: Seconds::new(0.2) };
+        let sample = IntervalSample {
+            counts,
+            duration: Seconds::new(0.2),
+        };
         assert!((sample.cpi().unwrap() - 1.4).abs() < 1e-12);
         assert!((sample.mcpi().unwrap() - 0.4).abs() < 1e-12);
         assert!((sample.ips() - 250_000.0).abs() < 1e-9);
@@ -148,5 +191,43 @@ mod tests {
     #[should_panic(expected = "at least one tick")]
     fn zero_tick_schedule_rejected() {
         let _ = IntervalSampler::with_schedule(Pmu::new(), 0, Seconds::new(0.02));
+    }
+
+    #[test]
+    fn reset_discards_partial_interval() {
+        let mut s = IntervalSampler::new(Pmu::new());
+        let c = steady(1000.0);
+        for _ in 0..7 {
+            assert!(s.tick(&c).unwrap().is_none());
+        }
+        assert_eq!(s.ticks_seen(), 7);
+        s.reset();
+        assert_eq!(s.ticks_seen(), 0);
+        // A fresh, clean interval: the 7 discarded ticks contribute
+        // nothing to the next sample.
+        let c2 = steady(200.0);
+        for i in 0..9 {
+            assert!(s.tick(&c2).unwrap().is_none(), "tick {i}");
+        }
+        let sample = s.tick(&c2).unwrap().expect("interval completes");
+        assert!((sample.counts.get(EventId::RetiredUops) - 2_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reset_recovers_from_injected_msr_failure() {
+        let mut s = IntervalSampler::new(Pmu::new());
+        let c = steady(1000.0);
+        for _ in 0..3 {
+            s.tick(&c).unwrap();
+        }
+        s.pmu_mut().msr_mut().inject_read_failures(1);
+        let err = s.tick(&c).unwrap_err();
+        assert!(err.is_transient(), "MSR read failure is transient: {err}");
+        s.reset();
+        for _ in 0..9 {
+            assert!(s.tick(&c).unwrap().is_none());
+        }
+        let sample = s.tick(&c).unwrap().expect("recovered interval");
+        assert!((sample.counts.get(EventId::RetiredUops) - 10_000.0).abs() < 1e-9);
     }
 }

@@ -53,7 +53,9 @@ impl LinearRegression {
         lambda: f64,
     ) -> Result<Self> {
         if lambda < 0.0 || !lambda.is_finite() {
-            return Err(Error::InvalidInput("ridge lambda must be finite and >= 0".into()));
+            return Err(Error::InvalidInput(
+                "ridge lambda must be finite and >= 0".into(),
+            ));
         }
         let design = Self::design_matrix(xs, ys, with_intercept)?;
         let mut gram = design.gram();
@@ -87,7 +89,9 @@ impl LinearRegression {
         lambda: f64,
     ) -> Result<Self> {
         if xs.is_empty() {
-            return Err(Error::InvalidInput("regression needs at least one sample".into()));
+            return Err(Error::InvalidInput(
+                "regression needs at least one sample".into(),
+            ));
         }
         let width = xs[0].len();
         let mut active: Vec<bool> = vec![true; width];
@@ -146,7 +150,9 @@ impl LinearRegression {
 
     fn design_matrix(xs: &[Vec<f64>], ys: &[f64], with_intercept: bool) -> Result<Matrix> {
         if xs.is_empty() {
-            return Err(Error::InvalidInput("regression needs at least one sample".into()));
+            return Err(Error::InvalidInput(
+                "regression needs at least one sample".into(),
+            ));
         }
         if xs.len() != ys.len() {
             return Err(Error::InvalidInput(format!(
@@ -168,7 +174,9 @@ impl LinearRegression {
                 )));
             }
             if row.iter().any(|v| !v.is_finite()) || !ys[i].is_finite() {
-                return Err(Error::InvalidInput(format!("non-finite value in sample {i}")));
+                return Err(Error::InvalidInput(format!(
+                    "non-finite value in sample {i}"
+                )));
             }
             let mut r = row.clone();
             if with_intercept {
@@ -185,13 +193,21 @@ impl LinearRegression {
         } else {
             0.0
         };
-        Self { coefficients: solution, intercept, has_intercept: with_intercept }
+        Self {
+            coefficients: solution,
+            intercept,
+            has_intercept: with_intercept,
+        }
     }
 
     /// Builds a model directly from known weights (used when loading
     /// pre-trained coefficients).
     pub fn from_parts(coefficients: Vec<f64>, intercept: f64) -> Self {
-        Self { coefficients, intercept, has_intercept: true }
+        Self {
+            coefficients,
+            intercept,
+            has_intercept: true,
+        }
     }
 
     /// The fitted slope coefficients.

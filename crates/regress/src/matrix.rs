@@ -35,7 +35,11 @@ impl Matrix {
     /// Panics if either dimension is zero.
     pub fn zeros(rows: usize, cols: usize) -> Self {
         assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates the `n × n` identity matrix.
@@ -59,7 +63,9 @@ impl Matrix {
         }
         let ncols = rows[0].len();
         if ncols == 0 {
-            return Err(Error::InvalidInput("matrix needs at least one column".into()));
+            return Err(Error::InvalidInput(
+                "matrix needs at least one column".into(),
+            ));
         }
         let mut data = Vec::with_capacity(nrows * ncols);
         for (i, r) in rows.iter().enumerate() {
@@ -71,7 +77,11 @@ impl Matrix {
             }
             data.extend_from_slice(r);
         }
-        Ok(Self { rows: nrows, cols: ncols, data })
+        Ok(Self {
+            rows: nrows,
+            cols: ncols,
+            data,
+        })
     }
 
     /// Builds a column vector from a slice.
@@ -81,9 +91,15 @@ impl Matrix {
     /// Returns [`Error::InvalidInput`] when `values` is empty.
     pub fn column(values: &[f64]) -> Result<Self> {
         if values.is_empty() {
-            return Err(Error::InvalidInput("column vector must be non-empty".into()));
+            return Err(Error::InvalidInput(
+                "column vector must be non-empty".into(),
+            ));
         }
-        Ok(Self { rows: values.len(), cols: 1, data: values.to_vec() })
+        Ok(Self {
+            rows: values.len(),
+            cols: 1,
+            data: values.to_vec(),
+        })
     }
 
     /// Number of rows.
@@ -232,7 +248,11 @@ impl IndexMut<(usize, usize)> for Matrix {
 impl Add for &Matrix {
     type Output = Matrix;
     fn add(self, rhs: &Matrix) -> Matrix {
-        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "shape mismatch in add");
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "shape mismatch in add"
+        );
         let mut out = self.clone();
         for (a, b) in out.data.iter_mut().zip(&rhs.data) {
             *a += b;
@@ -244,7 +264,11 @@ impl Add for &Matrix {
 impl Sub for &Matrix {
     type Output = Matrix;
     fn sub(self, rhs: &Matrix) -> Matrix {
-        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "shape mismatch in sub");
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "shape mismatch in sub"
+        );
         let mut out = self.clone();
         for (a, b) in out.data.iter_mut().zip(&rhs.data) {
             *a -= b;

@@ -24,10 +24,14 @@ impl Polynomial {
     /// contains non-finite values.
     pub fn new(coefficients: Vec<f64>) -> Result<Self> {
         if coefficients.is_empty() {
-            return Err(Error::InvalidInput("polynomial needs >= 1 coefficient".into()));
+            return Err(Error::InvalidInput(
+                "polynomial needs >= 1 coefficient".into(),
+            ));
         }
         if coefficients.iter().any(|c| !c.is_finite()) {
-            return Err(Error::InvalidInput("polynomial coefficients must be finite".into()));
+            return Err(Error::InvalidInput(
+                "polynomial coefficients must be finite".into(),
+            ));
         }
         Ok(Self { coefficients })
     }
@@ -111,7 +115,9 @@ impl Polynomial {
     #[must_use]
     pub fn derivative(&self) -> Polynomial {
         if self.coefficients.len() == 1 {
-            return Polynomial { coefficients: vec![0.0] };
+            return Polynomial {
+                coefficients: vec![0.0],
+            };
         }
         let coefficients = self
             .coefficients

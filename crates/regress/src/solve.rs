@@ -30,7 +30,9 @@ use ppep_types::{Error, Result};
 pub fn solve_gaussian(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
     let n = a.rows();
     if a.cols() != n {
-        return Err(Error::Numerical("gaussian solve needs a square matrix".into()));
+        return Err(Error::Numerical(
+            "gaussian solve needs a square matrix".into(),
+        ));
     }
     if b.len() != n {
         return Err(Error::Numerical(format!(
@@ -302,12 +304,7 @@ mod tests {
 
     #[test]
     fn qr_recovers_exact_solution_when_consistent() {
-        let a = Matrix::from_rows(&[
-            vec![1.0, 0.0],
-            vec![0.0, 1.0],
-            vec![1.0, 1.0],
-        ])
-        .unwrap();
+        let a = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0], vec![1.0, 1.0]]).unwrap();
         // b generated by x = (2, -1): [2, -1, 1].
         let x = least_squares_qr(&a, &[2.0, -1.0, 1.0]).unwrap();
         assert!((x[0] - 2.0).abs() < 1e-10);
@@ -348,12 +345,7 @@ mod tests {
     fn qr_rejects_underdetermined_and_rank_deficient() {
         let wide = Matrix::from_rows(&[vec![1.0, 2.0, 3.0]]).unwrap();
         assert!(least_squares_qr(&wide, &[1.0]).is_err());
-        let dup = Matrix::from_rows(&[
-            vec![1.0, 1.0],
-            vec![2.0, 2.0],
-            vec![3.0, 3.0],
-        ])
-        .unwrap();
+        let dup = Matrix::from_rows(&[vec![1.0, 1.0], vec![2.0, 2.0], vec![3.0, 3.0]]).unwrap();
         assert!(least_squares_qr(&dup, &[1.0, 2.0, 3.0]).is_err());
     }
 }

@@ -32,10 +32,14 @@ pub fn std_dev(values: &[f64]) -> f64 {
 /// input is non-finite, since a relative error is then undefined.
 pub fn relative_abs_error(predicted: f64, measured: f64) -> Result<f64> {
     if !predicted.is_finite() || !measured.is_finite() {
-        return Err(Error::InvalidInput("non-finite value in relative error".into()));
+        return Err(Error::InvalidInput(
+            "non-finite value in relative error".into(),
+        ));
     }
     if measured == 0.0 {
-        return Err(Error::InvalidInput("relative error undefined for zero reference".into()));
+        return Err(Error::InvalidInput(
+            "relative error undefined for zero reference".into(),
+        ));
     }
     Ok((predicted - measured).abs() / measured.abs())
 }
@@ -56,7 +60,9 @@ pub fn average_absolute_error(predicted: &[f64], measured: &[f64]) -> Result<f64
         )));
     }
     if predicted.is_empty() {
-        return Err(Error::InvalidInput("AAE over zero samples is undefined".into()));
+        return Err(Error::InvalidInput(
+            "AAE over zero samples is undefined".into(),
+        ));
     }
     let mut total = 0.0;
     for (&p, &m) in predicted.iter().zip(measured) {
@@ -71,7 +77,10 @@ pub fn average_absolute_error(predicted: &[f64], measured: &[f64]) -> Result<f64
 ///
 /// Panics when `p` is outside `[0, 100]`.
 pub fn percentile(values: &[f64], p: f64) -> f64 {
-    assert!((0.0..=100.0).contains(&p), "percentile must be within [0, 100]");
+    assert!(
+        (0.0..=100.0).contains(&p),
+        "percentile must be within [0, 100]"
+    );
     if values.is_empty() {
         return f64::NAN;
     }
@@ -115,7 +124,9 @@ impl Summary {
             return Err(Error::InvalidInput("cannot summarise zero values".into()));
         }
         if values.iter().any(|v| !v.is_finite()) {
-            return Err(Error::InvalidInput("summary input contains non-finite values".into()));
+            return Err(Error::InvalidInput(
+                "summary input contains non-finite values".into(),
+            ));
         }
         Ok(Self {
             count: values.len(),

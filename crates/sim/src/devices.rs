@@ -82,11 +82,7 @@ impl MsrBus {
     /// # Errors
     ///
     /// Returns [`Error::UnknownCore`] for out-of-range cores.
-    pub fn dump_pmc_block(
-        self,
-        sim: &ChipSimulator,
-        core: CoreId,
-    ) -> Result<Vec<(u32, u64, u64)>> {
+    pub fn dump_pmc_block(self, sim: &ChipSimulator, core: CoreId) -> Result<Vec<(u32, u64, u64)>> {
         use ppep_pmc::msr::{PERF_CTL_BASE, SLOT_COUNT};
         let mut out = Vec::with_capacity(SLOT_COUNT);
         for slot in 0..SLOT_COUNT as u32 {

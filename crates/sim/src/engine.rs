@@ -57,7 +57,11 @@ pub fn plan_subtick(fp: &PhaseFingerprint, ctx: &ExecutionContext, dt: Seconds) 
         ctx.nb_latency_factor,
     );
     let cycles = ctx.vf.frequency.cycles_in(dt);
-    TickPlan { cpi, instructions: cycles / cpi, cycles }
+    TickPlan {
+        cpi,
+        instructions: cycles / cpi,
+        cycles,
+    }
 }
 
 /// Computes the event counts produced by retiring `instructions`
@@ -81,8 +85,7 @@ pub fn event_counts(
         }
     };
     let mcpi = fp.memory_cpi(ctx.vf.frequency, ctx.contention, ctx.nb_latency_factor);
-    let stall_cpi =
-        fp.dispatch_stall_cpi(ctx.vf.frequency, ctx.contention, ctx.nb_latency_factor);
+    let stall_cpi = fp.dispatch_stall_cpi(ctx.vf.frequency, ctx.contention, ctx.nb_latency_factor);
     let total_cpi = fp.total_cpi(
         ctx.vf.frequency,
         ctx.issue_width,
@@ -92,14 +95,38 @@ pub fn event_counts(
     );
 
     let mut c = EventCounts::zero();
-    c.set(EventId::RetiredUops, jitter(fp.uops_per_inst * instructions));
-    c.set(EventId::FpuPipeAssignment, jitter(fp.fpu_per_inst * instructions));
-    c.set(EventId::InstructionCacheFetches, jitter(fp.icache_per_inst * instructions));
-    c.set(EventId::DataCacheAccesses, jitter(fp.dcache_per_inst * instructions));
-    c.set(EventId::RequestsToL2, jitter(fp.l2req_per_inst * instructions));
-    c.set(EventId::RetiredBranches, jitter(fp.branches_per_inst * instructions));
-    c.set(EventId::RetiredMispredictedBranches, jitter(fp.mispred_per_inst * instructions));
-    c.set(EventId::L2CacheMisses, jitter(fp.l2miss_per_inst * instructions));
+    c.set(
+        EventId::RetiredUops,
+        jitter(fp.uops_per_inst * instructions),
+    );
+    c.set(
+        EventId::FpuPipeAssignment,
+        jitter(fp.fpu_per_inst * instructions),
+    );
+    c.set(
+        EventId::InstructionCacheFetches,
+        jitter(fp.icache_per_inst * instructions),
+    );
+    c.set(
+        EventId::DataCacheAccesses,
+        jitter(fp.dcache_per_inst * instructions),
+    );
+    c.set(
+        EventId::RequestsToL2,
+        jitter(fp.l2req_per_inst * instructions),
+    );
+    c.set(
+        EventId::RetiredBranches,
+        jitter(fp.branches_per_inst * instructions),
+    );
+    c.set(
+        EventId::RetiredMispredictedBranches,
+        jitter(fp.mispred_per_inst * instructions),
+    );
+    c.set(
+        EventId::L2CacheMisses,
+        jitter(fp.l2miss_per_inst * instructions),
+    );
     c.set(EventId::DispatchStalls, jitter(stall_cpi * instructions));
     // The performance events are exact: clocks and retired counts are
     // architectural, not sampled estimates.
@@ -137,24 +164,39 @@ mod tests {
     fn lower_frequency_retires_fewer_instructions_but_better_cpi() {
         // Memory-bound work: CPI improves at low frequency (fewer
         // cycles wasted waiting), though wall-clock throughput drops.
-        let fp = PhaseFingerprint { mcpi_ref: 1.5, ..Default::default() };
+        let fp = PhaseFingerprint {
+            mcpi_ref: 1.5,
+            ..Default::default()
+        };
         let fast = plan_subtick(&fp, &ctx(3.5), Seconds::new(0.02));
         let slow = plan_subtick(&fp, &ctx(1.4), Seconds::new(0.02));
         assert!(slow.cpi < fast.cpi, "memory-bound CPI improves at low f");
         assert!(slow.instructions < fast.instructions);
         // But not proportionally to frequency: memory time is constant.
         let throughput_ratio = fast.instructions / slow.instructions;
-        assert!(throughput_ratio < 3.5 / 1.4, "memory-bound speedup is sub-linear");
+        assert!(
+            throughput_ratio < 3.5 / 1.4,
+            "memory-bound speedup is sub-linear"
+        );
     }
 
     #[test]
     fn cpu_bound_throughput_scales_linearly() {
-        let fp = PhaseFingerprint { mcpi_ref: 0.0, ..Default::default() };
+        let fp = PhaseFingerprint {
+            mcpi_ref: 0.0,
+            ..Default::default()
+        };
         let fast = plan_subtick(&fp, &ctx(3.5), Seconds::new(0.02));
         let slow = plan_subtick(&fp, &ctx(1.4), Seconds::new(0.02));
         let ratio = fast.instructions / slow.instructions;
-        assert!((ratio - 2.5).abs() < 1e-9, "CPU-bound scales with frequency");
-        assert!((fast.cpi - slow.cpi).abs() < 1e-12, "CPU-bound CPI is VF-invariant");
+        assert!(
+            (ratio - 2.5).abs() < 1e-9,
+            "CPU-bound scales with frequency"
+        );
+        assert!(
+            (fast.cpi - slow.cpi).abs() < 1e-12,
+            "CPU-bound CPI is VF-invariant"
+        );
     }
 
     #[test]
@@ -162,7 +204,10 @@ mod tests {
         // unhalted = retiring + stalls(core+mem overlap tweak) + discarded:
         // with the engine's construction, E10 = CPI·inst and
         // E9 + retire + discarded + unoverlapped mem = E10.
-        let fp = PhaseFingerprint { mcpi_ref: 0.8, ..Default::default() };
+        let fp = PhaseFingerprint {
+            mcpi_ref: 0.8,
+            ..Default::default()
+        };
         let c = ctx(2.3);
         let mut rng = StdRng::seed_from_u64(1);
         let counts = event_counts(&fp, &c, 1.0e6, 0.0, &mut rng);
@@ -183,7 +228,10 @@ mod tests {
     #[test]
     fn observation_1_holds_exactly_without_jitter() {
         // Per-instruction E1-E8 independent of VF state.
-        let fp = PhaseFingerprint { mcpi_ref: 1.0, ..Default::default() };
+        let fp = PhaseFingerprint {
+            mcpi_ref: 1.0,
+            ..Default::default()
+        };
         let mut rng = StdRng::seed_from_u64(2);
         let hi = event_counts(&fp, &ctx(3.5), 1e6, 0.0, &mut rng);
         let lo = event_counts(&fp, &ctx(1.7), 2e6, 0.0, &mut rng);
@@ -208,7 +256,10 @@ mod tests {
 
     #[test]
     fn observation_2_gap_nearly_invariant() {
-        let fp = PhaseFingerprint { mcpi_ref: 1.2, ..Default::default() };
+        let fp = PhaseFingerprint {
+            mcpi_ref: 1.2,
+            ..Default::default()
+        };
         let mut rng = StdRng::seed_from_u64(3);
         let mut gap = |f: f64| {
             let counts = event_counts(&fp, &ctx(f), 1e6, 0.0, &mut rng);
@@ -235,7 +286,10 @@ mod tests {
             noisy.get(EventId::CpuClocksNotHalted)
         );
         // Activity counts jitter.
-        assert_ne!(exact.get(EventId::RetiredUops), noisy.get(EventId::RetiredUops));
+        assert_ne!(
+            exact.get(EventId::RetiredUops),
+            noisy.get(EventId::RetiredUops)
+        );
         let rel = (noisy.get(EventId::RetiredUops) - exact.get(EventId::RetiredUops)).abs()
             / exact.get(EventId::RetiredUops);
         assert!(rel < 0.05);
@@ -243,7 +297,10 @@ mod tests {
 
     #[test]
     fn contention_slows_memory_bound_work() {
-        let fp = PhaseFingerprint { mcpi_ref: 1.5, ..Default::default() };
+        let fp = PhaseFingerprint {
+            mcpi_ref: 1.5,
+            ..Default::default()
+        };
         let mut free = ctx(3.5);
         free.contention = 1.0;
         let mut jam = ctx(3.5);

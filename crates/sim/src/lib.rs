@@ -43,6 +43,7 @@
 pub mod chip;
 pub mod devices;
 pub mod engine;
+pub mod fault;
 pub mod nb;
 pub mod physics;
 pub mod sensor;

@@ -85,15 +85,42 @@ impl PowerPhysics {
     pub fn fx8320() -> Self {
         Self {
             event_energy: [
-                EventEnergy { nanojoules: 2.30, beta: 2.00 }, // E1 retired µops
-                EventEnergy { nanojoules: 2.60, beta: 2.30 }, // E2 FPU ops
-                EventEnergy { nanojoules: 0.75, beta: 1.80 }, // E3 I-cache fetches
-                EventEnergy { nanojoules: 1.60, beta: 2.00 }, // E4 D-cache accesses
-                EventEnergy { nanojoules: 3.30, beta: 2.20 }, // E5 L2 requests
-                EventEnergy { nanojoules: 0.50, beta: 1.95 }, // E6 branches
-                EventEnergy { nanojoules: 12.0, beta: 2.15 }, // E7 mispredicts
-                EventEnergy { nanojoules: 8.00, beta: 2.00 }, // E8 L2 misses (core side)
-                EventEnergy { nanojoules: 0.12, beta: 2.00 }, // E9 stall cycles (clock/idle logic)
+                EventEnergy {
+                    nanojoules: 2.30,
+                    beta: 2.00,
+                }, // E1 retired µops
+                EventEnergy {
+                    nanojoules: 2.60,
+                    beta: 2.30,
+                }, // E2 FPU ops
+                EventEnergy {
+                    nanojoules: 0.75,
+                    beta: 1.80,
+                }, // E3 I-cache fetches
+                EventEnergy {
+                    nanojoules: 1.60,
+                    beta: 2.00,
+                }, // E4 D-cache accesses
+                EventEnergy {
+                    nanojoules: 3.30,
+                    beta: 2.20,
+                }, // E5 L2 requests
+                EventEnergy {
+                    nanojoules: 0.50,
+                    beta: 1.95,
+                }, // E6 branches
+                EventEnergy {
+                    nanojoules: 12.0,
+                    beta: 2.15,
+                }, // E7 mispredicts
+                EventEnergy {
+                    nanojoules: 8.00,
+                    beta: 2.00,
+                }, // E8 L2 misses (core side)
+                EventEnergy {
+                    nanojoules: 0.12,
+                    beta: 2.00,
+                }, // E9 stall cycles (clock/idle logic)
             ],
             nb_miss_nanojoules: 260.0,
             cu_leak_ref: 3.6,
@@ -116,15 +143,42 @@ impl PowerPhysics {
     pub fn phenom_ii_x6() -> Self {
         Self {
             event_energy: [
-                EventEnergy { nanojoules: 1.30, beta: 2.00 },
-                EventEnergy { nanojoules: 2.10, beta: 2.10 },
-                EventEnergy { nanojoules: 0.70, beta: 1.90 },
-                EventEnergy { nanojoules: 1.05, beta: 2.00 },
-                EventEnergy { nanojoules: 3.00, beta: 2.05 },
-                EventEnergy { nanojoules: 0.45, beta: 1.95 },
-                EventEnergy { nanojoules: 11.0, beta: 2.05 },
-                EventEnergy { nanojoules: 7.00, beta: 2.00 },
-                EventEnergy { nanojoules: 0.10, beta: 2.00 },
+                EventEnergy {
+                    nanojoules: 1.30,
+                    beta: 2.00,
+                },
+                EventEnergy {
+                    nanojoules: 2.10,
+                    beta: 2.10,
+                },
+                EventEnergy {
+                    nanojoules: 0.70,
+                    beta: 1.90,
+                },
+                EventEnergy {
+                    nanojoules: 1.05,
+                    beta: 2.00,
+                },
+                EventEnergy {
+                    nanojoules: 3.00,
+                    beta: 2.05,
+                },
+                EventEnergy {
+                    nanojoules: 0.45,
+                    beta: 1.95,
+                },
+                EventEnergy {
+                    nanojoules: 11.0,
+                    beta: 2.05,
+                },
+                EventEnergy {
+                    nanojoules: 7.00,
+                    beta: 2.00,
+                },
+                EventEnergy {
+                    nanojoules: 0.10,
+                    beta: 2.00,
+                },
             ],
             nb_miss_nanojoules: 260.0,
             cu_leak_ref: 3.2, // per single-core "CU"
@@ -179,13 +233,7 @@ impl PowerPhysics {
     ///
     /// Counts are the nine E1–E9 totals for the period; the result is
     /// average power over the period.
-    pub fn core_dynamic(
-        &self,
-        counts: &EventCounts,
-        v: Volts,
-        t: Kelvin,
-        dt: Seconds,
-    ) -> Watts {
+    pub fn core_dynamic(&self, counts: &EventCounts, v: Volts, t: Kelvin, dt: Seconds) -> Watts {
         let vector = counts.power_model_vector();
         let mut joules = 0.0;
         for (energy, count) in self.event_energy.iter().zip(vector) {
@@ -348,8 +396,9 @@ mod tests {
         let t = Kelvin::new(315.0);
         let table = VfTable::phenom_ii_x6();
         let top = table.point(table.highest());
-        let idle =
-            6.0 * p.cu_idle(top, t).as_watts() + p.nb_idle(NbVfState::High, t).as_watts() + p.base_power;
+        let idle = 6.0 * p.cu_idle(top, t).as_watts()
+            + p.nb_idle(NbVfState::High, t).as_watts()
+            + p.base_power;
         assert!((25.0..=60.0).contains(&idle), "Phenom idle = {idle} W");
     }
 }

@@ -35,12 +35,22 @@ pub struct PowerSensor {
 impl PowerSensor {
     /// The ACS711-like defaults used throughout the reproduction.
     pub fn new(seed: u64) -> Self {
-        Self { rng: StdRng::seed_from_u64(seed), gain_sigma: 0.018, noise_floor: 0.5, quantum: 0.1 }
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+            gain_sigma: 0.018,
+            noise_floor: 0.5,
+            quantum: 0.1,
+        }
     }
 
     /// A perfectly accurate sensor, for ablation experiments.
     pub fn ideal(seed: u64) -> Self {
-        Self { rng: StdRng::seed_from_u64(seed), gain_sigma: 0.0, noise_floor: 0.0, quantum: 0.0 }
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+            gain_sigma: 0.0,
+            noise_floor: 0.0,
+            quantum: 0.0,
+        }
     }
 
     /// One 20 ms reading of the true power.
@@ -133,8 +143,9 @@ mod tests {
             vals.iter().map(|v| (v - m).powi(2)).sum::<f64>() / vals.len() as f64
         };
         let singles: Vec<f64> = (0..n).map(|_| single.sample(truth).as_watts()).collect();
-        let averages: Vec<f64> =
-            (0..n).map(|_| averaged.sample_average(truth, 10).as_watts()).collect();
+        let averages: Vec<f64> = (0..n)
+            .map(|_| averaged.sample_average(truth, 10).as_watts())
+            .collect();
         assert!(
             var(&averages) < var(&singles) / 5.0,
             "10-sample averaging must shrink variance ~10x"

@@ -49,8 +49,16 @@ impl ThermalModel {
     ///
     /// Panics for non-positive resistance or capacitance.
     pub fn new(r_th: f64, c_th: f64, ambient: Kelvin) -> Self {
-        assert!(r_th > 0.0 && c_th > 0.0, "thermal constants must be positive");
-        Self { r_th, c_th, ambient, temperature: ambient }
+        assert!(
+            r_th > 0.0 && c_th > 0.0,
+            "thermal constants must be positive"
+        );
+        Self {
+            r_th,
+            c_th,
+            ambient,
+            temperature: ambient,
+        }
     }
 
     /// Current node temperature.

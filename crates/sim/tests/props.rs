@@ -5,8 +5,7 @@ use ppep_sim::chip::{ChipSimulator, SimConfig};
 use ppep_workloads::combos::instances;
 use proptest::prelude::*;
 
-const BENCH_POOL: [&str; 6] =
-    ["458.sjeng", "433.milc", "403.gcc", "canneal", "EP", "CG"];
+const BENCH_POOL: [&str; 6] = ["458.sjeng", "433.milc", "403.gcc", "canneal", "EP", "CG"];
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]

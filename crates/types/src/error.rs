@@ -44,6 +44,38 @@ pub enum Error {
     Device(String),
     /// A workload or experiment configuration is inconsistent.
     InvalidConfig(String),
+    /// A sensor produced no reading this interval (dropout). The
+    /// device is expected to recover on a later sample — transient.
+    SensorDropout {
+        /// Which sensor dropped out (e.g. `"hall-sensor"`).
+        sensor: &'static str,
+    },
+    /// A sensor returned a reading that cannot be trusted: non-finite,
+    /// stuck at a constant, or spiked far outside the physical range.
+    /// The next sample may be fine — transient.
+    SensorImplausible {
+        /// Which sensor misbehaved.
+        sensor: &'static str,
+        /// The offending raw value (may be NaN).
+        value: f64,
+    },
+    /// A virtual-MSR read failed mid-interval, so the PMU sample for
+    /// this interval is lost. Re-programming the slot usually
+    /// recovers it — transient.
+    MsrReadFailed {
+        /// The MSR address that failed.
+        msr: u32,
+    },
+    /// The daemon missed its sampling deadline (scheduling overrun);
+    /// the interval's counters cover an unknown span and must be
+    /// discarded. The next interval is expected on time — transient.
+    MissedInterval {
+        /// How many consecutive intervals were missed.
+        missed: u32,
+    },
+    /// The platform's measurement substrate is gone for good (device
+    /// unbound, firmware wedged) — fatal; no retry can help.
+    DeviceLost(String),
 }
 
 impl fmt::Display for Error {
@@ -65,7 +97,44 @@ impl fmt::Display for Error {
             Error::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
             Error::Device(msg) => write!(f, "device error: {msg}"),
             Error::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            Error::SensorDropout { sensor } => {
+                write!(f, "sensor dropout: {sensor} produced no reading")
+            }
+            Error::SensorImplausible { sensor, value } => {
+                write!(f, "implausible reading from {sensor}: {value}")
+            }
+            Error::MsrReadFailed { msr } => {
+                write!(f, "virtual MSR read failed: {msr:#06x}")
+            }
+            Error::MissedInterval { missed } => {
+                write!(
+                    f,
+                    "missed {missed} sampling interval(s); counters cover an unknown span"
+                )
+            }
+            Error::DeviceLost(msg) => write!(f, "measurement device lost: {msg}"),
         }
+    }
+}
+
+impl Error {
+    /// Whether this failure is expected to clear on its own, so a
+    /// supervisor should retry / hold last-good rather than abort.
+    ///
+    /// Transient: per-interval measurement faults ([`Error::SensorDropout`],
+    /// [`Error::SensorImplausible`], [`Error::MsrReadFailed`],
+    /// [`Error::MissedInterval`]). Everything else — configuration,
+    /// validation, numerical and training failures, and
+    /// [`Error::DeviceLost`] — is fatal: retrying the same operation
+    /// cannot produce a different outcome.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            Error::SensorDropout { .. }
+                | Error::SensorImplausible { .. }
+                | Error::MsrReadFailed { .. }
+                | Error::MissedInterval { .. }
+        )
     }
 }
 
@@ -78,7 +147,10 @@ mod tests {
     #[test]
     fn errors_display_meaningfully() {
         let e = Error::UnknownVfState { index: 7, len: 5 };
-        assert_eq!(e.to_string(), "VF state index 7 out of range for table of 5");
+        assert_eq!(
+            e.to_string(),
+            "VF state index 7 out of range for table of 5"
+        );
         let e = Error::Numerical("singular matrix".into());
         assert!(e.to_string().contains("singular"));
     }
@@ -87,5 +159,97 @@ mod tests {
     fn error_is_send_sync_static() {
         fn assert_bounds<T: Send + Sync + 'static + std::error::Error>() {}
         assert_bounds::<Error>();
+    }
+
+    /// One example of every variant, with its expected classification.
+    /// Grep-check: if a variant is added to `Error` it must be added
+    /// here too (the match below fails to compile otherwise).
+    fn all_variants() -> Vec<(Error, bool)> {
+        vec![
+            (Error::InvalidVfTable("t".into()), false),
+            (Error::UnknownVfState { index: 9, len: 5 }, false),
+            (Error::InvalidTopology("t".into()), false),
+            (Error::UnknownCore { core: 9, count: 8 }, false),
+            (Error::UnknownCu { cu: 9, count: 4 }, false),
+            (Error::Numerical("singular".into()), false),
+            (Error::NotTrained("power model".into()), false),
+            (Error::InvalidInput("NaN".into()), false),
+            (Error::Device("busy".into()), false),
+            (Error::InvalidConfig("bad".into()), false),
+            (
+                Error::SensorDropout {
+                    sensor: "hall-sensor",
+                },
+                true,
+            ),
+            (
+                Error::SensorImplausible {
+                    sensor: "thermal-diode",
+                    value: f64::NAN,
+                },
+                true,
+            ),
+            (Error::MsrReadFailed { msr: 0xC001_0201 }, true),
+            (Error::MissedInterval { missed: 2 }, true),
+            (Error::DeviceLost("unbound".into()), false),
+        ]
+    }
+
+    #[test]
+    fn transient_classification_covers_every_variant() {
+        let examples = all_variants();
+        for (e, expect_transient) in &examples {
+            assert_eq!(e.is_transient(), *expect_transient, "{e} classified wrong");
+            // Exhaustiveness guard: this match must name every
+            // variant — extending `Error` without classifying the new
+            // variant here is a compile error (modulo #[non_exhaustive]
+            // requiring the wildcard arm for downstream crates; this
+            // test lives in-crate so the list stays authoritative).
+            match e {
+                Error::InvalidVfTable(_)
+                | Error::UnknownVfState { .. }
+                | Error::InvalidTopology(_)
+                | Error::UnknownCore { .. }
+                | Error::UnknownCu { .. }
+                | Error::Numerical(_)
+                | Error::NotTrained(_)
+                | Error::InvalidInput(_)
+                | Error::Device(_)
+                | Error::InvalidConfig(_)
+                | Error::DeviceLost(_) => assert!(!e.is_transient()),
+                Error::SensorDropout { .. }
+                | Error::SensorImplausible { .. }
+                | Error::MsrReadFailed { .. }
+                | Error::MissedInterval { .. } => assert!(e.is_transient()),
+            }
+        }
+        assert_eq!(
+            examples.len(),
+            15,
+            "new variants must be added to all_variants()"
+        );
+    }
+
+    #[test]
+    fn fault_variants_display_meaningfully() {
+        assert!(Error::SensorDropout {
+            sensor: "hall-sensor"
+        }
+        .to_string()
+        .contains("hall-sensor"));
+        let e = Error::SensorImplausible {
+            sensor: "thermal-diode",
+            value: f64::NAN,
+        };
+        assert!(e.to_string().contains("NaN"));
+        assert!(Error::MsrReadFailed { msr: 0xC0010201 }
+            .to_string()
+            .contains("0xc0010201"));
+        assert!(Error::MissedInterval { missed: 3 }
+            .to_string()
+            .contains('3'));
+        assert!(Error::DeviceLost("unbound".into())
+            .to_string()
+            .contains("unbound"));
     }
 }

@@ -204,7 +204,10 @@ impl Topology {
         if core.0 < self.core_count() {
             Ok(CuId(core.0 / self.cores_per_cu))
         } else {
-            Err(Error::UnknownCore { core: core.0, count: self.core_count() })
+            Err(Error::UnknownCore {
+                core: core.0,
+                count: self.core_count(),
+            })
         }
     }
 
@@ -219,7 +222,10 @@ impl Topology {
                 .map(|i| CoreId(cu.0 * self.cores_per_cu + i))
                 .collect())
         } else {
-            Err(Error::UnknownCu { cu: cu.0, count: self.cu_count })
+            Err(Error::UnknownCu {
+                cu: cu.0,
+                count: self.cu_count,
+            })
         }
     }
 

@@ -25,7 +25,6 @@ fn pad_unit(f: &mut fmt::Formatter<'_>, rendered: &str) -> fmt::Result {
     }
 }
 
-
 macro_rules! unit {
     ($(#[$meta:meta])* $name:ident, $suffix:expr, $as_fn:ident) => {
         $(#[$meta])*

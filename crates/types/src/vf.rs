@@ -189,7 +189,10 @@ impl VfTable {
         if index < self.points.len() {
             Ok(VfStateId(index))
         } else {
-            Err(Error::UnknownVfState { index, len: self.points.len() })
+            Err(Error::UnknownVfState {
+                index,
+                len: self.points.len(),
+            })
         }
     }
 

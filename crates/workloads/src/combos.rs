@@ -18,35 +18,60 @@ use crate::suites::generate_program;
 
 /// The 29 SPEC CPU2006 single-benchmark runs, in Fig. 6 axis order.
 pub const SPEC_SINGLES: [u32; 29] = [
-    400, 401, 403, 429, 445, 456, 458, 462, 464, 471, 473, 483, 410, 416, 433, 434, 435, 436,
-    437, 444, 447, 450, 453, 454, 459, 465, 470, 481, 482,
+    400, 401, 403, 429, 445, 456, 458, 462, 464, 471, 473, 483, 410, 416, 433, 434, 435, 436, 437,
+    444, 447, 450, 453, 454, 459, 465, 470, 481, 482,
 ];
 
 /// The 15 SPEC double-programmed combinations of Fig. 6.
 pub const SPEC_DOUBLES: [[u32; 2]; 15] = [
-    [400, 401], [403, 429], [445, 456], [458, 462], [464, 471], [473, 483], [410, 416],
-    [433, 434], [435, 436], [437, 444], [447, 450], [453, 454], [459, 465], [470, 481],
+    [400, 401],
+    [403, 429],
+    [445, 456],
+    [458, 462],
+    [464, 471],
+    [473, 483],
+    [410, 416],
+    [433, 434],
+    [435, 436],
+    [437, 444],
+    [447, 450],
+    [453, 454],
+    [459, 465],
+    [470, 481],
     [482, 429],
 ];
 
 /// The 10 SPEC triple-programmed combinations of Fig. 6.
 pub const SPEC_TRIPLES: [[u32; 3]; 10] = [
-    [400, 401, 403], [429, 445, 456], [458, 462, 464], [471, 473, 483], [410, 416, 433],
-    [434, 435, 436], [437, 444, 447], [450, 453, 454], [459, 465, 470], [481, 482, 429],
+    [400, 401, 403],
+    [429, 445, 456],
+    [458, 462, 464],
+    [471, 473, 483],
+    [410, 416, 433],
+    [434, 435, 436],
+    [437, 444, 447],
+    [450, 453, 454],
+    [459, 465, 470],
+    [481, 482, 429],
 ];
 
 /// The 7 SPEC quad-programmed combinations of Fig. 6.
 pub const SPEC_QUADS: [[u32; 4]; 7] = [
-    [400, 401, 403, 429], [445, 456, 458, 462], [464, 471, 473, 483], [410, 416, 433, 434],
-    [435, 436, 437, 444], [447, 450, 453, 454], [459, 465, 470, 481],
+    [400, 401, 403, 429],
+    [445, 456, 458, 462],
+    [464, 471, 473, 483],
+    [410, 416, 433, 434],
+    [435, 436, 437, 444],
+    [447, 450, 453, 454],
+    [459, 465, 470, 481],
 ];
 
 /// Thread counts used for the multi-threaded suites.
 pub const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 
 fn spec_program(number: u32, seed: u64) -> ThreadProgram {
-    let info = spec_by_number(number)
-        .unwrap_or_else(|| panic!("SPEC benchmark {number} not in table"));
+    let info =
+        spec_by_number(number).unwrap_or_else(|| panic!("SPEC benchmark {number} not in table"));
     generate_program(info.name, seed)
 }
 
@@ -97,8 +122,19 @@ pub fn threaded_run(name: &str, threads: usize, seed: u64) -> WorkloadSpec {
 /// The 51 PARSEC multi-threaded runs.
 pub fn parsec_runs(seed: u64) -> Vec<WorkloadSpec> {
     let apps = [
-        "blackscholes", "bodytrack", "canneal", "dedup", "facesim", "ferret", "fluidanimate",
-        "freqmine", "raytrace", "streamcluster", "swaptions", "vips", "x264",
+        "blackscholes",
+        "bodytrack",
+        "canneal",
+        "dedup",
+        "facesim",
+        "ferret",
+        "fluidanimate",
+        "freqmine",
+        "raytrace",
+        "streamcluster",
+        "swaptions",
+        "vips",
+        "x264",
     ];
     let mut out = Vec::with_capacity(51);
     for app in apps {
@@ -149,18 +185,35 @@ pub fn fig7_workload(seed: u64) -> WorkloadSpec {
         generate_program("416.gamess", seed),
         generate_program("swaptions", seed),
     ];
-    WorkloadSpec::new("429.mcf+458.sjeng+416.gamess+swaptions", Suite::Micro, threads)
+    WorkloadSpec::new(
+        "429.mcf+458.sjeng+416.gamess+swaptions",
+        Suite::Micro,
+        threads,
+    )
 }
 
 /// The 52 single-threaded benchmarks used for the CPI-predictor
 /// accuracy study (§III): 29 SPEC + 13 PARSEC + 10 NPB, one thread
 /// each.
 pub fn single_threaded_52(seed: u64) -> Vec<WorkloadSpec> {
-    let mut out: Vec<WorkloadSpec> =
-        SPEC_SINGLES.iter().map(|&n| spec_combo(&[n], seed)).collect();
+    let mut out: Vec<WorkloadSpec> = SPEC_SINGLES
+        .iter()
+        .map(|&n| spec_combo(&[n], seed))
+        .collect();
     let parsec = [
-        "blackscholes", "bodytrack", "canneal", "dedup", "facesim", "ferret", "fluidanimate",
-        "freqmine", "raytrace", "streamcluster", "swaptions", "vips", "x264",
+        "blackscholes",
+        "bodytrack",
+        "canneal",
+        "dedup",
+        "facesim",
+        "ferret",
+        "fluidanimate",
+        "freqmine",
+        "raytrace",
+        "streamcluster",
+        "swaptions",
+        "vips",
+        "x264",
     ];
     for app in parsec {
         out.push(threaded_run(app, 1, seed));
@@ -204,7 +257,12 @@ mod tests {
     #[test]
     fn roster_thread_counts_fit_the_chip() {
         for w in full_roster(42) {
-            assert!(w.thread_count() <= 8, "{} has {} threads", w.name(), w.thread_count());
+            assert!(
+                w.thread_count() <= 8,
+                "{} has {} threads",
+                w.name(),
+                w.thread_count()
+            );
         }
     }
 
@@ -255,12 +313,18 @@ mod tests {
     fn spec_pairings_reference_known_benchmarks() {
         for pair in SPEC_DOUBLES {
             for n in pair {
-                assert!(crate::spec::spec_by_number(n).is_some(), "unknown SPEC number {n}");
+                assert!(
+                    crate::spec::spec_by_number(n).is_some(),
+                    "unknown SPEC number {n}"
+                );
             }
         }
         for quad in SPEC_QUADS {
             for n in quad {
-                assert!(crate::spec::spec_by_number(n).is_some(), "unknown SPEC number {n}");
+                assert!(
+                    crate::spec::spec_by_number(n).is_some(),
+                    "unknown SPEC number {n}"
+                );
             }
         }
     }

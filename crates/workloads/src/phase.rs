@@ -173,12 +173,7 @@ impl PhaseFingerprint {
 
     /// Dispatch-stall cycles per instruction: core stalls plus the
     /// visible fraction of memory-wait cycles.
-    pub fn dispatch_stall_cpi(
-        &self,
-        f: Gigahertz,
-        contention: f64,
-        nb_latency_factor: f64,
-    ) -> f64 {
+    pub fn dispatch_stall_cpi(&self, f: Gigahertz, contention: f64, nb_latency_factor: f64) -> f64 {
         self.core_stall_cpi
             + MEMORY_STALL_OVERLAP * self.memory_cpi(f, contention, nb_latency_factor)
     }
@@ -269,7 +264,10 @@ mod tests {
 
     #[test]
     fn memory_cpi_scales_linearly_with_frequency() {
-        let fp = PhaseFingerprint { mcpi_ref: 1.0, ..Default::default() };
+        let fp = PhaseFingerprint {
+            mcpi_ref: 1.0,
+            ..Default::default()
+        };
         let at_35 = fp.memory_cpi(Gigahertz::new(3.5), 1.0, 1.0);
         let at_14 = fp.memory_cpi(Gigahertz::new(1.4), 1.0, 1.0);
         assert!((at_35 - 1.0).abs() < 1e-12);
@@ -292,7 +290,10 @@ mod tests {
     fn observation_2_gap_is_nearly_invariant() {
         // CPI - DSPI must move only slightly across frequencies
         // (through the non-overlapped memory fraction).
-        let fp = PhaseFingerprint { mcpi_ref: 1.5, ..Default::default() };
+        let fp = PhaseFingerprint {
+            mcpi_ref: 1.5,
+            ..Default::default()
+        };
         let gap = |f: f64| {
             let f = Gigahertz::new(f);
             fp.total_cpi(f, 4.0, 20.0, 1.0, 1.0) - fp.dispatch_stall_cpi(f, 1.0, 1.0)
@@ -316,7 +317,11 @@ mod tests {
     #[test]
     fn lerp_endpoints_and_midpoint() {
         let a = PhaseFingerprint::default();
-        let b = PhaseFingerprint { mcpi_ref: 2.0, core_stall_cpi: 0.6, ..a };
+        let b = PhaseFingerprint {
+            mcpi_ref: 2.0,
+            core_stall_cpi: 0.6,
+            ..a
+        };
         assert_eq!(a.lerp(&b, 0.0), a);
         assert_eq!(a.lerp(&b, 1.0), b);
         let mid = a.lerp(&b, 0.5);

@@ -53,7 +53,10 @@ impl ThreadProgram {
     /// phase has a non-positive length, or a fingerprint is invalid.
     pub fn looping(phases: Vec<Phase>) -> Result<Self> {
         Self::validate_phases(&phases)?;
-        Ok(Self { phases, total_instructions: None })
+        Ok(Self {
+            phases,
+            total_instructions: None,
+        })
     }
 
     /// Builds a program that terminates after `total_instructions`.
@@ -64,14 +67,21 @@ impl ThreadProgram {
     pub fn finite(phases: Vec<Phase>, total_instructions: f64) -> Result<Self> {
         Self::validate_phases(&phases)?;
         if total_instructions <= 0.0 || !total_instructions.is_finite() {
-            return Err(Error::InvalidConfig("total instructions must be positive".into()));
+            return Err(Error::InvalidConfig(
+                "total instructions must be positive".into(),
+            ));
         }
-        Ok(Self { phases, total_instructions: Some(total_instructions) })
+        Ok(Self {
+            phases,
+            total_instructions: Some(total_instructions),
+        })
     }
 
     fn validate_phases(phases: &[Phase]) -> Result<()> {
         if phases.is_empty() {
-            return Err(Error::InvalidConfig("a program needs at least one phase".into()));
+            return Err(Error::InvalidConfig(
+                "a program needs at least one phase".into(),
+            ));
         }
         for (i, p) in phases.iter().enumerate() {
             if p.instructions <= 0.0 || !p.instructions.is_finite() {
@@ -200,11 +210,17 @@ mod tests {
 
     fn two_phase_program() -> ThreadProgram {
         let a = Phase {
-            fingerprint: PhaseFingerprint { mcpi_ref: 0.0, ..Default::default() },
+            fingerprint: PhaseFingerprint {
+                mcpi_ref: 0.0,
+                ..Default::default()
+            },
             instructions: 100.0,
         };
         let b = Phase {
-            fingerprint: PhaseFingerprint { mcpi_ref: 2.0, ..Default::default() },
+            fingerprint: PhaseFingerprint {
+                mcpi_ref: 2.0,
+                ..Default::default()
+            },
             instructions: 50.0,
         };
         ThreadProgram::looping(vec![a, b]).unwrap()
@@ -213,12 +229,24 @@ mod tests {
     #[test]
     fn validation() {
         assert!(ThreadProgram::looping(vec![]).is_err());
-        let bad_len = Phase { fingerprint: PhaseFingerprint::default(), instructions: 0.0 };
+        let bad_len = Phase {
+            fingerprint: PhaseFingerprint::default(),
+            instructions: 0.0,
+        };
         assert!(ThreadProgram::looping(vec![bad_len]).is_err());
-        let bad_fp = PhaseFingerprint { uops_per_inst: 0.1, ..Default::default() };
-        let p = Phase { fingerprint: bad_fp, instructions: 10.0 };
+        let bad_fp = PhaseFingerprint {
+            uops_per_inst: 0.1,
+            ..Default::default()
+        };
+        let p = Phase {
+            fingerprint: bad_fp,
+            instructions: 10.0,
+        };
         assert!(ThreadProgram::looping(vec![p]).is_err());
-        let ok = Phase { fingerprint: PhaseFingerprint::default(), instructions: 10.0 };
+        let ok = Phase {
+            fingerprint: PhaseFingerprint::default(),
+            instructions: 10.0,
+        };
         assert!(ThreadProgram::finite(vec![ok], 0.0).is_err());
         assert!(ThreadProgram::finite(vec![ok], f64::INFINITY).is_err());
     }
@@ -252,7 +280,10 @@ mod tests {
 
     #[test]
     fn finite_program_terminates_exactly() {
-        let phase = Phase { fingerprint: PhaseFingerprint::default(), instructions: 100.0 };
+        let phase = Phase {
+            fingerprint: PhaseFingerprint::default(),
+            instructions: 100.0,
+        };
         let prog = ThreadProgram::finite(vec![phase], 250.0).unwrap();
         let mut cur = prog.start();
         assert_eq!(cur.advance(&prog, 200.0), 200.0);

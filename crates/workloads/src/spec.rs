@@ -126,7 +126,11 @@ impl WorkloadSpec {
     /// Panics when `threads` is empty; a workload must run something.
     pub fn new(name: impl Into<String>, suite: Suite, threads: Vec<ThreadProgram>) -> Self {
         assert!(!threads.is_empty(), "workload needs at least one thread");
-        Self { name: name.into(), suite, threads }
+        Self {
+            name: name.into(),
+            suite,
+            threads,
+        }
     }
 
     /// The combination's display name (e.g. `"433+434"`).
@@ -158,7 +162,13 @@ impl WorkloadSpec {
 
 impl fmt::Display for WorkloadSpec {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} [{}, {} threads]", self.name, self.suite.abbrev(), self.threads.len())
+        write!(
+            f,
+            "{} [{}, {} threads]",
+            self.name,
+            self.suite.abbrev(),
+            self.threads.len()
+        )
     }
 }
 
@@ -166,60 +176,424 @@ impl fmt::Display for WorkloadSpec {
 /// 10 NPB entries.
 pub const BENCH_TABLE: &[BenchInfo] = &[
     // --- SPEC CPU2006 (the paper's 29, per the Fig. 6 axis) ---
-    BenchInfo { name: "400.perlbench", suite: Suite::SpecCpu2006, class: MemoryClass::CpuBound, fp_heavy: false, rapid_phases: false, short_run: false },
-    BenchInfo { name: "401.bzip2", suite: Suite::SpecCpu2006, class: MemoryClass::Mixed, fp_heavy: false, rapid_phases: false, short_run: false },
-    BenchInfo { name: "403.gcc", suite: Suite::SpecCpu2006, class: MemoryClass::Mixed, fp_heavy: false, rapid_phases: false, short_run: false },
-    BenchInfo { name: "410.bwaves", suite: Suite::SpecCpu2006, class: MemoryClass::MemoryBound, fp_heavy: true, rapid_phases: false, short_run: false },
-    BenchInfo { name: "416.gamess", suite: Suite::SpecCpu2006, class: MemoryClass::CpuBound, fp_heavy: true, rapid_phases: false, short_run: false },
-    BenchInfo { name: "429.mcf", suite: Suite::SpecCpu2006, class: MemoryClass::MemoryBound, fp_heavy: false, rapid_phases: false, short_run: false },
-    BenchInfo { name: "433.milc", suite: Suite::SpecCpu2006, class: MemoryClass::MemoryBound, fp_heavy: true, rapid_phases: false, short_run: false },
-    BenchInfo { name: "434.zeusmp", suite: Suite::SpecCpu2006, class: MemoryClass::Mixed, fp_heavy: true, rapid_phases: false, short_run: false },
-    BenchInfo { name: "435.gromacs", suite: Suite::SpecCpu2006, class: MemoryClass::CpuBound, fp_heavy: true, rapid_phases: false, short_run: false },
-    BenchInfo { name: "436.cactusADM", suite: Suite::SpecCpu2006, class: MemoryClass::Mixed, fp_heavy: true, rapid_phases: false, short_run: false },
-    BenchInfo { name: "437.leslie3d", suite: Suite::SpecCpu2006, class: MemoryClass::MemoryBound, fp_heavy: true, rapid_phases: false, short_run: false },
-    BenchInfo { name: "444.namd", suite: Suite::SpecCpu2006, class: MemoryClass::CpuBound, fp_heavy: true, rapid_phases: false, short_run: false },
-    BenchInfo { name: "445.gobmk", suite: Suite::SpecCpu2006, class: MemoryClass::CpuBound, fp_heavy: false, rapid_phases: false, short_run: false },
-    BenchInfo { name: "447.dealII", suite: Suite::SpecCpu2006, class: MemoryClass::Mixed, fp_heavy: true, rapid_phases: false, short_run: false },
-    BenchInfo { name: "450.soplex", suite: Suite::SpecCpu2006, class: MemoryClass::MemoryBound, fp_heavy: true, rapid_phases: false, short_run: false },
-    BenchInfo { name: "453.povray", suite: Suite::SpecCpu2006, class: MemoryClass::CpuBound, fp_heavy: true, rapid_phases: false, short_run: false },
-    BenchInfo { name: "454.calculix", suite: Suite::SpecCpu2006, class: MemoryClass::CpuBound, fp_heavy: true, rapid_phases: false, short_run: false },
-    BenchInfo { name: "456.hmmer", suite: Suite::SpecCpu2006, class: MemoryClass::CpuBound, fp_heavy: false, rapid_phases: false, short_run: false },
-    BenchInfo { name: "458.sjeng", suite: Suite::SpecCpu2006, class: MemoryClass::CpuBound, fp_heavy: false, rapid_phases: false, short_run: false },
-    BenchInfo { name: "459.GemsFDTD", suite: Suite::SpecCpu2006, class: MemoryClass::MemoryBound, fp_heavy: true, rapid_phases: false, short_run: false },
-    BenchInfo { name: "462.libquantum", suite: Suite::SpecCpu2006, class: MemoryClass::MemoryBound, fp_heavy: false, rapid_phases: false, short_run: false },
-    BenchInfo { name: "464.h264ref", suite: Suite::SpecCpu2006, class: MemoryClass::CpuBound, fp_heavy: false, rapid_phases: false, short_run: false },
-    BenchInfo { name: "465.tonto", suite: Suite::SpecCpu2006, class: MemoryClass::CpuBound, fp_heavy: true, rapid_phases: false, short_run: false },
-    BenchInfo { name: "470.lbm", suite: Suite::SpecCpu2006, class: MemoryClass::MemoryBound, fp_heavy: true, rapid_phases: false, short_run: false },
-    BenchInfo { name: "471.omnetpp", suite: Suite::SpecCpu2006, class: MemoryClass::MemoryBound, fp_heavy: false, rapid_phases: false, short_run: false },
-    BenchInfo { name: "473.astar", suite: Suite::SpecCpu2006, class: MemoryClass::Mixed, fp_heavy: false, rapid_phases: false, short_run: false },
-    BenchInfo { name: "481.wrf", suite: Suite::SpecCpu2006, class: MemoryClass::Mixed, fp_heavy: true, rapid_phases: false, short_run: false },
-    BenchInfo { name: "482.sphinx3", suite: Suite::SpecCpu2006, class: MemoryClass::Mixed, fp_heavy: true, rapid_phases: false, short_run: false },
-    BenchInfo { name: "483.xalancbmk", suite: Suite::SpecCpu2006, class: MemoryClass::Mixed, fp_heavy: false, rapid_phases: false, short_run: false },
+    BenchInfo {
+        name: "400.perlbench",
+        suite: Suite::SpecCpu2006,
+        class: MemoryClass::CpuBound,
+        fp_heavy: false,
+        rapid_phases: false,
+        short_run: false,
+    },
+    BenchInfo {
+        name: "401.bzip2",
+        suite: Suite::SpecCpu2006,
+        class: MemoryClass::Mixed,
+        fp_heavy: false,
+        rapid_phases: false,
+        short_run: false,
+    },
+    BenchInfo {
+        name: "403.gcc",
+        suite: Suite::SpecCpu2006,
+        class: MemoryClass::Mixed,
+        fp_heavy: false,
+        rapid_phases: false,
+        short_run: false,
+    },
+    BenchInfo {
+        name: "410.bwaves",
+        suite: Suite::SpecCpu2006,
+        class: MemoryClass::MemoryBound,
+        fp_heavy: true,
+        rapid_phases: false,
+        short_run: false,
+    },
+    BenchInfo {
+        name: "416.gamess",
+        suite: Suite::SpecCpu2006,
+        class: MemoryClass::CpuBound,
+        fp_heavy: true,
+        rapid_phases: false,
+        short_run: false,
+    },
+    BenchInfo {
+        name: "429.mcf",
+        suite: Suite::SpecCpu2006,
+        class: MemoryClass::MemoryBound,
+        fp_heavy: false,
+        rapid_phases: false,
+        short_run: false,
+    },
+    BenchInfo {
+        name: "433.milc",
+        suite: Suite::SpecCpu2006,
+        class: MemoryClass::MemoryBound,
+        fp_heavy: true,
+        rapid_phases: false,
+        short_run: false,
+    },
+    BenchInfo {
+        name: "434.zeusmp",
+        suite: Suite::SpecCpu2006,
+        class: MemoryClass::Mixed,
+        fp_heavy: true,
+        rapid_phases: false,
+        short_run: false,
+    },
+    BenchInfo {
+        name: "435.gromacs",
+        suite: Suite::SpecCpu2006,
+        class: MemoryClass::CpuBound,
+        fp_heavy: true,
+        rapid_phases: false,
+        short_run: false,
+    },
+    BenchInfo {
+        name: "436.cactusADM",
+        suite: Suite::SpecCpu2006,
+        class: MemoryClass::Mixed,
+        fp_heavy: true,
+        rapid_phases: false,
+        short_run: false,
+    },
+    BenchInfo {
+        name: "437.leslie3d",
+        suite: Suite::SpecCpu2006,
+        class: MemoryClass::MemoryBound,
+        fp_heavy: true,
+        rapid_phases: false,
+        short_run: false,
+    },
+    BenchInfo {
+        name: "444.namd",
+        suite: Suite::SpecCpu2006,
+        class: MemoryClass::CpuBound,
+        fp_heavy: true,
+        rapid_phases: false,
+        short_run: false,
+    },
+    BenchInfo {
+        name: "445.gobmk",
+        suite: Suite::SpecCpu2006,
+        class: MemoryClass::CpuBound,
+        fp_heavy: false,
+        rapid_phases: false,
+        short_run: false,
+    },
+    BenchInfo {
+        name: "447.dealII",
+        suite: Suite::SpecCpu2006,
+        class: MemoryClass::Mixed,
+        fp_heavy: true,
+        rapid_phases: false,
+        short_run: false,
+    },
+    BenchInfo {
+        name: "450.soplex",
+        suite: Suite::SpecCpu2006,
+        class: MemoryClass::MemoryBound,
+        fp_heavy: true,
+        rapid_phases: false,
+        short_run: false,
+    },
+    BenchInfo {
+        name: "453.povray",
+        suite: Suite::SpecCpu2006,
+        class: MemoryClass::CpuBound,
+        fp_heavy: true,
+        rapid_phases: false,
+        short_run: false,
+    },
+    BenchInfo {
+        name: "454.calculix",
+        suite: Suite::SpecCpu2006,
+        class: MemoryClass::CpuBound,
+        fp_heavy: true,
+        rapid_phases: false,
+        short_run: false,
+    },
+    BenchInfo {
+        name: "456.hmmer",
+        suite: Suite::SpecCpu2006,
+        class: MemoryClass::CpuBound,
+        fp_heavy: false,
+        rapid_phases: false,
+        short_run: false,
+    },
+    BenchInfo {
+        name: "458.sjeng",
+        suite: Suite::SpecCpu2006,
+        class: MemoryClass::CpuBound,
+        fp_heavy: false,
+        rapid_phases: false,
+        short_run: false,
+    },
+    BenchInfo {
+        name: "459.GemsFDTD",
+        suite: Suite::SpecCpu2006,
+        class: MemoryClass::MemoryBound,
+        fp_heavy: true,
+        rapid_phases: false,
+        short_run: false,
+    },
+    BenchInfo {
+        name: "462.libquantum",
+        suite: Suite::SpecCpu2006,
+        class: MemoryClass::MemoryBound,
+        fp_heavy: false,
+        rapid_phases: false,
+        short_run: false,
+    },
+    BenchInfo {
+        name: "464.h264ref",
+        suite: Suite::SpecCpu2006,
+        class: MemoryClass::CpuBound,
+        fp_heavy: false,
+        rapid_phases: false,
+        short_run: false,
+    },
+    BenchInfo {
+        name: "465.tonto",
+        suite: Suite::SpecCpu2006,
+        class: MemoryClass::CpuBound,
+        fp_heavy: true,
+        rapid_phases: false,
+        short_run: false,
+    },
+    BenchInfo {
+        name: "470.lbm",
+        suite: Suite::SpecCpu2006,
+        class: MemoryClass::MemoryBound,
+        fp_heavy: true,
+        rapid_phases: false,
+        short_run: false,
+    },
+    BenchInfo {
+        name: "471.omnetpp",
+        suite: Suite::SpecCpu2006,
+        class: MemoryClass::MemoryBound,
+        fp_heavy: false,
+        rapid_phases: false,
+        short_run: false,
+    },
+    BenchInfo {
+        name: "473.astar",
+        suite: Suite::SpecCpu2006,
+        class: MemoryClass::Mixed,
+        fp_heavy: false,
+        rapid_phases: false,
+        short_run: false,
+    },
+    BenchInfo {
+        name: "481.wrf",
+        suite: Suite::SpecCpu2006,
+        class: MemoryClass::Mixed,
+        fp_heavy: true,
+        rapid_phases: false,
+        short_run: false,
+    },
+    BenchInfo {
+        name: "482.sphinx3",
+        suite: Suite::SpecCpu2006,
+        class: MemoryClass::Mixed,
+        fp_heavy: true,
+        rapid_phases: false,
+        short_run: false,
+    },
+    BenchInfo {
+        name: "483.xalancbmk",
+        suite: Suite::SpecCpu2006,
+        class: MemoryClass::Mixed,
+        fp_heavy: false,
+        rapid_phases: false,
+        short_run: false,
+    },
     // --- PARSEC v2.1 (13 applications) ---
-    BenchInfo { name: "blackscholes", suite: Suite::Parsec, class: MemoryClass::CpuBound, fp_heavy: true, rapid_phases: false, short_run: false },
-    BenchInfo { name: "bodytrack", suite: Suite::Parsec, class: MemoryClass::Mixed, fp_heavy: true, rapid_phases: false, short_run: false },
-    BenchInfo { name: "canneal", suite: Suite::Parsec, class: MemoryClass::MemoryBound, fp_heavy: false, rapid_phases: false, short_run: false },
-    BenchInfo { name: "dedup", suite: Suite::Parsec, class: MemoryClass::Mixed, fp_heavy: false, rapid_phases: true, short_run: true },
-    BenchInfo { name: "facesim", suite: Suite::Parsec, class: MemoryClass::Mixed, fp_heavy: true, rapid_phases: false, short_run: false },
-    BenchInfo { name: "ferret", suite: Suite::Parsec, class: MemoryClass::Mixed, fp_heavy: false, rapid_phases: false, short_run: false },
-    BenchInfo { name: "fluidanimate", suite: Suite::Parsec, class: MemoryClass::Mixed, fp_heavy: true, rapid_phases: false, short_run: false },
-    BenchInfo { name: "freqmine", suite: Suite::Parsec, class: MemoryClass::Mixed, fp_heavy: false, rapid_phases: false, short_run: false },
-    BenchInfo { name: "raytrace", suite: Suite::Parsec, class: MemoryClass::CpuBound, fp_heavy: true, rapid_phases: false, short_run: false },
-    BenchInfo { name: "streamcluster", suite: Suite::Parsec, class: MemoryClass::MemoryBound, fp_heavy: true, rapid_phases: false, short_run: false },
-    BenchInfo { name: "swaptions", suite: Suite::Parsec, class: MemoryClass::CpuBound, fp_heavy: true, rapid_phases: false, short_run: false },
-    BenchInfo { name: "vips", suite: Suite::Parsec, class: MemoryClass::Mixed, fp_heavy: false, rapid_phases: false, short_run: false },
-    BenchInfo { name: "x264", suite: Suite::Parsec, class: MemoryClass::CpuBound, fp_heavy: false, rapid_phases: false, short_run: false },
+    BenchInfo {
+        name: "blackscholes",
+        suite: Suite::Parsec,
+        class: MemoryClass::CpuBound,
+        fp_heavy: true,
+        rapid_phases: false,
+        short_run: false,
+    },
+    BenchInfo {
+        name: "bodytrack",
+        suite: Suite::Parsec,
+        class: MemoryClass::Mixed,
+        fp_heavy: true,
+        rapid_phases: false,
+        short_run: false,
+    },
+    BenchInfo {
+        name: "canneal",
+        suite: Suite::Parsec,
+        class: MemoryClass::MemoryBound,
+        fp_heavy: false,
+        rapid_phases: false,
+        short_run: false,
+    },
+    BenchInfo {
+        name: "dedup",
+        suite: Suite::Parsec,
+        class: MemoryClass::Mixed,
+        fp_heavy: false,
+        rapid_phases: true,
+        short_run: true,
+    },
+    BenchInfo {
+        name: "facesim",
+        suite: Suite::Parsec,
+        class: MemoryClass::Mixed,
+        fp_heavy: true,
+        rapid_phases: false,
+        short_run: false,
+    },
+    BenchInfo {
+        name: "ferret",
+        suite: Suite::Parsec,
+        class: MemoryClass::Mixed,
+        fp_heavy: false,
+        rapid_phases: false,
+        short_run: false,
+    },
+    BenchInfo {
+        name: "fluidanimate",
+        suite: Suite::Parsec,
+        class: MemoryClass::Mixed,
+        fp_heavy: true,
+        rapid_phases: false,
+        short_run: false,
+    },
+    BenchInfo {
+        name: "freqmine",
+        suite: Suite::Parsec,
+        class: MemoryClass::Mixed,
+        fp_heavy: false,
+        rapid_phases: false,
+        short_run: false,
+    },
+    BenchInfo {
+        name: "raytrace",
+        suite: Suite::Parsec,
+        class: MemoryClass::CpuBound,
+        fp_heavy: true,
+        rapid_phases: false,
+        short_run: false,
+    },
+    BenchInfo {
+        name: "streamcluster",
+        suite: Suite::Parsec,
+        class: MemoryClass::MemoryBound,
+        fp_heavy: true,
+        rapid_phases: false,
+        short_run: false,
+    },
+    BenchInfo {
+        name: "swaptions",
+        suite: Suite::Parsec,
+        class: MemoryClass::CpuBound,
+        fp_heavy: true,
+        rapid_phases: false,
+        short_run: false,
+    },
+    BenchInfo {
+        name: "vips",
+        suite: Suite::Parsec,
+        class: MemoryClass::Mixed,
+        fp_heavy: false,
+        rapid_phases: false,
+        short_run: false,
+    },
+    BenchInfo {
+        name: "x264",
+        suite: Suite::Parsec,
+        class: MemoryClass::CpuBound,
+        fp_heavy: false,
+        rapid_phases: false,
+        short_run: false,
+    },
     // --- NPB v3.3.1 (10 benchmarks) ---
-    BenchInfo { name: "BT", suite: Suite::Npb, class: MemoryClass::Mixed, fp_heavy: true, rapid_phases: false, short_run: false },
-    BenchInfo { name: "CG", suite: Suite::Npb, class: MemoryClass::MemoryBound, fp_heavy: true, rapid_phases: false, short_run: false },
-    BenchInfo { name: "DC", suite: Suite::Npb, class: MemoryClass::MemoryBound, fp_heavy: false, rapid_phases: true, short_run: false },
-    BenchInfo { name: "EP", suite: Suite::Npb, class: MemoryClass::CpuBound, fp_heavy: true, rapid_phases: false, short_run: false },
-    BenchInfo { name: "FT", suite: Suite::Npb, class: MemoryClass::Mixed, fp_heavy: true, rapid_phases: false, short_run: false },
-    BenchInfo { name: "IS", suite: Suite::Npb, class: MemoryClass::MemoryBound, fp_heavy: false, rapid_phases: true, short_run: true },
-    BenchInfo { name: "LU", suite: Suite::Npb, class: MemoryClass::Mixed, fp_heavy: true, rapid_phases: false, short_run: false },
-    BenchInfo { name: "MG", suite: Suite::Npb, class: MemoryClass::MemoryBound, fp_heavy: true, rapid_phases: false, short_run: false },
-    BenchInfo { name: "SP", suite: Suite::Npb, class: MemoryClass::Mixed, fp_heavy: true, rapid_phases: false, short_run: false },
-    BenchInfo { name: "UA", suite: Suite::Npb, class: MemoryClass::Mixed, fp_heavy: true, rapid_phases: false, short_run: false },
+    BenchInfo {
+        name: "BT",
+        suite: Suite::Npb,
+        class: MemoryClass::Mixed,
+        fp_heavy: true,
+        rapid_phases: false,
+        short_run: false,
+    },
+    BenchInfo {
+        name: "CG",
+        suite: Suite::Npb,
+        class: MemoryClass::MemoryBound,
+        fp_heavy: true,
+        rapid_phases: false,
+        short_run: false,
+    },
+    BenchInfo {
+        name: "DC",
+        suite: Suite::Npb,
+        class: MemoryClass::MemoryBound,
+        fp_heavy: false,
+        rapid_phases: true,
+        short_run: false,
+    },
+    BenchInfo {
+        name: "EP",
+        suite: Suite::Npb,
+        class: MemoryClass::CpuBound,
+        fp_heavy: true,
+        rapid_phases: false,
+        short_run: false,
+    },
+    BenchInfo {
+        name: "FT",
+        suite: Suite::Npb,
+        class: MemoryClass::Mixed,
+        fp_heavy: true,
+        rapid_phases: false,
+        short_run: false,
+    },
+    BenchInfo {
+        name: "IS",
+        suite: Suite::Npb,
+        class: MemoryClass::MemoryBound,
+        fp_heavy: false,
+        rapid_phases: true,
+        short_run: true,
+    },
+    BenchInfo {
+        name: "LU",
+        suite: Suite::Npb,
+        class: MemoryClass::Mixed,
+        fp_heavy: true,
+        rapid_phases: false,
+        short_run: false,
+    },
+    BenchInfo {
+        name: "MG",
+        suite: Suite::Npb,
+        class: MemoryClass::MemoryBound,
+        fp_heavy: true,
+        rapid_phases: false,
+        short_run: false,
+    },
+    BenchInfo {
+        name: "SP",
+        suite: Suite::Npb,
+        class: MemoryClass::Mixed,
+        fp_heavy: true,
+        rapid_phases: false,
+        short_run: false,
+    },
+    BenchInfo {
+        name: "UA",
+        suite: Suite::Npb,
+        class: MemoryClass::Mixed,
+        fp_heavy: true,
+        rapid_phases: false,
+        short_run: false,
+    },
 ];
 
 /// Looks up a benchmark's curated info by exact name.
@@ -243,8 +617,14 @@ mod tests {
 
     #[test]
     fn table_counts_match_paper() {
-        let spec = BENCH_TABLE.iter().filter(|b| b.suite == Suite::SpecCpu2006).count();
-        let parsec = BENCH_TABLE.iter().filter(|b| b.suite == Suite::Parsec).count();
+        let spec = BENCH_TABLE
+            .iter()
+            .filter(|b| b.suite == Suite::SpecCpu2006)
+            .count();
+        let parsec = BENCH_TABLE
+            .iter()
+            .filter(|b| b.suite == Suite::Parsec)
+            .count();
         let npb = BENCH_TABLE.iter().filter(|b| b.suite == Suite::Npb).count();
         assert_eq!(spec, 29, "paper runs 29 single SPEC benchmarks");
         assert_eq!(parsec, 13, "PARSEC v2.1 has 13 applications");
@@ -263,20 +643,35 @@ mod tests {
     fn paper_outliers_are_flagged() {
         // §IV-B2: outliers are DC and IS from NPB, dedup from PARSEC.
         for outlier in ["dedup", "IS", "DC"] {
-            assert!(bench_info(outlier).unwrap().rapid_phases, "{outlier} must be rapid-phase");
+            assert!(
+                bench_info(outlier).unwrap().rapid_phases,
+                "{outlier} must be rapid-phase"
+            );
         }
         // §IV-B2: dedup and IS have much shorter execution times.
         for short in ["dedup", "IS"] {
-            assert!(bench_info(short).unwrap().short_run, "{short} must be short-running");
+            assert!(
+                bench_info(short).unwrap().short_run,
+                "{short} must be short-running"
+            );
         }
     }
 
     #[test]
     fn headline_benchmarks_classified_as_in_paper() {
         // §V-C: 433.milc memory-bound, 458.sjeng CPU-bound.
-        assert_eq!(bench_info("433.milc").unwrap().class, MemoryClass::MemoryBound);
-        assert_eq!(bench_info("458.sjeng").unwrap().class, MemoryClass::CpuBound);
-        assert_eq!(bench_info("429.mcf").unwrap().class, MemoryClass::MemoryBound);
+        assert_eq!(
+            bench_info("433.milc").unwrap().class,
+            MemoryClass::MemoryBound
+        );
+        assert_eq!(
+            bench_info("458.sjeng").unwrap().class,
+            MemoryClass::CpuBound
+        );
+        assert_eq!(
+            bench_info("429.mcf").unwrap().class,
+            MemoryClass::MemoryBound
+        );
     }
 
     #[test]
@@ -289,7 +684,11 @@ mod tests {
 
     #[test]
     fn class_ranges_are_ordered() {
-        let classes = [MemoryClass::CpuBound, MemoryClass::Mixed, MemoryClass::MemoryBound];
+        let classes = [
+            MemoryClass::CpuBound,
+            MemoryClass::Mixed,
+            MemoryClass::MemoryBound,
+        ];
         for c in classes {
             let (lo, hi) = c.mcpi_range();
             assert!(lo < hi);
@@ -298,14 +697,15 @@ mod tests {
         }
         // Memory-bound dominates CPU-bound on both axes.
         assert!(MemoryClass::MemoryBound.mcpi_range().0 > MemoryClass::CpuBound.mcpi_range().1);
-        assert!(
-            MemoryClass::MemoryBound.l2miss_range().0 > MemoryClass::CpuBound.l2miss_range().1
-        );
+        assert!(MemoryClass::MemoryBound.l2miss_range().0 > MemoryClass::CpuBound.l2miss_range().1);
     }
 
     #[test]
     fn workload_spec_basics() {
-        let phase = Phase { fingerprint: PhaseFingerprint::default(), instructions: 100.0 };
+        let phase = Phase {
+            fingerprint: PhaseFingerprint::default(),
+            instructions: 100.0,
+        };
         let prog = crate::program::ThreadProgram::looping(vec![phase]).unwrap();
         let spec = WorkloadSpec::new("433+458", Suite::SpecCpu2006, vec![prog.clone(), prog]);
         assert_eq!(spec.name(), "433+458");

@@ -147,7 +147,10 @@ pub fn generate_program_for(info: &BenchInfo, seed: u64) -> ThreadProgram {
             } else {
                 perturb(&base, &mut rng, strength)
             };
-            Phase { fingerprint, instructions: uniform(&mut rng, length_range) }
+            Phase {
+                fingerprint,
+                instructions: uniform(&mut rng, length_range),
+            }
         })
         .collect();
 
@@ -172,11 +175,14 @@ pub fn bench_a() -> ThreadProgram {
         l2miss_per_inst: 0.0, // no dynamic NB accesses
         core_stall_cpi: 0.15,
         retire_utilization: 0.97,
-        mcpi_ref: 0.0,          // no memory time
+        mcpi_ref: 0.0,         // no memory time
         switching_factor: 1.0, // the calibration reference point
     };
-    ThreadProgram::looping(vec![Phase { fingerprint, instructions: 1.0e9 }])
-        .expect("bench_a profile is valid")
+    ThreadProgram::looping(vec![Phase {
+        fingerprint,
+        instructions: 1.0e9,
+    }])
+    .expect("bench_a profile is valid")
 }
 
 #[cfg(test)]
@@ -244,7 +250,9 @@ mod tests {
     fn short_runs_are_finite_others_loop() {
         assert!(generate_program("dedup", 42).total_instructions().is_some());
         assert!(generate_program("IS", 42).total_instructions().is_some());
-        assert!(generate_program("433.milc", 42).total_instructions().is_none());
+        assert!(generate_program("433.milc", 42)
+            .total_instructions()
+            .is_none());
         assert!(generate_program("CG", 42).total_instructions().is_none());
     }
 
@@ -278,10 +286,20 @@ mod tests {
     fn class_table_consistency_sample() {
         // Every memory-bound benchmark generates more L2 misses than
         // every CPU-bound one (ranges are disjoint).
-        let mem = BENCH_TABLE.iter().find(|b| b.class == MemoryClass::MemoryBound).unwrap();
-        let cpu = BENCH_TABLE.iter().find(|b| b.class == MemoryClass::CpuBound).unwrap();
-        let m = generate_program_for(mem, 11).phases()[0].fingerprint.l2miss_per_inst;
-        let c = generate_program_for(cpu, 11).phases()[0].fingerprint.l2miss_per_inst;
+        let mem = BENCH_TABLE
+            .iter()
+            .find(|b| b.class == MemoryClass::MemoryBound)
+            .unwrap();
+        let cpu = BENCH_TABLE
+            .iter()
+            .find(|b| b.class == MemoryClass::CpuBound)
+            .unwrap();
+        let m = generate_program_for(mem, 11).phases()[0]
+            .fingerprint
+            .l2miss_per_inst;
+        let c = generate_program_for(cpu, 11).phases()[0]
+            .fingerprint
+            .l2miss_per_inst;
         assert!(m > c, "memory-bound {m} vs CPU-bound {c}");
         assert_eq!(mem.suite, Suite::SpecCpu2006);
     }

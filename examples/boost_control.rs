@@ -40,8 +40,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("step  power     temp      per-CU states");
         for step in 0..8 {
             let s = daemon.step()?;
-            let states: Vec<String> =
-                s.decision.iter().map(|vf| vf.to_string()).collect();
+            let states: Vec<String> = s.decision.iter().map(|vf| vf.to_string()).collect();
             println!(
                 "{:>4}  {:>7.1}  {:>7.1}  {:?}",
                 step, s.record.measured_power, s.record.temperature, states

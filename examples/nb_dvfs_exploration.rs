@@ -43,7 +43,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             min_all = min_all.min(e);
             println!(
                 "  {}  {}  {:>7.1}  {:>7.3} s  {:>7.2} J",
-                chip.vf, nb, chip.power, chip.time_for_work.as_secs(), e
+                chip.vf,
+                nb,
+                chip.power,
+                chip.time_for_work.as_secs(),
+                e
             );
         }
     }

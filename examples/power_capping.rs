@@ -41,7 +41,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
         println!(
             "\n--- {} policy ---",
-            if one_step { "PPEP one-step" } else { "simple iterative" }
+            if one_step {
+                "PPEP one-step"
+            } else {
+                "simple iterative"
+            }
         );
         println!("step  cap     measured  decision");
         let mut violations = 0;

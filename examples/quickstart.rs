@@ -41,11 +41,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for chip in projection.chip.iter().rev() {
         println!(
             "  {}  {:>7.1}  {:>10.2e} ips  {:>8.2}  {:>8.3}",
-            chip.vf,
-            chip.power,
-            chip.ips,
-            chip.energy,
-            chip.edp,
+            chip.vf, chip.power, chip.ips, chip.energy, chip.edp,
         );
     }
     println!(
@@ -55,7 +51,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!(
         "fastest state under a 40 W cap: {:?}",
-        projection.fastest_under_cap(Watts::new(40.0)).map(|v| v.to_string())
+        projection
+            .fastest_under_cap(Watts::new(40.0))
+            .map(|v| v.to_string())
     );
     Ok(())
 }

@@ -20,7 +20,9 @@ use std::sync::OnceLock;
 fn models() -> &'static TrainedModels {
     static MODELS: OnceLock<TrainedModels> = OnceLock::new();
     MODELS.get_or_init(|| {
-        TrainingRig::fx8320(42).train_quick().expect("training succeeds")
+        TrainingRig::fx8320(42)
+            .train_quick()
+            .expect("training succeeds")
     })
 }
 
@@ -28,7 +30,10 @@ fn models() -> &'static TrainedModels {
 fn trained_bundle_is_complete() {
     let m = models();
     assert!(m.alpha() > 1.5 && m.alpha() < 2.6, "alpha {}", m.alpha());
-    assert!(m.chip_power().pg_model().is_some(), "PG decomposition attached");
+    assert!(
+        m.chip_power().pg_model().is_some(),
+        "PG decomposition attached"
+    );
     assert_eq!(m.vf_table().len(), 5);
     assert!(m.green_governors().weight() > 0.0);
 }
@@ -45,17 +50,19 @@ fn whole_pipeline_estimates_unseen_workloads() {
     let records = sim.run_intervals(12);
     let mut errors = Vec::new();
     for r in &records[4..] {
-        let est = ppep
-            .models()
-            .chip_power()
-            .estimate_chip(&r.samples, r.cu_vf[0], &table, r.temperature);
+        let est =
+            ppep.models()
+                .chip_power()
+                .estimate_chip(&r.samples, r.cu_vf[0], &table, r.temperature);
         errors.push(
-            (est.as_watts() - r.measured_power.as_watts()).abs()
-                / r.measured_power.as_watts(),
+            (est.as_watts() - r.measured_power.as_watts()).abs() / r.measured_power.as_watts(),
         );
     }
     let mean = errors.iter().sum::<f64>() / errors.len() as f64;
-    assert!(mean < 0.15, "chip estimation AAE on unseen workload: {mean}");
+    assert!(
+        mean < 0.15,
+        "chip estimation AAE on unseen workload: {mean}"
+    );
 }
 
 #[test]
@@ -72,7 +79,9 @@ fn daemon_with_energy_policy_saves_energy_vs_static_top() {
             let mut daemon = PpepDaemon::new(
                 ppep,
                 sim,
-                StaticController { vf: table.highest() },
+                StaticController {
+                    vf: table.highest(),
+                },
             );
             daemon.run(20).expect("daemon runs")
         };
@@ -124,13 +133,14 @@ fn ondemand_governor_tracks_load() {
     let ppep = Ppep::new(models().clone());
     let table = ppep.models().vf_table().clone();
     let sim = ChipSimulator::new(SimConfig::fx8320_pg(42));
-    let mut daemon =
-        PpepDaemon::new(ppep, sim, OndemandGovernor::new(table.clone()));
+    let mut daemon = PpepDaemon::new(ppep, sim, OndemandGovernor::new(table.clone()));
     // Idle chip: governor decays to the lowest state.
     let steps = daemon.run(6).expect("daemon runs");
     assert_eq!(steps.last().unwrap().decision[0], table.lowest());
     // Load appears: governor jumps to the top.
-    daemon.sim_mut().load_workload(&instances("458.sjeng", 2, 42));
+    daemon
+        .sim_mut()
+        .load_workload(&instances("458.sjeng", 2, 42));
     let steps = daemon.run(2).expect("daemon runs");
     assert_eq!(steps.last().unwrap().decision[0], table.highest());
 }
@@ -174,7 +184,10 @@ fn cross_platform_training_works_on_phenom() {
     let mut rig = TrainingRig::phenom_ii_x6(42);
     let m = rig.train_quick().expect("Phenom training succeeds");
     assert_eq!(m.vf_table().len(), 4);
-    assert!(m.chip_power().pg_model().is_none(), "Phenom cannot power-gate");
+    assert!(
+        m.chip_power().pg_model().is_none(),
+        "Phenom cannot power-gate"
+    );
     // The engine still projects across its 4-state ladder.
     let ppep = Ppep::new(m);
     let mut sim = ChipSimulator::new(SimConfig::phenom_ii_x6(42));
@@ -182,7 +195,10 @@ fn cross_platform_training_works_on_phenom() {
     let record = sim.run_intervals(8).pop().unwrap();
     let projection = ppep.project(&record).expect("projection");
     assert_eq!(projection.chip.len(), 4);
-    assert_eq!(projection.best_energy_vf(), VfTable::phenom_ii_x6().lowest());
+    assert_eq!(
+        projection.best_energy_vf(),
+        VfTable::phenom_ii_x6().lowest()
+    );
 }
 
 #[test]

@@ -4,7 +4,9 @@
 //! regression solvers agreeing with each other, the Eq. 1 CPI
 //! projection forming a group action over frequencies, the hardware
 //! event predictor preserving the Observation 1/2 invariants exactly,
-//! and the PG idle decomposition being consistent under Eqs. 7–8.
+//! the PG idle decomposition being consistent under Eqs. 7–8, and the
+//! supervised daemon surviving arbitrary fault storms without ever
+//! emitting a non-finite projection.
 
 use ppep_models::cpi::CpiObservation;
 use ppep_models::event_pred::HwEventPredictor;
@@ -254,6 +256,78 @@ proptest! {
         let lo = model.estimate_core(&rates, Volts::new(v1));
         let hi = model.estimate_core(&rates, Volts::new(v2));
         prop_assert!(hi > lo);
+    }
+}
+
+/// A quick-trained engine shared by the daemon properties (training is
+/// deterministic, so sharing it does not couple the cases).
+fn trained_engine() -> ppep_core::Ppep {
+    use std::sync::OnceLock;
+    static MODELS: OnceLock<ppep_models::trainer::TrainedModels> = OnceLock::new();
+    ppep_core::Ppep::new(
+        MODELS
+            .get_or_init(|| {
+                ppep_models::trainer::TrainingRig::fx8320(42)
+                    .train_quick()
+                    .expect("training succeeds")
+            })
+            .clone(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Whatever faults a storm throws at it — dropouts, NaN diodes,
+    /// stuck sensors, counter wraps, MSR failures, overruns, at any
+    /// rate — the supervised daemon never panics, never aborts, and
+    /// never emits a non-finite power/energy projection.
+    #[test]
+    fn supervised_daemon_survives_arbitrary_fault_storms(
+        storm_seed in 0u64..1_000,
+        rate in finite(0.0, 0.9),
+    ) {
+        use ppep_core::daemon::{PpepDaemon, StaticController};
+        use ppep_core::resilient::{ResilientDaemon, SupervisorConfig};
+        use ppep_sim::fault::FaultPlan;
+
+        const INTERVALS: usize = 12;
+        let ppep = trained_engine();
+        let table = ppep.models().vf_table().clone();
+        let mut sim = ppep_sim::ChipSimulator::new(ppep_sim::chip::SimConfig::fx8320(42));
+        sim.load_workload(&ppep_workloads::combos::instances("433.milc", 4, 42));
+        sim.set_fault_plan(FaultPlan::storm(storm_seed, INTERVALS as u64, rate, 8));
+        let inner = PpepDaemon::new(ppep, sim, StaticController { vf: table.lowest() });
+        let mut daemon = ResilientDaemon::new(inner, SupervisorConfig::new(table.lowest()));
+
+        let steps = daemon.run(INTERVALS);
+        prop_assert!(steps.is_ok(), "transient faults must never abort: {:?}", steps.err());
+        let steps = steps.unwrap();
+        prop_assert_eq!(steps.len(), INTERVALS);
+        for s in &steps {
+            prop_assert_eq!(s.decision.len(), 4, "one VF per CU, always");
+            if let Some(p) = &s.projection {
+                for c in &p.chip {
+                    prop_assert!(
+                        c.power.as_watts().is_finite() && c.power.as_watts() >= 0.0,
+                        "power {:?} at interval {}", c.power, s.interval
+                    );
+                    prop_assert!(c.energy.as_joules().is_finite() && c.edp.is_finite());
+                    prop_assert!(c.ips.is_finite());
+                }
+                prop_assert!(p.temperature.as_kelvin().is_finite());
+            }
+        }
+        let report = daemon.report();
+        prop_assert_eq!(report.intervals, INTERVALS as u64);
+        let availability = report.decision_availability();
+        prop_assert!((0.0..=1.0).contains(&availability));
+        // Bookkeeping is conservative: every interval is accounted as
+        // exactly one of fresh, held, or failsafe-pinned.
+        prop_assert_eq!(
+            report.fresh_decisions + report.held_decisions + report.failsafe_intervals,
+            INTERVALS as u64
+        );
     }
 }
 

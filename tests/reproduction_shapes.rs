@@ -59,14 +59,24 @@ fn headline_power_model_errors_are_paper_shaped() {
             .collect();
         v.iter().sum::<f64>() / v.len() as f64
     };
-    assert!(src_mean(0) > src_mean(4), "{} vs {}", src_mean(0), src_mean(4));
+    assert!(
+        src_mean(0) > src_mean(4),
+        "{} vs {}",
+        src_mean(0),
+        src_mean(4)
+    );
 }
 
 #[test]
 fn energy_prediction_beats_the_published_baseline() {
     let fig6 = fig06_energy::run(&ctx()).expect("fig6");
     // Paper: PPEP 3.6% vs Green Governors ~7% at VF5.
-    assert!(fig6.ppep_avg < fig6.gg_avg, "{} vs {}", fig6.ppep_avg, fig6.gg_avg);
+    assert!(
+        fig6.ppep_avg < fig6.gg_avg,
+        "{} vs {}",
+        fig6.ppep_avg,
+        fig6.gg_avg
+    );
     assert!(
         fig6.gg_avg / fig6.ppep_avg > 1.5,
         "PPEP should roughly halve the baseline error: {} vs {}",
