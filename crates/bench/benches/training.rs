@@ -25,7 +25,7 @@ fn bench_dynamic_fit(c: &mut Criterion) {
     for spec in ppep_workloads::combos::spec_combos(42).iter().take(10) {
         let trace = rig.collect_run(spec, vf5, &budget);
         for r in &trace.records {
-            samples.push(TrainingRig::dyn_sample_from(r, &idle, &table));
+            samples.push(TrainingRig::dyn_sample_from(r, &idle, &table).expect("finite sample"));
         }
     }
     c.bench_function("dynamic_model_fit", |b| {

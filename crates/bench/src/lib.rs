@@ -8,6 +8,7 @@
 //!   pre-collected traces, so `cargo bench` exercises every table and
 //!   figure of the evaluation.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use ppep_core::Ppep;

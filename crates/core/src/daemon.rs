@@ -76,6 +76,7 @@ impl RunOutcome {
     pub fn unwrap(self) -> Vec<DaemonStep> {
         match self.error {
             None => self.steps,
+            // ppep-lint: allow(panic)
             Some(e) => panic!("daemon run failed after {} steps: {e}", self.steps.len()),
         }
     }
@@ -90,6 +91,7 @@ impl RunOutcome {
     pub fn expect(self, msg: &str) -> Vec<DaemonStep> {
         match self.error {
             None => self.steps,
+            // ppep-lint: allow(panic)
             Some(e) => panic!("{msg}: failed after {} steps: {e}", self.steps.len()),
         }
     }

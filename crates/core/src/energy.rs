@@ -42,23 +42,32 @@ impl EnergyPredictor {
     /// Propagates model errors.
     pub fn predict_next_energy(&self, record: &IntervalRecord) -> Result<Joules> {
         let table = self.models.vf_table();
-        let vf = *record.cu_vf.iter().max().expect("chip has CUs");
-        let power =
-            self.models
-                .chip_power()
-                .estimate_chip(&record.samples, vf, table, record.temperature);
+        let vf = max_cu_vf(record)?;
+        let power = self.models.chip_power().estimate_chip(
+            &record.samples,
+            vf,
+            table,
+            record.temperature,
+        )?;
         Ok(power * record.duration)
     }
 
     /// The Green Governors baseline's prediction of the next
     /// interval's chip energy (temperature-blind static table plus a
     /// single `IPS·V²f` activity term).
-    pub fn predict_next_energy_gg(&self, record: &IntervalRecord) -> Joules {
+    ///
+    /// # Errors
+    ///
+    /// Propagates model errors.
+    pub fn predict_next_energy_gg(&self, record: &IntervalRecord) -> Result<Joules> {
         let table = self.models.vf_table();
         let ips = record.samples.iter().map(|s| s.ips()).sum::<f64>();
-        let vf = *record.cu_vf.iter().max().expect("chip has CUs");
-        let power = self.models.green_governors().estimate_power(ips, vf, table);
-        power * record.duration
+        let vf = max_cu_vf(record)?;
+        let power = self
+            .models
+            .green_governors()
+            .estimate_power(ips, vf, table)?;
+        Ok(power * record.duration)
     }
 
     /// Relative prediction errors of consecutive-interval energy for a
@@ -86,11 +95,22 @@ impl EnergyPredictor {
             }
             let p = self.predict_next_energy(&pair[0])?.as_joules();
             ppep.push((p - actual).abs() / actual);
-            let g = self.predict_next_energy_gg(&pair[0]).as_joules();
+            let g = self.predict_next_energy_gg(&pair[0])?.as_joules();
             gg.push((g - actual).abs() / actual);
         }
         Ok((ppep, gg))
     }
+}
+
+/// The highest VF state assigned to any CU in the record — the shared
+/// rail must satisfy the fastest CU.
+fn max_cu_vf(record: &IntervalRecord) -> Result<ppep_types::VfStateId> {
+    record
+        .cu_vf
+        .iter()
+        .copied()
+        .max()
+        .ok_or_else(|| ppep_types::Error::InvalidInput("record has no CU VF states".into()))
 }
 
 #[cfg(test)]
@@ -147,7 +167,7 @@ mod tests {
         let e = p.predict_next_energy(&records[0]).unwrap().as_joules();
         // Chip at ~40-90 W for 0.2 s -> 8-18 J.
         assert!((5.0..=25.0).contains(&e), "interval energy {e} J");
-        let g = p.predict_next_energy_gg(&records[0]).as_joules();
+        let g = p.predict_next_energy_gg(&records[0]).unwrap().as_joules();
         assert!(g > 0.0);
     }
 

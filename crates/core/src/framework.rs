@@ -95,7 +95,7 @@ impl Ppep {
                     .predictor
                     .predict_scaled(sample, from, to, memory_factor)?;
                 let (core_dyn, nb_dyn) =
-                    dynamic.estimate_core_split(&predicted.power_rates(), to.voltage);
+                    dynamic.estimate_core_split(&predicted.power_rates(), to.voltage)?;
                 let nb_dyn = nb_dyn * nb_dyn_scale;
                 nb_dynamic_by_vf[vf.index()] += nb_dyn.as_watts();
                 per_vf.push(CoreAtVf {
@@ -119,8 +119,9 @@ impl Ppep {
             .sum();
 
         // CU activity pattern for the PG idle path.
-        let cu_active: Vec<bool> = (0..topo.cu_count())
-            .map(|cu| (0..cores_per_cu).any(|j| cores[cu * cores_per_cu + j].busy))
+        let cu_active: Vec<bool> = cores
+            .chunks(cores_per_cu)
+            .map(|cu| cu.iter().any(|c| c.busy))
             .collect();
         let any_active = cu_active.iter().any(|b| *b);
 
@@ -129,7 +130,7 @@ impl Ppep {
             let dynamic_total: Watts = cores.iter().map(|c| c.at(vf).dynamic_power).sum();
             // NB idle share, separable only with the PG decomposition.
             let nb_idle = match self.models.chip_power().pg_model() {
-                Some(pg) if any_active => pg.pidle_nb(vf) * nb_idle_scale,
+                Some(pg) if any_active => pg.pidle_nb(vf)? * nb_idle_scale,
                 _ => Watts::ZERO,
             };
             let idle_total = match self.models.chip_power().pg_model() {
@@ -138,7 +139,7 @@ impl Ppep {
                     // Replace the stock NB idle contribution with the
                     // scaled one.
                     if any_active {
-                        stock - pg.pidle_nb(vf) + nb_idle
+                        stock - pg.pidle_nb(vf)? + nb_idle
                     } else {
                         stock
                     }
@@ -146,7 +147,7 @@ impl Ppep {
                 None => self
                     .models
                     .idle_model()
-                    .estimate(table.point(vf).voltage, record.temperature),
+                    .estimate(table.point(vf).voltage, record.temperature)?,
             };
             let power = idle_total + dynamic_total;
             let nb_power = nb_idle + Watts::new(nb_dynamic_by_vf[vf.index()]);
@@ -205,12 +206,15 @@ impl Ppep {
             )));
         }
         let mut dynamic = Watts::ZERO;
-        for (i, core) in projection.cores.iter().enumerate() {
-            let vf = cu_vf[i / cores_per_cu];
-            dynamic += core.at(vf).dynamic_power;
+        for (cores, &vf) in projection.cores.chunks(cores_per_cu).zip(cu_vf) {
+            for core in cores {
+                dynamic += core.at(vf).dynamic_power;
+            }
         }
-        let cu_active: Vec<bool> = (0..topo.cu_count())
-            .map(|cu| (0..cores_per_cu).any(|j| projection.cores[cu * cores_per_cu + j].busy))
+        let cu_active: Vec<bool> = projection
+            .cores
+            .chunks(cores_per_cu)
+            .map(|cu| cu.iter().any(|c| c.busy))
             .collect();
         let idle = match self.models.chip_power().pg_model() {
             Some(pg) => pg.chip_idle_pg_enabled(&cu_active, cu_vf)?,
@@ -218,11 +222,14 @@ impl Ppep {
                 // Without per-CU rails the Eq. 2 model needs one
                 // voltage; use the highest assigned state, as the
                 // shared rail must satisfy the fastest CU.
-                let max_vf = *cu_vf.iter().max().expect("non-empty");
+                let max_vf =
+                    cu_vf.iter().copied().max().ok_or_else(|| {
+                        ppep_types::Error::InvalidInput("empty VF assignment".into())
+                    })?;
                 self.models.idle_model().estimate(
                     self.models.vf_table().point(max_vf).voltage,
                     projection.temperature,
-                )
+                )?
             }
         };
         Ok(idle + dynamic)

@@ -38,6 +38,7 @@
 //! println!("energy-optimal state: {best}");
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod daemon;

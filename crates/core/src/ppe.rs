@@ -114,8 +114,8 @@ impl PpeProjection {
         self.chip
             .iter()
             .min_by(|a, b| a.energy.as_joules().total_cmp(&b.energy.as_joules()))
-            .expect("ladder is non-empty")
-            .vf
+            .map(|c| c.vf)
+            .unwrap_or_default()
     }
 
     /// The VF state minimising predicted EDP for the work.
@@ -123,8 +123,8 @@ impl PpeProjection {
         self.chip
             .iter()
             .min_by(|a, b| a.edp.total_cmp(&b.edp))
-            .expect("ladder is non-empty")
-            .vf
+            .map(|c| c.vf)
+            .unwrap_or_default()
     }
 
     /// The fastest VF state whose predicted power fits under `cap`

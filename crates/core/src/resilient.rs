@@ -372,30 +372,28 @@ impl<C: DvfsController> ResilientDaemon<C> {
         self.report.last_error = Some(fault.clone());
 
         let exhausted = self.consecutive_faults >= self.config.max_consecutive_faults;
-        let (action, decision) =
-            if exhausted || self.state == HealthState::Failsafe || self.last_good.is_none() {
-                let cu_count = self.inner.sim().topology().cu_count();
-                self.inner.sim_mut().set_all_vf(self.config.failsafe_vf);
-                self.enter(if exhausted || self.state == HealthState::Failsafe {
-                    HealthState::Failsafe
-                } else {
-                    HealthState::Degraded
-                });
-                self.report.failsafe_intervals += 1;
-                (Action::Failsafe, vec![self.config.failsafe_vf; cu_count])
+        let held = if exhausted || self.state == HealthState::Failsafe {
+            None
+        } else {
+            self.last_good.as_ref().map(|g| g.projection.clone())
+        };
+        let (action, decision) = if let Some(held) = held {
+            let decision = self.inner.controller_mut().decide(&held)?;
+            self.inner.apply(&decision)?;
+            self.enter(HealthState::Degraded);
+            self.report.held_decisions += 1;
+            (Action::Held, decision)
+        } else {
+            let cu_count = self.inner.sim().topology().cu_count();
+            self.inner.sim_mut().set_all_vf(self.config.failsafe_vf);
+            self.enter(if exhausted || self.state == HealthState::Failsafe {
+                HealthState::Failsafe
             } else {
-                let held = self
-                    .last_good
-                    .as_ref()
-                    .expect("checked above")
-                    .projection
-                    .clone();
-                let decision = self.inner.controller_mut().decide(&held)?;
-                self.inner.apply(&decision)?;
-                self.enter(HealthState::Degraded);
-                self.report.held_decisions += 1;
-                (Action::Held, decision)
-            };
+                HealthState::Degraded
+            });
+            self.report.failsafe_intervals += 1;
+            (Action::Failsafe, vec![self.config.failsafe_vf; cu_count])
+        };
         Ok(SupervisedStep {
             interval,
             action,

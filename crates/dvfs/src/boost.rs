@@ -110,12 +110,17 @@ impl BoostController {
                 }
                 // Promote the CU with the most predicted throughput gain.
                 let cores_per_cu = self.ppep.models().topology().cores_per_cu();
-                let gain: f64 = (0..cores_per_cu)
-                    .map(|j| {
-                        let core = &projection.cores[cu * cores_per_cu + j];
-                        core.at(up).ips - core.at(assignment[cu]).ips
-                    })
-                    .sum();
+                let gain: f64 =
+                    projection
+                        .cores
+                        .chunks(cores_per_cu)
+                        .nth(cu)
+                        .map_or(0.0, |cores| {
+                            cores
+                                .iter()
+                                .map(|core| core.at(up).ips - core.at(assignment[cu]).ips)
+                                .sum()
+                        });
                 if best.as_ref().is_none_or(|(_, _, g)| gain > *g) {
                     best = Some((cu, up, gain));
                 }

@@ -116,12 +116,16 @@ impl OneStepCapping {
         to: VfStateId,
     ) -> f64 {
         let cores_per_cu = self.ppep.models().topology().cores_per_cu();
-        (0..cores_per_cu)
-            .map(|j| {
-                let core = &projection.cores[cu * cores_per_cu + j];
-                core.at(to).ips - core.at(from).ips
+        projection
+            .cores
+            .chunks(cores_per_cu)
+            .nth(cu)
+            .map_or(0.0, |cores| {
+                cores
+                    .iter()
+                    .map(|core| core.at(to).ips - core.at(from).ips)
+                    .sum()
             })
-            .sum()
     }
 }
 
@@ -209,8 +213,9 @@ impl DvfsController for IterativeCapping {
             // hands controllers the projection): fall back to the
             // projection's estimate of power at the interval's own
             // state, so the reactive loop still closes.
-            let source = *projection.source_vf.iter().max().expect("chip has CUs");
-            self.observe_power(projection.chip_at(source).power);
+            if let Some(&source) = projection.source_vf.iter().max() {
+                self.observe_power(projection.chip_at(source).power);
+            }
         }
         let decision = self.choose(projection.source_vf.len());
         // Consume the observation: the next decision needs a fresh one.
@@ -266,13 +271,13 @@ impl SteepestDrop {
         let mut assignment = projection.source_vf.clone();
 
         let cu_ips = |assignment: &[VfStateId], cu: usize| -> f64 {
-            (0..cores_per_cu)
-                .map(|j| {
-                    projection.cores[cu * cores_per_cu + j]
-                        .at(assignment[cu])
-                        .ips
+            projection
+                .cores
+                .chunks(cores_per_cu)
+                .nth(cu)
+                .map_or(0.0, |cores| {
+                    cores.iter().map(|core| core.at(assignment[cu]).ips).sum()
                 })
-                .sum()
         };
 
         // Descend: drop the CU with the steepest watts-per-lost-ips.

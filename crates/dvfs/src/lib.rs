@@ -16,6 +16,7 @@
 //! All controllers implement [`ppep_core::daemon::DvfsController`], so
 //! they plug into the same daemon loop.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod boost;

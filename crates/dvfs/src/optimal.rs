@@ -64,8 +64,8 @@ pub fn best_ed_beta_vf(projection: &PpeProjection, beta: f64) -> VfStateId {
                 beta,
             ))
         })
-        .expect("ladder is non-empty")
-        .vf
+        .map(|c| c.vf)
+        .unwrap_or_default()
 }
 
 /// Picks the VF state minimising the generalised `E·Dᵝ` metric.
@@ -148,8 +148,8 @@ pub fn best_edp_state(per_thread: &[PerThreadPpe]) -> VfStateId {
     per_thread
         .iter()
         .min_by(|a, b| a.edp.total_cmp(&b.edp))
-        .expect("non-empty ladder")
-        .vf
+        .map(|t| t.vf)
+        .unwrap_or_default()
 }
 
 #[cfg(test)]

@@ -62,7 +62,7 @@ fn validate(
     idle: &IdlePowerModel,
     specs: &[WorkloadSpec],
     budget: &ppep_models::trainer::TrainingBudget,
-) -> (f64, f64) {
+) -> Result<(f64, f64)> {
     let table = models.vf_table().clone();
     let mut chip_errs = Vec::new();
     let mut dyn_errs = Vec::new();
@@ -71,11 +71,11 @@ fn validate(
             let trace = rig.collect_run(spec, vf, budget);
             let voltage = table.point(vf).voltage;
             for r in &trace.records {
-                let idle_w = idle.estimate(voltage, r.temperature).as_watts();
-                let sample = TrainingRig::dyn_sample_from(r, idle, &table);
+                let idle_w = idle.estimate(voltage, r.temperature)?.as_watts();
+                let sample = TrainingRig::dyn_sample_from(r, idle, &table)?;
                 let est_dyn = models
                     .dynamic_model()
-                    .estimate_core(&sample.rates, voltage)
+                    .estimate_core(&sample.rates, voltage)?
                     .as_watts();
                 let measured = r.measured_power.as_watts();
                 let measured_dyn = measured - idle_w;
@@ -86,10 +86,10 @@ fn validate(
             }
         }
     }
-    (
+    Ok((
         ppep_regress::stats::mean(&chip_errs),
         ppep_regress::stats::mean(&dyn_errs),
-    )
+    ))
 }
 
 /// Runs all four ablation configurations.
@@ -116,7 +116,7 @@ pub fn run(ctx: &Context) -> Result<AblationResult> {
         let rig = TrainingRig::with_config(config_for(label, ctx.seed), ctx.seed);
         let models = rig.train(&train, &budget)?;
         let idle = models.idle_model().clone();
-        let (chip_aae, dynamic_aae) = validate(&rig, &models, &idle, &train, &budget);
+        let (chip_aae, dynamic_aae) = validate(&rig, &models, &idle, &train, &budget)?;
         points.push(AblationPoint {
             label,
             chip_aae,

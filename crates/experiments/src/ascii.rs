@@ -11,11 +11,9 @@
 /// constant series renders mid-height.
 pub fn sparkline(values: &[f64]) -> String {
     const GLYPHS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
-    if values.is_empty() {
+    let Some((min, max)) = crate::common::series_range(values) else {
         return String::new();
-    }
-    let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
-    let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    };
     let span = max - min;
     values
         .iter()
@@ -46,12 +44,10 @@ pub fn downsample(values: &[f64], width: usize) -> Vec<f64> {
 
 /// A labelled sparkline with its min/max range, ready to print.
 pub fn chart_row(label: &str, values: &[f64], width: usize) -> String {
-    let ds = downsample(values, width);
-    let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
-    let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-    if values.is_empty() {
+    let Some((min, max)) = crate::common::series_range(values) else {
         return format!("{label:<12} (empty)");
-    }
+    };
+    let ds = downsample(values, width);
     format!("{label:<12} {} [{min:.1} … {max:.1}]", sparkline(&ds))
 }
 

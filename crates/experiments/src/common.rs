@@ -214,11 +214,11 @@ impl CvMachinery {
         let mut samples = Vec::new();
         for &i in &self.folds.train_indices(fold) {
             let name = &self.names[i];
-            let trace = store
-                .get(name, vf_top)
-                .unwrap_or_else(|| panic!("missing VF-top trace for {name}"));
+            let trace = store.get(name, vf_top).ok_or_else(|| {
+                ppep_types::Error::InvalidInput(format!("missing VF-top trace for {name}"))
+            })?;
             for record in &trace.records {
-                samples.push(TrainingRig::dyn_sample_from(record, &self.idle, &table));
+                samples.push(TrainingRig::dyn_sample_from(record, &self.idle, &table)?);
             }
         }
         DynamicPowerModel::fit(
@@ -229,12 +229,46 @@ impl CvMachinery {
         )
     }
 
-    /// The fold that holds out a given combo index.
-    pub fn fold_of(&self, combo_index: usize) -> usize {
-        (0..self.folds.k())
-            .find(|&f| self.folds.test_indices(f).contains(&combo_index))
-            .expect("every index is in exactly one fold")
+    /// The fold that holds out a given combo index, or `None` when
+    /// the index is outside the partition.
+    pub fn fold_of(&self, combo_index: usize) -> Option<usize> {
+        (0..self.folds.k()).find(|&f| self.folds.test_indices(f).contains(&combo_index))
     }
+
+    /// The held-out fold model for a combo index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ppep_types::Error::InvalidInput`] when the index is
+    /// outside the k-fold partition.
+    pub fn fold_model<'m, M>(&self, fold_models: &'m [M], combo_index: usize) -> Result<&'m M> {
+        let fold = self.fold_of(combo_index).ok_or_else(|| {
+            ppep_types::Error::InvalidInput(format!(
+                "combo {combo_index} is not covered by any cross-validation fold"
+            ))
+        })?;
+        fold_models.get(fold).ok_or_else(|| {
+            ppep_types::Error::InvalidInput(format!("no model trained for fold {fold}"))
+        })
+    }
+}
+
+/// Smallest value of a series, or `None` when the series is empty —
+/// the non-panicking fold for possibly-empty report series.
+pub fn series_min(values: impl IntoIterator<Item = f64>) -> Option<f64> {
+    values.into_iter().reduce(f64::min)
+}
+
+/// Largest value of a series, or `None` when the series is empty.
+pub fn series_max(values: impl IntoIterator<Item = f64>) -> Option<f64> {
+    values.into_iter().reduce(f64::max)
+}
+
+/// `(min, max)` of a series, or `None` when the series is empty.
+pub fn series_range(values: &[f64]) -> Option<(f64, f64)> {
+    let mut it = values.iter().copied();
+    let first = it.next()?;
+    Some(it.fold((first, first), |(lo, hi), v| (lo.min(v), hi.max(v))))
 }
 
 /// Per-suite, per-VF aggregation used by the Fig. 2 style outputs.

@@ -46,10 +46,9 @@ pub fn run(ctx: &Context) -> Result<Fig01Result> {
     let vf5 = ctx.rig.config().topology.vf_table().highest();
     let (idle_samples, records) = ctx.rig.collect_idle_trace_at(vf5, &budget);
 
-    let peak_power_w = records
-        .iter()
-        .map(|r| r.measured_power.as_watts())
-        .fold(0.0, f64::max);
+    let peak_power_w =
+        crate::common::series_max(records.iter().map(|r| r.measured_power.as_watts()))
+            .unwrap_or(1.0);
     let series: Vec<TracePoint> = records
         .iter()
         .enumerate()
@@ -65,8 +64,7 @@ pub fn run(ctx: &Context) -> Result<Fig01Result> {
         .iter()
         .map(|s| s.temperature.as_kelvin())
         .collect();
-    let span = temps.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
-        - temps.iter().cloned().fold(f64::INFINITY, f64::min);
+    let span = crate::common::series_range(&temps).map_or(0.0, |(lo, hi)| hi - lo);
 
     let xs: Vec<Vec<f64>> = temps.iter().map(|t| vec![*t]).collect();
     let ys: Vec<f64> = idle_samples.iter().map(|s| s.power.as_watts()).collect();

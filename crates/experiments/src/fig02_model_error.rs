@@ -75,9 +75,10 @@ pub fn run_with_store(ctx: &Context, store: &TraceStore) -> Result<Fig02Result> 
 
     let mut combos = Vec::new();
     for (index, name) in cv.names.iter().enumerate() {
-        let fold = cv.fold_of(index);
-        let dynamic = &fold_models[fold];
-        let suite = store.suite_of(name).expect("combo exists in store");
+        let dynamic = cv.fold_model(&fold_models, index)?;
+        let suite = store.suite_of(name).ok_or_else(|| {
+            ppep_types::Error::InvalidInput(format!("combo {name} missing from trace store"))
+        })?;
         for vf in table.states() {
             let Some(trace) = store.get(name, vf) else {
                 continue;
@@ -86,11 +87,11 @@ pub fn run_with_store(ctx: &Context, store: &TraceStore) -> Result<Fig02Result> 
             let mut dyn_errs = Vec::new();
             let mut chip_errs = Vec::new();
             for record in &trace.records {
-                let idle_w = cv.idle.estimate(voltage, record.temperature).as_watts();
+                let idle_w = cv.idle.estimate(voltage, record.temperature)?.as_watts();
                 let measured = record.measured_power.as_watts();
                 let measured_dyn = measured - idle_w;
-                let sample = TrainingRig::dyn_sample_from(record, &cv.idle, &table);
-                let est_dyn = dynamic.estimate_core(&sample.rates, voltage).as_watts();
+                let sample = TrainingRig::dyn_sample_from(record, &cv.idle, &table)?;
+                let est_dyn = dynamic.estimate_core(&sample.rates, voltage)?.as_watts();
                 if measured_dyn > 0.5 {
                     dyn_errs.push((est_dyn - measured_dyn).abs() / measured_dyn);
                 }
@@ -157,7 +158,7 @@ pub fn run_with_store(ctx: &Context, store: &TraceStore) -> Result<Fig02Result> 
     Ok(Fig02Result {
         dynamic_overall: ppep_regress::stats::mean(&all_dyn),
         chip_overall: ppep_regress::stats::mean(&all_chip),
-        dynamic_worst: all_dyn.iter().cloned().fold(0.0, f64::max),
+        dynamic_worst: crate::common::series_max(all_dyn.iter().cloned()).unwrap_or(0.0),
         worst_combos,
         combos,
         cells,

@@ -59,7 +59,7 @@ pub fn run_with_store(ctx: &Context, store: &TraceStore) -> Result<Fig03Result> 
     let mut chip_errors: Vec<Vec<f64>> = vec![Vec::new(); pair_list.len()];
 
     for (index, name) in cv.names.iter().enumerate() {
-        let model = &fold_models[cv.fold_of(index)];
+        let model = cv.fold_model(&fold_models, index)?;
         for (p, &(from, to)) in pair_list.iter().enumerate() {
             let (Some(src), Some(dst)) = (store.get(name, from), store.get(name, to)) else {
                 continue;
@@ -83,7 +83,7 @@ pub fn run_with_store(ctx: &Context, store: &TraceStore) -> Result<Fig03Result> 
             let mut meas_chip = 0.0;
             let mut meas_dyn = 0.0;
             for record in &dst.records {
-                let idle = cv.idle.estimate(v_to, record.temperature).as_watts();
+                let idle = cv.idle.estimate(v_to, record.temperature)?.as_watts();
                 meas_chip += record.measured_power.as_watts();
                 meas_dyn += record.measured_power.as_watts() - idle;
             }

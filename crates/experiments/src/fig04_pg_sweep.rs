@@ -42,8 +42,16 @@ fn decomposition_rows(result: &Fig04Result, vfs: &[VfStateId]) -> Vec<Vec<String
         .map(|&vf| {
             vec![
                 vf.to_string(),
-                crate::common::w(result.model.pidle_cu(vf)),
-                crate::common::w(result.model.pidle_nb(vf)),
+                result
+                    .model
+                    .pidle_cu(vf)
+                    .map(crate::common::w)
+                    .unwrap_or_else(|_| "n/a".into()),
+                result
+                    .model
+                    .pidle_nb(vf)
+                    .map(crate::common::w)
+                    .unwrap_or_else(|_| "n/a".into()),
             ]
         })
         .collect()
@@ -96,10 +104,10 @@ mod tests {
         assert_eq!(r.sweep.len(), 50);
         // Decomposed components are positive and ordered: CU idle at
         // VF5 exceeds CU idle at VF1.
-        let cu5 = r.model.pidle_cu(table.highest()).as_watts();
-        let cu1 = r.model.pidle_cu(table.lowest()).as_watts();
+        let cu5 = r.model.pidle_cu(table.highest()).unwrap().as_watts();
+        let cu1 = r.model.pidle_cu(table.lowest()).unwrap().as_watts();
         assert!(cu5 > cu1, "CU idle: VF5 {cu5} vs VF1 {cu1}");
-        assert!(r.model.pidle_nb(table.highest()).as_watts() > 1.0);
+        assert!(r.model.pidle_nb(table.highest()).unwrap().as_watts() > 1.0);
         assert!(r.model.pidle_base().as_watts() > 0.5);
         // With everything busy the two gating settings agree.
         let full_off = r

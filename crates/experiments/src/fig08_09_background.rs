@@ -58,14 +58,17 @@ fn project_entry(ctx: &Context, ppep: &Ppep, benchmark: &str, n: usize) -> Resul
         crate::common::Scale::Full => 20,
         crate::common::Scale::Quick => 8,
     };
-    let record = sim.run_intervals(warmup).pop().expect("warmup > 0");
+    let record = sim
+        .run_intervals(warmup)
+        .pop()
+        .ok_or_else(|| ppep_types::Error::InvalidInput("warmup produced no intervals".into()))?;
     let projection = ppep.project(&record)?;
     let per_thread = per_thread_ppe(&projection, n)?;
     let best_energy = per_thread
         .iter()
         .min_by(|a, b| a.energy.total_cmp(&b.energy))
-        .expect("non-empty ladder")
-        .vf;
+        .map(|p| p.vf)
+        .unwrap_or_default();
     Ok(SweepEntry {
         benchmark: benchmark.to_string(),
         instances: n,
@@ -110,17 +113,17 @@ pub fn run_with_engine(ctx: &Context, ppep: &Ppep) -> Result<Fig0809Result> {
         for (s, slot) in static_total.iter_mut().enumerate().take(e.per_thread.len()) {
             *slot += e.per_thread[s].energy;
         }
-        oracle_total += e
-            .per_thread
-            .iter()
-            .map(|p| p.energy)
-            .fold(f64::INFINITY, f64::min);
+        oracle_total +=
+            crate::common::series_min(e.per_thread.iter().map(|p| p.energy)).unwrap_or(0.0);
     }
-    let best_static = static_total
-        .iter()
-        .take(entries[0].per_thread.len())
-        .fold(f64::INFINITY, |a, &b| a.min(b));
-    let dynamic_policy_gain = (best_static - oracle_total) / best_static;
+    let threads = entries.first().map_or(0, |e| e.per_thread.len());
+    let best_static =
+        crate::common::series_min(static_total.iter().take(threads).copied()).unwrap_or(0.0);
+    let dynamic_policy_gain = if best_static > 0.0 {
+        (best_static - oracle_total) / best_static
+    } else {
+        0.0
+    };
 
     Ok(Fig0809Result {
         entries,

@@ -64,13 +64,13 @@ pub fn run_with_engine(ctx: &Context, ppep: &Ppep) -> Result<Fig10Result> {
         for n in 1..=4 {
             let mut sim = ChipSimulator::new(ppep_sim::chip::SimConfig::fx8320_pg(ctx.seed));
             sim.load_workload(&instances(benchmark, n, ctx.seed));
-            let record = sim.run_intervals(warmup).pop().expect("warmup > 0");
+            let record = sim.run_intervals(warmup).pop().ok_or_else(|| {
+                ppep_types::Error::InvalidInput("warmup produced no intervals".into())
+            })?;
             let projection = ppep.project(&record)?;
-            let max_energy = projection
-                .chip
-                .iter()
-                .map(|c| c.energy.as_joules())
-                .fold(0.0, f64::max);
+            let max_energy =
+                crate::common::series_max(projection.chip.iter().map(|c| c.energy.as_joules()))
+                    .unwrap_or(0.0);
             for chip in &projection.chip {
                 cells.push(NbShareCell {
                     benchmark: benchmark.to_string(),

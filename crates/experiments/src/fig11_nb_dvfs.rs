@@ -70,24 +70,25 @@ pub fn run_with_engine(ctx: &Context, ppep: &Ppep) -> Result<Fig11Result> {
         for n in 1..=4 {
             let mut sim = ChipSimulator::new(ppep_sim::chip::SimConfig::fx8320_pg(ctx.seed));
             sim.load_workload(&instances(benchmark, n, ctx.seed));
-            let record = sim.run_intervals(warmup).pop().expect("warmup > 0");
+            let record = sim.run_intervals(warmup).pop().ok_or_else(|| {
+                ppep_types::Error::InvalidInput("warmup produced no intervals".into())
+            })?;
 
             let hi = ppep.project_nb(&record, NbVfState::High)?;
             let lo = ppep.project_nb(&record, NbVfState::Low)?;
 
             // Energy saving: minimum over the extended space vs the
             // NB-high-only space.
-            let min_hi = hi
-                .chip
-                .iter()
-                .map(|c| c.energy.as_joules())
-                .fold(f64::INFINITY, f64::min);
-            let min_all = lo
-                .chip
-                .iter()
-                .map(|c| c.energy.as_joules())
-                .fold(min_hi, f64::min);
-            let energy_saving = (min_hi - min_all) / min_hi;
+            let min_hi = crate::common::series_min(hi.chip.iter().map(|c| c.energy.as_joules()))
+                .unwrap_or(0.0);
+            let min_all = crate::common::series_min(lo.chip.iter().map(|c| c.energy.as_joules()))
+                .unwrap_or(min_hi)
+                .min(min_hi);
+            let energy_saving = if min_hi > 0.0 {
+                (min_hi - min_all) / min_hi
+            } else {
+                0.0
+            };
 
             // Speedup at similar energy: baseline is (core-VF1, NB-hi).
             let table = ppep.models().vf_table();

@@ -40,7 +40,7 @@ pub fn run(ctx: &Context) -> Result<IdleAccuracyResult> {
         let (samples, _) = test_rig.collect_idle_trace_at(vf, &budget);
         let mut errors = Vec::with_capacity(samples.len());
         for s in &samples {
-            let est = model.estimate(s.voltage, s.temperature).as_watts();
+            let est = model.estimate(s.voltage, s.temperature)?.as_watts();
             errors.push((est - s.power.as_watts()).abs() / s.power.as_watts());
         }
         per_vf.push((vf, ppep_regress::stats::mean(&errors)));

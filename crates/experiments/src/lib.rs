@@ -25,6 +25,7 @@
 //! | [`ablations`] | error attribution (beyond the paper: ideal PMU/sensor) |
 //! | [`resilience`] | Fig. 7 capping under a fault storm (beyond the paper) |
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod ablations;

@@ -65,17 +65,17 @@ pub fn run(ctx_fx: &Context) -> Result<PhenomResult> {
         let mut dyn_errs = Vec::new();
         let mut chip_errs = Vec::new();
         for (index, name) in cv.names.iter().enumerate() {
-            let model = &fold_models[cv.fold_of(index)];
+            let model = cv.fold_model(&fold_models, index)?;
             let Some(trace) = store.get(name, vf) else {
                 continue;
             };
             for record in &trace.records {
-                let idle_w = cv.idle.estimate(voltage, record.temperature).as_watts();
+                let idle_w = cv.idle.estimate(voltage, record.temperature)?.as_watts();
                 let measured = record.measured_power.as_watts();
-                let sample = TrainingRig::dyn_sample_from(record, &cv.idle, &table);
+                let sample = TrainingRig::dyn_sample_from(record, &cv.idle, &table)?;
                 let est = model
                     .dynamic_model()
-                    .estimate_core(&sample.rates, voltage)
+                    .estimate_core(&sample.rates, voltage)?
                     .as_watts();
                 let measured_dyn = measured - idle_w;
                 if measured_dyn > 0.5 {
@@ -98,7 +98,7 @@ pub fn run(ctx_fx: &Context) -> Result<PhenomResult> {
     for &from in &cross_states {
         for &to in &cross_states {
             for (index, name) in cv.names.iter().enumerate() {
-                let model = &fold_models[cv.fold_of(index)];
+                let model = cv.fold_model(&fold_models, index)?;
                 let (Some(src), Some(dst)) = (store.get(name, from), store.get(name, to)) else {
                     continue;
                 };
@@ -125,15 +125,12 @@ pub fn run(ctx_fx: &Context) -> Result<PhenomResult> {
                         .as_watts();
                 }
                 pred_dyn /= src.records.len() as f64;
-                let meas_dyn = dst
-                    .records
-                    .iter()
-                    .map(|r| {
-                        r.measured_power.as_watts()
-                            - cv.idle.estimate(v_to, r.temperature).as_watts()
-                    })
-                    .sum::<f64>()
-                    / dst.records.len() as f64;
+                let mut meas_dyn = 0.0;
+                for r in &dst.records {
+                    meas_dyn += r.measured_power.as_watts()
+                        - cv.idle.estimate(v_to, r.temperature)?.as_watts();
+                }
+                meas_dyn /= dst.records.len() as f64;
                 if meas_dyn > 0.5 {
                     cross_dyn.push((pred_dyn - meas_dyn).abs() / meas_dyn);
                 }

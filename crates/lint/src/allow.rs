@@ -1,0 +1,113 @@
+//! The workspace allowlist (`ppep-lint.allow` at the repo root).
+//!
+//! One entry per line:
+//!
+//! ```text
+//! rule  path-suffix  item -- reason
+//! ```
+//!
+//! e.g.
+//!
+//! ```text
+//! raw-f64 crates/models/src/cpi.rs predict_cpi -- CPI is a dimensionless ratio
+//! ```
+//!
+//! `rule` is a rule name (or `L1`…`L4` group alias), `path-suffix`
+//! matches the end of the diagnostic's path, `item` is the function
+//! name the rule attaches to. Blank lines and `#` comments are
+//! ignored. The `-- reason` tail is mandatory: an exemption without a
+//! recorded justification is itself a parse error, so the allowlist
+//! stays auditable.
+
+use crate::rules::expand_rule_alias;
+
+/// One parsed allowlist entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowEntry {
+    /// Expanded rule names this entry exempts.
+    pub rules: Vec<String>,
+    /// Path suffix the entry applies to.
+    pub path_suffix: String,
+    /// Item (function) name the entry applies to.
+    pub item: String,
+    /// Why the exemption is sound.
+    pub reason: String,
+}
+
+/// The parsed allowlist.
+#[derive(Debug, Clone, Default)]
+pub struct Allowlist {
+    entries: Vec<AllowEntry>,
+}
+
+impl Allowlist {
+    /// Parses allowlist text. Returns `Err` with a message naming the
+    /// offending line on malformed entries.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut entries = Vec::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (spec, reason) = line
+                .split_once("--")
+                .ok_or_else(|| format!("allowlist line {}: missing `-- reason`", idx + 1))?;
+            let fields: Vec<&str> = spec.split_whitespace().collect();
+            let [rule, path_suffix, item] = fields[..] else {
+                return Err(format!(
+                    "allowlist line {}: expected `rule path item -- reason`, got {:?}",
+                    idx + 1,
+                    spec.trim()
+                ));
+            };
+            let reason = reason.trim();
+            if reason.is_empty() {
+                return Err(format!("allowlist line {}: empty reason", idx + 1));
+            }
+            entries.push(AllowEntry {
+                rules: expand_rule_alias(rule),
+                path_suffix: path_suffix.to_string(),
+                item: item.to_string(),
+                reason: reason.to_string(),
+            });
+        }
+        Ok(Self { entries })
+    }
+
+    /// True when `rule` is exempted for `item` in `path`.
+    pub fn allows(&self, rule: &str, path: &str, item: &str) -> bool {
+        self.entries.iter().any(|e| {
+            e.rules.iter().any(|r| r == rule) && path.ends_with(&e.path_suffix) && e.item == item
+        })
+    }
+
+    /// All parsed entries (for reporting / docs).
+    pub fn entries(&self) -> &[AllowEntry] {
+        &self.entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_and_matches() {
+        let a = Allowlist::parse(
+            "# comment\n\nraw-f64 crates/models/src/cpi.rs predict_cpi -- CPI is dimensionless\n",
+        )
+        .unwrap();
+        assert!(a.allows("raw-f64", "crates/models/src/cpi.rs", "predict_cpi"));
+        assert!(!a.allows("raw-f64", "crates/models/src/cpi.rs", "other_fn"));
+        assert!(!a.allows("unwrap", "crates/models/src/cpi.rs", "predict_cpi"));
+        assert_eq!(a.entries().len(), 1);
+    }
+
+    #[test]
+    fn reason_is_mandatory() {
+        assert!(Allowlist::parse("raw-f64 a.rs f\n").is_err());
+        assert!(Allowlist::parse("raw-f64 a.rs f --   \n").is_err());
+        assert!(Allowlist::parse("raw-f64 a.rs -- why\n").is_err());
+    }
+}

@@ -1,0 +1,54 @@
+//! Rustc-style diagnostics.
+
+use std::fmt;
+
+/// One rule violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Rule group id, e.g. `L1`.
+    pub group: &'static str,
+    /// Rule name, e.g. `unwrap` (the name `allow(...)` accepts).
+    pub rule: &'static str,
+    /// Workspace-relative file path.
+    pub path: String,
+    /// 1-based line of the violation.
+    pub line: u32,
+    /// 1-based column of the violation.
+    pub col: u32,
+    /// Human message.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "error[{}/{}]: {}", self.group, self.rule, self.message)?;
+        write!(f, "  --> {}:{}:{}", self.path, self.line, self.col)
+    }
+}
+
+/// Orders diagnostics for stable output: by path, then position.
+pub fn sort(diags: &mut [Diagnostic]) {
+    diags.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.col, a.rule).cmp(&(b.path.as_str(), b.line, b.col, b.rule))
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_rustc_style() {
+        let d = Diagnostic {
+            group: "L1",
+            rule: "unwrap",
+            path: "crates/core/src/ppe.rs".into(),
+            line: 117,
+            col: 14,
+            message: "`.unwrap()` in runtime crate".into(),
+        };
+        let s = d.to_string();
+        assert!(s.starts_with("error[L1/unwrap]:"));
+        assert!(s.contains("--> crates/core/src/ppe.rs:117:14"));
+    }
+}

@@ -1,0 +1,420 @@
+//! A minimal Rust lexer: just enough token structure for the lint
+//! rules, with exact line/column positions.
+//!
+//! The lexer understands everything that can *hide* code from a naive
+//! scanner — line and (nested) block comments, doc comments, string /
+//! raw-string / char / byte literals, lifetimes — so that a
+//! `.unwrap()` inside a doc example or a string never produces a
+//! false positive, and one in real code is never missed.
+
+/// What kind of lexeme a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`fn`, `match`, `unwrap`, …).
+    Ident,
+    /// A lifetime such as `'a` (including `'_` and `'static`).
+    Lifetime,
+    /// Any literal: number, string, raw string, char, byte string.
+    Literal,
+    /// Punctuation. Multi-character operators that matter to parsing
+    /// (`->`, `=>`, `::`, `..`, `..=`) are single tokens; everything
+    /// else is one character per token.
+    Punct,
+}
+
+/// One lexed token with its position (1-based line and column).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token class.
+    pub kind: TokenKind,
+    /// The exact source text of the token.
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column (in chars).
+    pub col: u32,
+}
+
+impl Token {
+    /// True when this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == s
+    }
+
+    /// True when this token is the punctuation `s`.
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == TokenKind::Punct && self.text == s
+    }
+}
+
+/// A comment, kept out-of-band (rules never see comments as tokens,
+/// but suppression directives live in them).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// Comment text without the `//` / `/*` delimiters, trimmed.
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+}
+
+/// The output of [`lex`]: code tokens plus out-of-band comments.
+#[derive(Debug, Default)]
+pub struct LexOutput {
+    /// All code tokens in source order.
+    pub tokens: Vec<Token>,
+    /// All comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Multi-character operators lexed as single tokens, longest first.
+const COMBINED: [&str; 5] = ["..=", "->", "=>", "::", ".."];
+
+/// Lexes Rust source. Unterminated constructs (strings, comments) are
+/// tolerated by consuming to end-of-file — the lint must never panic
+/// on weird input, fixture or otherwise.
+pub fn lex(src: &str) -> LexOutput {
+    let chars: Vec<char> = src.chars().collect();
+    let mut out = LexOutput::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    let mut col: u32 = 1;
+
+    // Advances past `n` chars, tracking line/col.
+    macro_rules! bump {
+        ($n:expr) => {
+            for _ in 0..$n {
+                if i < chars.len() {
+                    if chars[i] == '\n' {
+                        line += 1;
+                        col = 1;
+                    } else {
+                        col += 1;
+                    }
+                    i += 1;
+                }
+            }
+        };
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        let (tline, tcol) = (line, col);
+
+        // Whitespace.
+        if c.is_whitespace() {
+            bump!(1);
+            continue;
+        }
+
+        // Comments.
+        if c == '/' && i + 1 < chars.len() {
+            if chars[i + 1] == '/' {
+                let start = i;
+                while i < chars.len() && chars[i] != '\n' {
+                    bump!(1);
+                }
+                let text: String = chars[start..i].iter().collect();
+                out.comments.push(Comment {
+                    text: text.trim_start_matches('/').trim().to_string(),
+                    line: tline,
+                });
+                continue;
+            }
+            if chars[i + 1] == '*' {
+                let start = i;
+                let mut depth = 0usize;
+                while i < chars.len() {
+                    if chars[i] == '/' && i + 1 < chars.len() && chars[i + 1] == '*' {
+                        depth += 1;
+                        bump!(2);
+                    } else if chars[i] == '*' && i + 1 < chars.len() && chars[i + 1] == '/' {
+                        depth -= 1;
+                        bump!(2);
+                        if depth == 0 {
+                            break;
+                        }
+                    } else {
+                        bump!(1);
+                    }
+                }
+                let text: String = chars[start..i].iter().collect();
+                out.comments.push(Comment {
+                    text: text
+                        .trim_start_matches("/*")
+                        .trim_end_matches("*/")
+                        .trim()
+                        .to_string(),
+                    line: tline,
+                });
+                continue;
+            }
+        }
+
+        // String-ish literals, including r"", r#""#, b"", br#""#.
+        if c == '"' || starts_string_prefix(&chars, i) {
+            let start = i;
+            // Skip the b / r / br prefix.
+            while i < chars.len() && (chars[i] == 'b' || chars[i] == 'r') {
+                bump!(1);
+            }
+            let mut hashes = 0usize;
+            while i < chars.len() && chars[i] == '#' {
+                hashes += 1;
+                bump!(1);
+            }
+            // Opening quote.
+            bump!(1);
+            if hashes == 0 {
+                // Ordinary (possibly escaped) string.
+                while i < chars.len() {
+                    if chars[i] == '\\' {
+                        bump!(2);
+                    } else if chars[i] == '"' {
+                        bump!(1);
+                        break;
+                    } else {
+                        bump!(1);
+                    }
+                }
+            } else {
+                // Raw string: ends at `"` followed by `hashes` hashes.
+                while i < chars.len() {
+                    if chars[i] == '"' {
+                        let mut ok = true;
+                        for k in 0..hashes {
+                            if chars.get(i + 1 + k) != Some(&'#') {
+                                ok = false;
+                                break;
+                            }
+                        }
+                        if ok {
+                            bump!(1 + hashes);
+                            break;
+                        }
+                    }
+                    bump!(1);
+                }
+            }
+            out.tokens.push(Token {
+                kind: TokenKind::Literal,
+                text: chars[start..i].iter().collect(),
+                line: tline,
+                col: tcol,
+            });
+            continue;
+        }
+
+        // Char literal vs lifetime.
+        if c == '\'' {
+            // `'\...'` or `'x'` are char literals; otherwise a lifetime.
+            let is_char = chars.get(i + 1) == Some(&'\\')
+                || (chars.get(i + 2) == Some(&'\'') && chars.get(i + 1) != Some(&'\''));
+            if is_char {
+                let start = i;
+                bump!(1); // opening quote
+                while i < chars.len() {
+                    if chars[i] == '\\' {
+                        bump!(2);
+                    } else if chars[i] == '\'' {
+                        bump!(1);
+                        break;
+                    } else {
+                        bump!(1);
+                    }
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    text: chars[start..i].iter().collect(),
+                    line: tline,
+                    col: tcol,
+                });
+            } else {
+                let start = i;
+                bump!(1);
+                while i < chars.len() && (chars[i] == '_' || chars[i].is_alphanumeric()) {
+                    bump!(1);
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Lifetime,
+                    text: chars[start..i].iter().collect(),
+                    line: tline,
+                    col: tcol,
+                });
+            }
+            continue;
+        }
+
+        // Numbers.
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < chars.len() {
+                let d = chars[i];
+                if d.is_alphanumeric() || d == '_' {
+                    bump!(1);
+                } else if d == '.' {
+                    // `1..n` is a range, not a float continuation.
+                    if chars.get(i + 1) == Some(&'.') {
+                        break;
+                    }
+                    bump!(1);
+                } else if (d == '+' || d == '-')
+                    && matches!(chars.get(i.wrapping_sub(1)), Some('e') | Some('E'))
+                {
+                    bump!(1);
+                } else {
+                    break;
+                }
+            }
+            out.tokens.push(Token {
+                kind: TokenKind::Literal,
+                text: chars[start..i].iter().collect(),
+                line: tline,
+                col: tcol,
+            });
+            continue;
+        }
+
+        // Identifiers / keywords (incl. raw identifiers `r#match`).
+        if c == '_' || c.is_alphabetic() {
+            let start = i;
+            // Raw identifier prefix.
+            if c == 'r' && chars.get(i + 1) == Some(&'#') && is_ident_start(chars.get(i + 2)) {
+                bump!(2);
+            }
+            while i < chars.len() && (chars[i] == '_' || chars[i].is_alphanumeric()) {
+                bump!(1);
+            }
+            out.tokens.push(Token {
+                kind: TokenKind::Ident,
+                text: chars[start..i].iter().collect(),
+                line: tline,
+                col: tcol,
+            });
+            continue;
+        }
+
+        // Combined punctuation, longest first.
+        let mut matched = false;
+        for op in COMBINED {
+            let oplen = op.len();
+            if chars[i..].starts_with(&op.chars().collect::<Vec<_>>()[..]) {
+                out.tokens.push(Token {
+                    kind: TokenKind::Punct,
+                    text: op.to_string(),
+                    line: tline,
+                    col: tcol,
+                });
+                bump!(oplen);
+                matched = true;
+                break;
+            }
+        }
+        if matched {
+            continue;
+        }
+
+        // Single-char punctuation.
+        out.tokens.push(Token {
+            kind: TokenKind::Punct,
+            text: c.to_string(),
+            line: tline,
+            col: tcol,
+        });
+        bump!(1);
+    }
+
+    out
+}
+
+fn starts_string_prefix(chars: &[char], i: usize) -> bool {
+    // b" | br" | br#" | r" | r#"
+    match chars[i] {
+        'b' => match chars.get(i + 1) {
+            Some('"') => true,
+            Some('r') => matches!(chars.get(i + 2), Some('"') | Some('#')),
+            _ => false,
+        },
+        'r' => match chars.get(i + 1) {
+            Some('"') => true,
+            // `r#"` is a raw string; `r#ident` is a raw identifier.
+            Some('#') => chars.get(i + 2) == Some(&'"'),
+            _ => false,
+        },
+        _ => false,
+    }
+}
+
+fn is_ident_start(c: Option<&char>) -> bool {
+    matches!(c, Some(c) if *c == '_' || c.is_alphabetic())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src).tokens.into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn comments_and_strings_hide_code() {
+        let out = lex("let a = \"x.unwrap()\"; // .unwrap()\n/* .unwrap() */ b");
+        assert!(out.tokens.iter().all(|t| t.text != "unwrap"));
+        assert_eq!(out.comments.len(), 2);
+        assert_eq!(out.comments[0].text, ".unwrap()");
+    }
+
+    #[test]
+    fn raw_strings_and_chars() {
+        let t = texts("r#\"panic!(\"x\")\"# '\\n' 'a' b\"z\" next");
+        assert_eq!(t.last().unwrap(), "next");
+        assert!(!t.contains(&"panic".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let out = lex("fn f<'a>(x: &'a str) -> &'a str { x }");
+        let lifetimes: Vec<_> = out
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 3);
+        assert!(lifetimes.iter().all(|t| t.text == "'a"));
+    }
+
+    #[test]
+    fn combined_operators() {
+        let t = texts("a -> b => c::d 0..n 0..=n x >= y");
+        assert!(t.contains(&"->".to_string()));
+        assert!(t.contains(&"=>".to_string()));
+        assert!(t.contains(&"::".to_string()));
+        assert!(t.contains(&"..".to_string()));
+        assert!(t.contains(&"..=".to_string()));
+        // `>=` must not lex as `=>`.
+        assert_eq!(t.iter().filter(|s| *s == "=>").count(), 1);
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges() {
+        let t = texts("for i in 0..width { a[i - 1] = 1.0e-9; }");
+        assert!(t.contains(&"0".to_string()));
+        assert!(t.contains(&"..".to_string()));
+        assert!(t.contains(&"1.0e-9".to_string()));
+    }
+
+    #[test]
+    fn positions_are_tracked() {
+        let out = lex("a\n  b");
+        assert_eq!(out.tokens[0].line, 1);
+        assert_eq!(out.tokens[1].line, 2);
+        assert_eq!(out.tokens[1].col, 3);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let out = lex("/* outer /* inner */ still */ token");
+        assert_eq!(out.tokens.len(), 1);
+        assert_eq!(out.tokens[0].text, "token");
+    }
+}

@@ -1,0 +1,65 @@
+//! The `ppep-lint` binary: lints the workspace, prints rustc-style
+//! diagnostics, exits nonzero on violations.
+//!
+//! ```text
+//! cargo run -p ppep-lint            # lint the enclosing workspace
+//! cargo run -p ppep-lint -- --root /path/to/ws
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut root: Option<PathBuf> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => root = args.next().map(PathBuf::from),
+            "--help" | "-h" => {
+                println!("usage: ppep-lint [--root WORKSPACE_DIR]");
+                println!("rules: {}", ppep_lint::rules::ALL_RULES.join(", "));
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("ppep-lint: unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    // `cargo run` sets CARGO_MANIFEST_DIR to crates/lint; the
+    // workspace root is two levels up. Fall back to the current
+    // directory for a standalone binary.
+    let root = root
+        .or_else(|| {
+            std::env::var_os("CARGO_MANIFEST_DIR")
+                .map(|d| PathBuf::from(d).join("../..").canonicalize().ok())?
+        })
+        .unwrap_or_else(|| PathBuf::from("."));
+
+    match ppep_lint::lint_workspace(&root) {
+        Ok(report) => {
+            for d in &report.diagnostics {
+                eprintln!("{d}");
+                eprintln!();
+            }
+            if report.diagnostics.is_empty() {
+                println!("ppep-lint: clean ({} files analyzed)", report.files);
+                ExitCode::SUCCESS
+            } else {
+                eprintln!(
+                    "ppep-lint: {} violation(s) across {} files",
+                    report.diagnostics.len(),
+                    report.files
+                );
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("ppep-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

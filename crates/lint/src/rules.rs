@@ -1,0 +1,776 @@
+//! The four PPEP rule families.
+//!
+//! * **L1 no-panic** (`unwrap`, `expect`, `panic`, `index-arith`) —
+//!   non-test code in the runtime crates must not contain
+//!   `.unwrap()` / `.expect(..)` / `panic!`-family macros / slice
+//!   indexing with an arithmetic index (the off-by-one panic class).
+//!   Failures must propagate as `ppep_types::Error`.
+//! * **L2 raw-f64** — public function signatures in `ppep-models` /
+//!   `ppep-core` must not pass bare `f64` where a `ppep_types`
+//!   unit newtype exists; genuine dimensionless ratios are recorded in
+//!   the allowlist with a reason.
+//! * **L3 wildcard-match** — a `match` whose arms name a domain enum
+//!   (`FaultKind`, `HealthState`, …) must be exhaustive without a
+//!   wildcard arm, so adding a variant is a compile error everywhere.
+//! * **L4 unguarded-output** — public `ppep-models` functions
+//!   returning a unit quantity must route the value through the
+//!   `ppep_types::units::finite` guard so NaN/∞ cannot silently
+//!   enter projections.
+
+use crate::allow::Allowlist;
+use crate::context::{matching_bracket, SourceFile};
+use crate::diag::Diagnostic;
+use crate::lexer::{Token, TokenKind};
+
+/// Crates whose non-test code must be panic-free (L1).
+pub const RUNTIME_CRATES: [&str; 5] = [
+    "ppep-core",
+    "ppep-dvfs",
+    "ppep-models",
+    "ppep-pmc",
+    "ppep-sim",
+];
+
+/// Crates whose public signatures must be unit-typed (L2).
+pub const UNIT_API_CRATES: [&str; 2] = ["ppep-models", "ppep-core"];
+
+/// The crate whose model outputs must be finite-guarded (L4).
+pub const MODEL_CRATE: &str = "ppep-models";
+
+/// Domain enums that must always be matched exhaustively (L3).
+/// `ppep_types::Error` is deliberately absent: it is
+/// `#[non_exhaustive]`, so downstream crates *must* write a wildcard
+/// arm for it.
+pub const DOMAIN_ENUMS: [&str; 6] = [
+    "FaultKind",
+    "HealthState",
+    "Action",
+    "NbVfState",
+    "MuxGroup",
+    "EventId",
+];
+
+/// The `ppep_types` unit newtypes (L2 alternatives, L4 triggers).
+pub const UNIT_TYPES: [&str; 7] = [
+    "Volts",
+    "Gigahertz",
+    "Watts",
+    "Kelvin",
+    "Joules",
+    "Seconds",
+    "Celsius",
+];
+
+/// Every individual rule name.
+pub const ALL_RULES: [&str; 7] = [
+    "unwrap",
+    "expect",
+    "panic",
+    "index-arith",
+    "raw-f64",
+    "wildcard-match",
+    "unguarded-output",
+];
+
+/// Expands a rule name or `L1`…`L4` group alias (or `all`) to the
+/// individual rule names it covers. Unknown names pass through
+/// unchanged (they simply never match a diagnostic).
+pub fn expand_rule_alias(name: &str) -> Vec<String> {
+    match name {
+        "L1" => vec![
+            "unwrap".into(),
+            "expect".into(),
+            "panic".into(),
+            "index-arith".into(),
+        ],
+        "L2" => vec!["raw-f64".into()],
+        "L3" => vec!["wildcard-match".into()],
+        "L4" => vec!["unguarded-output".into()],
+        "all" => ALL_RULES.iter().map(|s| s.to_string()).collect(),
+        other => vec![other.to_string()],
+    }
+}
+
+/// Runs every applicable rule over one file.
+pub fn check_file(file: &SourceFile, allow: &Allowlist) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    if RUNTIME_CRATES.contains(&file.crate_name.as_str()) {
+        l1_no_panic(file, &mut diags);
+    }
+    let fns = parse_fns(file);
+    if UNIT_API_CRATES.contains(&file.crate_name.as_str()) {
+        l2_raw_f64(file, &fns, allow, &mut diags);
+    }
+    if file.crate_name.starts_with("ppep-") {
+        l3_wildcard_match(file, allow, &mut diags);
+    }
+    if file.crate_name == MODEL_CRATE {
+        l4_unguarded_output(file, &fns, allow, &mut diags);
+    }
+    diags
+}
+
+fn diag(
+    file: &SourceFile,
+    group: &'static str,
+    rule: &'static str,
+    tok: &Token,
+    message: String,
+) -> Diagnostic {
+    Diagnostic {
+        group,
+        rule,
+        path: file.path.clone(),
+        line: tok.line,
+        col: tok.col,
+        message,
+    }
+}
+
+/// True when the rule is disabled at `line` (test code or inline
+/// suppression).
+fn skipped(file: &SourceFile, rule: &str, line: u32) -> bool {
+    file.is_test_line(line) || file.is_suppressed(rule, line)
+}
+
+// ---------------------------------------------------------------- L1
+
+/// Identifiers that cannot precede an *indexing* `[` (they introduce
+/// patterns, types, or control flow instead).
+const NON_INDEX_PREFIX: [&str; 14] = [
+    "let", "mut", "ref", "in", "return", "if", "else", "match", "as", "box", "move", "static",
+    "const", "type",
+];
+
+fn l1_no_panic(file: &SourceFile, diags: &mut Vec<Diagnostic>) {
+    let toks = &file.tokens;
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        // `.unwrap()`
+        if t.is_punct(".")
+            && toks.get(i + 1).is_some_and(|t| t.is_ident("unwrap"))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct("("))
+            && toks.get(i + 3).is_some_and(|t| t.is_punct(")"))
+        {
+            let at = &toks[i + 1];
+            if !skipped(file, "unwrap", at.line) {
+                diags.push(diag(
+                    file,
+                    "L1",
+                    "unwrap",
+                    at,
+                    "`.unwrap()` in runtime crate; propagate `ppep_types::Error` instead".into(),
+                ));
+            }
+        }
+        // `.expect(..)`
+        if t.is_punct(".")
+            && toks.get(i + 1).is_some_and(|t| t.is_ident("expect"))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct("("))
+        {
+            let at = &toks[i + 1];
+            if !skipped(file, "expect", at.line) {
+                diags.push(diag(
+                    file,
+                    "L1",
+                    "expect",
+                    at,
+                    "`.expect(..)` in runtime crate; propagate `ppep_types::Error` instead".into(),
+                ));
+            }
+        }
+        // panic!-family macros.
+        if t.kind == TokenKind::Ident
+            && matches!(
+                t.text.as_str(),
+                "panic" | "unreachable" | "todo" | "unimplemented"
+            )
+            && toks.get(i + 1).is_some_and(|t| t.is_punct("!"))
+            && !skipped(file, "panic", t.line)
+        {
+            diags.push(diag(
+                file,
+                "L1",
+                "panic",
+                t,
+                format!(
+                    "`{}!` in runtime crate; the online path must degrade, not abort",
+                    t.text
+                ),
+            ));
+        }
+        // Indexing with an arithmetic index: `xs[a + b]`, `xs[n - 1]`…
+        if t.is_punct("[") && i > 0 {
+            let prev = &toks[i - 1];
+            let is_index_pos = match prev.kind {
+                TokenKind::Ident => !NON_INDEX_PREFIX.contains(&prev.text.as_str()),
+                TokenKind::Punct => prev.text == ")" || prev.text == "]",
+                _ => false,
+            };
+            if is_index_pos && !skipped(file, "index-arith", t.line) {
+                let close = file.matching_bracket(i);
+                let mut depth = 0i64;
+                let mut arith = false;
+                for inner in &toks[i + 1..close] {
+                    match inner.text.as_str() {
+                        "(" | "[" | "{" => depth += 1,
+                        ")" | "]" | "}" => depth -= 1,
+                        "+" | "-" | "*" | "/" | "%"
+                            if depth == 0 && inner.kind == TokenKind::Punct =>
+                        {
+                            arith = true;
+                        }
+                        _ => {}
+                    }
+                }
+                if arith {
+                    diags.push(diag(
+                        file,
+                        "L1",
+                        "index-arith",
+                        t,
+                        "indexing with an arithmetic index can panic; use iterators/chunks, \
+                         `.get(..)`, or a checked helper"
+                            .into(),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+// ------------------------------------------------- fn signature model
+
+/// A parsed function signature (enough structure for L2/L4).
+pub struct FnSig {
+    /// The function name.
+    pub name: String,
+    /// Position of the name token.
+    pub line: u32,
+    /// Column of the name token.
+    pub col: u32,
+    /// Whether the function is unrestricted `pub`.
+    pub is_pub: bool,
+    /// Parameter type token ranges (skipping `self` receivers).
+    pub param_types: Vec<(usize, usize)>,
+    /// Return type token range, if any.
+    pub ret: Option<(usize, usize)>,
+    /// Body token range `{..}` (exclusive of braces), if any.
+    pub body: Option<(usize, usize)>,
+}
+
+/// Extracts all function signatures from a file.
+pub fn parse_fns(file: &SourceFile) -> Vec<FnSig> {
+    let toks = &file.tokens;
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        if !toks[i].is_ident("fn") {
+            continue;
+        }
+        let Some(name_tok) = toks.get(i + 1) else {
+            continue;
+        };
+        if name_tok.kind != TokenKind::Ident {
+            continue; // `fn(..)` pointer type, not an item
+        }
+        // Visibility: walk back over modifiers to a possible `pub`.
+        let mut j = i;
+        while j > 0
+            && (matches!(
+                toks[j - 1].text.as_str(),
+                "const" | "async" | "unsafe" | "extern"
+            ) || toks[j - 1].kind == TokenKind::Literal)
+        {
+            j -= 1;
+        }
+        let is_pub =
+            j > 0 && toks[j - 1].is_ident("pub") && !toks.get(j).is_some_and(|t| t.is_punct("("));
+        // (A restricted `pub(crate) fn` leaves `)` before `fn`, so the
+        // walk-back above lands on `)` and `is_pub` stays false.)
+
+        // Generics.
+        let mut k = i + 2;
+        if toks.get(k).is_some_and(|t| t.is_punct("<")) {
+            let mut angle = 0i64;
+            while k < toks.len() {
+                match toks[k].text.as_str() {
+                    "<" => angle += 1,
+                    ">" => {
+                        angle -= 1;
+                        if angle == 0 {
+                            k += 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                k += 1;
+            }
+        }
+        // Parameters.
+        if !toks.get(k).is_some_and(|t| t.is_punct("(")) {
+            continue;
+        }
+        let params_open = k;
+        let params_close = matching_bracket(toks, params_open);
+        let mut param_types = Vec::new();
+        let mut start = params_open + 1;
+        let mut depth = 0i64;
+        let mut angle = 0i64;
+        for idx in params_open + 1..=params_close {
+            let text = toks[idx].text.as_str();
+            let end_of_param = (text == "," && depth == 0 && angle == 0) || idx == params_close;
+            match text {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" if idx != params_close => depth -= 1,
+                "<" => angle += 1,
+                ">" => angle -= 1,
+                _ => {}
+            }
+            if end_of_param {
+                if idx > start {
+                    if let Some(ty) = param_type_range(toks, start, idx) {
+                        param_types.push(ty);
+                    }
+                }
+                start = idx + 1;
+            }
+        }
+        // Return type.
+        let mut r = params_close + 1;
+        let mut ret = None;
+        if toks.get(r).is_some_and(|t| t.is_punct("->")) {
+            let ret_start = r + 1;
+            let mut depth = 0i64;
+            let mut angle = 0i64;
+            r = ret_start;
+            while r < toks.len() {
+                let text = toks[r].text.as_str();
+                if depth == 0 && angle <= 0 && (text == "{" || text == ";" || text == "where") {
+                    break;
+                }
+                match text {
+                    "(" | "[" => depth += 1,
+                    ")" | "]" => depth -= 1,
+                    "<" => angle += 1,
+                    ">" => angle -= 1,
+                    _ => {}
+                }
+                r += 1;
+            }
+            if r > ret_start {
+                ret = Some((ret_start, r));
+            }
+        }
+        // Body (skipping any `where` clause).
+        let mut body = None;
+        let mut b = r;
+        while b < toks.len() {
+            let text = toks[b].text.as_str();
+            if text == "{" {
+                let close = matching_bracket(toks, b);
+                body = Some((b + 1, close));
+                break;
+            }
+            if text == ";" {
+                break;
+            }
+            b += 1;
+        }
+        out.push(FnSig {
+            name: name_tok.text.clone(),
+            line: name_tok.line,
+            col: name_tok.col,
+            is_pub,
+            param_types,
+            ret,
+            body,
+        });
+    }
+    out
+}
+
+/// The type token range of one parameter (after its top-level `:`), or
+/// `None` for `self` receivers / malformed input.
+fn param_type_range(toks: &[Token], start: usize, end: usize) -> Option<(usize, usize)> {
+    let mut depth = 0i64;
+    for (idx, tok) in toks.iter().enumerate().take(end).skip(start) {
+        match tok.text.as_str() {
+            "(" | "[" | "{" | "<" => depth += 1,
+            ")" | "]" | "}" | ">" => depth -= 1,
+            ":" if depth == 0 => {
+                if idx + 1 < end {
+                    return Some((idx + 1, end));
+                }
+                return None;
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// True when a type token range is "bare f64": built only from `f64`,
+/// references, tuples, `Option` / `Result` wrappers — i.e. a raw
+/// float crossing the API unprotected. Collection types
+/// (`&[f64]`, `Vec<f64>`, `[f64; N]`) are *not* flagged: they carry
+/// model-internal vectors, which L4 guards at the output instead.
+fn is_bare_f64(toks: &[Token], range: (usize, usize)) -> bool {
+    let slice = &toks[range.0..range.1];
+    let mut saw_f64 = false;
+    for t in slice {
+        match t.kind {
+            TokenKind::Ident => match t.text.as_str() {
+                "f64" => saw_f64 = true,
+                "Option" | "Result" => {}
+                _ => return false,
+            },
+            TokenKind::Lifetime => {}
+            TokenKind::Punct => {
+                if !matches!(t.text.as_str(), "&" | "(" | ")" | "<" | ">" | ",") {
+                    return false;
+                }
+            }
+            TokenKind::Literal => return false,
+        }
+    }
+    saw_f64
+}
+
+// ---------------------------------------------------------------- L2
+
+fn l2_raw_f64(file: &SourceFile, fns: &[FnSig], allow: &Allowlist, diags: &mut Vec<Diagnostic>) {
+    for f in fns {
+        if !f.is_pub
+            || skipped(file, "raw-f64", f.line)
+            || allow.allows("raw-f64", &file.path, &f.name)
+        {
+            continue;
+        }
+        for &range in &f.param_types {
+            let tok = &file.tokens[range.0];
+            if is_bare_f64(&file.tokens, range) && !skipped(file, "raw-f64", tok.line) {
+                diags.push(diag(
+                    file,
+                    "L2",
+                    "raw-f64",
+                    tok,
+                    format!(
+                        "bare `f64` parameter in public `fn {}`; use a `ppep_types` unit/vf \
+                         newtype, or allowlist the genuinely dimensionless ratio",
+                        f.name
+                    ),
+                ));
+            }
+        }
+        if let Some(range) = f.ret {
+            let tok = &file.tokens[range.0];
+            if is_bare_f64(&file.tokens, range) && !skipped(file, "raw-f64", tok.line) {
+                diags.push(diag(
+                    file,
+                    "L2",
+                    "raw-f64",
+                    tok,
+                    format!(
+                        "bare `f64` return in public `fn {}`; use a `ppep_types` unit/vf \
+                         newtype, or allowlist the genuinely dimensionless ratio",
+                        f.name
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------- L3
+
+fn l3_wildcard_match(file: &SourceFile, allow: &Allowlist, diags: &mut Vec<Diagnostic>) {
+    let toks = &file.tokens;
+    for i in 0..toks.len() {
+        if !toks[i].is_ident("match") {
+            continue;
+        }
+        // Find the arms block: the first `{` at depth 0 after the
+        // scrutinee (struct literals are not legal in scrutinee
+        // position, so this is unambiguous).
+        let mut depth = 0i64;
+        let mut open = None;
+        for (j, t) in toks.iter().enumerate().skip(i + 1) {
+            match t.text.as_str() {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth -= 1,
+                "{" if depth == 0 => {
+                    open = Some(j);
+                    break;
+                }
+                _ => {}
+            }
+        }
+        let Some(open) = open else { continue };
+        let close = matching_bracket(toks, open);
+        let mut k = open + 1;
+        let mut mentioned: Option<&'static str> = None;
+        let mut wildcards: Vec<usize> = Vec::new();
+        while k < close {
+            // Pattern: tokens until `=>` at relative depth 0.
+            let pat_start = k;
+            let mut depth = 0i64;
+            let mut arrow = None;
+            while k < close {
+                match toks[k].text.as_str() {
+                    "(" | "[" | "{" => depth += 1,
+                    ")" | "]" | "}" => depth -= 1,
+                    "=>" if depth == 0 => {
+                        arrow = Some(k);
+                        break;
+                    }
+                    _ => {}
+                }
+                k += 1;
+            }
+            let Some(arrow) = arrow else { break };
+            let pattern = &toks[pat_start..arrow];
+            // Domain-enum mention: `Enum ::` inside the pattern.
+            for w in pattern.windows(2) {
+                if w[1].is_punct("::") {
+                    if let Some(name) = DOMAIN_ENUMS.iter().find(|e| w[0].is_ident(e)) {
+                        mentioned = Some(name);
+                    }
+                }
+            }
+            // Wildcard: `_`, `_ if …`, or a lone binding `other` /
+            // `other if …`.
+            let before_guard_len = pattern
+                .iter()
+                .position(|t| t.is_ident("if"))
+                .unwrap_or(pattern.len());
+            let head = &pattern[..before_guard_len];
+            // (`_` lexes as an identifier token.)
+            let is_wild = match head {
+                [t] if t.text == "_" => true,
+                [t] if t.kind == TokenKind::Ident
+                    && t.text.chars().next().is_some_and(|c| c.is_lowercase())
+                    && !matches!(t.text.as_str(), "true" | "false") =>
+                {
+                    true
+                }
+                _ => false,
+            };
+            if is_wild {
+                wildcards.push(pat_start);
+            }
+            // Arm body: a block, or an expression up to `,`/end.
+            k = arrow + 1;
+            if k < close && toks[k].is_punct("{") {
+                k = matching_bracket(toks, k) + 1;
+                if k < close && toks[k].is_punct(",") {
+                    k += 1;
+                }
+            } else {
+                let mut depth = 0i64;
+                while k < close {
+                    match toks[k].text.as_str() {
+                        "(" | "[" | "{" => depth += 1,
+                        ")" | "]" | "}" => depth -= 1,
+                        "," if depth == 0 => {
+                            k += 1;
+                            break;
+                        }
+                        _ => {}
+                    }
+                    k += 1;
+                }
+            }
+        }
+        if let Some(enum_name) = mentioned {
+            for w in wildcards {
+                let tok = &toks[w];
+                if skipped(file, "wildcard-match", tok.line)
+                    || allow.allows("wildcard-match", &file.path, enum_name)
+                {
+                    continue;
+                }
+                diags.push(diag(
+                    file,
+                    "L3",
+                    "wildcard-match",
+                    tok,
+                    format!(
+                        "wildcard arm in `match` involving `{enum_name}`; name every variant \
+                         so a new variant is a compile error, not a silent fall-through"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------- L4
+
+fn l4_unguarded_output(
+    file: &SourceFile,
+    fns: &[FnSig],
+    allow: &Allowlist,
+    diags: &mut Vec<Diagnostic>,
+) {
+    for f in fns {
+        let Some(ret) = f.ret else { continue };
+        let Some(body) = f.body else { continue };
+        if !f.is_pub
+            || skipped(file, "unguarded-output", f.line)
+            || allow.allows("unguarded-output", &file.path, &f.name)
+        {
+            continue;
+        }
+        let returns_unit = file.tokens[ret.0..ret.1]
+            .iter()
+            .any(|t| UNIT_TYPES.iter().any(|u| t.is_ident(u)));
+        if !returns_unit {
+            continue;
+        }
+        let body_toks = &file.tokens[body.0..body.1];
+        // Trivial accessors (`self.field` / `&self.field`) return an
+        // already-guarded stored value; re-guarding them would be noise.
+        let accessor_toks = match body_toks {
+            [amp, rest @ ..] if amp.is_punct("&") => rest,
+            rest => rest,
+        };
+        if let [a, b, c] = accessor_toks {
+            if a.is_ident("self") && b.is_punct(".") && c.kind == TokenKind::Ident {
+                continue;
+            }
+        }
+        let guarded = body_toks
+            .windows(2)
+            .any(|w| w[0].is_ident("finite") && w[1].is_punct("("));
+        if !guarded {
+            let tok = &file.tokens[ret.0];
+            diags.push(Diagnostic {
+                group: "L4",
+                rule: "unguarded-output",
+                path: file.path.clone(),
+                line: f.line,
+                col: f.col,
+                message: format!(
+                    "public model output `fn {}` returns `{}` without routing through the \
+                     `ppep_types::units::finite` guard; NaN/∞ could silently enter projections",
+                    f.name, tok.text
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(crate_name: &str, src: &str) -> Vec<Diagnostic> {
+        let file = SourceFile::parse("crates/x/src/lib.rs", crate_name, src);
+        check_file(&file, &Allowlist::default())
+    }
+
+    #[test]
+    fn alias_expansion() {
+        assert_eq!(expand_rule_alias("L2"), vec!["raw-f64".to_string()]);
+        assert_eq!(expand_rule_alias("all").len(), ALL_RULES.len());
+        assert_eq!(expand_rule_alias("unwrap"), vec!["unwrap".to_string()]);
+    }
+
+    #[test]
+    fn unwrap_or_variants_do_not_trip_l1() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap_or(0).max(x.unwrap_or_default()) }";
+        assert!(check("ppep-core", src).is_empty());
+    }
+
+    #[test]
+    fn l1_only_applies_to_runtime_crates() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }";
+        assert_eq!(check("ppep-core", src).len(), 1);
+        assert!(check("ppep-experiments", src).is_empty());
+        assert!(check("ppep-lint", src).is_empty());
+    }
+
+    #[test]
+    fn index_arith_ignores_plain_and_literal_indices() {
+        let src = "fn f(v: &[u32], i: usize) -> u32 { v[i] + v[0] }";
+        assert!(check("ppep-sim", src).is_empty());
+        let bad = "fn f(v: &[u32], i: usize) -> u32 { v[i + 1] }";
+        assert_eq!(check("ppep-sim", bad).len(), 1);
+        // Method calls inside the index are fine when the top level
+        // has no arithmetic.
+        let ok = "fn f(v: &[u32], i: usize) -> u32 { v[i.min(v.len())] }";
+        assert!(check("ppep-sim", ok).is_empty());
+    }
+
+    #[test]
+    fn l2_flags_bare_f64_but_not_collections() {
+        let src = "pub fn eval(x: f64) -> f64 { x }";
+        assert_eq!(check("ppep-models", src).len(), 2);
+        let ok = "pub fn eval(xs: &[f64]) -> Vec<f64> { xs.to_vec() }";
+        assert!(check("ppep-models", ok).is_empty());
+        // Non-pub and non-unit-API crates are out of scope.
+        assert!(check("ppep-sim", src).is_empty());
+        let private = "fn eval(x: f64) -> f64 { x }";
+        assert!(check("ppep-models", private).is_empty());
+    }
+
+    #[test]
+    fn l3_flags_wildcards_only_with_domain_enums() {
+        let bad = "fn f(k: FaultKind) -> u32 { match k { FaultKind::SensorDropout => 1, _ => 0 } }";
+        let d = check("ppep-sim", bad);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("FaultKind"));
+        let binding = "fn f(k: FaultKind) -> u32 { match k { FaultKind::SensorDropout => 1, other => other.cost() } }";
+        assert_eq!(check("ppep-sim", binding).len(), 1);
+        let ok = "fn f(k: FaultKind) -> u32 { match k { FaultKind::SensorDropout => 1, FaultKind::ThermalNan => 2 } }";
+        assert!(check("ppep-sim", ok).is_empty());
+        let unrelated = "fn f(x: Option<u32>) -> u32 { match x { Some(v) => v, _ => 0 } }";
+        assert!(check("ppep-sim", unrelated).is_empty());
+    }
+
+    #[test]
+    fn l4_requires_finite_guard_on_unit_outputs() {
+        let bad = "pub fn power(&self) -> Watts { Watts::new(self.raw) }";
+        assert_eq!(check("ppep-models", bad).len(), 1);
+        let ok = "pub fn power(&self) -> Result<Watts> { Watts::new(self.raw).finite(\"p\") }";
+        assert!(check("ppep-models", ok).is_empty());
+        let accessor = "pub fn power(&self) -> Watts { self.power }";
+        assert!(check("ppep-models", accessor).is_empty());
+        let ref_accessor = "pub fn table(&self) -> &[Watts] { &self.table }";
+        assert!(check("ppep-models", ref_accessor).is_empty());
+        // Only the models crate is in scope.
+        assert!(check("ppep-core", bad).is_empty());
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t(x: Option<u32>) -> u32 { x.unwrap() }\n}\n";
+        assert!(check("ppep-core", src).is_empty());
+    }
+
+    #[test]
+    fn suppression_comments_silence_a_line() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() } // ppep-lint: allow(unwrap)\n";
+        assert!(check("ppep-core", src).is_empty());
+    }
+
+    #[test]
+    fn fn_signature_parse_handles_generics_and_where() {
+        let src = "pub fn f<T: Into<f64>>(x: T, y: f64) -> f64 where T: Copy { y }";
+        let file = SourceFile::parse("x.rs", "ppep-models", src);
+        let fns = parse_fns(&file);
+        assert_eq!(fns.len(), 1);
+        assert_eq!(fns[0].name, "f");
+        assert!(fns[0].is_pub);
+        assert_eq!(fns[0].param_types.len(), 2);
+        assert!(fns[0].ret.is_some());
+        assert!(fns[0].body.is_some());
+    }
+
+    #[test]
+    fn restricted_pub_is_not_public_api() {
+        let src = "pub(crate) fn f(x: f64) -> f64 { x }";
+        assert!(check("ppep-models", src).is_empty());
+    }
+}

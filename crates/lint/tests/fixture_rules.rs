@@ -1,0 +1,121 @@
+//! Integration tests: each rule against its intentionally-bad fixture
+//! under `tests/fixtures/`, asserting the exact violations found and
+//! that inline suppressions and allowlist entries are honoured.
+
+use ppep_lint::{lint_source, Allowlist};
+
+fn fixture(name: &str) -> String {
+    let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"))
+}
+
+/// `(rule, line)` pairs for one rule name, in file order.
+fn hits(src: &str, crate_name: &str, rule: &str) -> Vec<u32> {
+    lint_source("fixtures/test.rs", crate_name, src, &Allowlist::default())
+        .into_iter()
+        .filter(|d| d.rule == rule)
+        .map(|d| d.line)
+        .collect()
+}
+
+#[test]
+fn l1_fixture_exact_violations() {
+    let src = fixture("l1_panic_paths.rs");
+    assert_eq!(hits(&src, "ppep-sim", "unwrap"), vec![5]);
+    assert_eq!(hits(&src, "ppep-sim", "expect"), vec![9]);
+    assert_eq!(hits(&src, "ppep-sim", "panic"), vec![14]);
+    assert_eq!(hits(&src, "ppep-sim", "index-arith"), vec![19]);
+}
+
+#[test]
+fn l1_suppression_and_test_code_are_exempt() {
+    let src = fixture("l1_panic_paths.rs");
+    // Only line 5 is flagged: the unwrap on line 23 carries a trailing
+    // `// ppep-lint: allow(unwrap)` and the one in `mod tests` is test
+    // code.
+    assert_eq!(hits(&src, "ppep-sim", "unwrap"), vec![5]);
+}
+
+#[test]
+fn l1_only_fires_in_runtime_crates() {
+    let src = fixture("l1_panic_paths.rs");
+    assert!(hits(&src, "ppep-experiments", "unwrap").is_empty());
+    assert!(hits(&src, "ppep-lint", "panic").is_empty());
+}
+
+#[test]
+fn l2_fixture_exact_violations() {
+    let src = fixture("l2_raw_f64.rs");
+    // Line 4: bare `f64` parameter. Line 8: bare `f64` return. The
+    // signature on line 12 is suppressed inline; `fine` is unit-typed.
+    assert_eq!(hits(&src, "ppep-models", "raw-f64"), vec![4, 8]);
+}
+
+#[test]
+fn l2_only_fires_in_unit_api_crates() {
+    let src = fixture("l2_raw_f64.rs");
+    assert!(hits(&src, "ppep-sim", "raw-f64").is_empty());
+}
+
+#[test]
+fn l2_allowlist_entry_exempts_named_item_only() {
+    let src = fixture("l2_raw_f64.rs");
+    let allow =
+        Allowlist::parse("raw-f64 fixtures/test.rs bad_param -- dimensionless in this fixture")
+            .expect("well-formed allowlist");
+    let lines: Vec<u32> = lint_source("fixtures/test.rs", "ppep-models", &src, &allow)
+        .into_iter()
+        .filter(|d| d.rule == "raw-f64")
+        .map(|d| d.line)
+        .collect();
+    assert_eq!(
+        lines,
+        vec![8],
+        "bad_param exempted, bad_return still flagged"
+    );
+}
+
+#[test]
+fn allowlist_without_reason_is_rejected() {
+    assert!(Allowlist::parse("raw-f64 fixtures/test.rs bad_param").is_err());
+    assert!(Allowlist::parse("raw-f64 fixtures/test.rs bad_param --").is_err());
+}
+
+#[test]
+fn l3_fixture_exact_violations() {
+    let src = fixture("l3_wildcard.rs");
+    // Line 8: `_` arm. Line 15: lone lowercase binding. Line 22 is
+    // suppressed; the `SmallKind` match is not a domain enum.
+    assert_eq!(hits(&src, "ppep-sim", "wildcard-match"), vec![8, 15]);
+}
+
+#[test]
+fn l4_fixture_exact_violations() {
+    let src = fixture("l4_unguarded.rs");
+    // Line 5: unguarded `Result<Watts>`. The guarded sibling, the
+    // trivial accessor, and the wrapper suppressed from the preceding
+    // line are all exempt.
+    assert_eq!(hits(&src, "ppep-models", "unguarded-output"), vec![5]);
+}
+
+#[test]
+fn l4_only_fires_in_the_model_crate() {
+    let src = fixture("l4_unguarded.rs");
+    assert!(hits(&src, "ppep-core", "unguarded-output").is_empty());
+}
+
+#[test]
+fn workspace_is_clean_under_the_checked_in_allowlist() {
+    // The acceptance invariant for the whole PR: `cargo run -p
+    // ppep-lint` exits 0 at the repo root.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..");
+    let report = ppep_lint::lint_workspace(&root).expect("workspace walk succeeds");
+    let rendered: Vec<String> = report.diagnostics.iter().map(|d| d.to_string()).collect();
+    assert!(
+        report.diagnostics.is_empty(),
+        "workspace has violations:\n{}",
+        rendered.join("\n")
+    );
+}

@@ -1,0 +1,33 @@
+//! Intentionally-bad snippet: every L1 violation class, plus one
+//! suppressed occurrence and one test-only occurrence.
+
+pub fn bad_unwrap(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+pub fn bad_expect(x: Option<u32>) -> u32 {
+    x.expect("boom")
+}
+
+pub fn bad_panic(flag: bool) {
+    if flag {
+        panic!("the online path must degrade");
+    }
+}
+
+pub fn bad_index(xs: &[u32], i: usize) -> u32 {
+    xs[i + 1]
+}
+
+pub fn suppressed(x: Option<u32>) -> u32 {
+    x.unwrap() // ppep-lint: allow(unwrap)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_unwrap() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

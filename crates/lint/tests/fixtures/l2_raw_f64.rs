@@ -1,0 +1,18 @@
+//! Intentionally-bad snippet: bare `f64` crossing a public unit-typed
+//! API, plus a suppressed dimensionless ratio and a fine signature.
+
+pub fn bad_param(power: f64) -> Watts {
+    Watts::new(power)
+}
+
+pub fn bad_return(w: Watts) -> f64 {
+    w.as_watts()
+}
+
+pub fn suppressed_ratio(x: f64) -> f64 { // ppep-lint: allow(raw-f64)
+    x * 2.0
+}
+
+pub fn fine(v: Volts, t: Kelvin) -> Watts {
+    Watts::new(v.as_volts() * t.as_kelvin())
+}

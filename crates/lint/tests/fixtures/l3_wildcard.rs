@@ -1,0 +1,31 @@
+//! Intentionally-bad snippet: wildcard arms in matches on a domain
+//! enum, one via `_` and one via a lone lowercase binding, plus a
+//! suppressed arm and an exhaustive (clean) match.
+
+pub fn bad_underscore(k: FaultKind) -> u32 {
+    match k {
+        FaultKind::SensorDropout => 1,
+        _ => 0,
+    }
+}
+
+pub fn bad_binding(k: FaultKind) -> u32 {
+    match k {
+        FaultKind::SensorStuck => 1,
+        other => 0,
+    }
+}
+
+pub fn suppressed(k: FaultKind) -> u32 {
+    match k {
+        FaultKind::ThermalNan => 1,
+        _ => 0, // ppep-lint: allow(wildcard-match)
+    }
+}
+
+pub fn fine(k: SmallKind) -> u32 {
+    match k {
+        SmallKind::A => 1,
+        SmallKind::B => 2,
+    }
+}

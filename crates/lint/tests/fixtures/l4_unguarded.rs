@@ -1,0 +1,20 @@
+//! Intentionally-bad snippet: a public model output returning a unit
+//! newtype without the `finite()` guard, plus a guarded sibling, a
+//! trivial accessor, and a suppressed wrapper.
+
+pub fn bad_output(x: f64) -> Result<Watts> {
+    Ok(Watts::new(x * 2.0))
+}
+
+pub fn guarded_output(x: f64) -> Result<Watts> {
+    Watts::new(x * 2.0).finite("guarded output")
+}
+
+pub fn accessor(&self) -> Watts {
+    self.stored
+}
+
+// ppep-lint: allow(unguarded-output)
+pub fn suppressed_wrapper(x: f64) -> Result<Watts> {
+    helper(x)
+}

@@ -59,33 +59,42 @@ impl ChipPowerModel {
 
     /// Estimated chip **dynamic** power at the current state from
     /// per-core interval samples.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NonFinite`] when any core's projection is
+    /// NaN/∞.
     pub fn estimate_dynamic(
         &self,
         samples: &[IntervalSample],
         vf: VfStateId,
         table: &VfTable,
-    ) -> Watts {
+    ) -> Result<Watts> {
         let v = table.point(vf).voltage;
-        samples
-            .iter()
-            .map(|s| {
-                let rates = s.rates().power_model_vector();
-                self.dynamic.estimate_core(&rates, v)
-            })
-            .sum()
+        let mut total = Watts::ZERO;
+        for s in samples {
+            let rates = s.rates().power_model_vector();
+            total += self.dynamic.estimate_core(&rates, v)?;
+        }
+        total.finite("chip dynamic power")
     }
 
     /// Estimated chip power at the current state (PG disabled):
     /// Eq. 2 idle + Eq. 3 dynamic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NonFinite`] when either term is NaN/∞.
     pub fn estimate_chip(
         &self,
         samples: &[IntervalSample],
         vf: VfStateId,
         table: &VfTable,
         temperature: Kelvin,
-    ) -> Watts {
-        self.idle.estimate(table.point(vf).voltage, temperature)
-            + self.estimate_dynamic(samples, vf, table)
+    ) -> Result<Watts> {
+        (self.idle.estimate(table.point(vf).voltage, temperature)?
+            + self.estimate_dynamic(samples, vf, table)?)
+        .finite("estimated chip power")
     }
 
     /// Predicted chip **dynamic** power at `to`, from samples measured
@@ -109,9 +118,9 @@ impl ChipPowerModel {
             let predicted = predictor.predict(s, from_point, to_point)?;
             total += self
                 .dynamic
-                .estimate_core(&predicted.power_rates(), to_point.voltage);
+                .estimate_core(&predicted.power_rates(), to_point.voltage)?;
         }
-        Ok(total)
+        total.finite("predicted chip dynamic power")
     }
 
     /// Predicted chip power at `to` from samples measured at `from`
@@ -130,8 +139,9 @@ impl ChipPowerModel {
         table: &VfTable,
         temperature: Kelvin,
     ) -> Result<Watts> {
-        Ok(self.idle.estimate(table.point(to).voltage, temperature)
+        (self.idle.estimate(table.point(to).voltage, temperature)?
             + self.predict_dynamic(samples, from, to, table)?)
+        .finite("predicted chip power")
     }
 
     /// Estimated chip power with power gating enabled: the PG
@@ -169,9 +179,9 @@ impl ChipPowerModel {
             let v = table.point(cu_vf[cu]).voltage;
             dynamic += self
                 .dynamic
-                .estimate_core(&s.rates().power_model_vector(), v);
+                .estimate_core(&s.rates().power_model_vector(), v)?;
         }
-        Ok(idle + dynamic)
+        (idle + dynamic).finite("chip power (PG enabled)")
     }
 
     /// Per-core total power with gating enabled (Eq. 7 idle share +
@@ -207,15 +217,16 @@ impl ChipPowerModel {
                 continue;
             }
             let cu = i / cores_per_cu;
-            let busy_in_cu = (0..cores_per_cu)
-                .filter(|j| busy[cu * cores_per_cu + j])
-                .count();
+            let busy_in_cu = busy
+                .chunks(cores_per_cu)
+                .nth(cu)
+                .map_or(0, |cores| cores.iter().filter(|b| **b).count());
             let idle_share = pg.per_core_idle_pg_enabled(cu_vf[cu], busy_in_cu, busy_total)?;
             let v = table.point(cu_vf[cu]).voltage;
             let dynamic = self
                 .dynamic
-                .estimate_core(&s.rates().power_model_vector(), v);
-            out.push(idle_share + dynamic);
+                .estimate_core(&s.rates().power_model_vector(), v)?;
+            out.push((idle_share + dynamic).finite("per-core power (PG enabled)")?);
         }
         Ok(out)
     }
@@ -274,11 +285,17 @@ mod tests {
         let vf5 = table.highest();
         let t = Kelvin::new(320.0);
         let samples = vec![busy_sample(2.0e9), busy_sample(1.0e9)];
-        let p = model.estimate_chip(&samples, vf5, &table, t).as_watts();
+        let p = model
+            .estimate_chip(&samples, vf5, &table, t)
+            .unwrap()
+            .as_watts();
         let expected_idle = 0.1 * 320.0 + 10.0 * 1.320;
         let expected_dyn = (2.0 + 1.0) * 1.0; // 3e9 µops/s × 1 nJ
         assert!((p - (expected_idle + expected_dyn)).abs() < 0.2, "{p}");
-        let d = model.estimate_dynamic(&samples, vf5, &table).as_watts();
+        let d = model
+            .estimate_dynamic(&samples, vf5, &table)
+            .unwrap()
+            .as_watts();
         assert!((d - expected_dyn).abs() < 0.05);
     }
 
@@ -317,7 +334,10 @@ mod tests {
         let vf5 = table.highest();
         let t = Kelvin::new(325.0);
         let samples = vec![busy_sample(1.5e9), busy_sample(0.5e9)];
-        let est = model.estimate_chip(&samples, vf5, &table, t).as_watts();
+        let est = model
+            .estimate_chip(&samples, vf5, &table, t)
+            .unwrap()
+            .as_watts();
         let pred = model
             .predict_chip(&samples, vf5, vf5, &table, t)
             .unwrap()

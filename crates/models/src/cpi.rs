@@ -174,11 +174,9 @@ pub fn segment_aligned_errors(
     let predicted = cumulative_cycles(source, |obs| obs.predict_cpi(target_frequency));
     let actual = cumulative_cycles(target, |obs| obs.cpi());
 
-    let total_inst = predicted
-        .last()
-        .expect("non-empty")
-        .0
-        .min(actual.last().expect("non-empty").0);
+    let (total_pred, _) = predicted.last().copied().unwrap_or((0.0, 0.0));
+    let (total_act, _) = actual.last().copied().unwrap_or((0.0, 0.0));
+    let total_inst = total_pred.min(total_act);
     let mut errors = Vec::new();
     let mut boundary = segment_instructions;
     let mut prev_pred = 0.0;
@@ -220,19 +218,15 @@ fn cumulative_cycles(
 }
 
 fn interpolate(curve: &[(f64, f64)], x: f64) -> f64 {
-    match curve.binary_search_by(|(xi, _)| xi.partial_cmp(&x).expect("finite")) {
+    match curve.binary_search_by(|(xi, _)| xi.total_cmp(&x)) {
         Ok(i) => curve[i].1,
-        Err(i) => {
-            if i == 0 {
-                return curve[0].1;
-            }
-            if i >= curve.len() {
-                return curve[curve.len() - 1].1;
-            }
-            let (x0, y0) = curve[i - 1];
-            let (x1, y1) = curve[i];
-            y0 + (y1 - y0) * (x - x0) / (x1 - x0)
-        }
+        Err(i) => match (i.checked_sub(1).and_then(|j| curve.get(j)), curve.get(i)) {
+            (Some(&(x0, y0)), Some(&(x1, y1))) => y0 + (y1 - y0) * (x - x0) / (x1 - x0),
+            // Off the left edge: clamp to the first point.
+            (None, Some(&(_, y1))) => y1,
+            // Off the right edge (or an empty curve): clamp to the last.
+            _ => curve.last().map_or(0.0, |p| p.1),
+        },
     }
 }
 

@@ -42,16 +42,19 @@ pub struct DynSample {
 /// use ppep_models::DynamicPowerModel;
 /// use ppep_types::Volts;
 ///
+/// # fn main() -> ppep_types::Result<()> {
 /// // 1 nJ per retired µop, α = 2, referenced to VF5's 1.32 V.
 /// let mut weights = [0.0; 9];
 /// weights[0] = 1.0e-9;
 /// let model = DynamicPowerModel::from_parts(weights, 2.0, Volts::new(1.32));
 /// let mut rates = [0.0; 9];
 /// rates[0] = 5.0e9; // 5 G µops/s
-/// assert!((model.estimate_core(&rates, Volts::new(1.32)).as_watts() - 5.0).abs() < 1e-9);
+/// assert!((model.estimate_core(&rates, Volts::new(1.32))?.as_watts() - 5.0).abs() < 1e-9);
 /// // At VF1's 0.888 V the same activity costs (0.888/1.32)² as much.
-/// let low = model.estimate_core(&rates, Volts::new(0.888)).as_watts();
+/// let low = model.estimate_core(&rates, Volts::new(0.888))?.as_watts();
 /// assert!((low - 5.0 * (0.888_f64 / 1.32).powi(2)).abs() < 1e-9);
+/// # Ok(())
+/// # }
 /// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct DynamicPowerModel {
@@ -134,18 +137,32 @@ impl DynamicPowerModel {
 
     /// Eq. 3 inner sum: dynamic power of one core whose E1–E9
     /// per-second rates are `rates` and whose rail sits at `v`.
-    pub fn estimate_core(&self, rates: &[f64; DYN_EVENT_COUNT], v: Volts) -> Watts {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NonFinite`] when the projection is NaN/∞
+    /// (e.g. rates poisoned by a wrapped counter).
+    pub fn estimate_core(&self, rates: &[f64; DYN_EVENT_COUNT], v: Volts) -> Result<Watts> {
         let scale = (v / self.reference_voltage).powf(self.alpha);
         let mut w = 0.0;
         for (i, (weight, rate)) in self.weights.iter().zip(rates).enumerate() {
             let s = if i < NB_PROXY_START { scale } else { 1.0 };
             w += s * weight * rate;
         }
-        Watts::new(w)
+        Watts::new(w).finite("eq3 core dynamic power")
     }
 
     /// Convenience: dynamic power of one core from interval counts.
-    pub fn estimate_core_counts(&self, counts: &EventCounts, v: Volts, dt: Seconds) -> Watts {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NonFinite`] when the projection is NaN/∞.
+    pub fn estimate_core_counts(
+        &self,
+        counts: &EventCounts,
+        v: Volts,
+        dt: Seconds,
+    ) -> Result<Watts> {
         let rates = counts.to_rates(dt).power_model_vector();
         self.estimate_core(&rates, v)
     }
@@ -154,7 +171,15 @@ impl DynamicPowerModel {
     /// (voltage-scaled E1–E7 terms) and its NB-attributed part
     /// (the unscaled E8–E9 terms) — the separation §V-C2 relies on to
     /// explore NB DVFS.
-    pub fn estimate_core_split(&self, rates: &[f64; DYN_EVENT_COUNT], v: Volts) -> (Watts, Watts) {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NonFinite`] when either part is NaN/∞.
+    pub fn estimate_core_split(
+        &self,
+        rates: &[f64; DYN_EVENT_COUNT],
+        v: Volts,
+    ) -> Result<(Watts, Watts)> {
         let scale = (v / self.reference_voltage).powf(self.alpha);
         let mut core = 0.0;
         let mut nb = 0.0;
@@ -165,7 +190,10 @@ impl DynamicPowerModel {
                 nb += weight * rate;
             }
         }
-        (Watts::new(core), Watts::new(nb))
+        Ok((
+            Watts::new(core).finite("eq3 core-side dynamic power")?,
+            Watts::new(nb).finite("eq3 NB-side dynamic power")?,
+        ))
     }
 
     /// Eq. 3 outer sum: chip dynamic power over per-core rates, each
@@ -187,11 +215,11 @@ impl DynamicPowerModel {
                 voltages.len()
             )));
         }
-        Ok(per_core_rates
-            .iter()
-            .zip(voltages)
-            .map(|(r, &v)| self.estimate_core(r, v))
-            .sum())
+        let mut total = 0.0;
+        for (r, &v) in per_core_rates.iter().zip(voltages) {
+            total += self.estimate_core(r, v)?.as_watts();
+        }
+        Watts::new(total).finite("eq3 chip dynamic power")
     }
 
     /// The fitted weights, in E1–E9 order (watts per event/second).
@@ -291,7 +319,7 @@ mod tests {
     fn recovers_linear_ground_truth() {
         let model = DynamicPowerModel::fit(&training_samples(), 2.0, V5, 1e-6).unwrap();
         for s in training_samples().iter().take(5) {
-            let est = model.estimate_core(&s.rates, V5).as_watts();
+            let est = model.estimate_core(&s.rates, V5).unwrap().as_watts();
             let rel = (est - s.power.as_watts()).abs() / s.power.as_watts();
             assert!(rel < 0.02, "estimate off by {rel}");
         }
@@ -312,11 +340,11 @@ mod tests {
         rates[0] = 1.0e9;
         rates[8] = 1.0e9;
         let half_v = Volts::new(1.320 / 2.0);
-        let p = model.estimate_core(&rates, half_v).as_watts();
+        let p = model.estimate_core(&rates, half_v).unwrap().as_watts();
         // E1 contributes 1·(0.5)² = 0.25 W; E9 contributes 1 W.
         assert!((p - 1.25).abs() < 1e-9, "got {p}");
         // At reference voltage both contribute fully.
-        let p_ref = model.estimate_core(&rates, V5).as_watts();
+        let p_ref = model.estimate_core(&rates, V5).unwrap().as_watts();
         assert!((p_ref - 2.0).abs() < 1e-9);
     }
 
@@ -325,13 +353,15 @@ mod tests {
         let model = DynamicPowerModel::fit(&training_samples(), 2.0, V5, 1e-6).unwrap();
         let rates = training_samples()[3].rates;
         for v in [V5, Volts::new(1.008)] {
-            let total = model.estimate_core(&rates, v).as_watts();
-            let (core, nb) = model.estimate_core_split(&rates, v);
+            let total = model.estimate_core(&rates, v).unwrap().as_watts();
+            let (core, nb) = model.estimate_core_split(&rates, v).unwrap();
             assert!((core.as_watts() + nb.as_watts() - total).abs() < 1e-9);
         }
         // Only the core part shrinks with voltage.
-        let (core_hi, nb_hi) = model.estimate_core_split(&rates, V5);
-        let (core_lo, nb_lo) = model.estimate_core_split(&rates, Volts::new(0.888));
+        let (core_hi, nb_hi) = model.estimate_core_split(&rates, V5).unwrap();
+        let (core_lo, nb_lo) = model
+            .estimate_core_split(&rates, Volts::new(0.888))
+            .unwrap();
         assert!(core_lo < core_hi);
         assert_eq!(nb_lo, nb_hi);
     }
@@ -358,10 +388,10 @@ mod tests {
         let mut counts = EventCounts::zero();
         counts.set(EventId::RetiredUops, 2.0e8); // over 0.2 s -> 1e9/s
         let dt = Seconds::new(0.2);
-        let via_counts = model.estimate_core_counts(&counts, V5, dt);
+        let via_counts = model.estimate_core_counts(&counts, V5, dt).unwrap();
         let mut rates = [0.0; 9];
         rates[0] = 1.0e9;
-        let via_rates = model.estimate_core(&rates, V5);
+        let via_rates = model.estimate_core(&rates, V5).unwrap();
         assert!((via_counts.as_watts() - via_rates.as_watts()).abs() < 1e-9);
     }
 
@@ -426,7 +456,10 @@ mod tests {
         let truth = |v: f64| 1.0 * (v / 1.320_f64).powf(2.15);
         let mut last_err = 0.0;
         for v in [1.242, 1.128, 1.008, 0.888] {
-            let est = model.estimate_core(&rates, Volts::new(v)).as_watts();
+            let est = model
+                .estimate_core(&rates, Volts::new(v))
+                .unwrap()
+                .as_watts();
             let err = (est - truth(v)).abs() / truth(v);
             assert!(err >= last_err, "error should grow toward VF1");
             last_err = err;

@@ -151,10 +151,9 @@ impl HwEventPredictor {
         let utilization = (unhalted_rate / from.frequency.as_hz()).min(1.0);
         let ips = utilization * to.frequency.as_hz() / cpi_target;
 
-        let per_inst = sample
-            .counts
-            .per_instruction()
-            .expect("inst > 0 checked above");
+        let per_inst = sample.counts.per_instruction().ok_or_else(|| {
+            Error::Numerical("per-instruction rates need retired instructions".into())
+        })?;
 
         let mut rates = EventCounts::zero();
         // Observation 1: E1-E8 carry over per instruction.

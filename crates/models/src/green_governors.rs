@@ -99,23 +99,32 @@ impl GreenGovernors {
     /// Estimated chip power at a VF state given chip-wide instruction
     /// throughput.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics for a VF index outside the static table.
-    pub fn estimate_power(&self, ips: f64, vf: VfStateId, table: &VfTable) -> Watts {
+    /// Returns [`Error::NotTrained`] for a VF index outside the static
+    /// table and [`Error::NonFinite`] when the projection is NaN/∞.
+    pub fn estimate_power(&self, ips: f64, vf: VfStateId, table: &VfTable) -> Result<Watts> {
+        let stat = self
+            .static_table
+            .get(vf.index())
+            .ok_or_else(|| Error::NotTrained(format!("VF {vf} missing from GG static table")))?;
         let dynamic = self.weight * Self::activity(ips, vf, table);
-        self.static_table[vf.index()] + Watts::new(dynamic)
+        (*stat + Watts::new(dynamic)).finite("GG chip power")
     }
 
     /// Predicted chip power at another VF state: GG assumes throughput
     /// scales proportionally with frequency (no leading-loads model).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`estimate_power`](Self::estimate_power) errors.
     pub fn predict_power_across(
         &self,
         ips_now: f64,
         from: VfStateId,
         to: VfStateId,
         table: &VfTable,
-    ) -> Watts {
+    ) -> Result<Watts> {
         let scale = table.frequency_ratio(from, to);
         self.estimate_power(ips_now * scale, to, table)
     }
@@ -179,7 +188,7 @@ mod tests {
         let gg = GreenGovernors::fit(static_watts(), &samples(), &table()).unwrap();
         let t = table();
         let vf5 = t.highest();
-        let p = gg.estimate_power(2.0e9, vf5, &t).as_watts();
+        let p = gg.estimate_power(2.0e9, vf5, &t).unwrap().as_watts();
         let expect = 35.0 + 2.0 * (2.0 * 1.32_f64.powi(2) * 3.5);
         assert!((p - expect).abs() < 1e-6, "{p} vs {expect}");
     }
@@ -190,6 +199,7 @@ mod tests {
         let t = table();
         let p = gg
             .predict_power_across(3.5e9, t.highest(), t.lowest(), &t)
+            .unwrap()
             .as_watts();
         // GG scales IPS by the f-ratio: 3.5e9 · (1.4/3.5) = 1.4e9.
         let expect = 20.0 + 2.0 * (1.4 * 0.888_f64.powi(2) * 1.4);
@@ -203,8 +213,8 @@ mod tests {
         // exploits in Fig. 6.
         let gg = GreenGovernors::fit(static_watts(), &samples(), &table()).unwrap();
         let t = table();
-        let a = gg.estimate_power(1.0e9, t.highest(), &t);
-        let b = gg.estimate_power(1.0e9, t.highest(), &t);
+        let a = gg.estimate_power(1.0e9, t.highest(), &t).unwrap();
+        let b = gg.estimate_power(1.0e9, t.highest(), &t).unwrap();
         assert_eq!(a, b);
     }
 
@@ -224,7 +234,7 @@ mod tests {
     fn from_parts_round_trip() {
         let gg = GreenGovernors::from_parts(static_watts(), 1.5);
         assert_eq!(gg.weight(), 1.5);
-        let p = gg.estimate_power(0.0, table().lowest(), &table());
+        let p = gg.estimate_power(0.0, table().lowest(), &table()).unwrap();
         assert_eq!(p, Watts::new(20.0));
     }
 }

@@ -49,7 +49,7 @@ pub struct IdleSample {
 ///     }
 /// }
 /// let model = IdlePowerModel::fit(&samples)?;
-/// let est = model.estimate(Volts::new(1.3), Kelvin::new(320.0));
+/// let est = model.estimate(Volts::new(1.3), Kelvin::new(320.0))?;
 /// assert!((est.as_watts() - 45.0).abs() < 1e-6);
 /// # Ok(())
 /// # }
@@ -94,7 +94,7 @@ impl IdlePowerModel {
                 groups.len()
             )));
         }
-        groups.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite voltages"));
+        groups.sort_by(|a, b| a.0.total_cmp(&b.0));
 
         let mut volts = Vec::with_capacity(groups.len());
         let mut slopes = Vec::with_capacity(groups.len());
@@ -130,8 +130,14 @@ impl IdlePowerModel {
     }
 
     /// Eq. 2: estimated chip idle power at voltage `v`, temperature `t`.
-    pub fn estimate(&self, v: Volts, t: Kelvin) -> Watts {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NonFinite`] when the projection is NaN/∞
+    /// (e.g. a poisoned temperature reading).
+    pub fn estimate(&self, v: Volts, t: Kelvin) -> Result<Watts> {
         Watts::new(self.w1.eval(v.as_volts()) * t.as_kelvin() + self.w0.eval(v.as_volts()))
+            .finite("eq2 idle power")
     }
 
     /// The temperature-slope polynomial `Widle1(V)`.
@@ -174,7 +180,10 @@ mod tests {
         let model = IdlePowerModel::fit(&training_set()).unwrap();
         for &v in &[0.888, 1.128, 1.320] {
             for &t in &[300.0, 320.0, 340.0] {
-                let est = model.estimate(Volts::new(v), Kelvin::new(t)).as_watts();
+                let est = model
+                    .estimate(Volts::new(v), Kelvin::new(t))
+                    .unwrap()
+                    .as_watts();
                 let truth = linear_truth(v, t);
                 assert!((est - truth).abs() < 1e-6, "V={v} T={t}: {est} vs {truth}");
             }
@@ -188,6 +197,7 @@ mod tests {
         // close to the (cubic) ground truth.
         let est = model
             .estimate(Volts::new(1.06), Kelvin::new(315.0))
+            .unwrap()
             .as_watts();
         let truth = linear_truth(1.06, 315.0);
         assert!((est - truth).abs() / truth < 0.01, "{est} vs {truth}");
@@ -203,6 +213,7 @@ mod tests {
         let model = IdlePowerModel::fit(&samples).unwrap();
         let est = model
             .estimate(Volts::new(1.242), Kelvin::new(320.0))
+            .unwrap()
             .as_watts();
         assert!((est - linear_truth(1.242, 320.0)).abs() < 1e-6);
     }
@@ -221,6 +232,7 @@ mod tests {
         // Exact at the trained voltages even with a linear V model.
         let est = model
             .estimate(Volts::new(1.320), Kelvin::new(330.0))
+            .unwrap()
             .as_watts();
         assert!((est - linear_truth(1.320, 330.0)).abs() < 1e-6);
     }
@@ -260,11 +272,11 @@ mod tests {
     #[test]
     fn idle_power_grows_with_voltage_and_temperature() {
         let model = IdlePowerModel::fit(&training_set()).unwrap();
-        let cold = model.estimate(Volts::new(1.1), Kelvin::new(305.0));
-        let hot = model.estimate(Volts::new(1.1), Kelvin::new(335.0));
+        let cold = model.estimate(Volts::new(1.1), Kelvin::new(305.0)).unwrap();
+        let hot = model.estimate(Volts::new(1.1), Kelvin::new(335.0)).unwrap();
         assert!(hot > cold);
-        let low_v = model.estimate(Volts::new(0.9), Kelvin::new(320.0));
-        let high_v = model.estimate(Volts::new(1.3), Kelvin::new(320.0));
+        let low_v = model.estimate(Volts::new(0.9), Kelvin::new(320.0)).unwrap();
+        let high_v = model.estimate(Volts::new(1.3), Kelvin::new(320.0)).unwrap();
         assert!(high_v > low_v);
     }
 

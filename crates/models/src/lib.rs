@@ -35,6 +35,7 @@
 //! assert!((predicted - (0.8 + 1.2 * 1.4 / 3.5)).abs() < 1e-12);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod chip_power;

@@ -120,11 +120,11 @@ pub fn to_string(models: &TrainedModels) -> String {
     {
         let cu: Vec<String> = table
             .states()
-            .map(|vf| format!("{}", pg.pidle_cu(vf).as_watts()))
+            .map(|vf| format!("{}", pg.pidle_cu(vf).map_or(0.0, |w| w.as_watts())))
             .collect();
         let nb: Vec<String> = table
             .states()
-            .map(|vf| format!("{}", pg.pidle_nb(vf).as_watts()))
+            .map(|vf| format!("{}", pg.pidle_nb(vf).map_or(0.0, |w| w.as_watts())))
             .collect();
         let _ = writeln!(out, "pg_cu = {}", cu.join(" "));
         let _ = writeln!(out, "pg_nb = {}", nb.join(" "));

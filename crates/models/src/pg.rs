@@ -154,26 +154,34 @@ impl PgIdleModel {
         }
     }
 
+    /// The fitted entry for a VF state, or [`Error::NotTrained`] when
+    /// that state was absent from the sweep.
+    fn entry(&self, vf: VfStateId) -> Result<PgIdleEntry> {
+        self.entries
+            .get(vf.index())
+            .copied()
+            .flatten()
+            .ok_or_else(|| Error::NotTrained(format!("VF {vf} was not swept")))
+    }
+
     /// `Pidle(CU)` at a VF state.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics for a VF state that was not part of the fitted sweep.
-    pub fn pidle_cu(&self, vf: VfStateId) -> Watts {
-        self.entries[vf.index()]
-            .unwrap_or_else(|| panic!("VF {vf} was not swept"))
-            .pidle_cu
+    /// Returns [`Error::NotTrained`] for a VF state that was not part
+    /// of the fitted sweep.
+    pub fn pidle_cu(&self, vf: VfStateId) -> Result<Watts> {
+        self.entry(vf)?.pidle_cu.finite("Pidle(CU)")
     }
 
     /// `Pidle(NB)` at a VF state.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics for a VF state that was not part of the fitted sweep.
-    pub fn pidle_nb(&self, vf: VfStateId) -> Watts {
-        self.entries[vf.index()]
-            .unwrap_or_else(|| panic!("VF {vf} was not swept"))
-            .pidle_nb
+    /// Returns [`Error::NotTrained`] for a VF state that was not part
+    /// of the fitted sweep.
+    pub fn pidle_nb(&self, vf: VfStateId) -> Result<Watts> {
+        self.entry(vf)?.pidle_nb.finite("Pidle(NB)")
     }
 
     /// The VF-independent `Pidle(Base)`.
@@ -214,10 +222,10 @@ impl PgIdleModel {
                 "invalid busy counts: m={busy_in_cu}, n={busy_in_chip}"
             )));
         }
-        let cu = self.pidle_cu(vf).as_watts() / busy_in_cu as f64;
+        let cu = self.pidle_cu(vf)?.as_watts() / busy_in_cu as f64;
         let shared =
-            (self.pidle_nb(vf).as_watts() + self.pidle_base.as_watts()) / busy_in_chip as f64;
-        Ok(Watts::new(cu + shared))
+            (self.pidle_nb(vf)?.as_watts() + self.pidle_base.as_watts()) / busy_in_chip as f64;
+        Watts::new(cu + shared).finite("eq7 per-core idle share")
     }
 
     /// Eq. 8 — per-core idle share with power gating **disabled**:
@@ -232,19 +240,24 @@ impl PgIdleModel {
                 "no busy cores to attribute power to".into(),
             ));
         }
-        Ok(Watts::new(
-            self.chip_idle_pg_disabled(vf).as_watts() / busy_in_chip as f64,
-        ))
+        Watts::new(self.chip_idle_pg_disabled(vf)?.as_watts() / busy_in_chip as f64)
+            .finite("eq8 per-core idle share")
     }
 
     /// Total chip idle power with gating disabled:
     /// `cu_count·Pidle(CU) + Pidle(NB) + Pidle(Base)`.
-    pub fn chip_idle_pg_disabled(&self, vf: VfStateId) -> Watts {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NotTrained`] for a VF state that was not part
+    /// of the fitted sweep.
+    pub fn chip_idle_pg_disabled(&self, vf: VfStateId) -> Result<Watts> {
         Watts::new(
-            self.cu_count as f64 * self.pidle_cu(vf).as_watts()
-                + self.pidle_nb(vf).as_watts()
+            self.cu_count as f64 * self.pidle_cu(vf)?.as_watts()
+                + self.pidle_nb(vf)?.as_watts()
                 + self.pidle_base.as_watts(),
         )
+        .finite("chip idle power (PG disabled)")
     }
 
     /// Total chip idle power with gating enabled, given which CUs are
@@ -260,19 +273,19 @@ impl PgIdleModel {
             ));
         }
         let mut w = self.pidle_base.as_watts();
-        let mut any_active = false;
         let mut max_vf: Option<VfStateId> = None;
         for (&active, &vf) in cu_active.iter().zip(cu_vf) {
             if active {
-                any_active = true;
-                w += self.pidle_cu(vf).as_watts();
+                w += self.pidle_cu(vf)?.as_watts();
                 max_vf = Some(max_vf.map_or(vf, |m| m.max(vf)));
             }
         }
-        if any_active {
-            w += self.pidle_nb(max_vf.expect("some CU active")).as_watts();
+        // The NB stays ungated while any CU is active, clocked by the
+        // fastest active CU's VF state.
+        if let Some(vf) = max_vf {
+            w += self.pidle_nb(vf)?.as_watts();
         }
-        Ok(Watts::new(w))
+        Watts::new(w).finite("chip idle power (PG enabled)")
     }
 }
 
@@ -327,9 +340,11 @@ mod tests {
         points.extend(sweep(0, 3.0));
         let model = PgIdleModel::fit(&points, 4).unwrap();
         for vf in [unsafe_vf(4), unsafe_vf(0)] {
-            assert!((model.pidle_cu(vf).as_watts() - CU).abs() < 1e-9);
-            assert!((model.pidle_nb(vf).as_watts() - NB).abs() < 1e-9);
+            assert!((model.pidle_cu(vf).unwrap().as_watts() - CU).abs() < 1e-9);
+            assert!((model.pidle_nb(vf).unwrap().as_watts() - NB).abs() < 1e-9);
         }
+        // VF index 2 was not swept: the accessor reports it.
+        assert!(model.pidle_cu(unsafe_vf(2)).is_err());
         assert!((model.pidle_base().as_watts() - BASE).abs() < 1e-9);
         assert_eq!(model.cu_count(), 4);
     }
@@ -366,7 +381,7 @@ mod tests {
             4,
         );
         let vf = unsafe_vf(0);
-        let chip = model.chip_idle_pg_disabled(vf).as_watts();
+        let chip = model.chip_idle_pg_disabled(vf).unwrap().as_watts();
         assert!((chip - (4.0 * CU + NB + BASE)).abs() < 1e-9);
         let per = model.per_core_idle_pg_disabled(vf, 8).unwrap().as_watts();
         assert!((per - chip / 8.0).abs() < 1e-9);
@@ -427,7 +442,7 @@ mod tests {
         }
         let model = PgIdleModel::fit(&points, 4).unwrap();
         let vf = unsafe_vf(2);
-        assert!((model.pidle_cu(vf).as_watts() - CU).abs() < 1.0);
-        assert!((model.pidle_nb(vf).as_watts() - NB).abs() < 3.0);
+        assert!((model.pidle_cu(vf).unwrap().as_watts() - CU).abs() < 1.0);
+        assert!((model.pidle_nb(vf).unwrap().as_watts() - NB).abs() < 3.0);
     }
 }

@@ -275,14 +275,12 @@ impl TrainingRig {
             let _ = sim.run_intervals(budget.warmup_intervals);
             let records = sim.run_intervals(budget.record_intervals);
             let point = table.point(vf);
-            let mean_dyn: f64 = records
-                .iter()
-                .map(|r| {
-                    r.measured_power.as_watts()
-                        - idle.estimate(point.voltage, r.temperature).as_watts()
-                })
-                .sum::<f64>()
-                / records.len() as f64;
+            let mut dyn_sum = 0.0;
+            for r in &records {
+                dyn_sum += r.measured_power.as_watts()
+                    - idle.estimate(point.voltage, r.temperature)?.as_watts();
+            }
+            let mean_dyn = dyn_sum / records.len().max(1) as f64;
             points.push((
                 point.voltage,
                 point.frequency,
@@ -316,14 +314,18 @@ impl TrainingRig {
 
     /// Converts one recorded interval into a dynamic-model training
     /// sample using the fitted idle model.
+    ///
+    /// # Errors
+    ///
+    /// Propagates idle-model estimation errors.
     pub fn dyn_sample_from(
         record: &IntervalRecord,
         idle: &IdlePowerModel,
         table: &VfTable,
-    ) -> DynSample {
+    ) -> Result<DynSample> {
         let vf = record.cu_vf[0];
         let voltage = table.point(vf).voltage;
-        let idle_w = idle.estimate(voltage, record.temperature).as_watts();
+        let idle_w = idle.estimate(voltage, record.temperature)?.as_watts();
         let mut rates = [0.0; 9];
         for s in &record.samples {
             let v = s.rates().power_model_vector();
@@ -331,10 +333,10 @@ impl TrainingRig {
                 *acc += r;
             }
         }
-        DynSample {
+        Ok(DynSample {
             rates,
             power: Watts::new((record.measured_power.as_watts() - idle_w).max(0.0)),
-        }
+        })
     }
 
     /// Chip-summed instructions per second of a recorded interval.
@@ -410,7 +412,7 @@ impl TrainingRig {
         for spec in training_specs {
             let trace = self.collect_run(spec, vf_top, budget);
             for record in &trace.records {
-                dyn_samples.push(Self::dyn_sample_from(record, &idle, &table));
+                dyn_samples.push(Self::dyn_sample_from(record, &idle, &table)?);
                 gg_samples.push(GgSample {
                     ips: Self::chip_ips(record),
                     vf: vf_top,
@@ -517,7 +519,7 @@ mod tests {
         // Every sample should be reproduced within a few percent.
         let mut worst = 0.0_f64;
         for s in &samples {
-            let est = idle.estimate(s.voltage, s.temperature).as_watts();
+            let est = idle.estimate(s.voltage, s.temperature).unwrap().as_watts();
             let rel = (est - s.power.as_watts()).abs() / s.power.as_watts();
             worst = worst.max(rel);
         }
@@ -540,6 +542,7 @@ mod tests {
             let est = models
                 .chip_power()
                 .estimate_chip(&r.samples, r.cu_vf[0], &table, r.temperature)
+                .unwrap()
                 .as_watts();
             errors.push((est - r.measured_power.as_watts()).abs() / r.measured_power.as_watts());
         }
@@ -609,7 +612,7 @@ mod tests {
         assert!(g1 > g3, "gap must grow with idle CUs: {g1} vs {g3}");
         // And the PG model fits it.
         let model = PgIdleModel::fit(&sweep, 4).unwrap();
-        assert!(model.pidle_cu(vf5).as_watts() > 1.0);
+        assert!(model.pidle_cu(vf5).unwrap().as_watts() > 1.0);
         assert!(model.pidle_base().as_watts() > 0.0);
     }
 }

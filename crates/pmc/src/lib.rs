@@ -25,6 +25,7 @@
 //! assert_eq!(EventId::MabWaitCycles.paper_id(), 12);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod counter;

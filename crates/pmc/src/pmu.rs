@@ -159,10 +159,12 @@ impl Pmu {
         for slot in 0..SLOT_COUNT {
             self.device
                 .wrmsr(PERF_CTR_BASE + 2 * slot as u32, raw)
+                // ppep-lint: allow(expect) — slot < SLOT_COUNT by loop bound
                 .expect("slot index within SLOT_COUNT");
             self.slot_baseline[slot] = self
                 .device
                 .peek_slot(slot)
+                // ppep-lint: allow(expect) — slot < SLOT_COUNT by loop bound
                 .expect("slot index within SLOT_COUNT");
         }
     }
@@ -182,6 +184,7 @@ impl Pmu {
         for (slot, event) in self.active_group.events().into_iter().enumerate() {
             self.device
                 .program_slot(slot, event.code(), true)
+                // ppep-lint: allow(expect) — group size == SLOT_COUNT by construction
                 .expect("slot index within SLOT_COUNT");
             // Backstage peek: baseline re-sync is simulator bookkeeping,
             // not a modelled msr-tools read, so injected read failures
@@ -189,6 +192,7 @@ impl Pmu {
             self.slot_baseline[slot] = self
                 .device
                 .peek_slot(slot)
+                // ppep-lint: allow(expect) — group size == SLOT_COUNT by construction
                 .expect("slot index within SLOT_COUNT");
         }
     }

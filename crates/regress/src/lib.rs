@@ -28,6 +28,7 @@
 //! assert!((fit.coefficients()[0] - 2.0).abs() < 1e-9);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod crossval;

@@ -173,9 +173,7 @@ impl IntervalRecord {
             .filter(|cu| {
                 topology
                     .cores_of(*cu)
-                    .expect("cu id from topology")
-                    .iter()
-                    .any(|c| self.core_busy[c.0])
+                    .is_ok_and(|cores| cores.iter().any(|c| self.core_busy[c.0]))
             })
             .count()
     }
@@ -428,6 +426,7 @@ impl ChipSimulator {
     /// [`step_interval_checked`]: ChipSimulator::step_interval_checked
     pub fn step_interval(&mut self) -> IntervalRecord {
         self.step_interval_checked()
+            // ppep-lint: allow(expect)
             .expect("no erroring fault scheduled for this interval")
     }
 
@@ -464,7 +463,12 @@ impl ChipSimulator {
                         s.pmu_mut().msr_mut().inject_read_failures(reads);
                     }
                 }
-                _ => {}
+                FaultKind::SensorDropout
+                | FaultKind::SensorStuck
+                | FaultKind::SensorSpike { .. }
+                | FaultKind::ThermalNan
+                | FaultKind::ThermalFrozen
+                | FaultKind::MissedInterval { .. } => {}
             }
         }
         let topo = self.config.topology.clone();
@@ -619,7 +623,12 @@ impl ChipSimulator {
                         *r = latched;
                     }
                 }
-                _ => {}
+                FaultKind::SensorDropout
+                | FaultKind::ThermalNan
+                | FaultKind::ThermalFrozen
+                | FaultKind::CounterWrap
+                | FaultKind::MsrReadFailure { .. }
+                | FaultKind::MissedInterval { .. } => {}
             }
         }
         let mut reported_temperature = self.thermal.temperature();
@@ -629,10 +638,18 @@ impl ChipSimulator {
                 FaultKind::ThermalFrozen => {
                     reported_temperature = self.last_reported_temperature;
                 }
-                _ => {}
+                FaultKind::SensorDropout
+                | FaultKind::SensorStuck
+                | FaultKind::SensorSpike { .. }
+                | FaultKind::CounterWrap
+                | FaultKind::MsrReadFailure { .. }
+                | FaultKind::MissedInterval { .. } => {}
             }
         }
-        self.last_sensor_reading = *sensor_readings.last().expect("ten sub-tick readings");
+        self.last_sensor_reading = sensor_readings
+            .last()
+            .copied()
+            .unwrap_or(self.last_sensor_reading);
         self.last_reported_temperature = reported_temperature;
         let index = self.interval;
         self.interval = self.interval.next();
@@ -647,7 +664,12 @@ impl ChipSimulator {
                 FaultKind::MissedInterval { missed } => {
                     return Err(ppep_types::Error::MissedInterval { missed });
                 }
-                _ => {}
+                FaultKind::SensorStuck
+                | FaultKind::SensorSpike { .. }
+                | FaultKind::ThermalNan
+                | FaultKind::ThermalFrozen
+                | FaultKind::CounterWrap
+                | FaultKind::MsrReadFailure { .. } => {}
             }
         }
 
@@ -657,7 +679,12 @@ impl ChipSimulator {
             duration: ppep_types::time::DECISION_INTERVAL,
             samples: samples
                 .into_iter()
-                .map(|s| s.expect("10 sub-ticks complete one interval"))
+                .map(|s| {
+                    s.unwrap_or(ppep_pmc::sampler::IntervalSample {
+                        counts: ppep_pmc::counts::EventCounts::zero(),
+                        duration: ppep_types::time::DECISION_INTERVAL,
+                    })
+                })
                 .collect(),
             true_counts: true_totals,
             measured_power: Watts::new(sensor_readings.iter().sum::<f64>() / n),

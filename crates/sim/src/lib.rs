@@ -38,6 +38,7 @@
 //! assert!(record.measured_power.as_watts() > 0.0);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod chip;

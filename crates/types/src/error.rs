@@ -76,6 +76,16 @@ pub enum Error {
     /// The platform's measurement substrate is gone for good (device
     /// unbound, firmware wedged) — fatal; no retry can help.
     DeviceLost(String),
+    /// A model input or output that must be a finite number was NaN or
+    /// ±∞. Raised by the [`crate::units::finite`] guard so that a
+    /// poisoned value is caught at the model boundary instead of
+    /// silently propagating into projections.
+    NonFinite {
+        /// What quantity was being guarded (e.g. `"eq3 dynamic power"`).
+        what: &'static str,
+        /// The offending raw value.
+        value: f64,
+    },
 }
 
 impl fmt::Display for Error {
@@ -113,6 +123,9 @@ impl fmt::Display for Error {
                 )
             }
             Error::DeviceLost(msg) => write!(f, "measurement device lost: {msg}"),
+            Error::NonFinite { what, value } => {
+                write!(f, "non-finite {what}: {value} cannot enter a projection")
+            }
         }
     }
 }
@@ -192,6 +205,13 @@ mod tests {
             (Error::MsrReadFailed { msr: 0xC001_0201 }, true),
             (Error::MissedInterval { missed: 2 }, true),
             (Error::DeviceLost("unbound".into()), false),
+            (
+                Error::NonFinite {
+                    what: "eq3 dynamic power",
+                    value: f64::NAN,
+                },
+                false,
+            ),
         ]
     }
 
@@ -216,7 +236,8 @@ mod tests {
                 | Error::InvalidInput(_)
                 | Error::Device(_)
                 | Error::InvalidConfig(_)
-                | Error::DeviceLost(_) => assert!(!e.is_transient()),
+                | Error::DeviceLost(_)
+                | Error::NonFinite { .. } => assert!(!e.is_transient()),
                 Error::SensorDropout { .. }
                 | Error::SensorImplausible { .. }
                 | Error::MsrReadFailed { .. }
@@ -225,7 +246,7 @@ mod tests {
         }
         assert_eq!(
             examples.len(),
-            15,
+            16,
             "new variants must be added to all_variants()"
         );
     }

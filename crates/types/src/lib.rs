@@ -24,6 +24,7 @@
 //! assert_eq!(table.point(vf5).voltage.as_volts(), 1.320);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod error;

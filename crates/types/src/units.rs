@@ -6,9 +6,37 @@
 //! so that raw floats never silently cross an API boundary with the
 //! wrong interpretation.
 
+use crate::error::{Error, Result};
 use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// Guards a raw value at a model boundary: returns it unchanged when
+/// finite, and [`Error::NonFinite`] when it is NaN or ±∞.
+///
+/// Model constructors and outputs route every computed quantity
+/// through this guard (or the per-unit [`Watts::finite`]-style
+/// methods) so a poisoned term — a division by a zero interval, a
+/// corrupted sensor feeding a regression — surfaces as a typed error
+/// at the boundary instead of silently propagating NaN through every
+/// downstream projection. `what` names the guarded quantity for the
+/// diagnostic (e.g. `"eq3 dynamic power"`).
+///
+/// ```
+/// use ppep_types::units::finite;
+///
+/// assert_eq!(finite(3.5, "cpi").unwrap(), 3.5);
+/// assert!(finite(f64::NAN, "cpi").is_err());
+/// assert!(finite(f64::INFINITY, "speedup").is_err());
+/// ```
+#[inline]
+pub fn finite(value: f64, what: &'static str) -> Result<f64> {
+    if value.is_finite() {
+        Ok(value)
+    } else {
+        Err(Error::NonFinite { what, value })
+    }
+}
 
 /// Writes an already-rendered unit string honouring the formatter's
 /// width and alignment (but not its precision, which the caller has
@@ -80,6 +108,14 @@ macro_rules! unit {
             #[inline]
             pub fn is_finite(self) -> bool {
                 self.0.is_finite()
+            }
+
+            /// Guards this quantity at a model boundary: `Ok(self)`
+            /// when finite, [`crate::Error::NonFinite`] otherwise.
+            /// See [`crate::units::finite`].
+            #[inline]
+            pub fn finite(self, what: &'static str) -> crate::error::Result<Self> {
+                crate::units::finite(self.0, what).map(Self)
             }
         }
 
@@ -235,6 +271,14 @@ impl Celsius {
     pub fn to_kelvin(self) -> Kelvin {
         Kelvin::new(self.0 + 273.15)
     }
+
+    /// Guards this reading at a model boundary: `Ok(self)` when
+    /// finite, [`crate::Error::NonFinite`] otherwise. See
+    /// [`crate::units::finite`].
+    #[inline]
+    pub fn finite(self, what: &'static str) -> Result<Self> {
+        finite(self.0, what).map(Self)
+    }
 }
 
 impl Kelvin {
@@ -305,6 +349,23 @@ impl Gigahertz {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn finite_guard_accepts_numbers_and_rejects_poison() {
+        assert_eq!(finite(95.0, "power").unwrap(), 95.0);
+        assert_eq!(finite(-3.0, "delta").unwrap(), -3.0);
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let err = finite(bad, "power").unwrap_err();
+            match err {
+                Error::NonFinite { what, .. } => assert_eq!(what, "power"),
+                other => panic!("wrong error {other}"),
+            }
+        }
+        assert_eq!(Watts::new(4.0).finite("p").unwrap(), Watts::new(4.0));
+        assert!(Watts::new(f64::NAN).finite("p").is_err());
+        assert!(Celsius::new(f64::INFINITY).finite("diode").is_err());
+        assert!(Kelvin::new(300.0).finite("t").is_ok());
+    }
 
     #[test]
     fn watts_times_seconds_is_joules() {

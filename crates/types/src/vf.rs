@@ -47,8 +47,10 @@ impl fmt::Display for VfPoint {
 ///
 /// Index 0 is the *lowest* state (the paper's VF1); larger indices are
 /// faster states. Use [`VfStateId::paper_name`] to render the paper's
-/// 1-based `VFn` naming.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+/// 1-based `VFn` naming. The `Default` value is the slowest state —
+/// the safe fallback when a selection over an empty ladder has no
+/// better answer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct VfStateId(pub(crate) usize);
 
 impl VfStateId {

@@ -34,6 +34,7 @@
 //! assert_eq!(roster.len(), 152);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod combos;

@@ -17,6 +17,9 @@
 //! assert!(trained.dynamic_model().coefficient_count() > 0);
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub use ppep_core as core;
 pub use ppep_dvfs as dvfs;
 pub use ppep_experiments as experiments;

@@ -50,10 +50,11 @@ fn whole_pipeline_estimates_unseen_workloads() {
     let records = sim.run_intervals(12);
     let mut errors = Vec::new();
     for r in &records[4..] {
-        let est =
-            ppep.models()
-                .chip_power()
-                .estimate_chip(&r.samples, r.cu_vf[0], &table, r.temperature);
+        let est = ppep
+            .models()
+            .chip_power()
+            .estimate_chip(&r.samples, r.cu_vf[0], &table, r.temperature)
+            .expect("finite estimate");
         errors.push(
             (est.as_watts() - r.measured_power.as_watts()).abs() / r.measured_power.as_watts(),
         );

@@ -253,8 +253,8 @@ proptest! {
         );
         let mut rates = [0.0; 9];
         rates[0] = 1.0e9;
-        let lo = model.estimate_core(&rates, Volts::new(v1));
-        let hi = model.estimate_core(&rates, Volts::new(v2));
+        let lo = model.estimate_core(&rates, Volts::new(v1)).unwrap();
+        let hi = model.estimate_core(&rates, Volts::new(v2)).unwrap();
         prop_assert!(hi > lo);
     }
 }
