@@ -7,7 +7,9 @@
 
 use crate::framework::Ppep;
 use crate::ppe::PpeProjection;
+use ppep_obs::{RecorderHandle, Stage};
 use ppep_sim::chip::{ChipSimulator, IntervalRecord};
+use ppep_types::time::IntervalIndex;
 use ppep_types::{Error, Result, VfStateId};
 
 /// A DVFS decision algorithm: consumes a projection, returns the
@@ -60,6 +62,14 @@ pub struct RunOutcome {
     /// The error that stopped the run early, or `None` when all
     /// requested intervals completed.
     pub error: Option<Error>,
+    /// The interval index at which the run aborted, or `None` when all
+    /// requested intervals completed. This is the index of the
+    /// interval the failing step was *measuring* — the simulator has
+    /// already advanced past it — so observability timestamps and the
+    /// partial trace in [`RunOutcome::steps`] line up: a run that
+    /// fails at interval `k` holds exactly the steps for intervals
+    /// `0..k` that succeeded.
+    pub failed_at: Option<IntervalIndex>,
 }
 
 impl RunOutcome {
@@ -116,6 +126,7 @@ pub struct PpepDaemon<C: DvfsController> {
     ppep: Ppep,
     sim: ChipSimulator,
     controller: C,
+    recorder: RecorderHandle,
 }
 
 impl<C: DvfsController> PpepDaemon<C> {
@@ -125,7 +136,23 @@ impl<C: DvfsController> PpepDaemon<C> {
             ppep,
             sim,
             controller,
+            recorder: RecorderHandle::noop(),
         }
+    }
+
+    /// Routes the daemon, its engine, and its simulator through one
+    /// observability recorder. Recording never feeds back into
+    /// decisions: a traced run is bit-identical to an untraced one.
+    pub fn with_recorder(mut self, recorder: RecorderHandle) -> Self {
+        self.ppep.set_recorder(recorder.clone());
+        self.sim.set_recorder(recorder.clone());
+        self.recorder = recorder;
+        self
+    }
+
+    /// The observability recorder (no-op unless installed).
+    pub fn recorder(&self) -> &RecorderHandle {
+        &self.recorder
     }
 
     /// The prediction engine.
@@ -159,7 +186,12 @@ impl<C: DvfsController> PpepDaemon<C> {
     /// the next `step` proceeds normally — but *this* daemon makes no
     /// decision for the lost interval.
     pub fn step(&mut self) -> Result<DaemonStep> {
-        let record = self.sim.step_interval_checked()?;
+        let record = {
+            let _sample = self
+                .recorder
+                .span(Stage::Sample, self.sim.current_interval().0);
+            self.sim.step_interval_checked()?
+        };
         self.react(record)
     }
 
@@ -173,9 +205,17 @@ impl<C: DvfsController> PpepDaemon<C> {
     ///
     /// Propagates projection and controller errors.
     pub fn react(&mut self, record: IntervalRecord) -> Result<DaemonStep> {
+        let interval = record.index.0;
+        let rec = self.recorder.clone();
         let projection = self.ppep.project(&record)?;
-        let decision = self.controller.decide(&projection)?;
-        self.apply(&decision)?;
+        let decision = {
+            let _decide = rec.span(Stage::Decide, interval);
+            self.controller.decide(&projection)?
+        };
+        {
+            let _apply = rec.span(Stage::Apply, interval);
+            self.apply(&decision)?;
+        }
         Ok(DaemonStep {
             record,
             projection,
@@ -203,17 +243,26 @@ impl<C: DvfsController> PpepDaemon<C> {
     pub fn run(&mut self, n: usize) -> RunOutcome {
         let mut steps = Vec::with_capacity(n);
         for _ in 0..n {
+            // Captured before stepping: the simulator advances past a
+            // faulted interval, so asking afterwards would be off by
+            // one.
+            let measuring = self.sim.current_interval();
             match self.step() {
                 Ok(step) => steps.push(step),
                 Err(e) => {
                     return RunOutcome {
                         steps,
                         error: Some(e),
+                        failed_at: Some(measuring),
                     }
                 }
             }
         }
-        RunOutcome { steps, error: None }
+        RunOutcome {
+            steps,
+            error: None,
+            failed_at: None,
+        }
     }
 }
 
@@ -245,7 +294,9 @@ mod tests {
         let mut sim = ChipSimulator::new(SimConfig::fx8320(42));
         sim.load_workload(&instances("403.gcc", 2, 42));
         let mut daemon = PpepDaemon::new(ppep, sim, StaticController { vf: table.lowest() });
-        let steps = daemon.run(3).unwrap();
+        let outcome = daemon.run(3);
+        assert_eq!(outcome.failed_at, None, "complete run has no abort point");
+        let steps = outcome.unwrap();
         // First interval still ran at the boot state (highest); from
         // the second on, the pinned state is in force.
         assert_eq!(steps[0].record.cu_vf[0], table.highest());
@@ -289,6 +340,13 @@ mod tests {
         // Intervals 0 and 1 complete; the dropout kills interval 2.
         assert_eq!(outcome.steps.len(), 2);
         assert!(!outcome.is_complete());
+        // The outcome pinpoints the aborted interval, and it lines up
+        // with the partial trace: steps cover intervals 0..failed_at.
+        assert_eq!(outcome.failed_at, Some(IntervalIndex(2)));
+        assert_eq!(
+            outcome.steps.last().map(|s| s.record.index),
+            Some(IntervalIndex(1))
+        );
         let err = outcome.error.clone().expect("run was cut short");
         assert!(err.is_transient(), "sensor dropout is transient: {err}");
         assert!(outcome.into_result().is_err());

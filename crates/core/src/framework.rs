@@ -3,6 +3,7 @@
 use crate::ppe::{ChipPpe, CoreAtVf, CoreProjection, PpeProjection};
 use ppep_models::event_pred::HwEventPredictor;
 use ppep_models::trainer::TrainedModels;
+use ppep_obs::{RecorderHandle, Stage, StageClock};
 use ppep_pmc::EventId;
 use ppep_sim::chip::IntervalRecord;
 use ppep_types::vf::NbVfState;
@@ -24,6 +25,7 @@ mod nb_low {
 pub struct Ppep {
     models: TrainedModels,
     predictor: HwEventPredictor,
+    recorder: RecorderHandle,
 }
 
 impl Ppep {
@@ -32,7 +34,21 @@ impl Ppep {
         Self {
             models,
             predictor: HwEventPredictor::new(),
+            recorder: RecorderHandle::noop(),
         }
+    }
+
+    /// Routes per-stage pipeline spans (cpi-predict, event-predict,
+    /// pdyn, pidle, compose) through an observability recorder.
+    /// Recording never changes projections.
+    pub fn with_recorder(mut self, recorder: RecorderHandle) -> Self {
+        self.set_recorder(recorder);
+        self
+    }
+
+    /// In-place form of [`Ppep::with_recorder`].
+    pub fn set_recorder(&mut self, recorder: RecorderHandle) {
+        self.recorder = recorder;
     }
 
     /// The wrapped models.
@@ -82,6 +98,12 @@ impl Ppep {
             NbVfState::Low => (nb_low::MEMORY_FACTOR, nb_low::IDLE_SCALE, nb_low::DYN_SCALE),
         };
 
+        // One clock for the whole projection: per-stage time across
+        // the (core × VF) loops accumulates and flushes as one span
+        // per stage per interval (see [`StageClock`]). A disabled
+        // recorder makes each `time` call a plain closure call.
+        let mut clock = StageClock::new(&self.recorder);
+
         let mut cores = Vec::with_capacity(record.samples.len());
         let mut nb_dynamic_by_vf = vec![0.0; table.len()];
         for (i, sample) in record.samples.iter().enumerate() {
@@ -91,11 +113,15 @@ impl Ppep {
             let mut per_vf = Vec::with_capacity(table.len());
             for vf in table.states() {
                 let to = table.point(vf);
-                let predicted = self
-                    .predictor
-                    .predict_scaled(sample, from, to, memory_factor)?;
-                let (core_dyn, nb_dyn) =
-                    dynamic.estimate_core_split(&predicted.power_rates(), to.voltage)?;
+                let projected = clock.time(Stage::CpiPredict, || {
+                    self.predictor.project_cpi(sample, from, to, memory_factor)
+                })?;
+                let predicted = clock.time(Stage::EventPredict, || {
+                    self.predictor.reconstruct_events(sample, &projected)
+                })?;
+                let (core_dyn, nb_dyn) = clock.time(Stage::Pdyn, || {
+                    dynamic.estimate_core_split(&predicted.power_rates(), to.voltage)
+                })?;
                 let nb_dyn = nb_dyn * nb_dyn_scale;
                 nb_dynamic_by_vf[vf.index()] += nb_dyn.as_watts();
                 per_vf.push(CoreAtVf {
@@ -127,52 +153,63 @@ impl Ppep {
 
         let mut chip = Vec::with_capacity(table.len());
         for vf in table.states() {
-            let dynamic_total: Watts = cores.iter().map(|c| c.at(vf).dynamic_power).sum();
-            // NB idle share, separable only with the PG decomposition.
-            let nb_idle = match self.models.chip_power().pg_model() {
-                Some(pg) if any_active => pg.pidle_nb(vf)? * nb_idle_scale,
-                _ => Watts::ZERO,
-            };
-            let idle_total = match self.models.chip_power().pg_model() {
-                Some(pg) => {
-                    let stock = pg.chip_idle_pg_enabled(&cu_active, &vec![vf; topo.cu_count()])?;
-                    // Replace the stock NB idle contribution with the
-                    // scaled one.
-                    if any_active {
-                        stock - pg.pidle_nb(vf)? + nb_idle
-                    } else {
-                        stock
-                    }
-                }
-                None => self
-                    .models
-                    .idle_model()
-                    .estimate(table.point(vf).voltage, record.temperature)?,
-            };
-            let power = idle_total + dynamic_total;
-            let nb_power = nb_idle + Watts::new(nb_dynamic_by_vf[vf.index()]);
-            let ips: f64 = cores.iter().map(|c| c.at(vf).ips).sum();
-            let (time_for_work, energy, edp) = if ips > 0.0 && work_instructions > 0.0 {
-                let t = work_instructions / ips;
-                let e = power.as_watts() * t;
-                (Seconds::new(t), Joules::new(e), e * t)
-            } else {
-                // Idle chip: report the decision interval as the work
-                // unit so power comparisons still make sense.
-                let t = record.duration.as_secs();
-                let e = power.as_watts() * t;
-                (Seconds::new(t), Joules::new(e), e * t)
-            };
-            chip.push(ChipPpe {
-                vf,
-                power,
-                nb_power,
-                ips,
-                time_for_work,
-                energy,
-                edp,
+            let dynamic_total: Watts = clock.time(Stage::Compose, || {
+                cores.iter().map(|c| c.at(vf).dynamic_power).sum()
+            });
+            let (nb_idle, idle_total) =
+                clock.time(Stage::Pidle, || -> Result<(Watts, Watts)> {
+                    // NB idle share, separable only with the PG
+                    // decomposition.
+                    let nb_idle = match self.models.chip_power().pg_model() {
+                        Some(pg) if any_active => pg.pidle_nb(vf)? * nb_idle_scale,
+                        _ => Watts::ZERO,
+                    };
+                    let idle_total = match self.models.chip_power().pg_model() {
+                        Some(pg) => {
+                            let stock =
+                                pg.chip_idle_pg_enabled(&cu_active, &vec![vf; topo.cu_count()])?;
+                            // Replace the stock NB idle contribution with
+                            // the scaled one.
+                            if any_active {
+                                stock - pg.pidle_nb(vf)? + nb_idle
+                            } else {
+                                stock
+                            }
+                        }
+                        None => self
+                            .models
+                            .idle_model()
+                            .estimate(table.point(vf).voltage, record.temperature)?,
+                    };
+                    Ok((nb_idle, idle_total))
+                })?;
+            clock.time(Stage::Compose, || {
+                let power = idle_total + dynamic_total;
+                let nb_power = nb_idle + Watts::new(nb_dynamic_by_vf[vf.index()]);
+                let ips: f64 = cores.iter().map(|c| c.at(vf).ips).sum();
+                let (time_for_work, energy, edp) = if ips > 0.0 && work_instructions > 0.0 {
+                    let t = work_instructions / ips;
+                    let e = power.as_watts() * t;
+                    (Seconds::new(t), Joules::new(e), e * t)
+                } else {
+                    // Idle chip: report the decision interval as the
+                    // work unit so power comparisons still make sense.
+                    let t = record.duration.as_secs();
+                    let e = power.as_watts() * t;
+                    (Seconds::new(t), Joules::new(e), e * t)
+                };
+                chip.push(ChipPpe {
+                    vf,
+                    power,
+                    nb_power,
+                    ips,
+                    time_for_work,
+                    energy,
+                    edp,
+                });
             });
         }
+        clock.flush(record.index.0);
 
         Ok(PpeProjection {
             interval: record.index,

@@ -30,6 +30,7 @@
 
 use crate::daemon::{DaemonStep, DvfsController, PpepDaemon};
 use crate::ppe::PpeProjection;
+use ppep_obs::Stage;
 use ppep_sim::chip::IntervalRecord;
 use ppep_types::{Error, Kelvin, Result, VfStateId};
 
@@ -237,6 +238,11 @@ impl<C: DvfsController> ResilientDaemon<C> {
         if self.state != state {
             self.state = state;
             self.report.transitions.push((self.report.intervals, state));
+            let rec = self.inner.recorder();
+            if rec.enabled() {
+                rec.event(&format!("health.{state}"), self.report.intervals);
+                rec.incr("health.transitions");
+            }
         }
     }
 
@@ -284,20 +290,33 @@ impl<C: DvfsController> ResilientDaemon<C> {
     pub fn step(&mut self) -> Result<SupervisedStep> {
         let interval = self.report.intervals;
         self.report.intervals += 1;
-        match self.inner.sim_mut().step_interval_checked() {
+        let rec = self.inner.recorder().clone();
+        let measuring = self.inner.sim().current_interval().0;
+        let measured = {
+            let _sample = rec.span(Stage::Sample, measuring);
+            self.inner.sim_mut().step_interval_checked()
+        };
+        match measured {
             Ok(record) => match self.validation_fault(&record) {
                 None => self.fresh(interval, record),
                 Some(fault) => {
                     self.report.quarantined += 1;
+                    rec.incr("fault.detected");
+                    rec.incr("fault.quarantined");
+                    rec.event("fault.quarantined", interval);
                     self.degraded(interval, Some(record), fault, true)
                 }
             },
             Err(e) if e.is_transient() => {
                 self.report.transient_errors += 1;
+                rec.incr("fault.detected");
+                rec.incr("fault.transient");
                 self.degraded(interval, None, e, false)
             }
             Err(e) => {
                 // Fatal: pin the safe state before surfacing.
+                rec.incr("fault.detected");
+                rec.incr("fault.fatal");
                 self.inner.sim_mut().set_all_vf(self.config.failsafe_vf);
                 self.enter(HealthState::Failsafe);
                 self.report.last_error = Some(e.clone());
@@ -309,19 +328,29 @@ impl<C: DvfsController> ResilientDaemon<C> {
     /// The healthy path: the unsupervised daemon's project → decide →
     /// apply sequence, verbatim, plus recovery bookkeeping.
     fn fresh(&mut self, interval: u64, record: IntervalRecord) -> Result<SupervisedStep> {
+        let rec = self.inner.recorder().clone();
         let projection = self.inner.ppep().project(&record)?;
         if !projection_is_finite(&projection) {
             // A validated record still produced a non-finite
             // projection: never act on it, never emit it.
             self.report.quarantined += 1;
+            rec.incr("fault.detected");
+            rec.incr("fault.quarantined");
+            rec.event("fault.quarantined", interval);
             let fault = Error::SensorImplausible {
                 sensor: "projection",
                 value: f64::NAN,
             };
             return self.degraded(interval, Some(record), fault, true);
         }
-        let decision = self.inner.controller_mut().decide(&projection)?;
-        self.inner.apply(&decision)?;
+        let decision = {
+            let _decide = rec.span(Stage::Decide, interval);
+            self.inner.controller_mut().decide(&projection)?
+        };
+        {
+            let _apply = rec.span(Stage::Apply, interval);
+            self.inner.apply(&decision)?;
+        }
 
         self.consecutive_faults = 0;
         self.good_streak += 1;
@@ -378,8 +407,15 @@ impl<C: DvfsController> ResilientDaemon<C> {
             self.last_good.as_ref().map(|g| g.projection.clone())
         };
         let (action, decision) = if let Some(held) = held {
-            let decision = self.inner.controller_mut().decide(&held)?;
-            self.inner.apply(&decision)?;
+            let rec = self.inner.recorder().clone();
+            let decision = {
+                let _decide = rec.span(Stage::Decide, interval);
+                self.inner.controller_mut().decide(&held)?
+            };
+            {
+                let _apply = rec.span(Stage::Apply, interval);
+                self.inner.apply(&decision)?;
+            }
             self.enter(HealthState::Degraded);
             self.report.held_decisions += 1;
             (Action::Held, decision)

@@ -16,7 +16,15 @@
 use ppep_core::daemon::DvfsController;
 use ppep_core::ppe::PpeProjection;
 use ppep_core::Ppep;
+use ppep_obs::RecorderHandle;
 use ppep_types::{Result, VfStateId, Watts};
+
+/// Counts the CUs whose VF state differs between the measured
+/// assignment and the controller's decision — the number of VF
+/// transitions the decision will trigger when applied.
+fn count_transitions(from: &[VfStateId], to: &[VfStateId]) -> u64 {
+    from.iter().zip(to).filter(|(a, b)| a != b).count() as u64
+}
 
 /// The PPEP-based one-step capping controller.
 #[derive(Debug, Clone)]
@@ -27,6 +35,7 @@ pub struct OneStepCapping {
     /// that model bias and sensor noise do not turn into persistent
     /// cap violations. Production capping firmware does the same.
     pub guard_band: f64,
+    recorder: RecorderHandle,
 }
 
 impl OneStepCapping {
@@ -36,7 +45,18 @@ impl OneStepCapping {
             ppep,
             cap,
             guard_band: 0.05,
+            recorder: RecorderHandle::noop(),
         }
+    }
+
+    /// Attaches an observability recorder; the controller then counts
+    /// `dvfs.vf_transitions` (CUs moved per decision) and
+    /// `dvfs.cap_violations` (intervals whose source-state power
+    /// exceeded the cap).
+    #[must_use]
+    pub fn with_recorder(mut self, recorder: RecorderHandle) -> Self {
+        self.recorder = recorder;
+        self
     }
 
     /// Changes the enforced cap (e.g. on a battery/wall transition).
@@ -131,7 +151,20 @@ impl OneStepCapping {
 
 impl DvfsController for OneStepCapping {
     fn decide(&mut self, projection: &PpeProjection) -> Result<Vec<VfStateId>> {
-        self.choose(projection)
+        let decision = self.choose(projection)?;
+        if self.recorder.enabled() {
+            let source = self
+                .ppep
+                .chip_power_with_assignment(projection, &projection.source_vf)?;
+            if source > self.cap {
+                self.recorder.incr("dvfs.cap_violations");
+            }
+            self.recorder.add(
+                "dvfs.vf_transitions",
+                count_transitions(&projection.source_vf, &decision),
+            );
+        }
+        Ok(decision)
     }
 }
 
@@ -152,6 +185,7 @@ pub struct IterativeCapping {
     table: ppep_types::VfTable,
     last_measured: Option<Watts>,
     since_change: usize,
+    recorder: RecorderHandle,
 }
 
 impl IterativeCapping {
@@ -165,7 +199,16 @@ impl IterativeCapping {
             table: table.clone(),
             last_measured: None,
             since_change: 0,
+            recorder: RecorderHandle::noop(),
         }
+    }
+
+    /// Attaches an observability recorder; see
+    /// [`OneStepCapping::with_recorder`].
+    #[must_use]
+    pub fn with_recorder(mut self, recorder: RecorderHandle) -> Self {
+        self.recorder = recorder;
+        self
     }
 
     /// Changes the enforced cap.
@@ -217,7 +260,20 @@ impl DvfsController for IterativeCapping {
                 self.observe_power(projection.chip_at(source).power);
             }
         }
+        if self.recorder.enabled() {
+            if let Some(p) = self.last_measured {
+                if p > self.cap {
+                    self.recorder.incr("dvfs.cap_violations");
+                }
+            }
+        }
         let decision = self.choose(projection.source_vf.len());
+        if self.recorder.enabled() {
+            self.recorder.add(
+                "dvfs.vf_transitions",
+                count_transitions(&projection.source_vf, &decision),
+            );
+        }
         // Consume the observation: the next decision needs a fresh one.
         self.last_measured = None;
         Ok(decision)
@@ -241,6 +297,7 @@ pub struct SteepestDrop {
     cap: Watts,
     /// Guard band under the cap, as for [`OneStepCapping`].
     pub guard_band: f64,
+    recorder: RecorderHandle,
 }
 
 impl SteepestDrop {
@@ -250,7 +307,16 @@ impl SteepestDrop {
             ppep,
             cap,
             guard_band: 0.05,
+            recorder: RecorderHandle::noop(),
         }
+    }
+
+    /// Attaches an observability recorder; see
+    /// [`OneStepCapping::with_recorder`].
+    #[must_use]
+    pub fn with_recorder(mut self, recorder: RecorderHandle) -> Self {
+        self.recorder = recorder;
+        self
     }
 
     /// Changes the enforced cap.
@@ -342,7 +408,20 @@ impl SteepestDrop {
 
 impl DvfsController for SteepestDrop {
     fn decide(&mut self, projection: &PpeProjection) -> Result<Vec<VfStateId>> {
-        self.choose(projection)
+        let decision = self.choose(projection)?;
+        if self.recorder.enabled() {
+            let source = self
+                .ppep
+                .chip_power_with_assignment(projection, &projection.source_vf)?;
+            if source > self.cap {
+                self.recorder.incr("dvfs.cap_violations");
+            }
+            self.recorder.add(
+                "dvfs.vf_transitions",
+                count_transitions(&projection.source_vf, &decision),
+            );
+        }
+        Ok(decision)
     }
 }
 

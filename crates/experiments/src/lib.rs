@@ -24,6 +24,7 @@
 //! | [`phenom`] | §IV-B2/§IV-C2 — Phenom II validation |
 //! | [`ablations`] | error attribution (beyond the paper: ideal PMU/sensor) |
 //! | [`resilience`] | Fig. 7 capping under a fault storm (beyond the paper) |
+//! | [`overhead`] | §V — per-stage latency and framework overhead of the 200 ms loop |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -43,6 +44,7 @@ pub mod fig10_nb_share;
 pub mod fig11_nb_dvfs;
 pub mod idle_accuracy;
 pub mod observations;
+pub mod overhead;
 pub mod phenom;
 pub mod report;
 pub mod resilience;

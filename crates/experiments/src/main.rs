@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! ppep-experiments [--quick] [--seed N] [--out DIR] \
-//!     <fig1|cpi|idle|obs|fig2|fig3|fig4|fig6|fig7|fig8|fig9|fig10|fig11|phenom|ablations|resilience|summary|all>
+//!     <fig1|cpi|idle|obs|fig2|fig3|fig4|fig6|fig7|fig8|fig9|fig10|fig11|phenom|ablations|resilience|overhead|summary|all>
 //! ```
 //!
 //! With `--out DIR`, figure commands additionally write their data as
@@ -20,7 +20,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: ppep-experiments [--quick] [--seed N] [--out DIR] \
          <fig1|cpi|idle|obs|fig2|fig3|fig4|fig6|fig7|fig8|fig9|fig10|fig11|phenom|ablations|\
-         resilience|summary|all>"
+         resilience|overhead|summary|all>"
     );
     ExitCode::FAILURE
 }
@@ -144,6 +144,25 @@ fn dispatch(
         }
         "phenom" => phenom::print(&phenom::run(ctx)?),
         "resilience" => resilience::print(&resilience::run(ctx)?),
+        "overhead" => {
+            let r = overhead::run(ctx)?;
+            overhead::print(&r);
+            save(out, "overhead.csv", report::overhead_csv(&r));
+            save(out, "overhead_spans.jsonl", overhead::spans_export(&r));
+            save(out, "overhead_trace.json", overhead::trace_export(&r));
+            save(out, "BENCH_overhead.json", report::overhead_bench_json(&r));
+            if !r.identical {
+                return Err(ppep_types::Error::InvalidInput(
+                    "trace-on and trace-off runs diverged".into(),
+                ));
+            }
+            if r.mean_fraction > 0.10 {
+                return Err(ppep_types::Error::InvalidInput(format!(
+                    "mean framework overhead {:.2}% exceeds 10% of the 200 ms budget",
+                    r.mean_fraction * 100.0
+                )));
+            }
+        }
         "summary" => summary::print(&summary::run(ctx)?),
         "ablations" => {
             let r = ablations::run(ctx)?;

@@ -3,10 +3,11 @@
 //!
 //! | Group | Rule(s) | Invariant |
 //! |-------|---------|-----------|
-//! | L1 | `unwrap`, `expect`, `panic`, `index-arith` | the runtime crates (`ppep-core`, `ppep-dvfs`, `ppep-models`, `ppep-pmc`, `ppep-sim`) never panic in non-test code; failures propagate as `ppep_types::Error` |
+//! | L1 | `unwrap`, `expect`, `panic`, `index-arith`, `index-nonliteral` | the runtime crates (`ppep-core`, `ppep-dvfs`, `ppep-models`, `ppep-obs`, `ppep-pmc`, `ppep-sim`) never panic in non-test code; failures propagate as `ppep_types::Error`, and every non-literal index survives only with a recorded bounds invariant |
 //! | L2 | `raw-f64` | public signatures of `ppep-models` / `ppep-core` use unit newtypes, never bare `f64` (dimensionless ratios are allowlisted with reasons) |
 //! | L3 | `wildcard-match` | matches on domain enums are exhaustive with no wildcard arm |
 //! | L4 | `unguarded-output` | public model outputs route through `ppep_types::units::finite` so NaN/∞ cannot enter projections |
+//! | L6 | `unbound-span` | tracing span guards are bound to live bindings (`let _g = rec.span(..)`), never dropped on the spot by a bare statement or `let _ =` |
 //!
 //! Violations print as rustc-style diagnostics and make the binary
 //! exit nonzero, so `cargo run -p ppep-lint` slots directly into CI.

@@ -1,10 +1,13 @@
-//! The four PPEP rule families.
+//! The PPEP rule families.
 //!
-//! * **L1 no-panic** (`unwrap`, `expect`, `panic`, `index-arith`) —
-//!   non-test code in the runtime crates must not contain
-//!   `.unwrap()` / `.expect(..)` / `panic!`-family macros / slice
-//!   indexing with an arithmetic index (the off-by-one panic class).
-//!   Failures must propagate as `ppep_types::Error`.
+//! * **L1 no-panic** (`unwrap`, `expect`, `panic`, `index-arith`,
+//!   `index-nonliteral`) — non-test code in the runtime crates must
+//!   not contain `.unwrap()` / `.expect(..)` / `panic!`-family macros
+//!   / slice indexing with an arithmetic index (the off-by-one panic
+//!   class) / indexing with *any* non-literal expression (`xs[i]`),
+//!   which can panic on a bad bound; survivors record their bounds
+//!   invariant in the allowlist. Failures must propagate as
+//!   `ppep_types::Error`.
 //! * **L2 raw-f64** — public function signatures in `ppep-models` /
 //!   `ppep-core` must not pass bare `f64` where a `ppep_types`
 //!   unit newtype exists; genuine dimensionless ratios are recorded in
@@ -16,6 +19,10 @@
 //!   returning a unit quantity must route the value through the
 //!   `ppep_types::units::finite` guard so NaN/∞ cannot silently
 //!   enter projections.
+//! * **L6 unbound-span** — a `.span(..)` tracing guard must be bound
+//!   to a live binding (`let _g = rec.span(..)`); a bare statement or
+//!   `let _ = ..` drops the guard immediately, silently recording a
+//!   zero-length span.
 
 use crate::allow::Allowlist;
 use crate::context::{matching_bracket, SourceFile};
@@ -23,10 +30,11 @@ use crate::diag::Diagnostic;
 use crate::lexer::{Token, TokenKind};
 
 /// Crates whose non-test code must be panic-free (L1).
-pub const RUNTIME_CRATES: [&str; 5] = [
+pub const RUNTIME_CRATES: [&str; 6] = [
     "ppep-core",
     "ppep-dvfs",
     "ppep-models",
+    "ppep-obs",
     "ppep-pmc",
     "ppep-sim",
 ];
@@ -62,17 +70,19 @@ pub const UNIT_TYPES: [&str; 7] = [
 ];
 
 /// Every individual rule name.
-pub const ALL_RULES: [&str; 7] = [
+pub const ALL_RULES: [&str; 9] = [
     "unwrap",
     "expect",
     "panic",
     "index-arith",
+    "index-nonliteral",
     "raw-f64",
     "wildcard-match",
     "unguarded-output",
+    "unbound-span",
 ];
 
-/// Expands a rule name or `L1`…`L4` group alias (or `all`) to the
+/// Expands a rule name or `L1`…`L6` group alias (or `all`) to the
 /// individual rule names it covers. Unknown names pass through
 /// unchanged (they simply never match a diagnostic).
 pub fn expand_rule_alias(name: &str) -> Vec<String> {
@@ -82,10 +92,12 @@ pub fn expand_rule_alias(name: &str) -> Vec<String> {
             "expect".into(),
             "panic".into(),
             "index-arith".into(),
+            "index-nonliteral".into(),
         ],
         "L2" => vec!["raw-f64".into()],
         "L3" => vec!["wildcard-match".into()],
         "L4" => vec!["unguarded-output".into()],
+        "L6" => vec!["unbound-span".into()],
         "all" => ALL_RULES.iter().map(|s| s.to_string()).collect(),
         other => vec![other.to_string()],
     }
@@ -94,15 +106,16 @@ pub fn expand_rule_alias(name: &str) -> Vec<String> {
 /// Runs every applicable rule over one file.
 pub fn check_file(file: &SourceFile, allow: &Allowlist) -> Vec<Diagnostic> {
     let mut diags = Vec::new();
-    if RUNTIME_CRATES.contains(&file.crate_name.as_str()) {
-        l1_no_panic(file, &mut diags);
-    }
     let fns = parse_fns(file);
+    if RUNTIME_CRATES.contains(&file.crate_name.as_str()) {
+        l1_no_panic(file, &fns, allow, &mut diags);
+    }
     if UNIT_API_CRATES.contains(&file.crate_name.as_str()) {
         l2_raw_f64(file, &fns, allow, &mut diags);
     }
     if file.crate_name.starts_with("ppep-") {
         l3_wildcard_match(file, allow, &mut diags);
+        l6_unbound_span(file, &fns, allow, &mut diags);
     }
     if file.crate_name == MODEL_CRATE {
         l4_unguarded_output(file, &fns, allow, &mut diags);
@@ -142,7 +155,17 @@ const NON_INDEX_PREFIX: [&str; 14] = [
     "const", "type",
 ];
 
-fn l1_no_panic(file: &SourceFile, diags: &mut Vec<Diagnostic>) {
+/// The name of the innermost function whose body contains token
+/// `idx`, or `""` for file-level positions — the allowlist item
+/// bounds-invariant exemptions attach to.
+fn containing_fn(fns: &[FnSig], idx: usize) -> &str {
+    fns.iter()
+        .filter(|f| f.body.is_some_and(|(s, e)| s <= idx && idx < e))
+        .min_by_key(|f| f.body.map_or(usize::MAX, |(s, e)| e - s))
+        .map_or("", |f| f.name.as_str())
+}
+
+fn l1_no_panic(file: &SourceFile, fns: &[FnSig], allow: &Allowlist, diags: &mut Vec<Diagnostic>) {
     let toks = &file.tokens;
     for i in 0..toks.len() {
         let t = &toks[i];
@@ -207,16 +230,17 @@ fn l1_no_panic(file: &SourceFile, diags: &mut Vec<Diagnostic>) {
                 TokenKind::Punct => prev.text == ")" || prev.text == "]",
                 _ => false,
             };
-            if is_index_pos && !skipped(file, "index-arith", t.line) {
+            if is_index_pos {
                 let close = file.matching_bracket(i);
+                let inner = &toks[i + 1..close];
                 let mut depth = 0i64;
                 let mut arith = false;
-                for inner in &toks[i + 1..close] {
-                    match inner.text.as_str() {
+                for tok in inner {
+                    match tok.text.as_str() {
                         "(" | "[" | "{" => depth += 1,
                         ")" | "]" | "}" => depth -= 1,
                         "+" | "-" | "*" | "/" | "%"
-                            if depth == 0 && inner.kind == TokenKind::Punct =>
+                            if depth == 0 && tok.kind == TokenKind::Punct =>
                         {
                             arith = true;
                         }
@@ -224,13 +248,36 @@ fn l1_no_panic(file: &SourceFile, diags: &mut Vec<Diagnostic>) {
                     }
                 }
                 if arith {
+                    if !skipped(file, "index-arith", t.line) {
+                        diags.push(diag(
+                            file,
+                            "L1",
+                            "index-arith",
+                            t,
+                            "indexing with an arithmetic index can panic; use iterators/chunks, \
+                             `.get(..)`, or a checked helper"
+                                .into(),
+                        ));
+                    }
+                } else if !matches!(
+                    inner,
+                    [] | [Token {
+                        kind: TokenKind::Literal,
+                        ..
+                    }]
+                ) && !skipped(file, "index-nonliteral", t.line)
+                    && !allow.allows("index-nonliteral", &file.path, containing_fn(fns, i))
+                {
+                    // Any non-literal index (`xs[i]`) can panic on a bad
+                    // bound; index-arith already covers the arithmetic
+                    // subclass, so it is excluded here.
                     diags.push(diag(
                         file,
                         "L1",
-                        "index-arith",
+                        "index-nonliteral",
                         t,
-                        "indexing with an arithmetic index can panic; use iterators/chunks, \
-                         `.get(..)`, or a checked helper"
+                        "non-literal index can panic on a bad bound; use `.get(..)`, iterators, \
+                         or allowlist the site with its bounds invariant"
                             .into(),
                     ));
                 }
@@ -661,6 +708,62 @@ fn l4_unguarded_output(
     }
 }
 
+// ---------------------------------------------------------------- L6
+
+fn l6_unbound_span(
+    file: &SourceFile,
+    fns: &[FnSig],
+    allow: &Allowlist,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let toks = &file.tokens;
+    for i in 0..toks.len() {
+        if !(toks[i].is_punct(".")
+            && toks.get(i + 1).is_some_and(|t| t.is_ident("span"))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct("(")))
+        {
+            continue;
+        }
+        let at = &toks[i + 1];
+        if skipped(file, "unbound-span", at.line)
+            || allow.allows("unbound-span", &file.path, containing_fn(fns, i))
+        {
+            continue;
+        }
+        // Statement start: just past the nearest `;` / `{` / `}`.
+        let stmt = toks[..i]
+            .iter()
+            .rposition(|t| t.kind == TokenKind::Punct && matches!(t.text.as_str(), ";" | "{" | "}"))
+            .map_or(0, |p| p + 1);
+        let bound = if toks.get(stmt).is_some_and(|t| t.is_ident("let")) {
+            let mut b = stmt + 1;
+            if toks.get(b).is_some_and(|t| t.is_ident("mut")) {
+                b += 1;
+            }
+            // `let _ = ..` drops the guard immediately; `let _g = ..`
+            // (or any named binding) keeps it alive for the scope.
+            toks.get(b)
+                .is_some_and(|t| t.kind == TokenKind::Ident && t.text != "_")
+        } else {
+            // An assignment into an existing binding also keeps the
+            // guard alive; anything else is a bare statement whose
+            // temporary dies at the `;`, recording a near-zero span.
+            toks[stmt..i].iter().any(|t| t.is_punct("="))
+        };
+        if !bound {
+            diags.push(diag(
+                file,
+                "L6",
+                "unbound-span",
+                at,
+                "span guard must be bound (`let _g = rec.span(..)`); a bare statement or \
+                 `let _ = ..` drops it immediately and records a zero-length span"
+                    .into(),
+            ));
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -693,14 +796,65 @@ mod tests {
 
     #[test]
     fn index_arith_ignores_plain_and_literal_indices() {
+        // Literal indices stay clean; a plain variable index now trips
+        // index-nonliteral (but not index-arith).
         let src = "fn f(v: &[u32], i: usize) -> u32 { v[i] + v[0] }";
-        assert!(check("ppep-sim", src).is_empty());
+        let d = check("ppep-sim", src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "index-nonliteral");
         let bad = "fn f(v: &[u32], i: usize) -> u32 { v[i + 1] }";
-        assert_eq!(check("ppep-sim", bad).len(), 1);
-        // Method calls inside the index are fine when the top level
-        // has no arithmetic.
+        let d = check("ppep-sim", bad);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "index-arith");
+        // Method calls inside the index are non-literal, not arithmetic.
         let ok = "fn f(v: &[u32], i: usize) -> u32 { v[i.min(v.len())] }";
-        assert!(check("ppep-sim", ok).is_empty());
+        let d = check("ppep-sim", ok);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "index-nonliteral");
+    }
+
+    #[test]
+    fn index_nonliteral_allowlisted_by_containing_fn() {
+        let src =
+            "fn f(v: &[u32], i: usize) -> u32 { v[i] }\nfn g(v: &[u32], i: usize) -> u32 { v[i] }";
+        let allow = Allowlist::parse(
+            "index-nonliteral crates/x/src/lib.rs f -- i is clamped by the caller\n",
+        )
+        .unwrap();
+        let file = SourceFile::parse("crates/x/src/lib.rs", "ppep-sim", src);
+        let d = check_file(&file, &allow);
+        assert_eq!(d.len(), 1, "only the unallowed fn g remains: {d:?}");
+        assert_eq!(d[0].line, 2);
+    }
+
+    #[test]
+    fn index_nonliteral_skips_literals_types_and_macros() {
+        // Array types, attribute brackets, slice patterns, and macro
+        // brackets are not index positions.
+        let src = "#[derive(Debug)]\nstruct S { a: [u64; 8] }\nfn f() -> Vec<u32> { vec![1, 2] }";
+        assert!(check("ppep-sim", src).is_empty());
+        let lit = "fn f(v: &[u32]) -> u32 { v[0] + v[1] }";
+        assert!(check("ppep-sim", lit).is_empty());
+    }
+
+    #[test]
+    fn unbound_span_requires_a_live_binding() {
+        let ok = "fn f(&self) { let _g = self.rec.span(Stage::Decide, 0); work(); }";
+        assert!(check("ppep-core", ok).is_empty());
+        let bare = "fn f(&self) { self.rec.span(Stage::Decide, 0); work(); }";
+        let d = check("ppep-core", bare);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "unbound-span");
+        let dropped = "fn f(&self) { let _ = self.rec.span(Stage::Decide, 0); work(); }";
+        assert_eq!(check("ppep-core", dropped).len(), 1);
+        // Reassignment into an existing binding keeps the guard alive.
+        let assigned = "fn f(&self) { self.guard = self.rec.span(Stage::Decide, 0); }";
+        assert!(check("ppep-core", assigned).is_empty());
+        // Applies across all ppep- crates, but not to test code.
+        let test_code =
+            "#[cfg(test)]\nmod tests {\n    fn t(r: &R) { r.rec.span(Stage::Decide, 0); }\n}\n";
+        assert!(check("ppep-experiments", test_code).is_empty());
+        assert_eq!(check("ppep-experiments", bare).len(), 1);
     }
 
     #[test]

@@ -45,6 +45,32 @@ impl PredictedCoreState {
     }
 }
 
+/// The CPI half of a prediction: what the cpi-predict pipeline stage
+/// produces and the event-reconstruction stage consumes.
+///
+/// Produced by [`HwEventPredictor::project_cpi`]; the split exists so
+/// the observability layer can time the LL-MAB CPI projection (Eq. 1)
+/// separately from the Observation-1/2 event reconstruction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CpiProjection {
+    /// Predicted CPI at the target VF point.
+    pub cpi: f64,
+    /// Predicted memory CPI at the target VF point.
+    pub mcpi: f64,
+    /// Predicted instructions per second at the target.
+    pub ips: f64,
+    /// Source-interval CPI, feeding the Observation-2 gap. Private so
+    /// a projection can only come from [`HwEventPredictor::project_cpi`].
+    source_cpi: f64,
+}
+
+impl CpiProjection {
+    /// Whether the projected core is idle (nothing retired).
+    pub fn is_idle(&self) -> bool {
+        self.ips <= 0.0
+    }
+}
+
 /// The stateless event predictor of Fig. 5 (step 2).
 ///
 /// ```
@@ -123,6 +149,25 @@ impl HwEventPredictor {
         to: VfPoint,
         memory_factor: f64,
     ) -> Result<PredictedCoreState> {
+        let projection = self.project_cpi(sample, from, to, memory_factor)?;
+        self.reconstruct_events(sample, &projection)
+    }
+
+    /// The CPI half of [`HwEventPredictor::predict_scaled`]: validates
+    /// the inputs and projects CPI/MCPI/IPS to the target point with
+    /// the LL-MAB model (Eq. 1). An idle sample projects to an idle
+    /// [`CpiProjection`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`HwEventPredictor::predict_scaled`].
+    pub fn project_cpi(
+        &self,
+        sample: &IntervalSample,
+        from: VfPoint,
+        to: VfPoint,
+        memory_factor: f64,
+    ) -> Result<CpiProjection> {
         if memory_factor <= 0.0 || !memory_factor.is_finite() {
             return Err(Error::InvalidInput("memory factor must be positive".into()));
         }
@@ -134,10 +179,11 @@ impl HwEventPredictor {
         }
         let inst = sample.counts.get(EventId::RetiredInstructions);
         if inst <= 0.0 {
-            return Ok(PredictedCoreState {
-                rates: EventCounts::zero(),
+            return Ok(CpiProjection {
                 cpi: 0.0,
+                mcpi: 0.0,
                 ips: 0.0,
+                source_cpi: 0.0,
             });
         }
         let obs = CpiObservation::from_sample(sample, from.frequency)?;
@@ -150,7 +196,39 @@ impl HwEventPredictor {
             sample.counts.get(EventId::CpuClocksNotHalted) / sample.duration.as_secs();
         let utilization = (unhalted_rate / from.frequency.as_hz()).min(1.0);
         let ips = utilization * to.frequency.as_hz() / cpi_target;
+        Ok(CpiProjection {
+            cpi: cpi_target,
+            mcpi: mcpi_target,
+            ips,
+            source_cpi: obs.cpi(),
+        })
+    }
 
+    /// The event half of [`HwEventPredictor::predict_scaled`]:
+    /// reconstructs the target event-rate vector from a
+    /// [`CpiProjection`] via Observation 1 (per-instruction E1–E8
+    /// carry-over) and Observation 2 (the VF-invariant CPI − DSPI
+    /// gap). `sample` must be the same sample the projection was
+    /// computed from.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Numerical`] when `sample` has no retired
+    /// instructions but the projection is non-idle.
+    pub fn reconstruct_events(
+        &self,
+        sample: &IntervalSample,
+        projection: &CpiProjection,
+    ) -> Result<PredictedCoreState> {
+        if projection.is_idle() {
+            return Ok(PredictedCoreState {
+                rates: EventCounts::zero(),
+                cpi: 0.0,
+                ips: 0.0,
+            });
+        }
+        let cpi_target = projection.cpi;
+        let ips = projection.ips;
         let per_inst = sample.counts.per_instruction().ok_or_else(|| {
             Error::Numerical("per-instruction rates need retired instructions".into())
         })?;
@@ -171,13 +249,13 @@ impl HwEventPredictor {
         }
         // Observation 2: the (CPI - DSPI) gap is VF-invariant.
         let dspi_source = sample.counts.dispatch_stalls_per_inst().unwrap_or(0.0);
-        let gap = obs.cpi() - dspi_source;
+        let gap = projection.source_cpi - dspi_source;
         let dspi_target = (cpi_target - gap).max(0.0);
         rates.set(EventId::DispatchStalls, dspi_target * ips);
         // Performance events follow directly from the CPI projection.
         rates.set(EventId::CpuClocksNotHalted, cpi_target * ips);
         rates.set(EventId::RetiredInstructions, ips);
-        rates.set(EventId::MabWaitCycles, mcpi_target * ips);
+        rates.set(EventId::MabWaitCycles, projection.mcpi * ips);
 
         Ok(PredictedCoreState {
             rates,
@@ -346,6 +424,27 @@ mod tests {
         assert!((fp_stock - fp_slow).abs() < 1e-12);
         assert!(p.predict_scaled(&s, vf5, vf5, 0.0).is_err());
         assert!(p.predict_scaled(&s, vf5, vf5, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn split_halves_compose_to_predict_scaled() {
+        let s = sample_at_vf5();
+        let p = HwEventPredictor::new();
+        let from = point(1.320, 3.5);
+        let to = point(1.008, 1.7);
+        let proj = p.project_cpi(&s, from, to, 1.0).unwrap();
+        assert!(!proj.is_idle());
+        let via_halves = p.reconstruct_events(&s, &proj).unwrap();
+        let direct = p.predict_scaled(&s, from, to, 1.0).unwrap();
+        assert_eq!(via_halves, direct);
+        // Idle projections reconstruct to idle cores.
+        let idle = IntervalSample {
+            counts: EventCounts::zero(),
+            duration: Seconds::new(0.2),
+        };
+        let idle_proj = p.project_cpi(&idle, from, to, 1.0).unwrap();
+        assert!(idle_proj.is_idle());
+        assert_eq!(p.reconstruct_events(&idle, &idle_proj).unwrap().ips, 0.0);
     }
 
     #[test]

@@ -51,7 +51,7 @@ pub mod trainer;
 pub use chip_power::ChipPowerModel;
 pub use cpi::CpiObservation;
 pub use dynamic::DynamicPowerModel;
-pub use event_pred::HwEventPredictor;
+pub use event_pred::{CpiProjection, HwEventPredictor};
 pub use idle::IdlePowerModel;
 pub use pg::PgIdleModel;
 pub use trainer::{TrainedModels, TrainingRig};

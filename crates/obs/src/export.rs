@@ -1,0 +1,162 @@
+//! JSONL and Chrome `trace_event` exports.
+//!
+//! Both formats are hand-rolled (no serde): the records are flat and
+//! the field set is fixed, so string assembly is simpler than pulling
+//! in a serialization stack the offline container cannot fetch.
+
+use crate::span::{EventRecord, SpanRecord};
+
+/// Escapes a string for inclusion in a JSON string literal.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats nanoseconds as fractional microseconds with fixed
+/// precision (Chrome's `ts`/`dur` unit).
+fn us(ns: u64) -> String {
+    format!("{:.3}", ns as f64 / 1_000.0)
+}
+
+/// One JSON object per line, one line per span — the grep/jq-friendly
+/// form.
+pub fn spans_jsonl(spans: &[SpanRecord]) -> String {
+    let mut out = String::new();
+    for s in spans {
+        out.push_str(&format!(
+            "{{\"seq\":{},\"stage\":\"{}\",\"interval\":{},\"start_ns\":{},\"dur_ns\":{}}}\n",
+            s.seq,
+            s.stage.name(),
+            s.interval,
+            s.start_ns,
+            s.dur_ns,
+        ));
+    }
+    out
+}
+
+/// Chrome `trace_event` JSON: complete (`ph:"X"`) events for spans and
+/// instant (`ph:"i"`) events, wrapped in the `traceEvents` object form
+/// that `chrome://tracing` and Perfetto both load.
+pub fn chrome_trace(spans: &[SpanRecord], events: &[EventRecord]) -> String {
+    let mut entries: Vec<String> = Vec::with_capacity(spans.len() + events.len());
+    for s in spans {
+        entries.push(format!(
+            "{{\"name\":\"{}\",\"cat\":\"ppep\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+             \"pid\":1,\"tid\":1,\"args\":{{\"interval\":{},\"seq\":{}}}}}",
+            s.stage.name(),
+            us(s.start_ns),
+            us(s.dur_ns),
+            s.interval,
+            s.seq,
+        ));
+    }
+    for e in events {
+        entries.push(format!(
+            "{{\"name\":\"{}\",\"cat\":\"ppep\",\"ph\":\"i\",\"ts\":{},\"s\":\"g\",\
+             \"pid\":1,\"tid\":1,\"args\":{{\"interval\":{}}}}}",
+            esc(&e.name),
+            us(e.at_ns),
+            e.interval,
+        ));
+    }
+    format!(
+        "{{\"displayTimeUnit\":\"ms\",\"traceEvents\":[{}]}}\n",
+        entries.join(",")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::Stage;
+
+    fn sample_spans() -> Vec<SpanRecord> {
+        vec![
+            SpanRecord {
+                seq: 0,
+                stage: Stage::CpiPredict,
+                interval: 2,
+                start_ns: 1_500,
+                dur_ns: 2_000,
+            },
+            SpanRecord {
+                seq: 1,
+                stage: Stage::Decide,
+                interval: 2,
+                start_ns: 4_000,
+                dur_ns: 500,
+            },
+        ]
+    }
+
+    #[test]
+    fn jsonl_has_one_object_per_line_with_all_fields() {
+        let text = spans_jsonl(&sample_spans());
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(
+            lines[0],
+            "{\"seq\":0,\"stage\":\"cpi-predict\",\"interval\":2,\"start_ns\":1500,\"dur_ns\":2000}"
+        );
+        assert!(lines[1].contains("\"stage\":\"decide\""));
+    }
+
+    #[test]
+    fn chrome_trace_shape_matches_trace_event_format() {
+        let events = vec![EventRecord {
+            name: "health.degraded".to_string(),
+            interval: 3,
+            at_ns: 7_250,
+        }];
+        let json = chrome_trace(&sample_spans(), &events);
+        assert!(json.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+        assert!(json.trim_end().ends_with("]}"));
+        // Complete event: ph X, µs timestamps (1500 ns -> 1.500 µs).
+        assert!(json.contains(
+            "{\"name\":\"cpi-predict\",\"cat\":\"ppep\",\"ph\":\"X\",\"ts\":1.500,\"dur\":2.000"
+        ));
+        assert!(json.contains("\"args\":{\"interval\":2,\"seq\":0}"));
+        // Instant event: ph i with global scope.
+        assert!(json.contains(
+            "{\"name\":\"health.degraded\",\"cat\":\"ppep\",\"ph\":\"i\",\"ts\":7.250,\"s\":\"g\""
+        ));
+        // Balanced braces/brackets => structurally sound JSON for this
+        // escaped-quote-free payload.
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes);
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn empty_inputs_produce_valid_documents() {
+        assert_eq!(spans_jsonl(&[]), "");
+        let json = chrome_trace(&[], &[]);
+        assert_eq!(json, "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[]}\n");
+    }
+
+    #[test]
+    fn event_names_are_escaped() {
+        let events = vec![EventRecord {
+            name: "weird\"name\n".to_string(),
+            interval: 0,
+            at_ns: 0,
+        }];
+        let json = chrome_trace(&[], &events);
+        assert!(json.contains("weird\\\"name\\n"));
+    }
+}

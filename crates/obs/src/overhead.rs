@@ -1,0 +1,157 @@
+//! Per-interval framework-overhead profile against the 200 ms budget.
+
+use crate::span::SpanRecord;
+use ppep_types::time::DECISION_INTERVAL;
+use std::collections::BTreeMap;
+
+/// Framework compute attributed to one decision interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IntervalOverhead {
+    /// Decision-interval index.
+    pub interval: u64,
+    /// Nanoseconds of framework compute (all stages except `sample`).
+    pub framework_ns: u64,
+    /// Nanoseconds across all stages including `sample`.
+    pub total_ns: u64,
+}
+
+/// Per-interval framework overhead, the repro's analog of the paper's
+/// online-overhead claim: how much of each 200 ms budget PPEP itself
+/// consumed.
+#[derive(Debug, Clone)]
+pub struct OverheadProfile {
+    intervals: Vec<IntervalOverhead>,
+    budget_ns: u64,
+}
+
+impl OverheadProfile {
+    /// Groups spans by interval and sums framework stages (everything
+    /// except `sample` — see [`crate::Stage::is_framework`]) against
+    /// the 200 ms decision budget.
+    pub fn from_spans(spans: &[SpanRecord]) -> Self {
+        let mut by_interval: BTreeMap<u64, (u64, u64)> = BTreeMap::new();
+        for s in spans {
+            let entry = by_interval.entry(s.interval).or_insert((0, 0));
+            if s.stage.is_framework() {
+                entry.0 += s.dur_ns;
+            }
+            entry.1 += s.dur_ns;
+        }
+        let intervals = by_interval
+            .into_iter()
+            .map(|(interval, (framework_ns, total_ns))| IntervalOverhead {
+                interval,
+                framework_ns,
+                total_ns,
+            })
+            .collect();
+        let budget_ns = (DECISION_INTERVAL.as_secs() * 1e9) as u64;
+        Self {
+            intervals,
+            budget_ns,
+        }
+    }
+
+    /// Per-interval rows, in interval order.
+    pub fn intervals(&self) -> &[IntervalOverhead] {
+        &self.intervals
+    }
+
+    /// The budget each interval is measured against, in nanoseconds
+    /// (200 ms).
+    pub fn budget_ns(&self) -> u64 {
+        self.budget_ns
+    }
+
+    /// Per-interval framework fractions of the budget, interval order.
+    pub fn fractions(&self) -> Vec<f64> {
+        self.intervals
+            .iter()
+            .map(|i| i.framework_ns as f64 / self.budget_ns as f64)
+            .collect()
+    }
+
+    /// Mean framework fraction of the budget (0 when empty).
+    pub fn mean_fraction(&self) -> f64 {
+        let fr = self.fractions();
+        if fr.is_empty() {
+            0.0
+        } else {
+            fr.iter().sum::<f64>() / fr.len() as f64
+        }
+    }
+
+    /// The `q`-quantile of the per-interval fractions (exact, from the
+    /// sorted values; 0 when empty).
+    pub fn fraction_percentile(&self, q: f64) -> f64 {
+        let mut fr = self.fractions();
+        if fr.is_empty() {
+            return 0.0;
+        }
+        fr.sort_by(f64::total_cmp);
+        let rank = ((q.clamp(0.0, 1.0) * fr.len() as f64).ceil() as usize).max(1);
+        fr.get(rank - 1).copied().unwrap_or(0.0)
+    }
+
+    /// Largest per-interval framework fraction (0 when empty).
+    pub fn max_fraction(&self) -> f64 {
+        self.fractions().into_iter().fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::Stage;
+
+    fn span(stage: Stage, interval: u64, dur_ns: u64) -> SpanRecord {
+        SpanRecord {
+            seq: 0,
+            stage,
+            interval,
+            start_ns: 0,
+            dur_ns,
+        }
+    }
+
+    #[test]
+    fn sample_time_is_excluded_from_framework_compute() {
+        let spans = vec![
+            span(Stage::Sample, 0, 200_000_000), // the simulated window
+            span(Stage::CpiPredict, 0, 1_000_000),
+            span(Stage::Decide, 0, 1_000_000),
+            span(Stage::Decide, 1, 4_000_000),
+        ];
+        let p = OverheadProfile::from_spans(&spans);
+        assert_eq!(p.budget_ns(), 200_000_000);
+        assert_eq!(p.intervals().len(), 2);
+        assert_eq!(p.intervals()[0].framework_ns, 2_000_000);
+        assert_eq!(p.intervals()[0].total_ns, 202_000_000);
+        let fr = p.fractions();
+        assert!((fr[0] - 0.01).abs() < 1e-12);
+        assert!((fr[1] - 0.02).abs() < 1e-12);
+        assert!((p.mean_fraction() - 0.015).abs() < 1e-12);
+        assert!((p.max_fraction() - 0.02).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fraction_percentile_is_exact_over_sorted_fractions() {
+        let spans: Vec<SpanRecord> = (0..10)
+            .map(|i| span(Stage::Decide, i, (i + 1) * 2_000_000))
+            .collect();
+        let p = OverheadProfile::from_spans(&spans);
+        // Fractions are 1%..10%.
+        assert!((p.fraction_percentile(0.5) - 0.05).abs() < 1e-12);
+        assert!((p.fraction_percentile(1.0) - 0.10).abs() < 1e-12);
+        assert!((p.fraction_percentile(0.0) - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_profile_reports_zero() {
+        let p = OverheadProfile::from_spans(&[]);
+        assert!(p.intervals().is_empty());
+        assert_eq!(p.mean_fraction(), 0.0);
+        assert_eq!(p.max_fraction(), 0.0);
+        assert_eq!(p.fraction_percentile(0.95), 0.0);
+    }
+}

@@ -1,0 +1,228 @@
+//! Pipeline stages, span records, and the bounded span ring.
+
+use std::collections::VecDeque;
+
+/// One stage of the 200 ms online pipeline (paper Fig. 5), plus the
+/// decision/actuation stages around it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Stage {
+    /// Reading the PMU / power-sensor sample for the interval. In the
+    /// repro this is simulated hardware time, not framework compute.
+    Sample,
+    /// CPI projection to every VF state (Eq. 1/2, `CpiPredictor`).
+    CpiPredict,
+    /// Hardware-event-rate reconstruction at each target VF (§III-B).
+    EventPredict,
+    /// Dynamic-power estimation from predicted event rates (Eq. 3).
+    Pdyn,
+    /// Idle/static power lookup per VF state (§III-C).
+    Pidle,
+    /// Assembling the chip-level PPE projection across VF states.
+    Compose,
+    /// The DVFS controller choosing the next VF assignment.
+    Decide,
+    /// Applying the chosen VF assignment to the chip.
+    Apply,
+}
+
+impl Stage {
+    /// Number of stages.
+    pub const COUNT: usize = 8;
+
+    /// All stages in pipeline order.
+    pub const ALL: [Stage; Stage::COUNT] = [
+        Stage::Sample,
+        Stage::CpiPredict,
+        Stage::EventPredict,
+        Stage::Pdyn,
+        Stage::Pidle,
+        Stage::Compose,
+        Stage::Decide,
+        Stage::Apply,
+    ];
+
+    /// Stable kebab-case name used in exports and metric keys.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Sample => "sample",
+            Stage::CpiPredict => "cpi-predict",
+            Stage::EventPredict => "event-predict",
+            Stage::Pdyn => "pdyn",
+            Stage::Pidle => "pidle",
+            Stage::Compose => "compose",
+            Stage::Decide => "decide",
+            Stage::Apply => "apply",
+        }
+    }
+
+    /// Position in [`Stage::ALL`].
+    pub fn index(self) -> usize {
+        match self {
+            Stage::Sample => 0,
+            Stage::CpiPredict => 1,
+            Stage::EventPredict => 2,
+            Stage::Pdyn => 3,
+            Stage::Pidle => 4,
+            Stage::Compose => 5,
+            Stage::Decide => 6,
+            Stage::Apply => 7,
+        }
+    }
+
+    /// Whether the stage is framework compute that counts against the
+    /// 200 ms budget. [`Stage::Sample`] is excluded: in the repro it
+    /// models the hardware sampling window itself, which the paper's
+    /// overhead claim does not charge to PPEP.
+    pub fn is_framework(self) -> bool {
+        !matches!(self, Stage::Sample)
+    }
+}
+
+/// One completed stage span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Monotonic sequence number assigned by the ring; survives
+    /// eviction, so gaps at the front reveal how much was dropped.
+    pub seq: u64,
+    /// The pipeline stage.
+    pub stage: Stage,
+    /// Decision-interval index the span belongs to.
+    pub interval: u64,
+    /// Start, in nanoseconds since the recorder's epoch.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+}
+
+/// A named instant event (health transition, quarantine, ...).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventRecord {
+    /// Event name, e.g. `health.degraded`.
+    pub name: String,
+    /// Decision-interval index at which it fired.
+    pub interval: u64,
+    /// Nanoseconds since the recorder's epoch.
+    pub at_ns: u64,
+}
+
+/// Bounded ring of spans: pushing beyond capacity evicts the oldest
+/// span, while sequence numbers keep counting up.
+#[derive(Debug, Clone)]
+pub struct SpanRing {
+    capacity: usize,
+    next_seq: u64,
+    evicted: u64,
+    buf: VecDeque<SpanRecord>,
+}
+
+impl SpanRing {
+    /// A ring holding at most `capacity` spans (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            next_seq: 0,
+            evicted: 0,
+            buf: VecDeque::new(),
+        }
+    }
+
+    /// Appends a span, evicting the oldest when full. Returns the
+    /// assigned sequence number.
+    pub fn push(&mut self, stage: Stage, interval: u64, start_ns: u64, dur_ns: u64) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.evicted += 1;
+        }
+        self.buf.push_back(SpanRecord {
+            seq,
+            stage,
+            interval,
+            start_ns,
+            dur_ns,
+        });
+        seq
+    }
+
+    /// Spans currently retained, oldest first.
+    pub fn spans(&self) -> impl Iterator<Item = &SpanRecord> {
+        self.buf.iter()
+    }
+
+    /// Retained spans as a vector, oldest first.
+    pub fn to_vec(&self) -> Vec<SpanRecord> {
+        self.buf.iter().copied().collect()
+    }
+
+    /// Number of spans currently retained.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the ring holds no spans.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of spans evicted so far.
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_all_agrees_with_index_and_names_are_unique() {
+        for (i, s) in Stage::ALL.iter().enumerate() {
+            assert_eq!(s.index(), i);
+        }
+        let mut names: Vec<&str> = Stage::ALL.iter().map(|s| s.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Stage::COUNT);
+    }
+
+    #[test]
+    fn only_sample_is_excluded_from_framework_time() {
+        assert!(!Stage::Sample.is_framework());
+        for s in Stage::ALL.iter().filter(|s| **s != Stage::Sample) {
+            assert!(s.is_framework(), "{} should count as framework", s.name());
+        }
+    }
+
+    #[test]
+    fn ring_wraparound_evicts_oldest_and_keeps_seq_monotonic() {
+        let mut ring = SpanRing::new(4);
+        for i in 0..10u64 {
+            let seq = ring.push(Stage::Decide, i, i * 100, 10);
+            assert_eq!(seq, i);
+        }
+        assert_eq!(ring.len(), 4);
+        assert_eq!(ring.evicted(), 6);
+        let seqs: Vec<u64> = ring.spans().map(|s| s.seq).collect();
+        assert_eq!(seqs, vec![6, 7, 8, 9], "oldest evicted, newest kept");
+        assert!(seqs.windows(2).all(|w| w[1] == w[0] + 1));
+        // Intervals stay monotonic with the surviving seqs.
+        let intervals: Vec<u64> = ring.spans().map(|s| s.interval).collect();
+        assert_eq!(intervals, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let mut ring = SpanRing::new(0);
+        ring.push(Stage::Apply, 0, 0, 1);
+        ring.push(Stage::Apply, 1, 1, 1);
+        assert_eq!(ring.capacity(), 1);
+        assert_eq!(ring.len(), 1);
+        assert_eq!(ring.to_vec()[0].seq, 1);
+    }
+}

@@ -7,6 +7,7 @@
 
 use crate::counts::EventCounts;
 use crate::pmu::Pmu;
+use ppep_obs::RecorderHandle;
 use ppep_types::time::SAMPLES_PER_INTERVAL;
 use ppep_types::{Result, Seconds};
 
@@ -48,6 +49,7 @@ pub struct IntervalSampler {
     ticks_in_interval: usize,
     ticks_seen: usize,
     tick_period: Seconds,
+    recorder: RecorderHandle,
 }
 
 impl IntervalSampler {
@@ -78,7 +80,14 @@ impl IntervalSampler {
             ticks_in_interval: ticks_per_interval,
             ticks_seen: 0,
             tick_period,
+            recorder: RecorderHandle::noop(),
         }
+    }
+
+    /// Routes detected-fault counters (`fault.detected.pmc`) through an
+    /// observability recorder. The default is the no-op recorder.
+    pub fn set_recorder(&mut self, recorder: RecorderHandle) {
+        self.recorder = recorder;
     }
 
     /// The wrapped PMU.
@@ -115,11 +124,20 @@ impl IntervalSampler {
     ///
     /// Propagates PMU validation errors.
     pub fn tick(&mut self, true_counts: &EventCounts) -> Result<Option<IntervalSample>> {
-        self.pmu.tick(true_counts, self.tick_period)?;
+        if let Err(e) = self.pmu.tick(true_counts, self.tick_period) {
+            self.recorder.incr("fault.detected.pmc");
+            return Err(e);
+        }
         self.ticks_seen += 1;
         if self.ticks_seen == self.ticks_in_interval {
             self.ticks_seen = 0;
-            let counts = self.pmu.drain_interval()?;
+            let counts = match self.pmu.drain_interval() {
+                Ok(counts) => counts,
+                Err(e) => {
+                    self.recorder.incr("fault.detected.pmc");
+                    return Err(e);
+                }
+            };
             let duration = self.tick_period * self.ticks_in_interval as f64;
             return Ok(Some(IntervalSample { counts, duration }));
         }

@@ -16,6 +16,7 @@ use crate::nb::NorthBridge;
 use crate::physics::PowerPhysics;
 use crate::sensor::PowerSensor;
 use crate::thermal::ThermalModel;
+use ppep_obs::RecorderHandle;
 use ppep_pmc::sampler::{IntervalSample, IntervalSampler};
 use ppep_pmc::{EventCounts, EventId, Pmu};
 use ppep_types::time::{IntervalIndex, POWER_SAMPLE_PERIOD, SAMPLES_PER_INTERVAL};
@@ -206,6 +207,9 @@ pub struct ChipSimulator {
     /// Last temperature the diode reported (what a frozen diode
     /// repeats).
     last_reported_temperature: Kelvin,
+    /// Observability sink for injected-fault counters; no-op unless
+    /// installed via [`ChipSimulator::set_recorder`].
+    recorder: RecorderHandle,
 }
 
 impl ChipSimulator {
@@ -241,8 +245,29 @@ impl ChipSimulator {
             faults: FaultPlan::none(),
             last_sensor_reading: 0.0,
             last_reported_temperature: ambient,
+            recorder: RecorderHandle::noop(),
             config,
         }
+    }
+
+    /// Routes injected-fault counters (`fault.injected.*`) through an
+    /// observability recorder and propagates it to every per-core
+    /// sampler (which counts detected PMC faults). Recording never
+    /// changes simulation behaviour.
+    pub fn set_recorder(&mut self, recorder: RecorderHandle) {
+        for s in self.samplers.iter_mut() {
+            s.set_recorder(recorder.clone());
+        }
+        self.recorder = recorder;
+    }
+
+    /// The index of the next interval [`step_interval_checked`] will
+    /// measure. The counter advances even across faulted intervals, so
+    /// callers can capture it before stepping to attribute a failure.
+    ///
+    /// [`step_interval_checked`]: ChipSimulator::step_interval_checked
+    pub fn current_interval(&self) -> IntervalIndex {
+        self.interval
     }
 
     /// Installs a fault schedule (see [`crate::fault`]). The default
@@ -448,6 +473,12 @@ impl ChipSimulator {
     /// and the next interval can be stepped normally.
     pub fn step_interval_checked(&mut self) -> Result<IntervalRecord> {
         let faults: Vec<FaultKind> = self.faults.kinds_at(self.interval.0).collect();
+        if self.recorder.enabled() {
+            for k in &faults {
+                self.recorder.incr("fault.injected");
+                self.recorder.incr(&format!("fault.injected.{}", k.name()));
+            }
+        }
         for k in &faults {
             match *k {
                 FaultKind::CounterWrap => {

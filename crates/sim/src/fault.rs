@@ -83,6 +83,21 @@ impl FaultKind {
                 | FaultKind::MissedInterval { .. }
         )
     }
+
+    /// Stable kebab-case name used in observability counter keys
+    /// (`fault.injected.<name>`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultKind::SensorDropout => "sensor-dropout",
+            FaultKind::SensorStuck => "sensor-stuck",
+            FaultKind::SensorSpike { .. } => "sensor-spike",
+            FaultKind::ThermalNan => "thermal-nan",
+            FaultKind::ThermalFrozen => "thermal-frozen",
+            FaultKind::CounterWrap => "counter-wrap",
+            FaultKind::MsrReadFailure { .. } => "msr-read-failure",
+            FaultKind::MissedInterval { .. } => "missed-interval",
+        }
+    }
 }
 
 /// A fault scheduled for one interval.

@@ -1,0 +1,102 @@
+//! Observability invariants, cross-crate: attaching a recorder to the
+//! full supervised pipeline must never change what it computes.
+//!
+//! The `Recorder` plumbing touches every hot path — sampler, framework
+//! projection, supervisor, controller — so the property worth the most
+//! is *inertness*: for arbitrary seeds, fault rates, and run lengths,
+//! a trace-on run and a trace-off run produce bit-identical decisions
+//! and bit-identical measured power.
+
+use ppep_core::daemon::PpepDaemon;
+use ppep_core::resilient::{ResilientDaemon, SupervisorConfig};
+use ppep_core::Ppep;
+use ppep_dvfs::capping::OneStepCapping;
+use ppep_models::trainer::{TrainedModels, TrainingRig};
+use ppep_obs::{RecorderHandle, Stage, TraceRecorder};
+use ppep_sim::chip::{ChipSimulator, SimConfig};
+use ppep_sim::fault::FaultPlan;
+use ppep_types::{VfStateId, Watts};
+use ppep_workloads::combos::fig7_workload;
+use proptest::prelude::*;
+use std::sync::{Arc, OnceLock};
+
+fn models() -> &'static TrainedModels {
+    static MODELS: OnceLock<TrainedModels> = OnceLock::new();
+    MODELS.get_or_init(|| {
+        TrainingRig::fx8320(42)
+            .train_quick()
+            .expect("training succeeds")
+    })
+}
+
+/// One supervised capping run under a seeded fault storm. Returns the
+/// per-interval VF decisions plus the measured chip power as raw f64
+/// bits (`None` where the interval's measurement was lost to a fault).
+fn run_storm(
+    seed: u64,
+    rate: f64,
+    intervals: usize,
+    recorder: RecorderHandle,
+) -> (Vec<Vec<VfStateId>>, Vec<Option<u64>>) {
+    let ppep = Ppep::new(models().clone());
+    let table = ppep.models().vf_table().clone();
+    let cores = ppep.models().topology().core_count();
+    let controller =
+        OneStepCapping::new(ppep.clone(), Watts::new(55.0)).with_recorder(recorder.clone());
+    let mut sim = ChipSimulator::new(SimConfig::fx8320_pg(seed));
+    sim.load_workload(&fig7_workload(seed));
+    sim.set_fault_plan(FaultPlan::storm(seed, intervals as u64, rate, cores));
+    let inner = PpepDaemon::new(ppep, sim, controller).with_recorder(recorder);
+    let mut daemon = ResilientDaemon::new(inner, SupervisorConfig::new(table.lowest()));
+    let mut decisions = Vec::with_capacity(intervals);
+    let mut power_bits = Vec::with_capacity(intervals);
+    for _ in 0..intervals {
+        let s = daemon.step().expect("storm faults are transient");
+        power_bits.push(
+            s.record
+                .as_ref()
+                .map(|r| r.true_power.total().as_watts().to_bits()),
+        );
+        decisions.push(s.decision);
+    }
+    (decisions, power_bits)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Trace-on and trace-off runs are bit-identical, and the traced
+    /// run actually captured the pipeline.
+    #[test]
+    fn tracing_is_inert(
+        seed in 0u64..10_000,
+        rate in 0.0f64..0.25,
+        intervals in 8usize..24,
+    ) {
+        let off = run_storm(seed, rate, intervals, RecorderHandle::noop());
+
+        let recorder = Arc::new(TraceRecorder::new());
+        let on = run_storm(
+            seed,
+            rate,
+            intervals,
+            RecorderHandle::new(recorder.clone()),
+        );
+
+        prop_assert_eq!(&off.0, &on.0, "decisions diverged under tracing");
+        prop_assert_eq!(&off.1, &on.1, "measured power diverged under tracing");
+
+        // The traced run recorded real work: a Sample span for every
+        // interval and at least one projection + decision.
+        let snap = recorder.snapshot();
+        let sampled = snap
+            .spans
+            .iter()
+            .filter(|s| s.stage == Stage::Sample)
+            .count() as u64;
+        prop_assert_eq!(snap.spans_evicted, 0);
+        prop_assert_eq!(sampled, intervals as u64);
+        prop_assert!(snap.spans.iter().any(|s| s.stage == Stage::Decide));
+        prop_assert!(snap.spans.iter().any(|s| s.stage == Stage::CpiPredict));
+    }
+}
