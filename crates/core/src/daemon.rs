@@ -2,13 +2,16 @@
 //!
 //! The paper runs PPEP as a user-level daemon with negligible overhead
 //! at the 200 ms sampling rate (§IV-E). Here the daemon couples the
-//! prediction engine with the simulated chip and a pluggable decision
-//! algorithm (step 5 of Fig. 5) — `ppep-dvfs` provides the policies.
+//! prediction engine with a [`Platform`] — any substrate that can
+//! deliver interval measurements and accept VF assignments — and a
+//! pluggable decision algorithm (step 5 of Fig. 5). `ppep-dvfs`
+//! provides the policies; `ppep-sim`'s `SimPlatform` and
+//! `ppep-telemetry`'s `ReplayPlatform` provide the substrates.
 
 use crate::framework::Ppep;
 use crate::ppe::PpeProjection;
 use ppep_obs::{RecorderHandle, Stage};
-use ppep_sim::chip::{ChipSimulator, IntervalRecord};
+use ppep_telemetry::{IntervalRecord, Platform};
 use ppep_types::time::IntervalIndex;
 use ppep_types::{Error, Result, VfStateId};
 
@@ -54,7 +57,8 @@ pub struct DaemonStep {
 /// An unprotected daemon aborts on the first fault; this type keeps
 /// the partial trace available (the old `Result<Vec<DaemonStep>>`
 /// discarded it), which is exactly what resilience experiments need
-/// to quantify how much work was lost.
+/// to quantify how much work was lost. Callers that only care about
+/// complete runs use [`RunOutcome::into_result`] and `?`.
 #[derive(Debug, Clone)]
 pub struct RunOutcome {
     /// The steps completed before the run ended.
@@ -64,7 +68,7 @@ pub struct RunOutcome {
     pub error: Option<Error>,
     /// The interval index at which the run aborted, or `None` when all
     /// requested intervals completed. This is the index of the
-    /// interval the failing step was *measuring* — the simulator has
+    /// interval the failing step was *measuring* — the platform has
     /// already advanced past it — so observability timestamps and the
     /// partial trace in [`RunOutcome::steps`] line up: a run that
     /// fails at interval `k` holds exactly the steps for intervals
@@ -76,34 +80,6 @@ impl RunOutcome {
     /// Whether all requested intervals completed.
     pub fn is_complete(&self) -> bool {
         self.error.is_none()
-    }
-
-    /// The completed steps, panicking if the run was cut short.
-    ///
-    /// # Panics
-    ///
-    /// Panics with the stored error when the run did not complete.
-    pub fn unwrap(self) -> Vec<DaemonStep> {
-        match self.error {
-            None => self.steps,
-            // ppep-lint: allow(panic)
-            Some(e) => panic!("daemon run failed after {} steps: {e}", self.steps.len()),
-        }
-    }
-
-    /// The completed steps, panicking with `msg` if the run was cut
-    /// short.
-    ///
-    /// # Panics
-    ///
-    /// Panics with `msg` and the stored error when the run did not
-    /// complete.
-    pub fn expect(self, msg: &str) -> Vec<DaemonStep> {
-        match self.error {
-            None => self.steps,
-            // ppep-lint: allow(panic)
-            Some(e) => panic!("{msg}: failed after {} steps: {e}", self.steps.len()),
-        }
     }
 
     /// Converts back to a `Result`, dropping the partial trace on
@@ -120,32 +96,32 @@ impl RunOutcome {
     }
 }
 
-/// The daemon: owns the chip and the engine, steps one interval at a
-/// time.
-pub struct PpepDaemon<C: DvfsController> {
+/// The daemon: owns the platform and the engine, steps one interval
+/// at a time.
+pub struct PpepDaemon<P: Platform, C: DvfsController> {
     ppep: Ppep,
-    sim: ChipSimulator,
+    platform: P,
     controller: C,
     recorder: RecorderHandle,
 }
 
-impl<C: DvfsController> PpepDaemon<C> {
-    /// Couples an engine, a chip, and a controller.
-    pub fn new(ppep: Ppep, sim: ChipSimulator, controller: C) -> Self {
+impl<P: Platform, C: DvfsController> PpepDaemon<P, C> {
+    /// Couples an engine, a platform, and a controller.
+    pub fn new(ppep: Ppep, platform: P, controller: C) -> Self {
         Self {
             ppep,
-            sim,
+            platform,
             controller,
             recorder: RecorderHandle::noop(),
         }
     }
 
-    /// Routes the daemon, its engine, and its simulator through one
+    /// Routes the daemon, its engine, and its platform through one
     /// observability recorder. Recording never feeds back into
     /// decisions: a traced run is bit-identical to an untraced one.
     pub fn with_recorder(mut self, recorder: RecorderHandle) -> Self {
         self.ppep.set_recorder(recorder.clone());
-        self.sim.set_recorder(recorder.clone());
+        self.platform.set_recorder(recorder.clone());
         self.recorder = recorder;
         self
     }
@@ -160,14 +136,15 @@ impl<C: DvfsController> PpepDaemon<C> {
         &self.ppep
     }
 
-    /// The simulated chip.
-    pub fn sim(&self) -> &ChipSimulator {
-        &self.sim
+    /// The measurement/actuation platform.
+    pub fn platform(&self) -> &P {
+        &self.platform
     }
 
-    /// The simulated chip, mutably (e.g. to load workloads).
-    pub fn sim_mut(&mut self) -> &mut ChipSimulator {
-        &mut self.sim
+    /// The platform, mutably (e.g. to load workloads on a simulated
+    /// chip — `SimPlatform` derefs to the simulator).
+    pub fn platform_mut(&mut self) -> &mut P {
+        &mut self.platform
     }
 
     /// The controller.
@@ -179,18 +156,18 @@ impl<C: DvfsController> PpepDaemon<C> {
     ///
     /// # Errors
     ///
-    /// Propagates measurement faults (from an installed
-    /// [`ppep_sim::fault::FaultPlan`]), projection errors, and
+    /// Propagates measurement faults (e.g. from an installed
+    /// `ppep_sim::fault::FaultPlan`), projection errors, and
     /// controller errors. Measurement faults are transient
-    /// ([`Error::is_transient`]); the simulator stays consistent, so
+    /// ([`Error::is_transient`]); the platform stays consistent, so
     /// the next `step` proceeds normally — but *this* daemon makes no
     /// decision for the lost interval.
     pub fn step(&mut self) -> Result<DaemonStep> {
         let record = {
             let _sample = self
                 .recorder
-                .span(Stage::Sample, self.sim.current_interval().0);
-            self.sim.step_interval_checked()?
+                .span(Stage::Sample, self.platform.current_interval().0);
+            self.platform.sample()?
         };
         self.react(record)
     }
@@ -223,30 +200,27 @@ impl<C: DvfsController> PpepDaemon<C> {
         })
     }
 
-    /// Applies a per-CU VF assignment to the chip.
+    /// Applies a per-CU VF assignment to the platform.
     ///
     /// # Errors
     ///
     /// Returns an error for an out-of-range CU.
     pub fn apply(&mut self, decision: &[VfStateId]) -> Result<()> {
-        for (cu, &vf) in decision.iter().enumerate() {
-            self.sim.set_cu_vf(ppep_types::CuId(cu), vf)?;
-        }
-        Ok(())
+        self.platform.apply(decision)
     }
 
     /// Runs up to `n` cycles, stopping at the first failing step.
     ///
     /// Returns a [`RunOutcome`] carrying the completed steps and the
-    /// terminating error, if any; `outcome.unwrap()` restores the old
-    /// all-or-nothing behaviour.
+    /// terminating error, if any; `outcome.into_result()?` restores
+    /// the old all-or-nothing behaviour.
     pub fn run(&mut self, n: usize) -> RunOutcome {
         let mut steps = Vec::with_capacity(n);
         for _ in 0..n {
-            // Captured before stepping: the simulator advances past a
+            // Captured before stepping: the platform advances past a
             // faulted interval, so asking afterwards would be off by
             // one.
-            let measuring = self.sim.current_interval();
+            let measuring = self.platform.current_interval();
             match self.step() {
                 Ok(step) => steps.push(step),
                 Err(e) => {
@@ -269,8 +243,9 @@ impl<C: DvfsController> PpepDaemon<C> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ppep_models::trainer::TrainingRig;
-    use ppep_sim::chip::SimConfig;
+    use ppep_rig::TrainingRig;
+    use ppep_sim::chip::{ChipSimulator, SimConfig};
+    use ppep_sim::SimPlatform;
     use ppep_workloads::combos::instances;
     use std::sync::OnceLock;
 
@@ -293,10 +268,14 @@ mod tests {
         let table = ppep.models().vf_table().clone();
         let mut sim = ChipSimulator::new(SimConfig::fx8320(42));
         sim.load_workload(&instances("403.gcc", 2, 42));
-        let mut daemon = PpepDaemon::new(ppep, sim, StaticController { vf: table.lowest() });
+        let mut daemon = PpepDaemon::new(
+            ppep,
+            SimPlatform::new(sim),
+            StaticController { vf: table.lowest() },
+        );
         let outcome = daemon.run(3);
         assert_eq!(outcome.failed_at, None, "complete run has no abort point");
-        let steps = outcome.unwrap();
+        let steps = outcome.into_result().unwrap();
         // First interval still ran at the boot state (highest); from
         // the second on, the pinned state is in force.
         assert_eq!(steps[0].record.cu_vf[0], table.highest());
@@ -320,8 +299,8 @@ mod tests {
         let table = ppep.models().vf_table().clone();
         let mut sim = ChipSimulator::new(SimConfig::fx8320(42));
         sim.load_workload(&instances("433.milc", 4, 42));
-        let mut daemon = PpepDaemon::new(ppep, sim, EnergyOptimal);
-        let steps = daemon.run(4).unwrap();
+        let mut daemon = PpepDaemon::new(ppep, SimPlatform::new(sim), EnergyOptimal);
+        let steps = daemon.run(4).into_result().unwrap();
         // §V-C: the lowest VF state is energy-optimal.
         assert_eq!(steps.last().unwrap().decision, vec![table.lowest(); 4]);
         assert_eq!(steps.last().unwrap().record.cu_vf, vec![table.lowest(); 4]);
@@ -335,7 +314,11 @@ mod tests {
         let mut sim = ChipSimulator::new(SimConfig::fx8320(42));
         sim.load_workload(&instances("403.gcc", 2, 42));
         sim.set_fault_plan(FaultPlan::none().with(2, FaultKind::SensorDropout));
-        let mut daemon = PpepDaemon::new(ppep, sim, StaticController { vf: table.lowest() });
+        let mut daemon = PpepDaemon::new(
+            ppep,
+            SimPlatform::new(sim),
+            StaticController { vf: table.lowest() },
+        );
         let outcome = daemon.run(5);
         // Intervals 0 and 1 complete; the dropout kills interval 2.
         assert_eq!(outcome.steps.len(), 2);
@@ -350,18 +333,5 @@ mod tests {
         let err = outcome.error.clone().expect("run was cut short");
         assert!(err.is_transient(), "sensor dropout is transient: {err}");
         assert!(outcome.into_result().is_err());
-    }
-
-    #[test]
-    #[should_panic(expected = "failed after 2 steps")]
-    fn unwrap_panics_on_truncated_run() {
-        use ppep_sim::fault::{FaultKind, FaultPlan};
-        let ppep = engine();
-        let table = ppep.models().vf_table().clone();
-        let mut sim = ChipSimulator::new(SimConfig::fx8320(42));
-        sim.load_workload(&instances("403.gcc", 2, 42));
-        sim.set_fault_plan(FaultPlan::none().with(2, FaultKind::SensorDropout));
-        let mut daemon = PpepDaemon::new(ppep, sim, StaticController { vf: table.lowest() });
-        let _ = daemon.run(5).unwrap();
     }
 }

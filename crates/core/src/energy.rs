@@ -7,7 +7,7 @@
 //! PPEP versus ~7% for Green Governors).
 
 use ppep_models::trainer::TrainedModels;
-use ppep_sim::chip::IntervalRecord;
+use ppep_telemetry::IntervalRecord;
 use ppep_types::{Joules, Result};
 
 /// Predicts next-interval chip energy with both PPEP and the Green
@@ -116,7 +116,7 @@ fn max_cu_vf(record: &IntervalRecord) -> Result<ppep_types::VfStateId> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ppep_models::trainer::TrainingRig;
+    use ppep_rig::TrainingRig;
     use ppep_sim::chip::{ChipSimulator, SimConfig};
     use ppep_workloads::combos::instances;
     use std::sync::OnceLock;

@@ -5,7 +5,7 @@ use ppep_models::event_pred::HwEventPredictor;
 use ppep_models::trainer::TrainedModels;
 use ppep_obs::{RecorderHandle, Stage, StageClock};
 use ppep_pmc::EventId;
-use ppep_sim::chip::IntervalRecord;
+use ppep_telemetry::IntervalRecord;
 use ppep_types::vf::NbVfState;
 use ppep_types::{CoreId, Joules, Result, Seconds, VfStateId, Watts};
 
@@ -276,7 +276,7 @@ impl Ppep {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ppep_models::trainer::TrainingRig;
+    use ppep_rig::TrainingRig;
     use ppep_sim::chip::{ChipSimulator, SimConfig};
     use ppep_workloads::combos::instances;
     use std::sync::OnceLock;

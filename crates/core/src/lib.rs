@@ -18,13 +18,19 @@
 //! projection data model ([`ppe`]), next-interval energy prediction
 //! ([`energy`], Fig. 6), optional counter [`smoothing`] against
 //! rapid-phase noise, and a [`daemon`] loop that closes the circle
-//! against the simulated chip with a pluggable decision algorithm
-//! (implemented by `ppep-dvfs`).
+//! against any [`Platform`] — a measurement/actuation substrate —
+//! with a pluggable decision algorithm (implemented by `ppep-dvfs`).
+//!
+//! The framework never names a concrete substrate: `ppep-sim`'s
+//! `SimPlatform` adapts the simulated chip, and `ppep-telemetry`'s
+//! `ReplayPlatform` replays a recorded trace deterministically. The
+//! simulator and the training rig are dev-dependencies only.
 //!
 //! # Example
 //!
 //! ```no_run
 //! use ppep_core::prelude::*;
+//! use ppep_rig::TrainingRig;
 //!
 //! let mut rig = TrainingRig::fx8320(42);
 //! let models = rig.train_quick().expect("training succeeds");
@@ -51,9 +57,14 @@ pub mod stats;
 
 pub use framework::Ppep;
 pub use ppe::{ChipPpe, CoreProjection, PpeProjection};
+pub use ppep_telemetry::Platform;
 pub use resilient::ResilientDaemon;
 
 /// Convenient re-exports for downstream users and examples.
+///
+/// `TrainingRig` is *not* here: training drives a simulator, so the
+/// rig lives in `ppep-rig` and stays out of the framework's
+/// dependency graph — import it directly where calibration happens.
 pub mod prelude {
     pub use crate::daemon::{DvfsController, PpepDaemon, RunOutcome, StaticController};
     pub use crate::energy::EnergyPredictor;
@@ -62,6 +73,7 @@ pub mod prelude {
     pub use crate::resilient::{HealthReport, HealthState, ResilientDaemon, SupervisorConfig};
     pub use crate::smoothing::SampleSmoother;
     pub use crate::stats::RunStats;
-    pub use ppep_models::trainer::{TrainedModels, TrainingBudget, TrainingRig};
+    pub use ppep_models::trainer::{TrainedModels, TrainingBudget};
+    pub use ppep_telemetry::{IntervalRecord, Platform};
     pub use ppep_types::{VfStateId, VfTable, Watts};
 }

@@ -31,7 +31,7 @@
 use crate::daemon::{DaemonStep, DvfsController, PpepDaemon};
 use crate::ppe::PpeProjection;
 use ppep_obs::Stage;
-use ppep_sim::chip::IntervalRecord;
+use ppep_telemetry::{IntervalRecord, Platform};
 use ppep_types::{Error, Kelvin, Result, VfStateId};
 
 /// Tunables of the degradation supervisor.
@@ -164,6 +164,7 @@ impl HealthReport {
 /// ```no_run
 /// use ppep_core::prelude::*;
 /// use ppep_core::resilient::{ResilientDaemon, SupervisorConfig};
+/// use ppep_rig::TrainingRig;
 /// use ppep_sim::fault::FaultPlan;
 ///
 /// let models = TrainingRig::fx8320(42).train_quick().expect("training succeeds");
@@ -171,15 +172,17 @@ impl HealthReport {
 /// let mut sim = ppep_sim::ChipSimulator::new(ppep_sim::chip::SimConfig::fx8320(42));
 /// sim.load_workload(&ppep_workloads::combos::instances("433.milc", 4, 42));
 /// sim.set_fault_plan(FaultPlan::storm(7, 50, 0.2, 8));
-/// let daemon = PpepDaemon::new(Ppep::new(models), sim, StaticController { vf: table.lowest() });
+/// let platform = ppep_sim::SimPlatform::new(sim);
+/// let daemon =
+///     PpepDaemon::new(Ppep::new(models), platform, StaticController { vf: table.lowest() });
 /// let mut supervised =
 ///     ResilientDaemon::new(daemon, SupervisorConfig::new(table.lowest()));
 /// let steps = supervised.run(50).expect("no fatal faults");
 /// assert_eq!(steps.len(), 50);
 /// println!("availability: {:.2}", supervised.report().decision_availability());
 /// ```
-pub struct ResilientDaemon<C: DvfsController> {
-    inner: PpepDaemon<C>,
+pub struct ResilientDaemon<P: Platform, C: DvfsController> {
+    inner: PpepDaemon<P, C>,
     config: SupervisorConfig,
     state: HealthState,
     consecutive_faults: u32,
@@ -188,9 +191,9 @@ pub struct ResilientDaemon<C: DvfsController> {
     report: HealthReport,
 }
 
-impl<C: DvfsController> ResilientDaemon<C> {
+impl<P: Platform, C: DvfsController> ResilientDaemon<P, C> {
     /// Wraps a daemon in the supervisor.
-    pub fn new(inner: PpepDaemon<C>, config: SupervisorConfig) -> Self {
+    pub fn new(inner: PpepDaemon<P, C>, config: SupervisorConfig) -> Self {
         Self {
             inner,
             config,
@@ -203,18 +206,18 @@ impl<C: DvfsController> ResilientDaemon<C> {
     }
 
     /// The wrapped daemon.
-    pub fn inner(&self) -> &PpepDaemon<C> {
+    pub fn inner(&self) -> &PpepDaemon<P, C> {
         &self.inner
     }
 
     /// The wrapped daemon, mutably (e.g. to load workloads or install
     /// a fault plan on its chip).
-    pub fn inner_mut(&mut self) -> &mut PpepDaemon<C> {
+    pub fn inner_mut(&mut self) -> &mut PpepDaemon<P, C> {
         &mut self.inner
     }
 
     /// Unwraps the supervisor.
-    pub fn into_inner(self) -> PpepDaemon<C> {
+    pub fn into_inner(self) -> PpepDaemon<P, C> {
         self.inner
     }
 
@@ -291,10 +294,10 @@ impl<C: DvfsController> ResilientDaemon<C> {
         let interval = self.report.intervals;
         self.report.intervals += 1;
         let rec = self.inner.recorder().clone();
-        let measuring = self.inner.sim().current_interval().0;
+        let measuring = self.inner.platform().current_interval().0;
         let measured = {
             let _sample = rec.span(Stage::Sample, measuring);
-            self.inner.sim_mut().step_interval_checked()
+            self.inner.platform_mut().sample()
         };
         match measured {
             Ok(record) => match self.validation_fault(&record) {
@@ -314,10 +317,16 @@ impl<C: DvfsController> ResilientDaemon<C> {
                 self.degraded(interval, None, e, false)
             }
             Err(e) => {
-                // Fatal: pin the safe state before surfacing.
+                // Fatal: pin the safe state before surfacing. The pin
+                // is best-effort — the measurement fault `e` is the
+                // error the caller must see, not a secondary actuation
+                // failure on an already-lost platform.
                 rec.incr("fault.detected");
                 rec.incr("fault.fatal");
-                self.inner.sim_mut().set_all_vf(self.config.failsafe_vf);
+                let _ = self
+                    .inner
+                    .platform_mut()
+                    .apply_uniform(self.config.failsafe_vf);
                 self.enter(HealthState::Failsafe);
                 self.report.last_error = Some(e.clone());
                 Err(e)
@@ -420,8 +429,10 @@ impl<C: DvfsController> ResilientDaemon<C> {
             self.report.held_decisions += 1;
             (Action::Held, decision)
         } else {
-            let cu_count = self.inner.sim().topology().cu_count();
-            self.inner.sim_mut().set_all_vf(self.config.failsafe_vf);
+            let cu_count = self.inner.platform().topology().cu_count();
+            self.inner
+                .platform_mut()
+                .apply_uniform(self.config.failsafe_vf)?;
             self.enter(if exhausted || self.state == HealthState::Failsafe {
                 HealthState::Failsafe
             } else {
@@ -478,9 +489,10 @@ mod tests {
     use super::*;
     use crate::daemon::StaticController;
     use crate::framework::Ppep;
-    use ppep_models::trainer::TrainingRig;
+    use ppep_rig::TrainingRig;
     use ppep_sim::chip::{ChipSimulator, SimConfig};
     use ppep_sim::fault::{FaultKind, FaultPlan};
+    use ppep_sim::SimPlatform;
     use ppep_types::VfTable;
     use ppep_workloads::combos::instances;
     use std::sync::OnceLock;
@@ -498,13 +510,17 @@ mod tests {
         )
     }
 
-    fn daemon(seed: u64, plan: FaultPlan) -> ResilientDaemon<StaticController> {
+    fn daemon(seed: u64, plan: FaultPlan) -> ResilientDaemon<SimPlatform, StaticController> {
         let ppep = engine();
         let table = ppep.models().vf_table().clone();
         let mut sim = ChipSimulator::new(SimConfig::fx8320(seed));
         sim.load_workload(&instances("433.milc", 4, seed));
         sim.set_fault_plan(plan);
-        let inner = PpepDaemon::new(ppep, sim, StaticController { vf: table.lowest() });
+        let inner = PpepDaemon::new(
+            ppep,
+            SimPlatform::new(sim),
+            StaticController { vf: table.lowest() },
+        );
         ResilientDaemon::new(inner, SupervisorConfig::new(table.lowest()))
     }
 
@@ -514,8 +530,12 @@ mod tests {
         let table = ppep.models().vf_table().clone();
         let mut sim = ChipSimulator::new(SimConfig::fx8320(42));
         sim.load_workload(&instances("433.milc", 4, 42));
-        let mut plain = PpepDaemon::new(ppep.clone(), sim, StaticController { vf: table.lowest() });
-        let plain_steps = plain.run(8).unwrap();
+        let mut plain = PpepDaemon::new(
+            ppep.clone(),
+            SimPlatform::new(sim),
+            StaticController { vf: table.lowest() },
+        );
+        let plain_steps = plain.run(8).into_result().unwrap();
 
         let mut supervised = daemon(42, FaultPlan::none());
         let steps = supervised.run(8).expect("no faults, no errors");

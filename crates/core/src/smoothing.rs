@@ -14,7 +14,7 @@
 //! lower values suit capping controllers that must not chase noise.
 
 use ppep_pmc::sampler::IntervalSample;
-use ppep_sim::chip::IntervalRecord;
+use ppep_telemetry::IntervalRecord;
 use ppep_types::{Error, Result};
 
 /// Exponential moving average over interval records.

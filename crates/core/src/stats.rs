@@ -116,8 +116,9 @@ mod tests {
     use super::*;
     use crate::daemon::{PpepDaemon, StaticController};
     use crate::Ppep;
-    use ppep_models::trainer::TrainingRig;
+    use ppep_rig::TrainingRig;
     use ppep_sim::chip::{ChipSimulator, SimConfig};
+    use ppep_sim::SimPlatform;
     use ppep_workloads::combos::instances;
     use std::sync::OnceLock;
 
@@ -135,8 +136,12 @@ mod tests {
         let table = ppep.models().vf_table().clone();
         let mut sim = ChipSimulator::new(SimConfig::fx8320_pg(42));
         sim.load_workload(&instances("458.sjeng", 2, 42));
-        let mut daemon = PpepDaemon::new(ppep, sim, StaticController { vf: table.lowest() });
-        let steps = daemon.run(10).expect("daemon runs");
+        let mut daemon = PpepDaemon::new(
+            ppep,
+            SimPlatform::new(sim),
+            StaticController { vf: table.lowest() },
+        );
+        let steps = daemon.run(10).into_result().expect("daemon runs");
         let mut stats = RunStats::new();
         stats.record_all(&steps);
         assert_eq!(stats.intervals(), 10);

@@ -9,7 +9,7 @@
 //! engages boost in a single step only when it provably fits.
 //!
 //! Use with a boost-exposing platform
-//! ([`ppep_sim::chip::SimConfig::fx8320_boost`]) and models trained on
+//! (`ppep_sim::chip::SimConfig::fx8320_boost`) and models trained on
 //! its seven-state ladder.
 
 use ppep_core::daemon::DvfsController;
@@ -144,8 +144,10 @@ impl DvfsController for BoostController {
 mod tests {
     use super::*;
     use ppep_core::daemon::PpepDaemon;
-    use ppep_models::trainer::{TrainedModels, TrainingRig};
+    use ppep_models::trainer::TrainedModels;
+    use ppep_rig::TrainingRig;
     use ppep_sim::chip::{ChipSimulator, SimConfig};
+    use ppep_sim::SimPlatform;
     use ppep_types::vf::VfTable;
     use ppep_workloads::combos::instances;
     use std::sync::OnceLock;
@@ -169,18 +171,18 @@ mod tests {
         .expect("valid controller")
     }
 
-    fn daemon(tdp: f64, workload: &str, n: usize) -> PpepDaemon<BoostController> {
+    fn daemon(tdp: f64, workload: &str, n: usize) -> PpepDaemon<SimPlatform, BoostController> {
         let ppep = Ppep::new(boosted_models().clone());
         let mut sim = ChipSimulator::new(SimConfig::fx8320_boost(42));
         sim.load_workload(&instances(workload, n, 42));
         sim.set_all_vf(controller(tdp).nominal_top());
-        PpepDaemon::new(ppep, sim, controller(tdp))
+        PpepDaemon::new(ppep, SimPlatform::new(sim), controller(tdp))
     }
 
     #[test]
     fn lone_thread_with_headroom_gets_boosted() {
         let mut d = daemon(125.0, "458.sjeng", 1);
-        let steps = d.run(4).expect("daemon runs");
+        let steps = d.run(4).into_result().expect("daemon runs");
         let last = steps.last().unwrap();
         assert!(
             last.decision.iter().any(|vf| vf.index() >= 5),
@@ -200,7 +202,7 @@ mod tests {
         // bins the lone thread's single busy CU is limited to.
         let tdp = 152.0;
         let mut full = daemon(tdp, "458.sjeng", 8);
-        let full_steps = full.run(6).expect("daemon runs");
+        let full_steps = full.run(6).into_result().expect("daemon runs");
         for s in &full_steps[1..] {
             assert!(
                 s.record.measured_power <= Watts::new(tdp * 1.04),
@@ -218,7 +220,7 @@ mod tests {
         // A lone thread under the same TDP boosts every headroom it
         // can; the loaded chip must grant strictly fewer boost bins.
         let mut lone = daemon(tdp, "458.sjeng", 1);
-        let lone_steps = lone.run(4).expect("daemon runs");
+        let lone_steps = lone.run(4).into_result().expect("daemon runs");
         let boosted_lone_levels: usize = lone_steps
             .last()
             .unwrap()
@@ -259,7 +261,7 @@ mod tests {
     #[test]
     fn tiny_tdp_keeps_nominal() {
         let mut d = daemon(10.0, "458.sjeng", 1);
-        let steps = d.run(2).expect("daemon runs");
+        let steps = d.run(2).into_result().expect("daemon runs");
         // Boosting is off; the controller leaves capping to a capper.
         for s in &steps {
             assert!(

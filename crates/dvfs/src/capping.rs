@@ -453,8 +453,9 @@ pub fn cap_adherence(trace: &[Watts], cap: Watts) -> CapAdherence {
 mod tests {
     use super::*;
     use ppep_core::daemon::PpepDaemon;
-    use ppep_models::trainer::TrainingRig;
+    use ppep_rig::TrainingRig;
     use ppep_sim::chip::{ChipSimulator, SimConfig};
+    use ppep_sim::SimPlatform;
     use ppep_types::VfTable;
     use ppep_workloads::combos::fig7_workload;
     use std::sync::OnceLock;
@@ -479,8 +480,8 @@ mod tests {
         sim.load_workload(&fig7_workload(42));
         let cap = Watts::new(70.0);
         let controller = OneStepCapping::new(ppep.clone(), cap);
-        let mut daemon = PpepDaemon::new(ppep, sim, controller);
-        let steps = daemon.run(6).unwrap();
+        let mut daemon = PpepDaemon::new(ppep, SimPlatform::new(sim), controller);
+        let steps = daemon.run(6).into_result().unwrap();
         // First interval runs at boot state (may exceed the cap); from
         // the second interval on, measured power must respect it
         // (small sensor-noise slack).
@@ -503,8 +504,8 @@ mod tests {
         let mut sim = ChipSimulator::new(SimConfig::fx8320(42));
         sim.load_workload(&fig7_workload(42));
         let controller = OneStepCapping::new(ppep.clone(), Watts::new(500.0));
-        let mut daemon = PpepDaemon::new(ppep, sim, controller);
-        let steps = daemon.run(3).unwrap();
+        let mut daemon = PpepDaemon::new(ppep, SimPlatform::new(sim), controller);
+        let steps = daemon.run(3).into_result().unwrap();
         assert_eq!(steps.last().unwrap().decision, vec![table.highest(); 4]);
     }
 
@@ -520,9 +521,10 @@ mod tests {
             let _ = sim.run_intervals(10);
             if one_step {
                 let controller = OneStepCapping::new(ppep.clone(), cap);
-                let mut daemon = PpepDaemon::new(ppep, sim, controller);
+                let mut daemon = PpepDaemon::new(ppep, SimPlatform::new(sim), controller);
                 daemon
                     .run(15)
+                    .into_result()
                     .unwrap()
                     .iter()
                     .map(|s| s.record.measured_power)
@@ -635,8 +637,8 @@ mod tests {
         let mut sim = ChipSimulator::new(SimConfig::fx8320(42));
         sim.load_workload(&fig7_workload(42));
         let controller = IterativeCapping::new(Watts::new(40.0), &table);
-        let mut daemon = PpepDaemon::new(ppep, sim, controller);
-        let steps = daemon.run(10).unwrap();
+        let mut daemon = PpepDaemon::new(ppep, SimPlatform::new(sim), controller);
+        let steps = daemon.run(10).into_result().unwrap();
         // It must have stepped down from the boot state.
         assert!(
             steps.last().unwrap().decision[0] < table.highest(),

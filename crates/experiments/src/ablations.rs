@@ -18,7 +18,8 @@
 
 use crate::common::{Context, Scale};
 use ppep_models::idle::IdlePowerModel;
-use ppep_models::trainer::{TrainedModels, TrainingRig};
+use ppep_models::trainer::TrainedModels;
+use ppep_rig::TrainingRig;
 use ppep_sim::chip::SimConfig;
 use ppep_types::Result;
 use ppep_workloads::WorkloadSpec;

@@ -1,0 +1,176 @@
+//! Serial-versus-parallel wall clock for the sweep collections — the
+//! artifact behind `BENCH_parallel.json`.
+//!
+//! Times the two sweep shapes the fleet runner shards: the Fig. 2/3
+//! trace-store collection (`roster x VF states` cells) and the Fig. 6
+//! energy sweep (`roster` cells at VF5), each once at `--jobs 1` and
+//! once at the requested worker count. The sharded sweeps must also
+//! produce the same traces as the serial ones — the benchmark
+//! re-checks that on every run.
+
+use crate::common::{Context, TraceStore};
+use ppep_types::{Result, VfStateId};
+use std::time::Instant;
+
+/// One sweep's serial/parallel timing pair.
+#[derive(Debug, Clone)]
+pub struct SweepTiming {
+    /// Which sweep ("fig02_store" or "fig06_energy").
+    pub name: &'static str,
+    /// `(combo, vf)` cells executed.
+    pub cells: usize,
+    /// Serial wall clock, milliseconds.
+    pub serial_ms: f64,
+    /// Parallel wall clock, milliseconds.
+    pub parallel_ms: f64,
+}
+
+impl SweepTiming {
+    /// Serial over parallel wall clock.
+    pub fn speedup(&self) -> f64 {
+        if self.parallel_ms > 0.0 {
+            self.serial_ms / self.parallel_ms
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The benchmark's result.
+#[derive(Debug, Clone)]
+pub struct BenchParallelResult {
+    /// Worker count the parallel runs used.
+    pub jobs: usize,
+    /// Per-sweep timings.
+    pub sweeps: Vec<SweepTiming>,
+    /// Whether every sharded sweep reproduced the serial traces.
+    pub identical: bool,
+}
+
+fn ms(start: Instant) -> f64 {
+    start.elapsed().as_secs_f64() * 1e3
+}
+
+/// Runs both sweeps serially and sharded, timing each.
+///
+/// # Errors
+///
+/// This benchmark only collects traces; collection itself is
+/// infallible, so errors can only come from future extensions.
+pub fn run(ctx: &Context) -> Result<BenchParallelResult> {
+    let jobs = ctx.jobs.max(2);
+    let table = ctx.rig.config().topology.vf_table().clone();
+    let budget = ctx.scale.budget();
+    let roster = ctx.scale.roster(ctx.seed);
+    let vfs: Vec<VfStateId> = table.states().collect();
+    let mut identical = true;
+    let mut sweeps = Vec::new();
+
+    // Fig. 2/3 shape: the full roster x VF-ladder trace store.
+    let t = Instant::now();
+    let serial = TraceStore::collect_sharded(&ctx.rig, &roster, &vfs, &budget, 1);
+    let serial_ms = ms(t);
+    let t = Instant::now();
+    let parallel = TraceStore::collect_sharded(&ctx.rig, &roster, &vfs, &budget, jobs);
+    let parallel_ms = ms(t);
+    identical &= serial.traces() == parallel.traces();
+    sweeps.push(SweepTiming {
+        name: "fig02_store",
+        cells: roster.len() * vfs.len(),
+        serial_ms,
+        parallel_ms,
+    });
+
+    // Fig. 6 shape: the energy sweep's VF5 roster pass.
+    let vf5 = [table.highest()];
+    let t = Instant::now();
+    let serial = TraceStore::collect_sharded(&ctx.rig, &roster, &vf5, &budget, 1);
+    let serial_ms = ms(t);
+    let t = Instant::now();
+    let parallel = TraceStore::collect_sharded(&ctx.rig, &roster, &vf5, &budget, jobs);
+    let parallel_ms = ms(t);
+    identical &= serial.traces() == parallel.traces();
+    sweeps.push(SweepTiming {
+        name: "fig06_energy",
+        cells: roster.len(),
+        serial_ms,
+        parallel_ms,
+    });
+
+    Ok(BenchParallelResult {
+        jobs,
+        sweeps,
+        identical,
+    })
+}
+
+/// The `BENCH_parallel.json` document.
+pub fn bench_json(r: &BenchParallelResult) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"bench\": \"parallel\",");
+    let _ = writeln!(s, "  \"jobs\": {},", r.jobs);
+    let _ = writeln!(s, "  \"identical\": {},", r.identical);
+    s.push_str("  \"sweeps\": [\n");
+    for (i, sw) in r.sweeps.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"sweep\": \"{}\", \"cells\": {}, \"serial_ms\": {:.1}, \
+             \"parallel_ms\": {:.1}, \"speedup\": {:.2}}}",
+            sw.name,
+            sw.cells,
+            sw.serial_ms,
+            sw.parallel_ms,
+            sw.speedup()
+        );
+        s.push_str(if i + 1 < r.sweeps.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Prints the timing table.
+pub fn print(r: &BenchParallelResult) {
+    println!(
+        "== Parallel sweep benchmark: serial vs {} workers ==",
+        r.jobs
+    );
+    let rows: Vec<Vec<String>> = r
+        .sweeps
+        .iter()
+        .map(|sw| {
+            vec![
+                sw.name.to_string(),
+                sw.cells.to_string(),
+                format!("{:.0} ms", sw.serial_ms),
+                format!("{:.0} ms", sw.parallel_ms),
+                format!("{:.2}x", sw.speedup()),
+            ]
+        })
+        .collect();
+    crate::common::print_table(&["sweep", "cells", "serial", "parallel", "speedup"], &rows);
+    println!(
+        "sharded traces {} the serial ones",
+        if r.identical { "match" } else { "DIVERGE from" }
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::{Scale, DEFAULT_SEED};
+
+    #[test]
+    fn sharded_sweeps_match_serial() {
+        let ctx = Context::fx8320(Scale::Quick, DEFAULT_SEED).with_jobs(3);
+        let r = run(&ctx).unwrap();
+        assert!(r.identical);
+        assert_eq!(r.jobs, 3);
+        assert_eq!(r.sweeps.len(), 2);
+        let json = bench_json(&r);
+        assert!(json.contains("\"bench\": \"parallel\""));
+        assert!(json.contains("fig02_store"));
+        assert!(json.contains("fig06_energy"));
+    }
+}

@@ -2,9 +2,10 @@
 //! cross-validation machinery, and table printing.
 
 use ppep_models::idle::IdlePowerModel;
-use ppep_models::trainer::{ComboTrace, TrainingBudget, TrainingRig};
+use ppep_models::trainer::{ComboTrace, TrainingBudget};
 use ppep_models::DynamicPowerModel;
 use ppep_regress::KFold;
+use ppep_rig::TrainingRig;
 use ppep_types::{Result, VfStateId, Watts};
 use ppep_workloads::combos::{full_roster, npb_runs, parsec_runs, spec_combos};
 use ppep_workloads::{Suite, WorkloadSpec};
@@ -70,6 +71,8 @@ pub struct Context {
     pub scale: Scale,
     /// The global seed.
     pub seed: u64,
+    /// Worker threads for the sweep collections (`--jobs`; 1 = serial).
+    pub jobs: usize,
 }
 
 impl Context {
@@ -79,6 +82,7 @@ impl Context {
             rig: TrainingRig::fx8320(seed),
             scale,
             seed,
+            jobs: 1,
         }
     }
 
@@ -88,7 +92,15 @@ impl Context {
             rig: TrainingRig::phenom_ii_x6(seed),
             scale,
             seed,
+            jobs: 1,
         }
+    }
+
+    /// Sets the sweep worker count (clamped to at least 1).
+    #[must_use]
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs.max(1);
+        self
     }
 
     /// Trains the full model bundle (idle + α + dynamic + GG) on this
@@ -121,12 +133,31 @@ impl TraceStore {
         vfs: &[VfStateId],
         budget: &TrainingBudget,
     ) -> Self {
-        let mut traces = Vec::with_capacity(roster.len() * vfs.len());
-        for spec in roster {
-            for &vf in vfs {
-                traces.push(rig.collect_run(spec, vf, budget));
-            }
-        }
+        Self::collect_sharded(rig, roster, vfs, budget, 1)
+    }
+
+    /// [`Self::collect`] sharded across `jobs` worker threads.
+    ///
+    /// Every `(combo, vf)` cell builds its own freshly seeded
+    /// simulator inside [`TrainingRig::collect_run`], so the stored
+    /// traces are identical — byte for byte in any derived CSV — for
+    /// every worker count.
+    pub fn collect_sharded(
+        rig: &TrainingRig,
+        roster: &[WorkloadSpec],
+        vfs: &[VfStateId],
+        budget: &TrainingBudget,
+        jobs: usize,
+    ) -> Self {
+        let cells = roster.len() * vfs.len();
+        let (traces, _obs) = crate::fleet::map_indexed(cells, jobs, |index, rec| {
+            // Row-major over the roster: index = spec * vfs.len() + vf.
+            let spec = &roster[index / vfs.len().max(1)];
+            let vf = vfs[index % vfs.len().max(1)];
+            let trace = rig.collect_run(spec, vf, budget);
+            rec.add("fleet.cells", 1);
+            trace
+        });
         Self { traces }
     }
 

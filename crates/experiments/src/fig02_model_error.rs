@@ -6,7 +6,7 @@
 //! 49% on DC/IS/dedup); chip model 4.6% average AAE, SD 2.8%.
 
 use crate::common::{Context, CvMachinery, SuiteErrors, TraceStore};
-use ppep_models::trainer::TrainingRig;
+use ppep_rig::TrainingRig;
 use ppep_types::{Result, VfStateId};
 use ppep_workloads::Suite;
 
@@ -173,11 +173,12 @@ pub fn run_with_store(ctx: &Context, store: &TraceStore) -> Result<Fig02Result> 
 pub fn run(ctx: &Context) -> Result<Fig02Result> {
     let table = ctx.rig.config().topology.vf_table().clone();
     let vfs: Vec<VfStateId> = table.states().collect();
-    let store = TraceStore::collect(
+    let store = TraceStore::collect_sharded(
         &ctx.rig,
         &ctx.scale.roster(ctx.seed),
         &vfs,
         &ctx.scale.budget(),
+        ctx.jobs,
     );
     run_with_store(ctx, &store)
 }

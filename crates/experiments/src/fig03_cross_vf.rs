@@ -130,11 +130,12 @@ pub fn run_with_store(ctx: &Context, store: &TraceStore) -> Result<Fig03Result> 
 pub fn run(ctx: &Context) -> Result<Fig03Result> {
     let table = ctx.rig.config().topology.vf_table().clone();
     let vfs: Vec<VfStateId> = table.states().collect();
-    let store = TraceStore::collect(
+    let store = TraceStore::collect_sharded(
         &ctx.rig,
         &ctx.scale.roster(ctx.seed),
         &vfs,
         &ctx.scale.budget(),
+        ctx.jobs,
     );
     run_with_store(ctx, &store)
 }

@@ -57,11 +57,14 @@ pub fn run(ctx: &Context) -> Result<Fig06Result> {
             .collect(),
     };
 
-    // VF5 per-combo comparison.
+    // VF5 per-combo comparison (the traces shard across workers; the
+    // error evaluation stays on this thread).
     let vf5 = table.highest();
+    let (traces, _obs) = crate::fleet::map_indexed(roster.len(), ctx.jobs, |i, _| {
+        ctx.rig.collect_run(&roster[i], vf5, &budget)
+    });
     let mut combos = Vec::new();
-    for spec in &roster {
-        let trace = ctx.rig.collect_run(spec, vf5, &budget);
+    for (spec, trace) in roster.iter().zip(&traces) {
         let (ppep_errs, gg_errs) = predictor.trace_errors(&trace.records)?;
         combos.push(ComboEnergyError {
             name: spec.name().to_string(),
@@ -76,11 +79,21 @@ pub fn run(ctx: &Context) -> Result<Fig06Result> {
     // PPEP per-VF averages on a reduced roster (the paper reports one
     // number per state).
     let sub_roster: Vec<_> = roster.iter().step_by(4).cloned().collect();
+    let states: Vec<VfStateId> = table.states().collect();
+    let cells = states.len() * sub_roster.len();
+    let (vf_traces, _obs) = crate::fleet::map_indexed(cells, ctx.jobs, |index, _| {
+        let vf = states[index / sub_roster.len().max(1)];
+        let spec = &sub_roster[index % sub_roster.len().max(1)];
+        ctx.rig.collect_run(spec, vf, &budget)
+    });
     let mut ppep_per_vf = Vec::new();
-    for vf in table.states() {
+    for (row, &vf) in states.iter().enumerate() {
         let mut errs = Vec::new();
-        for spec in &sub_roster {
-            let trace = ctx.rig.collect_run(spec, vf, &budget);
+        for trace in vf_traces
+            .iter()
+            .skip(row * sub_roster.len())
+            .take(sub_roster.len())
+        {
             let (p, _) = predictor.trace_errors(&trace.records)?;
             errs.extend(p);
         }

@@ -7,7 +7,7 @@
 
 use crate::common::Context;
 use ppep_models::idle::IdlePowerModel;
-use ppep_models::trainer::TrainingRig;
+use ppep_rig::TrainingRig;
 use ppep_types::{Result, VfStateId};
 
 /// The experiment's result.

@@ -25,12 +25,19 @@
 //! | [`ablations`] | error attribution (beyond the paper: ideal PMU/sensor) |
 //! | [`resilience`] | Fig. 7 capping under a fault storm (beyond the paper) |
 //! | [`overhead`] | §V — per-stage latency and framework overhead of the 200 ms loop |
+//! | [`replay`] | trace record → JSONL → strict replay round trip (beyond the paper) |
+//! | [`bench_parallel`] | serial vs sharded sweep wall clock (`BENCH_parallel.json`) |
+//!
+//! The paper-scale sweeps shard across cores through [`fleet`]
+//! (`--jobs N` on the binary); results are identical for any worker
+//! count.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod ablations;
 pub mod ascii;
+pub mod bench_parallel;
 pub mod common;
 pub mod cpi_accuracy;
 pub mod fig01_idle_trace;
@@ -42,10 +49,12 @@ pub mod fig07_capping;
 pub mod fig08_09_background;
 pub mod fig10_nb_share;
 pub mod fig11_nb_dvfs;
+pub mod fleet;
 pub mod idle_accuracy;
 pub mod observations;
 pub mod overhead;
 pub mod phenom;
+pub mod replay;
 pub mod report;
 pub mod resilience;
 pub mod summary;

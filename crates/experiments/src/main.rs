@@ -1,8 +1,8 @@
 //! The `ppep-experiments` binary: one subcommand per table/figure.
 //!
 //! ```text
-//! ppep-experiments [--quick] [--seed N] [--out DIR] \
-//!     <fig1|cpi|idle|obs|fig2|fig3|fig4|fig6|fig7|fig8|fig9|fig10|fig11|phenom|ablations|resilience|overhead|summary|all>
+//! ppep-experiments [--quick] [--seed N] [--out DIR] [--jobs N] \
+//!     <fig1|cpi|idle|obs|fig2|fig3|fig4|fig6|fig7|fig8|fig9|fig10|fig11|phenom|ablations|resilience|overhead|replay|bench-parallel|summary|all>
 //! ```
 //!
 //! With `--out DIR`, figure commands additionally write their data as
@@ -11,6 +11,10 @@
 //! `--quick` uses the reduced rosters and interval counts (the
 //! configuration the test suite and benches run); the default is the
 //! paper-sized full configuration.
+//!
+//! `--jobs N` shards the sweep collections (Figs. 2/3/6, phenom,
+//! summary) across `N` worker threads; `--jobs 0` means "all cores".
+//! Results are identical for every worker count.
 
 use ppep_experiments::common::{Context, Scale, DEFAULT_SEED};
 use ppep_experiments::*;
@@ -18,9 +22,9 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: ppep-experiments [--quick] [--seed N] [--out DIR] \
+        "usage: ppep-experiments [--quick] [--seed N] [--out DIR] [--jobs N] \
          <fig1|cpi|idle|obs|fig2|fig3|fig4|fig6|fig7|fig8|fig9|fig10|fig11|phenom|ablations|\
-         resilience|overhead|summary|all>"
+         resilience|overhead|replay|bench-parallel|summary|all>"
     );
     ExitCode::FAILURE
 }
@@ -37,6 +41,7 @@ fn write_csv(dir: &std::path::Path, name: &str, contents: &str) -> std::io::Resu
 fn main() -> ExitCode {
     let mut scale = Scale::Full;
     let mut seed = DEFAULT_SEED;
+    let mut jobs = 1usize;
     let mut out_dir: Option<std::path::PathBuf> = None;
     let mut command: Option<String> = None;
 
@@ -49,6 +54,12 @@ fn main() -> ExitCode {
                     return usage();
                 };
                 seed = v;
+            }
+            "--jobs" => {
+                let Some(v) = args.next().and_then(|s| s.parse::<usize>().ok()) else {
+                    return usage();
+                };
+                jobs = if v == 0 { fleet::default_jobs() } else { v };
             }
             "--out" => {
                 let Some(dir) = args.next() else {
@@ -65,7 +76,7 @@ fn main() -> ExitCode {
     let Some(command) = command else {
         return usage();
     };
-    let ctx = Context::fx8320(scale, seed);
+    let ctx = Context::fx8320(scale, seed).with_jobs(jobs);
 
     let result = dispatch(&ctx, &command, out_dir.as_deref());
     match result {
@@ -163,6 +174,26 @@ fn dispatch(
                 )));
             }
         }
+        "replay" => {
+            let r = replay::run(ctx)?;
+            replay::print(&r);
+            save(out, "replay_trace.jsonl", r.trace_jsonl.clone());
+            if !r.identical {
+                return Err(ppep_types::Error::InvalidInput(
+                    "replayed decisions diverged from the live run".into(),
+                ));
+            }
+        }
+        "bench-parallel" => {
+            let r = bench_parallel::run(ctx)?;
+            bench_parallel::print(&r);
+            save(out, "BENCH_parallel.json", bench_parallel::bench_json(&r));
+            if !r.identical {
+                return Err(ppep_types::Error::InvalidInput(
+                    "sharded sweep traces diverged from the serial ones".into(),
+                ));
+            }
+        }
         "summary" => summary::print(&summary::run(ctx)?),
         "ablations" => {
             let r = ablations::run(ctx)?;
@@ -184,11 +215,12 @@ fn dispatch(
             println!();
             // Figs. 2 and 3 share one trace store.
             let vfs: Vec<ppep_types::VfStateId> = table.states().collect();
-            let store = common::TraceStore::collect(
+            let store = common::TraceStore::collect_sharded(
                 &ctx.rig,
                 &ctx.scale.roster(ctx.seed),
                 &vfs,
                 &ctx.scale.budget(),
+                ctx.jobs,
             );
             let r2 = fig02_model_error::run_with_store(ctx, &store)?;
             fig02_model_error::print(&r2);

@@ -22,6 +22,7 @@ use ppep_obs::export::{chrome_trace, spans_jsonl};
 use ppep_obs::{OverheadProfile, RecorderHandle, Stage, TraceRecorder, TraceSnapshot};
 use ppep_sim::chip::{ChipSimulator, SimConfig};
 use ppep_sim::fault::FaultPlan;
+use ppep_sim::SimPlatform;
 use ppep_types::{Result, VfStateId};
 use ppep_workloads::combos::fig7_workload;
 use std::sync::Arc;
@@ -84,8 +85,12 @@ fn run_once(
     let table = ppep.models().vf_table().clone();
     let controller =
         OneStepCapping::new(ppep.clone(), cap_schedule(0, period)).with_recorder(recorder.clone());
-    let inner =
-        PpepDaemon::new(ppep.clone(), scenario_sim(ctx, plan), controller).with_recorder(recorder);
+    let inner = PpepDaemon::new(
+        ppep.clone(),
+        SimPlatform::new(scenario_sim(ctx, plan)),
+        controller,
+    )
+    .with_recorder(recorder);
     let mut daemon = ResilientDaemon::new(inner, SupervisorConfig::new(table.lowest()));
     let mut decisions = Vec::with_capacity(intervals);
     for step in 0..intervals {

@@ -7,7 +7,7 @@
 
 use crate::common::{Context, CvMachinery, Scale, TraceStore};
 use ppep_models::chip_power::ChipPowerModel;
-use ppep_models::trainer::TrainingRig;
+use ppep_rig::TrainingRig;
 use ppep_types::{Result, VfStateId};
 use ppep_workloads::combos::{npb_runs, parsec_runs};
 use ppep_workloads::WorkloadSpec;
@@ -44,12 +44,12 @@ fn phenom_roster(ctx: &Context) -> Vec<WorkloadSpec> {
 /// Propagates fitting and prediction errors.
 pub fn run(ctx_fx: &Context) -> Result<PhenomResult> {
     // Build a Phenom context at the same scale/seed.
-    let ctx = Context::phenom_ii_x6(ctx_fx.scale, ctx_fx.seed);
+    let ctx = Context::phenom_ii_x6(ctx_fx.scale, ctx_fx.seed).with_jobs(ctx_fx.jobs);
     let table = ctx.rig.config().topology.vf_table().clone();
     let budget = ctx.scale.budget();
     let roster = phenom_roster(&ctx);
     let vfs: Vec<VfStateId> = table.states().collect();
-    let store = TraceStore::collect(&ctx.rig, &roster, &vfs, &budget);
+    let store = TraceStore::collect_sharded(&ctx.rig, &roster, &vfs, &budget, ctx.jobs);
     let cv = CvMachinery::build(&ctx.rig, &store, &budget, ctx.scale.folds())?;
 
     let mut fold_models = Vec::with_capacity(cv.folds.k());

@@ -22,10 +22,11 @@ use crate::common::Context;
 use crate::fig07_capping::cap_schedule;
 use ppep_core::daemon::PpepDaemon;
 use ppep_core::resilient::{HealthReport, ResilientDaemon, SupervisorConfig};
-use ppep_core::Ppep;
+use ppep_core::{Platform, Ppep};
 use ppep_dvfs::capping::OneStepCapping;
 use ppep_sim::chip::{ChipSimulator, SimConfig};
 use ppep_sim::fault::{FaultKind, FaultPlan};
+use ppep_sim::SimPlatform;
 use ppep_types::{Error, Result, Watts};
 use ppep_workloads::combos::fig7_workload;
 
@@ -106,7 +107,11 @@ fn run_unprotected(
     period: usize,
 ) -> Result<DaemonOutcome> {
     let controller = OneStepCapping::new(ppep.clone(), cap_schedule(0, period));
-    let mut daemon = PpepDaemon::new(ppep.clone(), scenario_sim(ctx, plan), controller);
+    let mut daemon = PpepDaemon::new(
+        ppep.clone(),
+        SimPlatform::new(scenario_sim(ctx, plan)),
+        controller,
+    );
     let mut power: Vec<Option<Watts>> = Vec::with_capacity(intervals);
     let mut decided = 0usize;
     let mut aborted_by: Option<Error> = None;
@@ -129,7 +134,7 @@ fn run_unprotected(
             // The daemon is dead but the chip is not: it freewheels at
             // the last applied VF assignment while time (and the cap
             // schedule) marches on.
-            match daemon.sim_mut().step_interval_checked() {
+            match daemon.platform_mut().sample() {
                 Ok(r) => power.push(Some(r.true_power.total())),
                 Err(_) => power.push(None),
             }
@@ -154,7 +159,11 @@ fn run_supervised(
 ) -> Result<(DaemonOutcome, HealthReport)> {
     let table = ppep.models().vf_table().clone();
     let controller = OneStepCapping::new(ppep.clone(), cap_schedule(0, period));
-    let inner = PpepDaemon::new(ppep.clone(), scenario_sim(ctx, plan), controller);
+    let inner = PpepDaemon::new(
+        ppep.clone(),
+        SimPlatform::new(scenario_sim(ctx, plan)),
+        controller,
+    );
     let mut daemon = ResilientDaemon::new(inner, SupervisorConfig::new(table.lowest()));
     let mut power: Vec<Option<Watts>> = Vec::with_capacity(intervals);
     for step in 0..intervals {

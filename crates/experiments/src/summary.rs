@@ -74,11 +74,12 @@ pub fn run(ctx: &Context) -> Result<SummaryResult> {
     // Figs. 2-3 share traces.
     let table = ctx.rig.config().topology.vf_table().clone();
     let vfs: Vec<VfStateId> = table.states().collect();
-    let store = TraceStore::collect(
+    let store = TraceStore::collect_sharded(
         &ctx.rig,
         &ctx.scale.roster(ctx.seed),
         &vfs,
         &ctx.scale.budget(),
+        ctx.jobs,
     );
     let f2 = fig02_model_error::run_with_store(ctx, &store)?;
     push(

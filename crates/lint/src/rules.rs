@@ -30,13 +30,15 @@ use crate::diag::Diagnostic;
 use crate::lexer::{Token, TokenKind};
 
 /// Crates whose non-test code must be panic-free (L1).
-pub const RUNTIME_CRATES: [&str; 6] = [
+pub const RUNTIME_CRATES: [&str; 8] = [
     "ppep-core",
     "ppep-dvfs",
     "ppep-models",
     "ppep-obs",
     "ppep-pmc",
+    "ppep-rig",
     "ppep-sim",
+    "ppep-telemetry",
 ];
 
 /// Crates whose public signatures must be unit-typed (L2).

@@ -54,4 +54,4 @@ pub use dynamic::DynamicPowerModel;
 pub use event_pred::{CpiProjection, HwEventPredictor};
 pub use idle::IdlePowerModel;
 pub use pg::PgIdleModel;
-pub use trainer::{TrainedModels, TrainingRig};
+pub use trainer::TrainedModels;

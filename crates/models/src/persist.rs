@@ -28,7 +28,7 @@ pub const FORMAT_VERSION: u32 = 1;
 /// Serialises a trained bundle to the text format.
 ///
 /// ```no_run
-/// use ppep_models::trainer::TrainingRig;
+/// use ppep_rig::TrainingRig;
 /// use ppep_models::persist;
 ///
 /// # fn main() -> ppep_types::Result<()> {
@@ -276,105 +276,4 @@ pub fn from_string(text: &str) -> Result<TrainedModels> {
         table,
         topology,
     ))
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::trainer::TrainingRig;
-    use ppep_types::Kelvin;
-    use std::sync::OnceLock;
-
-    fn bundle() -> &'static TrainedModels {
-        static M: OnceLock<TrainedModels> = OnceLock::new();
-        M.get_or_init(|| {
-            TrainingRig::fx8320(42)
-                .train_quick()
-                .expect("training succeeds")
-        })
-    }
-
-    #[test]
-    fn round_trip_preserves_every_prediction() {
-        let original = bundle();
-        let text = to_string(original);
-        let restored = from_string(&text).expect("parse back");
-        // Same idle estimates.
-        let v = Volts::new(1.128);
-        let t = Kelvin::new(321.5);
-        assert_eq!(
-            original.idle_model().estimate(v, t),
-            restored.idle_model().estimate(v, t)
-        );
-        // Same dynamic estimates.
-        let rates = [1e9, 2e8, 3e8, 4e8, 5e7, 1e8, 6e6, 2e7, 4e8];
-        assert_eq!(
-            original.dynamic_model().estimate_core(&rates, v),
-            restored.dynamic_model().estimate_core(&rates, v)
-        );
-        // Same GG estimates and alpha.
-        let table = original.vf_table().clone();
-        assert_eq!(
-            original
-                .green_governors()
-                .estimate_power(2e9, table.highest(), &table),
-            restored
-                .green_governors()
-                .estimate_power(2e9, table.highest(), &table)
-        );
-        assert_eq!(original.alpha(), restored.alpha());
-        // PG decomposition survives too.
-        let opg = original.chip_power().pg_model().expect("PG attached");
-        let rpg = restored.chip_power().pg_model().expect("PG restored");
-        for vf in table.states() {
-            assert_eq!(opg.pidle_cu(vf), rpg.pidle_cu(vf));
-            assert_eq!(opg.pidle_nb(vf), rpg.pidle_nb(vf));
-        }
-        assert_eq!(opg.pidle_base(), rpg.pidle_base());
-        // Topology round-trips.
-        assert_eq!(original.topology(), restored.topology());
-    }
-
-    #[test]
-    fn text_is_human_readable() {
-        let text = to_string(bundle());
-        assert!(text.starts_with("# PPEP trained model bundle"));
-        assert!(text.contains("platform = AMD FX-8320"));
-        assert!(text.contains("alpha = "));
-        assert!(text.lines().count() > 10);
-    }
-
-    #[test]
-    fn rejects_malformed_input() {
-        assert!(from_string("").is_err());
-        assert!(from_string("version = 999").is_err());
-        assert!(from_string("not a key value line").is_err());
-        // Valid header but missing everything else.
-        assert!(from_string("version = 1").is_err());
-        // Corrupt one numeric field.
-        let good = to_string(bundle());
-        let bad = good.replace("alpha = ", "alpha = not-a-number # ");
-        assert!(from_string(&bad).is_err());
-        // Truncate the weights.
-        let bad = good
-            .lines()
-            .map(|l| {
-                if l.starts_with("dyn_weights") {
-                    "dyn_weights = 1 2 3".to_string()
-                } else {
-                    l.to_string()
-                }
-            })
-            .collect::<Vec<_>>()
-            .join("\n");
-        assert!(from_string(&bad).is_err());
-    }
-
-    #[test]
-    fn comments_and_blank_lines_are_ignored() {
-        let mut text = String::from("# leading comment\n\n");
-        text.push_str(&to_string(bundle()));
-        text.push_str("\n# trailing comment\n");
-        assert!(from_string(&text).is_ok());
-    }
 }

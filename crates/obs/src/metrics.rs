@@ -110,6 +110,31 @@ impl Histogram {
         self.max
     }
 
+    /// Folds another histogram into this one. Identical bucket
+    /// layouts merge exactly (bucket-wise count addition, exact
+    /// `count`/`sum`/`max`); mismatched layouts fall back to
+    /// re-observing each foreign bucket at its upper bound, which
+    /// keeps counts exact and percentiles conservative.
+    pub fn merge(&mut self, other: &Histogram) {
+        if self.bounds == other.bounds {
+            for (slot, add) in self.counts.iter_mut().zip(&other.counts) {
+                *slot += add;
+            }
+            self.total += other.total;
+            self.sum += other.sum;
+            if other.max > self.max {
+                self.max = other.max;
+            }
+            return;
+        }
+        for (bound, count) in other.buckets() {
+            let v = if bound.is_finite() { bound } else { other.max };
+            for _ in 0..count {
+                self.observe(v);
+            }
+        }
+    }
+
     /// Bucket `(upper_bound, count)` pairs, ending with the overflow
     /// bucket as `(f64::INFINITY, count)`.
     pub fn buckets(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
@@ -172,6 +197,17 @@ impl MetricsRegistry {
         self.histograms.get(name)
     }
 
+    /// Folds a foreign histogram into the named one (cloning it on
+    /// first sight). Used when merging per-worker recorders.
+    pub fn merge_histogram(&mut self, name: &str, other: &Histogram) {
+        match self.histograms.get_mut(name) {
+            Some(h) => h.merge(other),
+            None => {
+                self.histograms.insert(name.to_string(), other.clone());
+            }
+        }
+    }
+
     /// All counters in name order.
     pub fn counters(&self) -> &BTreeMap<String, u64> {
         &self.counters
@@ -207,6 +243,36 @@ mod tests {
         assert!(buckets[2].0.is_infinite());
         assert_eq!(h.count(), 4);
         assert_eq!(h.max(), 20.5);
+    }
+
+    #[test]
+    fn merge_is_exact_for_identical_layouts() {
+        let mut a = Histogram::latency_us();
+        a.observe(3.0);
+        a.observe(150.0);
+        let mut b = Histogram::latency_us();
+        b.observe(3.0);
+        b.observe(90_000.0);
+        let sum_before = a.sum() + b.sum();
+        a.merge(&b);
+        assert_eq!(a.count(), 4);
+        assert_eq!(a.sum(), sum_before);
+        assert_eq!(a.max(), 90_000.0);
+        // Both 3.0 observations share a bucket.
+        assert!(a.buckets().any(|(bound, n)| bound == 5.0 && n == 2));
+    }
+
+    #[test]
+    fn merge_mismatched_layouts_keeps_counts() {
+        let mut a = Histogram::new(&[10.0, 100.0]);
+        a.observe(7.0);
+        let mut b = Histogram::new(&[50.0]);
+        b.observe(30.0);
+        b.observe(600.0); // overflow in b
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        // Conservative: b's 30.0 re-observes at its 50.0 bound.
+        assert!(a.percentile(0.99) >= 100.0);
     }
 
     #[test]

@@ -21,7 +21,7 @@ use ppep_pmc::sampler::{IntervalSample, IntervalSampler};
 use ppep_pmc::{EventCounts, EventId, Pmu};
 use ppep_types::time::{IntervalIndex, POWER_SAMPLE_PERIOD, SAMPLES_PER_INTERVAL};
 use ppep_types::vf::NbVfState;
-use ppep_types::{CoreId, CuId, Kelvin, Result, Seconds, Topology, VfStateId, Watts};
+use ppep_types::{CoreId, CuId, Kelvin, Result, Topology, VfStateId, Watts};
 use ppep_workloads::program::{ThreadCursor, ThreadProgram};
 use ppep_workloads::WorkloadSpec;
 use rand::rngs::StdRng;
@@ -101,89 +101,10 @@ impl SimConfig {
     }
 }
 
-/// The hidden ground-truth power decomposition of one interval
-/// (averaged over its sub-ticks).
-#[derive(Debug, Clone, PartialEq)]
-pub struct PowerBreakdown {
-    /// Dynamic power attributable to each core's activity.
-    pub core_dynamic: Vec<Watts>,
-    /// NB dynamic power from memory traffic.
-    pub nb_dynamic: Watts,
-    /// Idle (leakage + housekeeping) power of each CU after gating.
-    pub cu_idle: Vec<Watts>,
-    /// NB idle power after gating.
-    pub nb_idle: Watts,
-    /// Always-on base power.
-    pub base: Watts,
-}
-
-impl PowerBreakdown {
-    /// Total chip power.
-    pub fn total(&self) -> Watts {
-        self.dynamic_total() + self.idle_total()
-    }
-
-    /// All dynamic power (cores + NB).
-    pub fn dynamic_total(&self) -> Watts {
-        self.core_dynamic.iter().copied().sum::<Watts>() + self.nb_dynamic
-    }
-
-    /// All idle power (CUs + NB + base).
-    pub fn idle_total(&self) -> Watts {
-        self.cu_idle.iter().copied().sum::<Watts>() + self.nb_idle + self.base
-    }
-
-    /// NB-attributable power (idle + dynamic) — the Fig. 10 quantity.
-    pub fn nb_total(&self) -> Watts {
-        self.nb_dynamic + self.nb_idle
-    }
-}
-
-/// Everything observable (and the hidden truth) for one 200 ms
-/// decision interval.
-#[derive(Debug, Clone)]
-pub struct IntervalRecord {
-    /// Which interval this is.
-    pub index: IntervalIndex,
-    /// Interval length (200 ms).
-    pub duration: Seconds,
-    /// Per-core PMU samples (multiplexed + extrapolated — what PPEP
-    /// sees).
-    pub samples: Vec<IntervalSample>,
-    /// Per-core exact event counts (hidden truth, for ablations).
-    pub true_counts: Vec<EventCounts>,
-    /// Average of the ten 20 ms sensor readings (what PPEP sees).
-    pub measured_power: Watts,
-    /// The hidden true power decomposition.
-    pub true_power: PowerBreakdown,
-    /// Thermal-diode reading at interval end (what PPEP sees).
-    pub temperature: Kelvin,
-    /// Each CU's VF state during the interval.
-    pub cu_vf: Vec<VfStateId>,
-    /// The NB state during the interval.
-    pub nb_state: NbVfState,
-    /// Whether each core retired any instructions this interval.
-    pub core_busy: Vec<bool>,
-}
-
-impl IntervalRecord {
-    /// Number of busy compute units this interval.
-    pub fn busy_cu_count(&self, topology: &Topology) -> usize {
-        topology
-            .cus()
-            .filter(|cu| {
-                topology
-                    .cores_of(*cu)
-                    .is_ok_and(|cores| cores.iter().any(|c| self.core_busy[c.0]))
-            })
-            .count()
-    }
-
-    /// Measured energy of the interval (sensor power × duration).
-    pub fn measured_energy(&self) -> ppep_types::Joules {
-        self.measured_power * self.duration
-    }
-}
+// The per-interval measurement types live in `ppep-telemetry` (they
+// are substrate-neutral — any platform produces them); re-exported
+// here so `ppep_sim::chip::IntervalRecord` keeps working.
+pub use ppep_telemetry::record::{IntervalRecord, PowerBreakdown};
 
 struct CoreSlot {
     program: ThreadProgram,

@@ -47,8 +47,10 @@ pub mod engine;
 pub mod fault;
 pub mod nb;
 pub mod physics;
+pub mod platform;
 pub mod sensor;
 pub mod thermal;
 
 pub use chip::{ChipSimulator, IntervalRecord, PowerBreakdown, SimConfig};
 pub use physics::PowerPhysics;
+pub use platform::SimPlatform;

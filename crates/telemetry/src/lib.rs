@@ -1,0 +1,32 @@
+//! Substrate-neutral telemetry for the PPEP framework.
+//!
+//! The paper runs PPEP as a user-level daemon over *whatever substrate
+//! provides counters, temperature, and a VF actuator* (§IV-E). This
+//! crate is that seam: it owns the per-interval measurement record
+//! ([`IntervalRecord`]), the [`Platform`] port the daemon drives, and
+//! a JSONL trace format with recording/replaying platform adapters —
+//! so the prediction engine is decoupled from any one backend.
+//!
+//! Three pieces:
+//!
+//! - [`record`] — [`IntervalRecord`] and [`PowerBreakdown`], the
+//!   measurement types every backend produces (moved here from
+//!   `ppep-sim`, which re-exports them for compatibility).
+//! - [`platform`] — the [`Platform`] trait: `sample` one decision
+//!   interval, `apply` a per-CU VF assignment, expose the topology.
+//! - [`trace`] — a line-oriented JSONL trace format plus
+//!   [`RecordingPlatform`] (wraps any platform, logs every sample and
+//!   apply) and [`ReplayPlatform`] (replays a recorded trace
+//!   deterministically, with no live substrate at all).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod platform;
+pub mod record;
+pub mod trace;
+
+pub use platform::Platform;
+pub use record::{IntervalRecord, PowerBreakdown};
+pub use trace::{RecordingPlatform, ReplayPlatform, TraceReader, TraceWriter};

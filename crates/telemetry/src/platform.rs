@@ -1,0 +1,70 @@
+//! The platform port: what the PPEP daemon needs from a substrate.
+//!
+//! The paper's daemon needs exactly three things from the machine it
+//! runs on (§II, §IV-E): per-interval observables (counters, sensor
+//! power, diode temperature), a way to set each CU's VF state, and the
+//! chip's topology/VF ladder. [`Platform`] is that contract. The
+//! daemon in `ppep-core` is generic over it; `ppep-sim` provides the
+//! simulated adapter (`SimPlatform`), and [`crate::trace`] provides
+//! record/replay adapters with no live substrate at all.
+
+use crate::record::IntervalRecord;
+use ppep_obs::RecorderHandle;
+use ppep_types::time::IntervalIndex;
+use ppep_types::{Result, Topology, VfStateId, VfTable};
+
+/// A measurement-and-actuation substrate the PPEP daemon can drive.
+///
+/// Implementations must be deterministic given their construction
+/// (same platform state + same applied assignments → same samples);
+/// the record/replay and fleet-runner machinery rely on it.
+pub trait Platform {
+    /// Advances one decision interval and returns its measurements.
+    ///
+    /// # Errors
+    ///
+    /// Transient measurement faults ([`ppep_types::Error::is_transient`])
+    /// mean *this* interval's observables are lost but the platform
+    /// stays consistent and the next `sample` proceeds normally.
+    /// Non-transient errors mean the substrate is gone.
+    fn sample(&mut self) -> Result<IntervalRecord>;
+
+    /// Applies a per-CU VF assignment, taking effect from the next
+    /// interval.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the assignment names more CUs than the
+    /// chip has or a state outside its ladder.
+    fn apply(&mut self, assignment: &[VfStateId]) -> Result<()>;
+
+    /// The chip structure behind this platform.
+    fn topology(&self) -> &Topology;
+
+    /// The index of the interval the next [`Platform::sample`] call
+    /// will measure.
+    fn current_interval(&self) -> IntervalIndex;
+
+    /// Routes the platform's internals through an observability
+    /// recorder. Recording must never feed back into measurements: a
+    /// traced run is bit-identical to an untraced one. The default
+    /// implementation ignores the recorder.
+    fn set_recorder(&mut self, recorder: RecorderHandle) {
+        let _ = recorder;
+    }
+
+    /// The platform's VF ladder (shorthand for the topology's table).
+    fn vf_table(&self) -> &VfTable {
+        self.topology().vf_table()
+    }
+
+    /// Pins every CU to one state — the failsafe path supervisors use.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Platform::apply`] errors.
+    fn apply_uniform(&mut self, vf: VfStateId) -> Result<()> {
+        let assignment = vec![vf; self.topology().cu_count()];
+        self.apply(&assignment)
+    }
+}

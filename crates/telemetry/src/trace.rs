@@ -1,0 +1,853 @@
+//! JSONL trace record/replay.
+//!
+//! A trace turns any PPEP run into a reproducible offline artifact:
+//! [`RecordingPlatform`] wraps a live platform and appends one JSON
+//! line per event, and [`ReplayPlatform`] plays a recorded trace back
+//! with no live substrate at all. A deterministic daemon + controller
+//! driven over the replay reproduces the live run's decisions and
+//! projections bit-for-bit — floating-point values are serialized via
+//! Rust's shortest-exact `f64` formatting (see [`crate::json`]).
+//!
+//! Line types (one JSON object per line):
+//!
+//! - `meta` — format version and the full topology (name, CU/core
+//!   structure, VF ladder, microarchitectural constants), written
+//!   first.
+//! - `interval` — one successful [`IntervalRecord`], everything
+//!   included (observables and simulator ground truth).
+//! - `fault` — a failed sample: the interval index it was measuring
+//!   and the transient error, so fault storms replay faithfully.
+//! - `apply` — a per-CU VF assignment the daemon applied.
+
+use crate::json::{push_f64, push_str, Json};
+use crate::platform::Platform;
+use crate::record::{IntervalRecord, PowerBreakdown};
+use ppep_obs::RecorderHandle;
+use ppep_pmc::events::EVENT_COUNT;
+use ppep_pmc::sampler::IntervalSample;
+use ppep_pmc::EventCounts;
+use ppep_types::time::IntervalIndex;
+use ppep_types::vf::{NbVfState, VfPoint};
+use ppep_types::{
+    Error, Gigahertz, Kelvin, Result, Seconds, Topology, VfStateId, VfTable, Volts, Watts,
+};
+use std::collections::VecDeque;
+
+/// The trace format version this crate writes.
+pub const TRACE_VERSION: u64 = 1;
+
+/// One recorded trace event, in daemon order.
+#[derive(Debug, Clone)]
+pub enum TraceEvent {
+    /// A successful sample.
+    Interval(IntervalRecord),
+    /// A failed sample: the interval it was measuring and the error.
+    Fault {
+        /// Index of the lost interval.
+        index: IntervalIndex,
+        /// The (typically transient) measurement error.
+        error: Error,
+    },
+    /// A VF assignment the daemon applied.
+    Apply(Vec<VfStateId>),
+}
+
+// ---------------------------------------------------------------------
+// Writing
+// ---------------------------------------------------------------------
+
+/// Serializes trace events to JSON Lines.
+#[derive(Debug, Clone)]
+pub struct TraceWriter {
+    out: String,
+}
+
+impl TraceWriter {
+    /// Starts a trace with its `meta` line.
+    pub fn new(topology: &Topology) -> Self {
+        let mut out = String::new();
+        push_meta(&mut out, topology);
+        Self { out }
+    }
+
+    /// Appends one successful sample.
+    pub fn interval(&mut self, record: &IntervalRecord) {
+        push_interval(&mut self.out, record);
+    }
+
+    /// Appends one failed sample.
+    pub fn fault(&mut self, index: IntervalIndex, error: &Error) {
+        push_fault(&mut self.out, index, error);
+    }
+
+    /// Appends one applied assignment.
+    pub fn apply(&mut self, assignment: &[VfStateId]) {
+        push_apply(&mut self.out, assignment);
+    }
+
+    /// The trace so far, as JSON Lines.
+    pub fn as_jsonl(&self) -> &str {
+        &self.out
+    }
+
+    /// Consumes the writer, returning the JSONL document.
+    pub fn into_jsonl(self) -> String {
+        self.out
+    }
+}
+
+fn push_meta(out: &mut String, topology: &Topology) {
+    use std::fmt::Write as _;
+    out.push_str("{\"type\":\"meta\",\"version\":");
+    let _ = write!(out, "{TRACE_VERSION}");
+    out.push_str(",\"name\":");
+    push_str(out, topology.name());
+    let _ = write!(
+        out,
+        ",\"cu_count\":{},\"cores_per_cu\":{}",
+        topology.cu_count(),
+        topology.cores_per_cu()
+    );
+    let _ = write!(
+        out,
+        ",\"power_gating\":{}",
+        topology.supports_power_gating()
+    );
+    out.push_str(",\"issue_width\":");
+    push_f64(out, topology.issue_width());
+    out.push_str(",\"mispredict_penalty_cycles\":");
+    push_f64(out, topology.mispredict_penalty_cycles());
+    out.push_str(",\"vf_table\":[");
+    for (i, (_, point)) in topology.vf_table().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('[');
+        push_f64(out, point.voltage.as_volts());
+        out.push(',');
+        push_f64(out, point.frequency.as_ghz());
+        out.push(']');
+    }
+    out.push_str("]}\n");
+}
+
+fn push_counts(out: &mut String, counts: &EventCounts) {
+    out.push('[');
+    for (i, v) in counts.as_array().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_f64(out, *v);
+    }
+    out.push(']');
+}
+
+fn push_watts_vec(out: &mut String, values: &[Watts]) {
+    out.push('[');
+    for (i, v) in values.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_f64(out, v.as_watts());
+    }
+    out.push(']');
+}
+
+fn push_interval(out: &mut String, r: &IntervalRecord) {
+    use std::fmt::Write as _;
+    let _ = write!(out, "{{\"type\":\"interval\",\"index\":{}", r.index.0);
+    out.push_str(",\"duration\":");
+    push_f64(out, r.duration.as_secs());
+    out.push_str(",\"measured_power\":");
+    push_f64(out, r.measured_power.as_watts());
+    out.push_str(",\"temperature\":");
+    push_f64(out, r.temperature.as_kelvin());
+    let _ = write!(
+        out,
+        ",\"nb_state\":\"{}\"",
+        match r.nb_state {
+            NbVfState::High => "high",
+            NbVfState::Low => "low",
+        }
+    );
+    out.push_str(",\"cu_vf\":[");
+    for (i, vf) in r.cu_vf.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{}", vf.index());
+    }
+    out.push_str("],\"core_busy\":[");
+    for (i, b) in r.core_busy.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(if *b { "true" } else { "false" });
+    }
+    out.push_str("],\"samples\":[");
+    for (i, s) in r.samples.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"counts\":");
+        push_counts(out, &s.counts);
+        out.push_str(",\"duration\":");
+        push_f64(out, s.duration.as_secs());
+        out.push('}');
+    }
+    out.push_str("],\"true_counts\":[");
+    for (i, c) in r.true_counts.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_counts(out, c);
+    }
+    out.push_str("],\"true_power\":{\"core_dynamic\":");
+    push_watts_vec(out, &r.true_power.core_dynamic);
+    out.push_str(",\"nb_dynamic\":");
+    push_f64(out, r.true_power.nb_dynamic.as_watts());
+    out.push_str(",\"cu_idle\":");
+    push_watts_vec(out, &r.true_power.cu_idle);
+    out.push_str(",\"nb_idle\":");
+    push_f64(out, r.true_power.nb_idle.as_watts());
+    out.push_str(",\"base\":");
+    push_f64(out, r.true_power.base.as_watts());
+    out.push_str("}}\n");
+}
+
+fn push_fault(out: &mut String, index: IntervalIndex, error: &Error) {
+    use std::fmt::Write as _;
+    let _ = write!(out, "{{\"type\":\"fault\",\"index\":{},\"error\":", index.0);
+    match error {
+        Error::SensorDropout { sensor } => {
+            out.push_str("{\"kind\":\"sensor-dropout\",\"sensor\":");
+            push_str(out, sensor);
+            out.push('}');
+        }
+        Error::SensorImplausible { sensor, value } => {
+            out.push_str("{\"kind\":\"sensor-implausible\",\"sensor\":");
+            push_str(out, sensor);
+            out.push_str(",\"value\":");
+            push_f64(out, *value);
+            out.push('}');
+        }
+        Error::MsrReadFailed { msr } => {
+            let _ = write!(out, "{{\"kind\":\"msr-read-failed\",\"msr\":{msr}}}");
+        }
+        Error::MissedInterval { missed } => {
+            let _ = write!(out, "{{\"kind\":\"missed-interval\",\"missed\":{missed}}}");
+        }
+        other => {
+            out.push_str("{\"kind\":\"other\",\"message\":");
+            push_str(out, &other.to_string());
+            out.push('}');
+        }
+    }
+    out.push_str("}\n");
+}
+
+fn push_apply(out: &mut String, assignment: &[VfStateId]) {
+    use std::fmt::Write as _;
+    out.push_str("{\"type\":\"apply\",\"assignment\":[");
+    for (i, vf) in assignment.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{}", vf.index());
+    }
+    out.push_str("]}\n");
+}
+
+// ---------------------------------------------------------------------
+// Reading
+// ---------------------------------------------------------------------
+
+/// A parsed trace: the recorded topology plus the event stream.
+#[derive(Debug, Clone)]
+pub struct TraceReader {
+    /// The topology recorded in the `meta` line.
+    pub topology: Topology,
+    /// All events, in daemon order.
+    pub events: Vec<TraceEvent>,
+}
+
+impl TraceReader {
+    /// Parses a JSONL trace document.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidInput`] on malformed JSON, a missing or
+    /// mis-versioned `meta` line, or values inconsistent with the
+    /// recorded topology (e.g. a VF index outside the ladder).
+    pub fn parse(src: &str) -> Result<Self> {
+        let mut lines = src.lines().filter(|l| !l.trim().is_empty());
+        let meta_line = lines
+            .next()
+            .ok_or_else(|| Error::InvalidInput("trace: empty document".into()))?;
+        let meta = Json::parse(meta_line)?;
+        if meta.get("type")?.as_str()? != "meta" {
+            return Err(Error::InvalidInput(
+                "trace: first line must be the meta line".into(),
+            ));
+        }
+        let version = meta.get("version")?.as_u64()?;
+        if version != TRACE_VERSION {
+            return Err(Error::InvalidInput(format!(
+                "trace: unsupported version {version} (this reader speaks {TRACE_VERSION})"
+            )));
+        }
+        let topology = parse_topology(&meta)?;
+        let mut events = Vec::new();
+        for line in lines {
+            let v = Json::parse(line)?;
+            match v.get("type")?.as_str()? {
+                "interval" => events.push(TraceEvent::Interval(parse_interval(&v, &topology)?)),
+                "fault" => events.push(TraceEvent::Fault {
+                    index: IntervalIndex(v.get("index")?.as_u64()?),
+                    error: parse_error(v.get("error")?)?,
+                }),
+                "apply" => events.push(TraceEvent::Apply(parse_assignment(
+                    v.get("assignment")?,
+                    topology.vf_table(),
+                )?)),
+                other => {
+                    return Err(Error::InvalidInput(format!(
+                        "trace: unknown line type `{other}`"
+                    )))
+                }
+            }
+        }
+        Ok(Self { topology, events })
+    }
+
+    /// The number of successful samples in the trace.
+    pub fn interval_count(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Interval(_)))
+            .count()
+    }
+
+    /// The number of failed samples in the trace.
+    pub fn fault_count(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Fault { .. }))
+            .count()
+    }
+}
+
+fn parse_topology(meta: &Json) -> Result<Topology> {
+    let mut points = Vec::new();
+    for entry in meta.get("vf_table")?.as_arr()? {
+        match entry.as_arr()? {
+            [v, f] => points.push(VfPoint::new(
+                Volts::new(v.as_f64()?),
+                Gigahertz::new(f.as_f64()?),
+            )),
+            _ => {
+                return Err(Error::InvalidInput(
+                    "trace: vf_table entries must be [voltage, frequency] pairs".into(),
+                ))
+            }
+        }
+    }
+    Topology::new(
+        meta.get("name")?.as_str()?,
+        meta.get("cu_count")?.as_usize()?,
+        meta.get("cores_per_cu")?.as_usize()?,
+        VfTable::new(points)?,
+        meta.get("power_gating")?.as_bool()?,
+        meta.get("issue_width")?.as_f64()?,
+        meta.get("mispredict_penalty_cycles")?.as_f64()?,
+    )
+}
+
+fn parse_counts(v: &Json) -> Result<EventCounts> {
+    let items = v.as_arr()?;
+    if items.len() != EVENT_COUNT {
+        return Err(Error::InvalidInput(format!(
+            "trace: event-count vector has {} entries, expected {EVENT_COUNT}",
+            items.len()
+        )));
+    }
+    let mut arr = [0.0; EVENT_COUNT];
+    for (slot, item) in arr.iter_mut().zip(items) {
+        *slot = item.as_f64()?;
+    }
+    Ok(EventCounts::from_array(arr))
+}
+
+fn parse_watts_vec(v: &Json) -> Result<Vec<Watts>> {
+    v.as_arr()?
+        .iter()
+        .map(|w| Ok(Watts::new(w.as_f64()?)))
+        .collect()
+}
+
+fn parse_assignment(v: &Json, table: &VfTable) -> Result<Vec<VfStateId>> {
+    v.as_arr()?
+        .iter()
+        .map(|idx| table.state(idx.as_usize()?))
+        .collect()
+}
+
+fn parse_interval(v: &Json, topology: &Topology) -> Result<IntervalRecord> {
+    let samples = v
+        .get("samples")?
+        .as_arr()?
+        .iter()
+        .map(|s| {
+            Ok(IntervalSample {
+                counts: parse_counts(s.get("counts")?)?,
+                duration: Seconds::new(s.get("duration")?.as_f64()?),
+            })
+        })
+        .collect::<Result<Vec<_>>>()?;
+    let true_counts = v
+        .get("true_counts")?
+        .as_arr()?
+        .iter()
+        .map(parse_counts)
+        .collect::<Result<Vec<_>>>()?;
+    let core_busy = v
+        .get("core_busy")?
+        .as_arr()?
+        .iter()
+        .map(Json::as_bool)
+        .collect::<Result<Vec<_>>>()?;
+    let tp = v.get("true_power")?;
+    Ok(IntervalRecord {
+        index: IntervalIndex(v.get("index")?.as_u64()?),
+        duration: Seconds::new(v.get("duration")?.as_f64()?),
+        samples,
+        true_counts,
+        measured_power: Watts::new(v.get("measured_power")?.as_f64()?),
+        true_power: PowerBreakdown {
+            core_dynamic: parse_watts_vec(tp.get("core_dynamic")?)?,
+            nb_dynamic: Watts::new(tp.get("nb_dynamic")?.as_f64()?),
+            cu_idle: parse_watts_vec(tp.get("cu_idle")?)?,
+            nb_idle: Watts::new(tp.get("nb_idle")?.as_f64()?),
+            base: Watts::new(tp.get("base")?.as_f64()?),
+        },
+        temperature: Kelvin::new(v.get("temperature")?.as_f64()?),
+        cu_vf: parse_assignment(v.get("cu_vf")?, topology.vf_table())?,
+        nb_state: match v.get("nb_state")?.as_str()? {
+            "high" => NbVfState::High,
+            "low" => NbVfState::Low,
+            other => {
+                return Err(Error::InvalidInput(format!(
+                    "trace: unknown nb_state `{other}`"
+                )))
+            }
+        },
+        core_busy,
+    })
+}
+
+/// Reconstructs a recorded sensor name as the `&'static str` the
+/// error variants require; unknown names map to a generic label.
+fn static_sensor_name(name: &str) -> &'static str {
+    match name {
+        "hall-sensor" => "hall-sensor",
+        "thermal-diode" => "thermal-diode",
+        "projection" => "projection",
+        _ => "replayed-sensor",
+    }
+}
+
+fn parse_error(v: &Json) -> Result<Error> {
+    match v.get("kind")?.as_str()? {
+        "sensor-dropout" => Ok(Error::SensorDropout {
+            sensor: static_sensor_name(v.get("sensor")?.as_str()?),
+        }),
+        "sensor-implausible" => Ok(Error::SensorImplausible {
+            sensor: static_sensor_name(v.get("sensor")?.as_str()?),
+            value: v.get("value")?.as_f64()?,
+        }),
+        "msr-read-failed" => Ok(Error::MsrReadFailed {
+            msr: u32::try_from(v.get("msr")?.as_u64()?)
+                .map_err(|_| Error::InvalidInput("trace: msr address out of range".into()))?,
+        }),
+        "missed-interval" => Ok(Error::MissedInterval {
+            missed: u32::try_from(v.get("missed")?.as_u64()?)
+                .map_err(|_| Error::InvalidInput("trace: missed count out of range".into()))?,
+        }),
+        "other" => Ok(Error::Device(v.get("message")?.as_str()?.to_string())),
+        other => Err(Error::InvalidInput(format!(
+            "trace: unknown error kind `{other}`"
+        ))),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Platform adapters
+// ---------------------------------------------------------------------
+
+/// Wraps a live platform and records every sample and apply.
+#[derive(Debug)]
+pub struct RecordingPlatform<P: Platform> {
+    inner: P,
+    writer: TraceWriter,
+}
+
+impl<P: Platform> RecordingPlatform<P> {
+    /// Starts recording on top of `inner`.
+    pub fn new(inner: P) -> Self {
+        let writer = TraceWriter::new(inner.topology());
+        Self { inner, writer }
+    }
+
+    /// The wrapped platform.
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+
+    /// The wrapped platform, mutably (e.g. to load a workload before
+    /// the run starts; mutations are not recorded).
+    pub fn inner_mut(&mut self) -> &mut P {
+        &mut self.inner
+    }
+
+    /// The trace recorded so far, as JSON Lines.
+    pub fn trace_jsonl(&self) -> &str {
+        self.writer.as_jsonl()
+    }
+
+    /// Stops recording, returning the platform and the JSONL trace.
+    pub fn finish(self) -> (P, String) {
+        (self.inner, self.writer.into_jsonl())
+    }
+}
+
+impl<P: Platform> Platform for RecordingPlatform<P> {
+    fn sample(&mut self) -> Result<IntervalRecord> {
+        let measuring = self.inner.current_interval();
+        match self.inner.sample() {
+            Ok(record) => {
+                self.writer.interval(&record);
+                Ok(record)
+            }
+            Err(e) => {
+                self.writer.fault(measuring, &e);
+                Err(e)
+            }
+        }
+    }
+
+    fn apply(&mut self, assignment: &[VfStateId]) -> Result<()> {
+        self.inner.apply(assignment)?;
+        self.writer.apply(assignment);
+        Ok(())
+    }
+
+    fn topology(&self) -> &Topology {
+        self.inner.topology()
+    }
+
+    fn current_interval(&self) -> IntervalIndex {
+        self.inner.current_interval()
+    }
+
+    fn set_recorder(&mut self, recorder: RecorderHandle) {
+        self.inner.set_recorder(recorder);
+    }
+}
+
+/// Replays a recorded trace as a [`Platform`], with no live substrate.
+///
+/// In the default (tolerant) mode, `apply` calls are accepted and
+/// ignored — the sampled stream is fixed, which makes counterfactual
+/// runs (same trace, different controller) possible. In strict mode
+/// ([`ReplayPlatform::strict`]), every `apply` must match the recorded
+/// assignment at the same position in the stream, so a replayed run is
+/// verified step-by-step against the original.
+#[derive(Debug)]
+pub struct ReplayPlatform {
+    topology: Topology,
+    events: VecDeque<TraceEvent>,
+    strict: bool,
+    next_index: IntervalIndex,
+}
+
+impl ReplayPlatform {
+    /// Builds a replay platform from a parsed trace.
+    pub fn new(trace: TraceReader) -> Self {
+        let next_index = trace
+            .events
+            .iter()
+            .find_map(|e| match e {
+                TraceEvent::Interval(r) => Some(r.index),
+                TraceEvent::Fault { index, .. } => Some(*index),
+                TraceEvent::Apply(_) => None,
+            })
+            .unwrap_or_default();
+        Self {
+            topology: trace.topology,
+            events: trace.events.into(),
+            strict: false,
+            next_index,
+        }
+    }
+
+    /// Parses a JSONL document and builds a replay platform from it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TraceReader::parse`] errors.
+    pub fn from_jsonl(src: &str) -> Result<Self> {
+        Ok(Self::new(TraceReader::parse(src)?))
+    }
+
+    /// Enables strict mode: `apply` calls must replay the recorded
+    /// assignments exactly, in order.
+    #[must_use]
+    pub fn strict(mut self) -> Self {
+        self.strict = true;
+        self
+    }
+
+    /// Events not yet replayed.
+    pub fn remaining(&self) -> usize {
+        self.events.len()
+    }
+
+    fn exhausted() -> Error {
+        Error::Device("replay trace exhausted: no further recorded intervals".into())
+    }
+}
+
+impl Platform for ReplayPlatform {
+    fn sample(&mut self) -> Result<IntervalRecord> {
+        loop {
+            match self.events.pop_front() {
+                Some(TraceEvent::Interval(record)) => {
+                    self.next_index = record.index.next();
+                    return Ok(record);
+                }
+                Some(TraceEvent::Fault { index, error }) => {
+                    self.next_index = index.next();
+                    return Err(error);
+                }
+                Some(TraceEvent::Apply(expected)) => {
+                    if self.strict {
+                        return Err(Error::InvalidInput(format!(
+                            "strict replay: trace records an apply of {expected:?} \
+                             before the next sample, but the daemon sampled instead"
+                        )));
+                    }
+                    // Tolerant mode: a skipped apply just means the
+                    // replaying controller diverged; the sampled
+                    // stream is fixed regardless.
+                }
+                None => return Err(Self::exhausted()),
+            }
+        }
+    }
+
+    fn apply(&mut self, assignment: &[VfStateId]) -> Result<()> {
+        match self.events.front() {
+            Some(TraceEvent::Apply(expected)) => {
+                if self.strict && expected.as_slice() != assignment {
+                    return Err(Error::InvalidInput(format!(
+                        "strict replay: daemon applied {assignment:?} but the \
+                         trace recorded {expected:?}"
+                    )));
+                }
+                self.events.pop_front();
+                Ok(())
+            }
+            _ if self.strict => Err(Error::InvalidInput(
+                "strict replay: daemon applied an assignment where the trace \
+                 records none"
+                    .into(),
+            )),
+            // Tolerant mode: accept and ignore — replayed samples are
+            // immutable history.
+            _ => Ok(()),
+        }
+    }
+
+    fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    fn current_interval(&self) -> IntervalIndex {
+        self.next_index
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppep_types::CuId;
+
+    fn toy_topology() -> Topology {
+        Topology::fx8320()
+    }
+
+    fn toy_record(index: u64, table: &VfTable) -> IntervalRecord {
+        let mut counts = EventCounts::zero();
+        counts.set(ppep_pmc::EventId::RetiredInstructions, 1.0e9 + index as f64);
+        IntervalRecord {
+            index: IntervalIndex(index),
+            duration: Seconds::new(0.2),
+            samples: vec![
+                IntervalSample {
+                    counts,
+                    duration: Seconds::new(0.2),
+                };
+                8
+            ],
+            true_counts: vec![counts; 8],
+            measured_power: Watts::new(95.25 + index as f64 / 3.0),
+            true_power: PowerBreakdown {
+                core_dynamic: vec![Watts::new(5.5); 8],
+                nb_dynamic: Watts::new(4.25),
+                cu_idle: vec![Watts::new(6.125); 4],
+                nb_idle: Watts::new(3.5),
+                base: Watts::new(20.0),
+            },
+            temperature: Kelvin::new(330.0 + 2.0 / 3.0),
+            cu_vf: vec![table.highest(); 4],
+            nb_state: NbVfState::High,
+            core_busy: vec![true, true, false, false, true, false, true, false],
+        }
+    }
+
+    #[test]
+    fn record_round_trips_bit_exactly() {
+        let topo = toy_topology();
+        let table = topo.vf_table().clone();
+        let mut w = TraceWriter::new(&topo);
+        let r0 = toy_record(0, &table);
+        let r1 = toy_record(1, &table);
+        w.interval(&r0);
+        w.apply(&[table.lowest(); 4]);
+        w.fault(
+            IntervalIndex(2),
+            &Error::SensorImplausible {
+                sensor: "thermal-diode",
+                value: f64::NAN,
+            },
+        );
+        w.interval(&r1);
+        let doc = w.into_jsonl();
+
+        let trace = TraceReader::parse(&doc).unwrap();
+        assert_eq!(trace.topology, topo);
+        assert_eq!(trace.interval_count(), 2);
+        assert_eq!(trace.fault_count(), 1);
+        let mut intervals = trace.events.iter().filter_map(|e| match e {
+            TraceEvent::Interval(r) => Some(r),
+            _ => None,
+        });
+        let back0 = intervals.next().unwrap();
+        // Bit-exactness: every f64 survives the JSONL round trip.
+        assert_eq!(back0.measured_power, r0.measured_power);
+        assert_eq!(back0.temperature, r0.temperature);
+        assert_eq!(back0.samples, r0.samples);
+        assert_eq!(back0.true_counts, r0.true_counts);
+        assert_eq!(back0.true_power, r0.true_power);
+        assert_eq!(back0.cu_vf, r0.cu_vf);
+        assert_eq!(back0.core_busy, r0.core_busy);
+        match trace.events.get(2) {
+            Some(TraceEvent::Fault { index, error }) => {
+                assert_eq!(*index, IntervalIndex(2));
+                assert!(error.is_transient());
+                assert!(matches!(
+                    error,
+                    Error::SensorImplausible {
+                        sensor: "thermal-diode",
+                        ..
+                    }
+                ));
+            }
+            other => panic!("expected fault event, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn replay_platform_reproduces_the_stream() {
+        let topo = toy_topology();
+        let table = topo.vf_table().clone();
+        let mut w = TraceWriter::new(&topo);
+        w.interval(&toy_record(0, &table));
+        w.apply(&[table.lowest(); 4]);
+        w.fault(IntervalIndex(1), &Error::MsrReadFailed { msr: 0xC001_0201 });
+        w.interval(&toy_record(2, &table));
+        w.apply(&[table.highest(); 4]);
+        let doc = w.into_jsonl();
+
+        let mut replay = ReplayPlatform::from_jsonl(&doc).unwrap();
+        assert_eq!(replay.current_interval(), IntervalIndex(0));
+        let r0 = replay.sample().unwrap();
+        assert_eq!(r0.index, IntervalIndex(0));
+        replay.apply(&[table.lowest(); 4]).unwrap();
+        assert_eq!(replay.current_interval(), IntervalIndex(1));
+        let err = replay.sample().unwrap_err();
+        assert_eq!(err, Error::MsrReadFailed { msr: 0xC001_0201 });
+        let r2 = replay.sample().unwrap();
+        assert_eq!(r2.index, IntervalIndex(2));
+        replay.apply(&[table.highest(); 4]).unwrap();
+        assert!(replay.sample().is_err(), "exhausted trace errors");
+    }
+
+    #[test]
+    fn strict_replay_rejects_diverging_applies() {
+        let topo = toy_topology();
+        let table = topo.vf_table().clone();
+        let mut w = TraceWriter::new(&topo);
+        w.interval(&toy_record(0, &table));
+        w.apply(&[table.lowest(); 4]);
+        let doc = w.into_jsonl();
+
+        let mut strict = ReplayPlatform::from_jsonl(&doc).unwrap().strict();
+        strict.sample().unwrap();
+        assert!(strict.apply(&[table.highest(); 4]).is_err());
+
+        let mut tolerant = ReplayPlatform::from_jsonl(&doc).unwrap();
+        tolerant.sample().unwrap();
+        tolerant.apply(&[table.highest(); 4]).unwrap();
+    }
+
+    #[test]
+    fn recording_platform_wraps_a_replay() {
+        // Record a replay of a hand-written trace: the re-recorded
+        // document must equal the original minus the divergence-free
+        // apply lines it reproduces.
+        let topo = toy_topology();
+        let table = topo.vf_table().clone();
+        let mut w = TraceWriter::new(&topo);
+        w.interval(&toy_record(0, &table));
+        w.apply(&[table.lowest(); 4]);
+        w.interval(&toy_record(1, &table));
+        w.apply(&[table.lowest(); 4]);
+        let doc = w.into_jsonl();
+
+        let replay = ReplayPlatform::from_jsonl(&doc).unwrap();
+        let mut rec = RecordingPlatform::new(replay);
+        for _ in 0..2 {
+            let r = rec.sample().unwrap();
+            rec.apply(&[table.lowest(); 4]).unwrap();
+            assert!(r.duration.as_secs() > 0.0);
+        }
+        assert_eq!(rec.inner().remaining(), 0);
+        let (_, redoc) = rec.finish();
+        assert_eq!(redoc, doc, "re-recording a faithful replay is lossless");
+    }
+
+    #[test]
+    fn apply_uniform_default_covers_every_cu() {
+        let topo = toy_topology();
+        let table = topo.vf_table().clone();
+        let mut w = TraceWriter::new(&topo);
+        w.interval(&toy_record(0, &table));
+        let doc = w.into_jsonl();
+        let mut replay = ReplayPlatform::from_jsonl(&doc).unwrap();
+        replay.sample().unwrap();
+        replay.apply_uniform(table.lowest()).unwrap();
+        assert_eq!(replay.topology().cu_count(), 4);
+        let _ = CuId(0);
+    }
+}

@@ -17,6 +17,7 @@
 
 use ppep_core::prelude::*;
 use ppep_dvfs::optimal::per_thread_ppe;
+use ppep_rig::TrainingRig;
 use ppep_sim::chip::{ChipSimulator, SimConfig};
 use ppep_workloads::combos::instances;
 

@@ -14,6 +14,7 @@
 use ppep_core::daemon::PpepDaemon;
 use ppep_core::prelude::*;
 use ppep_dvfs::boost::BoostController;
+use ppep_rig::TrainingRig;
 use ppep_sim::chip::{ChipSimulator, SimConfig};
 use ppep_types::Kelvin;
 use ppep_workloads::combos::instances;
@@ -34,7 +35,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut sim = ChipSimulator::new(SimConfig::fx8320_boost(42));
         sim.load_workload(&instances("458.sjeng", threads, 42));
         sim.set_all_vf(controller.nominal_top());
-        let mut daemon = PpepDaemon::new(ppep.clone(), sim, controller);
+        let mut daemon = PpepDaemon::new(ppep.clone(), ppep_sim::SimPlatform::new(sim), controller);
 
         println!("\n--- {label} (TDP 140 W, thermal limit 335 K) ---");
         println!("step  power     temp      per-CU states");

@@ -11,6 +11,7 @@
 
 use ppep_core::prelude::*;
 use ppep_dvfs::optimal::{best_edp_state, per_thread_ppe};
+use ppep_rig::TrainingRig;
 use ppep_sim::chip::{ChipSimulator, SimConfig};
 use ppep_workloads::combos::instances;
 

@@ -12,6 +12,7 @@
 //! ```
 
 use ppep_core::prelude::*;
+use ppep_rig::TrainingRig;
 use ppep_sim::chip::{ChipSimulator, SimConfig};
 use ppep_types::vf::NbVfState;
 use ppep_workloads::combos::instances;

@@ -13,6 +13,7 @@
 
 use ppep_core::prelude::*;
 use ppep_dvfs::capping::{IterativeCapping, OneStepCapping};
+use ppep_rig::TrainingRig;
 use ppep_sim::chip::{ChipSimulator, SimConfig};
 use ppep_types::CuId;
 use ppep_workloads::combos::fig7_workload;

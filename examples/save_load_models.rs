@@ -7,6 +7,7 @@
 
 use ppep_core::prelude::*;
 use ppep_models::persist;
+use ppep_rig::TrainingRig;
 use ppep_sim::chip::{ChipSimulator, SimConfig};
 use ppep_workloads::combos::instances;
 

@@ -10,6 +10,7 @@
 //!
 //! ```
 //! use ppep_core::prelude::*;
+//! use ppep_rig::TrainingRig;
 //!
 //! // Build a simulated AMD FX-8320-like chip and train PPEP on it.
 //! let mut rig = TrainingRig::fx8320(42);
@@ -26,6 +27,8 @@ pub use ppep_experiments as experiments;
 pub use ppep_models as models;
 pub use ppep_pmc as pmc;
 pub use ppep_regress as regress;
+pub use ppep_rig as rig;
 pub use ppep_sim as sim;
+pub use ppep_telemetry as telemetry;
 pub use ppep_types as types;
 pub use ppep_workloads as workloads;

@@ -11,8 +11,10 @@ use ppep_dvfs::capping::OneStepCapping;
 use ppep_dvfs::governor::OndemandGovernor;
 use ppep_dvfs::optimal::per_thread_ppe;
 use ppep_dvfs::EnergyOptimalController;
-use ppep_models::trainer::{TrainedModels, TrainingRig};
+use ppep_models::trainer::TrainedModels;
+use ppep_rig::TrainingRig;
 use ppep_sim::chip::{ChipSimulator, SimConfig};
+use ppep_sim::SimPlatform;
 use ppep_types::{VfTable, Watts};
 use ppep_workloads::combos::{fig7_workload, instances};
 use std::sync::OnceLock;
@@ -74,17 +76,17 @@ fn daemon_with_energy_policy_saves_energy_vs_static_top() {
         let mut sim = ChipSimulator::new(SimConfig::fx8320_pg(42));
         sim.load_workload(&instances("433.milc", 4, 42));
         let steps = if energy_policy {
-            let mut daemon = PpepDaemon::new(ppep, sim, EnergyOptimalController);
-            daemon.run(20).expect("daemon runs")
+            let mut daemon = PpepDaemon::new(ppep, SimPlatform::new(sim), EnergyOptimalController);
+            daemon.run(20).into_result().expect("daemon runs")
         } else {
             let mut daemon = PpepDaemon::new(
                 ppep,
-                sim,
+                SimPlatform::new(sim),
                 StaticController {
                     vf: table.highest(),
                 },
             );
-            daemon.run(20).expect("daemon runs")
+            daemon.run(20).into_result().expect("daemon runs")
         };
         // Energy per retired instruction over the run (nJ).
         let energy: f64 = steps
@@ -109,8 +111,8 @@ fn capping_daemon_respects_cap_end_to_end() {
     let mut sim = ChipSimulator::new(SimConfig::fx8320_pg(42));
     sim.load_workload(&fig7_workload(42));
     let controller = OneStepCapping::new(ppep.clone(), cap);
-    let mut daemon = PpepDaemon::new(ppep, sim, controller);
-    let steps = daemon.run(10).expect("daemon runs");
+    let mut daemon = PpepDaemon::new(ppep, SimPlatform::new(sim), controller);
+    let steps = daemon.run(10).into_result().expect("daemon runs");
     for s in &steps[1..] {
         assert!(
             s.record.measured_power <= cap * 1.06,
@@ -134,15 +136,19 @@ fn ondemand_governor_tracks_load() {
     let ppep = Ppep::new(models().clone());
     let table = ppep.models().vf_table().clone();
     let sim = ChipSimulator::new(SimConfig::fx8320_pg(42));
-    let mut daemon = PpepDaemon::new(ppep, sim, OndemandGovernor::new(table.clone()));
+    let mut daemon = PpepDaemon::new(
+        ppep,
+        SimPlatform::new(sim),
+        OndemandGovernor::new(table.clone()),
+    );
     // Idle chip: governor decays to the lowest state.
-    let steps = daemon.run(6).expect("daemon runs");
+    let steps = daemon.run(6).into_result().expect("daemon runs");
     assert_eq!(steps.last().unwrap().decision[0], table.lowest());
     // Load appears: governor jumps to the top.
     daemon
-        .sim_mut()
+        .platform_mut()
         .load_workload(&instances("458.sjeng", 2, 42));
-    let steps = daemon.run(2).expect("daemon runs");
+    let steps = daemon.run(2).into_result().expect("daemon runs");
     assert_eq!(steps.last().unwrap().decision[0], table.highest());
 }
 

@@ -11,10 +11,12 @@ use ppep_core::daemon::PpepDaemon;
 use ppep_core::resilient::{ResilientDaemon, SupervisorConfig};
 use ppep_core::Ppep;
 use ppep_dvfs::capping::OneStepCapping;
-use ppep_models::trainer::{TrainedModels, TrainingRig};
+use ppep_models::trainer::TrainedModels;
 use ppep_obs::{RecorderHandle, Stage, TraceRecorder};
+use ppep_rig::TrainingRig;
 use ppep_sim::chip::{ChipSimulator, SimConfig};
 use ppep_sim::fault::FaultPlan;
+use ppep_sim::SimPlatform;
 use ppep_types::{VfStateId, Watts};
 use ppep_workloads::combos::fig7_workload;
 use proptest::prelude::*;
@@ -46,7 +48,7 @@ fn run_storm(
     let mut sim = ChipSimulator::new(SimConfig::fx8320_pg(seed));
     sim.load_workload(&fig7_workload(seed));
     sim.set_fault_plan(FaultPlan::storm(seed, intervals as u64, rate, cores));
-    let inner = PpepDaemon::new(ppep, sim, controller).with_recorder(recorder);
+    let inner = PpepDaemon::new(ppep, SimPlatform::new(sim), controller).with_recorder(recorder);
     let mut daemon = ResilientDaemon::new(inner, SupervisorConfig::new(table.lowest()));
     let mut decisions = Vec::with_capacity(intervals);
     let mut power_bits = Vec::with_capacity(intervals);

@@ -267,7 +267,7 @@ fn trained_engine() -> ppep_core::Ppep {
     ppep_core::Ppep::new(
         MODELS
             .get_or_init(|| {
-                ppep_models::trainer::TrainingRig::fx8320(42)
+                ppep_rig::TrainingRig::fx8320(42)
                     .train_quick()
                     .expect("training succeeds")
             })
@@ -297,7 +297,11 @@ proptest! {
         let mut sim = ppep_sim::ChipSimulator::new(ppep_sim::chip::SimConfig::fx8320(42));
         sim.load_workload(&ppep_workloads::combos::instances("433.milc", 4, 42));
         sim.set_fault_plan(FaultPlan::storm(storm_seed, INTERVALS as u64, rate, 8));
-        let inner = PpepDaemon::new(ppep, sim, StaticController { vf: table.lowest() });
+        let inner = PpepDaemon::new(
+            ppep,
+            ppep_sim::SimPlatform::new(sim),
+            StaticController { vf: table.lowest() },
+        );
         let mut daemon = ResilientDaemon::new(inner, SupervisorConfig::new(table.lowest()));
 
         let steps = daemon.run(INTERVALS);
