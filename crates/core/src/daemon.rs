@@ -11,9 +11,9 @@
 use crate::framework::Ppep;
 use crate::ppe::PpeProjection;
 use ppep_obs::{RecorderHandle, Stage};
-use ppep_telemetry::{IntervalRecord, Platform};
+use ppep_telemetry::{DecisionRecord, IntervalRecord, Platform};
 use ppep_types::time::IntervalIndex;
-use ppep_types::{Error, Result, VfStateId};
+use ppep_types::{Error, Result, VfStateId, Watts};
 
 /// A DVFS decision algorithm: consumes a projection, returns the
 /// per-CU VF assignment to apply for the next interval.
@@ -24,6 +24,26 @@ pub trait DvfsController {
     ///
     /// Controllers may fail on malformed projections.
     fn decide(&mut self, projection: &PpeProjection) -> Result<Vec<VfStateId>>;
+
+    /// The power cap this controller enforces, if any.
+    ///
+    /// Capping controllers surface their budget here so a recording
+    /// daemon can annotate each [`DecisionRecord`] with the cap and a
+    /// violation verdict. Policies without a budget (governors, static
+    /// pins, energy optimisers) keep the default `None`.
+    fn enforced_cap(&self) -> Option<Watts> {
+        None
+    }
+}
+
+impl<C: DvfsController + ?Sized> DvfsController for Box<C> {
+    fn decide(&mut self, projection: &PpeProjection) -> Result<Vec<VfStateId>> {
+        (**self).decide(projection)
+    }
+
+    fn enforced_cap(&self) -> Option<Watts> {
+        (**self).enforced_cap()
+    }
 }
 
 /// A controller that pins every CU to one state (the paper's "static
@@ -189,6 +209,12 @@ impl<P: Platform, C: DvfsController> PpepDaemon<P, C> {
             let _decide = rec.span(Stage::Decide, interval);
             self.controller.decide(&projection)?
         };
+        self.note_decision(
+            record.index,
+            Some(record.measured_power),
+            Some(&projection),
+            &decision,
+        );
         {
             let _apply = rec.span(Stage::Apply, interval);
             self.apply(&decision)?;
@@ -198,6 +224,36 @@ impl<P: Platform, C: DvfsController> PpepDaemon<P, C> {
             projection,
             decision,
         })
+    }
+
+    /// Annotates the platform's trace with a controller decision — a
+    /// no-op unless the platform asks for decisions
+    /// ([`Platform::wants_decisions`]), so untraced runs do no extra
+    /// work. [`react`](Self::react) calls this between decide and
+    /// apply; supervisors whose degraded paths bypass `react` call it
+    /// directly. The annotation must precede the matching `apply` so
+    /// trace encoders can fold the apply into the decision frame.
+    pub fn note_decision(
+        &mut self,
+        interval: IntervalIndex,
+        realized: Option<Watts>,
+        projection: Option<&PpeProjection>,
+        decision: &[VfStateId],
+    ) {
+        if !self.platform.wants_decisions() {
+            return;
+        }
+        let predicted =
+            projection.and_then(|p| self.ppep.chip_power_with_assignment(p, decision).ok());
+        let cap = self.controller.enforced_cap();
+        self.platform.record_decision(&DecisionRecord {
+            interval,
+            chosen: decision.to_vec(),
+            predicted_power: predicted,
+            realized_power: realized,
+            cap,
+            cap_violated: cap.and_then(|c| realized.map(|r| r > c)),
+        });
     }
 
     /// Applies a per-CU VF assignment to the platform.

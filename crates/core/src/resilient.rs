@@ -32,6 +32,7 @@ use crate::daemon::{DaemonStep, DvfsController, PpepDaemon};
 use crate::ppe::PpeProjection;
 use ppep_obs::Stage;
 use ppep_telemetry::{IntervalRecord, Platform};
+use ppep_types::time::IntervalIndex;
 use ppep_types::{Error, Kelvin, Result, VfStateId};
 
 /// Tunables of the degradation supervisor.
@@ -356,6 +357,12 @@ impl<P: Platform, C: DvfsController> ResilientDaemon<P, C> {
             let _decide = rec.span(Stage::Decide, interval);
             self.inner.controller_mut().decide(&projection)?
         };
+        self.inner.note_decision(
+            record.index,
+            Some(record.measured_power),
+            Some(&projection),
+            &decision,
+        );
         {
             let _apply = rec.span(Stage::Apply, interval);
             self.inner.apply(&decision)?;
@@ -421,6 +428,11 @@ impl<P: Platform, C: DvfsController> ResilientDaemon<P, C> {
                 let _decide = rec.span(Stage::Decide, interval);
                 self.inner.controller_mut().decide(&held)?
             };
+            // Annotated with the *supervised* interval counter and no
+            // realized power: the measurement for this interval was
+            // lost or quarantined, the decision priced on held state.
+            self.inner
+                .note_decision(IntervalIndex(interval), None, Some(&held), &decision);
             {
                 let _apply = rec.span(Stage::Apply, interval);
                 self.inner.apply(&decision)?;
@@ -430,6 +442,9 @@ impl<P: Platform, C: DvfsController> ResilientDaemon<P, C> {
             (Action::Held, decision)
         } else {
             let cu_count = self.inner.platform().topology().cu_count();
+            let decision = vec![self.config.failsafe_vf; cu_count];
+            self.inner
+                .note_decision(IntervalIndex(interval), None, None, &decision);
             self.inner
                 .platform_mut()
                 .apply_uniform(self.config.failsafe_vf)?;
@@ -439,7 +454,7 @@ impl<P: Platform, C: DvfsController> ResilientDaemon<P, C> {
                 HealthState::Degraded
             });
             self.report.failsafe_intervals += 1;
-            (Action::Failsafe, vec![self.config.failsafe_vf; cu_count])
+            (Action::Failsafe, decision)
         };
         Ok(SupervisedStep {
             interval,

@@ -166,6 +166,10 @@ impl DvfsController for OneStepCapping {
         }
         Ok(decision)
     }
+
+    fn enforced_cap(&self) -> Option<Watts> {
+        Some(self.cap)
+    }
 }
 
 /// The reactive baseline: step all CUs down when over the cap, step
@@ -277,6 +281,10 @@ impl DvfsController for IterativeCapping {
         // Consume the observation: the next decision needs a fresh one.
         self.last_measured = None;
         Ok(decision)
+    }
+
+    fn enforced_cap(&self) -> Option<Watts> {
+        Some(self.cap)
     }
 }
 
@@ -422,6 +430,10 @@ impl DvfsController for SteepestDrop {
             );
         }
         Ok(decision)
+    }
+
+    fn enforced_cap(&self) -> Option<Watts> {
+        Some(self.cap)
     }
 }
 

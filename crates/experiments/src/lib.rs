@@ -26,6 +26,7 @@
 //! | [`resilience`] | Fig. 7 capping under a fault storm (beyond the paper) |
 //! | [`overhead`] | §V — per-stage latency and framework overhead of the 200 ms loop |
 //! | [`replay`] | trace record → JSONL → strict replay round trip (beyond the paper) |
+//! | [`diff_policies`] | policy-differential replay: two controllers over one recorded trace (beyond the paper) |
 //! | [`bench_parallel`] | serial vs sharded sweep wall clock (`BENCH_parallel.json`) |
 //!
 //! The paper-scale sweeps shard across cores through [`fleet`]
@@ -40,6 +41,7 @@ pub mod ascii;
 pub mod bench_parallel;
 pub mod common;
 pub mod cpi_accuracy;
+pub mod diff_policies;
 pub mod fig01_idle_trace;
 pub mod fig02_model_error;
 pub mod fig03_cross_vf;

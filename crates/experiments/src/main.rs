@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! ppep-experiments [--quick] [--seed N] [--out DIR] [--jobs N] \
-//!     <fig1|cpi|idle|obs|fig2|fig3|fig4|fig6|fig7|fig8|fig9|fig10|fig11|phenom|ablations|resilience|overhead|replay|bench-parallel|summary|all>
+//!     [--policy-a P] [--policy-b P] \
+//!     <fig1|cpi|idle|obs|fig2|fig3|fig4|fig6|fig7|fig8|fig9|fig10|fig11|phenom|ablations|resilience|overhead|replay|diff-policies|bench-parallel|summary|all>
 //! ```
 //!
 //! With `--out DIR`, figure commands additionally write their data as
@@ -15,16 +16,24 @@
 //! `--jobs N` shards the sweep collections (Figs. 2/3/6, phenom,
 //! summary) across `N` worker threads; `--jobs 0` means "all cores".
 //! Results are identical for every worker count.
+//!
+//! `--policy-a` / `--policy-b` pick the two sides of `diff-policies`
+//! (`one-step`, `iterative`, `steepest-drop`, `energy-optimal`, or
+//! `recorded`); the default pairing `one-step` vs `recorded` is a
+//! self-replay and must report zero divergence.
 
 use ppep_experiments::common::{Context, Scale, DEFAULT_SEED};
+use ppep_experiments::diff_policies::PolicyKind;
 use ppep_experiments::*;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: ppep-experiments [--quick] [--seed N] [--out DIR] [--jobs N] \
+         [--policy-a P] [--policy-b P] \
          <fig1|cpi|idle|obs|fig2|fig3|fig4|fig6|fig7|fig8|fig9|fig10|fig11|phenom|ablations|\
-         resilience|overhead|replay|bench-parallel|summary|all>"
+         resilience|overhead|replay|diff-policies|bench-parallel|summary|all>\n\
+         policies: one-step | iterative | steepest-drop | energy-optimal | recorded"
     );
     ExitCode::FAILURE
 }
@@ -44,11 +53,25 @@ fn main() -> ExitCode {
     let mut jobs = 1usize;
     let mut out_dir: Option<std::path::PathBuf> = None;
     let mut command: Option<String> = None;
+    let mut policy_a = PolicyKind::OneStep;
+    let mut policy_b = PolicyKind::Recorded;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => scale = Scale::Quick,
+            "--policy-a" => {
+                let Some(p) = args.next().as_deref().and_then(PolicyKind::parse) else {
+                    return usage();
+                };
+                policy_a = p;
+            }
+            "--policy-b" => {
+                let Some(p) = args.next().as_deref().and_then(PolicyKind::parse) else {
+                    return usage();
+                };
+                policy_b = p;
+            }
             "--seed" => {
                 let Some(v) = args.next().and_then(|s| s.parse().ok()) else {
                     return usage();
@@ -78,7 +101,7 @@ fn main() -> ExitCode {
     };
     let ctx = Context::fx8320(scale, seed).with_jobs(jobs);
 
-    let result = dispatch(&ctx, &command, out_dir.as_deref());
+    let result = dispatch(&ctx, &command, out_dir.as_deref(), (policy_a, policy_b));
     match result {
         Ok(true) => ExitCode::SUCCESS,
         Ok(false) => usage(),
@@ -93,6 +116,7 @@ fn dispatch(
     ctx: &Context,
     command: &str,
     out: Option<&std::path::Path>,
+    policies: (PolicyKind, PolicyKind),
 ) -> ppep_types::Result<bool> {
     let table = ctx.rig.config().topology.vf_table().clone();
     let mut written: Vec<String> = Vec::new();
@@ -181,6 +205,20 @@ fn dispatch(
             if !r.identical {
                 return Err(ppep_types::Error::InvalidInput(
                     "replayed decisions diverged from the live run".into(),
+                ));
+            }
+        }
+        "diff-policies" => {
+            let (a, b) = policies;
+            let r = diff_policies::run(ctx, a, b)?;
+            diff_policies::print(&r);
+            save(out, "policy_diff.csv", r.report.to_csv());
+            save(out, "policy_diff.jsonl", r.report.to_jsonl());
+            if r.self_replay && r.report.diverged_intervals > 0 {
+                return Err(ppep_types::Error::InvalidInput(
+                    "self-replay diff diverged: the replayed policy no longer \
+                     reproduces its recorded decisions"
+                        .into(),
                 ));
             }
         }

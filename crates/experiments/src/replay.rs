@@ -5,8 +5,8 @@
 //! degraded paths are exercised) executes twice:
 //!
 //! 1. **Record** — the daemon drives a live [`SimPlatform`] wrapped in
-//!    a [`RecordingPlatform`], which appends every sample, fault, and
-//!    applied assignment to a JSONL trace.
+//!    a [`RecordingPlatform`], which appends every sample, fault,
+//!    applied assignment, and controller decision to a JSONL trace.
 //! 2. **Replay** — a fresh daemon with the same trained engine and
 //!    controller drives a [`ReplayPlatform`] built from that trace, in
 //!    strict mode: every `apply` must reproduce the recorded
@@ -15,6 +15,11 @@
 //! Because the trace serializes every `f64` with shortest-exact
 //! formatting, the replayed decisions must be bit-identical to the
 //! live run's — any divergence fails the experiment.
+//!
+//! The run also transcodes the trace to the v2 binary framing
+//! (`ppep_telemetry::binary`) and verifies the transcode is lossless;
+//! the test suite additionally gates on the v2 document being at
+//! least 5x smaller than the v1 JSONL.
 
 use crate::common::{Context, Scale};
 use crate::fig07_capping::cap_schedule;
@@ -26,7 +31,7 @@ use ppep_sim::chip::{ChipSimulator, SimConfig};
 use ppep_sim::fault::FaultPlan;
 use ppep_sim::SimPlatform;
 use ppep_telemetry::{RecordingPlatform, ReplayPlatform, TraceReader};
-use ppep_types::{Result, VfStateId};
+use ppep_types::{Error, Result, VfStateId};
 use ppep_workloads::combos::fig7_workload;
 
 /// The experiment's result.
@@ -43,6 +48,34 @@ pub struct ReplayResult {
     pub identical: bool,
     /// The recorded trace document (JSON Lines).
     pub trace_jsonl: String,
+    /// Size of the v1 JSONL document in bytes.
+    pub v1_bytes: usize,
+    /// Size of the same trace in v2 binary framing.
+    pub v2_bytes: usize,
+}
+
+impl ReplayResult {
+    /// How many times smaller the v2 binary document is.
+    pub fn v2_ratio(&self) -> f64 {
+        if self.v2_bytes == 0 {
+            0.0
+        } else {
+            self.v1_bytes as f64 / self.v2_bytes as f64
+        }
+    }
+}
+
+/// A recorded supervised capping run: the trace plus the run's shape.
+#[derive(Debug, Clone)]
+pub struct RecordedCapping {
+    /// The recorded trace document (JSON Lines).
+    pub trace_jsonl: String,
+    /// Intervals driven.
+    pub intervals: usize,
+    /// Cap-schedule period (intervals per cap phase).
+    pub period: usize,
+    /// The live run's per-interval decisions.
+    pub live_decisions: Vec<Vec<VfStateId>>,
 }
 
 /// The per-interval decisions of a driven run, plus the daemon (so the
@@ -73,15 +106,17 @@ fn drive<P: Platform>(
     Ok((decisions, daemon))
 }
 
-/// Records a live run and replays it strictly.
+/// Records one supervised Fig. 7 capping run (with the standard mild
+/// fault storm) over a live simulator, returning the JSONL trace.
+///
+/// This is the shared recording path of the `replay` and
+/// `diff-policies` experiments: both want the same live run, one to
+/// strict-replay it and one to diff controllers over it.
 ///
 /// # Errors
 ///
-/// Propagates training errors, non-transient daemon errors, and
-/// strict-replay divergence.
-pub fn run(ctx: &Context) -> Result<ReplayResult> {
-    let models = ctx.train_models()?;
-    let ppep = Ppep::new(models);
+/// Propagates non-transient daemon errors.
+pub fn record(ctx: &Context, ppep: &Ppep) -> Result<RecordedCapping> {
     let intervals = match ctx.scale {
         Scale::Full => 240,
         Scale::Quick => 48,
@@ -90,16 +125,49 @@ pub fn run(ctx: &Context) -> Result<ReplayResult> {
     let cores = ppep.models().topology().core_count();
     let plan = FaultPlan::storm(ctx.seed ^ 0x5EED_7ACE, intervals as u64, 0.05, cores);
 
-    // Record.
     let mut sim = ChipSimulator::new(SimConfig::fx8320_pg(ctx.seed));
     sim.load_workload(&fig7_workload(ctx.seed));
     sim.set_fault_plan(plan);
     let recording = RecordingPlatform::new(SimPlatform::new(sim));
-    let (live, daemon) = drive(&ppep, recording, intervals, period)?;
+    let (live_decisions, daemon) = drive(ppep, recording, intervals, period)?;
     let trace_jsonl = daemon.inner().platform().trace_jsonl().to_string();
+    Ok(RecordedCapping {
+        trace_jsonl,
+        intervals,
+        period,
+        live_decisions,
+    })
+}
+
+/// Records a live run and replays it strictly.
+///
+/// # Errors
+///
+/// Propagates training errors, non-transient daemon errors,
+/// strict-replay divergence, and v2 transcode lossiness.
+pub fn run(ctx: &Context) -> Result<ReplayResult> {
+    let models = ctx.train_models()?;
+    let ppep = Ppep::new(models);
+    let recorded = record(ctx, &ppep)?;
+    let RecordedCapping {
+        trace_jsonl,
+        intervals,
+        period,
+        live_decisions: live,
+    } = recorded;
+
+    // Transcode to the v2 binary framing and verify losslessness.
+    let trace = TraceReader::parse(&trace_jsonl)?;
+    let v2 = ppep_telemetry::binary::encode(&trace);
+    let back = ppep_telemetry::binary::decode(&v2)?;
+    if back.to_jsonl() != trace.to_jsonl() {
+        return Err(Error::InvalidInput(
+            "v2 binary transcode is not lossless".into(),
+        ));
+    }
+    let (v1_bytes, v2_bytes) = (trace_jsonl.len(), v2.len());
 
     // Replay, strictly: every apply must match the recorded one.
-    let trace = TraceReader::parse(&trace_jsonl)?;
     let (trace_intervals, trace_faults) = (trace.interval_count(), trace.fault_count());
     let replay = ReplayPlatform::new(trace).strict();
     let (replayed, _) = drive(&ppep, replay, intervals, period)?;
@@ -110,6 +178,8 @@ pub fn run(ctx: &Context) -> Result<ReplayResult> {
         trace_faults,
         identical: live == replayed,
         trace_jsonl,
+        v1_bytes,
+        v2_bytes,
     })
 }
 
@@ -123,6 +193,13 @@ pub fn print(result: &ReplayResult) {
         result.trace_intervals,
         result.trace_faults,
         result.trace_jsonl.len() / 1024,
+    );
+    println!(
+        "v2 binary framing: {} bytes vs {} bytes of JSONL \
+         ({:.2}x smaller, lossless)",
+        result.v2_bytes,
+        result.v1_bytes,
+        result.v2_ratio(),
     );
     println!(
         "replayed decisions {}",
@@ -148,5 +225,14 @@ mod tests {
         assert!(r.trace_faults > 0, "the storm must exercise fault lines");
         assert_eq!(r.trace_intervals + r.trace_faults, r.intervals);
         assert!(r.trace_jsonl.lines().count() > r.intervals);
+        // The v2 binary framing must deliver at least the 5x size cut
+        // it was designed for on this (decision-bearing) trace.
+        assert!(
+            r.v2_ratio() >= 5.0,
+            "v2 must be >=5x smaller than v1: v1 {} bytes, v2 {} bytes ({:.2}x)",
+            r.v1_bytes,
+            r.v2_bytes,
+            r.v2_ratio()
+        );
     }
 }

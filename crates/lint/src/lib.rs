@@ -3,7 +3,7 @@
 //!
 //! | Group | Rule(s) | Invariant |
 //! |-------|---------|-----------|
-//! | L1 | `unwrap`, `expect`, `panic`, `index-arith`, `index-nonliteral` | the runtime crates (`ppep-core`, `ppep-dvfs`, `ppep-models`, `ppep-obs`, `ppep-pmc`, `ppep-sim`) never panic in non-test code; failures propagate as `ppep_types::Error`, and every non-literal index survives only with a recorded bounds invariant |
+//! | L1 | `unwrap`, `expect`, `panic`, `index-arith`, `index-nonliteral` | the runtime crates (`ppep-core`, `ppep-dvfs`, `ppep-models`, `ppep-obs`, `ppep-pmc`, `ppep-rig`, `ppep-sim`, `ppep-telemetry` — including the v2 binary trace codec) never panic in non-test code; failures propagate as `ppep_types::Error`, and every non-literal index survives only with a recorded bounds invariant |
 //! | L2 | `raw-f64` | public signatures of `ppep-models` / `ppep-core` use unit newtypes, never bare `f64` (dimensionless ratios are allowlisted with reasons) |
 //! | L3 | `wildcard-match` | matches on domain enums are exhaustive with no wildcard arm |
 //! | L4 | `unguarded-output` | public model outputs route through `ppep_types::units::finite` so NaN/∞ cannot enter projections |
@@ -159,5 +159,16 @@ mod tests {
         );
         assert_eq!(crate_name_for("tests/integration.rs"), None);
         assert_eq!(crate_name_for("crates/lint/tests/fixtures/bad.rs"), None);
+    }
+
+    /// The v2 binary trace codec must stay under L1 (panic-free)
+    /// coverage: its path maps to `ppep-telemetry`, and that crate is
+    /// in the runtime set. If either side of this pairing breaks, the
+    /// codec silently drops out of the analyzer's scope.
+    #[test]
+    fn v2_codec_is_l1_covered() {
+        let name = crate_name_for("crates/telemetry/src/binary.rs");
+        assert_eq!(name.as_deref(), Some("ppep-telemetry"));
+        assert!(rules::RUNTIME_CRATES.contains(&"ppep-telemetry"));
     }
 }

@@ -1,0 +1,74 @@
+//! The per-interval controller-decision record.
+//!
+//! A [`DecisionRecord`] captures what the DVFS controller *chose* for
+//! one decision interval and what the model said about that choice:
+//! the per-CU VF assignment, the predicted chip power at that
+//! assignment, the measured (realized) power of the interval the
+//! decision was computed from, and — for capping controllers — the
+//! enforced cap and whether the measured power violated it.
+//!
+//! Decision records ride alongside the measurement stream in a trace
+//! (v1 JSONL `decision` lines, v2 binary decision frames). They are
+//! pure annotations: replay ignores them for platform I/O, but the
+//! policy-differential harness in `ppep-experiments` reads them back
+//! so a recorded run can be diffed against *another* policy replayed
+//! over the same counter trace — or against its own recorded self, as
+//! a behaviour-drift tripwire.
+
+use ppep_types::time::IntervalIndex;
+use ppep_types::{VfStateId, Watts};
+
+/// What one controller decision looked like, model-side and
+/// measurement-side.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecisionRecord {
+    /// The decision interval (the supervised interval counter for
+    /// held/failsafe decisions whose measurement was lost).
+    pub interval: IntervalIndex,
+    /// The per-CU VF assignment the controller chose.
+    pub chosen: Vec<VfStateId>,
+    /// Predicted chip power at the chosen assignment, when a
+    /// projection was available to price it.
+    pub predicted_power: Option<Watts>,
+    /// Measured power of the source interval the decision was computed
+    /// from (`None` when the measurement was lost and the decision was
+    /// held or failsafe-pinned).
+    pub realized_power: Option<Watts>,
+    /// The power cap the controller was enforcing, if any.
+    pub cap: Option<Watts>,
+    /// Whether the source interval's measured power exceeded the cap
+    /// (`None` when the controller enforces no cap or no measurement
+    /// exists).
+    pub cap_violated: Option<bool>,
+}
+
+impl DecisionRecord {
+    /// Prediction error of the source interval: predicted minus
+    /// realized power, when both sides exist.
+    pub fn power_error(&self) -> Option<Watts> {
+        match (self.predicted_power, self.realized_power) {
+            (Some(p), Some(r)) => Some(p - r),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_error_needs_both_sides() {
+        let mut d = DecisionRecord {
+            interval: IntervalIndex(3),
+            chosen: Vec::new(),
+            predicted_power: Some(Watts::new(60.0)),
+            realized_power: Some(Watts::new(55.0)),
+            cap: Some(Watts::new(70.0)),
+            cap_violated: Some(false),
+        };
+        assert_eq!(d.power_error(), Some(Watts::new(5.0)));
+        d.realized_power = None;
+        assert_eq!(d.power_error(), None);
+    }
+}

@@ -18,15 +18,22 @@
 //!   [`RecordingPlatform`] (wraps any platform, logs every sample and
 //!   apply) and [`ReplayPlatform`] (replays a recorded trace
 //!   deterministically, with no live substrate at all).
+//! - [`decision`] — the [`DecisionRecord`] annotation a recording
+//!   daemon emits per decision, and [`binary`] — the compact v2
+//!   binary trace framing (varint-delta counters, per-frame CRC);
+//!   [`TraceReader::parse_any`] reads either format.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod binary;
+pub mod decision;
 pub mod json;
 pub mod platform;
 pub mod record;
 pub mod trace;
 
+pub use decision::DecisionRecord;
 pub use platform::Platform;
 pub use record::{IntervalRecord, PowerBreakdown};
-pub use trace::{RecordingPlatform, ReplayPlatform, TraceReader, TraceWriter};
+pub use trace::{RecordingPlatform, ReplayPlatform, TraceEvent, TraceReader, TraceWriter};

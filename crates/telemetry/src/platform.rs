@@ -8,6 +8,7 @@
 //! simulated adapter (`SimPlatform`), and [`crate::trace`] provides
 //! record/replay adapters with no live substrate at all.
 
+use crate::decision::DecisionRecord;
 use crate::record::IntervalRecord;
 use ppep_obs::RecorderHandle;
 use ppep_types::time::IntervalIndex;
@@ -51,6 +52,22 @@ pub trait Platform {
     /// implementation ignores the recorder.
     fn set_recorder(&mut self, recorder: RecorderHandle) {
         let _ = recorder;
+    }
+
+    /// Whether this platform wants [`Platform::record_decision`]
+    /// calls. Daemons use this to skip building [`DecisionRecord`]s
+    /// entirely when nobody is recording, so an untraced run does no
+    /// extra work (and stays bit-identical to a traced one). The
+    /// default is `false`.
+    fn wants_decisions(&self) -> bool {
+        false
+    }
+
+    /// Annotates the trace with a controller decision. Decisions are
+    /// pure metadata: they must never influence measurements or
+    /// actuation. The default implementation discards the record.
+    fn record_decision(&mut self, decision: &DecisionRecord) {
+        let _ = decision;
     }
 
     /// The platform's VF ladder (shorthand for the topology's table).

@@ -18,7 +18,15 @@
 //! - `fault` — a failed sample: the interval index it was measuring
 //!   and the transient error, so fault storms replay faithfully.
 //! - `apply` — a per-CU VF assignment the daemon applied.
+//! - `decision` — a controller [`DecisionRecord`] annotation (chosen
+//!   assignment, predicted-vs-realized power, cap verdict). Absent in
+//!   traces recorded before decisions were captured; replay treats it
+//!   as a comment.
+//!
+//! The compact binary v2 framing of the same event stream lives in
+//! [`crate::binary`]; [`TraceReader::parse_any`] accepts either.
 
+use crate::decision::DecisionRecord;
 use crate::json::{push_f64, push_str, Json};
 use crate::platform::Platform;
 use crate::record::{IntervalRecord, PowerBreakdown};
@@ -33,11 +41,11 @@ use ppep_types::{
 };
 use std::collections::VecDeque;
 
-/// The trace format version this crate writes.
+/// The JSONL (v1) trace format version this module writes.
 pub const TRACE_VERSION: u64 = 1;
 
 /// One recorded trace event, in daemon order.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum TraceEvent {
     /// A successful sample.
     Interval(IntervalRecord),
@@ -50,6 +58,9 @@ pub enum TraceEvent {
     },
     /// A VF assignment the daemon applied.
     Apply(Vec<VfStateId>),
+    /// A controller decision annotation (never consumed by replay
+    /// I/O; read back by the policy-differential harness).
+    Decision(DecisionRecord),
 }
 
 // ---------------------------------------------------------------------
@@ -83,6 +94,21 @@ impl TraceWriter {
     /// Appends one applied assignment.
     pub fn apply(&mut self, assignment: &[VfStateId]) {
         push_apply(&mut self.out, assignment);
+    }
+
+    /// Appends one controller decision annotation.
+    pub fn decision(&mut self, decision: &DecisionRecord) {
+        push_decision(&mut self.out, decision);
+    }
+
+    /// Appends any event (the transcoding entry point).
+    pub fn event(&mut self, event: &TraceEvent) {
+        match event {
+            TraceEvent::Interval(r) => self.interval(r),
+            TraceEvent::Fault { index, error } => self.fault(*index, error),
+            TraceEvent::Apply(assignment) => self.apply(assignment),
+            TraceEvent::Decision(d) => self.decision(d),
+        }
     }
 
     /// The trace so far, as JSON Lines.
@@ -258,6 +284,41 @@ fn push_apply(out: &mut String, assignment: &[VfStateId]) {
     out.push_str("]}\n");
 }
 
+fn push_opt_watts(out: &mut String, v: Option<Watts>) {
+    match v {
+        Some(w) => push_f64(out, w.as_watts()),
+        None => out.push_str("null"),
+    }
+}
+
+fn push_decision(out: &mut String, d: &DecisionRecord) {
+    use std::fmt::Write as _;
+    let _ = write!(
+        out,
+        "{{\"type\":\"decision\",\"interval\":{},\"chosen\":[",
+        d.interval.0
+    );
+    for (i, vf) in d.chosen.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{}", vf.index());
+    }
+    out.push_str("],\"predicted_power\":");
+    push_opt_watts(out, d.predicted_power);
+    out.push_str(",\"realized_power\":");
+    push_opt_watts(out, d.realized_power);
+    out.push_str(",\"cap\":");
+    push_opt_watts(out, d.cap);
+    out.push_str(",\"cap_violated\":");
+    match d.cap_violated {
+        Some(true) => out.push_str("true"),
+        Some(false) => out.push_str("false"),
+        None => out.push_str("null"),
+    }
+    out.push_str("}\n");
+}
+
 // ---------------------------------------------------------------------
 // Reading
 // ---------------------------------------------------------------------
@@ -310,6 +371,10 @@ impl TraceReader {
                     v.get("assignment")?,
                     topology.vf_table(),
                 )?)),
+                "decision" => events.push(TraceEvent::Decision(parse_decision(
+                    &v,
+                    topology.vf_table(),
+                )?)),
                 other => {
                     return Err(Error::InvalidInput(format!(
                         "trace: unknown line type `{other}`"
@@ -318,6 +383,31 @@ impl TraceReader {
             }
         }
         Ok(Self { topology, events })
+    }
+
+    /// Parses a trace in either format: the v2 binary framing when the
+    /// document starts with the [`crate::binary::MAGIC`] header, v1
+    /// JSONL otherwise (the fallback reader).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the respective format's parse errors.
+    pub fn parse_any(src: &[u8]) -> Result<Self> {
+        if crate::binary::is_binary(src) {
+            return crate::binary::decode(src);
+        }
+        let text = std::str::from_utf8(src)
+            .map_err(|_| Error::InvalidInput("trace: neither v2 binary nor UTF-8 JSONL".into()))?;
+        Self::parse(text)
+    }
+
+    /// Re-serializes the trace as v1 JSON Lines.
+    pub fn to_jsonl(&self) -> String {
+        let mut w = TraceWriter::new(&self.topology);
+        for e in &self.events {
+            w.event(e);
+        }
+        w.into_jsonl()
     }
 
     /// The number of successful samples in the trace.
@@ -334,6 +424,14 @@ impl TraceReader {
             .iter()
             .filter(|e| matches!(e, TraceEvent::Fault { .. }))
             .count()
+    }
+
+    /// The recorded controller decisions, in daemon order.
+    pub fn decisions(&self) -> impl Iterator<Item = &DecisionRecord> {
+        self.events.iter().filter_map(|e| match e {
+            TraceEvent::Decision(d) => Some(d),
+            _ => None,
+        })
     }
 }
 
@@ -392,6 +490,27 @@ fn parse_assignment(v: &Json, table: &VfTable) -> Result<Vec<VfStateId>> {
         .collect()
 }
 
+fn parse_opt_watts(v: &Json) -> Result<Option<Watts>> {
+    match v {
+        Json::Null => Ok(None),
+        other => Ok(Some(Watts::new(other.as_f64()?))),
+    }
+}
+
+fn parse_decision(v: &Json, table: &VfTable) -> Result<DecisionRecord> {
+    Ok(DecisionRecord {
+        interval: IntervalIndex(v.get("interval")?.as_u64()?),
+        chosen: parse_assignment(v.get("chosen")?, table)?,
+        predicted_power: parse_opt_watts(v.get("predicted_power")?)?,
+        realized_power: parse_opt_watts(v.get("realized_power")?)?,
+        cap: parse_opt_watts(v.get("cap")?)?,
+        cap_violated: match v.get("cap_violated")? {
+            Json::Null => None,
+            other => Some(other.as_bool()?),
+        },
+    })
+}
+
 fn parse_interval(v: &Json, topology: &Topology) -> Result<IntervalRecord> {
     let samples = v
         .get("samples")?
@@ -447,7 +566,7 @@ fn parse_interval(v: &Json, topology: &Topology) -> Result<IntervalRecord> {
 
 /// Reconstructs a recorded sensor name as the `&'static str` the
 /// error variants require; unknown names map to a generic label.
-fn static_sensor_name(name: &str) -> &'static str {
+pub(crate) fn static_sensor_name(name: &str) -> &'static str {
     match name {
         "hall-sensor" => "hall-sensor",
         "thermal-diode" => "thermal-diode",
@@ -552,6 +671,17 @@ impl<P: Platform> Platform for RecordingPlatform<P> {
     fn set_recorder(&mut self, recorder: RecorderHandle) {
         self.inner.set_recorder(recorder);
     }
+
+    fn wants_decisions(&self) -> bool {
+        true
+    }
+
+    fn record_decision(&mut self, decision: &DecisionRecord) {
+        self.writer.decision(decision);
+        // Forward in case the wrapped platform records too (e.g. a
+        // recorder stacked on another recorder).
+        self.inner.record_decision(decision);
+    }
 }
 
 /// Replays a recorded trace as a [`Platform`], with no live substrate.
@@ -568,6 +698,7 @@ pub struct ReplayPlatform {
     events: VecDeque<TraceEvent>,
     strict: bool,
     next_index: IntervalIndex,
+    last_sampled: Option<IntervalIndex>,
 }
 
 impl ReplayPlatform {
@@ -579,7 +710,7 @@ impl ReplayPlatform {
             .find_map(|e| match e {
                 TraceEvent::Interval(r) => Some(r.index),
                 TraceEvent::Fault { index, .. } => Some(*index),
-                TraceEvent::Apply(_) => None,
+                TraceEvent::Apply(_) | TraceEvent::Decision(_) => None,
             })
             .unwrap_or_default();
         Self {
@@ -587,6 +718,7 @@ impl ReplayPlatform {
             events: trace.events.into(),
             strict: false,
             next_index,
+            last_sampled: None,
         }
     }
 
@@ -615,6 +747,21 @@ impl ReplayPlatform {
     fn exhausted() -> Error {
         Error::Device("replay trace exhausted: no further recorded intervals".into())
     }
+
+    /// The interval an `apply` call is deciding for: the last sampled
+    /// (or faulted) interval, for error reporting.
+    fn deciding_for(&self) -> u64 {
+        self.last_sampled.unwrap_or(self.next_index).0
+    }
+
+    /// Drops decision annotations queued at the stream head: they are
+    /// comments to replay I/O (the differential harness reads them from
+    /// the [`TraceReader`] instead).
+    fn skip_decisions(&mut self) {
+        while matches!(self.events.front(), Some(TraceEvent::Decision(_))) {
+            self.events.pop_front();
+        }
+    }
 }
 
 impl Platform for ReplayPlatform {
@@ -623,10 +770,12 @@ impl Platform for ReplayPlatform {
             match self.events.pop_front() {
                 Some(TraceEvent::Interval(record)) => {
                     self.next_index = record.index.next();
+                    self.last_sampled = Some(record.index);
                     return Ok(record);
                 }
                 Some(TraceEvent::Fault { index, error }) => {
                     self.next_index = index.next();
+                    self.last_sampled = Some(index);
                     return Err(error);
                 }
                 Some(TraceEvent::Apply(expected)) => {
@@ -640,28 +789,31 @@ impl Platform for ReplayPlatform {
                     // replaying controller diverged; the sampled
                     // stream is fixed regardless.
                 }
+                Some(TraceEvent::Decision(_)) => {}
                 None => return Err(Self::exhausted()),
             }
         }
     }
 
     fn apply(&mut self, assignment: &[VfStateId]) -> Result<()> {
+        self.skip_decisions();
         match self.events.front() {
             Some(TraceEvent::Apply(expected)) => {
                 if self.strict && expected.as_slice() != assignment {
                     return Err(Error::InvalidInput(format!(
-                        "strict replay: daemon applied {assignment:?} but the \
-                         trace recorded {expected:?}"
+                        "strict replay diverged at interval {}: daemon applied \
+                         {assignment:?} but the trace recorded {expected:?}",
+                        self.deciding_for()
                     )));
                 }
                 self.events.pop_front();
                 Ok(())
             }
-            _ if self.strict => Err(Error::InvalidInput(
-                "strict replay: daemon applied an assignment where the trace \
-                 records none"
-                    .into(),
-            )),
+            _ if self.strict => Err(Error::InvalidInput(format!(
+                "strict replay diverged at interval {}: daemon applied \
+                 {assignment:?} where the trace records no apply",
+                self.deciding_for()
+            ))),
             // Tolerant mode: accept and ignore — replayed samples are
             // immutable history.
             _ => Ok(()),
@@ -809,6 +961,78 @@ mod tests {
         let mut tolerant = ReplayPlatform::from_jsonl(&doc).unwrap();
         tolerant.sample().unwrap();
         tolerant.apply(&[table.highest(); 4]).unwrap();
+    }
+
+    #[test]
+    fn strict_divergence_error_names_the_interval_and_both_values() {
+        let topo = toy_topology();
+        let table = topo.vf_table().clone();
+        let mut w = TraceWriter::new(&topo);
+        w.interval(&toy_record(0, &table));
+        w.apply(&[table.lowest(); 4]);
+        w.interval(&toy_record(1, &table));
+        w.apply(&[table.lowest(); 4]);
+        let doc = w.into_jsonl();
+
+        // Follow the trace for interval 0, diverge at interval 1.
+        let mut strict = ReplayPlatform::from_jsonl(&doc).unwrap().strict();
+        strict.sample().unwrap();
+        strict.apply(&[table.lowest(); 4]).unwrap();
+        strict.sample().unwrap();
+        let err = strict.apply(&[table.highest(); 4]).unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("diverged at interval 1"),
+            "error must name the diverging interval: {msg}"
+        );
+        assert!(
+            msg.contains(&format!("{:?}", vec![table.highest(); 4]))
+                && msg.contains(&format!("{:?}", vec![table.lowest(); 4])),
+            "error must show both the daemon's and the recorded assignment: {msg}"
+        );
+    }
+
+    #[test]
+    fn replay_treats_decision_lines_as_comments() {
+        let topo = toy_topology();
+        let table = topo.vf_table().clone();
+        let mut w = TraceWriter::new(&topo);
+        w.interval(&toy_record(0, &table));
+        w.decision(&DecisionRecord {
+            interval: IntervalIndex(0),
+            chosen: vec![table.lowest(); 4],
+            predicted_power: Some(Watts::new(61.5)),
+            realized_power: Some(Watts::new(60.0)),
+            cap: Some(Watts::new(70.0)),
+            cap_violated: Some(false),
+        });
+        w.apply(&[table.lowest(); 4]);
+        w.decision(&DecisionRecord {
+            interval: IntervalIndex(1),
+            chosen: vec![table.lowest(); 4],
+            predicted_power: None,
+            realized_power: None,
+            cap: None,
+            cap_violated: None,
+        });
+        w.interval(&toy_record(1, &table));
+        let doc = w.into_jsonl();
+
+        let trace = TraceReader::parse(&doc).unwrap();
+        assert_eq!(trace.decisions().count(), 2);
+        assert_eq!(
+            trace.decisions().next().map(|d| d.power_error()),
+            Some(Some(Watts::new(1.5)))
+        );
+        // Round trip: re-serializing the parsed trace is byte-lossless.
+        assert_eq!(trace.to_jsonl(), doc);
+
+        // Strict replay sails past the annotations.
+        let mut strict = ReplayPlatform::new(trace).strict();
+        strict.sample().unwrap();
+        strict.apply(&[table.lowest(); 4]).unwrap();
+        strict.sample().unwrap();
+        assert_eq!(strict.remaining(), 0);
     }
 
     #[test]

@@ -1,0 +1,108 @@
+//! Ad-hoc probe: measures the v2/v1 size ratio on a recorded trace.
+//! Run manually with a recorded JSONL trace:
+//! `PPEP_TRACE=/path/to/trace.jsonl cargo test -p ppep-telemetry --test ratio_probe -- --ignored --nocapture`
+
+use ppep_telemetry::trace::TraceReader;
+
+#[test]
+#[ignore = "needs a recorded trace via PPEP_TRACE"]
+fn measure_ratio() {
+    let path = std::env::var("PPEP_TRACE").expect("set PPEP_TRACE");
+    let src = std::fs::read(&path).expect("read trace");
+    let trace = TraceReader::parse_any(&src).expect("parse");
+    let v1 = trace.to_jsonl();
+    let v2 = ppep_telemetry::binary::encode(&trace);
+    let back = ppep_telemetry::binary::decode(&v2).expect("decode");
+    assert_eq!(back.events, trace.events, "v2 round trip must be lossless");
+    println!(
+        "v1 {} bytes, v2 {} bytes, ratio {:.2}x",
+        v1.len(),
+        v2.len(),
+        v1.len() as f64 / v2.len() as f64
+    );
+}
+
+#[test]
+#[ignore = "needs a recorded trace via PPEP_TRACE"]
+fn decompose_cost() {
+    let path = std::env::var("PPEP_TRACE").expect("set PPEP_TRACE");
+    let src = std::fs::read(&path).expect("read trace");
+    let trace = TraceReader::parse_any(&src).expect("parse");
+    let base = ppep_telemetry::binary::encode(&trace).len();
+
+    // Frame-type census.
+    let doc = ppep_telemetry::binary::encode(&trace);
+    let mut pos = 5usize;
+    let mut by_kind = [0usize; 6];
+    while pos < doc.len() {
+        let kind = doc[pos] as usize;
+        pos += 1;
+        let mut len = 0u64;
+        let mut shift = 0;
+        loop {
+            let b = doc[pos];
+            pos += 1;
+            len |= u64::from(b & 0x7F) << shift;
+            shift += 7;
+            if b & 0x80 == 0 {
+                break;
+            }
+        }
+        pos += len as usize + 4;
+        if kind < 6 {
+            by_kind[kind] += len as usize + 6;
+        }
+    }
+    println!("frame bytes by kind (end,meta,interval,fault,apply,decision): {by_kind:?}");
+
+    // Field-zeroing decomposition of interval cost.
+    use ppep_telemetry::trace::TraceEvent;
+    let zero = |f: &dyn Fn(&mut ppep_telemetry::IntervalRecord)| {
+        let mut t = TraceReader {
+            topology: trace.topology.clone(),
+            events: trace.events.clone(),
+        };
+        for e in &mut t.events {
+            if let TraceEvent::Interval(r) = e {
+                f(r);
+            }
+        }
+        base as i64 - ppep_telemetry::binary::encode(&t).len() as i64
+    };
+    println!(
+        "samples cost ~{}",
+        zero(&|r| for s in &mut r.samples {
+            s.counts = Default::default();
+        })
+    );
+    println!(
+        "true_counts cost ~{}",
+        zero(&|r| r
+            .true_counts
+            .iter_mut()
+            .for_each(|c| *c = Default::default()))
+    );
+    println!(
+        "true_power cost ~{}",
+        zero(&|r| {
+            r.true_power
+                .core_dynamic
+                .iter_mut()
+                .for_each(|w| *w = Default::default());
+            r.true_power
+                .cu_idle
+                .iter_mut()
+                .for_each(|w| *w = Default::default());
+            r.true_power.nb_dynamic = Default::default();
+            r.true_power.nb_idle = Default::default();
+            r.true_power.base = Default::default();
+        })
+    );
+    println!(
+        "measured+temp cost ~{}",
+        zero(&|r| {
+            r.measured_power = Default::default();
+            r.temperature = Default::default();
+        })
+    );
+}
