@@ -34,6 +34,16 @@ pub trait DvfsController {
     fn enforced_cap(&self) -> Option<Watts> {
         None
     }
+
+    /// Re-targets the controller's power budget at runtime.
+    ///
+    /// The multi-tenant budget arbiter uses this to push re-balanced
+    /// per-tenant caps into live controllers (a tenant entering
+    /// failsafe frees budget; the survivors' caps grow). Policies
+    /// without a budget ignore the call — the default.
+    fn set_enforced_cap(&mut self, cap: Watts) {
+        let _ = cap;
+    }
 }
 
 impl<C: DvfsController + ?Sized> DvfsController for Box<C> {
@@ -43,6 +53,10 @@ impl<C: DvfsController + ?Sized> DvfsController for Box<C> {
 
     fn enforced_cap(&self) -> Option<Watts> {
         (**self).enforced_cap()
+    }
+
+    fn set_enforced_cap(&mut self, cap: Watts) {
+        (**self).set_enforced_cap(cap)
     }
 }
 

@@ -35,6 +35,65 @@ use ppep_telemetry::{IntervalRecord, Platform};
 use ppep_types::time::IntervalIndex;
 use ppep_types::{Error, Kelvin, Result, VfStateId};
 
+/// Bounded retry/backoff for transient sample failures.
+///
+/// A transient fault ([`ppep_types::Error::is_transient`]) used to
+/// start the degradation ladder immediately — a single flaky MSR read
+/// cost a fresh decision. With a retry policy the supervisor first
+/// asks the platform to re-read via [`Platform::resample`], waiting
+/// out a capped exponential backoff per attempt
+/// (`base_backoff_us << attempt`, clamped to `max_backoff_us`).
+/// Escalation to Degraded happens only after the attempts are
+/// exhausted — or immediately on substrates that cannot re-read
+/// within the interval (`resample` returning `None`, the default), so
+/// simulator, recording, and replay runs are bit-identical to the
+/// pre-retry behavior.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// In-interval re-read attempts after a transient sample failure.
+    /// Zero disables retrying entirely.
+    pub max_attempts: u32,
+    /// Backoff before the first retry, in microseconds.
+    pub base_backoff_us: u64,
+    /// Ceiling on any single backoff, in microseconds. Keeps the
+    /// total retry budget well inside one 200 ms interval.
+    pub max_backoff_us: u64,
+}
+
+impl RetryPolicy {
+    /// Defaults: two re-reads, 200 µs initial backoff, 5 ms cap —
+    /// worst case under 11 ms of a 200 ms interval.
+    pub fn new() -> Self {
+        Self {
+            max_attempts: 2,
+            base_backoff_us: 200,
+            max_backoff_us: 5_000,
+        }
+    }
+
+    /// A policy that never retries (the pre-PR-6 behavior).
+    pub fn disabled() -> Self {
+        Self {
+            max_attempts: 0,
+            ..Self::new()
+        }
+    }
+
+    /// The backoff before zero-based retry `attempt`, capped.
+    pub fn backoff_us(&self, attempt: u32) -> u64 {
+        let factor = 1u64 << attempt.min(63);
+        self.base_backoff_us
+            .saturating_mul(factor)
+            .min(self.max_backoff_us)
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 /// Tunables of the degradation supervisor.
 #[derive(Debug, Clone, Copy)]
 pub struct SupervisorConfig {
@@ -54,6 +113,8 @@ pub struct SupervisorConfig {
     pub min_plausible_temperature: Kelvin,
     /// Diode readings above this are quarantined.
     pub max_plausible_temperature: Kelvin,
+    /// In-interval retry policy for transient sample failures.
+    pub retry: RetryPolicy,
 }
 
 impl SupervisorConfig {
@@ -68,6 +129,7 @@ impl SupervisorConfig {
             power_outlier_factor: 4.0,
             min_plausible_temperature: Kelvin::new(250.0),
             max_plausible_temperature: Kelvin::new(450.0),
+            retry: RetryPolicy::new(),
         }
     }
 }
@@ -140,8 +202,15 @@ pub struct HealthReport {
     pub failsafe_intervals: u64,
     /// Delivered records rejected by validation.
     pub quarantined: u64,
-    /// Transient measurement errors absorbed.
+    /// Transient measurement errors absorbed (after any retries).
     pub transient_errors: u64,
+    /// In-interval re-read attempts made for transient failures.
+    pub retries: u64,
+    /// Retries that recovered a good measurement (the interval stayed
+    /// fresh instead of starting the degradation ladder).
+    pub retry_successes: u64,
+    /// Total retry backoff accounted, in microseconds.
+    pub retry_backoff_us: u64,
     /// State transitions as (interval, new state) pairs.
     pub transitions: Vec<(u64, HealthState)>,
     /// The most recent fault absorbed or surfaced.
@@ -296,10 +365,46 @@ impl<P: Platform, C: DvfsController> ResilientDaemon<P, C> {
         self.report.intervals += 1;
         let rec = self.inner.recorder().clone();
         let measuring = self.inner.platform().current_interval().0;
-        let measured = {
+        let mut measured = {
             let _sample = rec.span(Stage::Sample, measuring);
             self.inner.platform_mut().sample()
         };
+        // A transient failure gets bounded in-interval retries before
+        // the degradation ladder starts. Substrates whose `resample`
+        // returns `None` (simulator, record/replay — the default)
+        // escalate immediately, exactly as before retries existed.
+        if matches!(&measured, Err(e) if e.is_transient()) {
+            for attempt in 0..self.config.retry.max_attempts {
+                let backoff = self.config.retry.backoff_us(attempt);
+                let sample_span = rec.span(Stage::Sample, measuring);
+                let retried = self.inner.platform_mut().resample(backoff);
+                let Some(retried) = retried else {
+                    // The substrate declined: nothing was sampled, so
+                    // recording the span would misstate the pipeline.
+                    sample_span.dismiss();
+                    break;
+                };
+                drop(sample_span);
+                self.report.retries += 1;
+                self.report.retry_backoff_us += backoff;
+                rec.incr("fault.retry");
+                match retried {
+                    Ok(record) => {
+                        self.report.retry_successes += 1;
+                        rec.incr("fault.retry_recovered");
+                        measured = Ok(record);
+                        break;
+                    }
+                    Err(e) if e.is_transient() => measured = Err(e),
+                    Err(e) => {
+                        // Escalated to fatal mid-retry: stop probing a
+                        // lost substrate.
+                        measured = Err(e);
+                        break;
+                    }
+                }
+            }
+        }
         match measured {
             Ok(record) => match self.validation_fault(&record) {
                 None => self.fresh(interval, record),
@@ -695,6 +800,157 @@ mod tests {
                 assert!(super::projection_is_finite(p));
             }
         }
+    }
+
+    /// A substrate whose first read flakes on chosen intervals but
+    /// that *can* re-read in-interval: `sample` stashes the real
+    /// record and fails; `resample` serves it once the configured
+    /// number of additional failures is exhausted.
+    struct FlakyPlatform {
+        inner: SimPlatform,
+        fail_at: Vec<u64>,
+        failures_per_retry_burst: u32,
+        pending: Option<IntervalRecord>,
+        remaining_failures: u32,
+        backoffs: Vec<u64>,
+    }
+
+    impl FlakyPlatform {
+        fn new(inner: SimPlatform, fail_at: Vec<u64>, failures_per_retry_burst: u32) -> Self {
+            Self {
+                inner,
+                fail_at,
+                failures_per_retry_burst,
+                pending: None,
+                remaining_failures: 0,
+                backoffs: Vec::new(),
+            }
+        }
+    }
+
+    impl Platform for FlakyPlatform {
+        fn sample(&mut self) -> Result<IntervalRecord> {
+            let idx = self.inner.current_interval().0;
+            let record = self.inner.sample()?;
+            if self.fail_at.contains(&idx) {
+                self.pending = Some(record);
+                self.remaining_failures = self.failures_per_retry_burst;
+                return Err(Error::SensorDropout {
+                    sensor: "hall-sensor",
+                });
+            }
+            Ok(record)
+        }
+
+        fn resample(&mut self, backoff_us: u64) -> Option<Result<IntervalRecord>> {
+            self.backoffs.push(backoff_us);
+            if self.remaining_failures > 0 {
+                self.remaining_failures -= 1;
+                return Some(Err(Error::SensorDropout {
+                    sensor: "hall-sensor",
+                }));
+            }
+            self.pending.take().map(Ok)
+        }
+
+        fn apply(&mut self, assignment: &[ppep_types::VfStateId]) -> Result<()> {
+            self.inner.apply(assignment)
+        }
+
+        fn topology(&self) -> &ppep_types::Topology {
+            self.inner.topology()
+        }
+
+        fn current_interval(&self) -> IntervalIndex {
+            self.inner.current_interval()
+        }
+    }
+
+    fn flaky_daemon(
+        fail_at: Vec<u64>,
+        failures_per_retry_burst: u32,
+        config: SupervisorConfig,
+    ) -> ResilientDaemon<FlakyPlatform, StaticController> {
+        let ppep = engine();
+        let table = ppep.models().vf_table().clone();
+        let mut sim = ChipSimulator::new(SimConfig::fx8320(42));
+        sim.load_workload(&instances("433.milc", 4, 42));
+        let platform = FlakyPlatform::new(SimPlatform::new(sim), fail_at, failures_per_retry_burst);
+        let inner = PpepDaemon::new(ppep, platform, StaticController { vf: table.lowest() });
+        ResilientDaemon::new(inner, config)
+    }
+
+    #[test]
+    fn transient_failure_is_retried_before_degrading() {
+        let table = VfTable::fx8320();
+        // Interval 3 flakes once; the first re-read succeeds.
+        let mut d = flaky_daemon(vec![3], 0, SupervisorConfig::new(table.lowest()));
+        let steps = d.run(6).expect("retry absorbs the flake");
+        assert!(
+            steps.iter().all(|s| s.action == Action::Fresh),
+            "a recovered retry must not start the degradation ladder"
+        );
+        assert_eq!(d.health_state(), HealthState::Healthy);
+        let report = d.report();
+        assert_eq!(report.fresh_decisions, 6);
+        assert_eq!(report.held_decisions, 0);
+        assert_eq!(report.transient_errors, 0, "the fault was absorbed");
+        assert_eq!(report.retries, 1);
+        assert_eq!(report.retry_successes, 1);
+        assert_eq!(report.retry_backoff_us, 200, "one base backoff");
+        assert!(report.transitions.is_empty());
+    }
+
+    #[test]
+    fn retries_are_bounded_and_backoff_is_capped() {
+        let table = VfTable::fx8320();
+        let mut config = SupervisorConfig::new(table.lowest());
+        config.retry = RetryPolicy {
+            max_attempts: 4,
+            base_backoff_us: 4_000,
+            max_backoff_us: 5_000,
+        };
+        // Interval 2 flakes and every re-read fails too.
+        let mut d = flaky_daemon(vec![2], u32::MAX, config);
+        let steps = d.run(5).expect("still only transient faults");
+        assert_eq!(steps[2].action, Action::Held, "exhausted retries degrade");
+        assert_eq!(steps[2].state, HealthState::Degraded);
+        let report = d.report();
+        assert_eq!(report.retries, 4, "attempts stop at max_attempts");
+        assert_eq!(report.retry_successes, 0);
+        assert_eq!(report.transient_errors, 1);
+        // Exponential from 4 ms, clamped at the 5 ms ceiling.
+        assert_eq!(
+            d.inner().platform().backoffs,
+            vec![4_000, 5_000, 5_000, 5_000]
+        );
+    }
+
+    #[test]
+    fn disabled_retry_policy_matches_pre_retry_behavior() {
+        let table = VfTable::fx8320();
+        let mut config = SupervisorConfig::new(table.lowest());
+        config.retry = RetryPolicy::disabled();
+        let mut d = flaky_daemon(vec![3], 0, config);
+        let steps = d.run(6).expect("absorbed");
+        assert_eq!(steps[3].action, Action::Held);
+        let report = d.report();
+        assert_eq!(report.retries, 0);
+        assert_eq!(report.transient_errors, 1);
+        assert_eq!(d.inner().platform().backoffs, Vec::<u64>::new());
+    }
+
+    #[test]
+    fn backoff_schedule_is_capped_exponential() {
+        let p = RetryPolicy {
+            max_attempts: 8,
+            base_backoff_us: 100,
+            max_backoff_us: 1_000,
+        };
+        let schedule: Vec<u64> = (0..5).map(|a| p.backoff_us(a)).collect();
+        assert_eq!(schedule, vec![100, 200, 400, 800, 1_000]);
+        // Absurd attempt numbers saturate instead of overflowing.
+        assert_eq!(p.backoff_us(200), 1_000);
     }
 
     #[test]

@@ -1,0 +1,423 @@
+//! Shared socket power-budget arbitration for the multi-tenant
+//! capping service.
+//!
+//! One physical socket has one power budget; N tenants each want a
+//! per-tenant cap enforced by their own capping controller. The
+//! [`BudgetArbiter`] owns the invariant that makes that safe: **the
+//! sum of granted per-tenant caps never exceeds the socket cap**, at
+//! any point in any sequence of joins, leaves, failsafes, and
+//! restores. Allocation is deterministic max-min fair (water-filling):
+//! every active tenant gets an equal share of the socket cap, except
+//! that nobody is granted more than they requested — surplus from
+//! modest tenants flows to the hungry ones.
+//!
+//! Bulkhead coupling: a tenant whose supervisor enters Failsafe is
+//! pinned to its safe VF state and cannot spend its cap, so
+//! [`BudgetArbiter::failsafe`] zeroes its grant and redistributes the
+//! freed budget to the survivors; [`BudgetArbiter::restore`] re-admits
+//! it on recovery. Admission reserves `min_grant` per registered
+//! tenant (failsafed included) so a restore can never be starved by
+//! sessions admitted in the meantime.
+
+use ppep_types::{Error, RejectReason, Result, Watts};
+
+/// One tenant's budget bookkeeping.
+#[derive(Debug, Clone)]
+struct TenantBudget {
+    id: u64,
+    requested_w: f64,
+    granted_w: f64,
+    failsafed: bool,
+}
+
+/// The shared socket power-budget arbiter. See the module docs.
+#[derive(Debug, Clone)]
+pub struct BudgetArbiter {
+    socket_cap_w: f64,
+    min_grant_w: f64,
+    /// Join order; allocation iterates this deterministically.
+    tenants: Vec<TenantBudget>,
+}
+
+impl BudgetArbiter {
+    /// Builds an arbiter for a socket budget of `socket_cap`,
+    /// reserving at least `min_grant` for every registered tenant.
+    pub fn new(socket_cap: Watts, min_grant: Watts) -> Self {
+        Self {
+            socket_cap_w: socket_cap.as_watts().max(0.0),
+            min_grant_w: min_grant.as_watts().max(0.0),
+            tenants: Vec::new(),
+        }
+    }
+
+    /// The socket-wide budget.
+    pub fn socket_cap(&self) -> Watts {
+        Watts::new(self.socket_cap_w)
+    }
+
+    /// The per-tenant admission floor.
+    pub fn min_grant(&self) -> Watts {
+        Watts::new(self.min_grant_w)
+    }
+
+    /// Registered tenants (active + failsafed).
+    pub fn len(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// Whether no tenant is registered.
+    pub fn is_empty(&self) -> bool {
+        self.tenants.is_empty()
+    }
+
+    /// Registered tenants currently holding a live grant.
+    pub fn active_count(&self) -> usize {
+        self.tenants.iter().filter(|t| !t.failsafed).count()
+    }
+
+    /// Admits a tenant requesting a cap of `requested`, returning the
+    /// granted cap.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Rejected`] with [`RejectReason::DuplicateTenant`] when
+    /// `tenant` is already registered, or
+    /// [`RejectReason::BudgetExhausted`] when admitting one more
+    /// tenant would break the `min_grant` reservation for everyone
+    /// registered (failsafed tenants keep their reservation so their
+    /// restore cannot be starved).
+    pub fn join(&mut self, tenant: u64, requested: Watts) -> Result<Watts> {
+        if self.tenants.iter().any(|t| t.id == tenant) {
+            return Err(Error::Rejected {
+                reason: RejectReason::DuplicateTenant { tenant },
+            });
+        }
+        let reserved = (self.tenants.len() + 1) as f64 * self.min_grant_w;
+        if reserved > self.socket_cap_w {
+            let available =
+                (self.socket_cap_w - self.tenants.len() as f64 * self.min_grant_w).max(0.0);
+            return Err(Error::Rejected {
+                reason: RejectReason::BudgetExhausted {
+                    requested_w: requested.as_watts(),
+                    available_w: available,
+                },
+            });
+        }
+        self.tenants.push(TenantBudget {
+            id: tenant,
+            requested_w: requested.as_watts().max(0.0),
+            granted_w: 0.0,
+            failsafed: false,
+        });
+        self.rebalance();
+        self.granted(tenant).ok_or_else(|| {
+            Error::InvalidInput(format!("arbiter: tenant {tenant} vanished during join"))
+        })
+    }
+
+    /// Deregisters a tenant, redistributing its budget.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidInput`] when `tenant` is not registered.
+    pub fn leave(&mut self, tenant: u64) -> Result<()> {
+        let before = self.tenants.len();
+        self.tenants.retain(|t| t.id != tenant);
+        if self.tenants.len() == before {
+            return Err(Error::InvalidInput(format!(
+                "arbiter: unknown tenant {tenant}"
+            )));
+        }
+        self.rebalance();
+        Ok(())
+    }
+
+    /// Marks a tenant failsafed: its grant drops to zero (the safe VF
+    /// pin spends no discretionary budget) and the freed watts are
+    /// redistributed. Idempotent.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidInput`] when `tenant` is not registered.
+    pub fn failsafe(&mut self, tenant: u64) -> Result<()> {
+        let t = self
+            .tenants
+            .iter_mut()
+            .find(|t| t.id == tenant)
+            .ok_or_else(|| Error::InvalidInput(format!("arbiter: unknown tenant {tenant}")))?;
+        t.failsafed = true;
+        self.rebalance();
+        Ok(())
+    }
+
+    /// Re-admits a recovered tenant to the allocation, returning its
+    /// new grant. Idempotent. Always succeeds for a registered tenant:
+    /// admission reserved its `min_grant` while it was failsafed.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidInput`] when `tenant` is not registered.
+    pub fn restore(&mut self, tenant: u64) -> Result<Watts> {
+        let t = self
+            .tenants
+            .iter_mut()
+            .find(|t| t.id == tenant)
+            .ok_or_else(|| Error::InvalidInput(format!("arbiter: unknown tenant {tenant}")))?;
+        t.failsafed = false;
+        self.rebalance();
+        self.granted(tenant).ok_or_else(|| {
+            Error::InvalidInput(format!("arbiter: tenant {tenant} vanished during restore"))
+        })
+    }
+
+    /// The cap currently granted to `tenant` (zero while failsafed),
+    /// or `None` when it is not registered.
+    pub fn granted(&self, tenant: u64) -> Option<Watts> {
+        self.tenants
+            .iter()
+            .find(|t| t.id == tenant)
+            .map(|t| Watts::new(t.granted_w))
+    }
+
+    /// Every registered tenant's `(id, granted cap)`, in join order.
+    pub fn grants(&self) -> Vec<(u64, Watts)> {
+        self.tenants
+            .iter()
+            .map(|t| (t.id, Watts::new(t.granted_w)))
+            .collect()
+    }
+
+    /// The aggregate granted budget. Never exceeds
+    /// [`BudgetArbiter::socket_cap`].
+    pub fn total_granted(&self) -> Watts {
+        Watts::new(self.tenants.iter().map(|t| t.granted_w).sum())
+    }
+
+    /// Deterministic max-min fair (water-filling) allocation over the
+    /// active tenants, each capped at its own request.
+    fn rebalance(&mut self) {
+        for t in &mut self.tenants {
+            t.granted_w = 0.0;
+        }
+        let mut remaining = self.socket_cap_w;
+        let mut unsatisfied: Vec<usize> = self
+            .tenants
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !t.failsafed)
+            .map(|(i, _)| i)
+            .collect();
+        while !unsatisfied.is_empty() && remaining > 0.0 {
+            let round_size = unsatisfied.len();
+            let share = remaining / round_size as f64;
+            let mut still_hungry = Vec::with_capacity(round_size);
+            for i in unsatisfied {
+                let Some(t) = self.tenants.get_mut(i) else {
+                    continue;
+                };
+                if t.requested_w <= share {
+                    // Fully satisfied at this water level; its surplus
+                    // stays in `remaining` for the next round.
+                    t.granted_w = t.requested_w;
+                    remaining -= t.requested_w;
+                } else {
+                    still_hungry.push(i);
+                }
+            }
+            if still_hungry.len() == round_size {
+                // Nobody was satisfied this round: the water level is
+                // final — split the remainder evenly and stop.
+                for i in still_hungry {
+                    if let Some(t) = self.tenants.get_mut(i) {
+                        t.granted_w = share;
+                    }
+                }
+                break;
+            }
+            unsatisfied = still_hungry;
+        }
+        // f64 rounding can leave the sum a few ulps above the cap;
+        // scale down defensively so the invariant is exact-ish.
+        let total: f64 = self.tenants.iter().map(|t| t.granted_w).sum();
+        if total > self.socket_cap_w && total > 0.0 {
+            let scale = self.socket_cap_w / total;
+            for t in &mut self.tenants {
+                t.granted_w *= scale;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arbiter(cap: f64, min: f64) -> BudgetArbiter {
+        BudgetArbiter::new(Watts::new(cap), Watts::new(min))
+    }
+
+    #[test]
+    fn single_tenant_gets_min_of_request_and_cap() {
+        let mut a = arbiter(100.0, 10.0);
+        assert_eq!(a.join(1, Watts::new(60.0)).unwrap(), Watts::new(60.0));
+        let mut b = arbiter(100.0, 10.0);
+        assert_eq!(b.join(1, Watts::new(150.0)).unwrap(), Watts::new(100.0));
+    }
+
+    #[test]
+    fn surplus_flows_to_hungry_tenants() {
+        let mut a = arbiter(100.0, 10.0);
+        a.join(1, Watts::new(20.0)).unwrap();
+        a.join(2, Watts::new(90.0)).unwrap();
+        // Equal split would be 50/50, but tenant 1 only wants 20; the
+        // other 30 W flow to tenant 2.
+        assert_eq!(a.granted(1).unwrap(), Watts::new(20.0));
+        assert_eq!(a.granted(2).unwrap(), Watts::new(80.0));
+    }
+
+    #[test]
+    fn duplicate_and_exhausted_joins_are_typed_rejections() {
+        let mut a = arbiter(30.0, 10.0);
+        a.join(1, Watts::new(30.0)).unwrap();
+        match a.join(1, Watts::new(5.0)).unwrap_err() {
+            Error::Rejected {
+                reason: RejectReason::DuplicateTenant { tenant },
+            } => assert_eq!(tenant, 1),
+            other => panic!("wrong rejection {other}"),
+        }
+        a.join(2, Watts::new(30.0)).unwrap();
+        a.join(3, Watts::new(30.0)).unwrap();
+        match a.join(4, Watts::new(30.0)).unwrap_err() {
+            Error::Rejected {
+                reason: RejectReason::BudgetExhausted { available_w, .. },
+            } => assert!(available_w < 10.0),
+            other => panic!("wrong rejection {other}"),
+        }
+    }
+
+    #[test]
+    fn failsafe_frees_budget_and_restore_reclaims_it() {
+        let mut a = arbiter(90.0, 10.0);
+        a.join(1, Watts::new(60.0)).unwrap();
+        a.join(2, Watts::new(60.0)).unwrap();
+        assert_eq!(a.granted(1).unwrap(), Watts::new(45.0));
+        assert_eq!(a.granted(2).unwrap(), Watts::new(45.0));
+        a.failsafe(1).unwrap();
+        assert_eq!(a.granted(1).unwrap(), Watts::ZERO);
+        assert_eq!(
+            a.granted(2).unwrap(),
+            Watts::new(60.0),
+            "freed budget flows"
+        );
+        let back = a.restore(1).unwrap();
+        assert_eq!(back, Watts::new(45.0));
+        assert_eq!(a.granted(2).unwrap(), Watts::new(45.0));
+    }
+
+    #[test]
+    fn admission_reserves_for_failsafed_tenants() {
+        let mut a = arbiter(30.0, 10.0);
+        a.join(1, Watts::new(30.0)).unwrap();
+        a.join(2, Watts::new(30.0)).unwrap();
+        a.failsafe(1).unwrap();
+        a.join(3, Watts::new(30.0)).unwrap();
+        // Slots are full even though tenant 1 is failsafed: its
+        // min_grant stays reserved so restore cannot be starved.
+        assert!(a.join(4, Watts::new(5.0)).is_err());
+        assert!(a.restore(1).unwrap() >= Watts::new(10.0));
+    }
+
+    /// Decodes one raw u64 into an arbiter operation; used by the
+    /// property below to explore arbitrary operation sequences.
+    fn apply_op(a: &mut BudgetArbiter, raw: u64) {
+        let id = raw % 6;
+        let kind = (raw / 6) % 4;
+        let request = 5.0 + (raw % 977) as f64 * 0.1;
+        match kind {
+            0 => {
+                let _ = a.join(id, Watts::new(request));
+            }
+            1 => {
+                let _ = a.leave(id);
+            }
+            2 => {
+                let _ = a.failsafe(id);
+            }
+            _ => {
+                let _ = a.restore(id);
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// For ANY sequence of joins/leaves/failsafes/restores:
+        /// the aggregate granted budget never exceeds the socket cap,
+        /// nobody is granted more than they asked for, and freed
+        /// budget is fully redistributed (the aggregate equals
+        /// min(cap, sum of active requests) up to rounding).
+        #[test]
+        fn budget_invariants_hold_for_any_op_sequence(
+            ops in prop::collection::vec(0u64..1_000_000, 1..80),
+            cap_raw in 40u64..200,
+            min_raw in 0u64..15,
+        ) {
+            let cap = cap_raw as f64;
+            let mut a = arbiter(cap, min_raw as f64);
+            for raw in ops {
+                apply_op(&mut a, raw);
+
+                let total = a.total_granted().as_watts();
+                prop_assert!(
+                    total <= cap * (1.0 + 1e-12) + 1e-9,
+                    "aggregate {total} exceeds socket cap {cap}"
+                );
+
+                let mut active_request_sum = 0.0;
+                for t in &a.tenants {
+                    prop_assert!(
+                        t.granted_w <= t.requested_w + 1e-9,
+                        "tenant {} granted {} over request {}",
+                        t.id, t.granted_w, t.requested_w
+                    );
+                    prop_assert!(t.granted_w >= 0.0);
+                    if t.failsafed {
+                        prop_assert!(t.granted_w == 0.0, "failsafed tenants hold no budget");
+                    } else {
+                        active_request_sum += t.requested_w;
+                    }
+                }
+
+                // Full redistribution: nothing claimable is left on
+                // the table.
+                let claimable = cap.min(active_request_sum);
+                prop_assert!(
+                    total >= claimable - 1e-6,
+                    "aggregate {total} leaves budget unclaimed (claimable {claimable})"
+                );
+            }
+        }
+
+        /// Restore never fails for a registered tenant, whatever was
+        /// admitted in the meantime — the min_grant reservation at
+        /// admission time guarantees it.
+        #[test]
+        fn restore_always_succeeds_for_registered_tenants(
+            ops in prop::collection::vec(0u64..1_000_000, 1..60),
+        ) {
+            let mut a = arbiter(120.0, 10.0);
+            for raw in ops {
+                apply_op(&mut a, raw);
+                let ids: Vec<u64> = a.tenants.iter().map(|t| t.id).collect();
+                for id in ids {
+                    // Probe on a clone so the sequence under test is
+                    // not disturbed.
+                    let mut probe = a.clone();
+                    prop_assert!(probe.restore(id).is_ok());
+                }
+            }
+        }
+    }
+}

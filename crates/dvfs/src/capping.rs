@@ -170,6 +170,10 @@ impl DvfsController for OneStepCapping {
     fn enforced_cap(&self) -> Option<Watts> {
         Some(self.cap)
     }
+
+    fn set_enforced_cap(&mut self, cap: Watts) {
+        self.set_cap(cap);
+    }
 }
 
 /// The reactive baseline: step all CUs down when over the cap, step
@@ -285,6 +289,10 @@ impl DvfsController for IterativeCapping {
 
     fn enforced_cap(&self) -> Option<Watts> {
         Some(self.cap)
+    }
+
+    fn set_enforced_cap(&mut self, cap: Watts) {
+        self.set_cap(cap);
     }
 }
 
@@ -434,6 +442,10 @@ impl DvfsController for SteepestDrop {
 
     fn enforced_cap(&self) -> Option<Watts> {
         Some(self.cap)
+    }
+
+    fn set_enforced_cap(&mut self, cap: Watts) {
+        self.set_cap(cap);
     }
 }
 

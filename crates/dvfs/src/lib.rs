@@ -12,6 +12,9 @@
 //! * [`boost`] — the §IV-E extension: a firmware-style predictive
 //!   boost controller over the FX-8320's (normally hidden) boost
 //!   states.
+//! * [`arbiter`] — the shared socket power-budget arbiter behind the
+//!   multi-tenant capping service: deterministic max-min fair grants
+//!   whose sum never exceeds the socket cap.
 //!
 //! All controllers implement [`ppep_core::daemon::DvfsController`], so
 //! they plug into the same daemon loop.
@@ -19,11 +22,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arbiter;
 pub mod boost;
 pub mod capping;
 pub mod governor;
 pub mod optimal;
 
+pub use arbiter::BudgetArbiter;
 pub use boost::BoostController;
 pub use capping::{IterativeCapping, OneStepCapping, SteepestDrop};
 pub use optimal::{EdBetaOptimalController, EdpOptimalController, EnergyOptimalController};

@@ -28,6 +28,7 @@
 //! | [`replay`] | trace record → JSONL → strict replay round trip (beyond the paper) |
 //! | [`diff_policies`] | policy-differential replay: two controllers over one recorded trace (beyond the paper) |
 //! | [`bench_parallel`] | serial vs sharded sweep wall clock (`BENCH_parallel.json`) |
+//! | [`serve`] | multi-tenant capping service: clean hosting, chaos containment gate, concurrent load generation (beyond the paper) |
 //!
 //! The paper-scale sweeps shard across cores through [`fleet`]
 //! (`--jobs N` on the binary); results are identical for any worker
@@ -59,6 +60,7 @@ pub mod phenom;
 pub mod replay;
 pub mod report;
 pub mod resilience;
+pub mod serve;
 pub mod summary;
 
 pub use common::{Context, Scale};

@@ -3,7 +3,7 @@
 //! ```text
 //! ppep-experiments [--quick] [--seed N] [--out DIR] [--jobs N] \
 //!     [--policy-a P] [--policy-b P] \
-//!     <fig1|cpi|idle|obs|fig2|fig3|fig4|fig6|fig7|fig8|fig9|fig10|fig11|phenom|ablations|resilience|overhead|replay|diff-policies|bench-parallel|summary|all>
+//!     <fig1|cpi|idle|obs|fig2|fig3|fig4|fig6|fig7|fig8|fig9|fig10|fig11|phenom|ablations|resilience|overhead|replay|diff-policies|bench-parallel|serve|serve-chaos|load-gen|summary|all>
 //! ```
 //!
 //! With `--out DIR`, figure commands additionally write their data as
@@ -32,7 +32,8 @@ fn usage() -> ExitCode {
         "usage: ppep-experiments [--quick] [--seed N] [--out DIR] [--jobs N] \
          [--policy-a P] [--policy-b P] \
          <fig1|cpi|idle|obs|fig2|fig3|fig4|fig6|fig7|fig8|fig9|fig10|fig11|phenom|ablations|\
-         resilience|overhead|replay|diff-policies|bench-parallel|summary|all>\n\
+         resilience|overhead|replay|diff-policies|bench-parallel|serve|serve-chaos|load-gen|\
+         summary|all>\n\
          policies: one-step | iterative | steepest-drop | energy-optimal | recorded"
     );
     ExitCode::FAILURE
@@ -231,6 +232,23 @@ fn dispatch(
                     "sharded sweep traces diverged from the serial ones".into(),
                 ));
             }
+        }
+        "serve" => {
+            let r = serve::run_demo(ctx)?;
+            serve::print_demo(&r);
+            save(out, "serve_health.jsonl", r.health_jsonl.clone());
+        }
+        "serve-chaos" => {
+            let r = serve::run_chaos(ctx)?;
+            serve::print_chaos(&r);
+            save(out, "serve_health.jsonl", r.health_jsonl.clone());
+            // The containment gate IS the exit code: CI relies on it.
+            r.gate()?;
+        }
+        "load-gen" => {
+            let r = serve::run_loadgen(ctx)?;
+            serve::print_loadgen(&r);
+            save(out, "BENCH_serve.json", r.to_json());
         }
         "summary" => summary::print(&summary::run(ctx)?),
         "ablations" => {

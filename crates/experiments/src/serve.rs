@@ -1,0 +1,163 @@
+//! Multi-tenant serving harnesses (beyond the paper): the scripted
+//! service demo, the chaos containment gate, and the load generator.
+//!
+//! Three subcommands on the binary drive one [`CappingService`] each:
+//!
+//! * `serve` — a clean scripted fleet: every tenant admitted, no
+//!   faults, per-tenant health printed at the end.
+//! * `serve-chaos` — the CI containment gate: a fault storm aimed at
+//!   exactly one tenant; the run *fails* (nonzero exit) unless the
+//!   victim visibly degrades while every survivor sustains its
+//!   availability floor and the granted budget never exceeds the
+//!   socket cap. `--out` additionally writes the per-tenant
+//!   `serve_health.jsonl` artifact.
+//! * `load-gen` — concurrent trace replay against the service,
+//!   reporting sustained frame throughput and p50/p95/p99 round-trip
+//!   latency (`BENCH_serve.json` under `--out`).
+
+use crate::common::{Context, Scale};
+use ppep_core::Ppep;
+use ppep_serve::chaos::{self, ChaosConfig, ChaosReport};
+use ppep_serve::loadgen::{self, LoadGenConfig, LoadGenReport};
+use ppep_types::Result;
+
+/// Interval counts per scale.
+fn intervals(scale: Scale) -> u64 {
+    match scale {
+        Scale::Full => 120,
+        Scale::Quick => 40,
+    }
+}
+
+/// Runs the clean scripted fleet (the `serve` subcommand).
+///
+/// # Errors
+///
+/// Propagates training and service-level errors.
+pub fn run_demo(ctx: &Context) -> Result<ChaosReport> {
+    let ppep = Ppep::new(ctx.train_models()?);
+    let mut config = ChaosConfig::smoke(ctx.seed);
+    config.tenants = 4;
+    config.storm_rate = 0.0; // no faults: a clean hosting run
+    config.intervals = intervals(ctx.scale);
+    chaos::run(&ppep, &config)
+}
+
+/// Runs the containment gate scenario (the `serve-chaos` subcommand).
+///
+/// # Errors
+///
+/// Propagates training and service-level errors; the *gate* verdict is
+/// the caller's to enforce via [`ChaosReport::gate`].
+pub fn run_chaos(ctx: &Context) -> Result<ChaosReport> {
+    let ppep = Ppep::new(ctx.train_models()?);
+    let mut config = ChaosConfig::smoke(ctx.seed);
+    config.intervals = intervals(ctx.scale);
+    chaos::run(&ppep, &config)
+}
+
+/// Runs the load generator (the `load-gen` subcommand). `jobs` sets
+/// the concurrent client count (min 2).
+///
+/// # Errors
+///
+/// Propagates training, admission, and wire errors.
+pub fn run_loadgen(ctx: &Context) -> Result<LoadGenReport> {
+    let ppep = Ppep::new(ctx.train_models()?);
+    let mut config = LoadGenConfig::new(ctx.seed);
+    config.clients = (ctx.jobs.max(2)) as u32;
+    config.intervals = intervals(ctx.scale);
+    loadgen::run(&ppep, &config)
+}
+
+fn print_tenants(report: &ChaosReport) {
+    println!("tenant  slot  health    avail   fresh  held  failsafe  retries  granted");
+    for t in &report.tenants {
+        let health = match &t.evicted {
+            Some(_) => "evicted".to_string(),
+            None => t.health.to_string(),
+        };
+        println!(
+            "{:>6}  {:>4}  {:<8}  {:.3}  {:>5}  {:>4}  {:>8}  {:>7}  {}",
+            t.tenant,
+            t.slot,
+            health,
+            t.availability,
+            t.fresh_decisions,
+            t.held_decisions,
+            t.failsafe_intervals,
+            t.retries,
+            t.granted,
+        );
+    }
+}
+
+/// Prints the clean hosting summary.
+pub fn print_demo(report: &ChaosReport) {
+    println!("== Multi-tenant capping service: clean hosting run ==");
+    println!("{}", report.summary());
+    print_tenants(report);
+    println!(
+        "granted budget: peak {} / final {} / socket cap {}",
+        report.max_total_granted, report.final_total_granted, report.config.socket_cap
+    );
+}
+
+/// Prints the chaos containment summary.
+pub fn print_chaos(report: &ChaosReport) {
+    println!("== Multi-tenant capping service: chaos containment gate ==");
+    println!("{}", report.summary());
+    print_tenants(report);
+    println!(
+        "victim received {} failsafe-pinned replies; granted budget peak {} / cap {}",
+        report.victim_failsafe_replies, report.max_total_granted, report.config.socket_cap
+    );
+    match report.gate() {
+        Ok(()) => println!("containment gate: PASS"),
+        Err(e) => println!("containment gate: FAIL — {e}"),
+    }
+}
+
+/// Prints the load-generator summary.
+pub fn print_loadgen(report: &LoadGenReport) {
+    println!("== Multi-tenant capping service: concurrent load generator ==");
+    println!(
+        "{} clients, {} frames in {:.3} s -> {:.0} frames/s ({} evictions)",
+        report.clients, report.frames, report.wall_seconds, report.throughput_fps, report.evictions
+    );
+    println!(
+        "frame round-trip: p50 {:.0} us, p95 {:.0} us, p99 {:.0} us, max {:.0} us",
+        report.p50_us, report.p95_us, report.p99_us, report.max_us
+    );
+    println!("aggregate granted budget at end: {}", report.total_granted);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::DEFAULT_SEED;
+
+    #[test]
+    fn chaos_gate_passes_at_quick_scale() {
+        let ctx = Context::fx8320(Scale::Quick, DEFAULT_SEED);
+        let report = run_chaos(&ctx).expect("chaos run completes");
+        report.gate().expect("containment gate holds");
+        assert_eq!(report.tenants.len(), 8);
+    }
+
+    #[test]
+    fn clean_demo_keeps_every_tenant_healthy() {
+        let ctx = Context::fx8320(Scale::Quick, DEFAULT_SEED);
+        let report = run_demo(&ctx).expect("demo run completes");
+        for t in &report.tenants {
+            assert!(t.evicted.is_none(), "tenant {} evicted", t.tenant);
+            assert!(
+                (t.availability - 1.0).abs() < 1e-9,
+                "tenant {}: availability {}",
+                t.tenant,
+                t.availability
+            );
+        }
+        assert!(report.max_total_granted <= report.config.socket_cap);
+    }
+}

@@ -3,7 +3,7 @@
 //!
 //! | Group | Rule(s) | Invariant |
 //! |-------|---------|-----------|
-//! | L1 | `unwrap`, `expect`, `panic`, `index-arith`, `index-nonliteral` | the runtime crates (`ppep-core`, `ppep-dvfs`, `ppep-models`, `ppep-obs`, `ppep-pmc`, `ppep-rig`, `ppep-sim`, `ppep-telemetry` — including the v2 binary trace codec) never panic in non-test code; failures propagate as `ppep_types::Error`, and every non-literal index survives only with a recorded bounds invariant |
+//! | L1 | `unwrap`, `expect`, `panic`, `index-arith`, `index-nonliteral` | the runtime crates (`ppep-core`, `ppep-dvfs`, `ppep-models`, `ppep-obs`, `ppep-pmc`, `ppep-rig`, `ppep-serve`, `ppep-sim`, `ppep-telemetry` — including the v2 binary trace codec and the session layer) never panic in non-test code; failures propagate as `ppep_types::Error`, and every non-literal index survives only with a recorded bounds invariant |
 //! | L2 | `raw-f64` | public signatures of `ppep-models` / `ppep-core` use unit newtypes, never bare `f64` (dimensionless ratios are allowlisted with reasons) |
 //! | L3 | `wildcard-match` | matches on domain enums are exhaustive with no wildcard arm |
 //! | L4 | `unguarded-output` | public model outputs route through `ppep_types::units::finite` so NaN/∞ cannot enter projections |

@@ -30,13 +30,14 @@ use crate::diag::Diagnostic;
 use crate::lexer::{Token, TokenKind};
 
 /// Crates whose non-test code must be panic-free (L1).
-pub const RUNTIME_CRATES: [&str; 8] = [
+pub const RUNTIME_CRATES: [&str; 9] = [
     "ppep-core",
     "ppep-dvfs",
     "ppep-models",
     "ppep-obs",
     "ppep-pmc",
     "ppep-rig",
+    "ppep-serve",
     "ppep-sim",
     "ppep-telemetry",
 ];
@@ -51,13 +52,14 @@ pub const MODEL_CRATE: &str = "ppep-models";
 /// `ppep_types::Error` is deliberately absent: it is
 /// `#[non_exhaustive]`, so downstream crates *must* write a wildcard
 /// arm for it.
-pub const DOMAIN_ENUMS: [&str; 6] = [
+pub const DOMAIN_ENUMS: [&str; 7] = [
     "FaultKind",
     "HealthState",
     "Action",
     "NbVfState",
     "MuxGroup",
     "EventId",
+    "RejectReason",
 ];
 
 /// The `ppep_types` unit newtypes (L2 alternatives, L4 triggers).

@@ -199,6 +199,63 @@ impl RecorderHandle {
             self.inner.event(name, interval);
         }
     }
+
+    /// Derives a handle that prefixes every counter, gauge, and event
+    /// name with `prefix` before forwarding to the same sink.
+    ///
+    /// The multi-tenant service labels each tenant's daemon with
+    /// `tenant.<id>.` so one shared recorder keeps per-tenant streams
+    /// apart (`tenant.3.fault.transient`, `tenant.3.health.failsafe`,
+    /// …). Spans are forwarded unprefixed — stages are chip-pipeline
+    /// structure, not per-tenant namespace. Labeling a disabled
+    /// recorder stays disabled and free.
+    #[must_use]
+    pub fn labeled(&self, prefix: &str) -> RecorderHandle {
+        if !self.inner.enabled() {
+            return RecorderHandle::noop();
+        }
+        RecorderHandle {
+            inner: Arc::new(LabeledRecorder {
+                prefix: prefix.to_string(),
+                inner: Arc::clone(&self.inner),
+            }),
+        }
+    }
+}
+
+/// A [`Recorder`] decorator that namespaces counter/gauge/event names
+/// under a fixed prefix. Built via [`RecorderHandle::labeled`].
+struct LabeledRecorder {
+    prefix: String,
+    inner: Arc<dyn Recorder>,
+}
+
+impl Recorder for LabeledRecorder {
+    fn enabled(&self) -> bool {
+        self.inner.enabled()
+    }
+
+    fn now_ns(&self) -> u64 {
+        self.inner.now_ns()
+    }
+
+    fn record_span(&self, stage: Stage, interval: u64, start_ns: u64, dur_ns: u64) {
+        self.inner.record_span(stage, interval, start_ns, dur_ns);
+    }
+
+    fn add(&self, counter: &str, by: u64) {
+        self.inner.add(&format!("{}{counter}", self.prefix), by);
+    }
+
+    fn set_gauge(&self, gauge: &str, value: f64) {
+        self.inner
+            .set_gauge(&format!("{}{gauge}", self.prefix), value);
+    }
+
+    fn event(&self, name: &str, interval: u64) {
+        self.inner
+            .event(&format!("{}{name}", self.prefix), interval);
+    }
 }
 
 impl Default for RecorderHandle {
@@ -223,6 +280,18 @@ pub struct SpanGuard<'a> {
     stage: Stage,
     interval: u64,
     timer: Option<(u64, Instant)>,
+}
+
+impl SpanGuard<'_> {
+    /// Cancels the span: the guard drops without recording anything.
+    ///
+    /// For regions that turn out to be no-ops — a retry probe against
+    /// a substrate whose `resample` declines — recording the span
+    /// would misstate the pipeline (a `Sample` span with no sample
+    /// behind it).
+    pub fn dismiss(mut self) {
+        self.timer = None;
+    }
 }
 
 impl Drop for SpanGuard<'_> {
@@ -335,6 +404,15 @@ mod tests {
     }
 
     #[test]
+    fn dismissed_span_records_nothing() {
+        let tracer = Arc::new(TraceRecorder::new());
+        let rec = RecorderHandle::new(tracer.clone());
+        let g = rec.span(Stage::Sample, 7);
+        g.dismiss();
+        assert!(tracer.snapshot().spans.is_empty());
+    }
+
+    #[test]
     fn stage_clock_accumulates_and_flushes_one_span_per_stage() {
         let tracer = Arc::new(TraceRecorder::new());
         let rec = RecorderHandle::new(tracer.clone());
@@ -354,6 +432,33 @@ mod tests {
             snap.spans[1].start_ns,
             snap.spans[0].start_ns + snap.spans[0].dur_ns
         );
+    }
+
+    #[test]
+    fn labeled_handle_prefixes_names_but_not_spans() {
+        let tracer = Arc::new(TraceRecorder::new());
+        let rec = RecorderHandle::new(tracer.clone());
+        let tenant = rec.labeled("tenant.3.");
+        assert!(tenant.enabled());
+        tenant.incr("fault.transient");
+        tenant.set_gauge("cap_w", 45.0);
+        tenant.event("health.failsafe", 9);
+        {
+            let _g = tenant.span(Stage::Decide, 9);
+        }
+        rec.incr("fault.transient");
+        let snap = tracer.snapshot();
+        assert_eq!(snap.counter("tenant.3.fault.transient"), 1);
+        assert_eq!(snap.counter("fault.transient"), 1);
+        assert_eq!(snap.spans.len(), 1, "spans forward unprefixed");
+        assert_eq!(snap.spans[0].stage, Stage::Decide);
+    }
+
+    #[test]
+    fn labeling_a_noop_recorder_stays_noop() {
+        let rec = RecorderHandle::noop().labeled("tenant.0.");
+        assert!(!rec.enabled());
+        rec.incr("x");
     }
 
     #[test]

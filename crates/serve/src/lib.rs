@@ -1,0 +1,59 @@
+//! `ppep-serve` — the multi-tenant PPEP capping service.
+//!
+//! Earlier layers supervise **one** daemon on **one** machine. This
+//! crate hosts many: a [`CappingService`] runs one resilient daemon
+//! per tenant behind the session wire protocol
+//! ([`ppep_telemetry::session`]), arbitrating a shared socket power
+//! budget across all of them. The robustness contract is built from
+//! four mechanisms:
+//!
+//! * **Admission control** ([`service`]) — sessions past the slot or
+//!   budget limits are turned away with a typed
+//!   [`ppep_types::RejectReason`] instead of degrading everyone.
+//! * **Bulkheads** ([`service`]) — each tenant gets its own platform
+//!   ([`platform::SessionPlatform`]), controller, supervisor, and
+//!   budget grant; panics and fatal faults evict one tenant and touch
+//!   nothing else.
+//! * **Budget arbitration** ([`ppep_dvfs::arbiter`]) — a failsafed
+//!   tenant's watts flow to the survivors and flow back on recovery;
+//!   the aggregate never exceeds the socket cap.
+//! * **Deadline watchdogs** ([`service`]) — silent tenants degrade
+//!   through the supervisor's ladder and are eventually evicted with
+//!   [`ppep_types::Error::DeadlineExceeded`].
+//!
+//! [`chaos`] proves the contract by firing a fault storm at one
+//! tenant and gating on blast-radius containment; [`loadgen`]
+//! measures frame throughput and round-trip latency under concurrent
+//! clients.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chaos;
+pub mod loadgen;
+pub mod platform;
+pub mod service;
+
+pub use chaos::{ChaosConfig, ChaosReport};
+pub use loadgen::{LoadGenConfig, LoadGenReport};
+pub use platform::SessionPlatform;
+pub use service::{CappingService, ServeConfig, TenantStatus, TickReport};
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    //! One quick-trained engine shared by every in-crate test.
+    use ppep_core::Ppep;
+    use ppep_rig::TrainingRig;
+    use std::sync::OnceLock;
+
+    pub(crate) fn engine() -> &'static Ppep {
+        static PPEP: OnceLock<Ppep> = OnceLock::new();
+        PPEP.get_or_init(|| {
+            Ppep::new(
+                TrainingRig::fx8320(42)
+                    .train_quick()
+                    .expect("training succeeds"),
+            )
+        })
+    }
+}

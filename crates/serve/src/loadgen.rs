@@ -1,0 +1,276 @@
+//! Concurrent load generator for the capping service.
+//!
+//! [`run`] admits N client sessions, hands each its own replay trace
+//! (a [`TraceEvent`] stream, the same shape `ppep-experiments record`
+//! produces), and drives them from N OS threads against one shared
+//! [`CappingService`]. Each client times every frame round-trip
+//! (encode → service → decode) with its own [`Histogram`]; the merged
+//! histogram yields the p50/p95/p99 latencies and the sustained
+//! frame throughput.
+//!
+//! The service sits behind a [`Mutex`] — the measurement includes
+//! lock contention on purpose, since that *is* the service's
+//! concurrency model.
+
+use std::sync::Mutex;
+use std::time::Instant;
+
+use ppep_core::Ppep;
+use ppep_obs::metrics::Histogram;
+use ppep_sim::chip::{ChipSimulator, SimConfig};
+use ppep_sim::SimPlatform;
+use ppep_telemetry::session::{decode_frame, frame_to_bytes, SessionFrame};
+use ppep_telemetry::trace::TraceEvent;
+use ppep_telemetry::Platform;
+use ppep_types::{Error, Result, Topology, Watts};
+use ppep_workloads::combos::fig7_workload;
+
+use crate::service::{CappingService, ServeConfig};
+
+/// Load-generator parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct LoadGenConfig {
+    /// Concurrent client sessions (one OS thread each).
+    pub clients: u32,
+    /// Intervals each client replays.
+    pub intervals: u64,
+    /// Shared socket budget.
+    pub socket_cap: Watts,
+    /// Each client's requested cap.
+    pub requested_cap: Watts,
+    /// Seed for the synthesized replay traces.
+    pub seed: u64,
+}
+
+impl LoadGenConfig {
+    /// Defaults: 4 clients × 50 intervals on a 120 W socket.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            clients: 4,
+            intervals: 50,
+            socket_cap: Watts::new(120.0),
+            requested_cap: Watts::new(40.0),
+            seed,
+        }
+    }
+}
+
+/// Aggregate throughput and latency results.
+#[derive(Debug, Clone)]
+pub struct LoadGenReport {
+    /// Clients driven.
+    pub clients: u32,
+    /// Frames submitted (all clients).
+    pub frames: u64,
+    /// Replies that reported an eviction.
+    pub evictions: u64,
+    /// Wall-clock seconds for the replay phase.
+    pub wall_seconds: f64,
+    /// Sustained frames per second across all clients.
+    pub throughput_fps: f64,
+    /// Median frame round-trip, microseconds.
+    pub p50_us: f64,
+    /// 95th-percentile frame round-trip, microseconds.
+    pub p95_us: f64,
+    /// 99th-percentile frame round-trip, microseconds.
+    pub p99_us: f64,
+    /// Worst observed frame round-trip, microseconds.
+    pub max_us: f64,
+    /// Aggregate granted budget when the run ended.
+    pub total_granted: Watts,
+}
+
+impl LoadGenReport {
+    /// One JSON object for the benchmark artifact.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"clients\":{},\"frames\":{},\"evictions\":{},\"wall_seconds\":{:.6},\
+             \"throughput_fps\":{:.2},\"p50_us\":{:.1},\"p95_us\":{:.1},\"p99_us\":{:.1},\
+             \"max_us\":{:.1},\"total_granted_w\":{:.3}}}",
+            self.clients,
+            self.frames,
+            self.evictions,
+            self.wall_seconds,
+            self.throughput_fps,
+            self.p50_us,
+            self.p95_us,
+            self.p99_us,
+            self.max_us,
+            self.total_granted.as_watts(),
+        )
+    }
+}
+
+/// Records a replay trace by sampling a fault-free simulated chip for
+/// `intervals` intervals — the in-memory equivalent of
+/// `ppep-experiments record`.
+pub fn synthesize_trace(intervals: u64, seed: u64) -> Vec<TraceEvent> {
+    let mut sim = ChipSimulator::new(SimConfig::fx8320_pg(seed));
+    sim.load_workload(&fig7_workload(seed));
+    let mut platform = SimPlatform::new(sim);
+    let mut events = Vec::with_capacity(intervals as usize);
+    for _ in 0..intervals {
+        match platform.sample() {
+            Ok(record) => events.push(TraceEvent::Interval(record)),
+            Err(error) => events.push(TraceEvent::Fault {
+                index: platform.current_interval(),
+                error,
+            }),
+        }
+    }
+    events
+}
+
+fn replay_client(
+    service: &Mutex<CappingService>,
+    topology: &Topology,
+    tenant: u64,
+    events: &[TraceEvent],
+) -> Result<(Histogram, u64, u64)> {
+    let mut latency = Histogram::latency_us();
+    let mut frames = 0u64;
+    let mut evictions = 0u64;
+    for event in events {
+        let frame = match event {
+            TraceEvent::Interval(record) => SessionFrame::Submit {
+                tenant,
+                record: Box::new(record.clone()),
+            },
+            TraceEvent::Fault { index, error } => SessionFrame::FaultReport {
+                tenant,
+                index: *index,
+                error: error.clone(),
+            },
+            // Apply/decision events are the daemon's own actions — a
+            // replaying client has nothing to submit for them.
+            TraceEvent::Apply(_) | TraceEvent::Decision(_) => continue,
+        };
+        let bytes = frame_to_bytes(&frame);
+        let start = Instant::now();
+        let response = {
+            let mut service = service
+                .lock()
+                .map_err(|_| Error::InvalidInput("load-gen: service mutex poisoned".into()))?;
+            service.handle_frame(&bytes)?.0
+        };
+        latency.observe(start.elapsed().as_secs_f64() * 1e6);
+        frames += 1;
+        let (reply, _) = decode_frame(&response, topology)?;
+        match reply {
+            SessionFrame::Reply { .. } => {}
+            SessionFrame::Evicted { .. } => {
+                evictions += 1;
+                break;
+            }
+            other => {
+                return Err(Error::InvalidInput(format!(
+                    "load-gen: unexpected reply {other:?}"
+                )))
+            }
+        }
+    }
+    Ok((latency, frames, evictions))
+}
+
+/// Runs the load generator. See the module docs.
+///
+/// # Errors
+///
+/// Admission rejections, wire errors, and poisoned-lock failures.
+pub fn run(ppep: &Ppep, config: &LoadGenConfig) -> Result<LoadGenReport> {
+    let mut serve_config = ServeConfig::new(config.socket_cap);
+    serve_config.max_sessions = config.clients.max(1);
+    let mut service = CappingService::new(ppep.clone(), serve_config);
+    let topology = service.topology().clone();
+    for tenant in 0..u64::from(config.clients) {
+        service.connect(tenant, config.requested_cap)?;
+    }
+    let traces: Vec<Vec<TraceEvent>> = (0..u64::from(config.clients))
+        .map(|tenant| {
+            synthesize_trace(
+                config.intervals,
+                config.seed ^ tenant.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            )
+        })
+        .collect();
+
+    let service = Mutex::new(service);
+    let started = Instant::now();
+    let outcomes: Vec<Result<(Histogram, u64, u64)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = traces
+            .iter()
+            .enumerate()
+            .map(|(tenant, events)| {
+                let service = &service;
+                let topology = &topology;
+                scope.spawn(move || replay_client(service, topology, tenant as u64, events))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join().unwrap_or_else(|_| {
+                    Err(Error::DeviceLost("load-gen: client thread panicked".into()))
+                })
+            })
+            .collect()
+    });
+    let wall_seconds = started.elapsed().as_secs_f64();
+
+    let mut latency = Histogram::latency_us();
+    let mut frames = 0u64;
+    let mut evictions = 0u64;
+    for outcome in outcomes {
+        let (h, f, e) = outcome?;
+        latency.merge(&h);
+        frames += f;
+        evictions += e;
+    }
+    let total_granted = service
+        .lock()
+        .map_err(|_| Error::InvalidInput("load-gen: service mutex poisoned".into()))?
+        .arbiter()
+        .total_granted();
+    Ok(LoadGenReport {
+        clients: config.clients,
+        frames,
+        evictions,
+        wall_seconds,
+        throughput_fps: frames as f64 / wall_seconds.max(1e-9),
+        p50_us: latency.percentile(0.50),
+        p95_us: latency.percentile(0.95),
+        p99_us: latency.percentile(0.99),
+        max_us: latency.max(),
+        total_granted,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::engine;
+
+    #[test]
+    fn concurrent_clients_replay_without_losses() {
+        let mut config = LoadGenConfig::new(42);
+        config.clients = 3;
+        config.intervals = 8;
+        let report = run(engine(), &config).expect("load-gen completes");
+        assert_eq!(report.frames, 24, "every frame answered");
+        assert_eq!(report.evictions, 0);
+        assert!(report.throughput_fps > 0.0);
+        assert!(report.p50_us <= report.p95_us && report.p95_us <= report.p99_us);
+        assert!(report.max_us > 0.0);
+        assert!(report.total_granted <= config.socket_cap);
+        let json = report.to_json();
+        assert!(json.contains("\"frames\":24"), "{json}");
+    }
+
+    #[test]
+    fn synthesized_traces_are_deterministic_and_clean() {
+        let a = synthesize_trace(6, 7);
+        let b = synthesize_trace(6, 7);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|e| matches!(e, TraceEvent::Interval(_))));
+    }
+}

@@ -1,0 +1,150 @@
+//! The queue-fed platform behind each tenant's hosted daemon.
+//!
+//! In the single-tenant daemon the [`Platform`] is the machine: `sample`
+//! reads sensors. In the service, the "machine" is a remote client
+//! streaming [`IntervalRecord`]s over the session protocol — so each
+//! tenant's daemon drives a [`SessionPlatform`]: the session layer
+//! pushes the client's submissions (or reported faults) into a queue,
+//! and the daemon's `sample` pops them. An empty queue *is* a missed
+//! deadline — `sample` fails with [`Error::MissedInterval`], which is
+//! transient, so the tenant's supervisor degrades gracefully instead
+//! of crashing, exactly as it would for a flaky sensor.
+//!
+//! `resample` serves the next queued item when one exists: a client
+//! that follows a fault report with a corrected record inside the same
+//! tick is absorbed by the supervisor's retry path without ever
+//! degrading.
+
+use std::collections::VecDeque;
+
+use ppep_telemetry::{IntervalRecord, Platform};
+use ppep_types::time::IntervalIndex;
+use ppep_types::{Error, Result, Topology, VfStateId};
+
+/// A [`Platform`] fed by a session queue instead of live sensors. See
+/// the module docs.
+#[derive(Debug)]
+pub struct SessionPlatform {
+    topology: Topology,
+    queue: VecDeque<Result<IntervalRecord>>,
+    interval: u64,
+    last_applied: Vec<VfStateId>,
+}
+
+impl SessionPlatform {
+    /// Builds an empty platform for a tenant on `topology`.
+    pub fn new(topology: Topology) -> Self {
+        let lowest = topology.vf_table().lowest();
+        let cu_count = topology.cu_count();
+        Self {
+            topology,
+            queue: VecDeque::new(),
+            interval: 0,
+            last_applied: vec![lowest; cu_count],
+        }
+    }
+
+    /// Enqueues a client-submitted measurement.
+    pub fn push_record(&mut self, record: IntervalRecord) {
+        self.queue.push_back(Ok(record));
+    }
+
+    /// Enqueues a client-reported measurement fault.
+    pub fn push_fault(&mut self, error: Error) {
+        self.queue.push_back(Err(error));
+    }
+
+    /// Queued items not yet consumed by the daemon.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// The most recent VF assignment the daemon applied — what the
+    /// session layer sends back to the client.
+    pub fn last_applied(&self) -> &[VfStateId] {
+        &self.last_applied
+    }
+}
+
+impl Platform for SessionPlatform {
+    fn sample(&mut self) -> Result<IntervalRecord> {
+        self.interval += 1;
+        match self.queue.pop_front() {
+            Some(item) => item,
+            // Nothing arrived before the service tick: the tenant
+            // missed its interval deadline. Transient, so the
+            // supervisor holds/degrades rather than aborting.
+            None => Err(Error::MissedInterval { missed: 1 }),
+        }
+    }
+
+    fn resample(&mut self, _backoff_us: u64) -> Option<Result<IntervalRecord>> {
+        // A corrected submission queued behind the fault is served to
+        // the supervisor's retry; an empty queue cannot re-read.
+        self.queue.pop_front()
+    }
+
+    fn apply(&mut self, assignment: &[VfStateId]) -> Result<()> {
+        if assignment.len() != self.topology.cu_count() {
+            return Err(Error::InvalidInput(format!(
+                "assignment names {} CUs, chip has {}",
+                assignment.len(),
+                self.topology.cu_count()
+            )));
+        }
+        let ladder = self.topology.vf_table().len();
+        if let Some(bad) = assignment.iter().find(|vf| vf.index() >= ladder) {
+            return Err(Error::InvalidInput(format!(
+                "assignment names VF state {} outside the {ladder}-state ladder",
+                bad.index()
+            )));
+        }
+        self.last_applied = assignment.to_vec();
+        Ok(())
+    }
+
+    fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    fn current_interval(&self) -> IntervalIndex {
+        IntervalIndex(self.interval)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppep_types::VfTable;
+
+    #[test]
+    fn empty_queue_is_a_missed_deadline() {
+        let mut p = SessionPlatform::new(Topology::fx8320());
+        match p.sample() {
+            Err(Error::MissedInterval { missed: 1 }) => {}
+            other => panic!("wrong outcome {other:?}"),
+        }
+        assert!(p.resample(100).is_none(), "nothing to re-read");
+    }
+
+    #[test]
+    fn queued_faults_then_records_flow_through_resample() {
+        let mut p = SessionPlatform::new(Topology::fx8320());
+        p.push_fault(Error::SensorDropout {
+            sensor: "hall-sensor",
+        });
+        assert_eq!(p.pending(), 1);
+        assert!(p.sample().is_err());
+        assert!(p.resample(100).is_none());
+    }
+
+    #[test]
+    fn apply_validates_against_the_topology() {
+        let table = VfTable::fx8320();
+        let mut p = SessionPlatform::new(Topology::fx8320());
+        let good = vec![table.highest(); 4];
+        p.apply(&good).unwrap();
+        assert_eq!(p.last_applied(), good.as_slice());
+        assert!(p.apply(&[table.lowest(); 9]).is_err());
+    }
+}

@@ -1,0 +1,931 @@
+//! The multi-tenant capping service.
+//!
+//! One [`CappingService`] hosts N concurrent tenants. Each tenant gets
+//! its own bulkhead: a [`ResilientDaemon`] over a [`SessionPlatform`]
+//! with its own [`OneStepCapping`] controller, its own health state,
+//! and its own slice of the shared socket power budget from the
+//! [`BudgetArbiter`]. The failure-containment contract:
+//!
+//! * **Admission control** — [`CappingService::connect`] rejects a
+//!   session with a typed [`ppep_types::RejectReason`] when the
+//!   session slots or the socket budget are exhausted. Nothing about
+//!   an admitted tenant changes another tenant's grant below the
+//!   arbiter's fair share.
+//! * **Bulkhead isolation** — a panic inside one tenant's daemon is
+//!   caught at the session boundary ([`std::panic::catch_unwind`])
+//!   and evicts only that tenant. A tenant entering Failsafe frees
+//!   its budget back to the arbiter, which redistributes it to the
+//!   survivors; recovery restores its share.
+//! * **Deadline watchdog** — a tenant that fails to submit before
+//!   [`CappingService::tick`] is charged a missed deadline: its
+//!   supervisor absorbs an [`Error::MissedInterval`] (degrading
+//!   gracefully), and after [`ServeConfig::deadline_miss_limit`]
+//!   consecutive misses the session is evicted with
+//!   [`Error::DeadlineExceeded`].
+//! * **Budget invariant** — every tick checks that the aggregate
+//!   granted budget is within the socket cap; a violation is a
+//!   service bug and surfaces as an error (the chaos gate asserts it
+//!   never fires).
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use ppep_core::daemon::{DvfsController, PpepDaemon};
+use ppep_core::resilient::{Action, HealthState, ResilientDaemon, RetryPolicy, SupervisorConfig};
+use ppep_core::Ppep;
+use ppep_dvfs::arbiter::BudgetArbiter;
+use ppep_dvfs::OneStepCapping;
+use ppep_obs::RecorderHandle;
+use ppep_telemetry::session::{
+    decode_frame, encode_frame, DecisionKind, ProjectionSummary, SessionFrame, TenantHealth,
+};
+use ppep_telemetry::IntervalRecord;
+use ppep_types::time::IntervalIndex;
+use ppep_types::{Error, RejectReason, Result, Topology, Watts};
+
+use crate::platform::SessionPlatform;
+
+/// A tenant's controller: boxed so the service can host heterogeneous
+/// policies, `Send` so the service can sit behind a mutex shared by
+/// load-generator threads.
+pub type TenantController = Box<dyn DvfsController + Send>;
+
+/// Service tunables.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// The shared socket power budget arbitrated across tenants.
+    pub socket_cap: Watts,
+    /// Per-tenant reservation floor for admission (see
+    /// [`BudgetArbiter`]).
+    pub min_grant: Watts,
+    /// Maximum concurrent sessions.
+    pub max_sessions: u32,
+    /// Consecutive missed interval deadlines tolerated before the
+    /// session is evicted with [`Error::DeadlineExceeded`]. Kept above
+    /// the supervisor's three-strike failsafe so a silent tenant is
+    /// first degraded, then failsafed, then evicted.
+    pub deadline_miss_limit: u32,
+    /// In-interval retry policy handed to each tenant's supervisor.
+    pub retry: RetryPolicy,
+}
+
+impl ServeConfig {
+    /// Defaults: 16 session slots, a 5 W admission floor, eviction
+    /// after 5 consecutive missed deadlines.
+    pub fn new(socket_cap: Watts) -> Self {
+        Self {
+            socket_cap,
+            min_grant: Watts::new(5.0),
+            max_sessions: 16,
+            deadline_miss_limit: 5,
+            retry: RetryPolicy::new(),
+        }
+    }
+}
+
+/// One hosted tenant (live or evicted — evicted sessions are kept for
+/// reporting).
+struct TenantSession {
+    id: u64,
+    slot: u32,
+    daemon: ResilientDaemon<SessionPlatform, TenantController>,
+    submitted_this_tick: bool,
+    consecutive_missed: u32,
+    failsafed_in_arbiter: bool,
+    evicted: Option<Error>,
+}
+
+/// A snapshot of one tenant's health for status reporting.
+#[derive(Debug, Clone)]
+pub struct TenantStatus {
+    /// The tenant id.
+    pub tenant: u64,
+    /// Its session slot.
+    pub slot: u32,
+    /// Supervisor state (meaningless once evicted).
+    pub health: HealthState,
+    /// Why the session was evicted, when it was.
+    pub evicted: Option<Error>,
+    /// Intervals supervised.
+    pub intervals: u64,
+    /// Decision availability (fresh + held over intervals).
+    pub availability: f64,
+    /// Fresh decisions.
+    pub fresh_decisions: u64,
+    /// Held decisions.
+    pub held_decisions: u64,
+    /// Failsafe-pinned intervals.
+    pub failsafe_intervals: u64,
+    /// Transient faults absorbed.
+    pub transient_errors: u64,
+    /// Records rejected by validation.
+    pub quarantined: u64,
+    /// In-interval retries attempted.
+    pub retries: u64,
+    /// The cap currently granted (zero when failsafed or evicted).
+    pub granted: Watts,
+}
+
+impl TenantStatus {
+    /// One JSONL line for the per-tenant health artifact.
+    pub fn to_jsonl(&self) -> String {
+        let health = match self.evicted {
+            Some(_) => "evicted".to_string(),
+            None => self.health.to_string(),
+        };
+        let evicted = match &self.evicted {
+            Some(e) => format!("\"{}\"", e.to_string().replace('"', "'")),
+            None => "null".to_string(),
+        };
+        format!(
+            "{{\"tenant\":{},\"slot\":{},\"health\":\"{health}\",\"evicted\":{evicted},\
+             \"intervals\":{},\"availability\":{:.6},\"fresh\":{},\"held\":{},\
+             \"failsafe_intervals\":{},\"transient_errors\":{},\"quarantined\":{},\
+             \"retries\":{},\"granted_w\":{:.6}}}",
+            self.tenant,
+            self.slot,
+            self.intervals,
+            self.availability,
+            self.fresh_decisions,
+            self.held_decisions,
+            self.failsafe_intervals,
+            self.transient_errors,
+            self.quarantined,
+            self.retries,
+            self.granted.as_watts(),
+        )
+    }
+}
+
+/// The outcome of one service tick (deadline sweep + invariant check).
+#[derive(Debug, Clone)]
+pub struct TickReport {
+    /// The service interval just completed.
+    pub interval: u64,
+    /// Aggregate granted budget after the sweep.
+    pub total_granted: Watts,
+    /// Frames the service generated for non-submitting tenants
+    /// (held/failsafe replies and evictions) — in a networked
+    /// deployment these would be pushed to the clients.
+    pub frames: Vec<SessionFrame>,
+}
+
+/// The multi-tenant capping service. See the module docs.
+pub struct CappingService {
+    ppep: Ppep,
+    config: ServeConfig,
+    arbiter: BudgetArbiter,
+    sessions: Vec<TenantSession>,
+    recorder: RecorderHandle,
+    next_slot: u32,
+    interval: u64,
+}
+
+impl CappingService {
+    /// Builds a service over a trained engine.
+    pub fn new(ppep: Ppep, config: ServeConfig) -> Self {
+        let arbiter = BudgetArbiter::new(config.socket_cap, config.min_grant);
+        Self {
+            ppep,
+            config,
+            arbiter,
+            sessions: Vec::new(),
+            recorder: RecorderHandle::noop(),
+            next_slot: 0,
+            interval: 0,
+        }
+    }
+
+    /// Attaches an observability recorder. Each tenant's daemon gets a
+    /// `tenant.<id>.`-labeled view of it.
+    #[must_use]
+    pub fn with_recorder(mut self, recorder: RecorderHandle) -> Self {
+        self.recorder = recorder;
+        self
+    }
+
+    /// The chip model every session speaks (frame decoding resolves
+    /// VF states and counter layout against it).
+    pub fn topology(&self) -> &Topology {
+        self.ppep.models().topology()
+    }
+
+    /// The budget arbiter (read access for invariant checks).
+    pub fn arbiter(&self) -> &BudgetArbiter {
+        &self.arbiter
+    }
+
+    /// The service tick counter.
+    pub fn interval(&self) -> u64 {
+        self.interval
+    }
+
+    /// Live (admitted, not evicted) session count.
+    pub fn live_sessions(&self) -> usize {
+        self.sessions.iter().filter(|s| s.evicted.is_none()).count()
+    }
+
+    /// Admits `tenant` with its default one-step capping controller,
+    /// returning `(slot, granted cap)`.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Rejected`] when admission control turns the session
+    /// away (slots or budget exhausted, duplicate tenant).
+    pub fn connect(&mut self, tenant: u64, requested_cap: Watts) -> Result<(u32, Watts)> {
+        let controller: TenantController =
+            Box::new(OneStepCapping::new(self.ppep.clone(), requested_cap));
+        self.connect_with_controller(tenant, requested_cap, controller)
+    }
+
+    /// Admits `tenant` with a caller-supplied controller (the chaos
+    /// harness and the bulkhead tests inject faulty ones).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Rejected`] as for [`CappingService::connect`].
+    pub fn connect_with_controller(
+        &mut self,
+        tenant: u64,
+        requested_cap: Watts,
+        controller: TenantController,
+    ) -> Result<(u32, Watts)> {
+        if self
+            .sessions
+            .iter()
+            .any(|s| s.evicted.is_none() && s.id == tenant)
+        {
+            return Err(Error::Rejected {
+                reason: RejectReason::DuplicateTenant { tenant },
+            });
+        }
+        let live = self.live_sessions() as u32;
+        if live >= self.config.max_sessions {
+            return Err(Error::Rejected {
+                reason: RejectReason::SessionSlotsExhausted {
+                    active: live,
+                    max: self.config.max_sessions,
+                },
+            });
+        }
+        let granted = self.arbiter.join(tenant, requested_cap)?;
+        let slot = self.next_slot;
+        self.next_slot += 1;
+
+        let table = self.ppep.models().vf_table().clone();
+        let mut supervisor = SupervisorConfig::new(table.lowest());
+        supervisor.retry = self.config.retry;
+        let platform = SessionPlatform::new(self.topology().clone());
+        let label = format!("tenant.{tenant}.");
+        let daemon = PpepDaemon::new(self.ppep.clone(), platform, controller)
+            .with_recorder(self.recorder.labeled(&label));
+        let mut daemon = ResilientDaemon::new(daemon, supervisor);
+        daemon
+            .inner_mut()
+            .controller_mut()
+            .set_enforced_cap(granted);
+        self.sessions.push(TenantSession {
+            id: tenant,
+            slot,
+            daemon,
+            submitted_this_tick: false,
+            consecutive_missed: 0,
+            failsafed_in_arbiter: false,
+            evicted: None,
+        });
+        // Admission re-balanced everyone's share; push the new grants
+        // into the live controllers.
+        self.sync_caps();
+        self.recorder.incr("serve.sessions_admitted");
+        Ok((slot, granted))
+    }
+
+    /// Closes a tenant's session, freeing its slot and budget.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidInput`] when the tenant has no live session.
+    pub fn disconnect(&mut self, tenant: u64) -> Result<()> {
+        let idx = self.live_index(tenant)?;
+        self.arbiter.leave(tenant)?;
+        self.sessions
+            .retain(|s| !(s.evicted.is_none() && s.id == tenant));
+        let _ = idx;
+        self.sync_caps();
+        Ok(())
+    }
+
+    /// Handles one client-submitted measurement for `tenant`,
+    /// returning the per-interval reply (or eviction notice).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidInput`] when the tenant has no live session.
+    /// Tenant-level failures (panics, fatal faults) never propagate —
+    /// they evict the tenant and are reported in the returned
+    /// [`SessionFrame::Evicted`].
+    pub fn submit(&mut self, tenant: u64, record: IntervalRecord) -> Result<SessionFrame> {
+        let idx = self.live_index(tenant)?;
+        if let Some(s) = self.sessions.get_mut(idx) {
+            s.daemon.inner_mut().platform_mut().push_record(record);
+            s.submitted_this_tick = true;
+            s.consecutive_missed = 0;
+        }
+        Ok(self.step_session(idx))
+    }
+
+    /// Handles a client-reported measurement fault for `tenant`: the
+    /// tenant's supervisor absorbs it (hold / failsafe) and the reply
+    /// reports the resulting decision.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidInput`] when the tenant has no live session.
+    pub fn report_fault(&mut self, tenant: u64, error: Error) -> Result<SessionFrame> {
+        let idx = self.live_index(tenant)?;
+        if let Some(s) = self.sessions.get_mut(idx) {
+            s.daemon.inner_mut().platform_mut().push_fault(error);
+            s.submitted_this_tick = true;
+            s.consecutive_missed = 0;
+        }
+        Ok(self.step_session(idx))
+    }
+
+    /// Ends a service interval: every live tenant that did not submit
+    /// is charged a missed deadline (absorbed by its supervisor, or
+    /// evicted past the limit), submission flags reset, and the
+    /// budget invariant is checked.
+    ///
+    /// # Errors
+    ///
+    /// An aggregate grant above the socket cap — a service bug, never
+    /// expected — surfaces as [`Error::InvalidInput`].
+    pub fn tick(&mut self) -> Result<TickReport> {
+        self.interval += 1;
+        let mut frames = Vec::new();
+        for idx in 0..self.sessions.len() {
+            let (missed, submitted) = match self.sessions.get(idx) {
+                Some(s) if s.evicted.is_none() => (s.consecutive_missed, s.submitted_this_tick),
+                _ => continue,
+            };
+            if submitted {
+                if let Some(s) = self.sessions.get_mut(idx) {
+                    s.submitted_this_tick = false;
+                }
+                continue;
+            }
+            let missed = missed + 1;
+            if let Some(s) = self.sessions.get_mut(idx) {
+                s.consecutive_missed = missed;
+            }
+            if missed >= self.config.deadline_miss_limit {
+                let error = Error::DeadlineExceeded {
+                    missed,
+                    limit: self.config.deadline_miss_limit,
+                };
+                frames.push(self.evict(idx, error));
+                continue;
+            }
+            // The empty session queue turns this step into an
+            // Error::MissedInterval inside the tenant's supervisor:
+            // degraded handling, not a crash.
+            frames.push(self.step_session(idx));
+        }
+        let total = self.arbiter.total_granted();
+        let cap = self.arbiter.socket_cap();
+        if total.as_watts() > cap.as_watts() * (1.0 + 1e-9) + 1e-9 {
+            return Err(Error::InvalidInput(format!(
+                "budget invariant violated: granted {total} exceeds socket cap {cap}"
+            )));
+        }
+        self.recorder
+            .set_gauge("serve.total_granted_w", total.as_watts());
+        Ok(TickReport {
+            interval: self.interval,
+            total_granted: total,
+            frames,
+        })
+    }
+
+    /// Decodes one client frame, applies it, and returns the encoded
+    /// response frames plus the bytes consumed from `src`. Admission
+    /// rejections come back as [`SessionFrame::Reject`] rather than
+    /// errors; tenant-level failures as [`SessionFrame::Evicted`].
+    ///
+    /// # Errors
+    ///
+    /// Malformed bytes ([`decode_frame`]) and frames a client may not
+    /// send (server-to-client kinds) surface as errors.
+    pub fn handle_frame(&mut self, src: &[u8]) -> Result<(Vec<u8>, usize)> {
+        let (frame, consumed) = decode_frame(src, self.topology())?;
+        let response = match frame {
+            SessionFrame::Hello {
+                tenant,
+                requested_cap,
+            } => Some(match self.connect(tenant, requested_cap) {
+                Ok((slot, granted)) => SessionFrame::Welcome {
+                    tenant,
+                    granted_cap: granted,
+                    slot,
+                },
+                Err(Error::Rejected { reason }) => SessionFrame::Reject { tenant, reason },
+                Err(other) => return Err(other),
+            }),
+            SessionFrame::Submit { tenant, record } => Some(self.submit(tenant, *record)?),
+            SessionFrame::FaultReport { tenant, error, .. } => {
+                Some(self.report_fault(tenant, error)?)
+            }
+            SessionFrame::Goodbye { tenant } => {
+                self.disconnect(tenant)?;
+                None
+            }
+            SessionFrame::Welcome { .. }
+            | SessionFrame::Reject { .. }
+            | SessionFrame::Reply { .. }
+            | SessionFrame::Evicted { .. } => {
+                return Err(Error::InvalidInput(
+                    "session frame: clients may not send server frames".into(),
+                ))
+            }
+        };
+        let mut out = Vec::new();
+        if let Some(f) = &response {
+            encode_frame(f, &mut out);
+        }
+        Ok((out, consumed))
+    }
+
+    /// Per-tenant status snapshots (live and evicted), in admission
+    /// order.
+    pub fn status(&self) -> Vec<TenantStatus> {
+        self.sessions
+            .iter()
+            .map(|s| {
+                let r = s.daemon.report();
+                TenantStatus {
+                    tenant: s.id,
+                    slot: s.slot,
+                    health: s.daemon.health_state(),
+                    evicted: s.evicted.clone(),
+                    intervals: r.intervals,
+                    availability: r.decision_availability(),
+                    fresh_decisions: r.fresh_decisions,
+                    held_decisions: r.held_decisions,
+                    failsafe_intervals: r.failsafe_intervals,
+                    transient_errors: r.transient_errors,
+                    quarantined: r.quarantined,
+                    retries: r.retries,
+                    granted: self.arbiter.granted(s.id).unwrap_or(Watts::ZERO),
+                }
+            })
+            .collect()
+    }
+
+    /// The per-tenant health report as JSONL (one line per tenant) —
+    /// the CI chaos artifact.
+    pub fn health_jsonl(&self) -> String {
+        let mut out = String::new();
+        for status in self.status() {
+            out.push_str(&status.to_jsonl());
+            out.push('\n');
+        }
+        out
+    }
+
+    fn live_index(&self, tenant: u64) -> Result<usize> {
+        self.sessions
+            .iter()
+            .position(|s| s.evicted.is_none() && s.id == tenant)
+            .ok_or_else(|| Error::InvalidInput(format!("tenant {tenant} has no live session")))
+    }
+
+    /// Pushes the arbiter's current grants into every live, non-
+    /// failsafed tenant's controller.
+    fn sync_caps(&mut self) {
+        for s in &mut self.sessions {
+            if s.evicted.is_some() || s.failsafed_in_arbiter {
+                continue;
+            }
+            if let Some(granted) = self.arbiter.granted(s.id) {
+                s.daemon
+                    .inner_mut()
+                    .controller_mut()
+                    .set_enforced_cap(granted);
+            }
+        }
+    }
+
+    /// Runs one supervised step for a tenant inside the bulkhead:
+    /// panics and fatal faults evict only this tenant.
+    fn step_session(&mut self, idx: usize) -> SessionFrame {
+        let (tenant, outcome) = match self.sessions.get_mut(idx) {
+            Some(s) => {
+                let outcome = catch_unwind(AssertUnwindSafe(|| s.daemon.step()));
+                (s.id, outcome)
+            }
+            None => {
+                return SessionFrame::Evicted {
+                    tenant: u64::MAX,
+                    index: IntervalIndex(self.interval),
+                    error: Error::InvalidInput("session vanished mid-step".into()),
+                }
+            }
+        };
+        match outcome {
+            Err(_panic) => {
+                self.recorder.incr("serve.panics_contained");
+                let error = Error::DeviceLost(format!(
+                    "tenant {tenant} panicked inside its daemon; session evicted"
+                ));
+                self.evict(idx, error)
+            }
+            Ok(Err(fatal)) => self.evict(idx, fatal),
+            Ok(Ok(step)) => {
+                self.sync_tenant_health(idx);
+                let cap = self.arbiter.granted(tenant).unwrap_or(Watts::ZERO);
+                let projection = step.projection.as_ref().map(|p| {
+                    let mut floor = f64::INFINITY;
+                    let mut ceiling = f64::NEG_INFINITY;
+                    for c in &p.chip {
+                        floor = floor.min(c.power.as_watts());
+                        ceiling = ceiling.max(c.power.as_watts());
+                    }
+                    ProjectionSummary {
+                        power_floor: Watts::new(floor.min(ceiling)),
+                        power_ceiling: Watts::new(ceiling.max(floor)),
+                        temperature: p.temperature,
+                    }
+                });
+                SessionFrame::Reply {
+                    tenant,
+                    interval: step.interval,
+                    action: match step.action {
+                        Action::Fresh => DecisionKind::Fresh,
+                        Action::Held => DecisionKind::Held,
+                        Action::Failsafe => DecisionKind::Failsafe,
+                    },
+                    health: match step.state {
+                        HealthState::Healthy => TenantHealth::Healthy,
+                        HealthState::Degraded => TenantHealth::Degraded,
+                        HealthState::Failsafe => TenantHealth::Failsafe,
+                    },
+                    cap,
+                    decision: step.decision,
+                    projection,
+                }
+            }
+        }
+    }
+
+    /// Mirrors a tenant's supervisor state into the arbiter: entering
+    /// Failsafe frees its budget to the survivors, leaving Failsafe
+    /// reclaims its share.
+    fn sync_tenant_health(&mut self, idx: usize) {
+        let Some(s) = self.sessions.get(idx) else {
+            return;
+        };
+        let tenant = s.id;
+        let in_failsafe = s.daemon.health_state() == HealthState::Failsafe;
+        let marked = s.failsafed_in_arbiter;
+        if in_failsafe && !marked && self.arbiter.failsafe(tenant).is_ok() {
+            if let Some(s) = self.sessions.get_mut(idx) {
+                s.failsafed_in_arbiter = true;
+            }
+            self.recorder.incr("serve.budget_freed");
+            self.sync_caps();
+        } else if !in_failsafe && marked && self.arbiter.restore(tenant).is_ok() {
+            if let Some(s) = self.sessions.get_mut(idx) {
+                s.failsafed_in_arbiter = false;
+            }
+            self.recorder.incr("serve.budget_restored");
+            self.sync_caps();
+        }
+    }
+
+    /// Terminates a session: frees its budget and slot, keeps the
+    /// record for reporting, and returns the eviction notice.
+    fn evict(&mut self, idx: usize, error: Error) -> SessionFrame {
+        let tenant = match self.sessions.get_mut(idx) {
+            Some(s) => {
+                s.evicted = Some(error.clone());
+                s.id
+            }
+            None => u64::MAX,
+        };
+        let _ = self.arbiter.leave(tenant);
+        self.sync_caps();
+        self.recorder.incr("serve.sessions_evicted");
+        self.recorder.event("serve.evicted", self.interval);
+        SessionFrame::Evicted {
+            tenant,
+            index: IntervalIndex(self.interval),
+            error,
+        }
+    }
+}
+
+impl std::fmt::Debug for CappingService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CappingService")
+            .field("live_sessions", &self.live_sessions())
+            .field("interval", &self.interval)
+            .field("total_granted", &self.arbiter.total_granted())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loadgen::synthesize_trace;
+    use crate::testutil::engine;
+    use ppep_core::ppe::PpeProjection;
+    use ppep_telemetry::trace::TraceEvent;
+    use ppep_types::VfStateId;
+
+    fn records(n: u64, seed: u64) -> Vec<IntervalRecord> {
+        synthesize_trace(n, seed)
+            .into_iter()
+            .filter_map(|e| match e {
+                TraceEvent::Interval(r) => Some(r),
+                _ => None,
+            })
+            .collect()
+    }
+
+    fn service(config: ServeConfig) -> CappingService {
+        CappingService::new(engine().clone(), config)
+    }
+
+    #[test]
+    fn admission_rejects_slots_budget_and_duplicates() {
+        let mut cfg = ServeConfig::new(Watts::new(100.0));
+        cfg.max_sessions = 2;
+        cfg.min_grant = Watts::new(20.0);
+        let mut svc = service(cfg);
+
+        let (slot0, g0) = svc.connect(10, Watts::new(60.0)).unwrap();
+        assert_eq!(slot0, 0);
+        assert_eq!(g0, Watts::new(60.0));
+        svc.connect(11, Watts::new(50.0)).unwrap();
+
+        match svc.connect(10, Watts::new(10.0)) {
+            Err(Error::Rejected {
+                reason: RejectReason::DuplicateTenant { tenant: 10 },
+            }) => {}
+            other => panic!("wrong outcome {other:?}"),
+        }
+        match svc.connect(12, Watts::new(10.0)) {
+            Err(Error::Rejected {
+                reason: RejectReason::SessionSlotsExhausted { active: 2, max: 2 },
+            }) => {}
+            other => panic!("wrong outcome {other:?}"),
+        }
+
+        // A tight socket rejects on budget before slots run out.
+        let mut cfg = ServeConfig::new(Watts::new(30.0));
+        cfg.min_grant = Watts::new(20.0);
+        let mut svc = service(cfg);
+        svc.connect(1, Watts::new(25.0)).unwrap();
+        match svc.connect(2, Watts::new(25.0)) {
+            Err(Error::Rejected {
+                reason: RejectReason::BudgetExhausted { .. },
+            }) => {}
+            other => panic!("wrong outcome {other:?}"),
+        }
+
+        // Disconnect frees the slot and the budget for a new tenant.
+        svc.disconnect(1).unwrap();
+        svc.connect(2, Watts::new(25.0)).unwrap();
+        assert_eq!(svc.live_sessions(), 1);
+    }
+
+    /// A controller that panics on its Nth decision — the misbehaving
+    /// tenant for the bulkhead test.
+    struct PanickingController {
+        decisions_until_panic: u32,
+        fallback: Vec<VfStateId>,
+    }
+
+    impl DvfsController for PanickingController {
+        fn decide(&mut self, _projection: &PpeProjection) -> ppep_types::Result<Vec<VfStateId>> {
+            if self.decisions_until_panic == 0 {
+                panic!("tenant controller bug");
+            }
+            self.decisions_until_panic -= 1;
+            Ok(self.fallback.clone())
+        }
+    }
+
+    #[test]
+    fn panic_bulkhead_evicts_one_tenant_and_frees_its_budget() {
+        let mut svc = service(ServeConfig::new(Watts::new(100.0)));
+        let lowest = svc.topology().vf_table().lowest();
+        let cores = svc.topology().cu_count();
+        let bad: TenantController = Box::new(PanickingController {
+            decisions_until_panic: 1,
+            fallback: vec![lowest; cores],
+        });
+        svc.connect_with_controller(7, Watts::new(60.0), bad)
+            .unwrap();
+        svc.connect(1, Watts::new(60.0)).unwrap();
+        let granted_before = svc.arbiter().granted(1).unwrap();
+        assert_eq!(granted_before, Watts::new(50.0), "contended 50/50 split");
+
+        let rs = records(3, 9);
+        let mut rs = rs.into_iter();
+        // First decision succeeds...
+        match svc.submit(7, rs.next().unwrap()).unwrap() {
+            SessionFrame::Reply { tenant: 7, .. } => {}
+            other => panic!("wrong outcome {other:?}"),
+        }
+        // ...the second panics inside the tenant's daemon.
+        match svc.submit(7, rs.next().unwrap()).unwrap() {
+            SessionFrame::Evicted {
+                tenant: 7,
+                error: Error::DeviceLost(msg),
+                ..
+            } => assert!(msg.contains("panicked"), "{msg}"),
+            other => panic!("wrong outcome {other:?}"),
+        }
+
+        // Blast radius: tenant 7 gone, tenant 1 untouched and richer.
+        assert_eq!(svc.live_sessions(), 1);
+        assert!(svc.arbiter().granted(7).is_none());
+        assert_eq!(svc.arbiter().granted(1).unwrap(), Watts::new(60.0));
+        match svc.submit(1, rs.next().unwrap()).unwrap() {
+            SessionFrame::Reply {
+                tenant: 1,
+                health: TenantHealth::Healthy,
+                ..
+            } => {}
+            other => panic!("wrong outcome {other:?}"),
+        }
+        // The evicted tenant is remembered for reporting.
+        let status = svc.status();
+        assert_eq!(status.len(), 2);
+        assert!(status.iter().any(|t| t.tenant == 7 && t.evicted.is_some()));
+        assert!(svc.health_jsonl().contains("\"health\":\"evicted\""));
+    }
+
+    #[test]
+    fn deadline_watchdog_degrades_then_evicts_a_silent_tenant() {
+        let mut cfg = ServeConfig::new(Watts::new(100.0));
+        cfg.deadline_miss_limit = 3;
+        let mut svc = service(cfg);
+        svc.connect(4, Watts::new(40.0)).unwrap();
+
+        // Two silent ticks: the supervisor absorbs missed intervals.
+        for _ in 0..2 {
+            let tick = svc.tick().unwrap();
+            assert_eq!(tick.frames.len(), 1);
+            match tick.frames.first().unwrap() {
+                SessionFrame::Reply { tenant: 4, .. } => {}
+                other => panic!("wrong outcome {other:?}"),
+            }
+        }
+        // The third consecutive miss crosses the limit: evicted.
+        let tick = svc.tick().unwrap();
+        match tick.frames.first().unwrap() {
+            SessionFrame::Evicted {
+                tenant: 4,
+                error:
+                    Error::DeadlineExceeded {
+                        missed: 3,
+                        limit: 3,
+                    },
+                ..
+            } => {}
+            other => panic!("wrong outcome {other:?}"),
+        }
+        assert_eq!(svc.live_sessions(), 0);
+        assert_eq!(svc.arbiter().total_granted(), Watts::ZERO);
+    }
+
+    #[test]
+    fn submitting_resets_the_deadline_counter() {
+        let mut cfg = ServeConfig::new(Watts::new(100.0));
+        cfg.deadline_miss_limit = 2;
+        let mut svc = service(cfg);
+        svc.connect(4, Watts::new(40.0)).unwrap();
+        let rs = records(4, 11);
+        for r in rs {
+            svc.tick().unwrap(); // one miss each interval...
+            svc.submit(4, r).unwrap(); // ...but never two in a row
+        }
+        assert_eq!(svc.live_sessions(), 1, "never crossed the limit");
+    }
+
+    #[test]
+    fn failsafe_frees_budget_to_survivors_and_recovery_reclaims_it() {
+        let mut svc = service(ServeConfig::new(Watts::new(100.0)));
+        svc.connect(0, Watts::new(70.0)).unwrap();
+        svc.connect(1, Watts::new(70.0)).unwrap();
+        assert_eq!(svc.arbiter().granted(1).unwrap(), Watts::new(50.0));
+
+        // Three consecutive faults push tenant 0 into Failsafe.
+        let mut saw_failsafe = false;
+        for _ in 0..3 {
+            let frame = svc
+                .report_fault(0, Error::SensorDropout { sensor: "hall" })
+                .unwrap();
+            if let SessionFrame::Reply {
+                health: TenantHealth::Failsafe,
+                cap,
+                ..
+            } = frame
+            {
+                saw_failsafe = true;
+                assert_eq!(cap, Watts::ZERO, "failsafed tenant holds no budget");
+            }
+        }
+        assert!(saw_failsafe, "three transient faults must pin failsafe");
+        // The freed watts flowed to the survivor.
+        assert_eq!(svc.arbiter().granted(0).unwrap(), Watts::ZERO);
+        assert_eq!(svc.arbiter().granted(1).unwrap(), Watts::new(70.0));
+
+        // Good submissions recover the tenant; its share flows back.
+        let mut recovered = false;
+        for r in records(6, 23) {
+            if let SessionFrame::Reply {
+                health: TenantHealth::Healthy,
+                ..
+            } = svc.submit(0, r).unwrap()
+            {
+                recovered = true;
+                break;
+            }
+        }
+        assert!(recovered, "good records must recover the tenant");
+        assert_eq!(svc.arbiter().granted(0).unwrap(), Watts::new(50.0));
+        assert_eq!(svc.arbiter().granted(1).unwrap(), Watts::new(50.0));
+        let tick = svc.tick().unwrap();
+        assert!(tick.total_granted <= Watts::new(100.0));
+    }
+
+    #[test]
+    fn wire_roundtrip_hello_submit_goodbye() {
+        let mut svc = service(ServeConfig::new(Watts::new(100.0)));
+        let topology = svc.topology().clone();
+
+        let hello = SessionFrame::Hello {
+            tenant: 3,
+            requested_cap: Watts::new(40.0),
+        };
+        let (resp, used) = svc
+            .handle_frame(&ppep_telemetry::session::frame_to_bytes(&hello))
+            .unwrap();
+        assert_eq!(used, ppep_telemetry::session::frame_to_bytes(&hello).len());
+        match decode_frame(&resp, &topology).unwrap().0 {
+            SessionFrame::Welcome {
+                tenant: 3, slot: 0, ..
+            } => {}
+            other => panic!("wrong outcome {other:?}"),
+        }
+
+        // A duplicate Hello comes back as a Reject frame, not an error.
+        let (resp, _) = svc
+            .handle_frame(&ppep_telemetry::session::frame_to_bytes(&hello))
+            .unwrap();
+        match decode_frame(&resp, &topology).unwrap().0 {
+            SessionFrame::Reject {
+                tenant: 3,
+                reason: RejectReason::DuplicateTenant { tenant: 3 },
+            } => {}
+            other => panic!("wrong outcome {other:?}"),
+        }
+
+        let rs = records(1, 5);
+        let submit = SessionFrame::Submit {
+            tenant: 3,
+            record: Box::new(rs.into_iter().next().unwrap()),
+        };
+        let (resp, _) = svc
+            .handle_frame(&ppep_telemetry::session::frame_to_bytes(&submit))
+            .unwrap();
+        match decode_frame(&resp, &topology).unwrap().0 {
+            SessionFrame::Reply {
+                tenant: 3,
+                action: DecisionKind::Fresh,
+                projection: Some(p),
+                ..
+            } => assert!(p.power_ceiling >= p.power_floor),
+            other => panic!("wrong outcome {other:?}"),
+        }
+
+        let goodbye = SessionFrame::Goodbye { tenant: 3 };
+        let (resp, _) = svc
+            .handle_frame(&ppep_telemetry::session::frame_to_bytes(&goodbye))
+            .unwrap();
+        assert!(resp.is_empty(), "goodbye has no response frame");
+        assert_eq!(svc.live_sessions(), 0);
+
+        // Clients may not speak server frames.
+        let reply = SessionFrame::Reject {
+            tenant: 9,
+            reason: RejectReason::DuplicateTenant { tenant: 9 },
+        };
+        assert!(svc
+            .handle_frame(&ppep_telemetry::session::frame_to_bytes(&reply))
+            .is_err());
+    }
+}

@@ -22,6 +22,9 @@
 //!   daemon emits per decision, and [`binary`] — the compact v2
 //!   binary trace framing (varint-delta counters, per-frame CRC);
 //!   [`TraceReader::parse_any`] reads either format.
+//! - [`session`] — the multi-tenant capping service's wire protocol
+//!   ([`SessionFrame`]): handshake, per-interval submit/reply, and
+//!   eviction frames riding the same v2 framing.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -31,9 +34,11 @@ pub mod decision;
 pub mod json;
 pub mod platform;
 pub mod record;
+pub mod session;
 pub mod trace;
 
 pub use decision::DecisionRecord;
 pub use platform::Platform;
 pub use record::{IntervalRecord, PowerBreakdown};
+pub use session::SessionFrame;
 pub use trace::{RecordingPlatform, ReplayPlatform, TraceEvent, TraceReader, TraceWriter};

@@ -30,6 +30,24 @@ pub trait Platform {
     /// Non-transient errors mean the substrate is gone.
     fn sample(&mut self) -> Result<IntervalRecord>;
 
+    /// Attempts an in-interval re-read after a transient
+    /// [`Platform::sample`] failure, after waiting out `backoff_us`
+    /// microseconds of supervisor backoff.
+    ///
+    /// Returning `None` means the substrate cannot re-read within the
+    /// interval (the default): the supervisor escalates immediately,
+    /// exactly as before this hook existed. A live substrate would
+    /// sleep for `backoff_us` and re-program the failed sensor/MSR
+    /// slot; deterministic substrates (queues, simulators) account the
+    /// backoff without sleeping. Recording platforms deliberately keep
+    /// the default: the v1/v2 trace formats model one sample per
+    /// interval, so retries are disabled while recording to keep
+    /// traces replayable.
+    fn resample(&mut self, backoff_us: u64) -> Option<Result<IntervalRecord>> {
+        let _ = backoff_us;
+        None
+    }
+
     /// Applies a per-CU VF assignment, taking effect from the next
     /// interval.
     ///

@@ -1,0 +1,859 @@
+//! Session and handshake frames for the multi-tenant capping service.
+//!
+//! The capping service (`ppep-serve`) hosts one supervised daemon per
+//! tenant; clients stream their per-interval measurements in and
+//! receive PPE projections plus DVFS decisions back. This module owns
+//! that wire protocol. Each message rides **the v2 binary framing
+//! from [`crate::binary`]** — `kind u8, payload_len varint, payload,
+//! crc32(payload) u32-le` — so a session stream is checksummed and
+//! length-delimited exactly like a v2 trace document. Session kinds
+//! live in a disjoint range (16+) from trace frame kinds (0–5), so the
+//! two streams can never be confused.
+//!
+//! ```text
+//! client -> server : Hello       (tenant id + requested power cap)
+//! server -> client : Welcome     (granted cap + session slot)
+//!                  | Reject      (typed RejectReason)
+//! client -> server : Submit      (one IntervalRecord)
+//!                  | FaultReport (the client's sample failed)
+//! server -> client : Reply       (decision + health + projection band)
+//!                  | Evicted     (the session was terminated, and why)
+//! client -> server : Goodbye
+//! ```
+//!
+//! Payload bodies reuse the workspace's existing, fixture-pinned
+//! codecs: `Submit` carries a v1 JSONL interval line and
+//! `FaultReport`/`Evicted` carry a v1 JSONL fault line, so every field
+//! round-trips with the same bit-exactness guarantees as the trace
+//! formats.
+
+use crate::binary::crc32;
+use crate::json::Json;
+use crate::record::IntervalRecord;
+use crate::trace::{parse_error, parse_interval, push_fault, push_interval};
+use ppep_types::time::IntervalIndex;
+use ppep_types::{Error, Kelvin, RejectReason, Result, Topology, VfStateId, Watts};
+
+/// Frame kind byte for [`SessionFrame::Hello`].
+pub const FRAME_HELLO: u8 = 16;
+/// Frame kind byte for [`SessionFrame::Welcome`].
+pub const FRAME_WELCOME: u8 = 17;
+/// Frame kind byte for [`SessionFrame::Reject`].
+pub const FRAME_REJECT: u8 = 18;
+/// Frame kind byte for [`SessionFrame::Submit`].
+pub const FRAME_SUBMIT: u8 = 19;
+/// Frame kind byte for [`SessionFrame::FaultReport`].
+pub const FRAME_FAULT_REPORT: u8 = 20;
+/// Frame kind byte for [`SessionFrame::Reply`].
+pub const FRAME_REPLY: u8 = 21;
+/// Frame kind byte for [`SessionFrame::Goodbye`].
+pub const FRAME_GOODBYE: u8 = 22;
+/// Frame kind byte for [`SessionFrame::Evicted`].
+pub const FRAME_EVICTED: u8 = 23;
+
+/// A tenant's health as reported on the wire (the service-side
+/// supervisor state, re-encoded so the wire format does not depend on
+/// `ppep-core`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TenantHealth {
+    /// Measurements validate; decisions are fresh.
+    Healthy,
+    /// Recent faults; decisions held from the last good projection.
+    Degraded,
+    /// Persistent faults; the tenant is pinned to its safe VF state.
+    Failsafe,
+}
+
+impl TenantHealth {
+    fn code(self) -> u8 {
+        match self {
+            TenantHealth::Healthy => 0,
+            TenantHealth::Degraded => 1,
+            TenantHealth::Failsafe => 2,
+        }
+    }
+
+    fn from_code(code: u8) -> Result<Self> {
+        match code {
+            0 => Ok(TenantHealth::Healthy),
+            1 => Ok(TenantHealth::Degraded),
+            2 => Ok(TenantHealth::Failsafe),
+            other => Err(Error::InvalidInput(format!(
+                "session frame: unknown health code {other}"
+            ))),
+        }
+    }
+}
+
+impl std::fmt::Display for TenantHealth {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TenantHealth::Healthy => write!(f, "healthy"),
+            TenantHealth::Degraded => write!(f, "degraded"),
+            TenantHealth::Failsafe => write!(f, "failsafe"),
+        }
+    }
+}
+
+/// How the service produced the decision in a [`SessionFrame::Reply`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecisionKind {
+    /// Fresh decision from the submitted, validated measurement.
+    Fresh,
+    /// Re-decided on the tenant's held last-good projection.
+    Held,
+    /// The tenant's safe VF state was pinned.
+    Failsafe,
+}
+
+impl DecisionKind {
+    fn code(self) -> u8 {
+        match self {
+            DecisionKind::Fresh => 0,
+            DecisionKind::Held => 1,
+            DecisionKind::Failsafe => 2,
+        }
+    }
+
+    fn from_code(code: u8) -> Result<Self> {
+        match code {
+            0 => Ok(DecisionKind::Fresh),
+            1 => Ok(DecisionKind::Held),
+            2 => Ok(DecisionKind::Failsafe),
+            other => Err(Error::InvalidInput(format!(
+                "session frame: unknown decision kind {other}"
+            ))),
+        }
+    }
+}
+
+/// The PPE projection band a [`SessionFrame::Reply`] carries back: the
+/// chip-power range the engine projects across the tenant's whole VF
+/// ladder, plus the projected steady-state temperature. This is the
+/// DVFS exploration envelope the decision was priced in.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProjectionSummary {
+    /// Projected chip power at the most frugal VF assignment.
+    pub power_floor: Watts,
+    /// Projected chip power at the most aggressive VF assignment.
+    pub power_ceiling: Watts,
+    /// Projected steady-state temperature.
+    pub temperature: Kelvin,
+}
+
+/// One session-layer message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SessionFrame {
+    /// Client → server: open a session.
+    Hello {
+        /// The tenant's id (unique per service).
+        tenant: u64,
+        /// The power cap the tenant would like enforced.
+        requested_cap: Watts,
+    },
+    /// Server → client: the session is open.
+    Welcome {
+        /// Echoed tenant id.
+        tenant: u64,
+        /// The cap the budget arbiter actually granted (may be below
+        /// the request, and may be re-balanced later — every
+        /// [`SessionFrame::Reply`] echoes the cap in force).
+        granted_cap: Watts,
+        /// The session slot assigned.
+        slot: u32,
+    },
+    /// Server → client: admission control turned the session away.
+    Reject {
+        /// Echoed tenant id.
+        tenant: u64,
+        /// The typed refusal.
+        reason: RejectReason,
+    },
+    /// Client → server: one measured decision interval.
+    Submit {
+        /// The submitting tenant.
+        tenant: u64,
+        /// The interval's measurements.
+        record: Box<IntervalRecord>,
+    },
+    /// Client → server: the client's sample for this interval failed;
+    /// the service's supervisor absorbs the fault (hold / failsafe).
+    FaultReport {
+        /// The reporting tenant.
+        tenant: u64,
+        /// The interval whose measurement was lost.
+        index: IntervalIndex,
+        /// The measurement fault.
+        error: Error,
+    },
+    /// Server → client: the per-interval answer.
+    Reply {
+        /// The tenant this reply addresses.
+        tenant: u64,
+        /// The supervised interval counter on the service side.
+        interval: u64,
+        /// How the decision was produced.
+        action: DecisionKind,
+        /// The tenant's health after this interval.
+        health: TenantHealth,
+        /// The tenant's power cap currently in force (post-arbiter).
+        cap: Watts,
+        /// The per-CU VF assignment to apply.
+        decision: Vec<VfStateId>,
+        /// The projection band, when a fresh projection was computed.
+        projection: Option<ProjectionSummary>,
+    },
+    /// Client → server: close the session, freeing its slot + budget.
+    Goodbye {
+        /// The departing tenant.
+        tenant: u64,
+    },
+    /// Server → client: the service terminated the session (deadline
+    /// blown, panic bulkhead, fatal fault).
+    Evicted {
+        /// The evicted tenant.
+        tenant: u64,
+        /// The service-side interval at eviction.
+        index: IntervalIndex,
+        /// Why the session was terminated.
+        error: Error,
+    },
+}
+
+// ---------------------------------------------------------------------
+// Payload primitives (same varint/f64 spellings as the v2 codec)
+// ---------------------------------------------------------------------
+
+fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_varint(out, s.len() as u64);
+    out.extend_from_slice(s.as_bytes());
+}
+
+struct PayloadReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> PayloadReader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn truncated(what: &str) -> Error {
+        Error::InvalidInput(format!("session frame: truncated {what}"))
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8]> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .ok_or_else(|| Self::truncated(what))?;
+        let slice = self
+            .buf
+            .get(self.pos..end)
+            .ok_or_else(|| Self::truncated(what))?;
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self, what: &str) -> Result<u8> {
+        Ok(self.take(1, what)?.first().copied().unwrap_or_default())
+    }
+
+    fn varint(&mut self, what: &str) -> Result<u64> {
+        let mut v = 0u64;
+        for shift in (0..64).step_by(7) {
+            let byte = self.u8(what)?;
+            v |= u64::from(byte & 0x7F) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(v);
+            }
+        }
+        Err(Error::InvalidInput(format!(
+            "session frame: varint overflow in {what}"
+        )))
+    }
+
+    fn u32_of(&mut self, what: &str) -> Result<u32> {
+        u32::try_from(self.varint(what)?)
+            .map_err(|_| Error::InvalidInput(format!("session frame: {what} out of range")))
+    }
+
+    fn f64(&mut self, what: &str) -> Result<f64> {
+        let b = self.take(8, what)?;
+        let mut bits = 0u64;
+        for (i, byte) in b.iter().enumerate() {
+            bits |= u64::from(*byte) << (8 * i as u32);
+        }
+        Ok(f64::from_bits(bits))
+    }
+
+    fn str_(&mut self, what: &str) -> Result<&'a str> {
+        let n = self.varint(what)?;
+        let n = usize::try_from(n)
+            .map_err(|_| Error::InvalidInput(format!("session frame: {what} out of range")))?;
+        if n > self.buf.len().saturating_sub(self.pos) {
+            return Err(Self::truncated(what));
+        }
+        let bytes = self.take(n, what)?;
+        std::str::from_utf8(bytes)
+            .map_err(|_| Error::InvalidInput(format!("session frame: non-UTF-8 {what}")))
+    }
+
+    fn finish(&self, what: &str) -> Result<()> {
+        if self.pos != self.buf.len() {
+            return Err(Error::InvalidInput(format!(
+                "session frame: {} trailing byte(s) after {what}",
+                self.buf.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------
+
+const REJECT_SLOTS: u8 = 0;
+const REJECT_BUDGET: u8 = 1;
+const REJECT_DUPLICATE: u8 = 2;
+
+fn put_reject_reason(out: &mut Vec<u8>, reason: &RejectReason) {
+    match reason {
+        RejectReason::SessionSlotsExhausted { active, max } => {
+            out.push(REJECT_SLOTS);
+            put_varint(out, u64::from(*active));
+            put_varint(out, u64::from(*max));
+        }
+        RejectReason::BudgetExhausted {
+            requested_w,
+            available_w,
+        } => {
+            out.push(REJECT_BUDGET);
+            put_f64(out, *requested_w);
+            put_f64(out, *available_w);
+        }
+        RejectReason::DuplicateTenant { tenant } => {
+            out.push(REJECT_DUPLICATE);
+            put_varint(out, *tenant);
+        }
+    }
+}
+
+fn read_reject_reason(r: &mut PayloadReader<'_>) -> Result<RejectReason> {
+    match r.u8("reject code")? {
+        REJECT_SLOTS => Ok(RejectReason::SessionSlotsExhausted {
+            active: r.u32_of("reject active")?,
+            max: r.u32_of("reject max")?,
+        }),
+        REJECT_BUDGET => Ok(RejectReason::BudgetExhausted {
+            requested_w: r.f64("reject requested")?,
+            available_w: r.f64("reject available")?,
+        }),
+        REJECT_DUPLICATE => Ok(RejectReason::DuplicateTenant {
+            tenant: r.varint("reject tenant")?,
+        }),
+        other => Err(Error::InvalidInput(format!(
+            "session frame: unknown reject code {other}"
+        ))),
+    }
+}
+
+/// The fault line (`{"type":"fault",...}`) as a JSONL string — the
+/// payload body shared by `FaultReport` and `Evicted`.
+fn fault_line(index: IntervalIndex, error: &Error) -> String {
+    let mut line = String::new();
+    push_fault(&mut line, index, error);
+    line
+}
+
+fn parse_fault_line(line: &str) -> Result<(IntervalIndex, Error)> {
+    let v = Json::parse(line.trim_end())?;
+    if v.get("type")?.as_str()? != "fault" {
+        return Err(Error::InvalidInput(
+            "session frame: fault payload is not a fault line".into(),
+        ));
+    }
+    Ok((
+        IntervalIndex(v.get("index")?.as_u64()?),
+        parse_error(v.get("error")?)?,
+    ))
+}
+
+/// Appends `frame` to `out` in the v2 framing
+/// (`kind, payload_len varint, payload, crc32`).
+pub fn encode_frame(frame: &SessionFrame, out: &mut Vec<u8>) {
+    let mut payload = Vec::new();
+    let kind = match frame {
+        SessionFrame::Hello {
+            tenant,
+            requested_cap,
+        } => {
+            put_varint(&mut payload, *tenant);
+            put_f64(&mut payload, requested_cap.as_watts());
+            FRAME_HELLO
+        }
+        SessionFrame::Welcome {
+            tenant,
+            granted_cap,
+            slot,
+        } => {
+            put_varint(&mut payload, *tenant);
+            put_f64(&mut payload, granted_cap.as_watts());
+            put_varint(&mut payload, u64::from(*slot));
+            FRAME_WELCOME
+        }
+        SessionFrame::Reject { tenant, reason } => {
+            put_varint(&mut payload, *tenant);
+            put_reject_reason(&mut payload, reason);
+            FRAME_REJECT
+        }
+        SessionFrame::Submit { tenant, record } => {
+            put_varint(&mut payload, *tenant);
+            let mut line = String::new();
+            push_interval(&mut line, record);
+            put_str(&mut payload, &line);
+            FRAME_SUBMIT
+        }
+        SessionFrame::FaultReport {
+            tenant,
+            index,
+            error,
+        } => {
+            put_varint(&mut payload, *tenant);
+            put_str(&mut payload, &fault_line(*index, error));
+            FRAME_FAULT_REPORT
+        }
+        SessionFrame::Reply {
+            tenant,
+            interval,
+            action,
+            health,
+            cap,
+            decision,
+            projection,
+        } => {
+            put_varint(&mut payload, *tenant);
+            put_varint(&mut payload, *interval);
+            payload.push(action.code());
+            payload.push(health.code());
+            put_f64(&mut payload, cap.as_watts());
+            put_varint(&mut payload, decision.len() as u64);
+            for vf in decision {
+                put_varint(&mut payload, vf.index() as u64);
+            }
+            match projection {
+                Some(p) => {
+                    payload.push(1);
+                    put_f64(&mut payload, p.power_floor.as_watts());
+                    put_f64(&mut payload, p.power_ceiling.as_watts());
+                    put_f64(&mut payload, p.temperature.as_kelvin());
+                }
+                None => payload.push(0),
+            }
+            FRAME_REPLY
+        }
+        SessionFrame::Goodbye { tenant } => {
+            put_varint(&mut payload, *tenant);
+            FRAME_GOODBYE
+        }
+        SessionFrame::Evicted {
+            tenant,
+            index,
+            error,
+        } => {
+            put_varint(&mut payload, *tenant);
+            put_str(&mut payload, &fault_line(*index, error));
+            FRAME_EVICTED
+        }
+    };
+    out.push(kind);
+    put_varint(out, payload.len() as u64);
+    let crc = crc32(&payload);
+    out.extend_from_slice(&payload);
+    out.extend_from_slice(&crc.to_le_bytes());
+}
+
+/// Encodes one frame into a fresh buffer.
+pub fn frame_to_bytes(frame: &SessionFrame) -> Vec<u8> {
+    let mut out = Vec::new();
+    encode_frame(frame, &mut out);
+    out
+}
+
+// ---------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------
+
+/// Decodes the first frame of `src`, returning it and the bytes
+/// consumed. `topology` resolves the VF ladder and counter layout for
+/// `Submit` and `Reply` payloads; both sides of a session must agree
+/// on it (the service's trained topology).
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidInput`] on truncation, a CRC mismatch, an
+/// unknown frame kind, or a payload inconsistent with `topology`.
+pub fn decode_frame(src: &[u8], topology: &Topology) -> Result<(SessionFrame, usize)> {
+    let mut header = PayloadReader::new(src);
+    let kind = header.u8("frame kind")?;
+    let len = header.varint("payload length")?;
+    let len = usize::try_from(len)
+        .map_err(|_| Error::InvalidInput("session frame: payload length out of range".into()))?;
+    let payload = header.take(len, "frame payload")?;
+    let crc_stored = {
+        let b = header.take(4, "frame crc")?;
+        let mut v = 0u32;
+        for (i, byte) in b.iter().enumerate() {
+            v |= u32::from(*byte) << (8 * i as u32);
+        }
+        v
+    };
+    if crc32(payload) != crc_stored {
+        return Err(Error::InvalidInput(format!(
+            "session frame: CRC mismatch on kind {kind}"
+        )));
+    }
+    let consumed = header.pos;
+    let mut r = PayloadReader::new(payload);
+    let frame = match kind {
+        FRAME_HELLO => SessionFrame::Hello {
+            tenant: r.varint("hello tenant")?,
+            requested_cap: Watts::new(r.f64("hello cap")?),
+        },
+        FRAME_WELCOME => SessionFrame::Welcome {
+            tenant: r.varint("welcome tenant")?,
+            granted_cap: Watts::new(r.f64("welcome cap")?),
+            slot: r.u32_of("welcome slot")?,
+        },
+        FRAME_REJECT => SessionFrame::Reject {
+            tenant: r.varint("reject tenant")?,
+            reason: read_reject_reason(&mut r)?,
+        },
+        FRAME_SUBMIT => {
+            let tenant = r.varint("submit tenant")?;
+            let line = r.str_("submit record")?;
+            let v = Json::parse(line.trim_end())?;
+            if v.get("type")?.as_str()? != "interval" {
+                return Err(Error::InvalidInput(
+                    "session frame: submit payload is not an interval line".into(),
+                ));
+            }
+            SessionFrame::Submit {
+                tenant,
+                record: Box::new(parse_interval(&v, topology)?),
+            }
+        }
+        FRAME_FAULT_REPORT => {
+            let tenant = r.varint("fault tenant")?;
+            let (index, error) = parse_fault_line(r.str_("fault line")?)?;
+            SessionFrame::FaultReport {
+                tenant,
+                index,
+                error,
+            }
+        }
+        FRAME_REPLY => {
+            let tenant = r.varint("reply tenant")?;
+            let interval = r.varint("reply interval")?;
+            let action = DecisionKind::from_code(r.u8("reply action")?)?;
+            let health = TenantHealth::from_code(r.u8("reply health")?)?;
+            let cap = Watts::new(r.f64("reply cap")?);
+            let n = r.varint("reply decision length")?;
+            let n = usize::try_from(n).map_err(|_| {
+                Error::InvalidInput("session frame: decision length out of range".into())
+            })?;
+            if n > topology.cu_count() {
+                return Err(Error::InvalidInput(format!(
+                    "session frame: decision names {n} CUs, chip has {}",
+                    topology.cu_count()
+                )));
+            }
+            let mut decision = Vec::with_capacity(n);
+            for _ in 0..n {
+                let idx = r.varint("reply vf index")?;
+                let idx = usize::try_from(idx).map_err(|_| {
+                    Error::InvalidInput("session frame: vf index out of range".into())
+                })?;
+                decision.push(topology.vf_table().state(idx)?);
+            }
+            let projection = match r.u8("reply projection flag")? {
+                0 => None,
+                1 => Some(ProjectionSummary {
+                    power_floor: Watts::new(r.f64("projection floor")?),
+                    power_ceiling: Watts::new(r.f64("projection ceiling")?),
+                    temperature: Kelvin::new(r.f64("projection temperature")?),
+                }),
+                other => {
+                    return Err(Error::InvalidInput(format!(
+                        "session frame: bad projection flag {other}"
+                    )))
+                }
+            };
+            SessionFrame::Reply {
+                tenant,
+                interval,
+                action,
+                health,
+                cap,
+                decision,
+                projection,
+            }
+        }
+        FRAME_GOODBYE => SessionFrame::Goodbye {
+            tenant: r.varint("goodbye tenant")?,
+        },
+        FRAME_EVICTED => {
+            let tenant = r.varint("evicted tenant")?;
+            let (index, error) = parse_fault_line(r.str_("evicted line")?)?;
+            SessionFrame::Evicted {
+                tenant,
+                index,
+                error,
+            }
+        }
+        other => {
+            return Err(Error::InvalidInput(format!(
+                "session frame: unknown kind {other}"
+            )))
+        }
+    };
+    r.finish("session payload")?;
+    Ok((frame, consumed))
+}
+
+/// Decodes a whole stream of concatenated session frames.
+///
+/// # Errors
+///
+/// Propagates [`decode_frame`] errors.
+pub fn decode_stream(src: &[u8], topology: &Topology) -> Result<Vec<SessionFrame>> {
+    let mut frames = Vec::new();
+    let mut rest = src;
+    while !rest.is_empty() {
+        let (frame, consumed) = decode_frame(rest, topology)?;
+        frames.push(frame);
+        rest = rest.get(consumed..).unwrap_or_default();
+    }
+    Ok(frames)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppep_types::vf::NbVfState;
+    use ppep_types::{Seconds, VfTable};
+
+    fn topology() -> Topology {
+        Topology::fx8320()
+    }
+
+    fn sample_record(topology: &Topology) -> IntervalRecord {
+        use crate::record::PowerBreakdown;
+        use ppep_pmc::sampler::IntervalSample;
+        use ppep_pmc::{EventCounts, EventId};
+        let table = VfTable::fx8320();
+        let mut counts = EventCounts::zero();
+        counts.set(EventId::RetiredInstructions, 1.0e9);
+        IntervalRecord {
+            index: IntervalIndex(7),
+            duration: Seconds::new(0.2),
+            samples: vec![
+                IntervalSample {
+                    counts,
+                    duration: Seconds::new(0.2),
+                };
+                topology.core_count()
+            ],
+            true_counts: vec![counts; topology.core_count()],
+            measured_power: Watts::new(55.25),
+            true_power: PowerBreakdown {
+                core_dynamic: vec![Watts::new(5.5); topology.core_count()],
+                nb_dynamic: Watts::new(4.25),
+                cu_idle: vec![Watts::new(6.125); topology.cu_count()],
+                nb_idle: Watts::new(3.5),
+                base: Watts::new(11.0),
+            },
+            temperature: Kelvin::new(330.5),
+            cu_vf: vec![table.highest(); topology.cu_count()],
+            nb_state: NbVfState::High,
+            core_busy: vec![true; topology.core_count()],
+        }
+    }
+
+    fn all_frames() -> Vec<SessionFrame> {
+        let topo = topology();
+        let table = VfTable::fx8320();
+        vec![
+            SessionFrame::Hello {
+                tenant: 3,
+                requested_cap: Watts::new(60.0),
+            },
+            SessionFrame::Welcome {
+                tenant: 3,
+                granted_cap: Watts::new(48.5),
+                slot: 2,
+            },
+            SessionFrame::Reject {
+                tenant: 9,
+                reason: RejectReason::SessionSlotsExhausted { active: 8, max: 8 },
+            },
+            SessionFrame::Reject {
+                tenant: 9,
+                reason: RejectReason::BudgetExhausted {
+                    requested_w: 60.0,
+                    available_w: 12.5,
+                },
+            },
+            SessionFrame::Reject {
+                tenant: 9,
+                reason: RejectReason::DuplicateTenant { tenant: 9 },
+            },
+            SessionFrame::Submit {
+                tenant: 3,
+                record: Box::new(sample_record(&topo)),
+            },
+            SessionFrame::FaultReport {
+                tenant: 3,
+                index: IntervalIndex(8),
+                error: Error::SensorDropout {
+                    sensor: "hall-sensor",
+                },
+            },
+            SessionFrame::Reply {
+                tenant: 3,
+                interval: 8,
+                action: DecisionKind::Held,
+                health: TenantHealth::Degraded,
+                cap: Watts::new(48.5),
+                decision: vec![table.lowest(); topo.cu_count()],
+                projection: Some(ProjectionSummary {
+                    power_floor: Watts::new(22.0),
+                    power_ceiling: Watts::new(88.0),
+                    temperature: Kelvin::new(335.0),
+                }),
+            },
+            SessionFrame::Goodbye { tenant: 3 },
+            SessionFrame::Evicted {
+                tenant: 4,
+                index: IntervalIndex(12),
+                error: Error::DeadlineExceeded {
+                    missed: 5,
+                    limit: 4,
+                },
+            },
+        ]
+    }
+
+    #[test]
+    fn every_frame_kind_round_trips() {
+        let topo = topology();
+        for frame in all_frames() {
+            let bytes = frame_to_bytes(&frame);
+            let (back, consumed) = decode_frame(&bytes, &topo).expect("frame decodes");
+            assert_eq!(consumed, bytes.len(), "whole frame consumed");
+            match (&frame, &back) {
+                // `DeadlineExceeded` crosses the wire through the
+                // generic "other" fault spelling (its rendered
+                // message), so the decoded error keeps the text but
+                // not the variant; everything else must be
+                // structurally identical.
+                (
+                    SessionFrame::Evicted { error: a, .. },
+                    SessionFrame::Evicted { error: b, .. },
+                ) => assert!(b.to_string().contains(&a.to_string())),
+                _ => assert_eq!(frame, back),
+            }
+        }
+    }
+
+    #[test]
+    fn a_stream_of_frames_decodes_in_order() {
+        let topo = topology();
+        let frames = all_frames();
+        let mut stream = Vec::new();
+        for f in &frames {
+            encode_frame(f, &mut stream);
+        }
+        let back = decode_stream(&stream, &topo).expect("stream decodes");
+        assert_eq!(back.len(), frames.len());
+        assert!(matches!(back.first(), Some(SessionFrame::Hello { .. })));
+        assert!(matches!(back.last(), Some(SessionFrame::Evicted { .. })));
+    }
+
+    #[test]
+    fn submit_payload_round_trips_bit_exactly() {
+        let topo = topology();
+        let record = sample_record(&topo);
+        let bytes = frame_to_bytes(&SessionFrame::Submit {
+            tenant: 1,
+            record: Box::new(record.clone()),
+        });
+        let (back, _) = decode_frame(&bytes, &topo).expect("decodes");
+        match back {
+            SessionFrame::Submit { record: r, .. } => {
+                assert_eq!(r.measured_power, record.measured_power);
+                assert_eq!(r.temperature, record.temperature);
+                assert_eq!(r.cu_vf, record.cu_vf);
+                assert_eq!(r.index, record.index);
+            }
+            other => unreachable!("decoded {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupted_and_truncated_frames_are_rejected() {
+        let topo = topology();
+        let bytes = frame_to_bytes(&SessionFrame::Goodbye { tenant: 1 });
+        // Flip one payload bit: CRC must catch it.
+        let mut corrupt = bytes.clone();
+        if let Some(b) = corrupt.get_mut(2) {
+            *b ^= 0x01;
+        }
+        assert!(decode_frame(&corrupt, &topo).is_err(), "CRC must reject");
+        // Every strict prefix is truncated.
+        for cut in 0..bytes.len() {
+            assert!(
+                decode_frame(bytes.get(..cut).unwrap_or_default(), &topo).is_err(),
+                "prefix of {cut} bytes must be rejected"
+            );
+        }
+        // An unknown kind is rejected.
+        assert!(decode_frame(&[99, 0, 0, 0, 0, 0], &topo).is_err());
+    }
+
+    #[test]
+    fn session_kinds_stay_clear_of_trace_kinds() {
+        // The v2 trace codec owns kinds 0-5; session frames must never
+        // collide so a mixed-up stream fails loudly instead of parsing.
+        for kind in [
+            FRAME_HELLO,
+            FRAME_WELCOME,
+            FRAME_REJECT,
+            FRAME_SUBMIT,
+            FRAME_FAULT_REPORT,
+            FRAME_REPLY,
+            FRAME_GOODBYE,
+            FRAME_EVICTED,
+        ] {
+            assert!(kind >= 16);
+        }
+    }
+}

@@ -179,7 +179,7 @@ fn push_watts_vec(out: &mut String, values: &[Watts]) {
     out.push(']');
 }
 
-fn push_interval(out: &mut String, r: &IntervalRecord) {
+pub(crate) fn push_interval(out: &mut String, r: &IntervalRecord) {
     use std::fmt::Write as _;
     let _ = write!(out, "{{\"type\":\"interval\",\"index\":{}", r.index.0);
     out.push_str(",\"duration\":");
@@ -241,7 +241,7 @@ fn push_interval(out: &mut String, r: &IntervalRecord) {
     out.push_str("}}\n");
 }
 
-fn push_fault(out: &mut String, index: IntervalIndex, error: &Error) {
+pub(crate) fn push_fault(out: &mut String, index: IntervalIndex, error: &Error) {
     use std::fmt::Write as _;
     let _ = write!(out, "{{\"type\":\"fault\",\"index\":{},\"error\":", index.0);
     match error {
@@ -511,7 +511,7 @@ fn parse_decision(v: &Json, table: &VfTable) -> Result<DecisionRecord> {
     })
 }
 
-fn parse_interval(v: &Json, topology: &Topology) -> Result<IntervalRecord> {
+pub(crate) fn parse_interval(v: &Json, topology: &Topology) -> Result<IntervalRecord> {
     let samples = v
         .get("samples")?
         .as_arr()?
@@ -575,7 +575,7 @@ pub(crate) fn static_sensor_name(name: &str) -> &'static str {
     }
 }
 
-fn parse_error(v: &Json) -> Result<Error> {
+pub(crate) fn parse_error(v: &Json) -> Result<Error> {
     match v.get("kind")?.as_str()? {
         "sensor-dropout" => Ok(Error::SensorDropout {
             sensor: static_sensor_name(v.get("sensor")?.as_str()?),

@@ -5,6 +5,56 @@ use std::fmt;
 /// Convenience alias used across the `ppep-*` crates.
 pub type Result<T> = std::result::Result<T, Error>;
 
+/// Why an admission-controlled service turned a session away.
+///
+/// Carried by [`Error::Rejected`]. Every variant names the exhausted
+/// resource and the numbers behind the decision, so a client can tell
+/// "come back later" (slots, budget) apart from "fix your request"
+/// (duplicate).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RejectReason {
+    /// Every session slot is occupied.
+    SessionSlotsExhausted {
+        /// Live sessions at the time of the request.
+        active: u32,
+        /// The service's session-slot limit.
+        max: u32,
+    },
+    /// Admitting the tenant would leave it (or an existing tenant)
+    /// below the minimum viable power grant.
+    BudgetExhausted {
+        /// Watts the tenant asked for.
+        requested_w: f64,
+        /// Watts the arbiter could actually have granted it.
+        available_w: f64,
+    },
+    /// The tenant id already has a live session.
+    DuplicateTenant {
+        /// The conflicting tenant id.
+        tenant: u64,
+    },
+}
+
+impl fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RejectReason::SessionSlotsExhausted { active, max } => {
+                write!(f, "session slots exhausted ({active}/{max} in use)")
+            }
+            RejectReason::BudgetExhausted {
+                requested_w,
+                available_w,
+            } => write!(
+                f,
+                "power budget exhausted (requested {requested_w} W, {available_w} W available)"
+            ),
+            RejectReason::DuplicateTenant { tenant } => {
+                write!(f, "tenant {tenant} already has a live session")
+            }
+        }
+    }
+}
+
 /// Errors produced by the PPEP reproduction crates.
 #[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
@@ -76,6 +126,24 @@ pub enum Error {
     /// The platform's measurement substrate is gone for good (device
     /// unbound, firmware wedged) — fatal; no retry can help.
     DeviceLost(String),
+    /// An admission-controlled service refused to open a session. The
+    /// refusal is a *decision*, not a glitch: blindly retrying the
+    /// same request cannot change it (the tenant must re-apply for
+    /// admission once conditions change) — fatal.
+    Rejected {
+        /// Why the session was turned away.
+        reason: RejectReason,
+    },
+    /// A tenant blew through its interval-deadline allowance: the
+    /// watchdog escalates repeated (individually transient)
+    /// [`Error::MissedInterval`] faults into this fatal error once the
+    /// miss count reaches the configured limit.
+    DeadlineExceeded {
+        /// Consecutive deadlines missed.
+        missed: u32,
+        /// The watchdog's allowance.
+        limit: u32,
+    },
     /// A model input or output that must be a finite number was NaN or
     /// ±∞. Raised by the [`crate::units::finite`] guard so that a
     /// poisoned value is caught at the model boundary instead of
@@ -123,6 +191,13 @@ impl fmt::Display for Error {
                 )
             }
             Error::DeviceLost(msg) => write!(f, "measurement device lost: {msg}"),
+            Error::Rejected { reason } => write!(f, "session rejected: {reason}"),
+            Error::DeadlineExceeded { missed, limit } => {
+                write!(
+                    f,
+                    "interval deadline missed {missed} time(s), exceeding the allowance of {limit}"
+                )
+            }
             Error::NonFinite { what, value } => {
                 write!(f, "non-finite {what}: {value} cannot enter a projection")
             }
@@ -137,9 +212,12 @@ impl Error {
     /// Transient: per-interval measurement faults ([`Error::SensorDropout`],
     /// [`Error::SensorImplausible`], [`Error::MsrReadFailed`],
     /// [`Error::MissedInterval`]). Everything else — configuration,
-    /// validation, numerical and training failures, and
-    /// [`Error::DeviceLost`] — is fatal: retrying the same operation
-    /// cannot produce a different outcome.
+    /// validation, numerical and training failures,
+    /// [`Error::DeviceLost`], and the service-level verdicts
+    /// [`Error::Rejected`] (an admission decision, not a glitch) and
+    /// [`Error::DeadlineExceeded`] (the watchdog's escalation of
+    /// *already-retried* transient misses) — is fatal: retrying the
+    /// same operation cannot produce a different outcome.
     pub fn is_transient(&self) -> bool {
         matches!(
             self,
@@ -206,6 +284,19 @@ mod tests {
             (Error::MissedInterval { missed: 2 }, true),
             (Error::DeviceLost("unbound".into()), false),
             (
+                Error::Rejected {
+                    reason: RejectReason::SessionSlotsExhausted { active: 8, max: 8 },
+                },
+                false,
+            ),
+            (
+                Error::DeadlineExceeded {
+                    missed: 5,
+                    limit: 4,
+                },
+                false,
+            ),
+            (
                 Error::NonFinite {
                     what: "eq3 dynamic power",
                     value: f64::NAN,
@@ -237,6 +328,8 @@ mod tests {
                 | Error::Device(_)
                 | Error::InvalidConfig(_)
                 | Error::DeviceLost(_)
+                | Error::Rejected { .. }
+                | Error::DeadlineExceeded { .. }
                 | Error::NonFinite { .. } => assert!(!e.is_transient()),
                 Error::SensorDropout { .. }
                 | Error::SensorImplausible { .. }
@@ -246,7 +339,7 @@ mod tests {
         }
         assert_eq!(
             examples.len(),
-            16,
+            18,
             "new variants must be added to all_variants()"
         );
     }
@@ -272,5 +365,34 @@ mod tests {
         assert!(Error::DeviceLost("unbound".into())
             .to_string()
             .contains("unbound"));
+    }
+
+    #[test]
+    fn service_variants_display_meaningfully() {
+        let e = Error::Rejected {
+            reason: RejectReason::SessionSlotsExhausted { active: 8, max: 8 },
+        };
+        assert_eq!(
+            e.to_string(),
+            "session rejected: session slots exhausted (8/8 in use)"
+        );
+        let e = Error::Rejected {
+            reason: RejectReason::BudgetExhausted {
+                requested_w: 60.0,
+                available_w: 12.5,
+            },
+        };
+        assert!(e.to_string().contains("60 W"));
+        assert!(e.to_string().contains("12.5 W available"));
+        let e = Error::Rejected {
+            reason: RejectReason::DuplicateTenant { tenant: 3 },
+        };
+        assert!(e.to_string().contains("tenant 3"));
+        let e = Error::DeadlineExceeded {
+            missed: 5,
+            limit: 4,
+        };
+        assert!(e.to_string().contains('5'));
+        assert!(e.to_string().contains("allowance of 4"));
     }
 }

@@ -33,7 +33,7 @@ pub mod topology;
 pub mod units;
 pub mod vf;
 
-pub use error::{Error, Result};
+pub use error::{Error, RejectReason, Result};
 pub use topology::{CoreId, CuId, Topology};
 pub use units::{Celsius, Gigahertz, Joules, Kelvin, Seconds, Volts, Watts};
 pub use vf::{VfPoint, VfStateId, VfTable};

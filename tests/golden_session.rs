@@ -1,0 +1,186 @@
+//! Golden session transcript: the multi-tenant wire protocol pinned
+//! as a committed fixture.
+//!
+//! `tests/fixtures/serve_session.bin` holds the byte-exact transcript
+//! of a small scripted service session — admissions (including one
+//! typed rejection), interval submissions from two tenants, a fault
+//! report, and a goodbye — with every client request immediately
+//! followed by the service's encoded response. The tests hold:
+//!
+//! 1. **Transcript stability** — replaying the script against a
+//!    freshly trained service reproduces the committed bytes exactly,
+//!    so any drift in the session framing, the admission arithmetic,
+//!    or the capping decisions is caught against history.
+//! 2. **Decode stability** — every frame in the fixture decodes, and
+//!    re-encoding reproduces the committed bytes.
+//!
+//! Regenerate (after an *intentional* behaviour change) with:
+//!
+//! ```text
+//! cargo test --test golden_session -- --ignored regenerate
+//! ```
+
+use ppep_core::{Platform, Ppep};
+use ppep_rig::TrainingRig;
+use ppep_serve::{CappingService, ServeConfig};
+use ppep_sim::chip::{ChipSimulator, SimConfig};
+use ppep_sim::SimPlatform;
+use ppep_telemetry::session::{decode_stream, frame_to_bytes, SessionFrame};
+use ppep_types::{Topology, Watts};
+use ppep_workloads::combos::fig7_workload;
+use std::path::PathBuf;
+use std::sync::OnceLock;
+
+const SEED: u64 = 42;
+const INTERVALS: u64 = 4;
+const FIXTURE: &str = "serve_session.bin";
+
+fn fixture_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(FIXTURE)
+}
+
+fn trained() -> &'static Ppep {
+    static PPEP: OnceLock<Ppep> = OnceLock::new();
+    PPEP.get_or_init(|| {
+        Ppep::new(
+            TrainingRig::fx8320(SEED)
+                .train_quick()
+                .expect("training succeeds"),
+        )
+    })
+}
+
+fn client(seed: u64) -> SimPlatform {
+    let mut sim = ChipSimulator::new(SimConfig::fx8320_pg(seed));
+    sim.load_workload(&fig7_workload(seed));
+    SimPlatform::new(sim)
+}
+
+/// Runs the scripted session, appending every request and response to
+/// the transcript.
+fn record_transcript() -> Vec<u8> {
+    let mut config = ServeConfig::new(Watts::new(100.0));
+    config.max_sessions = 2;
+    config.min_grant = Watts::new(20.0);
+    let mut service = CappingService::new(trained().clone(), config);
+
+    let mut transcript = Vec::new();
+    let mut exchange = |service: &mut CappingService, frame: &SessionFrame| {
+        let request = frame_to_bytes(frame);
+        let (response, consumed) = service
+            .handle_frame(&request)
+            .expect("scripted frame is valid");
+        assert_eq!(consumed, request.len());
+        transcript.extend_from_slice(&request);
+        transcript.extend_from_slice(&response);
+    };
+
+    // Admissions: two welcomes, then a pinned typed rejection.
+    for (tenant, cap) in [(0u64, 60.0), (1, 50.0), (2, 30.0)] {
+        exchange(
+            &mut service,
+            &SessionFrame::Hello {
+                tenant,
+                requested_cap: Watts::new(cap),
+            },
+        );
+    }
+
+    let mut clients = [client(SEED ^ 0xA), client(SEED ^ 0xB)];
+    for interval in 0..INTERVALS {
+        for (tenant, platform) in clients.iter_mut().enumerate() {
+            // Tenant 1 loses its interval-2 measurement: the fixture
+            // pins the degraded (held-decision) reply path too.
+            let frame = if tenant == 1 && interval == 2 {
+                let record = platform.sample().expect("sim sample");
+                let _unsent = record;
+                SessionFrame::FaultReport {
+                    tenant: tenant as u64,
+                    index: platform.current_interval(),
+                    error: ppep_types::Error::SensorDropout {
+                        sensor: "hall-sensor",
+                    },
+                }
+            } else {
+                SessionFrame::Submit {
+                    tenant: tenant as u64,
+                    record: Box::new(platform.sample().expect("sim sample")),
+                }
+            };
+            exchange(&mut service, &frame);
+        }
+        service.tick().expect("tick holds the budget invariant");
+    }
+
+    exchange(&mut service, &SessionFrame::Goodbye { tenant: 1 });
+    transcript
+}
+
+/// Regenerates the committed fixture. Ignored by default: run it only
+/// after an intentional behaviour change, then commit the new file.
+#[test]
+#[ignore = "rewrites tests/fixtures/; run after intentional behaviour changes"]
+fn regenerate_golden_session() {
+    std::fs::create_dir_all(fixture_path().parent().expect("fixture dir")).expect("fixtures dir");
+    std::fs::write(fixture_path(), record_transcript()).expect("write fixture");
+}
+
+#[test]
+fn golden_session_matches_a_fresh_transcript() {
+    let pinned = std::fs::read(fixture_path()).expect("fixture exists");
+    assert_eq!(
+        record_transcript(),
+        pinned,
+        "a fresh session transcript no longer matches the pinned fixture; \
+         if the behaviour change is intentional, regenerate with \
+         `cargo test --test golden_session -- --ignored regenerate`"
+    );
+}
+
+#[test]
+fn golden_session_decodes_and_reencodes_byte_identically() {
+    let pinned = std::fs::read(fixture_path()).expect("fixture exists");
+    let frames = decode_stream(&pinned, &Topology::fx8320()).expect("fixture decodes");
+    assert!(
+        frames.len() > 2 * (3 + 2 * INTERVALS as usize),
+        "request+response per exchange: got {} frames",
+        frames.len()
+    );
+
+    // The scripted shape: three admission exchanges up front, with the
+    // third pinned as a typed slots rejection.
+    assert!(matches!(frames[0], SessionFrame::Hello { tenant: 0, .. }));
+    assert!(matches!(
+        frames[1],
+        SessionFrame::Welcome {
+            tenant: 0,
+            slot: 0,
+            ..
+        }
+    ));
+    assert!(matches!(frames[4], SessionFrame::Hello { tenant: 2, .. }));
+    assert!(matches!(
+        frames[5],
+        SessionFrame::Reject {
+            tenant: 2,
+            reason: ppep_types::RejectReason::SessionSlotsExhausted { active: 2, max: 2 },
+        }
+    ));
+    assert!(
+        frames
+            .iter()
+            .any(|f| matches!(f, SessionFrame::FaultReport { tenant: 1, .. })),
+        "the fault-report exchange is part of the script"
+    );
+
+    let mut reencoded = Vec::new();
+    for frame in &frames {
+        reencoded.extend_from_slice(&frame_to_bytes(frame));
+    }
+    assert_eq!(
+        reencoded, pinned,
+        "decode -> re-encode drifted from the committed bytes"
+    );
+}
