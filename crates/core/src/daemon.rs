@@ -229,15 +229,19 @@ impl<P: Platform, C: DvfsController> PpepDaemon<P, C> {
             Some(&projection),
             &decision,
         );
-        {
-            let _apply = rec.span(Stage::Apply, interval);
-            self.apply(&decision)?;
-        }
-        Ok(DaemonStep {
+        // Archive the cycle *before* actuation: the projection models
+        // the pre-apply VF state, so no code downstream of `apply` may
+        // read it directly (ppep-lint L5 enforces this ordering).
+        let step = DaemonStep {
             record,
             projection,
             decision,
-        })
+        };
+        {
+            let _apply = rec.span(Stage::Apply, interval);
+            self.apply(&step.decision)?;
+        }
+        Ok(step)
     }
 
     /// Annotates the platform's trace with a controller decision — a

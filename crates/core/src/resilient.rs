@@ -429,10 +429,13 @@ impl<P: Platform, C: DvfsController> ResilientDaemon<P, C> {
                 // failure on an already-lost platform.
                 rec.incr("fault.detected");
                 rec.incr("fault.fatal");
+                // Best-effort pin: the ladder already recorded `e`
+                // and the caller sees it, so a secondary actuation
+                // error here has nowhere useful to go.
                 let _ = self
                     .inner
                     .platform_mut()
-                    .apply_uniform(self.config.failsafe_vf);
+                    .apply_uniform(self.config.failsafe_vf); // ppep-lint: allow(dropped-transient)
                 self.enter(HealthState::Failsafe);
                 self.report.last_error = Some(e.clone());
                 Err(e)
@@ -468,6 +471,18 @@ impl<P: Platform, C: DvfsController> ResilientDaemon<P, C> {
             Some(&projection),
             &decision,
         );
+        // Capture everything that reads the projection *before*
+        // actuation: it models the pre-apply VF state, so the archive
+        // copy and the outgoing fields must be taken here (ppep-lint
+        // L5 enforces the ordering). Only the decision — which is what
+        // `apply` realizes — survives past the apply span.
+        let step = DaemonStep {
+            record: record.clone(),
+            projection: projection.clone(),
+            decision: decision.clone(),
+        };
+        let out_record = Some(record);
+        let out_projection = Some(projection);
         {
             let _apply = rec.span(Stage::Apply, interval);
             self.inner.apply(&decision)?;
@@ -489,18 +504,13 @@ impl<P: Platform, C: DvfsController> ResilientDaemon<P, C> {
             }
         }
         self.report.fresh_decisions += 1;
-        let step = DaemonStep {
-            record: record.clone(),
-            projection: projection.clone(),
-            decision: decision.clone(),
-        };
         self.last_good = Some(step);
         Ok(SupervisedStep {
             interval,
             action: Action::Fresh,
             state: self.state,
-            record: Some(record),
-            projection: Some(projection),
+            record: out_record,
+            projection: out_projection,
             decision,
             fault: None,
             quarantined: false,

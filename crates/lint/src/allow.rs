@@ -12,12 +12,20 @@
 //! raw-f64 crates/models/src/cpi.rs predict_cpi -- CPI is a dimensionless ratio
 //! ```
 //!
-//! `rule` is a rule name (or `L1`…`L4` group alias), `path-suffix`
+//! `rule` is a rule name (or `L1`…`L8` group alias), `path-suffix`
 //! matches the end of the diagnostic's path, `item` is the function
 //! name the rule attaches to. Blank lines and `#` comments are
 //! ignored. The `-- reason` tail is mandatory: an exemption without a
 //! recorded justification is itself a parse error, so the allowlist
 //! stays auditable.
+//!
+//! The list also tracks *usage*: every [`Allowlist::allows`] hit marks
+//! the matching entries, and [`Allowlist::unused`] reports entries
+//! that suppressed nothing across a whole run — a stale exemption is a
+//! lint failure in its own right, so dead entries cannot accumulate.
+
+use std::cell::RefCell;
+use std::collections::BTreeSet;
 
 use crate::rules::expand_rule_alias;
 
@@ -38,6 +46,10 @@ pub struct AllowEntry {
 #[derive(Debug, Clone, Default)]
 pub struct Allowlist {
     entries: Vec<AllowEntry>,
+    /// Indices of entries that matched at least one would-be
+    /// diagnostic. Interior mutability because rule code only holds
+    /// `&Allowlist`.
+    used: RefCell<BTreeSet<usize>>,
 }
 
 impl Allowlist {
@@ -72,19 +84,43 @@ impl Allowlist {
                 reason: reason.to_string(),
             });
         }
-        Ok(Self { entries })
+        Ok(Self {
+            entries,
+            used: RefCell::new(BTreeSet::new()),
+        })
     }
 
-    /// True when `rule` is exempted for `item` in `path`.
+    /// True when `rule` is exempted for `item` in `path`. Call this
+    /// only at the point a diagnostic would otherwise fire: a hit
+    /// marks the entry as *used*, and entries that stay unused across
+    /// a whole workspace run are themselves reported stale.
     pub fn allows(&self, rule: &str, path: &str, item: &str) -> bool {
-        self.entries.iter().any(|e| {
-            e.rules.iter().any(|r| r == rule) && path.ends_with(&e.path_suffix) && e.item == item
-        })
+        let mut hit = false;
+        for (idx, e) in self.entries.iter().enumerate() {
+            if e.rules.iter().any(|r| r == rule) && path.ends_with(&e.path_suffix) && e.item == item
+            {
+                self.used.borrow_mut().insert(idx);
+                hit = true;
+            }
+        }
+        hit
     }
 
     /// All parsed entries (for reporting / docs).
     pub fn entries(&self) -> &[AllowEntry] {
         &self.entries
+    }
+
+    /// Entries that never matched a would-be diagnostic — stale
+    /// exemptions whose target was renamed, fixed, or deleted.
+    pub fn unused(&self) -> Vec<AllowEntry> {
+        let used = self.used.borrow();
+        self.entries
+            .iter()
+            .enumerate()
+            .filter(|(idx, _)| !used.contains(idx))
+            .map(|(_, e)| e.clone())
+            .collect()
     }
 }
 
@@ -102,6 +138,21 @@ mod tests {
         assert!(!a.allows("raw-f64", "crates/models/src/cpi.rs", "other_fn"));
         assert!(!a.allows("unwrap", "crates/models/src/cpi.rs", "predict_cpi"));
         assert_eq!(a.entries().len(), 1);
+    }
+
+    #[test]
+    fn usage_is_tracked_per_entry() {
+        let a = Allowlist::parse(
+            "raw-f64 crates/models/src/cpi.rs predict_cpi -- CPI is dimensionless\n\
+             unwrap crates/core/src/ppe.rs never_hit -- stale entry\n",
+        )
+        .unwrap();
+        assert_eq!(a.unused().len(), 2, "nothing consulted yet");
+        assert!(a.allows("raw-f64", "crates/models/src/cpi.rs", "predict_cpi"));
+        assert!(!a.allows("unwrap", "crates/core/src/ppe.rs", "other_fn"));
+        let unused = a.unused();
+        assert_eq!(unused.len(), 1);
+        assert_eq!(unused[0].item, "never_hit");
     }
 
     #[test]

@@ -17,12 +17,19 @@ pub struct Diagnostic {
     pub col: u32,
     /// Human message.
     pub message: String,
+    /// Secondary note (e.g. the L5 killing `apply()` site), rendered
+    /// as a rustc `= note:` line.
+    pub note: Option<String>,
 }
 
 impl fmt::Display for Diagnostic {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "error[{}/{}]: {}", self.group, self.rule, self.message)?;
-        write!(f, "  --> {}:{}:{}", self.path, self.line, self.col)
+        write!(f, "  --> {}:{}:{}", self.path, self.line, self.col)?;
+        if let Some(note) = &self.note {
+            write!(f, "\n  = note: {note}")?;
+        }
+        Ok(())
     }
 }
 
@@ -46,9 +53,29 @@ mod tests {
             line: 117,
             col: 14,
             message: "`.unwrap()` in runtime crate".into(),
+            note: None,
         };
         let s = d.to_string();
         assert!(s.starts_with("error[L1/unwrap]:"));
         assert!(s.contains("--> crates/core/src/ppe.rs:117:14"));
+        assert!(!s.contains("= note:"));
+    }
+
+    #[test]
+    fn renders_note_line() {
+        let d = Diagnostic {
+            group: "L5",
+            rule: "stale-projection",
+            path: "crates/core/src/daemon.rs".into(),
+            line: 230,
+            col: 9,
+            message: "projection read after apply".into(),
+            note: Some("invalidated by `apply(..)` at line 224".into()),
+        };
+        let s = d.to_string();
+        assert!(
+            s.contains("\n  = note: invalidated by `apply(..)` at line 224"),
+            "{s}"
+        );
     }
 }

@@ -7,7 +7,10 @@
 //! | L2 | `raw-f64` | public signatures of `ppep-models` / `ppep-core` use unit newtypes, never bare `f64` (dimensionless ratios are allowlisted with reasons) |
 //! | L3 | `wildcard-match` | matches on domain enums are exhaustive with no wildcard arm |
 //! | L4 | `unguarded-output` | public model outputs route through `ppep_types::units::finite` so NaN/∞ cannot enter projections |
+//! | L5 | `stale-projection` | a `PpeProjection` is never read after an `apply(..)`/`set_vf(..)`/`set_enforced_cap(..)` boundary without re-projection — every DVFS decision prices off a fresh model of the *current* VF state (dataflow rule) |
 //! | L6 | `unbound-span` | tracing span guards are bound to live bindings (`let _g = rec.span(..)`), never dropped on the spot by a bare statement or `let _ =` |
+//! | L7 | `lock-across-boundary` | a `MutexGuard` is never live across `handle_frame`, the v2 frame codec, or I/O calls — lock hold times stay bounded so the serve-path p99 does (dataflow rule) |
+//! | L8 | `dropped-transient` | a `Result` from `sample()`/`resample()`/platform apply paths is never discarded via `let _ =` / `.ok()` without an `is_transient()` triage branch — faults either retry or surface, preserving the energy-accounting identity (dataflow rule) |
 //!
 //! Violations print as rustc-style diagnostics and make the binary
 //! exit nonzero, so `cargo run -p ppep-lint` slots directly into CI.
@@ -20,13 +23,20 @@
 //!
 //! The analyzer lexes Rust itself (see [`lexer`]) instead of using
 //! `syn`, so it — like the rest of the workspace — builds with zero
-//! registry access.
+//! registry access. L1–L4/L6 pattern-match the token stream; the
+//! temporal rules (L5/L7/L8) parse each fn body into an AST
+//! ([`ast`]), lower it to a statement-granularity CFG ([`cfg`]), and
+//! run forward dataflow ([`dataflow`]) to track facts across
+//! branches and loops.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod allow;
+pub mod ast;
+pub mod cfg;
 pub mod context;
+pub mod dataflow;
 pub mod diag;
 pub mod lexer;
 pub mod rules;
@@ -72,6 +82,9 @@ pub struct WorkspaceReport {
     pub diagnostics: Vec<Diagnostic>,
     /// Number of files analyzed.
     pub files: usize,
+    /// Allowlist entries that matched nothing across the whole run —
+    /// stale exemptions the binary turns into a nonzero exit.
+    pub unused_allow: Vec<allow::AllowEntry>,
 }
 
 /// Walks the workspace at `root` and runs every rule. Reads the
@@ -120,7 +133,12 @@ pub fn lint_workspace(root: &Path) -> io::Result<WorkspaceReport> {
         files += 1;
     }
     diag::sort(&mut diagnostics);
-    Ok(WorkspaceReport { diagnostics, files })
+    let unused_allow = allow.unused();
+    Ok(WorkspaceReport {
+        diagnostics,
+        files,
+        unused_allow,
+    })
 }
 
 /// Recursively collects `.rs` files under `dir` (no-op when absent).

@@ -23,11 +23,37 @@
 //!   to a live binding (`let _g = rec.span(..)`); a bare statement or
 //!   `let _ = ..` drops the guard immediately, silently recording a
 //!   zero-length span.
+//!
+//! The temporal rules run on the AST/CFG/dataflow stack
+//! ([`crate::ast`] / [`crate::cfg`] / [`crate::dataflow`]) instead of
+//! the raw token stream:
+//!
+//! * **L5 stale-projection** — a binding that traces to a
+//!   `PpeProjection` (`project(..)` / `project_nb(..)` initializer,
+//!   type annotation, or typed parameter) must not be read after an
+//!   `apply(..)` / `set_vf(..)` / `set_enforced_cap(..)` boundary on
+//!   any path without re-projection: the projection models the VF
+//!   state *before* the actuation, so reading it afterwards prices
+//!   the next interval with the previous interval's model.
+//! * **L7 lock-across-boundary** — a `MutexGuard` (from `.lock()` or
+//!   a `*Guard`-typed binding) must not be live across
+//!   `handle_frame`, the v2 frame codec, or blocking I/O calls: lock
+//!   hold time across those boundaries is the documented serve-path
+//!   p99 amplifier.
+//! * **L8 dropped-transient** — a `Result` from `sample()` /
+//!   `resample()` / platform actuation must not be discarded via
+//!   `let _ = ..` or a chained `.ok()` without an `is_transient()`
+//!   triage branch: swallowing a non-transient fault breaks the
+//!   energy-accounting identity the replay tests pin down.
 
 use crate::allow::Allowlist;
+use crate::ast;
+use crate::cfg::{self, CfgNode, NodeKind};
 use crate::context::{matching_bracket, SourceFile};
+use crate::dataflow::{solve, Analysis};
 use crate::diag::Diagnostic;
 use crate::lexer::{Token, TokenKind};
+use std::collections::BTreeSet;
 
 /// Crates whose non-test code must be panic-free (L1).
 pub const RUNTIME_CRATES: [&str; 9] = [
@@ -74,7 +100,7 @@ pub const UNIT_TYPES: [&str; 7] = [
 ];
 
 /// Every individual rule name.
-pub const ALL_RULES: [&str; 9] = [
+pub const ALL_RULES: [&str; 12] = [
     "unwrap",
     "expect",
     "panic",
@@ -83,10 +109,13 @@ pub const ALL_RULES: [&str; 9] = [
     "raw-f64",
     "wildcard-match",
     "unguarded-output",
+    "stale-projection",
     "unbound-span",
+    "lock-across-boundary",
+    "dropped-transient",
 ];
 
-/// Expands a rule name or `L1`…`L6` group alias (or `all`) to the
+/// Expands a rule name or `L1`…`L8` group alias (or `all`) to the
 /// individual rule names it covers. Unknown names pass through
 /// unchanged (they simply never match a diagnostic).
 pub fn expand_rule_alias(name: &str) -> Vec<String> {
@@ -101,7 +130,10 @@ pub fn expand_rule_alias(name: &str) -> Vec<String> {
         "L2" => vec!["raw-f64".into()],
         "L3" => vec!["wildcard-match".into()],
         "L4" => vec!["unguarded-output".into()],
+        "L5" => vec!["stale-projection".into()],
         "L6" => vec!["unbound-span".into()],
+        "L7" => vec!["lock-across-boundary".into()],
+        "L8" => vec!["dropped-transient".into()],
         "all" => ALL_RULES.iter().map(|s| s.to_string()).collect(),
         other => vec![other.to_string()],
     }
@@ -120,6 +152,7 @@ pub fn check_file(file: &SourceFile, allow: &Allowlist) -> Vec<Diagnostic> {
     if file.crate_name.starts_with("ppep-") {
         l3_wildcard_match(file, allow, &mut diags);
         l6_unbound_span(file, &fns, allow, &mut diags);
+        temporal_rules(file, &fns, allow, &mut diags);
     }
     if file.crate_name == MODEL_CRATE {
         l4_unguarded_output(file, &fns, allow, &mut diags);
@@ -141,6 +174,7 @@ fn diag(
         line: tok.line,
         col: tok.col,
         message,
+        note: None,
     }
 }
 
@@ -304,6 +338,11 @@ pub struct FnSig {
     pub is_pub: bool,
     /// Parameter type token ranges (skipping `self` receivers).
     pub param_types: Vec<(usize, usize)>,
+    /// Parameter pattern names paired with their type ranges —
+    /// entry facts for the temporal rules (a `projection:
+    /// PpeProjection` parameter arrives fresh; a `guard: MutexGuard`
+    /// parameter arrives held).
+    pub params: Vec<(Vec<String>, (usize, usize))>,
     /// Return type token range, if any.
     pub ret: Option<(usize, usize)>,
     /// Body token range `{..}` (exclusive of braces), if any.
@@ -365,6 +404,7 @@ pub fn parse_fns(file: &SourceFile) -> Vec<FnSig> {
         let params_open = k;
         let params_close = matching_bracket(toks, params_open);
         let mut param_types = Vec::new();
+        let mut params = Vec::new();
         let mut start = params_open + 1;
         let mut depth = 0i64;
         let mut angle = 0i64;
@@ -382,6 +422,8 @@ pub fn parse_fns(file: &SourceFile) -> Vec<FnSig> {
                 if idx > start {
                     if let Some(ty) = param_type_range(toks, start, idx) {
                         param_types.push(ty);
+                        let (names, _) = ast::pattern_binds(toks, start, ty.0 - 1);
+                        params.push((names, ty));
                     }
                 }
                 start = idx + 1;
@@ -434,6 +476,7 @@ pub fn parse_fns(file: &SourceFile) -> Vec<FnSig> {
             col: name_tok.col,
             is_pub,
             param_types,
+            params,
             ret,
             body,
         });
@@ -492,15 +535,17 @@ fn is_bare_f64(toks: &[Token], range: (usize, usize)) -> bool {
 
 fn l2_raw_f64(file: &SourceFile, fns: &[FnSig], allow: &Allowlist, diags: &mut Vec<Diagnostic>) {
     for f in fns {
-        if !f.is_pub
-            || skipped(file, "raw-f64", f.line)
-            || allow.allows("raw-f64", &file.path, &f.name)
-        {
+        if !f.is_pub || skipped(file, "raw-f64", f.line) {
             continue;
         }
         for &range in &f.param_types {
             let tok = &file.tokens[range.0];
-            if is_bare_f64(&file.tokens, range) && !skipped(file, "raw-f64", tok.line) {
+            if is_bare_f64(&file.tokens, range)
+                && !skipped(file, "raw-f64", tok.line)
+                // Fire-point check so unused-entry tracking stays
+                // accurate: a clean fn must not mark its entry used.
+                && !allow.allows("raw-f64", &file.path, &f.name)
+            {
                 diags.push(diag(
                     file,
                     "L2",
@@ -516,7 +561,10 @@ fn l2_raw_f64(file: &SourceFile, fns: &[FnSig], allow: &Allowlist, diags: &mut V
         }
         if let Some(range) = f.ret {
             let tok = &file.tokens[range.0];
-            if is_bare_f64(&file.tokens, range) && !skipped(file, "raw-f64", tok.line) {
+            if is_bare_f64(&file.tokens, range)
+                && !skipped(file, "raw-f64", tok.line)
+                && !allow.allows("raw-f64", &file.path, &f.name)
+            {
                 diags.push(diag(
                     file,
                     "L2",
@@ -667,10 +715,7 @@ fn l4_unguarded_output(
     for f in fns {
         let Some(ret) = f.ret else { continue };
         let Some(body) = f.body else { continue };
-        if !f.is_pub
-            || skipped(file, "unguarded-output", f.line)
-            || allow.allows("unguarded-output", &file.path, &f.name)
-        {
+        if !f.is_pub || skipped(file, "unguarded-output", f.line) {
             continue;
         }
         let returns_unit = file.tokens[ret.0..ret.1]
@@ -694,7 +739,7 @@ fn l4_unguarded_output(
         let guarded = body_toks
             .windows(2)
             .any(|w| w[0].is_ident("finite") && w[1].is_punct("("));
-        if !guarded {
+        if !guarded && !allow.allows("unguarded-output", &file.path, &f.name) {
             let tok = &file.tokens[ret.0];
             diags.push(Diagnostic {
                 group: "L4",
@@ -707,6 +752,7 @@ fn l4_unguarded_output(
                      `ppep_types::units::finite` guard; NaN/∞ could silently enter projections",
                     f.name, tok.text
                 ),
+                note: None,
             });
         }
     }
@@ -729,9 +775,7 @@ fn l6_unbound_span(
             continue;
         }
         let at = &toks[i + 1];
-        if skipped(file, "unbound-span", at.line)
-            || allow.allows("unbound-span", &file.path, containing_fn(fns, i))
-        {
+        if skipped(file, "unbound-span", at.line) {
             continue;
         }
         // Statement start: just past the nearest `;` / `{` / `}`.
@@ -754,6 +798,9 @@ fn l6_unbound_span(
             // temporary dies at the `;`, recording a near-zero span.
             toks[stmt..i].iter().any(|t| t.is_punct("="))
         };
+        if !bound && allow.allows("unbound-span", &file.path, containing_fn(fns, i)) {
+            continue;
+        }
         if !bound {
             diags.push(diag(
                 file,
@@ -764,6 +811,504 @@ fn l6_unbound_span(
                  `let _ = ..` drops it immediately and records a zero-length span"
                     .into(),
             ));
+        }
+    }
+}
+
+// ------------------------------------- L5 / L7 / L8 (dataflow rules)
+
+/// Calls that mint a fresh `PpeProjection` (L5 gen set).
+const PROJECTION_SOURCES: [&str; 2] = ["project", "project_nb"];
+
+/// Actuation calls that change VF/cap state and so invalidate every
+/// live projection (L5 kill set).
+const PROJECTION_KILLS: [&str; 5] = [
+    "apply",
+    "apply_uniform",
+    "set_vf",
+    "set_cu_vf",
+    "set_enforced_cap",
+];
+
+/// The guard-producing method call (L7 gen set).
+const LOCK_CALL: &str = "lock";
+
+/// Method adapters that keep a `.lock()` chain a guard —
+/// `lock().map_err(..)?` still binds the guard itself. Any other
+/// trailing method call extracts a value *under* a temporary guard
+/// instead, and the binding is not tracked.
+const GUARD_CHAIN_OK: [&str; 4] = ["map_err", "unwrap", "expect", "unwrap_or_else"];
+
+/// Guard type names recognized in `let` annotations and parameters.
+const GUARD_TYPES: [&str; 3] = ["MutexGuard", "RwLockReadGuard", "RwLockWriteGuard"];
+
+/// Calls a held guard must not cross (L7 boundary set): the serve
+/// frame handler, the v2 frame codec, and blocking I/O / platform
+/// sampling. Macros (`write!` into a `String`) are never calls, so
+/// in-memory formatting does not trip this.
+const LOCK_BOUNDARIES: [&str; 14] = [
+    "handle_frame",
+    "frame_to_bytes",
+    "decode_frame",
+    "encode_frame",
+    "parse_any",
+    "write_all",
+    "flush",
+    "read_exact",
+    "read_to_string",
+    "read_line",
+    "send",
+    "recv",
+    "sample",
+    "resample",
+];
+
+/// Fallible measurement/actuation calls whose `Result` carries the
+/// transient-vs-fatal fault taxonomy (L8 source set).
+const TRANSIENT_RESULTS: [&str; 4] = ["sample", "resample", "apply", "apply_uniform"];
+
+/// Runs the dataflow-backed rules over every parsed fn body. Each
+/// body is parsed once ([`ast::parse_block`]), lowered once
+/// ([`cfg::build`]), and each rule solves its own analysis over the
+/// shared graph.
+fn temporal_rules(
+    file: &SourceFile,
+    fns: &[FnSig],
+    allow: &Allowlist,
+    diags: &mut Vec<Diagnostic>,
+) {
+    for f in fns {
+        let Some((lo, hi)) = f.body else { continue };
+        let block = ast::parse_block(&file.tokens, lo, hi);
+        let graph = cfg::build(&block);
+        l5_stale_projection(file, f, &graph, allow, diags);
+        l7_lock_across_boundary(file, f, &graph, allow, diags);
+        l8_dropped_transient(file, f, &graph, allow, diags);
+    }
+}
+
+// ---------------------------------------------------------------- L5
+
+/// L5 fact: what a projection-holding binding currently models.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord)]
+enum ProjFact {
+    /// The binding holds a projection of the *current* platform state.
+    Fresh(String),
+    /// The binding's projection was invalidated by an actuation.
+    Stale {
+        /// The binding.
+        var: String,
+        /// The actuation call name.
+        killed_by: String,
+        /// The actuation call line.
+        kill_line: u32,
+    },
+}
+
+impl ProjFact {
+    fn var(&self) -> &str {
+        match self {
+            ProjFact::Fresh(v) => v,
+            ProjFact::Stale { var, .. } => var,
+        }
+    }
+}
+
+/// True when `node` binds a projection: the initializer's *result*
+/// comes from `project`/`project_nb`, or the `let` type annotation
+/// names `PpeProjection`. An initializer that merely contains a
+/// projection consumed further in (`decide(&ppep.project(..)?)`, or a
+/// block that projects, decides, and yields the decision) binds the
+/// *consumer's* result, not a projection.
+fn binds_projection(node: &CfgNode) -> bool {
+    !node.binds.is_empty()
+        && (node.expr.tail_call_in(&PROJECTION_SOURCES)
+            || node.ty.iter().any(|t| t == "PpeProjection"))
+}
+
+struct ProjAnalysis {
+    entry: BTreeSet<ProjFact>,
+}
+
+impl Analysis for ProjAnalysis {
+    type Fact = ProjFact;
+
+    fn entry(&self) -> BTreeSet<ProjFact> {
+        self.entry.clone()
+    }
+
+    fn transfer(&self, node: &CfgNode, input: &BTreeSet<ProjFact>) -> BTreeSet<ProjFact> {
+        // Scope ends, `drop(x)`, and rebinding retire old facts.
+        let mut out: BTreeSet<ProjFact> = input
+            .iter()
+            .filter(|fact| {
+                let v = fact.var();
+                !node.scope_end.iter().any(|s| s == v)
+                    && !node.expr.dropped.iter().any(|d| d == v)
+                    && !node.binds.iter().any(|b| b == v)
+            })
+            .cloned()
+            .collect();
+        // An actuation call turns every surviving fresh fact stale.
+        if let Some(kill) = node.expr.first_call_in(&PROJECTION_KILLS) {
+            out = out
+                .into_iter()
+                .map(|fact| match fact {
+                    ProjFact::Fresh(var) => ProjFact::Stale {
+                        var,
+                        killed_by: kill.name.clone(),
+                        kill_line: kill.line,
+                    },
+                    stale => stale,
+                })
+                .collect();
+        }
+        if binds_projection(node) {
+            for b in &node.binds {
+                out.insert(ProjFact::Fresh(b.clone()));
+            }
+        } else if let [bind] = &node.binds[..] {
+            // A plain move or `.clone()` of one binding inherits its
+            // fact: `let held = projection.clone();` goes stale
+            // together with `projection`. Multi-use initializers
+            // (struct literals archiving the projection for
+            // reporting) deliberately do not propagate — the archive
+            // is a report of the completed cycle, not a pricing
+            // input.
+            if node.expr.uses.len() == 1 && node.expr.calls.iter().all(|c| c.name == "clone") {
+                let inherited: Vec<ProjFact> = node
+                    .expr
+                    .uses
+                    .iter()
+                    .filter_map(|u| {
+                        out.iter()
+                            .find(|fact| fact.var() == u.name)
+                            .map(|fact| match fact {
+                                ProjFact::Fresh(_) => ProjFact::Fresh(bind.clone()),
+                                ProjFact::Stale {
+                                    killed_by,
+                                    kill_line,
+                                    ..
+                                } => ProjFact::Stale {
+                                    var: bind.clone(),
+                                    killed_by: killed_by.clone(),
+                                    kill_line: *kill_line,
+                                },
+                            })
+                    })
+                    .collect();
+                out.extend(inherited);
+            }
+        }
+        out
+    }
+}
+
+fn l5_stale_projection(
+    file: &SourceFile,
+    f: &FnSig,
+    graph: &cfg::Cfg,
+    allow: &Allowlist,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let mut entry = BTreeSet::new();
+    for (names, ty) in &f.params {
+        if file.tokens[ty.0..ty.1]
+            .iter()
+            .any(|t| t.is_ident("PpeProjection"))
+        {
+            for n in names {
+                entry.insert(ProjFact::Fresh(n.clone()));
+            }
+        }
+    }
+    // Cheap pre-pass: without both a projection and an actuation the
+    // rule can never fire, and most fn bodies have neither.
+    let has_kill = graph
+        .nodes
+        .iter()
+        .any(|n| n.expr.first_call_in(&PROJECTION_KILLS).is_some());
+    let has_proj = !entry.is_empty() || graph.nodes.iter().any(binds_projection);
+    if !has_kill || !has_proj {
+        return;
+    }
+    let sol = solve(graph, &ProjAnalysis { entry });
+    let mut seen: BTreeSet<(u32, u32)> = BTreeSet::new();
+    for (id, node) in graph.nodes.iter().enumerate() {
+        for u in &node.expr.uses {
+            let flowed_stale = sol.inputs[id].iter().find_map(|fact| match fact {
+                ProjFact::Stale {
+                    var,
+                    killed_by,
+                    kill_line,
+                } if var == &u.name => Some((killed_by.clone(), *kill_line)),
+                _ => None,
+            });
+            // Same-statement refinement: fresh on entry, but an
+            // actuation earlier in this statement already invalidated
+            // it. Uses inside the actuation's own argument list are
+            // fine — the projection is consumed *by* the actuation.
+            let same_stmt = || {
+                if !sol.inputs[id].contains(&ProjFact::Fresh(u.name.clone())) {
+                    return None;
+                }
+                node.expr
+                    .calls
+                    .iter()
+                    .filter(|c| PROJECTION_KILLS.contains(&c.name.as_str()))
+                    .find(|c| c.close < u.idx)
+                    .map(|c| (c.name.clone(), c.line))
+            };
+            let Some((killed_by, kill_line)) = flowed_stale.or_else(same_stmt) else {
+                continue;
+            };
+            if !seen.insert((u.line, u.col))
+                || skipped(file, "stale-projection", u.line)
+                || allow.allows("stale-projection", &file.path, &f.name)
+            {
+                continue;
+            }
+            diags.push(Diagnostic {
+                group: "L5",
+                rule: "stale-projection",
+                path: file.path.clone(),
+                line: u.line,
+                col: u.col,
+                message: format!(
+                    "`{}` holds a projection of the pre-`{}` platform state; re-project after \
+                     actuation instead of reading the stale one",
+                    u.name, killed_by
+                ),
+                note: Some(format!(
+                    "invalidated by the `{killed_by}(..)` at line {kill_line}; every DVFS \
+                     decision must price off a projection of the current VF state (Fig. 5 loop)"
+                )),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------- L7
+
+/// L7 fact: a live lock guard and where it was acquired.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct GuardFact {
+    var: String,
+    line: u32,
+}
+
+/// True when `node` binds a lock guard: a `.lock()` chain whose
+/// trailing method calls are all guard-preserving adapters, or a
+/// `*Guard` type annotation.
+fn binds_guard(node: &CfgNode) -> bool {
+    if node.binds.is_empty() {
+        return false;
+    }
+    if node.ty.iter().any(|t| GUARD_TYPES.contains(&t.as_str())) {
+        return true;
+    }
+    let Some(lock) = node
+        .expr
+        .calls
+        .iter()
+        .find(|c| c.name == LOCK_CALL && c.method && !node.expr.nested(c))
+    else {
+        return false;
+    };
+    // Only the chain's own method calls matter; calls nested in an
+    // adapter's arguments (`map_err(|_| Error::X("..".into()))`) do
+    // not unwrap the guard.
+    node.expr
+        .calls
+        .iter()
+        .filter(|c| c.idx > lock.close && c.method && !node.expr.nested(c))
+        .all(|c| GUARD_CHAIN_OK.contains(&c.name.as_str()))
+}
+
+struct GuardAnalysis {
+    entry: BTreeSet<GuardFact>,
+}
+
+impl Analysis for GuardAnalysis {
+    type Fact = GuardFact;
+
+    fn entry(&self) -> BTreeSet<GuardFact> {
+        self.entry.clone()
+    }
+
+    fn transfer(&self, node: &CfgNode, input: &BTreeSet<GuardFact>) -> BTreeSet<GuardFact> {
+        let mut out: BTreeSet<GuardFact> = input
+            .iter()
+            .filter(|g| {
+                !node.scope_end.contains(&g.var)
+                    && !node.expr.dropped.contains(&g.var)
+                    && !node.binds.contains(&g.var)
+            })
+            .cloned()
+            .collect();
+        if binds_guard(node) {
+            let line = node
+                .expr
+                .calls
+                .iter()
+                .find(|c| c.name == LOCK_CALL)
+                .map_or(node.line, |c| c.line);
+            for b in &node.binds {
+                out.insert(GuardFact {
+                    var: b.clone(),
+                    line,
+                });
+            }
+        }
+        out
+    }
+}
+
+fn l7_lock_across_boundary(
+    file: &SourceFile,
+    f: &FnSig,
+    graph: &cfg::Cfg,
+    allow: &Allowlist,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let has_boundary = graph
+        .nodes
+        .iter()
+        .any(|n| n.expr.first_call_in(&LOCK_BOUNDARIES).is_some());
+    if !has_boundary {
+        return;
+    }
+    let mut entry = BTreeSet::new();
+    for (names, ty) in &f.params {
+        if file.tokens[ty.0..ty.1]
+            .iter()
+            .any(|t| GUARD_TYPES.iter().any(|g| t.is_ident(g)))
+        {
+            for n in names {
+                entry.insert(GuardFact {
+                    var: n.clone(),
+                    line: f.line,
+                });
+            }
+        }
+    }
+    let sol = solve(graph, &GuardAnalysis { entry });
+    let mut seen: BTreeSet<(u32, u32)> = BTreeSet::new();
+    for (id, node) in graph.nodes.iter().enumerate() {
+        for b in node
+            .expr
+            .calls
+            .iter()
+            .filter(|c| LOCK_BOUNDARIES.contains(&c.name.as_str()))
+        {
+            // A guard flowing in from an earlier statement…
+            let flowed = sol.inputs[id]
+                .iter()
+                .next()
+                .map(|g| (format!("the guard `{}`", g.var), g.line));
+            // …or a `.lock()` earlier in this very statement (the
+            // guard temporary lives until the statement ends, so the
+            // boundary call still runs under it).
+            let same_stmt = || {
+                node.expr
+                    .calls
+                    .iter()
+                    .find(|c| c.name == LOCK_CALL && c.method && c.idx < b.idx)
+                    .map(|c| ("the guard temporary".to_string(), c.line))
+            };
+            let Some((what, line)) = flowed.or_else(same_stmt) else {
+                continue;
+            };
+            if !seen.insert((b.line, b.col))
+                || skipped(file, "lock-across-boundary", b.line)
+                || allow.allows("lock-across-boundary", &file.path, &f.name)
+            {
+                continue;
+            }
+            diags.push(Diagnostic {
+                group: "L7",
+                rule: "lock-across-boundary",
+                path: file.path.clone(),
+                line: b.line,
+                col: b.col,
+                message: format!(
+                    "`{}(..)` runs while {} (acquired at line {}) is still held",
+                    b.name, what, line
+                ),
+                note: Some(format!(
+                    "lock hold time across `{}` is what amplifies the serve-path p99; drop \
+                     the guard (scope it or `drop(..)` it) before the boundary call",
+                    b.name
+                )),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------- L8
+
+fn l8_dropped_transient(
+    file: &SourceFile,
+    f: &FnSig,
+    graph: &cfg::Cfg,
+    allow: &Allowlist,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let mut seen: BTreeSet<(u32, u32)> = BTreeSet::new();
+    for node in &graph.nodes {
+        if node.kind != NodeKind::Stmt {
+            // `match platform.sample() { .. }` scrutinees and `if let`
+            // conditions consume the Result — those are the compliant
+            // shapes.
+            continue;
+        }
+        // Any `is_transient()` in the statement means the fault is
+        // being triaged (including flattened `let r = match .. {..};`
+        // forms).
+        if node.expr.calls_name("is_transient") {
+            continue;
+        }
+        for c in node
+            .expr
+            .calls
+            .iter()
+            .filter(|c| TRANSIENT_RESULTS.contains(&c.name.as_str()))
+        {
+            // Shape 1: `let _ = platform.sample();` — the whole Result
+            // is discarded on the spot.
+            let discarded = node.bind_discard;
+            // Shape 2: a directly chained `.ok()` silently converts
+            // the Error away: `platform.sample().ok()`.
+            let close = c.close;
+            let ok_chained = file.tokens.get(close + 1).is_some_and(|t| t.is_punct("."))
+                && file.tokens.get(close + 2).is_some_and(|t| t.is_ident("ok"))
+                && file.tokens.get(close + 3).is_some_and(|t| t.is_punct("("));
+            if !discarded && !ok_chained {
+                continue;
+            }
+            if !seen.insert((c.line, c.col))
+                || skipped(file, "dropped-transient", c.line)
+                || allow.allows("dropped-transient", &file.path, &f.name)
+            {
+                continue;
+            }
+            let via = if discarded { "`let _ = ..`" } else { "`.ok()`" };
+            diags.push(Diagnostic {
+                group: "L8",
+                rule: "dropped-transient",
+                path: file.path.clone(),
+                line: c.line,
+                col: c.col,
+                message: format!(
+                    "the `Result` of `{}(..)` is discarded via {via} without fault triage",
+                    c.name
+                ),
+                note: Some(
+                    "branch on `Error::is_transient()` — retry/hold on transients, surface \
+                     everything else — so the energy-accounting identity survives faults"
+                        .into(),
+                ),
+            });
         }
     }
 }
@@ -930,5 +1475,193 @@ mod tests {
     fn restricted_pub_is_not_public_api() {
         let src = "pub(crate) fn f(x: f64) -> f64 { x }";
         assert!(check("ppep-models", src).is_empty());
+    }
+
+    #[test]
+    fn l5_catches_projection_reuse_after_apply() {
+        let src = "fn react(&mut self) -> Result<Step> {\n\
+                   \x20   let record = self.platform.sample()?;\n\
+                   \x20   let projection = self.ppep.project(&record)?;\n\
+                   \x20   let decision = self.governor.decide(&projection);\n\
+                   \x20   self.platform.apply(&decision)?;\n\
+                   \x20   self.note(&projection);\n\
+                   \x20   Ok(Step { record })\n\
+                   }";
+        let d = check("ppep-core", src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, "stale-projection");
+        assert_eq!(d[0].line, 6, "points at the stale read");
+        let note = d[0].note.as_deref().expect("note names the kill site");
+        assert!(note.contains("`apply(..)` at line 5"), "{note}");
+    }
+
+    #[test]
+    fn l5_reprojection_clears_the_fact() {
+        let src = "fn react(&mut self) -> Result<()> {\n\
+                   \x20   let mut projection = self.ppep.project(&record)?;\n\
+                   \x20   self.platform.apply(&decision)?;\n\
+                   \x20   projection = self.ppep.project_nb(&record)?;\n\
+                   \x20   self.note(&projection);\n\
+                   \x20   Ok(())\n\
+                   }";
+        assert!(check("ppep-core", src).is_empty());
+    }
+
+    #[test]
+    fn l5_flags_staleness_from_one_branch_only() {
+        let src = "fn f(&mut self) -> Result<()> {\n\
+                   \x20   let projection = self.ppep.project(&record)?;\n\
+                   \x20   if hot {\n\
+                   \x20       self.platform.apply(&decision)?;\n\
+                   \x20   }\n\
+                   \x20   self.note(&projection);\n\
+                   \x20   Ok(())\n\
+                   }";
+        let d = check("ppep-core", src);
+        assert_eq!(d.len(), 1, "stale on the hot path: {d:?}");
+        assert_eq!(d[0].line, 6);
+    }
+
+    #[test]
+    fn l5_consuming_the_projection_in_the_actuation_is_fine() {
+        let src = "fn f(&mut self) -> Result<()> {\n\
+                   \x20   let projection = self.ppep.project(&record)?;\n\
+                   \x20   self.platform.apply(&decide(&projection))?;\n\
+                   \x20   Ok(())\n\
+                   }";
+        assert!(check("ppep-core", src).is_empty());
+    }
+
+    #[test]
+    fn l5_tracks_typed_params_and_clones() {
+        let src = "fn f(&mut self, projection: &PpeProjection) -> Result<()> {\n\
+                   \x20   let held = projection.clone();\n\
+                   \x20   self.platform.set_vf(0, vf)?;\n\
+                   \x20   self.note(&held);\n\
+                   \x20   Ok(())\n\
+                   }";
+        let d = check("ppep-core", src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].line, 4);
+        assert!(d[0].message.contains("`held`"));
+    }
+
+    #[test]
+    fn l7_guard_live_across_handle_frame() {
+        let src = "fn f(&self) -> Result<Vec<u8>> {\n\
+                   \x20   let mut service = self.service.lock().map_err(|_| err())?;\n\
+                   \x20   let reply = service.handle_frame(&bytes)?;\n\
+                   \x20   Ok(reply)\n\
+                   }";
+        let d = check("ppep-serve", src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, "lock-across-boundary");
+        assert_eq!(d[0].line, 3);
+        assert!(d[0].message.contains("`service`"), "{}", d[0].message);
+    }
+
+    #[test]
+    fn l7_same_statement_lock_then_boundary() {
+        let src = "fn f(&self) -> Result<Vec<u8>> {\n\
+                   \x20   let reply = { self.service.lock().map_err(|_| err())?.handle_frame(&bytes)? };\n\
+                   \x20   Ok(reply)\n\
+                   }";
+        let d = check("ppep-serve", src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, "lock-across-boundary");
+    }
+
+    #[test]
+    fn l7_scoped_guard_released_before_io_is_clean() {
+        let src = "fn f(&self) -> Result<()> {\n\
+                   \x20   let reply = {\n\
+                   \x20       let mut service = self.service.lock().map_err(|_| err())?;\n\
+                   \x20       service.quick_op()\n\
+                   \x20   };\n\
+                   \x20   out.write_all(&reply)?;\n\
+                   \x20   Ok(())\n\
+                   }";
+        assert!(check("ppep-serve", src).is_empty());
+    }
+
+    #[test]
+    fn l7_drop_releases_the_guard() {
+        let src = "fn f(&self) -> Result<()> {\n\
+                   \x20   let guard = self.state.lock().map_err(|_| err())?;\n\
+                   \x20   drop(guard);\n\
+                   \x20   out.flush()?;\n\
+                   \x20   Ok(())\n\
+                   }";
+        assert!(check("ppep-serve", src).is_empty());
+    }
+
+    #[test]
+    fn l7_value_extracted_under_temporary_guard_is_not_a_guard() {
+        let src = "fn f(&self) -> Result<()> {\n\
+                   \x20   let total = self.state.lock().map_err(|_| err())?.total_granted();\n\
+                   \x20   out.write_all(&enc(total))?;\n\
+                   \x20   Ok(())\n\
+                   }";
+        assert!(check("ppep-serve", src).is_empty());
+    }
+
+    #[test]
+    fn l8_flags_discarded_and_ok_chained_results() {
+        let discarded = "fn f(&mut self) { let _ = self.platform.sample(); }";
+        let d = check("ppep-core", discarded);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, "dropped-transient");
+        let ok_chained = "fn f(&mut self) { self.platform.resample().ok(); }";
+        let d = check("ppep-core", ok_chained);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("`.ok()`"));
+    }
+
+    #[test]
+    fn l8_triage_shapes_are_clean() {
+        let matched = "fn f(&mut self) -> Result<()> {\n\
+                       \x20   match self.platform.sample() {\n\
+                       \x20       Ok(record) => self.consume(record),\n\
+                       \x20       Err(e) if e.is_transient() => self.hold(),\n\
+                       \x20       Err(e) => return Err(e),\n\
+                       \x20   }\n\
+                       \x20   Ok(())\n\
+                       }";
+        assert!(check("ppep-core", matched).is_empty());
+        let propagated = "fn f(&mut self) -> Result<()> { self.platform.apply(&d)?; Ok(()) }";
+        assert!(check("ppep-core", propagated).is_empty());
+        let flattened = "fn f(&mut self) {\n\
+                         \x20   let ok = matches!(self.platform.sample(), Err(e) if e.is_transient());\n\
+                         \x20   self.record(ok);\n\
+                         }";
+        assert!(check("ppep-core", flattened).is_empty());
+    }
+
+    #[test]
+    fn temporal_rules_respect_inline_suppression_and_test_code() {
+        let suppressed = "fn f(&mut self) {\n\
+                          \x20   // ppep-lint: allow(dropped-transient)\n\
+                          \x20   let _ = self.platform.sample();\n\
+                          }";
+        assert!(check("ppep-core", suppressed).is_empty());
+        let test_code = "#[cfg(test)]\nmod tests {\n\
+                         \x20   fn t(p: &mut P) { let _ = p.sample(); }\n\
+                         }";
+        assert!(check("ppep-core", test_code).is_empty());
+    }
+
+    #[test]
+    fn temporal_rules_honor_the_allowlist_by_fn() {
+        let src = "fn f(&mut self) { let _ = self.platform.sample(); }";
+        let allow = Allowlist::parse(
+            "dropped-transient crates/x/src/lib.rs f -- best-effort failsafe pin\n",
+        )
+        .unwrap();
+        let file = SourceFile::parse("crates/x/src/lib.rs", "ppep-core", src);
+        assert!(check_file(&file, &allow).is_empty());
+        assert!(
+            allow.unused().is_empty(),
+            "the entry was consulted and used"
+        );
     }
 }

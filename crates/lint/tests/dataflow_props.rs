@@ -1,0 +1,145 @@
+//! Property tests for the dataflow engine: random statement
+//! sequences — straight-line, branching, looping, diverging — are
+//! generated from an opcode stream, parsed, lowered to a CFG, and
+//! solved twice. The worklist fixpoint ([`solve`]) must terminate
+//! within its monotone bound and agree exactly with the deliberately
+//! dumb round-robin reference solver ([`solve_naive`]).
+
+use std::collections::BTreeSet;
+
+use ppep_lint::ast::parse_block;
+use ppep_lint::cfg::{build, Cfg, CfgNode};
+use ppep_lint::dataflow::{solve, solve_naive, Analysis};
+use ppep_lint::lexer::lex;
+use proptest::prelude::*;
+
+/// Reaching "live bindings": `let x = ..` generates `x`, a rebinding
+/// regenerates it, `scope_end` kills it. The same gen/kill shape the
+/// L5/L7 rules use, minus the rule-specific fact payloads.
+struct LiveBindings;
+
+impl Analysis for LiveBindings {
+    type Fact = String;
+
+    fn entry(&self) -> BTreeSet<String> {
+        BTreeSet::new()
+    }
+
+    fn transfer(&self, node: &CfgNode, input: &BTreeSet<String>) -> BTreeSet<String> {
+        let mut out = input.clone();
+        for dead in &node.scope_end {
+            out.remove(dead);
+        }
+        for b in &node.binds {
+            out.insert(b.clone());
+        }
+        out
+    }
+}
+
+/// Renders an opcode stream as a function body. Deterministic: the
+/// same opcodes always yield the same source, so failures replay.
+fn render_block(ops: &mut std::slice::Iter<'_, u8>, depth: usize, next_var: &mut usize) -> String {
+    let mut out = String::new();
+    while let Some(&op) = ops.next() {
+        match op % 10 {
+            0 | 1 => {
+                out.push_str(&format!("let v{next_var} = src();\n"));
+                *next_var += 1;
+            }
+            2 if *next_var > 0 => {
+                let k = op as usize % *next_var;
+                out.push_str(&format!("v{k} = step(v{k});\n"));
+            }
+            3 if *next_var > 0 => {
+                let k = op as usize % *next_var;
+                out.push_str(&format!("use_it(v{k});\n"));
+            }
+            4 if depth < 3 => {
+                let then_arm = render_block(ops, depth + 1, next_var);
+                let else_arm = render_block(ops, depth + 1, next_var);
+                out.push_str(&format!(
+                    "if cond() {{\n{then_arm}}} else {{\n{else_arm}}}\n"
+                ));
+            }
+            5 if depth < 3 => {
+                let body = render_block(ops, depth + 1, next_var);
+                out.push_str(&format!("while go() {{\n{body}}}\n"));
+            }
+            6 if depth < 3 => {
+                let ok_arm = render_block(ops, depth + 1, next_var);
+                let err_arm = render_block(ops, depth + 1, next_var);
+                out.push_str(&format!(
+                    "match poll() {{\nOk(r) => {{\n{ok_arm}}}\nErr(e) => {{\n{err_arm}}}\n}}\n"
+                ));
+            }
+            7 if depth < 3 => {
+                let inner = render_block(ops, depth + 1, next_var);
+                out.push_str(&format!("{{\n{inner}}}\n"));
+            }
+            8 => {
+                // Diverging statements exercise the unreachable-node
+                // guard: everything after them in this block is dead.
+                out.push_str(if depth == 0 {
+                    "return fin();\n"
+                } else {
+                    "break;\n"
+                });
+            }
+            _ => out.push_str("tick();\n"),
+        }
+        // A sub-block consumed the rest of the stream; stop cleanly.
+        if depth > 0 && op % 10 == 9 {
+            break;
+        }
+    }
+    out
+}
+
+fn cfg_for(src: &str) -> Cfg {
+    let toks = lex(src).tokens;
+    let n = toks.len();
+    build(&parse_block(&toks, 0, n))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The worklist solver terminates (within its monotone bound, no
+    /// safety-valve bail) and computes exactly the naive fixpoint on
+    /// arbitrary generated control flow.
+    #[test]
+    fn worklist_terminates_and_matches_naive(
+        ops in proptest::collection::vec(any::<u8>(), 0..40),
+    ) {
+        let src = render_block(&mut ops.iter(), 0, &mut 0);
+        let cfg = cfg_for(&src);
+        let fast = solve(&cfg, &LiveBindings);
+        let slow = solve_naive(&cfg, &LiveBindings);
+        let cap = 100_000usize.max(cfg.nodes.len() * 64);
+        prop_assert!(
+            fast.iterations <= cap,
+            "worklist hit the safety valve on:\n{src}"
+        );
+        prop_assert_eq!(&fast.inputs, &slow.inputs, "inputs diverge on:\n{}", src);
+        prop_assert_eq!(&fast.outputs, &slow.outputs, "outputs diverge on:\n{}", src);
+    }
+
+    /// Straight-line programs (no branch opcodes) converge in one
+    /// pass: every node is visited a bounded number of times.
+    #[test]
+    fn straight_line_is_linear(
+        ops in proptest::collection::vec(0u8..4, 0..30),
+    ) {
+        let src = render_block(&mut ops.iter(), 0, &mut 0);
+        let cfg = cfg_for(&src);
+        let fast = solve(&cfg, &LiveBindings);
+        prop_assert!(
+            fast.iterations <= 2 * cfg.nodes.len() + 2,
+            "straight-line run took {} visits for {} nodes:\n{}",
+            fast.iterations,
+            cfg.nodes.len(),
+            src
+        );
+    }
+}

@@ -105,6 +105,103 @@ fn l4_only_fires_in_the_model_crate() {
 }
 
 #[test]
+fn l5_fixture_catches_the_seeded_stale_projection_bug() {
+    let src = fixture("l5_stale_projection.rs");
+    let diags: Vec<_> = lint_source("fixtures/test.rs", "ppep-core", &src, &Allowlist::default())
+        .into_iter()
+        .filter(|d| d.rule == "stale-projection")
+        .collect();
+    // Exactly one firing: `stale_report` reads the projection on
+    // line 9 after the line-8 apply; `fresh_report` re-projects.
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    let d = &diags[0];
+    assert_eq!(d.group, "L5");
+    assert_eq!(d.line, 9, "points at the stale read");
+    // The rustc-style rendering names BOTH sites: the stale use
+    // (primary span) and the killing apply() (the `= note:` line).
+    let rendered = d.to_string();
+    assert!(rendered.contains("--> fixtures/test.rs:9:"), "{rendered}");
+    assert!(
+        rendered.contains("= note: invalidated by the `apply(..)` at line 8"),
+        "{rendered}"
+    );
+}
+
+#[test]
+fn l7_fixture_flags_the_held_guard_only() {
+    let src = fixture("l7_lock_boundary.rs");
+    // `bad_hold` carries the guard into `handle_frame` on line 7;
+    // `scoped_hold` releases it at the inner scope end before the
+    // `write_all` boundary.
+    assert_eq!(hits(&src, "ppep-serve", "lock-across-boundary"), vec![7]);
+}
+
+#[test]
+fn l8_fixture_flags_both_discard_shapes() {
+    let src = fixture("l8_dropped_transient.rs");
+    // Line 7: `let _ = platform.sample()`. Line 8: `.ok()` chained
+    // onto `resample()`. The `is_transient()` triage match is clean.
+    assert_eq!(hits(&src, "ppep-core", "dropped-transient"), vec![7, 8]);
+}
+
+#[test]
+fn temporal_rules_only_fire_in_ppep_crates() {
+    for name in [
+        "l5_stale_projection.rs",
+        "l7_lock_boundary.rs",
+        "l8_dropped_transient.rs",
+    ] {
+        let src = fixture(name);
+        let diags = lint_source("fixtures/test.rs", "proptest", &src, &Allowlist::default());
+        assert!(
+            diags.is_empty(),
+            "{name} flagged outside ppep crates: {diags:?}"
+        );
+    }
+}
+
+/// Every `L*` group alias documented in the crate doc-comment's rule
+/// table must expand to a non-empty subset of `ALL_RULES` — a table
+/// row whose alias expands to nothing is dead documentation, and an
+/// alias the table omits is an undocumented escape hatch.
+#[test]
+fn every_documented_group_alias_expands() {
+    let doc = include_str!("../src/lib.rs");
+    let mut groups = Vec::new();
+    for line in doc.lines() {
+        let Some(rest) = line.strip_prefix("//! | L") else {
+            continue;
+        };
+        let digits: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
+        if !digits.is_empty() {
+            groups.push(format!("L{digits}"));
+        }
+    }
+    assert!(
+        groups.len() >= 8,
+        "doc table lists {} groups; expected the full L1..L8 set",
+        groups.len()
+    );
+    let mut covered = std::collections::BTreeSet::new();
+    for g in &groups {
+        let expansion = ppep_lint::rules::expand_rule_alias(g);
+        assert!(
+            !expansion.is_empty(),
+            "documented alias {g} expands to nothing"
+        );
+        for rule in expansion {
+            assert!(
+                ppep_lint::rules::ALL_RULES.contains(&rule.as_str()),
+                "alias {g} expands to unknown rule {rule}"
+            );
+            covered.insert(rule);
+        }
+    }
+    // And jointly the documented groups cover the whole rule set.
+    assert_eq!(covered.len(), ppep_lint::rules::ALL_RULES.len());
+}
+
+#[test]
 fn workspace_is_clean_under_the_checked_in_allowlist() {
     // The acceptance invariant for the whole PR: `cargo run -p
     // ppep-lint` exits 0 at the repo root.
@@ -117,5 +214,10 @@ fn workspace_is_clean_under_the_checked_in_allowlist() {
         report.diagnostics.is_empty(),
         "workspace has violations:\n{}",
         rendered.join("\n")
+    );
+    assert!(
+        report.unused_allow.is_empty(),
+        "stale allowlist entries: {:?}",
+        report.unused_allow
     );
 }

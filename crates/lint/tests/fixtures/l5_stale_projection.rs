@@ -1,0 +1,20 @@
+//! L5 fixture: a `PpeProjection` consulted after actuation is stale.
+
+/// BAD: the figure emitted on line 9 prices off a projection that
+/// stopped modelling the platform when `apply` ran on line 8.
+pub fn stale_report(ppep: &mut Ppep, platform: &mut Platform, record: &IntervalRecord) -> Result<Watts> {
+    let projection = ppep.project(record)?;
+    let decision = decide(&projection)?;
+    platform.apply(&decision)?;
+    Ok(projection.chip.power)
+}
+
+/// GOOD: re-projects after actuating, so the emitted figure prices
+/// off the platform's *current* VF state (the Fig. 5 loop closes).
+pub fn fresh_report(ppep: &mut Ppep, platform: &mut Platform, record: &IntervalRecord) -> Result<Watts> {
+    let projection = ppep.project(record)?;
+    let decision = decide(&projection)?;
+    platform.apply(&decision)?;
+    let projection = ppep.project(record)?;
+    Ok(projection.chip.power)
+}

@@ -1,0 +1,21 @@
+//! L7 fixture: a `MutexGuard` held across a frame/I-O boundary.
+
+/// BAD: `handle_frame` runs under the service lock acquired on
+/// line 5, so one slow frame stretches every other client's p99.
+pub fn bad_hold(service: &Mutex<CappingService>, bytes: &[u8]) -> Result<Vec<u8>> {
+    let guard = service.lock().unwrap();
+    let (reply, cap) = guard.handle_frame(bytes)?;
+    record_cap(cap);
+    Ok(reply)
+}
+
+/// GOOD: the guard lives in an inner block that ends before the
+/// socket write, so the lock hold time stays bounded.
+pub fn scoped_hold(service: &Mutex<CappingService>, out: &mut TcpStream, bytes: &[u8]) -> Result<()> {
+    let reply = {
+        let guard = service.lock().unwrap();
+        guard.admit(bytes)?
+    };
+    out.write_all(&reply)?;
+    Ok(())
+}

@@ -1,0 +1,18 @@
+//! L8 fixture: transient-capable `Result`s discarded without triage.
+
+/// BAD: both discards erase the fault taxonomy -- a transient sensor
+/// glitch and a fatal MSR failure vanish identically, and the energy
+/// accounting silently skips the interval.
+pub fn bad_discards(platform: &mut Platform) {
+    let _ = platform.sample();
+    platform.resample().ok();
+}
+
+/// GOOD: the triage branch retries transients and surfaces the rest.
+pub fn triaged(platform: &mut Platform) -> Result<IntervalRecord> {
+    match platform.sample() {
+        Ok(record) => Ok(record),
+        Err(fault) if fault.is_transient() => platform.resample(),
+        Err(fault) => Err(fault),
+    }
+}
