@@ -10,7 +10,7 @@
 
 use crate::framework::Ppep;
 use crate::ppe::PpeProjection;
-use ppep_obs::{RecorderHandle, Stage};
+use ppep_obs::{PredictionScorer, RecorderHandle, ScorerConfig, Stage};
 use ppep_telemetry::{DecisionRecord, IntervalRecord, Platform};
 use ppep_types::time::IntervalIndex;
 use ppep_types::{Error, Result, VfStateId, Watts};
@@ -72,6 +72,19 @@ impl DvfsController for StaticController {
     fn decide(&mut self, projection: &PpeProjection) -> Result<Vec<VfStateId>> {
         Ok(vec![self.vf; projection.source_vf.len()])
     }
+}
+
+/// The projection the daemon staged for the *next* interval, held
+/// until the matching measurement arrives and can be scored.
+#[derive(Debug, Clone)]
+struct PendingPrediction {
+    /// Interval index the prediction targets (source interval + 1).
+    interval: u64,
+    /// Predicted per-core CPI at the chosen VF state.
+    core_cpi: Vec<f64>,
+    /// Predicted chip power under the chosen assignment, when the
+    /// power model could evaluate it.
+    chip_power: Option<f64>,
 }
 
 /// One daemon step's outcome.
@@ -137,6 +150,8 @@ pub struct PpepDaemon<P: Platform, C: DvfsController> {
     platform: P,
     controller: C,
     recorder: RecorderHandle,
+    scorer: Option<PredictionScorer>,
+    pending: Option<PendingPrediction>,
 }
 
 impl<P: Platform, C: DvfsController> PpepDaemon<P, C> {
@@ -147,7 +162,31 @@ impl<P: Platform, C: DvfsController> PpepDaemon<P, C> {
             platform,
             controller,
             recorder: RecorderHandle::noop(),
+            scorer: None,
+            pending: None,
         }
+    }
+
+    /// Turns on prediction-accuracy scorekeeping: each step's chosen
+    /// projection is held and scored against the *next* interval's
+    /// measured CPI and power. Scoring is strictly observational — it
+    /// never feeds back into decisions, so a scored run stays
+    /// bit-identical to an unscored one.
+    pub fn with_scorer(mut self, config: ScorerConfig) -> Self {
+        let cores = self.platform.topology().core_count();
+        self.scorer = Some(PredictionScorer::new(cores, config));
+        self
+    }
+
+    /// The accuracy scorer, when enabled via
+    /// [`with_scorer`](Self::with_scorer).
+    pub fn scorer(&self) -> Option<&PredictionScorer> {
+        self.scorer.as_ref()
+    }
+
+    /// The accuracy scorer, mutably (merging shards, resetting).
+    pub fn scorer_mut(&mut self) -> Option<&mut PredictionScorer> {
+        self.scorer.as_mut()
     }
 
     /// Routes the daemon, its engine, and its platform through one
@@ -218,6 +257,7 @@ impl<P: Platform, C: DvfsController> PpepDaemon<P, C> {
     pub fn react(&mut self, record: IntervalRecord) -> Result<DaemonStep> {
         let interval = record.index.0;
         let rec = self.recorder.clone();
+        self.score_measurement(&record);
         let projection = self.ppep.project(&record)?;
         let decision = {
             let _decide = rec.span(Stage::Decide, interval);
@@ -229,6 +269,7 @@ impl<P: Platform, C: DvfsController> PpepDaemon<P, C> {
             Some(&projection),
             &decision,
         );
+        self.stage_prediction(&projection, &decision);
         // Archive the cycle *before* actuation: the projection models
         // the pre-apply VF state, so no code downstream of `apply` may
         // read it directly (ppep-lint L5 enforces this ordering).
@@ -271,6 +312,80 @@ impl<P: Platform, C: DvfsController> PpepDaemon<P, C> {
             realized_power: realized,
             cap,
             cap_violated: cap.and_then(|c| realized.map(|r| r > c)),
+        });
+    }
+
+    /// Scores the previously staged prediction against a fresh
+    /// measurement. A no-op when the scorer is off or nothing is
+    /// pending; a pending prediction whose target interval does not
+    /// match (a faulted, held, or failsafe gap between decisions) is
+    /// dropped and counted, never scored against the wrong interval.
+    ///
+    /// [`react`](Self::react) calls this on entry; supervisors whose
+    /// recovery paths bypass `react` call it directly before
+    /// projecting.
+    pub fn score_measurement(&mut self, record: &IntervalRecord) {
+        if self.scorer.is_none() {
+            return;
+        }
+        let Some(pending) = self.pending.take() else {
+            return;
+        };
+        let Some(scorer) = self.scorer.as_mut() else {
+            return;
+        };
+        if pending.interval != record.index.0 {
+            scorer.note_stale_drop();
+            return;
+        }
+        for (core, predicted) in pending.core_cpi.iter().copied().enumerate() {
+            let measured = record.samples.get(core).and_then(|s| s.cpi());
+            if let Some(ape) = scorer.score_core_cpi(core, predicted, measured) {
+                self.recorder.observe("accuracy.cpi.err_pct", ape);
+            }
+        }
+        if let Some(predicted) = pending.chip_power {
+            if let Some(ape) = scorer.score_power(predicted, record.measured_power.as_watts()) {
+                self.recorder.observe("accuracy.power.err_pct", ape);
+            }
+        }
+        scorer.note_interval();
+        if self.recorder.enabled() {
+            scorer.export(&self.recorder);
+        }
+    }
+
+    /// Stages this cycle's chosen projection for scoring against the
+    /// *next* interval's measurement. A no-op when the scorer is off.
+    ///
+    /// [`react`](Self::react) calls this between decide and apply
+    /// (pre-actuation, like the trace annotation); supervisors whose
+    /// fresh paths bypass `react` call it at the same point.
+    pub fn stage_prediction(&mut self, projection: &PpeProjection, decision: &[VfStateId]) {
+        if self.scorer.is_none() {
+            return;
+        }
+        let cores_per_cu = self.platform.topology().cores_per_cu().max(1);
+        let core_cpi: Vec<f64> = projection
+            .cores
+            .iter()
+            .enumerate()
+            .map(|(i, core)| {
+                decision
+                    .get(i / cores_per_cu)
+                    .and_then(|vf| core.per_vf.get(vf.index()))
+                    .map_or(f64::NAN, |at| at.cpi)
+            })
+            .collect();
+        let chip_power = self
+            .ppep
+            .chip_power_with_assignment(projection, decision)
+            .ok()
+            .map(|w| w.as_watts());
+        self.pending = Some(PendingPrediction {
+            interval: projection.interval.0 + 1,
+            core_cpi,
+            chip_power,
         });
     }
 
@@ -378,6 +493,37 @@ mod tests {
         // §V-C: the lowest VF state is energy-optimal.
         assert_eq!(steps.last().unwrap().decision, vec![table.lowest(); 4]);
         assert_eq!(steps.last().unwrap().record.cu_vf, vec![table.lowest(); 4]);
+    }
+
+    #[test]
+    fn scorer_scores_next_interval_without_touching_decisions() {
+        use ppep_obs::ScorerConfig;
+        let run = |score: bool| {
+            let ppep = engine();
+            let table = ppep.models().vf_table().clone();
+            let mut sim = ChipSimulator::new(SimConfig::fx8320(42));
+            sim.load_workload(&instances("403.gcc", 2, 42));
+            let mut daemon = PpepDaemon::new(
+                ppep,
+                SimPlatform::new(sim),
+                StaticController { vf: table.lowest() },
+            );
+            if score {
+                daemon = daemon.with_scorer(ScorerConfig::default());
+            }
+            let steps = daemon.run(6).into_result().unwrap();
+            let decisions: Vec<Vec<VfStateId>> = steps.iter().map(|s| s.decision.clone()).collect();
+            let powers: Vec<Watts> = steps.iter().map(|s| s.record.measured_power).collect();
+            let scored = daemon.scorer().map(|s| (s.intervals(), s.stale_drops()));
+            (decisions, powers, scored)
+        };
+        let (d_on, p_on, scored) = run(true);
+        let (d_off, p_off, none) = run(false);
+        assert_eq!(d_on, d_off, "scoring must not change decisions");
+        assert_eq!(p_on, p_off, "scoring must not change the platform");
+        assert_eq!(none, None);
+        // 6 steps: the first stages, the next 5 measurements score.
+        assert_eq!(scored, Some((5, 0)));
     }
 
     #[test]

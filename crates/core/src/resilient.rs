@@ -115,6 +115,14 @@ pub struct SupervisorConfig {
     pub max_plausible_temperature: Kelvin,
     /// In-interval retry policy for transient sample failures.
     pub retry: RetryPolicy,
+    /// When the inner daemon's accuracy scorer reports drift
+    /// (short-window prediction error well above the run's own
+    /// baseline — see `ppep_obs::DriftDetector`), treat the interval
+    /// like a soft fault: reset the recovery streak and hold the
+    /// supervisor in Degraded. Decisions themselves are untouched.
+    /// Off by default, and inert unless a scorer is installed, so
+    /// existing runs stay bit-identical.
+    pub degrade_on_drift: bool,
 }
 
 impl SupervisorConfig {
@@ -130,6 +138,7 @@ impl SupervisorConfig {
             min_plausible_temperature: Kelvin::new(250.0),
             max_plausible_temperature: Kelvin::new(450.0),
             retry: RetryPolicy::new(),
+            degrade_on_drift: false,
         }
     }
 }
@@ -447,6 +456,7 @@ impl<P: Platform, C: DvfsController> ResilientDaemon<P, C> {
     /// apply sequence, verbatim, plus recovery bookkeeping.
     fn fresh(&mut self, interval: u64, record: IntervalRecord) -> Result<SupervisedStep> {
         let rec = self.inner.recorder().clone();
+        self.inner.score_measurement(&record);
         let projection = self.inner.ppep().project(&record)?;
         if !projection_is_finite(&projection) {
             // A validated record still produced a non-finite
@@ -471,6 +481,7 @@ impl<P: Platform, C: DvfsController> ResilientDaemon<P, C> {
             Some(&projection),
             &decision,
         );
+        self.inner.stage_prediction(&projection, &decision);
         // Capture everything that reads the projection *before*
         // actuation: it models the pre-apply VF state, so the archive
         // copy and the outgoing fields must be taken here (ppep-lint
@@ -502,6 +513,19 @@ impl<P: Platform, C: DvfsController> ResilientDaemon<P, C> {
                     self.enter(HealthState::Healthy);
                 }
             }
+        }
+        // Optional drift supervision: sustained prediction error keeps
+        // the supervisor in Degraded (measurements and decisions are
+        // fine — the *models* are suspect), never Failsafe.
+        if self.config.degrade_on_drift && self.inner.scorer().is_some_and(|s| s.drifted()) {
+            self.good_streak = 0;
+            if self.state == HealthState::Healthy {
+                let recorder = self.inner.recorder();
+                if recorder.enabled() {
+                    recorder.event("accuracy.drift_degrade", interval);
+                }
+            }
+            self.enter(HealthState::Degraded);
         }
         self.report.fresh_decisions += 1;
         self.last_good = Some(step);

@@ -29,6 +29,7 @@
 //! | [`diff_policies`] | policy-differential replay: two controllers over one recorded trace (beyond the paper) |
 //! | [`bench_parallel`] | serial vs sharded sweep wall clock (`BENCH_parallel.json`) |
 //! | [`serve`] | multi-tenant capping service: clean hosting, chaos containment gate, concurrent load generation (beyond the paper) |
+//! | [`accuracy_watch`] | prediction-accuracy scorecard, drift trip-wires, and the clean-trace error gate (beyond the paper) |
 //!
 //! The paper-scale sweeps shard across cores through [`fleet`]
 //! (`--jobs N` on the binary); results are identical for any worker
@@ -38,6 +39,7 @@
 #![warn(missing_docs)]
 
 pub mod ablations;
+pub mod accuracy_watch;
 pub mod ascii;
 pub mod bench_parallel;
 pub mod common;

@@ -2,8 +2,8 @@
 //!
 //! ```text
 //! ppep-experiments [--quick] [--seed N] [--out DIR] [--jobs N] \
-//!     [--policy-a P] [--policy-b P] \
-//!     <fig1|cpi|idle|obs|fig2|fig3|fig4|fig6|fig7|fig8|fig9|fig10|fig11|phenom|ablations|resilience|overhead|replay|diff-policies|bench-parallel|serve|serve-chaos|load-gen|summary|all>
+//!     [--policy-a P] [--policy-b P] [--trace PATH] \
+//!     <fig1|cpi|idle|obs|fig2|fig3|fig4|fig6|fig7|fig8|fig9|fig10|fig11|phenom|ablations|resilience|overhead|replay|diff-policies|bench-parallel|serve|serve-chaos|load-gen|accuracy-watch|summary|all>
 //! ```
 //!
 //! With `--out DIR`, figure commands additionally write their data as
@@ -21,6 +21,10 @@
 //! (`one-step`, `iterative`, `steepest-drop`, `energy-optimal`, or
 //! `recorded`); the default pairing `one-step` vs `recorded` is a
 //! self-replay and must report zero divergence.
+//!
+//! `--trace PATH` feeds `accuracy-watch` a recorded trace (JSONL or
+//! binary v2); without it the watch scores a synthesized clean run.
+//! On a clean trace the accuracy gate is the exit code.
 
 use ppep_experiments::common::{Context, Scale, DEFAULT_SEED};
 use ppep_experiments::diff_policies::PolicyKind;
@@ -30,10 +34,10 @@ use std::process::ExitCode;
 fn usage() -> ExitCode {
     eprintln!(
         "usage: ppep-experiments [--quick] [--seed N] [--out DIR] [--jobs N] \
-         [--policy-a P] [--policy-b P] \
+         [--policy-a P] [--policy-b P] [--trace PATH] \
          <fig1|cpi|idle|obs|fig2|fig3|fig4|fig6|fig7|fig8|fig9|fig10|fig11|phenom|ablations|\
          resilience|overhead|replay|diff-policies|bench-parallel|serve|serve-chaos|load-gen|\
-         summary|all>\n\
+         accuracy-watch|summary|all>\n\
          policies: one-step | iterative | steepest-drop | energy-optimal | recorded"
     );
     ExitCode::FAILURE
@@ -56,6 +60,7 @@ fn main() -> ExitCode {
     let mut command: Option<String> = None;
     let mut policy_a = PolicyKind::OneStep;
     let mut policy_b = PolicyKind::Recorded;
+    let mut trace_path: Option<std::path::PathBuf> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -91,6 +96,12 @@ fn main() -> ExitCode {
                 };
                 out_dir = Some(std::path::PathBuf::from(dir));
             }
+            "--trace" => {
+                let Some(path) = args.next() else {
+                    return usage();
+                };
+                trace_path = Some(std::path::PathBuf::from(path));
+            }
             cmd if !cmd.starts_with('-') && command.is_none() => {
                 command = Some(cmd.to_string());
             }
@@ -102,7 +113,13 @@ fn main() -> ExitCode {
     };
     let ctx = Context::fx8320(scale, seed).with_jobs(jobs);
 
-    let result = dispatch(&ctx, &command, out_dir.as_deref(), (policy_a, policy_b));
+    let result = dispatch(
+        &ctx,
+        &command,
+        out_dir.as_deref(),
+        (policy_a, policy_b),
+        trace_path.as_deref(),
+    );
     match result {
         Ok(true) => ExitCode::SUCCESS,
         Ok(false) => usage(),
@@ -118,6 +135,7 @@ fn dispatch(
     command: &str,
     out: Option<&std::path::Path>,
     policies: (PolicyKind, PolicyKind),
+    trace_path: Option<&std::path::Path>,
 ) -> ppep_types::Result<bool> {
     let table = ctx.rig.config().topology.vf_table().clone();
     let mut written: Vec<String> = Vec::new();
@@ -186,6 +204,7 @@ fn dispatch(
             save(out, "overhead.csv", report::overhead_csv(&r));
             save(out, "overhead_spans.jsonl", overhead::spans_export(&r));
             save(out, "overhead_trace.json", overhead::trace_export(&r));
+            save(out, "overhead_metrics.jsonl", overhead::metrics_export(&r));
             save(out, "BENCH_overhead.json", report::overhead_bench_json(&r));
             if !r.identical {
                 return Err(ppep_types::Error::InvalidInput(
@@ -249,6 +268,30 @@ fn dispatch(
             let r = serve::run_loadgen(ctx)?;
             serve::print_loadgen(&r);
             save(out, "BENCH_serve.json", r.to_json());
+        }
+        "accuracy-watch" => {
+            let loaded: Option<(String, Vec<u8>)> = match trace_path {
+                Some(path) => {
+                    let bytes = std::fs::read(path).map_err(|e| {
+                        ppep_types::Error::InvalidInput(format!(
+                            "could not read trace {}: {e}",
+                            path.display()
+                        ))
+                    })?;
+                    Some((path.display().to_string(), bytes))
+                }
+                None => None,
+            };
+            let trace = loaded
+                .as_ref()
+                .map(|(name, bytes)| (name.as_str(), &bytes[..]));
+            let r = accuracy_watch::run(ctx, trace)?;
+            accuracy_watch::print(&r);
+            save(out, "accuracy_scorecard.jsonl", r.scorecard_jsonl());
+            save(out, "BENCH_accuracy.json", r.bench_json());
+            // The clean-trace accuracy gate IS the exit code: CI
+            // relies on it.
+            r.gate()?;
         }
         "summary" => summary::print(&summary::run(ctx)?),
         "ablations" => {

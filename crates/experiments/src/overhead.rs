@@ -18,8 +18,10 @@ use ppep_core::daemon::PpepDaemon;
 use ppep_core::resilient::{ResilientDaemon, SupervisorConfig};
 use ppep_core::Ppep;
 use ppep_dvfs::capping::OneStepCapping;
-use ppep_obs::export::{chrome_trace, spans_jsonl};
-use ppep_obs::{OverheadProfile, RecorderHandle, Stage, TraceRecorder, TraceSnapshot};
+use ppep_obs::export::{chrome_trace_snapshot, metrics_jsonl, spans_jsonl};
+use ppep_obs::{
+    OverheadProfile, RecorderHandle, ScorerConfig, Stage, TraceRecorder, TraceSnapshot,
+};
 use ppep_sim::chip::{ChipSimulator, SimConfig};
 use ppep_sim::fault::FaultPlan;
 use ppep_sim::SimPlatform;
@@ -90,7 +92,11 @@ fn run_once(
         SimPlatform::new(scenario_sim(ctx, plan)),
         controller,
     )
-    .with_recorder(recorder);
+    .with_recorder(recorder)
+    // Both runs score their own predictions: the traced run exports
+    // the accuracy gauges/histograms, and the decision comparison
+    // below then also re-checks that scoring is bit-inert.
+    .with_scorer(ScorerConfig::default());
     let mut daemon = ResilientDaemon::new(inner, SupervisorConfig::new(table.lowest()));
     let mut decisions = Vec::with_capacity(intervals);
     for step in 0..intervals {
@@ -168,10 +174,18 @@ pub fn spans_export(r: &OverheadResult) -> String {
     spans_jsonl(&r.snapshot.spans)
 }
 
-/// The traced run's spans and events as a Chrome `trace_event` JSON
+/// The traced run's spans, events, and gauge counters (including the
+/// `accuracy.*` accuracy/drift gauges) as a Chrome `trace_event` JSON
 /// document (load in `chrome://tracing` or Perfetto).
 pub fn trace_export(r: &OverheadResult) -> String {
-    chrome_trace(&r.snapshot.spans, &r.snapshot.events)
+    chrome_trace_snapshot(&r.snapshot)
+}
+
+/// The traced run's counters, gauges, and histograms as JSON Lines —
+/// the per-stage latency histograms next to the `accuracy.*` error
+/// histograms.
+pub fn metrics_export(r: &OverheadResult) -> String {
+    metrics_jsonl(&r.snapshot)
 }
 
 /// Prints the per-stage table, an ASCII latency chart, the counters,
@@ -234,6 +248,25 @@ pub fn print(result: &OverheadResult) {
             println!("{name}: {v}");
         }
     }
+    if let Some(cpi) = result.snapshot.gauges.get("accuracy.cpi.mean_pct") {
+        let power = result
+            .snapshot
+            .gauges
+            .get("accuracy.power.mean_pct")
+            .copied()
+            .unwrap_or(0.0);
+        let drifted = result
+            .snapshot
+            .gauges
+            .get("accuracy.drift.tripped")
+            .copied()
+            .unwrap_or(0.0)
+            > 0.0;
+        println!(
+            "prediction accuracy: mean CPI err {cpi:.2}% / mean power err {power:.2}% / drift {}",
+            if drifted { "TRIPPED" } else { "ok" }
+        );
+    }
     println!(
         "framework compute per interval: mean {} / p95 {} / max {} of the {:.0} ms budget",
         pct_fine(result.mean_fraction),
@@ -259,9 +292,12 @@ mod tests {
         let r = run(&ctx).unwrap();
         assert!(r.identical, "tracing must not perturb decisions");
         assert_eq!(r.intervals, 48);
-        // Every pipeline stage fired at least once.
-        assert_eq!(r.stages.len(), Stage::COUNT);
+        // Every chip-pipeline stage fired at least once; the serve-*
+        // stages belong to the capping service and stay silent here.
+        let pipeline_stages = Stage::ALL.iter().filter(|s| !s.is_serve()).count();
+        assert_eq!(r.stages.len(), pipeline_stages);
         for s in &r.stages {
+            assert!(!s.stage.is_serve(), "{} cannot fire here", s.stage.name());
             assert!(s.count > 0, "stage {} never ran", s.stage.name());
             assert!(s.p50_us <= s.p95_us && s.p95_us <= s.p99_us);
         }
@@ -272,10 +308,25 @@ mod tests {
         // The storm and the controller left their counters behind.
         assert!(r.snapshot.counter("fault.injected") > 0);
         assert!(r.snapshot.counter("dvfs.vf_transitions") > 0);
+        // The scorer's accuracy view made it into the snapshot and
+        // both export formats.
+        assert!(r.snapshot.gauges.contains_key("accuracy.cpi.mean_pct"));
+        assert!(r.snapshot.histograms.contains_key("accuracy.cpi.err_pct"));
         // Exports are well-formed enough to ship.
         let jsonl = spans_export(&r);
         assert!(jsonl.lines().count() == r.snapshot.spans.len());
         let trace = trace_export(&r);
         assert!(trace.starts_with('{') && trace.trim_end().ends_with('}'));
+        assert!(
+            trace.contains("\"name\":\"accuracy.cpi.mean_pct\""),
+            "accuracy gauges must be visible in the Chrome trace"
+        );
+        let metrics = metrics_export(&r);
+        assert!(
+            metrics
+                .lines()
+                .any(|l| l.contains("accuracy.power.mean_pct")),
+            "{metrics}"
+        );
     }
 }

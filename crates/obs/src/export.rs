@@ -5,6 +5,7 @@
 //! in a serialization stack the offline container cannot fetch.
 
 use crate::span::{EventRecord, SpanRecord};
+use crate::trace::TraceSnapshot;
 
 /// Escapes a string for inclusion in a JSON string literal.
 fn esc(s: &str) -> String {
@@ -48,10 +49,7 @@ pub fn spans_jsonl(spans: &[SpanRecord]) -> String {
     out
 }
 
-/// Chrome `trace_event` JSON: complete (`ph:"X"`) events for spans and
-/// instant (`ph:"i"`) events, wrapped in the `traceEvents` object form
-/// that `chrome://tracing` and Perfetto both load.
-pub fn chrome_trace(spans: &[SpanRecord], events: &[EventRecord]) -> String {
+fn span_and_event_entries(spans: &[SpanRecord], events: &[EventRecord]) -> Vec<String> {
     let mut entries: Vec<String> = Vec::with_capacity(spans.len() + events.len());
     for s in spans {
         entries.push(format!(
@@ -73,10 +71,92 @@ pub fn chrome_trace(spans: &[SpanRecord], events: &[EventRecord]) -> String {
             e.interval,
         ));
     }
+    entries
+}
+
+fn wrap_trace_events(entries: Vec<String>) -> String {
     format!(
         "{{\"displayTimeUnit\":\"ms\",\"traceEvents\":[{}]}}\n",
         entries.join(",")
     )
+}
+
+/// Renders an `f64` as a JSON number (non-finite values have no JSON
+/// spelling and degrade to `null`).
+fn num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Chrome `trace_event` JSON: complete (`ph:"X"`) events for spans and
+/// instant (`ph:"i"`) events, wrapped in the `traceEvents` object form
+/// that `chrome://tracing` and Perfetto both load.
+pub fn chrome_trace(spans: &[SpanRecord], events: &[EventRecord]) -> String {
+    wrap_trace_events(span_and_event_entries(spans, events))
+}
+
+/// Chrome `trace_event` JSON for a whole [`TraceSnapshot`]: the spans
+/// and instant events of [`chrome_trace`] plus one counter
+/// (`ph:"C"`) event per gauge — so `accuracy.*` gauges (mean error,
+/// EWMA, drift flag) show up as counter tracks next to the pipeline
+/// spans. Counters are stamped at the end of the last span, where the
+/// final values were taken.
+pub fn chrome_trace_snapshot(snap: &TraceSnapshot) -> String {
+    let mut entries = span_and_event_entries(&snap.spans, &snap.events);
+    let end_ns = snap
+        .spans
+        .iter()
+        .map(|s| s.start_ns.saturating_add(s.dur_ns))
+        .max()
+        .unwrap_or(0);
+    for (name, value) in &snap.gauges {
+        entries.push(format!(
+            "{{\"name\":\"{}\",\"cat\":\"ppep\",\"ph\":\"C\",\"ts\":{},\
+             \"pid\":1,\"tid\":1,\"args\":{{\"value\":{}}}}}",
+            esc(name),
+            us(end_ns),
+            num(*value),
+        ));
+    }
+    wrap_trace_events(entries)
+}
+
+/// One JSON object per line for every counter, gauge, and histogram in
+/// the snapshot — the grep/jq-friendly sibling of [`spans_jsonl`].
+/// Histogram lines carry count and bucket-resolution p50/p95/p99/max,
+/// which covers both the `stage.*` latency histograms (µs) and the
+/// `accuracy.*_pct` error histograms (percent).
+pub fn metrics_jsonl(snap: &TraceSnapshot) -> String {
+    let mut out = String::new();
+    for (name, value) in &snap.counters {
+        out.push_str(&format!(
+            "{{\"kind\":\"counter\",\"name\":\"{}\",\"value\":{value}}}\n",
+            esc(name),
+        ));
+    }
+    for (name, value) in &snap.gauges {
+        out.push_str(&format!(
+            "{{\"kind\":\"gauge\",\"name\":\"{}\",\"value\":{}}}\n",
+            esc(name),
+            num(*value),
+        ));
+    }
+    for (name, h) in &snap.histograms {
+        out.push_str(&format!(
+            "{{\"kind\":\"histogram\",\"name\":\"{}\",\"count\":{},\"p50\":{},\
+             \"p95\":{},\"p99\":{},\"max\":{}}}\n",
+            esc(name),
+            h.count(),
+            num(h.percentile(0.50)),
+            num(h.percentile(0.95)),
+            num(h.percentile(0.99)),
+            num(h.max()),
+        ));
+    }
+    out
 }
 
 #[cfg(test)]
@@ -147,6 +227,53 @@ mod tests {
         assert_eq!(spans_jsonl(&[]), "");
         let json = chrome_trace(&[], &[]);
         assert_eq!(json, "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[]}\n");
+    }
+
+    #[test]
+    fn snapshot_export_carries_gauges_and_histograms() {
+        use crate::trace::TraceRecorder;
+        use crate::Recorder;
+
+        let rec = TraceRecorder::new();
+        rec.record_span(Stage::Decide, 0, 0, 5_000);
+        rec.set_gauge("accuracy.cpi.mean_pct", 3.25);
+        rec.add("serve.sessions_admitted", 2);
+        rec.observe("accuracy.cpi.err_pct", 4.0);
+        let snap = rec.snapshot();
+
+        let chrome = chrome_trace_snapshot(&snap);
+        assert!(
+            chrome.contains("\"name\":\"accuracy.cpi.mean_pct\",\"cat\":\"ppep\",\"ph\":\"C\""),
+            "{chrome}"
+        );
+        assert!(chrome.contains("\"value\":3.250000"), "{chrome}");
+        assert!(chrome.contains("\"name\":\"decide\""), "{chrome}");
+        assert_eq!(chrome.matches('{').count(), chrome.matches('}').count());
+
+        let jsonl = metrics_jsonl(&snap);
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert!(lines.iter().any(|l| l.contains("\"kind\":\"counter\"")
+            && l.contains("serve.sessions_admitted")
+            && l.contains("\"value\":2")));
+        assert!(lines
+            .iter()
+            .any(|l| l.contains("\"kind\":\"gauge\"") && l.contains("accuracy.cpi.mean_pct")));
+        assert!(lines.iter().any(|l| l.contains("\"kind\":\"histogram\"")
+            && l.contains("accuracy.cpi.err_pct")
+            && l.contains("\"count\":1")));
+        // The stage histogram fed by the span rides along too.
+        assert!(lines
+            .iter()
+            .any(|l| l.contains("\"kind\":\"histogram\"") && l.contains("stage.decide")));
+    }
+
+    #[test]
+    fn non_finite_gauges_degrade_to_null() {
+        use crate::Recorder;
+        let rec = crate::trace::TraceRecorder::new();
+        rec.set_gauge("weird", f64::INFINITY);
+        let jsonl = metrics_jsonl(&rec.snapshot());
+        assert!(jsonl.contains("\"value\":null"), "{jsonl}");
     }
 
     #[test]

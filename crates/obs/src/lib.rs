@@ -47,12 +47,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod accuracy;
 pub mod export;
 pub mod metrics;
 pub mod overhead;
 pub mod span;
 pub mod trace;
 
+pub use accuracy::{DriftDetector, ErrorTrack, PredictionScorer, ScorerConfig};
 pub use metrics::{Histogram, MetricsRegistry};
 pub use overhead::OverheadProfile;
 pub use span::{EventRecord, SpanRecord, SpanRing, Stage};
@@ -86,6 +88,13 @@ pub trait Recorder: Send + Sync {
 
     /// Records a named instant event (e.g. a health transition).
     fn event(&self, name: &str, interval: u64);
+
+    /// Records one value into the named histogram. Defaults to a
+    /// no-op so span-only recorders need not care; [`TraceRecorder`]
+    /// routes names ending in `_pct` to the
+    /// [`metrics::Histogram::error_pct`] layout and everything else to
+    /// [`metrics::Histogram::latency_us`].
+    fn observe(&self, _histogram: &str, _value: f64) {}
 }
 
 /// The default recorder: keeps nothing, reports `enabled() == false`.
@@ -116,21 +125,44 @@ impl Recorder for NoopRecorder {
 /// simulator, and the DVFS controllers can all share one sink while
 /// keeping their `Clone`/`Debug` derives. `Default` is the no-op
 /// recorder.
+///
+/// A handle also carries a flat namespace prefix (see
+/// [`RecorderHandle::labeled`]): counter/gauge/event/histogram names
+/// are prefixed before reaching the sink, spans are not. Keeping the
+/// prefix in the handle — one concatenated `String`, not a chain of
+/// decorator recorders — means nested labels compose textually
+/// (`tenant.3.` + `daemon.` = `tenant.3.daemon.`) and every name pays
+/// exactly one `format!` regardless of label depth.
 #[derive(Clone)]
 pub struct RecorderHandle {
     inner: Arc<dyn Recorder>,
+    prefix: String,
 }
 
 impl RecorderHandle {
-    /// Wraps a recorder implementation.
+    /// Wraps a recorder implementation (no namespace prefix).
     pub fn new(inner: Arc<dyn Recorder>) -> Self {
-        Self { inner }
+        Self {
+            inner,
+            prefix: String::new(),
+        }
     }
 
     /// The disabled default.
     pub fn noop() -> Self {
         Self {
             inner: Arc::new(NoopRecorder),
+            prefix: String::new(),
+        }
+    }
+
+    /// Applies this handle's namespace prefix to a metric name,
+    /// avoiding the allocation entirely for unlabeled handles.
+    fn scoped<R>(&self, name: &str, f: impl FnOnce(&str) -> R) -> R {
+        if self.prefix.is_empty() {
+            f(name)
+        } else {
+            f(&format!("{}{name}", self.prefix))
         }
     }
 
@@ -177,7 +209,7 @@ impl RecorderHandle {
     /// Adds `by` to the named counter.
     pub fn add(&self, counter: &str, by: u64) {
         if self.inner.enabled() && by > 0 {
-            self.inner.add(counter, by);
+            self.scoped(counter, |name| self.inner.add(name, by));
         }
     }
 
@@ -189,72 +221,45 @@ impl RecorderHandle {
     /// Sets the named gauge.
     pub fn set_gauge(&self, gauge: &str, value: f64) {
         if self.inner.enabled() {
-            self.inner.set_gauge(gauge, value);
+            self.scoped(gauge, |name| self.inner.set_gauge(name, value));
         }
     }
 
     /// Records a named instant event.
     pub fn event(&self, name: &str, interval: u64) {
         if self.inner.enabled() {
-            self.inner.event(name, interval);
+            self.scoped(name, |scoped| self.inner.event(scoped, interval));
         }
     }
 
-    /// Derives a handle that prefixes every counter, gauge, and event
-    /// name with `prefix` before forwarding to the same sink.
+    /// Records one value into the named histogram.
+    pub fn observe(&self, histogram: &str, value: f64) {
+        if self.inner.enabled() {
+            self.scoped(histogram, |name| self.inner.observe(name, value));
+        }
+    }
+
+    /// Derives a handle that prefixes every counter, gauge, event, and
+    /// histogram name with `prefix` before forwarding to the same sink.
     ///
     /// The multi-tenant service labels each tenant's daemon with
     /// `tenant.<id>.` so one shared recorder keeps per-tenant streams
     /// apart (`tenant.3.fault.transient`, `tenant.3.health.failsafe`,
-    /// …). Spans are forwarded unprefixed — stages are chip-pipeline
-    /// structure, not per-tenant namespace. Labeling a disabled
-    /// recorder stays disabled and free.
+    /// …). Labels compose: a sub-recorder labeled `daemon.` inside a
+    /// handle labeled `tenant.3.` emits `tenant.3.daemon.*`, so nested
+    /// components can namespace themselves without colliding across
+    /// tenants. Spans are forwarded unprefixed — stages are
+    /// chip-pipeline structure, not per-tenant namespace. Labeling a
+    /// disabled recorder stays disabled and free.
     #[must_use]
     pub fn labeled(&self, prefix: &str) -> RecorderHandle {
         if !self.inner.enabled() {
             return RecorderHandle::noop();
         }
         RecorderHandle {
-            inner: Arc::new(LabeledRecorder {
-                prefix: prefix.to_string(),
-                inner: Arc::clone(&self.inner),
-            }),
+            inner: Arc::clone(&self.inner),
+            prefix: format!("{}{prefix}", self.prefix),
         }
-    }
-}
-
-/// A [`Recorder`] decorator that namespaces counter/gauge/event names
-/// under a fixed prefix. Built via [`RecorderHandle::labeled`].
-struct LabeledRecorder {
-    prefix: String,
-    inner: Arc<dyn Recorder>,
-}
-
-impl Recorder for LabeledRecorder {
-    fn enabled(&self) -> bool {
-        self.inner.enabled()
-    }
-
-    fn now_ns(&self) -> u64 {
-        self.inner.now_ns()
-    }
-
-    fn record_span(&self, stage: Stage, interval: u64, start_ns: u64, dur_ns: u64) {
-        self.inner.record_span(stage, interval, start_ns, dur_ns);
-    }
-
-    fn add(&self, counter: &str, by: u64) {
-        self.inner.add(&format!("{}{counter}", self.prefix), by);
-    }
-
-    fn set_gauge(&self, gauge: &str, value: f64) {
-        self.inner
-            .set_gauge(&format!("{}{gauge}", self.prefix), value);
-    }
-
-    fn event(&self, name: &str, interval: u64) {
-        self.inner
-            .event(&format!("{}{name}", self.prefix), interval);
     }
 }
 
@@ -452,6 +457,45 @@ mod tests {
         assert_eq!(snap.counter("fault.transient"), 1);
         assert_eq!(snap.spans.len(), 1, "spans forward unprefixed");
         assert_eq!(snap.spans[0].stage, Stage::Decide);
+    }
+
+    #[test]
+    fn nested_labels_compose_into_one_prefix() {
+        // Regression: labeling a labeled handle must stack prefixes
+        // (`tenant.3.daemon.`), not silently replace them (`daemon.`),
+        // or two tenants' daemon-scoped metrics collide in the sink.
+        let tracer = Arc::new(TraceRecorder::new());
+        let rec = RecorderHandle::new(tracer.clone());
+        let daemon3 = rec.labeled("tenant.3.").labeled("daemon.");
+        let daemon4 = rec.labeled("tenant.4.").labeled("daemon.");
+        daemon3.incr("steps");
+        daemon4.incr("steps");
+        daemon4.incr("steps");
+        daemon3.set_gauge("cap_w", 40.0);
+        daemon3.observe("score_pct", 2.5);
+        let snap = tracer.snapshot();
+        assert_eq!(snap.counter("tenant.3.daemon.steps"), 1);
+        assert_eq!(snap.counter("tenant.4.daemon.steps"), 2);
+        assert_eq!(snap.counter("daemon.steps"), 0, "prefixes must not drop");
+        assert_eq!(snap.gauges.get("tenant.3.daemon.cap_w"), Some(&40.0));
+        assert!(snap.histograms.contains_key("tenant.3.daemon.score_pct"));
+    }
+
+    #[test]
+    fn observe_routes_pct_names_to_the_error_layout() {
+        let tracer = Arc::new(TraceRecorder::new());
+        let rec = RecorderHandle::new(tracer.clone());
+        rec.observe("accuracy.cpi.err_pct", 3.0);
+        rec.observe("reply.latency", 3.0);
+        let snap = tracer.snapshot();
+        let err = snap.histograms.get("accuracy.cpi.err_pct").expect("hist");
+        // 3.0% lands in the 1-2-5 error layout's <=5 bucket.
+        assert!(err.buckets().any(|(bound, n)| bound == 5.0 && n == 1));
+        let lat = snap.histograms.get("reply.latency").expect("hist");
+        // 3 µs lands in the latency layout's <=5 µs bucket, whose
+        // neighbours differ from the error layout's.
+        assert!(lat.buckets().any(|(bound, n)| bound == 5.0 && n == 1));
+        assert!(lat.buckets().any(|(bound, _)| bound == 200_000.0));
     }
 
     #[test]

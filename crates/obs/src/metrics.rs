@@ -47,6 +47,13 @@ impl Histogram {
         ])
     }
 
+    /// The prediction-error layout in percent: 1-2-5 steps from 0.1%
+    /// (well under the paper's ~2.7% CPI claim) up to 100%, with
+    /// anything beyond landing in the overflow bucket.
+    pub fn error_pct() -> Self {
+        Self::new(&[0.1, 0.2, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0])
+    }
+
     /// Records one observation. Non-finite values are counted in the
     /// overflow bucket so they remain visible without poisoning `sum`.
     pub fn observe(&mut self, v: f64) {
@@ -189,6 +196,16 @@ impl MetricsRegistry {
         self.histograms
             .entry(name.to_string())
             .or_insert_with(Histogram::latency_us)
+            .observe(v);
+    }
+
+    /// Records `v` into the named histogram, creating it with `make`
+    /// on first use — for histograms whose natural bucket layout is
+    /// not the latency one (e.g. prediction-error percentages).
+    pub fn observe_with(&mut self, name: &str, v: f64, make: impl FnOnce() -> Histogram) {
+        self.histograms
+            .entry(name.to_string())
+            .or_insert_with(make)
             .observe(v);
     }
 

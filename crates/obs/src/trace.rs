@@ -135,6 +135,17 @@ impl Recorder for TraceRecorder {
         self.lock().metrics.set_gauge(gauge, value);
     }
 
+    fn observe(&self, histogram: &str, value: f64) {
+        let mut inner = self.lock();
+        if histogram.ends_with("_pct") {
+            inner
+                .metrics
+                .observe_with(histogram, value, Histogram::error_pct);
+        } else {
+            inner.metrics.observe(histogram, value);
+        }
+    }
+
     fn event(&self, name: &str, interval: u64) {
         let at_ns = self.now_ns();
         let mut inner = self.lock();

@@ -216,6 +216,11 @@ fn client_chip(config: &ChaosConfig, tenant: u64) -> ChipSimulator {
 pub fn run(ppep: &Ppep, config: &ChaosConfig) -> Result<ChaosReport> {
     let mut serve_config = ServeConfig::new(config.socket_cap);
     serve_config.max_sessions = config.tenants.max(1);
+    // Score every tenant's predictions so the health artifact carries
+    // the accuracy/drift columns. Scoring is deterministic for a
+    // deterministic workload — the byte-equality test below depends
+    // on that.
+    serve_config.scorer = Some(ppep_obs::ScorerConfig::default());
     let mut service = CappingService::new(ppep.clone(), serve_config);
     let topology = service.topology().clone();
 
@@ -329,8 +334,13 @@ mod tests {
             }
         }
         assert!(report.max_total_granted <= report.config.socket_cap);
-        // The artifact has one line per tenant.
+        // The artifact has one line per tenant, each carrying the
+        // accuracy/drift columns (the run scores every tenant).
         assert_eq!(report.health_jsonl.lines().count(), 8);
+        for line in report.health_jsonl.lines() {
+            assert!(line.contains("\"cpi_err_pct\""), "{line}");
+            assert!(line.contains("\"drifted\""), "{line}");
+        }
         assert!(!report.summary().is_empty());
     }
 

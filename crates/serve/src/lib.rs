@@ -25,6 +25,14 @@
 //! tenant and gating on blast-radius containment; [`loadgen`]
 //! measures frame throughput and round-trip latency under concurrent
 //! clients.
+//!
+//! On top of the robustness contract sits per-tenant scorekeeping:
+//! [`slo`] tracks reply latency and cap adherence for each tenant,
+//! and when [`ServeConfig::scorer`] is set every tenant's daemon also
+//! scores its own predictions (see `ppep_obs::accuracy`). The joined
+//! scorecard is exported through the health JSONL and the
+//! [`ppep_telemetry::snapshot::MetricsSnapshot`] wire frame
+//! ([`CappingService::metrics_snapshots`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -33,11 +41,13 @@ pub mod chaos;
 pub mod loadgen;
 pub mod platform;
 pub mod service;
+pub mod slo;
 
 pub use chaos::{ChaosConfig, ChaosReport};
 pub use loadgen::{LoadGenConfig, LoadGenReport};
 pub use platform::SessionPlatform;
 pub use service::{CappingService, ServeConfig, TenantStatus, TickReport};
+pub use slo::SloTracker;
 
 #[cfg(test)]
 pub(crate) mod testutil {

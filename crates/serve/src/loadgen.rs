@@ -12,11 +12,12 @@
 //! lock contention on purpose, since that *is* the service's
 //! concurrency model.
 
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use ppep_core::Ppep;
 use ppep_obs::metrics::Histogram;
+use ppep_obs::{RecorderHandle, Stage, TraceRecorder};
 use ppep_sim::chip::{ChipSimulator, SimConfig};
 use ppep_sim::SimPlatform;
 use ppep_telemetry::session::{decode_frame, frame_to_bytes, SessionFrame};
@@ -78,15 +79,25 @@ pub struct LoadGenReport {
     pub max_us: f64,
     /// Aggregate granted budget when the run ended.
     pub total_granted: Watts,
+    /// Per-stage p95 latency inside `handle_frame`, microseconds, in
+    /// hot-path order: serve-decode, serve-admit, serve-step,
+    /// serve-encode. Shows where a frame's round-trip went.
+    pub stage_p95_us: Vec<(String, f64)>,
 }
 
 impl LoadGenReport {
     /// One JSON object for the benchmark artifact.
     pub fn to_json(&self) -> String {
+        let stages = self
+            .stage_p95_us
+            .iter()
+            .map(|(name, p95)| format!("\"{name}\":{p95:.1}"))
+            .collect::<Vec<_>>()
+            .join(",");
         format!(
             "{{\"clients\":{},\"frames\":{},\"evictions\":{},\"wall_seconds\":{:.6},\
              \"throughput_fps\":{:.2},\"p50_us\":{:.1},\"p95_us\":{:.1},\"p99_us\":{:.1},\
-             \"max_us\":{:.1},\"total_granted_w\":{:.3}}}",
+             \"max_us\":{:.1},\"total_granted_w\":{:.3},\"stage_p95_us\":{{{stages}}}}}",
             self.clients,
             self.frames,
             self.evictions,
@@ -180,7 +191,12 @@ fn replay_client(
 pub fn run(ppep: &Ppep, config: &LoadGenConfig) -> Result<LoadGenReport> {
     let mut serve_config = ServeConfig::new(config.socket_cap);
     serve_config.max_sessions = config.clients.max(1);
-    let mut service = CappingService::new(ppep.clone(), serve_config);
+    // Trace the service's own hot path so the report can break a
+    // frame's round-trip down by stage (decode / admit / step /
+    // encode). Recording never feeds back into decisions.
+    let tracer = Arc::new(TraceRecorder::new());
+    let mut service = CappingService::new(ppep.clone(), serve_config)
+        .with_recorder(RecorderHandle::new(tracer.clone()));
     let topology = service.topology().clone();
     for tenant in 0..u64::from(config.clients) {
         service.connect(tenant, config.requested_cap)?;
@@ -231,6 +247,22 @@ pub fn run(ppep: &Ppep, config: &LoadGenConfig) -> Result<LoadGenReport> {
         .map_err(|_| Error::InvalidInput("load-gen: service mutex poisoned".into()))?
         .arbiter()
         .total_granted();
+    let snapshot = tracer.snapshot();
+    let stage_p95_us = [
+        Stage::ServeDecode,
+        Stage::ServeAdmit,
+        Stage::ServeStep,
+        Stage::ServeEncode,
+    ]
+    .iter()
+    .map(|stage| {
+        let mut h = Histogram::latency_us();
+        for span in snapshot.spans.iter().filter(|s| s.stage == *stage) {
+            h.observe(span.dur_ns as f64 / 1e3);
+        }
+        (stage.name().to_string(), h.percentile(0.95))
+    })
+    .collect();
     Ok(LoadGenReport {
         clients: config.clients,
         frames,
@@ -242,6 +274,7 @@ pub fn run(ppep: &Ppep, config: &LoadGenConfig) -> Result<LoadGenReport> {
         p99_us: latency.percentile(0.99),
         max_us: latency.max(),
         total_granted,
+        stage_p95_us,
     })
 }
 
@@ -262,8 +295,26 @@ mod tests {
         assert!(report.p50_us <= report.p95_us && report.p95_us <= report.p99_us);
         assert!(report.max_us > 0.0);
         assert!(report.total_granted <= config.socket_cap);
+        // Every submit crossed decode → step → encode; the stage
+        // breakdown must show it.
+        let stages: Vec<&str> = report
+            .stage_p95_us
+            .iter()
+            .map(|(n, _)| n.as_str())
+            .collect();
+        assert_eq!(
+            stages,
+            vec!["serve-decode", "serve-admit", "serve-step", "serve-encode"]
+        );
+        for (name, p95) in &report.stage_p95_us {
+            if name != "serve-admit" {
+                assert!(*p95 > 0.0, "{name} p95 must be nonzero");
+            }
+        }
         let json = report.to_json();
         assert!(json.contains("\"frames\":24"), "{json}");
+        assert!(json.contains("\"stage_p95_us\""), "{json}");
+        assert!(json.contains("\"serve-step\""), "{json}");
     }
 
     #[test]

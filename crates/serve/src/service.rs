@@ -28,21 +28,24 @@
 //!   never fires).
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Instant;
 
 use ppep_core::daemon::{DvfsController, PpepDaemon};
 use ppep_core::resilient::{Action, HealthState, ResilientDaemon, RetryPolicy, SupervisorConfig};
 use ppep_core::Ppep;
 use ppep_dvfs::arbiter::BudgetArbiter;
 use ppep_dvfs::OneStepCapping;
-use ppep_obs::RecorderHandle;
+use ppep_obs::{RecorderHandle, ScorerConfig, Stage};
 use ppep_telemetry::session::{
     decode_frame, encode_frame, DecisionKind, ProjectionSummary, SessionFrame, TenantHealth,
 };
+use ppep_telemetry::snapshot::{encode_snapshot, MetricsSnapshot};
 use ppep_telemetry::IntervalRecord;
 use ppep_types::time::IntervalIndex;
 use ppep_types::{Error, RejectReason, Result, Topology, Watts};
 
 use crate::platform::SessionPlatform;
+use crate::slo::SloTracker;
 
 /// A tenant's controller: boxed so the service can host heterogeneous
 /// policies, `Send` so the service can sit behind a mutex shared by
@@ -66,11 +69,19 @@ pub struct ServeConfig {
     pub deadline_miss_limit: u32,
     /// In-interval retry policy handed to each tenant's supervisor.
     pub retry: RetryPolicy,
+    /// When set, every tenant's daemon scores its own predictions
+    /// against the next measured interval with this configuration
+    /// (see `ppep_obs::PredictionScorer`). Scoring is bit-inert.
+    pub scorer: Option<ScorerConfig>,
+    /// Hands `degrade_on_drift` to every tenant's supervisor: a
+    /// drifting predictor holds the tenant in Degraded (health only —
+    /// decisions are untouched). Requires `scorer` to have any effect.
+    pub degrade_on_drift: bool,
 }
 
 impl ServeConfig {
     /// Defaults: 16 session slots, a 5 W admission floor, eviction
-    /// after 5 consecutive missed deadlines.
+    /// after 5 consecutive missed deadlines, no accuracy scoring.
     pub fn new(socket_cap: Watts) -> Self {
         Self {
             socket_cap,
@@ -78,6 +89,8 @@ impl ServeConfig {
             max_sessions: 16,
             deadline_miss_limit: 5,
             retry: RetryPolicy::new(),
+            scorer: None,
+            degrade_on_drift: false,
         }
     }
 }
@@ -88,6 +101,7 @@ struct TenantSession {
     id: u64,
     slot: u32,
     daemon: ResilientDaemon<SessionPlatform, TenantController>,
+    slo: SloTracker,
     submitted_this_tick: bool,
     consecutive_missed: u32,
     failsafed_in_arbiter: bool,
@@ -123,10 +137,58 @@ pub struct TenantStatus {
     pub retries: u64,
     /// The cap currently granted (zero when failsafed or evicted).
     pub granted: Watts,
+    /// Fraction of capped intervals whose measured power respected the
+    /// cap (1.0 with nothing capped yet).
+    pub cap_adherence: f64,
+    /// Frame replies the service handled for this tenant.
+    pub replies: u64,
+    /// Bucket-resolution p99 reply latency, µs. Wall-clock — reported
+    /// here and over the wire, but deliberately kept out of the
+    /// deterministic JSONL artifact.
+    pub p99_reply_us: f64,
+    /// Mean CPI absolute-percentage error, percent (0 without a
+    /// scorer).
+    pub cpi_err_pct: f64,
+    /// Mean chip-power absolute-percentage error, percent (0 without a
+    /// scorer).
+    pub power_err_pct: f64,
+    /// Whether any drift trip-wire (CPI or power) is currently
+    /// tripped.
+    pub drifted: bool,
+    /// Rising-edge drift trips across every tracked quantity.
+    pub drift_trips: u64,
 }
 
 impl TenantStatus {
-    /// One JSONL line for the per-tenant health artifact.
+    /// One JSONL line for the per-tenant health artifact
+    /// (`serve_health.jsonl`). Schema, one object per tenant:
+    ///
+    /// ```text
+    /// tenant            u64    tenant id
+    /// slot              u32    session slot, admission order
+    /// health            str    healthy|degraded|failsafe|evicted
+    /// evicted           str?   eviction reason, null while live
+    /// intervals         u64    intervals supervised
+    /// availability      f64    (fresh + held) / intervals
+    /// fresh             u64    fresh decisions
+    /// held              u64    held decisions
+    /// failsafe_intervals u64   intervals pinned at the failsafe VF
+    /// transient_errors  u64    faults absorbed without failsafe
+    /// quarantined       u64    records rejected by validation
+    /// retries           u64    in-interval retries attempted
+    /// granted_w         f64    current cap grant, watts
+    /// cap_adherence     f64    capped intervals under the cap / capped
+    /// cpi_err_pct       f64    mean CPI APE, percent (0 w/o scorer)
+    /// power_err_pct     f64    mean power APE, percent (0 w/o scorer)
+    /// drifted           bool   any drift trip-wire currently tripped
+    /// drift_trips       u64    rising-edge drift trips, all tracks
+    /// ```
+    ///
+    /// Every field is deterministic for a deterministic workload —
+    /// the chaos harness compares two runs' JSONL byte-for-byte, which
+    /// is why the wall-clock `p99_reply_us` lives only in
+    /// [`TenantStatus`] and the `MetricsSnapshot` wire frame, not
+    /// here.
     pub fn to_jsonl(&self) -> String {
         let health = match self.evicted {
             Some(_) => "evicted".to_string(),
@@ -140,7 +202,9 @@ impl TenantStatus {
             "{{\"tenant\":{},\"slot\":{},\"health\":\"{health}\",\"evicted\":{evicted},\
              \"intervals\":{},\"availability\":{:.6},\"fresh\":{},\"held\":{},\
              \"failsafe_intervals\":{},\"transient_errors\":{},\"quarantined\":{},\
-             \"retries\":{},\"granted_w\":{:.6}}}",
+             \"retries\":{},\"granted_w\":{:.6},\"cap_adherence\":{:.6},\
+             \"cpi_err_pct\":{:.6},\"power_err_pct\":{:.6},\"drifted\":{},\
+             \"drift_trips\":{}}}",
             self.tenant,
             self.slot,
             self.intervals,
@@ -152,6 +216,11 @@ impl TenantStatus {
             self.quarantined,
             self.retries,
             self.granted.as_watts(),
+            self.cap_adherence,
+            self.cpi_err_pct,
+            self.power_err_pct,
+            self.drifted,
+            self.drift_trips,
         )
     }
 }
@@ -274,10 +343,14 @@ impl CappingService {
         let table = self.ppep.models().vf_table().clone();
         let mut supervisor = SupervisorConfig::new(table.lowest());
         supervisor.retry = self.config.retry;
+        supervisor.degrade_on_drift = self.config.degrade_on_drift;
         let platform = SessionPlatform::new(self.topology().clone());
         let label = format!("tenant.{tenant}.");
-        let daemon = PpepDaemon::new(self.ppep.clone(), platform, controller)
+        let mut daemon = PpepDaemon::new(self.ppep.clone(), platform, controller)
             .with_recorder(self.recorder.labeled(&label));
+        if let Some(cfg) = self.config.scorer {
+            daemon = daemon.with_scorer(cfg);
+        }
         let mut daemon = ResilientDaemon::new(daemon, supervisor);
         daemon
             .inner_mut()
@@ -287,6 +360,7 @@ impl CappingService {
             id: tenant,
             slot,
             daemon,
+            slo: SloTracker::new(),
             submitted_this_tick: false,
             consecutive_missed: 0,
             failsafed_in_arbiter: false,
@@ -416,25 +490,44 @@ impl CappingService {
     /// Malformed bytes ([`decode_frame`]) and frames a client may not
     /// send (server-to-client kinds) surface as errors.
     pub fn handle_frame(&mut self, src: &[u8]) -> Result<(Vec<u8>, usize)> {
-        let (frame, consumed) = decode_frame(src, self.topology())?;
+        let rec = self.recorder.clone();
+        let interval = self.interval;
+        let started = Instant::now();
+        let (frame, consumed) = {
+            let _g = rec.span(Stage::ServeDecode, interval);
+            decode_frame(src, self.topology())?
+        };
+        // The tenant whose round-trip this frame is (submit/fault
+        // replies — the frames on a client's per-interval hot path).
+        let mut replied_tenant = None;
         let response = match frame {
             SessionFrame::Hello {
                 tenant,
                 requested_cap,
-            } => Some(match self.connect(tenant, requested_cap) {
-                Ok((slot, granted)) => SessionFrame::Welcome {
-                    tenant,
-                    granted_cap: granted,
-                    slot,
-                },
-                Err(Error::Rejected { reason }) => SessionFrame::Reject { tenant, reason },
-                Err(other) => return Err(other),
-            }),
-            SessionFrame::Submit { tenant, record } => Some(self.submit(tenant, *record)?),
+            } => {
+                let _g = rec.span(Stage::ServeAdmit, interval);
+                Some(match self.connect(tenant, requested_cap) {
+                    Ok((slot, granted)) => SessionFrame::Welcome {
+                        tenant,
+                        granted_cap: granted,
+                        slot,
+                    },
+                    Err(Error::Rejected { reason }) => SessionFrame::Reject { tenant, reason },
+                    Err(other) => return Err(other),
+                })
+            }
+            SessionFrame::Submit { tenant, record } => {
+                replied_tenant = Some(tenant);
+                let _g = rec.span(Stage::ServeStep, interval);
+                Some(self.submit(tenant, *record)?)
+            }
             SessionFrame::FaultReport { tenant, error, .. } => {
+                replied_tenant = Some(tenant);
+                let _g = rec.span(Stage::ServeStep, interval);
                 Some(self.report_fault(tenant, error)?)
             }
             SessionFrame::Goodbye { tenant } => {
+                let _g = rec.span(Stage::ServeAdmit, interval);
                 self.disconnect(tenant)?;
                 None
             }
@@ -449,7 +542,17 @@ impl CappingService {
         };
         let mut out = Vec::new();
         if let Some(f) = &response {
+            let _g = rec.span(Stage::ServeEncode, interval);
             encode_frame(f, &mut out);
+        }
+        if let Some(tenant) = replied_tenant {
+            let us = started.elapsed().as_secs_f64() * 1e6;
+            // Newest session with the id: a tenant may reconnect after
+            // eviction and latency belongs to the current incarnation.
+            if let Some(s) = self.sessions.iter_mut().rev().find(|s| s.id == tenant) {
+                s.slo.observe_reply_us(us);
+            }
+            rec.observe("serve.reply_us", us);
         }
         Ok((out, consumed))
     }
@@ -461,6 +564,11 @@ impl CappingService {
             .iter()
             .map(|s| {
                 let r = s.daemon.report();
+                let scorer = s.daemon.inner().scorer();
+                let drift_trips = scorer.map_or(0, |sc| {
+                    sc.cores().iter().map(|t| t.drift().trips()).sum::<u64>()
+                        + sc.power().drift().trips()
+                });
                 TenantStatus {
                     tenant: s.id,
                     slot: s.slot,
@@ -475,9 +583,32 @@ impl CappingService {
                     quarantined: r.quarantined,
                     retries: r.retries,
                     granted: self.arbiter.granted(s.id).unwrap_or(Watts::ZERO),
+                    cap_adherence: s.slo.cap_adherence(),
+                    replies: s.slo.replies(),
+                    p99_reply_us: s.slo.p99_reply_us(),
+                    cpi_err_pct: scorer.map_or(0.0, |sc| sc.mean_cpi_pct()),
+                    power_err_pct: scorer.map_or(0.0, |sc| sc.power().mean_pct()),
+                    drifted: scorer.is_some_and(|sc| sc.drifted()),
+                    drift_trips,
                 }
             })
             .collect()
+    }
+
+    /// Encodes one v2 `MetricsSnapshot` frame (kind 24) per session
+    /// that carries a prediction scorer — live and evicted, admission
+    /// order — each joined with the tenant's SLO summary. Empty when
+    /// [`ServeConfig::scorer`] is off.
+    pub fn metrics_snapshots(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        for s in &self.sessions {
+            if let Some(scorer) = s.daemon.inner().scorer() {
+                let slo = s.slo.summary(s.daemon.report().decision_availability());
+                let snap = MetricsSnapshot::from_scorer(s.id, scorer, Some(slo));
+                encode_snapshot(&snap, &mut out);
+            }
+        }
+        out
     }
 
     /// The per-tenant health report as JSONL (one line per tenant) —
@@ -542,6 +673,10 @@ impl CappingService {
             Ok(Ok(step)) => {
                 self.sync_tenant_health(idx);
                 let cap = self.arbiter.granted(tenant).unwrap_or(Watts::ZERO);
+                if let (Some(record), Some(s)) = (step.record.as_ref(), self.sessions.get_mut(idx))
+                {
+                    s.slo.observe_cap(record.measured_power, cap);
+                }
                 let projection = step.projection.as_ref().map(|p| {
                     let mut floor = f64::INFINITY;
                     let mut ceiling = f64::NEG_INFINITY;
@@ -860,6 +995,63 @@ mod tests {
         assert_eq!(svc.arbiter().granted(1).unwrap(), Watts::new(50.0));
         let tick = svc.tick().unwrap();
         assert!(tick.total_granted <= Watts::new(100.0));
+    }
+
+    #[test]
+    fn scorer_wires_accuracy_into_status_jsonl_and_snapshots() {
+        let mut cfg = ServeConfig::new(Watts::new(100.0));
+        cfg.scorer = Some(ScorerConfig::default());
+        let mut svc = service(cfg);
+        svc.connect(5, Watts::new(60.0)).unwrap();
+        for r in records(6, 17) {
+            let submit = SessionFrame::Submit {
+                tenant: 5,
+                record: Box::new(r),
+            };
+            svc.handle_frame(&ppep_telemetry::session::frame_to_bytes(&submit))
+                .unwrap();
+            svc.tick().unwrap();
+        }
+
+        let status = svc.status();
+        let t = status.iter().find(|t| t.tenant == 5).unwrap();
+        assert_eq!(t.replies, 6, "every submit round-trip is counted");
+        assert!(t.p99_reply_us > 0.0);
+        assert!(t.cpi_err_pct > 0.0, "scored intervals produce a CPI error");
+        assert!(t.power_err_pct > 0.0);
+        assert!((0.0..=1.0).contains(&t.cap_adherence));
+        assert!(!t.drifted, "a clean synthetic run must not drift");
+
+        let jsonl = svc.health_jsonl();
+        for key in [
+            "cap_adherence",
+            "cpi_err_pct",
+            "power_err_pct",
+            "drifted",
+            "drift_trips",
+        ] {
+            assert!(jsonl.contains(key), "missing {key} in {jsonl}");
+        }
+        assert!(
+            !jsonl.contains("p99"),
+            "wall-clock latency stays out of the deterministic artifact"
+        );
+
+        let bytes = svc.metrics_snapshots();
+        let (snap, used) = ppep_telemetry::snapshot::decode_snapshot(&bytes).unwrap();
+        assert_eq!(used, bytes.len(), "one tenant, one frame");
+        assert_eq!(snap.tenant, 5);
+        assert_eq!(snap.cores.len(), svc.topology().core_count());
+        assert!(snap.power.count > 0);
+        let slo = snap.slo.expect("slo summary rides along");
+        assert!(slo.p99_reply_us > 0.0);
+        assert!((0.0..=1.0).contains(&slo.cap_adherence));
+
+        // Without a scorer there is nothing to export.
+        let mut plain = service(ServeConfig::new(Watts::new(100.0)));
+        plain.connect(1, Watts::new(40.0)).unwrap();
+        assert!(plain.metrics_snapshots().is_empty());
+        assert_eq!(plain.status()[0].cpi_err_pct, 0.0);
     }
 
     #[test]

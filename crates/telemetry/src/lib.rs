@@ -25,6 +25,9 @@
 //! - [`session`] — the multi-tenant capping service's wire protocol
 //!   ([`SessionFrame`]): handshake, per-interval submit/reply, and
 //!   eviction frames riding the same v2 framing.
+//! - [`snapshot`] — the [`MetricsSnapshot`] frame (kind 24):
+//!   prediction-accuracy scorecards and per-tenant SLO aggregates
+//!   exported over the same v2 framing.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -35,10 +38,12 @@ pub mod json;
 pub mod platform;
 pub mod record;
 pub mod session;
+pub mod snapshot;
 pub mod trace;
 
 pub use decision::DecisionRecord;
 pub use platform::Platform;
 pub use record::{IntervalRecord, PowerBreakdown};
 pub use session::SessionFrame;
+pub use snapshot::{ErrorStat, MetricsSnapshot, SloSummary};
 pub use trace::{RecordingPlatform, ReplayPlatform, TraceEvent, TraceReader, TraceWriter};

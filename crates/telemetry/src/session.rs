@@ -224,7 +224,7 @@ pub enum SessionFrame {
 // Payload primitives (same varint/f64 spellings as the v2 codec)
 // ---------------------------------------------------------------------
 
-fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+pub(crate) fn put_varint(out: &mut Vec<u8>, mut v: u64) {
     loop {
         let byte = (v & 0x7F) as u8;
         v >>= 7;
@@ -236,7 +236,7 @@ fn put_varint(out: &mut Vec<u8>, mut v: u64) {
     }
 }
 
-fn put_f64(out: &mut Vec<u8>, v: f64) {
+pub(crate) fn put_f64(out: &mut Vec<u8>, v: f64) {
     out.extend_from_slice(&v.to_bits().to_le_bytes());
 }
 
@@ -245,13 +245,13 @@ fn put_str(out: &mut Vec<u8>, s: &str) {
     out.extend_from_slice(s.as_bytes());
 }
 
-struct PayloadReader<'a> {
+pub(crate) struct PayloadReader<'a> {
     buf: &'a [u8],
-    pos: usize,
+    pub(crate) pos: usize,
 }
 
 impl<'a> PayloadReader<'a> {
-    fn new(buf: &'a [u8]) -> Self {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
         Self { buf, pos: 0 }
     }
 
@@ -259,7 +259,7 @@ impl<'a> PayloadReader<'a> {
         Error::InvalidInput(format!("session frame: truncated {what}"))
     }
 
-    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8]> {
+    pub(crate) fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8]> {
         let end = self
             .pos
             .checked_add(n)
@@ -272,11 +272,11 @@ impl<'a> PayloadReader<'a> {
         Ok(slice)
     }
 
-    fn u8(&mut self, what: &str) -> Result<u8> {
+    pub(crate) fn u8(&mut self, what: &str) -> Result<u8> {
         Ok(self.take(1, what)?.first().copied().unwrap_or_default())
     }
 
-    fn varint(&mut self, what: &str) -> Result<u64> {
+    pub(crate) fn varint(&mut self, what: &str) -> Result<u64> {
         let mut v = 0u64;
         for shift in (0..64).step_by(7) {
             let byte = self.u8(what)?;
@@ -295,7 +295,7 @@ impl<'a> PayloadReader<'a> {
             .map_err(|_| Error::InvalidInput(format!("session frame: {what} out of range")))
     }
 
-    fn f64(&mut self, what: &str) -> Result<f64> {
+    pub(crate) fn f64(&mut self, what: &str) -> Result<f64> {
         let b = self.take(8, what)?;
         let mut bits = 0u64;
         for (i, byte) in b.iter().enumerate() {
@@ -316,7 +316,7 @@ impl<'a> PayloadReader<'a> {
             .map_err(|_| Error::InvalidInput(format!("session frame: non-UTF-8 {what}")))
     }
 
-    fn finish(&self, what: &str) -> Result<()> {
+    pub(crate) fn finish(&self, what: &str) -> Result<()> {
         if self.pos != self.buf.len() {
             return Err(Error::InvalidInput(format!(
                 "session frame: {} trailing byte(s) after {what}",
