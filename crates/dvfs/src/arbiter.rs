@@ -248,6 +248,216 @@ impl BudgetArbiter {
     }
 }
 
+/// One deferred data-plane arbiter operation.
+///
+/// The sharded serve path buffers these on the shard that observed
+/// the health transition (or eviction) and hands them to
+/// [`EpochArbiter::defer`] at the tick barrier — the data plane never
+/// touches the arbiter directly, so grants cannot depend on which
+/// shard's thread got there first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArbiterOp {
+    /// The tenant's supervisor entered Failsafe: zero its grant.
+    Failsafe,
+    /// The tenant recovered: re-admit it to the allocation.
+    Restore,
+    /// The tenant was evicted: deregister it.
+    Leave,
+}
+
+/// An immutable, published view of every tenant's grant at one epoch.
+///
+/// Shards read caps from the snapshot their service last published —
+/// never from the live arbiter — so a reply's reported cap is a pure
+/// function of (epoch, tenant), independent of shard interleaving.
+#[derive(Debug, Clone, Default)]
+pub struct GrantSnapshot {
+    epoch: u64,
+    /// `(tenant, granted watts)`, sorted by tenant id.
+    grants: Vec<(u64, f64)>,
+    total_w: f64,
+}
+
+impl GrantSnapshot {
+    /// The epoch this snapshot was published at.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The cap granted to `tenant` at this epoch, or `None` when it
+    /// was not registered.
+    pub fn granted(&self, tenant: u64) -> Option<Watts> {
+        self.grants
+            .binary_search_by_key(&tenant, |(id, _)| *id)
+            .ok()
+            .and_then(|i| self.grants.get(i))
+            .map(|(_, w)| Watts::new(*w))
+    }
+
+    /// The aggregate granted budget at this epoch.
+    pub fn total_granted(&self) -> Watts {
+        Watts::new(self.total_w)
+    }
+
+    /// Registered tenants at this epoch.
+    pub fn len(&self) -> usize {
+        self.grants.len()
+    }
+
+    /// Whether no tenant was registered at this epoch.
+    pub fn is_empty(&self) -> bool {
+        self.grants.is_empty()
+    }
+
+    /// Every `(tenant, granted cap)` pair, sorted by tenant id.
+    pub fn grants(&self) -> impl Iterator<Item = (u64, Watts)> + '_ {
+        self.grants.iter().map(|(id, w)| (*id, Watts::new(*w)))
+    }
+}
+
+/// Epoch-stepped wrapper around [`BudgetArbiter`] — the cross-shard
+/// message protocol of the sharded capping service.
+///
+/// Two op classes with different timing:
+///
+/// * **Control-plane ops** ([`EpochArbiter::join`],
+///   [`EpochArbiter::leave_now`]) apply immediately and republish the
+///   snapshot. Admission and Goodbye already serialize on the
+///   service's control plane, so their order is well-defined.
+/// * **Data-plane ops** ([`EpochArbiter::defer`]: failsafe, restore,
+///   eviction-leave) are buffered and applied at the next
+///   [`EpochArbiter::advance`] — the tick barrier. Before applying,
+///   the buffer is canonicalized by a *stable* sort on tenant id:
+///   per-tenant op order is preserved (a tenant's ops all come from
+///   its one home shard, in program order), while cross-tenant
+///   arrival order — the only thing shard scheduling can perturb —
+///   is discarded. Water-fill grants after `advance` are therefore
+///   byte-identical for every interleaving, which the proptest below
+///   pins against the plain single-threaded [`BudgetArbiter`].
+#[derive(Debug, Clone)]
+pub struct EpochArbiter {
+    inner: BudgetArbiter,
+    epoch: u64,
+    pending: Vec<(u64, ArbiterOp)>,
+    published: GrantSnapshot,
+}
+
+impl EpochArbiter {
+    /// Builds the arbiter and publishes the (empty) epoch-0 snapshot.
+    pub fn new(socket_cap: Watts, min_grant: Watts) -> Self {
+        let mut a = Self {
+            inner: BudgetArbiter::new(socket_cap, min_grant),
+            epoch: 0,
+            pending: Vec::new(),
+            published: GrantSnapshot::default(),
+        };
+        a.republish();
+        a
+    }
+
+    /// The socket-wide budget.
+    pub fn socket_cap(&self) -> Watts {
+        self.inner.socket_cap()
+    }
+
+    /// The per-tenant admission floor.
+    pub fn min_grant(&self) -> Watts {
+        self.inner.min_grant()
+    }
+
+    /// The current epoch (bumped by every [`EpochArbiter::advance`]).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The last published snapshot.
+    pub fn snapshot(&self) -> &GrantSnapshot {
+        &self.published
+    }
+
+    /// Deferred ops waiting for the next epoch boundary.
+    pub fn pending_ops(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Registered tenants (live arbiter view, deferred ops excluded).
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Whether no tenant is registered.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Immediate admission (control plane). Republishes the snapshot
+    /// so the new tenant's first replies see its grant.
+    ///
+    /// # Errors
+    ///
+    /// As [`BudgetArbiter::join`].
+    pub fn join(&mut self, tenant: u64, requested: Watts) -> Result<Watts> {
+        let granted = self.inner.join(tenant, requested)?;
+        self.republish();
+        Ok(granted)
+    }
+
+    /// Immediate deregistration (control plane, Goodbye path). Drops
+    /// the tenant's still-pending deferred ops so a later incarnation
+    /// under the same id cannot be hit by its predecessor's failsafe.
+    ///
+    /// # Errors
+    ///
+    /// As [`BudgetArbiter::leave`].
+    pub fn leave_now(&mut self, tenant: u64) -> Result<()> {
+        self.inner.leave(tenant)?;
+        self.pending.retain(|(id, _)| *id != tenant);
+        self.republish();
+        Ok(())
+    }
+
+    /// Buffers a data-plane op for the next epoch boundary.
+    pub fn defer(&mut self, tenant: u64, op: ArbiterOp) {
+        self.pending.push((tenant, op));
+    }
+
+    /// Applies every deferred op in canonical order, bumps the epoch,
+    /// and republishes. An op targeting a tenant that already left is
+    /// stale, not an error — it is dropped.
+    pub fn advance(&mut self) -> &GrantSnapshot {
+        let mut ops = std::mem::take(&mut self.pending);
+        // Stable: cross-tenant order becomes ascending id, per-tenant
+        // order stays as the home shard produced it.
+        ops.sort_by_key(|(tenant, _)| *tenant);
+        for (tenant, op) in ops {
+            let outcome = match op {
+                ArbiterOp::Failsafe => self.inner.failsafe(tenant),
+                ArbiterOp::Restore => self.inner.restore(tenant).map(|_| ()),
+                ArbiterOp::Leave => self.inner.leave(tenant),
+            };
+            drop(outcome);
+        }
+        self.epoch += 1;
+        self.republish();
+        &self.published
+    }
+
+    fn republish(&mut self) {
+        let mut grants: Vec<(u64, f64)> = self
+            .inner
+            .grants()
+            .into_iter()
+            .map(|(id, w)| (id, w.as_watts()))
+            .collect();
+        grants.sort_by_key(|(id, _)| *id);
+        self.published = GrantSnapshot {
+            epoch: self.epoch,
+            grants,
+            total_w: self.inner.total_granted().as_watts(),
+        };
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -419,5 +629,192 @@ mod tests {
                 }
             }
         }
+
+        /// The tentpole pin: for ANY buffered data-plane op stream and
+        /// ANY per-tenant-order-preserving reshuffle of it (i.e. any
+        /// shard interleaving), `advance()` publishes grants
+        /// byte-identical to the plain single-threaded
+        /// [`BudgetArbiter`] fed the ops in canonical order.
+        #[test]
+        fn advance_is_interleaving_independent_and_pins_the_plain_arbiter(
+            raw_ops in prop::collection::vec(0u64..1_000_000, 0..40),
+            sched in prop::collection::vec(0u64..1_000_000, 1..40),
+            epochs in 1usize..4,
+        ) {
+            const TENANTS: u64 = 4;
+            let decode = |raw: u64| -> (u64, ArbiterOp) {
+                let tenant = raw % TENANTS;
+                let op = match (raw / TENANTS) % 3 {
+                    0 => ArbiterOp::Failsafe,
+                    1 => ArbiterOp::Restore,
+                    _ => ArbiterOp::Leave,
+                };
+                (tenant, op)
+            };
+
+            let mut plain = arbiter(120.0, 5.0);
+            let mut ea = EpochArbiter::new(Watts::new(120.0), Watts::new(5.0));
+            let mut eb = EpochArbiter::new(Watts::new(120.0), Watts::new(5.0));
+            for tenant in 0..TENANTS {
+                let req = Watts::new(15.0 + tenant as f64 * 11.0);
+                prop_assert!(plain.join(tenant, req).is_ok());
+                prop_assert!(ea.join(tenant, req).is_ok());
+                prop_assert!(eb.join(tenant, req).is_ok());
+            }
+
+            let chunk = (raw_ops.len() / epochs).max(1);
+            for (round, ops) in raw_ops.chunks(chunk).enumerate() {
+                // Interleaving A: arrival order as generated.
+                let a_stream: Vec<(u64, ArbiterOp)> =
+                    ops.iter().map(|raw| decode(*raw)).collect();
+                // Interleaving B: an arbitrary reshuffle that keeps
+                // each tenant's ops in order — exactly the freedom a
+                // shard scheduler has.
+                let mut queues: Vec<std::collections::VecDeque<(u64, ArbiterOp)>> =
+                    (0..TENANTS).map(|_| std::collections::VecDeque::new()).collect();
+                for (tenant, op) in &a_stream {
+                    if let Some(q) = queues.get_mut(*tenant as usize) {
+                        q.push_back((*tenant, *op));
+                    }
+                }
+                let mut b_stream = Vec::with_capacity(a_stream.len());
+                let mut cursor = 0usize;
+                while b_stream.len() < a_stream.len() {
+                    let pick = sched
+                        .get(cursor % sched.len())
+                        .copied()
+                        .unwrap_or(0) as usize;
+                    cursor += 1;
+                    let nonempty: Vec<usize> = queues
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, q)| !q.is_empty())
+                        .map(|(i, _)| i)
+                        .collect();
+                    let Some(&qi) = nonempty.get(pick % nonempty.len().max(1)) else {
+                        break;
+                    };
+                    if let Some(q) = queues.get_mut(qi) {
+                        if let Some(item) = q.pop_front() {
+                            b_stream.push(item);
+                        }
+                    }
+                }
+                prop_assert_eq!(a_stream.len(), b_stream.len());
+
+                // Canonical order for the plain arbiter: ascending
+                // tenant id, per-tenant program order (what the stable
+                // sort inside advance() produces).
+                for tenant in 0..TENANTS {
+                    for (id, op) in a_stream.iter().filter(|(id, _)| *id == tenant) {
+                        let outcome = match op {
+                            ArbiterOp::Failsafe => plain.failsafe(*id),
+                            ArbiterOp::Restore => plain.restore(*id).map(|_| ()),
+                            ArbiterOp::Leave => plain.leave(*id),
+                        };
+                        drop(outcome);
+                    }
+                }
+                for (tenant, op) in &a_stream {
+                    ea.defer(*tenant, *op);
+                }
+                for (tenant, op) in &b_stream {
+                    eb.defer(*tenant, *op);
+                }
+                let snap_a = ea.advance().clone();
+                let snap_b = eb.advance().clone();
+
+                let bits = |s: &GrantSnapshot| -> Vec<(u64, u64)> {
+                    s.grants().map(|(id, w)| (id, w.as_watts().to_bits())).collect()
+                };
+                prop_assert_eq!(
+                    bits(&snap_a), bits(&snap_b),
+                    "round {}: interleaving changed the grants", round
+                );
+                let plain_bits: Vec<(u64, u64)> = {
+                    let mut v: Vec<(u64, u64)> = plain
+                        .grants()
+                        .into_iter()
+                        .map(|(id, w)| (id, w.as_watts().to_bits()))
+                        .collect();
+                    v.sort_by_key(|(id, _)| *id);
+                    v
+                };
+                prop_assert_eq!(
+                    bits(&snap_a), plain_bits,
+                    "round {}: epoch arbiter diverged from the plain arbiter", round
+                );
+                prop_assert_eq!(
+                    snap_a.total_granted().as_watts().to_bits(),
+                    plain.total_granted().as_watts().to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn join_and_leave_now_republish_immediately() {
+        let mut a = EpochArbiter::new(Watts::new(100.0), Watts::new(10.0));
+        assert_eq!(a.snapshot().epoch(), 0);
+        assert!(a.snapshot().is_empty());
+        a.join(1, Watts::new(60.0)).unwrap();
+        assert_eq!(a.snapshot().granted(1), Some(Watts::new(60.0)));
+        a.join(2, Watts::new(50.0)).unwrap();
+        // Water level moved at admission time, before any advance.
+        assert_eq!(a.snapshot().granted(1), Some(Watts::new(50.0)));
+        assert_eq!(a.snapshot().granted(2), Some(Watts::new(50.0)));
+        assert_eq!(a.snapshot().epoch(), 0, "joins do not bump the epoch");
+        a.leave_now(1).unwrap();
+        assert_eq!(a.snapshot().granted(1), None);
+        assert_eq!(a.snapshot().granted(2), Some(Watts::new(50.0)));
+    }
+
+    #[test]
+    fn deferred_ops_apply_only_at_the_epoch_boundary() {
+        let mut a = EpochArbiter::new(Watts::new(100.0), Watts::new(10.0));
+        a.join(1, Watts::new(60.0)).unwrap();
+        a.join(2, Watts::new(60.0)).unwrap();
+        a.defer(1, ArbiterOp::Failsafe);
+        // Snapshot is unchanged until the tick barrier.
+        assert_eq!(a.snapshot().granted(1), Some(Watts::new(50.0)));
+        assert_eq!(a.pending_ops(), 1);
+        let snap = a.advance().clone();
+        assert_eq!(snap.epoch(), 1);
+        assert_eq!(snap.granted(1), Some(Watts::ZERO));
+        assert_eq!(
+            snap.granted(2),
+            Some(Watts::new(60.0)),
+            "freed budget flows"
+        );
+        assert_eq!(a.pending_ops(), 0);
+    }
+
+    #[test]
+    fn leave_now_drops_the_tenants_pending_ops() {
+        let mut a = EpochArbiter::new(Watts::new(100.0), Watts::new(10.0));
+        a.join(1, Watts::new(40.0)).unwrap();
+        a.join(2, Watts::new(40.0)).unwrap();
+        a.defer(1, ArbiterOp::Failsafe);
+        a.defer(2, ArbiterOp::Failsafe);
+        a.leave_now(1).unwrap();
+        assert_eq!(a.pending_ops(), 1, "tenant 1's pending op is gone");
+        // A re-joined incarnation of tenant 1 must not inherit the
+        // old failsafe.
+        a.join(1, Watts::new(40.0)).unwrap();
+        let snap = a.advance().clone();
+        assert_eq!(snap.granted(1), Some(Watts::new(40.0)));
+        assert_eq!(snap.granted(2), Some(Watts::ZERO));
+    }
+
+    #[test]
+    fn stale_deferred_ops_are_dropped_not_errors() {
+        let mut a = EpochArbiter::new(Watts::new(100.0), Watts::new(10.0));
+        a.join(1, Watts::new(40.0)).unwrap();
+        a.defer(9, ArbiterOp::Leave); // never registered
+        a.defer(1, ArbiterOp::Failsafe);
+        a.defer(1, ArbiterOp::Leave); // evicted after failsafing
+        let snap = a.advance().clone();
+        assert!(snap.is_empty());
+        assert_eq!(snap.total_granted(), Watts::ZERO);
     }
 }

@@ -3,7 +3,8 @@
 //! ```text
 //! ppep-experiments [--quick] [--seed N] [--out DIR] [--jobs N] \
 //!     [--policy-a P] [--policy-b P] [--trace PATH] \
-//!     <fig1|cpi|idle|obs|fig2|fig3|fig4|fig6|fig7|fig8|fig9|fig10|fig11|phenom|ablations|resilience|overhead|replay|diff-policies|bench-parallel|serve|serve-chaos|load-gen|accuracy-watch|summary|all>
+//!     [--shards N] [--tenants N] [--transport unix|tcp] \
+//!     <fig1|cpi|idle|obs|fig2|fig3|fig4|fig6|fig7|fig8|fig9|fig10|fig11|phenom|ablations|resilience|overhead|replay|diff-policies|bench-parallel|serve|serve-chaos|load-gen|serve-bench|accuracy-watch|summary|all>
 //! ```
 //!
 //! With `--out DIR`, figure commands additionally write their data as
@@ -22,6 +23,12 @@
 //! `recorded`); the default pairing `one-step` vs `recorded` is a
 //! self-replay and must report zero divergence.
 //!
+//! `--shards N` / `--tenants N` / `--transport unix|tcp` tune the
+//! serving subcommands: shard count, fleet size, and a real
+//! Unix-socket (or localhost-TCP) transport instead of in-process
+//! calls. `serve-bench` compares single-lock vs sharded replays and
+//! gates on byte-identical transcripts plus a lower sharded p99.
+//!
 //! `--trace PATH` feeds `accuracy-watch` a recorded trace (JSONL or
 //! binary v2); without it the watch scores a synthesized clean run.
 //! On a clean trace the accuracy gate is the exit code.
@@ -35,9 +42,10 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: ppep-experiments [--quick] [--seed N] [--out DIR] [--jobs N] \
          [--policy-a P] [--policy-b P] [--trace PATH] \
+         [--shards N] [--tenants N] [--transport unix|tcp] \
          <fig1|cpi|idle|obs|fig2|fig3|fig4|fig6|fig7|fig8|fig9|fig10|fig11|phenom|ablations|\
          resilience|overhead|replay|diff-policies|bench-parallel|serve|serve-chaos|load-gen|\
-         accuracy-watch|summary|all>\n\
+         serve-bench|accuracy-watch|summary|all>\n\
          policies: one-step | iterative | steepest-drop | energy-optimal | recorded"
     );
     ExitCode::FAILURE
@@ -61,6 +69,7 @@ fn main() -> ExitCode {
     let mut policy_a = PolicyKind::OneStep;
     let mut policy_b = PolicyKind::Recorded;
     let mut trace_path: Option<std::path::PathBuf> = None;
+    let mut serve_opts = serve::ServeOpts::default();
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -102,6 +111,27 @@ fn main() -> ExitCode {
                 };
                 trace_path = Some(std::path::PathBuf::from(path));
             }
+            "--shards" => {
+                let Some(v) = args.next().and_then(|s| s.parse().ok()) else {
+                    return usage();
+                };
+                serve_opts.shards = v;
+            }
+            "--tenants" => {
+                let Some(v) = args.next().and_then(|s| s.parse().ok()) else {
+                    return usage();
+                };
+                serve_opts.tenants = v;
+            }
+            "--transport" => {
+                let Some(kind) = args
+                    .next()
+                    .and_then(|s| ppep_serve::TransportKind::parse(&s).ok())
+                else {
+                    return usage();
+                };
+                serve_opts.transport = Some(kind);
+            }
             cmd if !cmd.starts_with('-') && command.is_none() => {
                 command = Some(cmd.to_string());
             }
@@ -119,6 +149,7 @@ fn main() -> ExitCode {
         out_dir.as_deref(),
         (policy_a, policy_b),
         trace_path.as_deref(),
+        serve_opts,
     );
     match result {
         Ok(true) => ExitCode::SUCCESS,
@@ -136,6 +167,7 @@ fn dispatch(
     out: Option<&std::path::Path>,
     policies: (PolicyKind, PolicyKind),
     trace_path: Option<&std::path::Path>,
+    serve_opts: serve::ServeOpts,
 ) -> ppep_types::Result<bool> {
     let table = ctx.rig.config().topology.vf_table().clone();
     let mut written: Vec<String> = Vec::new();
@@ -253,21 +285,28 @@ fn dispatch(
             }
         }
         "serve" => {
-            let r = serve::run_demo(ctx)?;
+            let r = serve::run_demo(ctx, serve_opts)?;
             serve::print_demo(&r);
             save(out, "serve_health.jsonl", r.health_jsonl.clone());
         }
         "serve-chaos" => {
-            let r = serve::run_chaos(ctx)?;
+            let r = serve::run_chaos(ctx, serve_opts)?;
             serve::print_chaos(&r);
             save(out, "serve_health.jsonl", r.health_jsonl.clone());
             // The containment gate IS the exit code: CI relies on it.
             r.gate()?;
         }
         "load-gen" => {
-            let r = serve::run_loadgen(ctx)?;
+            let r = serve::run_loadgen(ctx, serve_opts)?;
             serve::print_loadgen(&r);
             save(out, "BENCH_serve.json", r.to_json());
+        }
+        "serve-bench" => {
+            let r = serve::run_serve_bench(ctx, serve_opts)?;
+            serve::print_serve_bench(&r);
+            save(out, "BENCH_serve_shard.json", r.to_json());
+            // The sharding gate IS the exit code: CI relies on it.
+            r.gate()?;
         }
         "accuracy-watch" => {
             let loaded: Option<(String, Vec<u8>)> = match trace_path {

@@ -846,12 +846,13 @@ const GUARD_TYPES: [&str; 3] = ["MutexGuard", "RwLockReadGuard", "RwLockWriteGua
 /// frame handler, the v2 frame codec, and blocking I/O / platform
 /// sampling. Macros (`write!` into a `String`) are never calls, so
 /// in-memory formatting does not trip this.
-const LOCK_BOUNDARIES: [&str; 14] = [
+const LOCK_BOUNDARIES: [&str; 15] = [
     "handle_frame",
     "frame_to_bytes",
     "decode_frame",
     "encode_frame",
     "parse_any",
+    "read_frame_bytes",
     "write_all",
     "flush",
     "read_exact",

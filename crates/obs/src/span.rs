@@ -28,6 +28,11 @@ pub enum Stage {
     /// Serving: admission control for a `Hello` (slots, budget,
     /// duplicate checks).
     ServeAdmit,
+    /// Serving: routing a decoded frame to its tenant's home shard —
+    /// the router lookup plus the wait for that shard's lock. Under
+    /// the single-lock-compat config (`shards = 1`) this p95 *is* the
+    /// global-lock contention; sharding exists to collapse it.
+    ServeRoute,
     /// Serving: stepping the tenant's supervised daemon.
     ServeStep,
     /// Serving: encoding the reply frame back onto the wire.
@@ -36,7 +41,7 @@ pub enum Stage {
 
 impl Stage {
     /// Number of stages.
-    pub const COUNT: usize = 12;
+    pub const COUNT: usize = 13;
 
     /// All stages in pipeline order (chip pipeline first, then the
     /// serve hot path around it).
@@ -51,6 +56,7 @@ impl Stage {
         Stage::Apply,
         Stage::ServeDecode,
         Stage::ServeAdmit,
+        Stage::ServeRoute,
         Stage::ServeStep,
         Stage::ServeEncode,
     ];
@@ -68,6 +74,7 @@ impl Stage {
             Stage::Apply => "apply",
             Stage::ServeDecode => "serve-decode",
             Stage::ServeAdmit => "serve-admit",
+            Stage::ServeRoute => "serve-route",
             Stage::ServeStep => "serve-step",
             Stage::ServeEncode => "serve-encode",
         }
@@ -86,8 +93,9 @@ impl Stage {
             Stage::Apply => 7,
             Stage::ServeDecode => 8,
             Stage::ServeAdmit => 9,
-            Stage::ServeStep => 10,
-            Stage::ServeEncode => 11,
+            Stage::ServeRoute => 10,
+            Stage::ServeStep => 11,
+            Stage::ServeEncode => 12,
         }
     }
 
@@ -104,6 +112,7 @@ impl Stage {
             Stage::Sample
                 | Stage::ServeDecode
                 | Stage::ServeAdmit
+                | Stage::ServeRoute
                 | Stage::ServeStep
                 | Stage::ServeEncode
         )
@@ -114,7 +123,11 @@ impl Stage {
     pub fn is_serve(self) -> bool {
         matches!(
             self,
-            Stage::ServeDecode | Stage::ServeAdmit | Stage::ServeStep | Stage::ServeEncode
+            Stage::ServeDecode
+                | Stage::ServeAdmit
+                | Stage::ServeRoute
+                | Stage::ServeStep
+                | Stage::ServeEncode
         )
     }
 }
@@ -249,7 +262,13 @@ mod tests {
             .collect();
         assert_eq!(
             serve,
-            vec!["serve-decode", "serve-admit", "serve-step", "serve-encode"]
+            vec![
+                "serve-decode",
+                "serve-admit",
+                "serve-route",
+                "serve-step",
+                "serve-encode"
+            ]
         );
     }
 

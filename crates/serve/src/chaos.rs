@@ -22,6 +22,8 @@
 //! A gate failure is an [`Error::InvalidInput`] so a CI runner turns
 //! it into a nonzero exit.
 
+use std::sync::Arc;
+
 use ppep_core::resilient::HealthState;
 use ppep_core::Ppep;
 use ppep_sim::chip::{ChipSimulator, SimConfig};
@@ -33,6 +35,7 @@ use ppep_types::{Error, Result, Watts};
 use ppep_workloads::combos::fig7_workload;
 
 use crate::service::{CappingService, ServeConfig, TenantStatus};
+use crate::transport::{FrameConn, ServeListener, ServiceLane, TransportKind};
 
 /// Storm parameters.
 #[derive(Debug, Clone, Copy)]
@@ -53,11 +56,20 @@ pub struct ChaosConfig {
     pub requested_cap: Watts,
     /// Minimum decision availability every survivor must sustain.
     pub survivor_availability: f64,
+    /// Service shards (`1` = single-lock-compat; more shards spread
+    /// the fleet, so the storm lands on one shard while survivors on
+    /// the others prove cross-shard containment).
+    pub shards: u32,
+    /// `Some(kind)`: aim the storm over a real socket. `None`: call
+    /// the service in-process (the byte-equality determinism check
+    /// uses this mode).
+    pub transport: Option<TransportKind>,
 }
 
 impl ChaosConfig {
     /// The CI smoke configuration: 8 tenants, tenant 0 the victim, a
-    /// 90% fault storm, 4× oversubscribed socket budget.
+    /// 90% fault storm, 4× oversubscribed socket budget, one shard,
+    /// in-process.
     pub fn smoke(seed: u64) -> Self {
         Self {
             tenants: 8,
@@ -68,6 +80,8 @@ impl ChaosConfig {
             socket_cap: Watts::new(120.0),
             requested_cap: Watts::new(60.0),
             survivor_availability: 0.99,
+            shards: 1,
+            transport: None,
         }
     }
 }
@@ -216,13 +230,24 @@ fn client_chip(config: &ChaosConfig, tenant: u64) -> ChipSimulator {
 pub fn run(ppep: &Ppep, config: &ChaosConfig) -> Result<ChaosReport> {
     let mut serve_config = ServeConfig::new(config.socket_cap);
     serve_config.max_sessions = config.tenants.max(1);
+    serve_config.shards = config.shards.max(1);
     // Score every tenant's predictions so the health artifact carries
     // the accuracy/drift columns. Scoring is deterministic for a
     // deterministic workload — the byte-equality test below depends
     // on that.
     serve_config.scorer = Some(ppep_obs::ScorerConfig::default());
-    let mut service = CappingService::new(ppep.clone(), serve_config);
+    let service = Arc::new(CappingService::new(ppep.clone(), serve_config));
     let topology = service.topology().clone();
+    // Frames travel over the configured lane; ticks stay in-process
+    // (the driver owns time either way).
+    let server = match config.transport {
+        Some(kind) => Some(ServeListener::bind(kind)?.spawn(Arc::clone(&service))),
+        None => None,
+    };
+    let mut lane = match &server {
+        Some(handle) => ServiceLane::Socket(FrameConn::connect(handle.addr())?),
+        None => ServiceLane::Local(service.as_ref()),
+    };
 
     let mut clients: Vec<ChaosClient> = Vec::with_capacity(config.tenants as usize);
     for tenant in 0..u64::from(config.tenants) {
@@ -230,7 +255,7 @@ pub fn run(ppep: &Ppep, config: &ChaosConfig) -> Result<ChaosReport> {
             tenant,
             requested_cap: config.requested_cap,
         };
-        let (response, _) = service.handle_frame(&frame_to_bytes(&hello))?;
+        let response = lane.roundtrip(&frame_to_bytes(&hello))?;
         let (reply, _) = decode_frame(&response, &topology)?;
         match reply {
             SessionFrame::Welcome { .. } => clients.push(ChaosClient {
@@ -264,7 +289,7 @@ pub fn run(ppep: &Ppep, config: &ChaosConfig) -> Result<ChaosReport> {
                     error,
                 },
             };
-            let (response, _) = service.handle_frame(&frame_to_bytes(&frame))?;
+            let response = lane.roundtrip(&frame_to_bytes(&frame))?;
             let (reply, _) = decode_frame(&response, &topology)?;
             match reply {
                 SessionFrame::Reply {
@@ -291,11 +316,15 @@ pub fn run(ppep: &Ppep, config: &ChaosConfig) -> Result<ChaosReport> {
         max_total_granted = max_total_granted.max(tick.total_granted);
     }
 
+    drop(lane);
+    if let Some(handle) = server {
+        handle.shutdown();
+    }
     Ok(ChaosReport {
         config: *config,
         tenants: service.status(),
         max_total_granted,
-        final_total_granted: service.arbiter().total_granted(),
+        final_total_granted: service.total_granted(),
         victim_failsafe_replies,
         health_jsonl: service.health_jsonl(),
     })
@@ -352,6 +381,51 @@ mod tests {
         assert_eq!(
             a.max_total_granted.as_watts(),
             b.max_total_granted.as_watts()
+        );
+        // Sharded runs are byte-deterministic too.
+        let mut sharded = quick_config();
+        sharded.shards = 4;
+        let c = run(engine(), &sharded).expect("sharded run");
+        let d = run(engine(), &sharded).expect("sharded rerun");
+        assert_eq!(c.health_jsonl, d.health_jsonl);
+    }
+
+    #[test]
+    fn containment_holds_across_shards_and_over_the_socket() {
+        let mut config = quick_config();
+        config.shards = 4;
+        config.transport = Some(if cfg!(unix) {
+            TransportKind::Unix
+        } else {
+            TransportKind::Tcp
+        });
+        let report = run(engine(), &config).expect("socket chaos run completes");
+        report.gate().expect("containment gate holds over the wire");
+
+        let victim = report.victim().expect("victim admitted");
+        let victim_shard = victim.shard;
+        assert_eq!(victim_shard, 0, "tenant 0 homes on shard 0");
+        let mut survivor_shards = std::collections::BTreeSet::new();
+        for t in &report.tenants {
+            if t.tenant == config.victim {
+                continue;
+            }
+            survivor_shards.insert(t.shard);
+            assert!(t.evicted.is_none(), "blast escaped to tenant {}", t.tenant);
+            assert!(
+                t.availability >= 0.99,
+                "tenant {} availability {}",
+                t.tenant,
+                t.availability
+            );
+        }
+        assert!(
+            survivor_shards.iter().any(|s| *s != victim_shard),
+            "survivors must sit on other shards: {survivor_shards:?}"
+        );
+        assert!(
+            report.max_total_granted <= config.socket_cap,
+            "granted budget must respect the socket cap over the wire"
         );
     }
 

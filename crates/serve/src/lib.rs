@@ -21,10 +21,20 @@
 //!   through the supervisor's ladder and are eventually evicted with
 //!   [`ppep_types::Error::DeadlineExceeded`].
 //!
+//! The service is sharded ([`shard`]): tenants are routed to
+//! [`ServeConfig::shards`] worker shards, each owning a disjoint
+//! tenant group's bulkheads, with frame decode/CRC and encode
+//! pipelined outside every lock and the epoch-stepped budget arbiter
+//! ([`ppep_dvfs::EpochArbiter`]) as the only cross-shard state. A
+//! real transport ([`transport`]) serves the same v2 session framing
+//! over a Unix-domain socket (or localhost TCP), so drivers can
+//! exercise syscall boundaries instead of in-process calls.
+//!
 //! [`chaos`] proves the contract by firing a fault storm at one
-//! tenant and gating on blast-radius containment; [`loadgen`]
-//! measures frame throughput and round-trip latency under concurrent
-//! clients.
+//! tenant and gating on blast-radius containment — including across
+//! shards and over the socket; [`loadgen`] measures frame throughput
+//! and round-trip latency under concurrent clients, from a handful to
+//! thousands.
 //!
 //! On top of the robustness contract sits per-tenant scorekeeping:
 //! [`slo`] tracks reply latency and cap adherence for each tenant,
@@ -41,13 +51,19 @@ pub mod chaos;
 pub mod loadgen;
 pub mod platform;
 pub mod service;
+pub mod shard;
 pub mod slo;
+pub mod transport;
 
 pub use chaos::{ChaosConfig, ChaosReport};
 pub use loadgen::{LoadGenConfig, LoadGenReport};
 pub use platform::SessionPlatform;
 pub use service::{CappingService, ServeConfig, TenantStatus, TickReport};
+pub use shard::ShardGauge;
 pub use slo::SloTracker;
+pub use transport::{
+    FrameConn, ServeAddr, ServeListener, ServerHandle, ServiceLane, TransportKind,
+};
 
 #[cfg(test)]
 pub(crate) mod testutil {

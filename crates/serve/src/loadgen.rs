@@ -1,18 +1,31 @@
 //! Concurrent load generator for the capping service.
 //!
-//! [`run`] admits N client sessions, hands each its own replay trace
-//! (a [`TraceEvent`] stream, the same shape `ppep-experiments record`
-//! produces), and drives them from N OS threads against one shared
-//! [`CappingService`]. Each client times every frame round-trip
-//! (encode → service → decode) with its own [`Histogram`]; the merged
-//! histogram yields the p50/p95/p99 latencies and the sustained
-//! frame throughput.
+//! [`run`] admits N client sessions and replays a synthesized trace
+//! through every one of them against a shared [`CappingService`] —
+//! in-process, or over a real Unix-socket/TCP transport
+//! ([`LoadGenConfig::transport`]) so the round-trips cross syscall
+//! boundaries. The service takes `&self` and shards internally;
+//! clients hit it directly, with no generator-side lock. What a
+//! frame's round-trip includes is therefore exactly what a real
+//! client would see: codec, routing, the home shard's critical
+//! section, and (over a socket) the wire.
 //!
-//! The service sits behind a [`Mutex`] — the measurement includes
-//! lock contention on purpose, since that *is* the service's
-//! concurrency model.
+//! Scale comes from three knobs: [`LoadGenConfig::clients`] can go to
+//! thousands (admission floors shrink with the population),
+//! [`LoadGenConfig::workers`] bounds the replay threads (each owns a
+//! disjoint tenant set, so per-tenant frame order is program order),
+//! and [`LoadGenConfig::trace_pool`] bounds how many distinct traces
+//! are synthesized (tenants share them round-robin — simulating a
+//! chip is much slower than serving one).
+//!
+//! Besides merged latency percentiles, the report carries per-tenant
+//! and per-shard p99 round-trips, per-shard occupancy/queue-depth
+//! gauges, and each tenant's reply-byte transcript — the
+//! `serve-bench` gate replays both the single-lock-compat and sharded
+//! configurations and requires byte-identical transcripts before it
+//! compares their p99s.
 
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::Instant;
 
 use ppep_core::Ppep;
@@ -27,11 +40,13 @@ use ppep_types::{Error, Result, Topology, Watts};
 use ppep_workloads::combos::fig7_workload;
 
 use crate::service::{CappingService, ServeConfig};
+use crate::shard::ShardGauge;
+use crate::transport::{FrameConn, ServeListener, ServiceLane as Lane, TransportKind};
 
 /// Load-generator parameters.
 #[derive(Debug, Clone, Copy)]
 pub struct LoadGenConfig {
-    /// Concurrent client sessions (one OS thread each).
+    /// Client sessions to admit and replay.
     pub clients: u32,
     /// Intervals each client replays.
     pub intervals: u64,
@@ -41,10 +56,21 @@ pub struct LoadGenConfig {
     pub requested_cap: Watts,
     /// Seed for the synthesized replay traces.
     pub seed: u64,
+    /// Service shards (`1` = single-lock-compat baseline).
+    pub shards: u32,
+    /// Replay threads; clamped to `clients`. Tenants are dealt
+    /// round-robin, so each worker owns a disjoint set.
+    pub workers: u32,
+    /// Distinct traces to synthesize; tenants share them round-robin.
+    pub trace_pool: u32,
+    /// `Some(kind)`: serve over a real socket and replay through it.
+    /// `None`: call the service in-process.
+    pub transport: Option<TransportKind>,
 }
 
 impl LoadGenConfig {
-    /// Defaults: 4 clients × 50 intervals on a 120 W socket.
+    /// Defaults: 4 clients × 50 intervals on a 120 W socket, one
+    /// shard, 4 workers, in-process.
     pub fn new(seed: u64) -> Self {
         Self {
             clients: 4,
@@ -52,6 +78,10 @@ impl LoadGenConfig {
             socket_cap: Watts::new(120.0),
             requested_cap: Watts::new(40.0),
             seed,
+            shards: 1,
+            workers: 4,
+            trace_pool: 8,
+            transport: None,
         }
     }
 }
@@ -61,6 +91,12 @@ impl LoadGenConfig {
 pub struct LoadGenReport {
     /// Clients driven.
     pub clients: u32,
+    /// Service shards the run used.
+    pub shards: usize,
+    /// Replay threads the run used.
+    pub workers: u32,
+    /// `local`, `unix`, or `tcp`.
+    pub transport: String,
     /// Frames submitted (all clients).
     pub frames: u64,
     /// Replies that reported an eviction.
@@ -80,13 +116,48 @@ pub struct LoadGenReport {
     /// Aggregate granted budget when the run ended.
     pub total_granted: Watts,
     /// Per-stage p95 latency inside `handle_frame`, microseconds, in
-    /// hot-path order: serve-decode, serve-admit, serve-step,
-    /// serve-encode. Shows where a frame's round-trip went.
+    /// hot-path order: serve-decode, serve-admit, serve-route,
+    /// serve-step, serve-encode. Shows where a frame's round-trip
+    /// went; at one shard, `serve-route` p95 is the global-lock
+    /// contention the sharded mode exists to collapse.
     pub stage_p95_us: Vec<(String, f64)>,
+    /// End-to-end p99 round-trip per tenant, µs, sorted by tenant.
+    pub tenant_p99_us: Vec<(u64, f64)>,
+    /// End-to-end p99 round-trip per shard, µs (client-side
+    /// histograms merged by the tenant's home shard), sorted by
+    /// shard.
+    pub shard_p99_us: Vec<(usize, f64)>,
+    /// Post-run occupancy/queue-depth per shard.
+    pub shard_gauges: Vec<ShardGauge>,
+    /// Concatenated reply bytes per tenant, in replay order, sorted
+    /// by tenant. Byte-identical across shard layouts for the same
+    /// workload — the mode-equivalence gates compare these.
+    pub transcripts: Vec<(u64, Vec<u8>)>,
+}
+
+fn fnv64(acc: u64, bytes: &[u8]) -> u64 {
+    let mut h = acc;
+    for b in bytes {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
 }
 
 impl LoadGenReport {
-    /// One JSON object for the benchmark artifact.
+    /// FNV-1a digest over every tenant's reply transcript — a compact
+    /// fingerprint two runs can compare without shipping the bytes.
+    pub fn transcript_digest(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for (tenant, bytes) in &self.transcripts {
+            h = fnv64(h, &tenant.to_le_bytes());
+            h = fnv64(h, bytes);
+        }
+        h
+    }
+
+    /// One JSON object for the benchmark artifact (transcripts are
+    /// summarized as their digest).
     pub fn to_json(&self) -> String {
         let stages = self
             .stage_p95_us
@@ -94,11 +165,42 @@ impl LoadGenReport {
             .map(|(name, p95)| format!("\"{name}\":{p95:.1}"))
             .collect::<Vec<_>>()
             .join(",");
+        let tenants = self
+            .tenant_p99_us
+            .iter()
+            .map(|(t, p99)| format!("\"{t}\":{p99:.1}"))
+            .collect::<Vec<_>>()
+            .join(",");
+        let shards = self
+            .shard_p99_us
+            .iter()
+            .map(|(s, p99)| format!("\"{s}\":{p99:.1}"))
+            .collect::<Vec<_>>()
+            .join(",");
+        let occupancy = self
+            .shard_gauges
+            .iter()
+            .map(|g| g.live.to_string())
+            .collect::<Vec<_>>()
+            .join(",");
+        let queue_depth = self
+            .shard_gauges
+            .iter()
+            .map(|g| g.queue_depth.to_string())
+            .collect::<Vec<_>>()
+            .join(",");
         format!(
-            "{{\"clients\":{},\"frames\":{},\"evictions\":{},\"wall_seconds\":{:.6},\
+            "{{\"clients\":{},\"shards\":{},\"workers\":{},\"transport\":\"{}\",\
+             \"frames\":{},\"evictions\":{},\"wall_seconds\":{:.6},\
              \"throughput_fps\":{:.2},\"p50_us\":{:.1},\"p95_us\":{:.1},\"p99_us\":{:.1},\
-             \"max_us\":{:.1},\"total_granted_w\":{:.3},\"stage_p95_us\":{{{stages}}}}}",
+             \"max_us\":{:.1},\"total_granted_w\":{:.3},\"stage_p95_us\":{{{stages}}},\
+             \"tenant_p99_us\":{{{tenants}}},\"shard_p99_us\":{{{shards}}},\
+             \"shard_occupancy\":[{occupancy}],\"shard_queue_depth\":[{queue_depth}],\
+             \"transcript_digest\":\"{:016x}\"}}",
             self.clients,
+            self.shards,
+            self.workers,
+            self.transport,
             self.frames,
             self.evictions,
             self.wall_seconds,
@@ -108,6 +210,7 @@ impl LoadGenReport {
             self.p99_us,
             self.max_us,
             self.total_granted.as_watts(),
+            self.transcript_digest(),
         )
     }
 }
@@ -132,125 +235,220 @@ pub fn synthesize_trace(intervals: u64, seed: u64) -> Vec<TraceEvent> {
     events
 }
 
-fn replay_client(
-    service: &Mutex<CappingService>,
-    topology: &Topology,
+struct ClientOutcome {
     tenant: u64,
-    events: &[TraceEvent],
-) -> Result<(Histogram, u64, u64)> {
-    let mut latency = Histogram::latency_us();
-    let mut frames = 0u64;
-    let mut evictions = 0u64;
-    for event in events {
-        let frame = match event {
-            TraceEvent::Interval(record) => SessionFrame::Submit {
-                tenant,
-                record: Box::new(record.clone()),
-            },
-            TraceEvent::Fault { index, error } => SessionFrame::FaultReport {
-                tenant,
-                index: *index,
-                error: error.clone(),
-            },
-            // Apply/decision events are the daemon's own actions — a
-            // replaying client has nothing to submit for them.
-            TraceEvent::Apply(_) | TraceEvent::Decision(_) => continue,
-        };
-        let bytes = frame_to_bytes(&frame);
-        let start = Instant::now();
-        let response = {
-            let mut service = service
-                .lock()
-                .map_err(|_| Error::InvalidInput("load-gen: service mutex poisoned".into()))?;
-            service.handle_frame(&bytes)?.0
-        };
-        latency.observe(start.elapsed().as_secs_f64() * 1e6);
-        frames += 1;
-        let (reply, _) = decode_frame(&response, topology)?;
-        match reply {
-            SessionFrame::Reply { .. } => {}
-            SessionFrame::Evicted { .. } => {
-                evictions += 1;
-                break;
+    latency: Histogram,
+    frames: u64,
+    evictions: u64,
+    transcript: Vec<u8>,
+}
+
+/// Replays one worker's tenant set, interval-major (every live tenant
+/// advances one event per round — per-tenant order is program order).
+fn replay_worker(
+    lane: &mut Lane<'_>,
+    topology: &Topology,
+    tenants: &[u64],
+    pool: &[Vec<TraceEvent>],
+) -> Result<Vec<ClientOutcome>> {
+    let mut states: Vec<ClientOutcome> = tenants
+        .iter()
+        .map(|&tenant| ClientOutcome {
+            tenant,
+            latency: Histogram::latency_us(),
+            frames: 0,
+            evictions: 0,
+            transcript: Vec::new(),
+        })
+        .collect();
+    let mut done = vec![false; tenants.len()];
+    let steps = pool.iter().map(Vec::len).max().unwrap_or(0);
+    for step in 0..steps {
+        for (slot, state) in states.iter_mut().enumerate() {
+            if done.get(slot).copied().unwrap_or(true) {
+                continue;
             }
-            other => {
-                return Err(Error::InvalidInput(format!(
-                    "load-gen: unexpected reply {other:?}"
-                )))
+            let trace = pool
+                .get(state.tenant as usize % pool.len().max(1))
+                .ok_or_else(|| Error::InvalidInput("load-gen: empty trace pool".into()))?;
+            let Some(event) = trace.get(step) else {
+                if let Some(d) = done.get_mut(slot) {
+                    *d = true;
+                }
+                continue;
+            };
+            let frame = match event {
+                TraceEvent::Interval(record) => SessionFrame::Submit {
+                    tenant: state.tenant,
+                    record: Box::new(record.clone()),
+                },
+                TraceEvent::Fault { index, error } => SessionFrame::FaultReport {
+                    tenant: state.tenant,
+                    index: *index,
+                    error: error.clone(),
+                },
+                // Apply/decision events are the daemon's own actions —
+                // a replaying client has nothing to submit for them.
+                TraceEvent::Apply(_) | TraceEvent::Decision(_) => continue,
+            };
+            let bytes = frame_to_bytes(&frame);
+            let start = Instant::now();
+            let response = lane.roundtrip(&bytes)?;
+            state.latency.observe(start.elapsed().as_secs_f64() * 1e6);
+            state.frames += 1;
+            state.transcript.extend_from_slice(&response);
+            match decode_frame(&response, topology)?.0 {
+                SessionFrame::Reply { .. } => {}
+                SessionFrame::Evicted { .. } => {
+                    state.evictions += 1;
+                    if let Some(d) = done.get_mut(slot) {
+                        *d = true;
+                    }
+                }
+                other => {
+                    return Err(Error::InvalidInput(format!(
+                        "load-gen: unexpected reply {other:?}"
+                    )))
+                }
             }
         }
     }
-    Ok((latency, frames, evictions))
+    Ok(states)
 }
 
 /// Runs the load generator. See the module docs.
 ///
 /// # Errors
 ///
-/// Admission rejections, wire errors, and poisoned-lock failures.
+/// Admission rejections, wire/transport errors, and worker panics.
 pub fn run(ppep: &Ppep, config: &LoadGenConfig) -> Result<LoadGenReport> {
+    let clients = config.clients.max(1);
     let mut serve_config = ServeConfig::new(config.socket_cap);
-    serve_config.max_sessions = config.clients.max(1);
+    serve_config.max_sessions = clients;
+    serve_config.shards = config.shards.max(1);
+    // Thousands of tenants must fit under the admission floor: shrink
+    // it to the fair share when the population outgrows the default.
+    let fair = config.socket_cap.as_watts() / f64::from(clients);
+    serve_config.min_grant = Watts::new(fair.clamp(1e-3, 5.0));
     // Trace the service's own hot path so the report can break a
-    // frame's round-trip down by stage (decode / admit / step /
-    // encode). Recording never feeds back into decisions.
+    // frame's round-trip down by stage (decode / admit / route / step
+    // / encode). Recording never feeds back into decisions.
     let tracer = Arc::new(TraceRecorder::new());
-    let mut service = CappingService::new(ppep.clone(), serve_config)
-        .with_recorder(RecorderHandle::new(tracer.clone()));
+    let service = Arc::new(
+        CappingService::new(ppep.clone(), serve_config)
+            .with_recorder(RecorderHandle::new(tracer.clone())),
+    );
     let topology = service.topology().clone();
-    for tenant in 0..u64::from(config.clients) {
-        service.connect(tenant, config.requested_cap)?;
+
+    let server = match config.transport {
+        Some(kind) => Some(ServeListener::bind(kind)?.spawn(Arc::clone(&service))),
+        None => None,
+    };
+    let transport = match config.transport {
+        Some(kind) => kind.as_str().to_string(),
+        None => "local".to_string(),
+    };
+
+    // Admissions run sequentially on this thread: slot order, and
+    // therefore every grant, is deterministic.
+    let mut admit_lane = match &server {
+        Some(handle) => Lane::Socket(FrameConn::connect(handle.addr())?),
+        None => Lane::Local(service.as_ref()),
+    };
+    for tenant in 0..u64::from(clients) {
+        let hello = frame_to_bytes(&SessionFrame::Hello {
+            tenant,
+            requested_cap: config.requested_cap,
+        });
+        let reply = admit_lane.roundtrip(&hello)?;
+        match decode_frame(&reply, &topology)?.0 {
+            SessionFrame::Welcome { .. } => {}
+            SessionFrame::Reject { reason, .. } => return Err(Error::Rejected { reason }),
+            other => {
+                return Err(Error::InvalidInput(format!(
+                    "load-gen: unexpected admission reply {other:?}"
+                )))
+            }
+        }
     }
-    let traces: Vec<Vec<TraceEvent>> = (0..u64::from(config.clients))
-        .map(|tenant| {
+    drop(admit_lane);
+
+    let pool_size = config.trace_pool.max(1).min(clients);
+    let pool: Vec<Vec<TraceEvent>> = (0..u64::from(pool_size))
+        .map(|i| {
             synthesize_trace(
                 config.intervals,
-                config.seed ^ tenant.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                config.seed ^ i.wrapping_mul(0x9E37_79B9_7F4A_7C15),
             )
         })
         .collect();
 
-    let service = Mutex::new(service);
+    let workers = config.workers.max(1).min(clients);
     let started = Instant::now();
-    let outcomes: Vec<Result<(Histogram, u64, u64)>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = traces
-            .iter()
-            .enumerate()
-            .map(|(tenant, events)| {
+    let outcomes: Vec<Result<Vec<ClientOutcome>>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
                 let service = &service;
+                let pool = &pool;
                 let topology = &topology;
-                scope.spawn(move || replay_client(service, topology, tenant as u64, events))
+                let server = &server;
+                scope.spawn(move || {
+                    let mut lane = match server {
+                        Some(handle) => Lane::Socket(FrameConn::connect(handle.addr())?),
+                        None => Lane::Local(service.as_ref()),
+                    };
+                    let tenants: Vec<u64> = (0..u64::from(clients))
+                        .filter(|t| t % u64::from(workers) == u64::from(w))
+                        .collect();
+                    replay_worker(&mut lane, topology, &tenants, pool)
+                })
             })
             .collect();
         handles
             .into_iter()
             .map(|h| {
                 h.join().unwrap_or_else(|_| {
-                    Err(Error::DeviceLost("load-gen: client thread panicked".into()))
+                    Err(Error::DeviceLost("load-gen: worker thread panicked".into()))
                 })
             })
             .collect()
     });
     let wall_seconds = started.elapsed().as_secs_f64();
 
+    // One closing tick pushes the per-shard occupancy/queue-depth
+    // gauges through the recorder (every tenant submitted this tick,
+    // so the sweep charges no misses and grants are untouched).
+    service.tick()?;
+
     let mut latency = Histogram::latency_us();
     let mut frames = 0u64;
     let mut evictions = 0u64;
+    let mut clients_out: Vec<ClientOutcome> = Vec::with_capacity(clients as usize);
     for outcome in outcomes {
-        let (h, f, e) = outcome?;
-        latency.merge(&h);
-        frames += f;
-        evictions += e;
+        for c in outcome? {
+            latency.merge(&c.latency);
+            frames += c.frames;
+            evictions += c.evictions;
+            clients_out.push(c);
+        }
     }
-    let total_granted = service
-        .lock()
-        .map_err(|_| Error::InvalidInput("load-gen: service mutex poisoned".into()))?
-        .arbiter()
-        .total_granted();
+    clients_out.sort_by_key(|c| c.tenant);
+
+    let mut shard_hists: Vec<Histogram> = (0..service.shard_count())
+        .map(|_| Histogram::latency_us())
+        .collect();
+    for c in &clients_out {
+        let shard = service.shard_of(c.tenant);
+        if let Some(h) = shard_hists.get_mut(shard) {
+            h.merge(&c.latency);
+        }
+    }
+
     let snapshot = tracer.snapshot();
     let stage_p95_us = [
         Stage::ServeDecode,
         Stage::ServeAdmit,
+        Stage::ServeRoute,
         Stage::ServeStep,
         Stage::ServeEncode,
     ]
@@ -263,8 +461,12 @@ pub fn run(ppep: &Ppep, config: &LoadGenConfig) -> Result<LoadGenReport> {
         (stage.name().to_string(), h.percentile(0.95))
     })
     .collect();
-    Ok(LoadGenReport {
-        clients: config.clients,
+
+    let report = LoadGenReport {
+        clients,
+        shards: service.shard_count(),
+        workers,
+        transport,
         frames,
         evictions,
         wall_seconds,
@@ -273,9 +475,27 @@ pub fn run(ppep: &Ppep, config: &LoadGenConfig) -> Result<LoadGenReport> {
         p95_us: latency.percentile(0.95),
         p99_us: latency.percentile(0.99),
         max_us: latency.max(),
-        total_granted,
+        total_granted: service.total_granted(),
         stage_p95_us,
-    })
+        tenant_p99_us: clients_out
+            .iter()
+            .map(|c| (c.tenant, c.latency.percentile(0.99)))
+            .collect(),
+        shard_p99_us: shard_hists
+            .iter()
+            .enumerate()
+            .map(|(i, h)| (i, h.percentile(0.99)))
+            .collect(),
+        shard_gauges: service.shard_gauges(),
+        transcripts: clients_out
+            .into_iter()
+            .map(|c| (c.tenant, c.transcript))
+            .collect(),
+    };
+    if let Some(handle) = server {
+        handle.shutdown();
+    }
+    Ok(report)
 }
 
 #[cfg(test)]
@@ -288,6 +508,7 @@ mod tests {
         let mut config = LoadGenConfig::new(42);
         config.clients = 3;
         config.intervals = 8;
+        config.workers = 3;
         let report = run(engine(), &config).expect("load-gen completes");
         assert_eq!(report.frames, 24, "every frame answered");
         assert_eq!(report.evictions, 0);
@@ -295,8 +516,8 @@ mod tests {
         assert!(report.p50_us <= report.p95_us && report.p95_us <= report.p99_us);
         assert!(report.max_us > 0.0);
         assert!(report.total_granted <= config.socket_cap);
-        // Every submit crossed decode → step → encode; the stage
-        // breakdown must show it.
+        // Every submit crossed decode → route → step → encode; the
+        // stage breakdown must show it.
         let stages: Vec<&str> = report
             .stage_p95_us
             .iter()
@@ -304,17 +525,75 @@ mod tests {
             .collect();
         assert_eq!(
             stages,
-            vec!["serve-decode", "serve-admit", "serve-step", "serve-encode"]
+            vec![
+                "serve-decode",
+                "serve-admit",
+                "serve-route",
+                "serve-step",
+                "serve-encode"
+            ]
         );
         for (name, p95) in &report.stage_p95_us {
             if name != "serve-admit" {
                 assert!(*p95 > 0.0, "{name} p95 must be nonzero");
             }
         }
+        // Per-tenant and per-shard end-to-end p99s ride the report.
+        assert_eq!(report.tenant_p99_us.len(), 3);
+        assert!(report.tenant_p99_us.iter().all(|(_, p99)| *p99 > 0.0));
+        assert_eq!(report.shard_p99_us.len(), 1, "single-lock-compat");
+        assert_eq!(report.shard_gauges.len(), 1);
+        assert_eq!(report.shard_gauges[0].live, 3);
+        assert_eq!(report.shard_gauges[0].queue_depth, 0, "all consumed");
         let json = report.to_json();
         assert!(json.contains("\"frames\":24"), "{json}");
         assert!(json.contains("\"stage_p95_us\""), "{json}");
-        assert!(json.contains("\"serve-step\""), "{json}");
+        assert!(json.contains("\"serve-route\""), "{json}");
+        assert!(json.contains("\"tenant_p99_us\""), "{json}");
+        assert!(json.contains("\"shard_p99_us\""), "{json}");
+        assert!(json.contains("\"transcript_digest\""), "{json}");
+    }
+
+    #[test]
+    fn shard_layouts_produce_byte_identical_transcripts() {
+        let mut config = LoadGenConfig::new(7);
+        config.clients = 4;
+        config.intervals = 4;
+        config.workers = 2;
+        let single = run(engine(), &config).expect("single-lock run");
+        config.shards = 3;
+        let sharded = run(engine(), &config).expect("sharded run");
+        assert_eq!(single.frames, sharded.frames);
+        assert_eq!(sharded.shards, 3);
+        assert_eq!(sharded.shard_p99_us.len(), 3);
+        assert_eq!(
+            single.transcripts, sharded.transcripts,
+            "per-tenant replies must not depend on the shard layout"
+        );
+        assert_eq!(single.transcript_digest(), sharded.transcript_digest());
+    }
+
+    #[test]
+    fn socket_transport_replays_the_same_bytes() {
+        let kind = if cfg!(unix) {
+            TransportKind::Unix
+        } else {
+            TransportKind::Tcp
+        };
+        let mut config = LoadGenConfig::new(11);
+        config.clients = 4;
+        config.intervals = 3;
+        config.workers = 2;
+        config.shards = 2;
+        let local = run(engine(), &config).expect("in-process run");
+        config.transport = Some(kind);
+        let socket = run(engine(), &config).expect("socket run");
+        assert_eq!(socket.transport, kind.as_str());
+        assert_eq!(socket.frames, local.frames);
+        assert_eq!(
+            socket.transcripts, local.transcripts,
+            "the wire must carry exactly the in-process bytes"
+        );
     }
 
     #[test]

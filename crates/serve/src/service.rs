@@ -1,10 +1,11 @@
 //! The multi-tenant capping service.
 //!
-//! One [`CappingService`] hosts N concurrent tenants. Each tenant gets
-//! its own bulkhead: a [`ResilientDaemon`] over a [`SessionPlatform`]
-//! with its own [`OneStepCapping`] controller, its own health state,
-//! and its own slice of the shared socket power budget from the
-//! [`BudgetArbiter`]. The failure-containment contract:
+//! One [`CappingService`] hosts N concurrent tenants across
+//! [`ServeConfig::shards`] worker shards. Each tenant gets its own
+//! bulkhead: a `ResilientDaemon` over a [`SessionPlatform`] with its
+//! own [`OneStepCapping`] controller, its own health state, and its
+//! own slice of the shared socket power budget. The
+//! failure-containment contract:
 //!
 //! * **Admission control** — [`CappingService::connect`] rejects a
 //!   session with a typed [`ppep_types::RejectReason`] when the
@@ -12,10 +13,10 @@
 //!   an admitted tenant changes another tenant's grant below the
 //!   arbiter's fair share.
 //! * **Bulkhead isolation** — a panic inside one tenant's daemon is
-//!   caught at the session boundary ([`std::panic::catch_unwind`])
-//!   and evicts only that tenant. A tenant entering Failsafe frees
-//!   its budget back to the arbiter, which redistributes it to the
-//!   survivors; recovery restores its share.
+//!   caught at the session boundary and evicts only that tenant. A
+//!   tenant entering Failsafe frees its budget back to the arbiter at
+//!   the next tick, which redistributes it to the survivors; recovery
+//!   restores its share.
 //! * **Deadline watchdog** — a tenant that fails to submit before
 //!   [`CappingService::tick`] is charged a missed deadline: its
 //!   supervisor absorbs an [`Error::MissedInterval`] (degrading
@@ -26,30 +27,56 @@
 //!   granted budget is within the socket cap; a violation is a
 //!   service bug and surfaces as an error (the chaos gate asserts it
 //!   never fires).
+//!
+//! # Sharded concurrency model
+//!
+//! The service takes `&self` everywhere — callers share it directly
+//! (or behind an `Arc`), no external mutex. Internally:
+//!
+//! * **Frame pipeline, lock-free** — [`CappingService::handle_frame`]
+//!   decodes (CRC validation included) and encodes *outside every
+//!   lock*. Only the routed tenant's home-shard mutex is held while
+//!   its daemon steps; the `ppep-lint` L7 rule proves no guard is
+//!   ever live across the codec or I/O.
+//! * **Shards** — tenants are routed to a home shard
+//!   (`tenant % shards` by default, arbitrary via
+//!   [`CappingService::with_assignment`]) and stay sticky to it. Two
+//!   tenants on different shards never contend.
+//! * **Epoch-stepped arbiter** — the one cross-shard object is the
+//!   [`EpochArbiter`] on the control plane. Admission and Goodbye
+//!   apply immediately (they already serialize on the control lock);
+//!   data-path budget events (failsafe, recovery, eviction) are
+//!   buffered per shard and applied in canonical order at the tick
+//!   barrier, then published as an immutable [`GrantSnapshot`] that
+//!   the data path reads. Grants are therefore a pure function of the
+//!   op history, independent of shard interleaving — proptest-pinned
+//!   in `ppep-dvfs::arbiter`.
+//!
+//! Lock hierarchy (outer to inner): control → router → one shard →
+//! grant snapshot. The snapshot lock is innermost and never held
+//! across any other acquisition.
 
-use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, RwLock};
 use std::time::Instant;
 
 use ppep_core::daemon::{DvfsController, PpepDaemon};
-use ppep_core::resilient::{Action, HealthState, ResilientDaemon, RetryPolicy, SupervisorConfig};
+use ppep_core::resilient::{HealthState, ResilientDaemon, RetryPolicy, SupervisorConfig};
 use ppep_core::Ppep;
-use ppep_dvfs::arbiter::BudgetArbiter;
-use ppep_dvfs::OneStepCapping;
+use ppep_dvfs::{EpochArbiter, GrantSnapshot, OneStepCapping};
 use ppep_obs::{RecorderHandle, ScorerConfig, Stage};
-use ppep_telemetry::session::{
-    decode_frame, encode_frame, DecisionKind, ProjectionSummary, SessionFrame, TenantHealth,
-};
-use ppep_telemetry::snapshot::{encode_snapshot, MetricsSnapshot};
+use ppep_telemetry::session::{decode_frame, encode_frame, SessionFrame};
 use ppep_telemetry::IntervalRecord;
-use ppep_types::time::IntervalIndex;
 use ppep_types::{Error, RejectReason, Result, Topology, Watts};
 
 use crate::platform::SessionPlatform;
+use crate::shard::{ServiceShard, ShardGauge};
 use crate::slo::SloTracker;
 
 /// A tenant's controller: boxed so the service can host heterogeneous
-/// policies, `Send` so the service can sit behind a mutex shared by
-/// load-generator threads.
+/// policies, `Send` so sessions can live on worker shards driven from
+/// any thread.
 pub type TenantController = Box<dyn DvfsController + Send>;
 
 /// Service tunables.
@@ -58,7 +85,7 @@ pub struct ServeConfig {
     /// The shared socket power budget arbitrated across tenants.
     pub socket_cap: Watts,
     /// Per-tenant reservation floor for admission (see
-    /// [`BudgetArbiter`]).
+    /// [`ppep_dvfs::BudgetArbiter`]).
     pub min_grant: Watts,
     /// Maximum concurrent sessions.
     pub max_sessions: u32,
@@ -77,11 +104,16 @@ pub struct ServeConfig {
     /// drifting predictor holds the tenant in Degraded (health only —
     /// decisions are untouched). Requires `scorer` to have any effect.
     pub degrade_on_drift: bool,
+    /// Worker shards the tenant population is partitioned across.
+    /// `1` (the default) is single-lock-compat mode: every tenant on
+    /// one shard, serialized exactly like the pre-sharding service.
+    pub shards: u32,
 }
 
 impl ServeConfig {
     /// Defaults: 16 session slots, a 5 W admission floor, eviction
-    /// after 5 consecutive missed deadlines, no accuracy scoring.
+    /// after 5 consecutive missed deadlines, no accuracy scoring, one
+    /// shard (single-lock-compat).
     pub fn new(socket_cap: Watts) -> Self {
         Self {
             socket_cap,
@@ -91,21 +123,22 @@ impl ServeConfig {
             retry: RetryPolicy::new(),
             scorer: None,
             degrade_on_drift: false,
+            shards: 1,
         }
     }
 }
 
 /// One hosted tenant (live or evicted — evicted sessions are kept for
-/// reporting).
-struct TenantSession {
-    id: u64,
-    slot: u32,
-    daemon: ResilientDaemon<SessionPlatform, TenantController>,
-    slo: SloTracker,
-    submitted_this_tick: bool,
-    consecutive_missed: u32,
-    failsafed_in_arbiter: bool,
-    evicted: Option<Error>,
+/// reporting). Owned by exactly one [`ServiceShard`].
+pub(crate) struct TenantSession {
+    pub(crate) id: u64,
+    pub(crate) slot: u32,
+    pub(crate) daemon: ResilientDaemon<SessionPlatform, TenantController>,
+    pub(crate) slo: SloTracker,
+    pub(crate) submitted_this_tick: bool,
+    pub(crate) consecutive_missed: u32,
+    pub(crate) failsafed_in_arbiter: bool,
+    pub(crate) evicted: Option<Error>,
 }
 
 /// A snapshot of one tenant's health for status reporting.
@@ -115,6 +148,8 @@ pub struct TenantStatus {
     pub tenant: u64,
     /// Its session slot.
     pub slot: u32,
+    /// The home shard the session is pinned to.
+    pub shard: usize,
     /// Supervisor state (meaningless once evicted).
     pub health: HealthState,
     /// Why the session was evicted, when it was.
@@ -135,7 +170,8 @@ pub struct TenantStatus {
     pub quarantined: u64,
     /// In-interval retries attempted.
     pub retries: u64,
-    /// The cap currently granted (zero when failsafed or evicted).
+    /// The cap granted at the last published epoch (zero once
+    /// evicted; a failsafe frees its budget at the next tick).
     pub granted: Watts,
     /// Fraction of capped intervals whose measured power respected the
     /// cap (1.0 with nothing capped yet).
@@ -166,6 +202,7 @@ impl TenantStatus {
     /// ```text
     /// tenant            u64    tenant id
     /// slot              u32    session slot, admission order
+    /// shard             usize  home shard (deterministic routing)
     /// health            str    healthy|degraded|failsafe|evicted
     /// evicted           str?   eviction reason, null while live
     /// intervals         u64    intervals supervised
@@ -176,7 +213,7 @@ impl TenantStatus {
     /// transient_errors  u64    faults absorbed without failsafe
     /// quarantined       u64    records rejected by validation
     /// retries           u64    in-interval retries attempted
-    /// granted_w         f64    current cap grant, watts
+    /// granted_w         f64    cap grant at the last epoch, watts
     /// cap_adherence     f64    capped intervals under the cap / capped
     /// cpi_err_pct       f64    mean CPI APE, percent (0 w/o scorer)
     /// power_err_pct     f64    mean power APE, percent (0 w/o scorer)
@@ -188,7 +225,8 @@ impl TenantStatus {
     /// the chaos harness compares two runs' JSONL byte-for-byte, which
     /// is why the wall-clock `p99_reply_us` lives only in
     /// [`TenantStatus`] and the `MetricsSnapshot` wire frame, not
-    /// here.
+    /// here. The `shard` column is deterministic: routing is a pure
+    /// function of tenant id and shard count.
     pub fn to_jsonl(&self) -> String {
         let health = match self.evicted {
             Some(_) => "evicted".to_string(),
@@ -199,7 +237,8 @@ impl TenantStatus {
             None => "null".to_string(),
         };
         format!(
-            "{{\"tenant\":{},\"slot\":{},\"health\":\"{health}\",\"evicted\":{evicted},\
+            "{{\"tenant\":{},\"slot\":{},\"shard\":{},\"health\":\"{health}\",\
+             \"evicted\":{evicted},\
              \"intervals\":{},\"availability\":{:.6},\"fresh\":{},\"held\":{},\
              \"failsafe_intervals\":{},\"transient_errors\":{},\"quarantined\":{},\
              \"retries\":{},\"granted_w\":{:.6},\"cap_adherence\":{:.6},\
@@ -207,6 +246,7 @@ impl TenantStatus {
              \"drift_trips\":{}}}",
             self.tenant,
             self.slot,
+            self.shard,
             self.intervals,
             self.availability,
             self.fresh_decisions,
@@ -225,42 +265,69 @@ impl TenantStatus {
     }
 }
 
-/// The outcome of one service tick (deadline sweep + invariant check).
+/// The outcome of one service tick (deadline sweep + epoch advance +
+/// invariant check).
 #[derive(Debug, Clone)]
 pub struct TickReport {
     /// The service interval just completed.
     pub interval: u64,
-    /// Aggregate granted budget after the sweep.
+    /// Aggregate granted budget after the epoch advanced.
     pub total_granted: Watts,
     /// Frames the service generated for non-submitting tenants
-    /// (held/failsafe replies and evictions) — in a networked
-    /// deployment these would be pushed to the clients.
+    /// (held/failsafe replies and evictions), in shard order — in a
+    /// networked deployment these would be pushed to the clients.
     pub frames: Vec<SessionFrame>,
+}
+
+/// The control plane: everything admission/Goodbye must serialize on.
+struct ControlPlane {
+    arbiter: EpochArbiter,
+    next_slot: u32,
 }
 
 /// The multi-tenant capping service. See the module docs.
 pub struct CappingService {
     ppep: Ppep,
     config: ServeConfig,
-    arbiter: BudgetArbiter,
-    sessions: Vec<TenantSession>,
+    topology: Topology,
     recorder: RecorderHandle,
-    next_slot: u32,
-    interval: u64,
+    /// Outermost lock: admission, Goodbye, and the tick's epoch
+    /// advance serialize here.
+    control: Mutex<ControlPlane>,
+    /// tenant → home shard. Sticky across eviction (reporting needs
+    /// the route); dropped on Goodbye.
+    router: RwLock<HashMap<u64, usize>>,
+    /// The worker shards; a tenant's session lives on exactly one.
+    shards: Vec<Mutex<ServiceShard>>,
+    /// The published grant snapshot — innermost lock, read by the
+    /// data path, replaced by the control plane.
+    grants: RwLock<GrantSnapshot>,
+    interval: AtomicU64,
 }
 
 impl CappingService {
     /// Builds a service over a trained engine.
     pub fn new(ppep: Ppep, config: ServeConfig) -> Self {
-        let arbiter = BudgetArbiter::new(config.socket_cap, config.min_grant);
+        let arbiter = EpochArbiter::new(config.socket_cap, config.min_grant);
+        let snapshot = arbiter.snapshot().clone();
+        let topology = ppep.models().topology().clone();
+        let shard_count = config.shards.max(1) as usize;
+        let shards = (0..shard_count)
+            .map(|i| Mutex::new(ServiceShard::new(i, RecorderHandle::noop())))
+            .collect();
         Self {
             ppep,
             config,
-            arbiter,
-            sessions: Vec::new(),
+            topology,
             recorder: RecorderHandle::noop(),
-            next_slot: 0,
-            interval: 0,
+            control: Mutex::new(ControlPlane {
+                arbiter,
+                next_slot: 0,
+            }),
+            router: RwLock::new(HashMap::new()),
+            shards,
+            grants: RwLock::new(snapshot),
+            interval: AtomicU64::new(0),
         }
     }
 
@@ -268,29 +335,119 @@ impl CappingService {
     /// `tenant.<id>.`-labeled view of it.
     #[must_use]
     pub fn with_recorder(mut self, recorder: RecorderHandle) -> Self {
-        self.recorder = recorder;
+        self.recorder = recorder.clone();
+        for shard in &mut self.shards {
+            if let Ok(s) = shard.get_mut() {
+                s.set_recorder(recorder.clone());
+            }
+        }
+        self
+    }
+
+    /// Pins tenants to explicit home shards (out-of-range indices
+    /// wrap). The equivalence proptest uses this to explore arbitrary
+    /// tenant→shard assignments; production routing is the default
+    /// `tenant % shards`.
+    #[must_use]
+    pub fn with_assignment(self, assignments: &[(u64, usize)]) -> Self {
+        let shards = self.shards.len().max(1);
+        if let Ok(mut router) = self.router.write() {
+            for (tenant, shard) in assignments {
+                router.insert(*tenant, *shard % shards);
+            }
+        }
         self
     }
 
     /// The chip model every session speaks (frame decoding resolves
     /// VF states and counter layout against it).
     pub fn topology(&self) -> &Topology {
-        self.ppep.models().topology()
-    }
-
-    /// The budget arbiter (read access for invariant checks).
-    pub fn arbiter(&self) -> &BudgetArbiter {
-        &self.arbiter
+        &self.topology
     }
 
     /// The service tick counter.
     pub fn interval(&self) -> u64 {
-        self.interval
+        self.interval.load(Ordering::Relaxed)
     }
 
-    /// Live (admitted, not evicted) session count.
+    /// The configured socket budget.
+    pub fn socket_cap(&self) -> Watts {
+        self.config.socket_cap
+    }
+
+    /// Worker shards the service runs.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The home shard `tenant` is (or would be) routed to.
+    pub fn shard_of(&self, tenant: u64) -> usize {
+        let fallback = (tenant as usize) % self.shards.len().max(1);
+        self.router
+            .read()
+            .ok()
+            .and_then(|r| r.get(&tenant).copied())
+            .unwrap_or(fallback)
+    }
+
+    /// The cap granted to `tenant` at the last published epoch, or
+    /// `None` when it is not registered.
+    pub fn granted(&self, tenant: u64) -> Option<Watts> {
+        self.grants.read().ok().and_then(|g| g.granted(tenant))
+    }
+
+    /// The aggregate granted budget at the last published epoch.
+    pub fn total_granted(&self) -> Watts {
+        self.grants
+            .read()
+            .map(|g| g.total_granted())
+            .unwrap_or(Watts::ZERO)
+    }
+
+    /// The arbiter epoch of the last published snapshot.
+    pub fn epoch(&self) -> u64 {
+        self.grants.read().map(|g| g.epoch()).unwrap_or(0)
+    }
+
+    /// Live (admitted, not evicted) session count across all shards.
     pub fn live_sessions(&self) -> usize {
-        self.sessions.iter().filter(|s| s.evicted.is_none()).count()
+        self.shards
+            .iter()
+            .map(|s| s.lock().map(|s| s.live_count()).unwrap_or(0))
+            .sum()
+    }
+
+    /// Per-shard occupancy and queue-depth gauges (also exported as
+    /// recorder gauges at every tick).
+    pub fn shard_gauges(&self) -> Vec<ShardGauge> {
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                s.lock().map(|s| s.gauge()).unwrap_or(ShardGauge {
+                    shard: i,
+                    live: 0,
+                    evicted: 0,
+                    queue_depth: 0,
+                })
+            })
+            .collect()
+    }
+
+    /// Per-shard p99 of the service-side reply round-trip (decode →
+    /// step → encode), µs, merged across the shard's sessions through
+    /// the obs histograms. Index = shard.
+    pub fn shard_reply_p99s(&self) -> Vec<f64> {
+        self.shards
+            .iter()
+            .map(|s| {
+                let mut h = ppep_obs::metrics::Histogram::latency_us();
+                if let Ok(shard) = s.lock() {
+                    shard.merge_reply_latency(&mut h);
+                }
+                h.percentile(0.99)
+            })
+            .collect()
     }
 
     /// Admits `tenant` with its default one-step capping controller,
@@ -300,7 +457,7 @@ impl CappingService {
     ///
     /// [`Error::Rejected`] when admission control turns the session
     /// away (slots or budget exhausted, duplicate tenant).
-    pub fn connect(&mut self, tenant: u64, requested_cap: Watts) -> Result<(u32, Watts)> {
+    pub fn connect(&self, tenant: u64, requested_cap: Watts) -> Result<(u32, Watts)> {
         let controller: TenantController =
             Box::new(OneStepCapping::new(self.ppep.clone(), requested_cap));
         self.connect_with_controller(tenant, requested_cap, controller)
@@ -313,16 +470,14 @@ impl CappingService {
     ///
     /// [`Error::Rejected`] as for [`CappingService::connect`].
     pub fn connect_with_controller(
-        &mut self,
+        &self,
         tenant: u64,
         requested_cap: Watts,
         controller: TenantController,
     ) -> Result<(u32, Watts)> {
-        if self
-            .sessions
-            .iter()
-            .any(|s| s.evicted.is_none() && s.id == tenant)
-        {
+        let mut control = self.lock_control()?;
+        let shard_idx = self.assign_route(tenant)?;
+        if self.lock_shard(shard_idx)?.has_live(tenant) {
             return Err(Error::Rejected {
                 reason: RejectReason::DuplicateTenant { tenant },
             });
@@ -336,15 +491,15 @@ impl CappingService {
                 },
             });
         }
-        let granted = self.arbiter.join(tenant, requested_cap)?;
-        let slot = self.next_slot;
-        self.next_slot += 1;
+        let granted = control.arbiter.join(tenant, requested_cap)?;
+        let slot = control.next_slot;
+        control.next_slot += 1;
 
         let table = self.ppep.models().vf_table().clone();
         let mut supervisor = SupervisorConfig::new(table.lowest());
         supervisor.retry = self.config.retry;
         supervisor.degrade_on_drift = self.config.degrade_on_drift;
-        let platform = SessionPlatform::new(self.topology().clone());
+        let platform = SessionPlatform::new(self.topology.clone());
         let label = format!("tenant.{tenant}.");
         let mut daemon = PpepDaemon::new(self.ppep.clone(), platform, controller)
             .with_recorder(self.recorder.labeled(&label));
@@ -356,7 +511,7 @@ impl CappingService {
             .inner_mut()
             .controller_mut()
             .set_enforced_cap(granted);
-        self.sessions.push(TenantSession {
+        self.lock_shard(shard_idx)?.insert(TenantSession {
             id: tenant,
             slot,
             daemon,
@@ -366,30 +521,44 @@ impl CappingService {
             failsafed_in_arbiter: false,
             evicted: None,
         });
-        // Admission re-balanced everyone's share; push the new grants
-        // into the live controllers.
-        self.sync_caps();
+        // Admission re-balanced everyone's share; publish the new
+        // snapshot and push the grants into the live controllers.
+        let snapshot = control.arbiter.snapshot().clone();
+        self.publish(&snapshot)?;
+        drop(control);
+        self.sync_caps(&snapshot)?;
         self.recorder.incr("serve.sessions_admitted");
         Ok((slot, granted))
     }
 
-    /// Closes a tenant's session, freeing its slot and budget.
+    /// Closes a tenant's session, freeing its slot and budget
+    /// immediately (Goodbye is a control-plane op).
     ///
     /// # Errors
     ///
     /// [`Error::InvalidInput`] when the tenant has no live session.
-    pub fn disconnect(&mut self, tenant: u64) -> Result<()> {
-        let idx = self.live_index(tenant)?;
-        self.arbiter.leave(tenant)?;
-        self.sessions
-            .retain(|s| !(s.evicted.is_none() && s.id == tenant));
-        let _ = idx;
-        self.sync_caps();
+    pub fn disconnect(&self, tenant: u64) -> Result<()> {
+        let mut control = self.lock_control()?;
+        let shard_idx = self.route(tenant)?;
+        if !self.lock_shard(shard_idx)?.remove_live(tenant) {
+            return Err(Error::InvalidInput(format!(
+                "tenant {tenant} has no live session"
+            )));
+        }
+        control.arbiter.leave_now(tenant)?;
+        let snapshot = control.arbiter.snapshot().clone();
+        self.publish(&snapshot)?;
+        drop(control);
+        if let Ok(mut router) = self.router.write() {
+            router.remove(&tenant);
+        }
+        self.sync_caps(&snapshot)?;
         Ok(())
     }
 
     /// Handles one client-submitted measurement for `tenant`,
-    /// returning the per-interval reply (or eviction notice).
+    /// returning the per-interval reply (or eviction notice). Routes
+    /// to the tenant's home shard; only that shard's lock is held.
     ///
     /// # Errors
     ///
@@ -397,14 +566,12 @@ impl CappingService {
     /// Tenant-level failures (panics, fatal faults) never propagate —
     /// they evict the tenant and are reported in the returned
     /// [`SessionFrame::Evicted`].
-    pub fn submit(&mut self, tenant: u64, record: IntervalRecord) -> Result<SessionFrame> {
-        let idx = self.live_index(tenant)?;
-        if let Some(s) = self.sessions.get_mut(idx) {
-            s.daemon.inner_mut().platform_mut().push_record(record);
-            s.submitted_this_tick = true;
-            s.consecutive_missed = 0;
-        }
-        Ok(self.step_session(idx))
+    pub fn submit(&self, tenant: u64, record: IntervalRecord) -> Result<SessionFrame> {
+        let interval = self.interval.load(Ordering::Relaxed);
+        let caps = |t: u64| self.grant_of(t);
+        let shard_idx = self.route(tenant)?;
+        let mut shard = self.lock_shard(shard_idx)?;
+        shard.submit(tenant, record, interval, &caps)
     }
 
     /// Handles a client-reported measurement fault for `tenant`: the
@@ -414,67 +581,66 @@ impl CappingService {
     /// # Errors
     ///
     /// [`Error::InvalidInput`] when the tenant has no live session.
-    pub fn report_fault(&mut self, tenant: u64, error: Error) -> Result<SessionFrame> {
-        let idx = self.live_index(tenant)?;
-        if let Some(s) = self.sessions.get_mut(idx) {
-            s.daemon.inner_mut().platform_mut().push_fault(error);
-            s.submitted_this_tick = true;
-            s.consecutive_missed = 0;
-        }
-        Ok(self.step_session(idx))
+    pub fn report_fault(&self, tenant: u64, error: Error) -> Result<SessionFrame> {
+        let interval = self.interval.load(Ordering::Relaxed);
+        let caps = |t: u64| self.grant_of(t);
+        let shard_idx = self.route(tenant)?;
+        let mut shard = self.lock_shard(shard_idx)?;
+        shard.report_fault(tenant, error, interval, &caps)
     }
 
-    /// Ends a service interval: every live tenant that did not submit
-    /// is charged a missed deadline (absorbed by its supervisor, or
-    /// evicted past the limit), submission flags reset, and the
+    /// Ends a service interval: every shard sweeps its deadline
+    /// watchdogs, deferred budget ops drain into the arbiter, the
+    /// epoch advances, the new grant snapshot is published, and the
     /// budget invariant is checked.
     ///
     /// # Errors
     ///
     /// An aggregate grant above the socket cap — a service bug, never
     /// expected — surfaces as [`Error::InvalidInput`].
-    pub fn tick(&mut self) -> Result<TickReport> {
-        self.interval += 1;
+    pub fn tick(&self) -> Result<TickReport> {
+        let interval = self.interval.fetch_add(1, Ordering::Relaxed) + 1;
+        let caps = |t: u64| self.grant_of(t);
         let mut frames = Vec::new();
-        for idx in 0..self.sessions.len() {
-            let (missed, submitted) = match self.sessions.get(idx) {
-                Some(s) if s.evicted.is_none() => (s.consecutive_missed, s.submitted_this_tick),
-                _ => continue,
-            };
-            if submitted {
-                if let Some(s) = self.sessions.get_mut(idx) {
-                    s.submitted_this_tick = false;
-                }
-                continue;
-            }
-            let missed = missed + 1;
-            if let Some(s) = self.sessions.get_mut(idx) {
-                s.consecutive_missed = missed;
-            }
-            if missed >= self.config.deadline_miss_limit {
-                let error = Error::DeadlineExceeded {
-                    missed,
-                    limit: self.config.deadline_miss_limit,
-                };
-                frames.push(self.evict(idx, error));
-                continue;
-            }
-            // The empty session queue turns this step into an
-            // Error::MissedInterval inside the tenant's supervisor:
-            // degraded handling, not a crash.
-            frames.push(self.step_session(idx));
+        let mut deferred = Vec::new();
+        let mut gauges = Vec::with_capacity(self.shards.len());
+        for shard in &self.shards {
+            let mut s = shard
+                .lock()
+                .map_err(|_| Error::InvalidInput("serve: shard lock poisoned".into()))?;
+            frames.extend(s.sweep(interval, self.config.deadline_miss_limit, &caps));
+            deferred.extend(s.drain_deferred());
+            gauges.push(s.gauge());
         }
-        let total = self.arbiter.total_granted();
-        let cap = self.arbiter.socket_cap();
+        for g in gauges {
+            self.recorder
+                .set_gauge(&format!("serve.shard.{}.occupancy", g.shard), g.live as f64);
+            self.recorder.set_gauge(
+                &format!("serve.shard.{}.queue_depth", g.shard),
+                g.queue_depth as f64,
+            );
+        }
+        let snapshot = {
+            let mut control = self.lock_control()?;
+            for (tenant, op) in deferred {
+                control.arbiter.defer(tenant, op);
+            }
+            let snapshot = control.arbiter.advance().clone();
+            self.publish(&snapshot)?;
+            snapshot
+        };
+        let total = snapshot.total_granted();
+        let cap = self.config.socket_cap;
         if total.as_watts() > cap.as_watts() * (1.0 + 1e-9) + 1e-9 {
             return Err(Error::InvalidInput(format!(
                 "budget invariant violated: granted {total} exceeds socket cap {cap}"
             )));
         }
+        self.sync_caps(&snapshot)?;
         self.recorder
             .set_gauge("serve.total_granted_w", total.as_watts());
         Ok(TickReport {
-            interval: self.interval,
+            interval,
             total_granted: total,
             frames,
         })
@@ -485,17 +651,21 @@ impl CappingService {
     /// rejections come back as [`SessionFrame::Reject`] rather than
     /// errors; tenant-level failures as [`SessionFrame::Evicted`].
     ///
+    /// Decode (CRC validation included) and encode run outside every
+    /// lock; only the routed tenant's shard lock is held, and only
+    /// while its daemon steps.
+    ///
     /// # Errors
     ///
     /// Malformed bytes ([`decode_frame`]) and frames a client may not
     /// send (server-to-client kinds) surface as errors.
-    pub fn handle_frame(&mut self, src: &[u8]) -> Result<(Vec<u8>, usize)> {
+    pub fn handle_frame(&self, src: &[u8]) -> Result<(Vec<u8>, usize)> {
         let rec = self.recorder.clone();
-        let interval = self.interval;
+        let interval = self.interval.load(Ordering::Relaxed);
         let started = Instant::now();
         let (frame, consumed) = {
             let _g = rec.span(Stage::ServeDecode, interval);
-            decode_frame(src, self.topology())?
+            decode_frame(src, &self.topology)?
         };
         // The tenant whose round-trip this frame is (submit/fault
         // replies — the frames on a client's per-interval hot path).
@@ -518,13 +688,31 @@ impl CappingService {
             }
             SessionFrame::Submit { tenant, record } => {
                 replied_tenant = Some(tenant);
-                let _g = rec.span(Stage::ServeStep, interval);
-                Some(self.submit(tenant, *record)?)
+                let caps = |t: u64| self.grant_of(t);
+                let reply = {
+                    let mut shard = {
+                        let _g = rec.span(Stage::ServeRoute, interval);
+                        let idx = self.route(tenant)?;
+                        self.lock_shard(idx)?
+                    };
+                    let _g = rec.span(Stage::ServeStep, interval);
+                    shard.submit(tenant, *record, interval, &caps)?
+                };
+                Some(reply)
             }
             SessionFrame::FaultReport { tenant, error, .. } => {
                 replied_tenant = Some(tenant);
-                let _g = rec.span(Stage::ServeStep, interval);
-                Some(self.report_fault(tenant, error)?)
+                let caps = |t: u64| self.grant_of(t);
+                let reply = {
+                    let mut shard = {
+                        let _g = rec.span(Stage::ServeRoute, interval);
+                        let idx = self.route(tenant)?;
+                        self.lock_shard(idx)?
+                    };
+                    let _g = rec.span(Stage::ServeStep, interval);
+                    shard.report_fault(tenant, error, interval, &caps)?
+                };
+                Some(reply)
             }
             SessionFrame::Goodbye { tenant } => {
                 let _g = rec.span(Stage::ServeAdmit, interval);
@@ -547,66 +735,41 @@ impl CappingService {
         }
         if let Some(tenant) = replied_tenant {
             let us = started.elapsed().as_secs_f64() * 1e6;
-            // Newest session with the id: a tenant may reconnect after
-            // eviction and latency belongs to the current incarnation.
-            if let Some(s) = self.sessions.iter_mut().rev().find(|s| s.id == tenant) {
-                s.slo.observe_reply_us(us);
-            }
+            self.observe_reply(tenant, us);
             rec.observe("serve.reply_us", us);
         }
         Ok((out, consumed))
     }
 
     /// Per-tenant status snapshots (live and evicted), in admission
-    /// order.
+    /// (slot) order across all shards.
     pub fn status(&self) -> Vec<TenantStatus> {
-        self.sessions
-            .iter()
-            .map(|s| {
-                let r = s.daemon.report();
-                let scorer = s.daemon.inner().scorer();
-                let drift_trips = scorer.map_or(0, |sc| {
-                    sc.cores().iter().map(|t| t.drift().trips()).sum::<u64>()
-                        + sc.power().drift().trips()
-                });
-                TenantStatus {
-                    tenant: s.id,
-                    slot: s.slot,
-                    health: s.daemon.health_state(),
-                    evicted: s.evicted.clone(),
-                    intervals: r.intervals,
-                    availability: r.decision_availability(),
-                    fresh_decisions: r.fresh_decisions,
-                    held_decisions: r.held_decisions,
-                    failsafe_intervals: r.failsafe_intervals,
-                    transient_errors: r.transient_errors,
-                    quarantined: r.quarantined,
-                    retries: r.retries,
-                    granted: self.arbiter.granted(s.id).unwrap_or(Watts::ZERO),
-                    cap_adherence: s.slo.cap_adherence(),
-                    replies: s.slo.replies(),
-                    p99_reply_us: s.slo.p99_reply_us(),
-                    cpi_err_pct: scorer.map_or(0.0, |sc| sc.mean_cpi_pct()),
-                    power_err_pct: scorer.map_or(0.0, |sc| sc.power().mean_pct()),
-                    drifted: scorer.is_some_and(|sc| sc.drifted()),
-                    drift_trips,
-                }
-            })
-            .collect()
+        let caps = |t: u64| self.grant_of(t);
+        let mut all = Vec::new();
+        for shard in &self.shards {
+            if let Ok(s) = shard.lock() {
+                all.extend(s.statuses(&caps));
+            }
+        }
+        all.sort_by_key(|t| t.slot);
+        all
     }
 
     /// Encodes one v2 `MetricsSnapshot` frame (kind 24) per session
     /// that carries a prediction scorer — live and evicted, admission
-    /// order — each joined with the tenant's SLO summary. Empty when
-    /// [`ServeConfig::scorer`] is off.
+    /// order across all shards — each joined with the tenant's SLO
+    /// summary. Empty when [`ServeConfig::scorer`] is off.
     pub fn metrics_snapshots(&self) -> Vec<u8> {
-        let mut out = Vec::new();
-        for s in &self.sessions {
-            if let Some(scorer) = s.daemon.inner().scorer() {
-                let slo = s.slo.summary(s.daemon.report().decision_availability());
-                let snap = MetricsSnapshot::from_scorer(s.id, scorer, Some(slo));
-                encode_snapshot(&snap, &mut out);
+        let mut frames = Vec::new();
+        for shard in &self.shards {
+            if let Ok(s) = shard.lock() {
+                frames.extend(s.snapshots());
             }
+        }
+        frames.sort_by_key(|(slot, _)| *slot);
+        let mut out = Vec::new();
+        for (_, bytes) in frames {
+            out.extend_from_slice(&bytes);
         }
         out
     }
@@ -622,148 +785,94 @@ impl CappingService {
         out
     }
 
-    fn live_index(&self, tenant: u64) -> Result<usize> {
-        self.sessions
-            .iter()
-            .position(|s| s.evicted.is_none() && s.id == tenant)
+    /// The published grant for `tenant`, zero when unregistered — the
+    /// cap-lookup shards use on the data path.
+    fn grant_of(&self, tenant: u64) -> Watts {
+        self.grants
+            .read()
+            .ok()
+            .and_then(|g| g.granted(tenant))
+            .unwrap_or(Watts::ZERO)
+    }
+
+    fn publish(&self, snapshot: &GrantSnapshot) -> Result<()> {
+        let mut g = self
+            .grants
+            .write()
+            .map_err(|_| Error::InvalidInput("serve: grant snapshot lock poisoned".into()))?;
+        *g = snapshot.clone();
+        Ok(())
+    }
+
+    /// Pushes the published grants into every live, non-failsafed
+    /// tenant's controller, shard by shard. No other lock is held
+    /// while a shard syncs.
+    fn sync_caps(&self, snapshot: &GrantSnapshot) -> Result<()> {
+        for shard in &self.shards {
+            shard
+                .lock()
+                .map_err(|_| Error::InvalidInput("serve: shard lock poisoned".into()))?
+                .sync_caps(snapshot);
+        }
+        Ok(())
+    }
+
+    fn observe_reply(&self, tenant: u64, us: f64) {
+        let Ok(idx) = self.route(tenant) else {
+            return;
+        };
+        if let Some(shard) = self.shards.get(idx) {
+            if let Ok(mut s) = shard.lock() {
+                s.observe_reply(tenant, us);
+            }
+        }
+    }
+
+    fn lock_control(&self) -> Result<MutexGuard<'_, ControlPlane>> {
+        self.control
+            .lock()
+            .map_err(|_| Error::InvalidInput("serve: control lock poisoned".into()))
+    }
+
+    fn lock_shard(&self, idx: usize) -> Result<MutexGuard<'_, ServiceShard>> {
+        self.shards
+            .get(idx)
+            .ok_or_else(|| Error::InvalidInput(format!("serve: shard {idx} out of range")))?
+            .lock()
+            .map_err(|_| Error::InvalidInput("serve: shard lock poisoned".into()))
+    }
+
+    /// The home shard for an existing route.
+    fn route(&self, tenant: u64) -> Result<usize> {
+        self.router
+            .read()
+            .map_err(|_| Error::InvalidInput("serve: router lock poisoned".into()))?
+            .get(&tenant)
+            .copied()
             .ok_or_else(|| Error::InvalidInput(format!("tenant {tenant} has no live session")))
     }
 
-    /// Pushes the arbiter's current grants into every live, non-
-    /// failsafed tenant's controller.
-    fn sync_caps(&mut self) {
-        for s in &mut self.sessions {
-            if s.evicted.is_some() || s.failsafed_in_arbiter {
-                continue;
-            }
-            if let Some(granted) = self.arbiter.granted(s.id) {
-                s.daemon
-                    .inner_mut()
-                    .controller_mut()
-                    .set_enforced_cap(granted);
-            }
-        }
-    }
-
-    /// Runs one supervised step for a tenant inside the bulkhead:
-    /// panics and fatal faults evict only this tenant.
-    fn step_session(&mut self, idx: usize) -> SessionFrame {
-        let (tenant, outcome) = match self.sessions.get_mut(idx) {
-            Some(s) => {
-                let outcome = catch_unwind(AssertUnwindSafe(|| s.daemon.step()));
-                (s.id, outcome)
-            }
-            None => {
-                return SessionFrame::Evicted {
-                    tenant: u64::MAX,
-                    index: IntervalIndex(self.interval),
-                    error: Error::InvalidInput("session vanished mid-step".into()),
-                }
-            }
-        };
-        match outcome {
-            Err(_panic) => {
-                self.recorder.incr("serve.panics_contained");
-                let error = Error::DeviceLost(format!(
-                    "tenant {tenant} panicked inside its daemon; session evicted"
-                ));
-                self.evict(idx, error)
-            }
-            Ok(Err(fatal)) => self.evict(idx, fatal),
-            Ok(Ok(step)) => {
-                self.sync_tenant_health(idx);
-                let cap = self.arbiter.granted(tenant).unwrap_or(Watts::ZERO);
-                if let (Some(record), Some(s)) = (step.record.as_ref(), self.sessions.get_mut(idx))
-                {
-                    s.slo.observe_cap(record.measured_power, cap);
-                }
-                let projection = step.projection.as_ref().map(|p| {
-                    let mut floor = f64::INFINITY;
-                    let mut ceiling = f64::NEG_INFINITY;
-                    for c in &p.chip {
-                        floor = floor.min(c.power.as_watts());
-                        ceiling = ceiling.max(c.power.as_watts());
-                    }
-                    ProjectionSummary {
-                        power_floor: Watts::new(floor.min(ceiling)),
-                        power_ceiling: Watts::new(ceiling.max(floor)),
-                        temperature: p.temperature,
-                    }
-                });
-                SessionFrame::Reply {
-                    tenant,
-                    interval: step.interval,
-                    action: match step.action {
-                        Action::Fresh => DecisionKind::Fresh,
-                        Action::Held => DecisionKind::Held,
-                        Action::Failsafe => DecisionKind::Failsafe,
-                    },
-                    health: match step.state {
-                        HealthState::Healthy => TenantHealth::Healthy,
-                        HealthState::Degraded => TenantHealth::Degraded,
-                        HealthState::Failsafe => TenantHealth::Failsafe,
-                    },
-                    cap,
-                    decision: step.decision,
-                    projection,
-                }
-            }
-        }
-    }
-
-    /// Mirrors a tenant's supervisor state into the arbiter: entering
-    /// Failsafe frees its budget to the survivors, leaving Failsafe
-    /// reclaims its share.
-    fn sync_tenant_health(&mut self, idx: usize) {
-        let Some(s) = self.sessions.get(idx) else {
-            return;
-        };
-        let tenant = s.id;
-        let in_failsafe = s.daemon.health_state() == HealthState::Failsafe;
-        let marked = s.failsafed_in_arbiter;
-        if in_failsafe && !marked && self.arbiter.failsafe(tenant).is_ok() {
-            if let Some(s) = self.sessions.get_mut(idx) {
-                s.failsafed_in_arbiter = true;
-            }
-            self.recorder.incr("serve.budget_freed");
-            self.sync_caps();
-        } else if !in_failsafe && marked && self.arbiter.restore(tenant).is_ok() {
-            if let Some(s) = self.sessions.get_mut(idx) {
-                s.failsafed_in_arbiter = false;
-            }
-            self.recorder.incr("serve.budget_restored");
-            self.sync_caps();
-        }
-    }
-
-    /// Terminates a session: frees its budget and slot, keeps the
-    /// record for reporting, and returns the eviction notice.
-    fn evict(&mut self, idx: usize, error: Error) -> SessionFrame {
-        let tenant = match self.sessions.get_mut(idx) {
-            Some(s) => {
-                s.evicted = Some(error.clone());
-                s.id
-            }
-            None => u64::MAX,
-        };
-        let _ = self.arbiter.leave(tenant);
-        self.sync_caps();
-        self.recorder.incr("serve.sessions_evicted");
-        self.recorder.event("serve.evicted", self.interval);
-        SessionFrame::Evicted {
-            tenant,
-            index: IntervalIndex(self.interval),
-            error,
-        }
+    /// Resolves (or creates) the tenant's sticky home-shard route.
+    fn assign_route(&self, tenant: u64) -> Result<usize> {
+        let shards = self.shards.len().max(1);
+        let mut router = self
+            .router
+            .write()
+            .map_err(|_| Error::InvalidInput("serve: router lock poisoned".into()))?;
+        let idx = *router
+            .entry(tenant)
+            .or_insert_with(|| (tenant as usize) % shards);
+        Ok(idx % shards)
     }
 }
 
 impl std::fmt::Debug for CappingService {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("CappingService")
+            .field("shards", &self.shards.len())
             .field("live_sessions", &self.live_sessions())
-            .field("interval", &self.interval)
-            .field("total_granted", &self.arbiter.total_granted())
+            .field("interval", &self.interval.load(Ordering::Relaxed))
+            .field("total_granted", &self.total_granted())
             .finish()
     }
 }
@@ -774,6 +883,7 @@ mod tests {
     use crate::loadgen::synthesize_trace;
     use crate::testutil::engine;
     use ppep_core::ppe::PpeProjection;
+    use ppep_telemetry::session::{DecisionKind, TenantHealth};
     use ppep_telemetry::trace::TraceEvent;
     use ppep_types::VfStateId;
 
@@ -796,7 +906,7 @@ mod tests {
         let mut cfg = ServeConfig::new(Watts::new(100.0));
         cfg.max_sessions = 2;
         cfg.min_grant = Watts::new(20.0);
-        let mut svc = service(cfg);
+        let svc = service(cfg);
 
         let (slot0, g0) = svc.connect(10, Watts::new(60.0)).unwrap();
         assert_eq!(slot0, 0);
@@ -819,7 +929,7 @@ mod tests {
         // A tight socket rejects on budget before slots run out.
         let mut cfg = ServeConfig::new(Watts::new(30.0));
         cfg.min_grant = Watts::new(20.0);
-        let mut svc = service(cfg);
+        let svc = service(cfg);
         svc.connect(1, Watts::new(25.0)).unwrap();
         match svc.connect(2, Watts::new(25.0)) {
             Err(Error::Rejected {
@@ -853,7 +963,7 @@ mod tests {
 
     #[test]
     fn panic_bulkhead_evicts_one_tenant_and_frees_its_budget() {
-        let mut svc = service(ServeConfig::new(Watts::new(100.0)));
+        let svc = service(ServeConfig::new(Watts::new(100.0)));
         let lowest = svc.topology().vf_table().lowest();
         let cores = svc.topology().cu_count();
         let bad: TenantController = Box::new(PanickingController {
@@ -863,7 +973,7 @@ mod tests {
         svc.connect_with_controller(7, Watts::new(60.0), bad)
             .unwrap();
         svc.connect(1, Watts::new(60.0)).unwrap();
-        let granted_before = svc.arbiter().granted(1).unwrap();
+        let granted_before = svc.granted(1).unwrap();
         assert_eq!(granted_before, Watts::new(50.0), "contended 50/50 split");
 
         let rs = records(3, 9);
@@ -883,10 +993,8 @@ mod tests {
             other => panic!("wrong outcome {other:?}"),
         }
 
-        // Blast radius: tenant 7 gone, tenant 1 untouched and richer.
+        // Blast radius: tenant 7 gone, tenant 1 untouched.
         assert_eq!(svc.live_sessions(), 1);
-        assert!(svc.arbiter().granted(7).is_none());
-        assert_eq!(svc.arbiter().granted(1).unwrap(), Watts::new(60.0));
         match svc.submit(1, rs.next().unwrap()).unwrap() {
             SessionFrame::Reply {
                 tenant: 1,
@@ -895,6 +1003,13 @@ mod tests {
             } => {}
             other => panic!("wrong outcome {other:?}"),
         }
+        // The eviction's budget release lands at the epoch boundary:
+        // after the tick, tenant 7's grant is gone and tenant 1 is
+        // richer. (Tenant 1 submitted this tick, so the sweep charges
+        // it no missed deadline.)
+        svc.tick().unwrap();
+        assert!(svc.granted(7).is_none());
+        assert_eq!(svc.granted(1).unwrap(), Watts::new(60.0));
         // The evicted tenant is remembered for reporting.
         let status = svc.status();
         assert_eq!(status.len(), 2);
@@ -906,7 +1021,7 @@ mod tests {
     fn deadline_watchdog_degrades_then_evicts_a_silent_tenant() {
         let mut cfg = ServeConfig::new(Watts::new(100.0));
         cfg.deadline_miss_limit = 3;
-        let mut svc = service(cfg);
+        let svc = service(cfg);
         svc.connect(4, Watts::new(40.0)).unwrap();
 
         // Two silent ticks: the supervisor absorbs missed intervals.
@@ -918,7 +1033,8 @@ mod tests {
                 other => panic!("wrong outcome {other:?}"),
             }
         }
-        // The third consecutive miss crosses the limit: evicted.
+        // The third consecutive miss crosses the limit: evicted, and
+        // the same tick's epoch advance frees the budget.
         let tick = svc.tick().unwrap();
         match tick.frames.first().unwrap() {
             SessionFrame::Evicted {
@@ -933,14 +1049,15 @@ mod tests {
             other => panic!("wrong outcome {other:?}"),
         }
         assert_eq!(svc.live_sessions(), 0);
-        assert_eq!(svc.arbiter().total_granted(), Watts::ZERO);
+        assert_eq!(svc.total_granted(), Watts::ZERO);
+        assert_eq!(tick.total_granted, Watts::ZERO);
     }
 
     #[test]
     fn submitting_resets_the_deadline_counter() {
         let mut cfg = ServeConfig::new(Watts::new(100.0));
         cfg.deadline_miss_limit = 2;
-        let mut svc = service(cfg);
+        let svc = service(cfg);
         svc.connect(4, Watts::new(40.0)).unwrap();
         let rs = records(4, 11);
         for r in rs {
@@ -952,12 +1069,14 @@ mod tests {
 
     #[test]
     fn failsafe_frees_budget_to_survivors_and_recovery_reclaims_it() {
-        let mut svc = service(ServeConfig::new(Watts::new(100.0)));
+        let svc = service(ServeConfig::new(Watts::new(100.0)));
         svc.connect(0, Watts::new(70.0)).unwrap();
         svc.connect(1, Watts::new(70.0)).unwrap();
-        assert_eq!(svc.arbiter().granted(1).unwrap(), Watts::new(50.0));
+        assert_eq!(svc.granted(1).unwrap(), Watts::new(50.0));
 
-        // Three consecutive faults push tenant 0 into Failsafe.
+        // Three consecutive faults push tenant 0 into Failsafe. The
+        // budget release is deferred to the epoch boundary, so the
+        // failsafe replies still report the last published cap.
         let mut saw_failsafe = false;
         for _ in 0..3 {
             let frame = svc
@@ -970,15 +1089,22 @@ mod tests {
             } = frame
             {
                 saw_failsafe = true;
-                assert_eq!(cap, Watts::ZERO, "failsafed tenant holds no budget");
+                assert_eq!(
+                    cap,
+                    Watts::new(50.0),
+                    "pre-epoch replies report the published grant"
+                );
             }
         }
         assert!(saw_failsafe, "three transient faults must pin failsafe");
-        // The freed watts flowed to the survivor.
-        assert_eq!(svc.arbiter().granted(0).unwrap(), Watts::ZERO);
-        assert_eq!(svc.arbiter().granted(1).unwrap(), Watts::new(70.0));
+        // The freed watts flow to the survivor at the tick barrier.
+        // (Tenant 1 stays silent this tick — one absorbed miss.)
+        svc.tick().unwrap();
+        assert_eq!(svc.granted(0).unwrap(), Watts::ZERO);
+        assert_eq!(svc.granted(1).unwrap(), Watts::new(70.0));
 
-        // Good submissions recover the tenant; its share flows back.
+        // Good submissions recover the tenant; its share flows back
+        // at the next epoch boundary.
         let mut recovered = false;
         for r in records(6, 23) {
             if let SessionFrame::Reply {
@@ -991,9 +1117,9 @@ mod tests {
             }
         }
         assert!(recovered, "good records must recover the tenant");
-        assert_eq!(svc.arbiter().granted(0).unwrap(), Watts::new(50.0));
-        assert_eq!(svc.arbiter().granted(1).unwrap(), Watts::new(50.0));
         let tick = svc.tick().unwrap();
+        assert_eq!(svc.granted(0).unwrap(), Watts::new(50.0));
+        assert_eq!(svc.granted(1).unwrap(), Watts::new(50.0));
         assert!(tick.total_granted <= Watts::new(100.0));
     }
 
@@ -1001,7 +1127,7 @@ mod tests {
     fn scorer_wires_accuracy_into_status_jsonl_and_snapshots() {
         let mut cfg = ServeConfig::new(Watts::new(100.0));
         cfg.scorer = Some(ScorerConfig::default());
-        let mut svc = service(cfg);
+        let svc = service(cfg);
         svc.connect(5, Watts::new(60.0)).unwrap();
         for r in records(6, 17) {
             let submit = SessionFrame::Submit {
@@ -1029,6 +1155,7 @@ mod tests {
             "power_err_pct",
             "drifted",
             "drift_trips",
+            "shard",
         ] {
             assert!(jsonl.contains(key), "missing {key} in {jsonl}");
         }
@@ -1048,7 +1175,7 @@ mod tests {
         assert!((0.0..=1.0).contains(&slo.cap_adherence));
 
         // Without a scorer there is nothing to export.
-        let mut plain = service(ServeConfig::new(Watts::new(100.0)));
+        let plain = service(ServeConfig::new(Watts::new(100.0)));
         plain.connect(1, Watts::new(40.0)).unwrap();
         assert!(plain.metrics_snapshots().is_empty());
         assert_eq!(plain.status()[0].cpi_err_pct, 0.0);
@@ -1056,7 +1183,7 @@ mod tests {
 
     #[test]
     fn wire_roundtrip_hello_submit_goodbye() {
-        let mut svc = service(ServeConfig::new(Watts::new(100.0)));
+        let svc = service(ServeConfig::new(Watts::new(100.0)));
         let topology = svc.topology().clone();
 
         let hello = SessionFrame::Hello {
@@ -1119,5 +1246,54 @@ mod tests {
         assert!(svc
             .handle_frame(&ppep_telemetry::session::frame_to_bytes(&reply))
             .is_err());
+    }
+
+    #[test]
+    fn sharded_mode_routes_tenants_and_exports_per_shard_gauges() {
+        let mut cfg = ServeConfig::new(Watts::new(120.0));
+        cfg.shards = 3;
+        let svc = service(cfg);
+        assert_eq!(svc.shard_count(), 3);
+        for tenant in 0..5u64 {
+            svc.connect(tenant, Watts::new(20.0)).unwrap();
+            assert_eq!(svc.shard_of(tenant), (tenant as usize) % 3);
+        }
+        // Drive one interval of traffic on every tenant.
+        let rs = records(1, 31);
+        let record = rs.into_iter().next().unwrap();
+        for tenant in 0..5u64 {
+            match svc.submit(tenant, record.clone()).unwrap() {
+                SessionFrame::Reply { .. } => {}
+                other => panic!("wrong outcome {other:?}"),
+            }
+        }
+        svc.tick().unwrap();
+
+        let gauges = svc.shard_gauges();
+        assert_eq!(gauges.len(), 3);
+        // tenants 0,3 → shard 0; 1,4 → shard 1; 2 → shard 2.
+        assert_eq!(gauges[0].live, 2);
+        assert_eq!(gauges[1].live, 2);
+        assert_eq!(gauges[2].live, 1);
+        assert!(gauges.iter().all(|g| g.queue_depth == 0), "all consumed");
+
+        // Status is in slot order regardless of shard layout, and the
+        // JSONL carries the shard column.
+        let status = svc.status();
+        let slots: Vec<u32> = status.iter().map(|t| t.slot).collect();
+        assert_eq!(slots, vec![0, 1, 2, 3, 4]);
+        assert!(svc.health_jsonl().contains("\"shard\":2"));
+        assert_eq!(svc.shard_reply_p99s().len(), 3);
+
+        // Explicit assignments pin tenants wherever the caller says.
+        let mut cfg = ServeConfig::new(Watts::new(120.0));
+        cfg.shards = 4;
+        let svc = service(cfg).with_assignment(&[(0, 3), (1, 3), (2, 7)]);
+        svc.connect(0, Watts::new(20.0)).unwrap();
+        svc.connect(1, Watts::new(20.0)).unwrap();
+        svc.connect(2, Watts::new(20.0)).unwrap();
+        assert_eq!(svc.shard_of(0), 3);
+        assert_eq!(svc.shard_of(1), 3);
+        assert_eq!(svc.shard_of(2), 3, "out-of-range assignments wrap");
     }
 }

@@ -655,6 +655,72 @@ pub fn decode_stream(src: &[u8], topology: &Topology) -> Result<Vec<SessionFrame
     Ok(frames)
 }
 
+/// Maximum payload length [`read_frame_bytes`] will allocate for one
+/// frame read off a socket. Generous (a `Submit` carries one JSONL
+/// interval line, a few KB) while bounding what a corrupt or hostile
+/// length prefix can make the server allocate.
+pub const MAX_WIRE_PAYLOAD: usize = 1 << 20;
+
+/// Reads exactly one length-delimited v2 session frame from `reader`,
+/// returning the frame's raw bytes (kind + varint length + payload +
+/// CRC), or `None` on a clean end-of-stream (EOF before the kind
+/// byte). The bytes are *not* decoded — feed them to
+/// [`decode_frame`]; keeping the syscall layer byte-oriented is what
+/// lets the serve path run CRC validation outside any lock.
+///
+/// # Errors
+///
+/// [`Error::InvalidInput`] on a truncated frame, an over-long varint,
+/// a length prefix above [`MAX_WIRE_PAYLOAD`], or any I/O error.
+pub fn read_frame_bytes<R: std::io::Read>(reader: &mut R) -> Result<Option<Vec<u8>>> {
+    let mut kind = [0u8; 1];
+    match reader.read_exact(&mut kind) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => {
+            return Err(Error::InvalidInput(format!(
+                "session frame: socket read failed: {e}"
+            )))
+        }
+    }
+    let mut out = vec![kind[0]];
+    let mut len: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let mut b = [0u8; 1];
+        reader.read_exact(&mut b).map_err(|e| {
+            Error::InvalidInput(format!("session frame: truncated length prefix: {e}"))
+        })?;
+        out.push(b[0]);
+        len |= u64::from(b[0] & 0x7F) << shift;
+        if b[0] & 0x80 == 0 {
+            break;
+        }
+        shift += 7;
+        if shift >= 64 {
+            return Err(Error::InvalidInput(
+                "session frame: length varint too long".into(),
+            ));
+        }
+    }
+    let len = usize::try_from(len)
+        .map_err(|_| Error::InvalidInput("session frame: payload length out of range".into()))?;
+    if len > MAX_WIRE_PAYLOAD {
+        return Err(Error::InvalidInput(format!(
+            "session frame: payload length {len} exceeds wire cap {MAX_WIRE_PAYLOAD}"
+        )));
+    }
+    let start = out.len();
+    out.resize(start + len + 4, 0);
+    let body = out
+        .get_mut(start..)
+        .ok_or_else(|| Error::InvalidInput("session frame: body slice out of range".into()))?;
+    reader
+        .read_exact(body)
+        .map_err(|e| Error::InvalidInput(format!("session frame: truncated payload: {e}")))?;
+    Ok(Some(out))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -837,6 +903,66 @@ mod tests {
         }
         // An unknown kind is rejected.
         assert!(decode_frame(&[99, 0, 0, 0, 0, 0], &topo).is_err());
+    }
+
+    #[test]
+    fn read_frame_bytes_splits_a_stream_and_ends_cleanly() {
+        let topo = topology();
+        let frames = vec![
+            SessionFrame::Hello {
+                tenant: 3,
+                requested_cap: Watts::new(40.0),
+            },
+            SessionFrame::Submit {
+                tenant: 3,
+                record: Box::new(sample_record(&topo)),
+            },
+            SessionFrame::Goodbye { tenant: 3 },
+        ];
+        let mut stream = Vec::new();
+        for f in &frames {
+            encode_frame(f, &mut stream);
+        }
+        let mut cursor = std::io::Cursor::new(stream);
+        for f in &frames {
+            let bytes = read_frame_bytes(&mut cursor)
+                .expect("frame reads")
+                .expect("stream not exhausted");
+            assert_eq!(bytes, frame_to_bytes(f), "raw bytes match the encoder");
+            let (decoded, consumed) = decode_frame(&bytes, &topo).expect("frame decodes");
+            assert_eq!(consumed, bytes.len(), "no trailing bytes");
+            assert_eq!(&decoded, f);
+        }
+        assert!(
+            read_frame_bytes(&mut cursor).expect("clean EOF").is_none(),
+            "EOF before a kind byte is a clean end-of-stream"
+        );
+    }
+
+    #[test]
+    fn read_frame_bytes_rejects_truncation_and_hostile_lengths() {
+        let bytes = frame_to_bytes(&SessionFrame::Goodbye { tenant: 9 });
+        // Every strict prefix that contains the kind byte is a
+        // truncated frame, not a clean EOF.
+        for cut in 1..bytes.len() {
+            let mut cursor = std::io::Cursor::new(bytes.get(..cut).unwrap_or_default());
+            assert!(
+                read_frame_bytes(&mut cursor).is_err(),
+                "prefix of {cut} bytes must error"
+            );
+        }
+        // A length prefix past the wire cap must be refused before
+        // any allocation of that size.
+        let mut hostile = vec![FRAME_SUBMIT];
+        put_varint(&mut hostile, (MAX_WIRE_PAYLOAD as u64) + 1);
+        hostile.extend_from_slice(&[0u8; 8]);
+        let mut cursor = std::io::Cursor::new(hostile);
+        assert!(read_frame_bytes(&mut cursor).is_err());
+        // An endless continuation-bit run is an over-long varint.
+        let mut runaway = vec![FRAME_SUBMIT];
+        runaway.extend_from_slice(&[0x80u8; 16]);
+        let mut cursor = std::io::Cursor::new(runaway);
+        assert!(read_frame_bytes(&mut cursor).is_err());
     }
 
     #[test]

@@ -58,16 +58,23 @@ fn client(seed: u64) -> SimPlatform {
     SimPlatform::new(sim)
 }
 
-/// Runs the scripted session, appending every request and response to
-/// the transcript.
-fn record_transcript() -> Vec<u8> {
+fn golden_config() -> ServeConfig {
     let mut config = ServeConfig::new(Watts::new(100.0));
     config.max_sessions = 2;
     config.min_grant = Watts::new(20.0);
-    let mut service = CappingService::new(trained().clone(), config);
+    config
+}
 
+/// Runs the scripted session against the default single-shard service.
+fn record_transcript() -> Vec<u8> {
+    record_transcript_on(CappingService::new(trained().clone(), golden_config()))
+}
+
+/// Runs the scripted session against `service`, appending every
+/// request and response to the transcript.
+fn record_transcript_on(service: CappingService) -> Vec<u8> {
     let mut transcript = Vec::new();
-    let mut exchange = |service: &mut CappingService, frame: &SessionFrame| {
+    let mut exchange = |service: &CappingService, frame: &SessionFrame| {
         let request = frame_to_bytes(frame);
         let (response, consumed) = service
             .handle_frame(&request)
@@ -80,7 +87,7 @@ fn record_transcript() -> Vec<u8> {
     // Admissions: two welcomes, then a pinned typed rejection.
     for (tenant, cap) in [(0u64, 60.0), (1, 50.0), (2, 30.0)] {
         exchange(
-            &mut service,
+            &service,
             &SessionFrame::Hello {
                 tenant,
                 requested_cap: Watts::new(cap),
@@ -109,12 +116,12 @@ fn record_transcript() -> Vec<u8> {
                     record: Box::new(platform.sample().expect("sim sample")),
                 }
             };
-            exchange(&mut service, &frame);
+            exchange(&service, &frame);
         }
         service.tick().expect("tick holds the budget invariant");
     }
 
-    exchange(&mut service, &SessionFrame::Goodbye { tenant: 1 });
+    exchange(&service, &SessionFrame::Goodbye { tenant: 1 });
     transcript
 }
 
@@ -136,6 +143,25 @@ fn golden_session_matches_a_fresh_transcript() {
         "a fresh session transcript no longer matches the pinned fixture; \
          if the behaviour change is intentional, regenerate with \
          `cargo test --test golden_session -- --ignored regenerate`"
+    );
+}
+
+#[test]
+fn golden_session_reproduces_through_one_shard() {
+    // A sharded service with every scripted tenant pinned onto the
+    // same shard must replay the committed single-lock transcript
+    // byte-for-byte: routing and the epoch arbiter may not perturb
+    // the wire behaviour a solo shard observes.
+    let mut config = golden_config();
+    config.shards = 3;
+    let service =
+        CappingService::new(trained().clone(), config).with_assignment(&[(0, 1), (1, 1), (2, 1)]);
+
+    let pinned = std::fs::read(fixture_path()).expect("fixture exists");
+    assert_eq!(
+        record_transcript_on(service),
+        pinned,
+        "the sharded service drifted from the pinned single-lock transcript"
     );
 }
 

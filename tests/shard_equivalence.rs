@@ -1,0 +1,163 @@
+//! Sharding-equivalence properties for the capping service.
+//!
+//! The sharded [`CappingService`] is a pure concurrency refactor: for
+//! any tenant→shard assignment and any frame interleaving that
+//! preserves each tenant's own frame order, every tenant must read
+//! back the *byte-identical* reply transcript it would have received
+//! from the single-lock service. Grants only move at tick/admission
+//! boundaries, so the property quantifies over per-interval
+//! permutations of the submission order — independently chosen for
+//! the baseline and the sharded run — plus arbitrary fault-report
+//! substitutions shared by both runs.
+
+use ppep_core::{Platform, Ppep};
+use ppep_rig::TrainingRig;
+use ppep_serve::{CappingService, ServeConfig};
+use ppep_sim::chip::{ChipSimulator, SimConfig};
+use ppep_sim::SimPlatform;
+use ppep_telemetry::session::{frame_to_bytes, SessionFrame};
+use ppep_types::Watts;
+use ppep_workloads::combos::fig7_workload;
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+const SEED: u64 = 42;
+
+fn trained() -> &'static Ppep {
+    static PPEP: OnceLock<Ppep> = OnceLock::new();
+    PPEP.get_or_init(|| {
+        Ppep::new(
+            TrainingRig::fx8320(SEED)
+                .train_quick()
+                .expect("training succeeds"),
+        )
+    })
+}
+
+fn client(tenant: u64) -> SimPlatform {
+    let seed = SEED ^ tenant.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    let mut sim = ChipSimulator::new(SimConfig::fx8320_pg(seed));
+    sim.load_workload(&fig7_workload(seed));
+    SimPlatform::new(sim)
+}
+
+/// Stable per-interval submission order: tenants sorted by the
+/// generated key, ties broken by tenant id (stable sort).
+fn order_of(keys: &[u64]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..keys.len()).collect();
+    order.sort_by_key(|&t| keys.get(t).copied().unwrap_or(0));
+    order
+}
+
+/// Replays the scripted session and returns one reply transcript per
+/// tenant. `orders` holds one submission-order key vector per
+/// interval; `faults[interval][tenant]` swaps that submission for a
+/// sensor-dropout fault report.
+fn replay(
+    service: &CappingService,
+    tenants: usize,
+    orders: &[Vec<u64>],
+    faults: &[Vec<bool>],
+) -> Vec<Vec<u8>> {
+    let mut transcripts = vec![Vec::new(); tenants];
+    let mut clients: Vec<SimPlatform> = (0..tenants as u64).map(client).collect();
+
+    // Admissions happen in canonical tenant order on both sides: the
+    // water-fill grant depends on the admitted set, not the shard map.
+    for tenant in 0..tenants as u64 {
+        let hello = frame_to_bytes(&SessionFrame::Hello {
+            tenant,
+            requested_cap: Watts::new(30.0 + 5.0 * tenant as f64),
+        });
+        let (reply, consumed) = service.handle_frame(&hello).expect("admission frame");
+        assert_eq!(consumed, hello.len());
+        transcripts[tenant as usize].extend_from_slice(&reply);
+    }
+
+    for (interval, keys) in orders.iter().enumerate() {
+        for &tenant in &order_of(keys) {
+            let platform = &mut clients[tenant];
+            let frame = if faults[interval][tenant] {
+                let _dropped = platform.sample().expect("sim sample");
+                SessionFrame::FaultReport {
+                    tenant: tenant as u64,
+                    index: platform.current_interval(),
+                    error: ppep_types::Error::SensorDropout {
+                        sensor: "hall-sensor",
+                    },
+                }
+            } else {
+                SessionFrame::Submit {
+                    tenant: tenant as u64,
+                    record: Box::new(platform.sample().expect("sim sample")),
+                }
+            };
+            let request = frame_to_bytes(&frame);
+            let (reply, consumed) = service.handle_frame(&request).expect("scripted frame");
+            assert_eq!(consumed, request.len());
+            transcripts[tenant].extend_from_slice(&reply);
+        }
+        service.tick().expect("tick holds the budget invariant");
+    }
+    transcripts
+}
+
+fn config_for(tenants: usize, shards: u32) -> ServeConfig {
+    let mut config = ServeConfig::new(Watts::new(40.0 * tenants as f64));
+    config.max_sessions = tenants as u32 + 1;
+    config.min_grant = Watts::new(5.0);
+    config.shards = shards;
+    config
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Byte-identical per-tenant reply transcripts: single-lock vs
+    /// sharded, under independent interleavings and an arbitrary
+    /// tenant→shard assignment (out-of-range shard ids wrap).
+    #[test]
+    fn sharded_replies_match_single_lock_per_tenant(
+        tenants in 2usize..=5,
+        shards in 2u32..=4,
+        raw_assignment in prop::collection::vec(0usize..8, 5),
+        base_orders in prop::collection::vec(prop::collection::vec(any::<u64>(), 5), 3),
+        shard_orders in prop::collection::vec(prop::collection::vec(any::<u64>(), 5), 3),
+        fault_bits in prop::collection::vec(prop::collection::vec(0u8..8, 5), 3),
+    ) {
+        let faults: Vec<Vec<bool>> = fault_bits
+            .iter()
+            .map(|row| row.iter().take(tenants).map(|&b| b == 0).collect())
+            .collect();
+        let truncate = |orders: &[Vec<u64>]| -> Vec<Vec<u64>> {
+            orders
+                .iter()
+                .map(|row| row.iter().take(tenants).copied().collect())
+                .collect()
+        };
+        let base_orders = truncate(&base_orders);
+        let shard_orders = truncate(&shard_orders);
+        let assignment: Vec<(u64, usize)> = raw_assignment
+            .iter()
+            .take(tenants)
+            .enumerate()
+            .map(|(t, &s)| (t as u64, s))
+            .collect();
+
+        let single = CappingService::new(trained().clone(), config_for(tenants, 1));
+        let sharded = CappingService::new(trained().clone(), config_for(tenants, shards))
+            .with_assignment(&assignment);
+
+        let base = replay(&single, tenants, &base_orders, &faults);
+        let split = replay(&sharded, tenants, &shard_orders, &faults);
+        for (tenant, (lhs, rhs)) in base.iter().zip(&split).enumerate() {
+            prop_assert!(
+                lhs == rhs,
+                "tenant {tenant} transcript diverged between single-lock and \
+                 {shards}-shard service ({} vs {} bytes)",
+                lhs.len(),
+                rhs.len()
+            );
+        }
+    }
+}
