@@ -18,6 +18,22 @@ fn bench_full_projection(c: &mut Criterion) {
     });
 }
 
+/// Scalar reference vs the struct-of-arrays batch kernel on the same
+/// record — the Criterion twin of the `kernel-bench` CI gate
+/// (`BENCH_kernel.json`), which also enforces bit equality.
+fn bench_kernel_comparison(c: &mut Criterion) {
+    use ppep_core::ProjectionKernel;
+    let record = sample_record();
+    let batch = shared_engine().with_kernel(ProjectionKernel::Batch);
+    let scalar = shared_engine().with_kernel(ProjectionKernel::Scalar);
+    c.bench_function("projection_kernel_scalar", |b| {
+        b.iter(|| scalar.project(black_box(&record)).expect("projection"))
+    });
+    c.bench_function("projection_kernel_batch", |b| {
+        b.iter(|| batch.project(black_box(&record)).expect("projection"))
+    });
+}
+
 fn bench_pipeline_pieces(c: &mut Criterion) {
     let models = shared_models();
     let record = sample_record();
@@ -73,6 +89,7 @@ fn bench_capping_decision(c: &mut Criterion) {
 criterion_group!(
     online,
     bench_full_projection,
+    bench_kernel_comparison,
     bench_pipeline_pieces,
     bench_capping_decision
 );

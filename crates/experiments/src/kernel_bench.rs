@@ -1,0 +1,240 @@
+//! Scalar-versus-batch projection kernel wall clock and bit-equality
+//! check — the artifact behind `BENCH_kernel.json`.
+//!
+//! Projects a simulated interval stream through both kernels on the
+//! 8-core FX-8320 preset: the scalar reference grid walk and the
+//! struct-of-arrays batch kernel (`ppep_core::batch`). The batch
+//! kernel's contract is *bit-identical output, materially faster* —
+//! so this benchmark re-verifies `to_bits()` equality on every cell
+//! of every interval while it times the two, and [`gate`] turns both
+//! requirements into an exit code for CI.
+
+use crate::common::{Context, Scale};
+use ppep_core::{PpeProjection, Ppep, ProjectionKernel};
+use ppep_types::vf::NbVfState;
+use ppep_types::{Error, Result};
+use std::time::Instant;
+
+/// Speedup the batch kernel must clear on the 8-core preset.
+pub const MIN_SPEEDUP: f64 = 1.5;
+
+/// The benchmark's result.
+#[derive(Debug, Clone)]
+pub struct KernelBenchResult {
+    /// Intervals projected per repetition.
+    pub intervals: usize,
+    /// Cores per interval (grid rows).
+    pub cores: usize,
+    /// VF states per core (grid columns).
+    pub vf_states: usize,
+    /// Timed repetitions over the interval stream.
+    pub reps: usize,
+    /// Scalar-kernel wall clock, milliseconds.
+    pub scalar_ms: f64,
+    /// Batch-kernel wall clock, milliseconds.
+    pub batch_ms: f64,
+    /// Whether every projected cell matched bit for bit.
+    pub bit_identical: bool,
+}
+
+impl KernelBenchResult {
+    /// Scalar over batch wall clock.
+    pub fn speedup(&self) -> f64 {
+        if self.batch_ms > 0.0 {
+            self.scalar_ms / self.batch_ms
+        } else {
+            0.0
+        }
+    }
+
+    /// The CI gate: bit equality is mandatory, and the batch kernel
+    /// must clear [`MIN_SPEEDUP`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidInput`] describing the failed
+    /// requirement.
+    pub fn gate(&self) -> Result<()> {
+        if !self.bit_identical {
+            return Err(Error::InvalidInput(
+                "batch kernel output is not bit-identical to the scalar reference".into(),
+            ));
+        }
+        if self.speedup() < MIN_SPEEDUP {
+            return Err(Error::InvalidInput(format!(
+                "batch kernel speedup {:.2}x is below the {MIN_SPEEDUP}x gate \
+                 (scalar {:.1} ms vs batch {:.1} ms)",
+                self.speedup(),
+                self.scalar_ms,
+                self.batch_ms
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Every float of two projections compared through `to_bits()`.
+fn bits_identical(a: &PpeProjection, b: &PpeProjection) -> bool {
+    if a.cores.len() != b.cores.len() || a.chip.len() != b.chip.len() {
+        return false;
+    }
+    if a.work_instructions.to_bits() != b.work_instructions.to_bits() {
+        return false;
+    }
+    let cores_match = a.cores.iter().zip(&b.cores).all(|(x, y)| {
+        x.busy == y.busy
+            && x.per_vf.len() == y.per_vf.len()
+            && x.per_vf.iter().zip(&y.per_vf).all(|(c, d)| {
+                c.ips.to_bits() == d.ips.to_bits()
+                    && c.cpi.to_bits() == d.cpi.to_bits()
+                    && c.dynamic_power.as_watts().to_bits() == d.dynamic_power.as_watts().to_bits()
+            })
+    });
+    cores_match
+        && a.chip.iter().zip(&b.chip).all(|(x, y)| {
+            x.power.as_watts().to_bits() == y.power.as_watts().to_bits()
+                && x.nb_power.as_watts().to_bits() == y.nb_power.as_watts().to_bits()
+                && x.ips.to_bits() == y.ips.to_bits()
+                && x.energy.as_joules().to_bits() == y.energy.as_joules().to_bits()
+                && x.edp.to_bits() == y.edp.to_bits()
+        })
+}
+
+/// Times both kernels over a simulated mixed-workload interval
+/// stream, verifying bit equality on every interval and NB point.
+///
+/// # Errors
+///
+/// Propagates training and projection errors.
+pub fn run(ctx: &Context) -> Result<KernelBenchResult> {
+    let models = ctx.train_models()?;
+    let engine = Ppep::new(models);
+    // Enough repetitions that each side's wall clock is tens of
+    // milliseconds — a CI-stable base for the speedup ratio.
+    let (intervals, reps) = match ctx.scale {
+        Scale::Quick => (24, 400),
+        Scale::Full => (48, 800),
+    };
+
+    let mut sim = ppep_sim::ChipSimulator::new(ppep_sim::chip::SimConfig::fx8320(ctx.seed));
+    sim.load_workload(&ppep_workloads::combos::fig7_workload(ctx.seed));
+    let records = sim.run_intervals(intervals);
+
+    // Correctness first: every interval, both NB points, all cells.
+    let mut bit_identical = true;
+    for record in &records {
+        for nb in [NbVfState::High, NbVfState::Low] {
+            // `Ppep::new` defaults to the batch kernel.
+            let batch = engine.project_nb(record, nb)?;
+            let scalar = engine.project_nb_scalar(record, nb)?;
+            bit_identical &= bits_identical(&batch, &scalar);
+        }
+    }
+
+    // Then the clock: the same stream, `reps` times through each
+    // kernel (batch second so cache warming favours the baseline).
+    let scalar_engine = engine.clone().with_kernel(ProjectionKernel::Scalar);
+    let t = Instant::now();
+    for _ in 0..reps {
+        for record in &records {
+            let p = scalar_engine.project(record)?;
+            std::hint::black_box(&p);
+        }
+    }
+    let scalar_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    let batch_engine = engine.with_kernel(ProjectionKernel::Batch);
+    let t = Instant::now();
+    for _ in 0..reps {
+        for record in &records {
+            let p = batch_engine.project(record)?;
+            std::hint::black_box(&p);
+        }
+    }
+    let batch_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    let topo = ctx.rig.config().topology.clone();
+    Ok(KernelBenchResult {
+        intervals,
+        cores: topo.core_count(),
+        vf_states: topo.vf_table().len(),
+        reps,
+        scalar_ms,
+        batch_ms,
+        bit_identical,
+    })
+}
+
+/// The `BENCH_kernel.json` document.
+pub fn bench_json(r: &KernelBenchResult) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"bench\": \"kernel\",");
+    let _ = writeln!(s, "  \"intervals\": {},", r.intervals);
+    let _ = writeln!(s, "  \"cores\": {},", r.cores);
+    let _ = writeln!(s, "  \"vf_states\": {},", r.vf_states);
+    let _ = writeln!(s, "  \"reps\": {},", r.reps);
+    let _ = writeln!(s, "  \"scalar_ms\": {:.1},", r.scalar_ms);
+    let _ = writeln!(s, "  \"batch_ms\": {:.1},", r.batch_ms);
+    let _ = writeln!(s, "  \"speedup\": {:.2},", r.speedup());
+    let _ = writeln!(s, "  \"min_speedup\": {MIN_SPEEDUP},");
+    let _ = writeln!(s, "  \"bit_identical\": {}", r.bit_identical);
+    s.push_str("}\n");
+    s
+}
+
+/// Prints the comparison table.
+pub fn print(r: &KernelBenchResult) {
+    println!(
+        "== Projection kernel benchmark: scalar vs batch ({} cores x {} VF states) ==",
+        r.cores, r.vf_states
+    );
+    crate::common::print_table(
+        &["kernel", "grid cells", "wall clock", "per interval"],
+        &[
+            vec![
+                "scalar".into(),
+                (r.cores * r.vf_states).to_string(),
+                format!("{:.0} ms", r.scalar_ms),
+                format!("{:.3} ms", r.scalar_ms / (r.reps * r.intervals) as f64),
+            ],
+            vec![
+                "batch".into(),
+                (r.cores * r.vf_states).to_string(),
+                format!("{:.0} ms", r.batch_ms),
+                format!("{:.3} ms", r.batch_ms / (r.reps * r.intervals) as f64),
+            ],
+        ],
+    );
+    println!(
+        "speedup {:.2}x (gate {MIN_SPEEDUP}x); outputs {}",
+        r.speedup(),
+        if r.bit_identical {
+            "bit-identical"
+        } else {
+            "DIVERGE"
+        }
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::DEFAULT_SEED;
+
+    #[test]
+    fn kernels_stay_bit_identical_over_the_bench_stream() {
+        let ctx = Context::fx8320(Scale::Quick, DEFAULT_SEED);
+        let r = run(&ctx).unwrap();
+        assert!(r.bit_identical, "batch kernel diverged from scalar");
+        assert_eq!(r.cores, 8);
+        assert_eq!(r.vf_states, 5);
+        // The speedup gate itself is only meaningful under --release;
+        // here we only pin the artifact's shape.
+        let json = bench_json(&r);
+        assert!(json.contains("\"bench\": \"kernel\""));
+        assert!(json.contains("\"bit_identical\": true"));
+        assert!(json.contains("\"speedup\""));
+    }
+}

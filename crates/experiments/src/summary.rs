@@ -133,7 +133,7 @@ pub fn run(ctx: &Context) -> Result<SummaryResult> {
     );
 
     // §V studies share one engine.
-    let engine = ppep_core::Ppep::new(ctx.train_models()?);
+    let engine = ctx.engine(ctx.train_models()?);
     let f89 = fig08_09_background::run_with_engine(ctx, &engine)?;
     let all_vf1 = f89.entries.iter().all(|e| e.best_energy == table.lowest());
     push(

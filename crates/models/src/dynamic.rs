@@ -135,6 +135,12 @@ impl DynamicPowerModel {
         }
     }
 
+    /// The Eq. 3 voltage-scaling factor `(v/Vref)^α` applied to the
+    /// core-event weights at rail voltage `v`.
+    pub fn voltage_scale(&self, v: Volts) -> f64 {
+        (v / self.reference_voltage).powf(self.alpha)
+    }
+
     /// Eq. 3 inner sum: dynamic power of one core whose E1–E9
     /// per-second rates are `rates` and whose rail sits at `v`.
     ///
@@ -189,6 +195,47 @@ impl DynamicPowerModel {
             } else {
                 nb += weight * rate;
             }
+        }
+        Ok((
+            Watts::new(core).finite("eq3 core-side dynamic power")?,
+            Watts::new(nb).finite("eq3 NB-side dynamic power")?,
+        ))
+    }
+
+    /// [`DynamicPowerModel::estimate_core_split`] with the voltage
+    /// scaling already folded into the weights — the batch kernel's
+    /// form, fed from a [`crate::soa::SoaCoeffs`] row.
+    ///
+    /// `scaled_core` must be `scale · weights[0..7]` and `nb` the raw
+    /// `weights[7..9]`. Because the reference path evaluates
+    /// `scale * weight * rate` as `(scale * weight) * rate`, this
+    /// produces bit-identical sums (and the identical
+    /// [`Error::NonFinite`] messages, in the identical order).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NonFinite`] when either part is NaN/∞, and
+    /// [`Error::InvalidInput`] when `scaled_core` is not the seven
+    /// core-event weights.
+    pub fn estimate_core_split_prescaled(
+        &self,
+        rates: &[f64; DYN_EVENT_COUNT],
+        scaled_core: &[f64],
+        nb_weights: &[f64; DYN_EVENT_COUNT - NB_PROXY_START],
+    ) -> Result<(Watts, Watts)> {
+        if scaled_core.len() != NB_PROXY_START {
+            return Err(Error::InvalidInput(format!(
+                "{} pre-scaled weights for {NB_PROXY_START} core events",
+                scaled_core.len()
+            )));
+        }
+        let mut core = 0.0;
+        for (sw, rate) in scaled_core.iter().zip(rates) {
+            core += sw * rate;
+        }
+        let mut nb = 0.0;
+        for (weight, rate) in nb_weights.iter().zip(rates.iter().skip(NB_PROXY_START)) {
+            nb += weight * rate;
         }
         Ok((
             Watts::new(core).finite("eq3 core-side dynamic power")?,

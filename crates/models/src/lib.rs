@@ -17,6 +17,9 @@
 //!   and its cross-VF prediction path.
 //! * [`green_governors`] — the CV²f baseline of Spiliopoulos et al.
 //!   used for the Fig. 6 comparison.
+//! * [`soa`] — struct-of-arrays coefficient tables (pre-scaled Eq. 3
+//!   weights, flattened VF ladders) for the batch projection kernel
+//!   in `ppep-core`.
 //! * [`trainer`] — trace collection against the simulator, model
 //!   fitting, and 4-fold cross-validation.
 //! * [`persist`] — save/load a trained bundle as human-readable text,
@@ -46,6 +49,7 @@ pub mod green_governors;
 pub mod idle;
 pub mod persist;
 pub mod pg;
+pub mod soa;
 pub mod trainer;
 
 pub use chip_power::ChipPowerModel;
@@ -54,4 +58,5 @@ pub use dynamic::DynamicPowerModel;
 pub use event_pred::{CpiProjection, HwEventPredictor};
 pub use idle::IdlePowerModel;
 pub use pg::PgIdleModel;
+pub use soa::SoaCoeffs;
 pub use trainer::TrainedModels;
